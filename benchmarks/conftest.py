@@ -1,0 +1,27 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one figure of the paper's evaluation and
+prints the rows/series the paper reports, plus a paper-vs-measured
+summary. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a benchmark's result block (visible with -s; also kept in
+    captured output otherwise)."""
+    print("\n" + text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

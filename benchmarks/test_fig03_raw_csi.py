@@ -1,0 +1,59 @@
+"""Fig 3: raw CSI for one sub-channel, tag 5 cm away, alternating bits.
+
+Paper: "Raw CSI measurements for a single Wi-Fi sub-channel in the
+presence of the Wi-Fi Backscatter tag 5 centimeters away. The plot
+clearly shows a binary modulation on top of the CSI measurements."
+Setup: reader next to tag, helper 5 m away, 1 GB media download
+(saturated traffic), ~3000 packets.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.sim.link import helper_packet_times, simulate_uplink_stream
+from repro.tag.modulator import alternating_bits
+
+
+def run_fig03():
+    rng = np.random.default_rng(3)
+    bit_s = 0.01  # 100 bps alternation
+    bits = alternating_bits(120)
+    times = helper_packet_times(2000.0, len(bits) * bit_s + 1.1, rng=rng)
+    stream, tx_start = simulate_uplink_stream(
+        bits, bit_s, times, tag_to_reader_m=0.05, helper_to_tag_m=5.0, rng=rng
+    )
+    csi = stream.flattened_csi()
+    # Pick the sub-channel where the modulation is most visible, like
+    # the paper's choice of sub-channel 19.
+    spread = csi.std(axis=0)
+    best = int(np.argmax(spread))
+    ts = stream.timestamps
+    in_tx = (ts >= tx_start) & (ts < tx_start + len(bits) * bit_s)
+    column = csi[in_tx, best]
+    bit_idx = np.floor((ts[in_tx] - tx_start) / bit_s).astype(int) % 2
+    level_1 = column[bit_idx == 0].mean()  # alternating starts with '1'
+    level_0 = column[bit_idx == 1].mean()
+    noise = 0.5 * (column[bit_idx == 0].std() + column[bit_idx == 1].std())
+    return best, level_1, level_0, noise, column
+
+
+def test_fig03_raw_csi_two_levels(once):
+    best, level_1, level_0, noise, column = once(run_fig03)
+    separation = abs(level_1 - level_0)
+    emit(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["best sub-channel", best],
+                ["CSI level while reflecting ('1')", level_1],
+                ["CSI level while absorbing ('0')", level_0],
+                ["level separation", separation],
+                ["within-level noise (std)", noise],
+                ["separation / noise", separation / max(noise, 1e-9)],
+            ],
+            title="Fig 3 — raw CSI at 5 cm shows two distinct levels",
+        )
+    )
+    # The paper's figure shows clearly separated levels at 5 cm.
+    assert separation > 2.0 * noise

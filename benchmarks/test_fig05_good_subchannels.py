@@ -1,0 +1,76 @@
+"""Fig 5: which sub-channels decode with BER < 1e-2, vs distance.
+
+Paper: "For each Wi-Fi sub-channel, the figure shows the experiments
+where decoding using only that sub-channel achieves a bit error rate
+less than 1e-2 ... the set of good sub-channels varies significantly
+with the position of the Wi-Fi Backscatter tag" and "in general, there
+are no Wi-Fi sub-channels that are consistently good."
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.core.barker import barker_bits
+from repro.core.conditioning import condition
+from repro.core.slicer import majority_vote_bits
+from repro.sim.link import helper_packet_times, simulate_uplink_stream
+from repro.tag.modulator import random_payload
+
+DISTANCES_CM = (10, 25, 40, 55, 70)
+
+
+def good_subchannels_at(distance_m, seed):
+    rng = np.random.default_rng(seed)
+    bit_s = 0.01
+    payload = random_payload(60, rng)
+    bits = barker_bits() + payload
+    times = helper_packet_times(3000.0, len(bits) * bit_s + 1.1, rng=rng)
+    stream, tx_start = simulate_uplink_stream(
+        bits, bit_s, times, tag_to_reader_m=distance_m, rng=rng
+    )
+    csi = stream.csi_matrix()[:, 0, :]  # single antenna, like the figure
+    cond = condition(csi, stream.timestamps)
+    data_start = tx_start + 13 * bit_s
+    good = []
+    for ch in range(csi.shape[1]):
+        decisions = (cond.normalized[:, ch] > 0).astype(int)
+        sliced = majority_vote_bits(
+            decisions, stream.timestamps, data_start, bit_s, len(payload)
+        )
+        errors = int(np.count_nonzero(sliced.bits != np.asarray(payload)))
+        # Channels may be polarity-inverted; count either way.
+        errors = min(errors, len(payload) - errors)
+        if errors == 0:
+            good.append(ch)
+    return set(good)
+
+
+def run_fig05():
+    table = {}
+    for i, cm in enumerate(DISTANCES_CM):
+        table[cm] = good_subchannels_at(cm / 100.0, seed=50 + i)
+    return table
+
+
+def test_fig05_good_set_varies_with_distance(once):
+    table = once(run_fig05)
+    rows = [
+        [f"{cm} cm", len(chs), ",".join(map(str, sorted(chs)[:12]))]
+        for cm, chs in table.items()
+    ]
+    emit(
+        format_table(
+            ["tag-reader distance", "# good sub-channels", "good sub-channels (first 12)"],
+            rows,
+            title="Fig 5 — sub-channels with BER < 1e-2 per position",
+        )
+    )
+    non_empty = [chs for chs in table.values() if chs]
+    assert len(non_empty) >= 3  # close positions have good channels
+    # No sub-channel is consistently good across every position.
+    consistently_good = set.intersection(*table.values()) if table else set()
+    assert len(consistently_good) < 10
+    # The good sets differ between positions (position-dependent multipath).
+    sets = list(table.values())
+    assert any(a != b for a in sets for b in sets)

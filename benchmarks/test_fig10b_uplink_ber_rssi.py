@@ -1,0 +1,48 @@
+"""Fig 10(b): uplink BER vs distance using RSSI, {3, 6, 30} pkts/bit.
+
+Same setup as Fig 10(a), decoding from per-antenna RSSI only. Expected
+shape: like CSI but with roughly half the range ("ranges of about
+65 cm and 30 cm using CSI and RSSI respectively").
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.report import log_sparkline, render_series
+from test_fig10a_uplink_ber_csi import DISTANCES_CM, run_fig10
+from repro.sim.link import run_uplink_ber
+
+
+def test_fig10b_uplink_ber_vs_distance_rssi(once):
+    series = once(run_fig10, "rssi")
+    text = render_series(series, title="Fig 10(b) — uplink BER vs distance (RSSI)")
+    for s in series:
+        text += f"\n  {s.label:<12} |{log_sparkline(s.ys)}|"
+    emit(text)
+    by_label = {s.label: s for s in series}
+    s30 = by_label["30 pkts/bit"]
+    # RSSI works near contact but is already failing around 45-55 cm.
+    assert s30.ys[0] < 0.02
+    assert np.mean(s30.ys[4:]) > 0.02  # >= 45 cm
+    for s in series:
+        assert np.mean(s.ys[-3:]) > np.mean(s.ys[:3])
+
+
+def test_fig10_rssi_range_half_of_csi(once):
+    """Cross-figure check: the CSI/RSSI range ratio from the paper."""
+
+    def ber_pair():
+        csi_mid = run_uplink_ber(0.50, 30, mode="csi", repeats=12, seed=77).ber
+        rssi_mid = run_uplink_ber(0.50, 30, mode="rssi", repeats=12, seed=77).ber
+        rssi_near = run_uplink_ber(0.18, 30, mode="rssi", repeats=12, seed=78).ber
+        return csi_mid, rssi_mid, rssi_near
+
+    csi_mid, rssi_mid, rssi_near = once(ber_pair)
+    emit(
+        f"Fig 10 cross-check: @50cm CSI={csi_mid:.2e} RSSI={rssi_mid:.2e}; "
+        f"@18cm RSSI={rssi_near:.2e}"
+    )
+    # At 50 cm CSI still works while RSSI is degrading; near its rated
+    # range RSSI works.
+    assert csi_mid < rssi_mid
+    assert rssi_near < 0.03

@@ -1,0 +1,86 @@
+"""Fig 15: achievable uplink rate from ambient office traffic vs time.
+
+Paper: reader 5 cm from the tag, helper in monitor mode capturing "all
+the packets transmitted by the organization's AP"; experiments every
+10 minutes from 12 PM to 8 PM. "The achievable bit rate is
+proportional to the number of packets on the network" — 100 to
+~250 bps as load swings between ~100 and ~1100 packets/s.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.report import render_series
+from repro.analysis.sweep import SweepResult
+from repro.core.barker import barker_bits
+from repro.core.uplink_decoder import UplinkDecoder
+from repro.mac.traffic import office_load_pps
+from repro.sim.link import helper_packet_times, simulate_uplink_stream
+from repro.sim.metrics import achievable_bit_rate, ber_with_floor, bit_errors
+from repro.tag.modulator import random_payload
+from repro.traces.synthetic import hours_range
+
+HOURS = hours_range(12.0, 20.0, 1.0)
+TESTED_RATES = (50.0, 100.0, 150.0, 200.0, 250.0)
+REPEATS = 3
+
+
+def ambient_ber(tag_rate, load_pps, seed):
+    rng = np.random.default_rng(seed)
+    errors = total = 0
+    for _ in range(REPEATS):
+        bit_s = 1.0 / tag_rate
+        payload = random_payload(40, rng)
+        bits = barker_bits() + payload
+        # Ambient traffic is bursty/Poisson, not injected CBR.
+        times = helper_packet_times(
+            load_pps, len(bits) * bit_s + 1.1, traffic="poisson", rng=rng
+        )
+        stream, tx_start = simulate_uplink_stream(
+            bits, bit_s, times, tag_to_reader_m=0.05, rng=rng
+        )
+        result = UplinkDecoder().decode_bits(
+            stream, len(payload), bit_s, start_time_s=tx_start
+        )
+        errors += bit_errors(payload, result.bits)
+        total += len(payload)
+    return ber_with_floor(errors, total)
+
+
+def run_fig15():
+    rate_series = SweepResult(
+        label="uplink bit rate (bps)", x_name="hour", y_name="bps"
+    )
+    load_series = SweepResult(
+        label="network load (pkts/s)", x_name="hour", y_name="pps"
+    )
+    for i, hour in enumerate(HOURS):
+        load = office_load_pps(hour)
+        rate_to_ber = {
+            rate: ambient_ber(rate, load, seed=1500 + 13 * i + int(rate))
+            for rate in TESTED_RATES
+        }
+        rate_series.add(hour, achievable_bit_rate(rate_to_ber))
+        load_series.add(hour, load)
+    return rate_series, load_series
+
+
+def test_fig15_rate_tracks_network_load(once):
+    rate_series, load_series = once(run_fig15)
+    emit(
+        render_series(
+            [load_series, rate_series],
+            title="Fig 15 — achievable rate from ambient traffic vs time of day",
+        )
+    )
+    rates = np.asarray(rate_series.ys)
+    loads = np.asarray(load_series.ys)
+    # Everything decodes at some rate (the link works from ambient
+    # traffic alone), in the paper's 50-250 bps band.
+    assert rates.min() >= 50.0
+    assert rates.max() <= 250.0
+    # The achievable rate is correlated with network load.
+    corr = np.corrcoef(loads, rates)[0, 1]
+    assert corr > 0.5
+    # Peak-hour rate beats evening rate.
+    assert rates[HOURS.index(14.0)] >= rates[HOURS.index(20.0)]

@@ -1,0 +1,115 @@
+"""Fig 18: downlink false-positive preamble detections per hour.
+
+Paper: prototype 30 cm from the AP, a client streaming music all day
+for consistent traffic; count events where normal Wi-Fi traffic
+matches the Wi-Fi Backscatter preamble (each falsely wakes the MCU);
+"the maximum false positive rate we observe in our setup is less than
+30/hour."
+
+Simulation: synthetic office traffic (per time-of-day load, with the
+SIFS/ACK/DIFS micro-burst structure of a busy channel) is turned into
+comparator transition timelines at the tag (at 30 cm every packet is
+detected cleanly, so transitions follow frame edges with small
+jitter); the firmware's correlation-style interval matcher counts
+matches, scaled to one hour. The MCU energy ledger prices each false
+wake.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.core.downlink_decoder import IntervalPreambleMatcher, debounce_transitions
+from repro.tag.mcu import McuEnergyLedger
+from repro.traces.synthetic import hours_range, office_traffic_sample, sample_to_intervals
+
+BIT_S = 50e-6
+SIM_SECONDS = 180.0
+HOURS = hours_range(10.0, 18.0, 2.0)
+
+
+def transitions_from_traffic(hour, seed):
+    """Streaming-style MAC timeline at the tag, 30 cm from the AP.
+
+    The paper streams music for consistent traffic. Each data frame is
+    followed after SIFS by its ACK, and frames within a burst are
+    separated by DIFS + a short backoff — so the comparator sees many
+    runs and gaps at the 10-200 us scale, exactly the regime where the
+    50 us preamble structure can occasionally be mimicked.
+    """
+    rng = np.random.default_rng(seed)
+    sample = office_traffic_sample(hour, SIM_SECONDS, rng=rng)
+    times = [0.0]
+    levels = [0]
+    n_frames = 0
+
+    def emit(start, duration):
+        t_up = max(start + rng.normal(scale=2e-6), times[-1] + 1e-9)
+        t_down = t_up + max(duration, 5e-6)
+        times.extend([t_up, t_down])
+        levels.extend([1, 0])
+        return t_down
+
+    sifs, ack, difs, slot = 10e-6, 24e-6, 28e-6, 9e-6
+
+    def frame_exchange(start):
+        """One DATA + SIFS + ACK exchange; returns its end time."""
+        airtime = float(rng.choice(
+            [40e-6, 55e-6, 75e-6, 100e-6, 140e-6, 250e-6],
+            p=[0.22, 0.22, 0.18, 0.15, 0.12, 0.11],
+        ))
+        end = emit(start, airtime)
+        return emit(end + sifs, ack)
+
+    for t in sample.packet_times_s:
+        n_frames += 1
+        end = frame_exchange(t)
+        # A third of arrivals open a micro-burst: several frame
+        # exchanges back-to-back, separated only by DIFS + backoff —
+        # the dense regime (streaming + org co-channel traffic at peak
+        # hours) where short on/off runs chain together.
+        if rng.random() < 0.35:
+            for _ in range(int(rng.integers(2, 10))):
+                gap = difs + slot * float(rng.integers(0, 8))
+                end = frame_exchange(end + gap)
+                n_frames += 1
+    return np.asarray(times), np.asarray(levels), n_frames
+
+
+def false_positives_per_hour(hour, seed):
+    t, lv, n_packets = transitions_from_traffic(hour, seed)
+    t, lv = debounce_transitions(t, lv, 0.4 * BIT_S)
+    matcher = IntervalPreambleMatcher(BIT_S, mean_tolerance=0.26)
+    matches = len(matcher.find_all(t, lv))
+    return matches * (3600.0 / SIM_SECONDS), n_packets
+
+
+def run_fig18():
+    rows = []
+    for i, hour in enumerate(HOURS):
+        fp_per_hour, n_packets = false_positives_per_hour(hour, 1800 + i)
+        rows.append((hour, n_packets / SIM_SECONDS, fp_per_hour))
+    return rows
+
+
+def test_fig18_false_positive_rate(once):
+    rows = once(run_fig18)
+    ledger = McuEnergyLedger()
+    wake_cost = ledger.false_wake_energy_cost_j(80)
+    table = [
+        [f"{int(h)}:00", f"{pps:.0f}", fp, fp * wake_cost * 1e6]
+        for h, pps, fp in rows
+    ]
+    emit(
+        format_table(
+            ["time of day", "traffic (pkts/s)", "false positives / hour",
+             "wasted MCU energy (uJ/hour)"],
+            table,
+            title="Fig 18 — downlink false-positive rate",
+        )
+    )
+    # Paper: "the maximum false positive rate we observe in our setup
+    # is less than 30/hour" — we assert the same order of magnitude
+    # (small but non-zero; 3-minute windows resolve 20/hour steps).
+    assert max(fp for _, _, fp in rows) <= 150.0
+    assert any(fp > 0 for _, _, fp in rows)

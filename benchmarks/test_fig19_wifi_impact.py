@@ -1,0 +1,93 @@
+"""Fig 19: effect of the tag's modulation on normal Wi-Fi throughput.
+
+Paper: a laptop sends UDP for 2 minutes to a Linksys AP from locations
+2-5, with the tag 5 cm / 30 cm from the receiver, idle or modulating
+at 100 bps / 1 kbps. "While there is variation in the observed data
+rate across these scenarios ... they are mostly within the variance
+... Wi-Fi rate adaptation can easily adapt for the small variations in
+the channel quality."
+
+Simulation: the DCF + ARF stack runs a saturated UDP sender whose link
+SNR gets a small square-wave perturbation from the tag's modulated
+reflection (larger at 5 cm than 30 cm).
+"""
+
+import math
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.mac.rate_control import SnrLinkQualityModel, snr_from_distance
+from repro.sim.geometry import HELPER_LOCATIONS, TESTBED, helper_geometry
+from repro.sim.scenario import build_throughput_scenario
+from repro.sim.metrics import throughput_mbytes_per_s
+
+RUN_SECONDS = 6.0
+
+#: SNR wiggle (dB) the tag's reflection induces on the Wi-Fi link at
+#: 5 cm / 30 cm from the receiver — small by construction (§9).
+PERTURBATION_DB = {0.05: 0.8, 0.30: 0.25}
+
+#: Effective link SNR (dB) per transmitter location. Free-space path
+#: loss alone would leave every location at very high SNR; the real
+#: testbed's multipath fading margin, walls, and co-channel
+#: interference (heavy near location 5's classroom) compress the
+#: dynamic range to the paper's 2-3.7 MB/s spread.
+LOCATION_SNR_DB = {"2": 28.0, "3": 24.0, "4": 20.0, "5": 13.0}
+
+
+def throughput(location, tag_rate_bps, tag_distance_m, seed):
+    snr = LOCATION_SNR_DB[location]
+    perturbation = None
+    if tag_rate_bps:
+        depth = PERTURBATION_DB[tag_distance_m]
+        period = 1.0 / tag_rate_bps
+
+        def perturbation(t, depth=depth, period=period):
+            return -depth if int(t / period) % 2 else 0.0
+
+    model = SnrLinkQualityModel(snr_db=snr, snr_perturbation_db=perturbation)
+    scenario = build_throughput_scenario(model, seed=seed)
+    scenario.run(RUN_SECONDS)
+    return throughput_mbytes_per_s(
+        scenario.helper.stats.bytes_delivered, RUN_SECONDS
+    )
+
+
+def run_fig19(tag_distance_m):
+    rows = []
+    for i, loc in enumerate(HELPER_LOCATIONS):
+        base = throughput(loc, 0.0, tag_distance_m, seed=1900 + i)
+        slow = throughput(loc, 100.0, tag_distance_m, seed=1900 + i)
+        fast = throughput(loc, 1000.0, tag_distance_m, seed=1900 + i)
+        rows.append((loc, base, slow, fast))
+    return rows
+
+
+def check(rows, title):
+    emit(
+        format_table(
+            ["location", "no device (MB/s)", "100 bps (MB/s)", "1 kbps (MB/s)"],
+            rows,
+            title=title,
+        )
+    )
+    for loc, base, slow, fast in rows:
+        # Throughput with the tag modulating stays within ~15% of the
+        # no-device baseline: rate adaptation absorbs the reflections.
+        assert math.isclose(slow, base, rel_tol=0.15), (loc, base, slow)
+        assert math.isclose(fast, base, rel_tol=0.15), (loc, base, fast)
+    # Distant/NLOS locations see lower absolute throughput.
+    by_loc = {loc: base for loc, base, _, _ in rows}
+    assert by_loc["5"] < by_loc["2"]
+
+
+def test_fig19a_impact_at_5cm(once):
+    rows = once(run_fig19, 0.05)
+    check(rows, "Fig 19(a) — Wi-Fi throughput, tag 5 cm from receiver")
+
+
+def test_fig19b_impact_at_30cm(once):
+    rows = once(run_fig19, 0.30)
+    check(rows, "Fig 19(b) — Wi-Fi throughput, tag 30 cm from receiver")

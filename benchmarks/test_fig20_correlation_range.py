@@ -1,0 +1,84 @@
+"""Fig 20: correlation length needed vs distance (long-range uplink).
+
+Paper: helper 3 m from reader; the tag encodes bits as length-L
+orthogonal codes; measured is the L at which BER < 1e-2 at each
+distance. "Using a correlation length of 20 bits, we establish the
+uplink at about 1.6 meters ... at distances of 2.1 meters, we need a
+correlation length of about 150 bits."
+
+Reported here: (a) the paper-anchored analytic model's L(d) curve, and
+(b) a Monte-Carlo measurement of the real correlation decoder over the
+simulated channel at 5 packets/chip. The simulated decoder integrates
+more coherently than the authors' hardware (its CSI quantization is
+noise-dithered), so its required L is smaller — the shape (monotone,
+super-linear growth) is the reproduction target; see EXPERIMENTS.md.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.ber import CorrelationRangeModel
+from repro.analysis.report import render_series
+from repro.analysis.sweep import SweepResult
+from repro.sim.link import run_correlation_trial
+
+DISTANCES_M = (0.8, 1.2, 1.6, 2.0, 2.2)
+CANDIDATE_LENGTHS = (4, 8, 12, 20, 32, 60, 100, 150)
+TRIALS = 3
+BITS_PER_TRIAL = 10
+
+
+def measured_required_length(distance_m, seed):
+    """Smallest candidate L with zero errors across the trials."""
+    for length in CANDIDATE_LENGTHS:
+        errors = 0
+        for t in range(TRIALS):
+            trial = run_correlation_trial(
+                distance_m,
+                length,
+                num_bits=BITS_PER_TRIAL,
+                packets_per_chip=5.0,
+                rng=np.random.default_rng(seed + 1000 * t + length),
+            )
+            errors += trial.errors
+        if errors == 0:
+            return length
+    return CANDIDATE_LENGTHS[-1]
+
+
+def run_fig20():
+    measured = SweepResult(
+        label="simulated decoder L", x_name="distance_m", y_name="L"
+    )
+    analytic = SweepResult(
+        label="paper-anchored model L", x_name="distance_m", y_name="L"
+    )
+    model = CorrelationRangeModel()
+    for i, d in enumerate(DISTANCES_M):
+        measured.add(d, float(measured_required_length(d, seed=2000 + i)))
+        analytic.add(d, float(model.required_code_length(d)))
+    return measured, analytic
+
+
+def test_fig20_required_length_grows_with_distance(once):
+    measured, analytic = once(run_fig20)
+    emit(
+        render_series(
+            [measured, analytic],
+            title="Fig 20 — correlation length needed for BER < 1e-2",
+        )
+    )
+    # Analytic model reproduces the paper's anchors.
+    a = dict(zip(analytic.xs, analytic.ys))
+    assert 10 <= a[1.6] <= 30  # paper: ~20
+    assert 100 <= a[2.2] or 100 <= a[2.0] or a[2.0] >= 80  # paper: ~150 at 2.1
+    # The analytic curve grows monotonically with distance.
+    assert list(analytic.ys) == sorted(analytic.ys)
+    # The measured curve trends upward (individual points bounce with
+    # the multipath realization, as in a real room): the far end needs
+    # a longer code than the near end.
+    m = dict(zip(measured.xs, measured.ys))
+    assert m[2.2] >= 4 * m[0.8]
+    assert np.mean(measured.ys[-2:]) > np.mean(measured.ys[:2])
+    # Growth is super-linear in distance for the analytic curve.
+    assert a[2.2] / a[1.2] > (2.2 / 1.2) ** 2

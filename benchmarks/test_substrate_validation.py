@@ -1,0 +1,79 @@
+"""Substrate validation: the DCF simulator vs Bianchi's analytic model.
+
+Not a paper figure — a credibility check on the 802.11 substrate every
+uplink experiment rides on. The event-driven simulator's saturation
+throughput must track the analytic model across station counts.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.analysis.throughput import (
+    saturation_throughput_bps,
+    single_station_throughput_bps,
+)
+from repro.mac.dcf import DcfAccess, Medium
+from repro.mac.packets import WifiFrame
+from repro.mac.simulator import EventScheduler
+
+PAYLOAD = 1470
+RATE = 54e6
+RUN_SECONDS = 3.0
+
+
+def simulate_saturation(n_stations, seed=0):
+    """Total delivered payload bits/s with n saturated stations."""
+    rng = np.random.default_rng(seed)
+    sched = EventScheduler()
+    medium = Medium(sched, rng=rng)
+    stations = []
+    for i in range(n_stations):
+        sta = DcfAccess(
+            f"sta{i}", medium, sched, rng=np.random.default_rng(seed + i + 1)
+        )
+        stations.append(sta)
+
+    def refill():
+        for sta in stations:
+            while sta.queue_length < 8:
+                sta.enqueue(
+                    WifiFrame(src=sta.name, dst="ap", payload_bytes=PAYLOAD,
+                              rate_bps=RATE)
+                )
+        sched.schedule_in(0.5e-3, refill)
+
+    refill()
+    sched.run_until(RUN_SECONDS)
+    delivered = sum(s.stats.bytes_delivered for s in stations)
+    return delivered * 8 / RUN_SECONDS
+
+
+def run_validation():
+    rows = []
+    for n in (1, 2, 5, 10):
+        sim = simulate_saturation(n, seed=100 + n)
+        analytic = (
+            single_station_throughput_bps(PAYLOAD, RATE)
+            if n == 1
+            else saturation_throughput_bps(n, PAYLOAD, RATE)
+        )
+        rows.append((n, sim / 1e6, analytic / 1e6, sim / analytic))
+    return rows
+
+
+def test_dcf_simulator_matches_bianchi(once):
+    rows = once(run_validation)
+    emit(
+        format_table(
+            ["stations", "simulated (Mbps)", "Bianchi (Mbps)", "ratio"],
+            [[n, f"{s:.1f}", f"{a:.1f}", f"{r:.2f}"] for n, s, a, r in rows],
+            title="Substrate validation — DCF saturation throughput",
+        )
+    )
+    for n, sim, analytic, ratio in rows:
+        assert 0.7 < ratio < 1.3, (
+            f"simulator diverges from Bianchi at n={n}: ratio {ratio:.2f}"
+        )
+    # Throughput should decline (slowly) as contention grows.
+    assert rows[-1][1] < rows[0][1] * 1.1

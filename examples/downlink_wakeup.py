@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Downlink wake-up economics: the ~1 µW always-on receiver (§4.2).
+
+Walks through what makes the downlink receivable by a battery-free
+device: the analog front end (envelope detector -> peak finder ->
+half-peak threshold -> comparator) stays on at ~1 µW, while the
+power-hungry MSP430 sleeps until the comparator's transitions match
+the 16-bit preamble. The example renders a real query waveform, runs
+the circuit sample by sample, decodes the message, and prices the
+whole exchange on the MCU energy ledger — including what a false
+preamble wake-up would cost.
+
+Run:
+    python examples/downlink_wakeup.py
+"""
+
+import numpy as np
+
+from repro.core.downlink_encoder import DownlinkEncoder
+from repro.core.protocol import encode_query
+from repro.phy.envelope import EnvelopeSynthesizer
+from repro.tag.harvester import MCU_ACTIVE_POWER_W, MCU_SLEEP_POWER_W
+from repro.tag.receiver_circuit import CIRCUIT_POWER_W
+from repro.tag.tag import WiFiBackscatterTag
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    distance_m = 1.5
+    bit_s = 50e-6  # 20 kbps
+
+    # -- render the query's on-air waveform ---------------------------------
+    query = encode_query(tag_address=7, rate_bps=200.0)
+    encoder = DownlinkEncoder(bit_duration_s=bit_s)
+    lead = 40 * bit_s
+    intervals = encoder.air_intervals(query, start_s=lead)
+    total = lead + encoder.message_airtime_s(query) + 20 * bit_s
+    synth = EnvelopeSynthesizer(distance_m=distance_m, rng=rng)
+    times, power = synth.render(intervals, total)
+    print(f"query: {query.num_bits} bits at 20 kbps = "
+          f"{encoder.message_airtime_s(query) * 1e3:.1f} ms of reserved "
+          f"medium (one CTS_to_SELF window)")
+    print(f"waveform: {len(power)} envelope samples at {distance_m} m "
+          f"(peak {power.max() * 1e6:.2f} uW at the tag antenna)")
+
+    # -- the tag receives it --------------------------------------------------
+    tag = WiFiBackscatterTag(address=7)
+    message = tag.receive_downlink(power, synth.sample_interval_s, bit_s)
+    decoded = tag.handle_query(message)
+    assert decoded is not None
+    print(f"decoded query -> respond at {decoded.rate_bps:.0f} bps "
+          f"(CRC-16 verified)")
+
+    # -- energy accounting ------------------------------------------------------
+    ledger = tag.mcu
+    print("\nenergy picture:")
+    print(f"  analog front end (always on) : {CIRCUIT_POWER_W * 1e6:.1f} uW")
+    print(f"  MCU asleep                   : {MCU_SLEEP_POWER_W * 1e6:.1f} uW")
+    print(f"  MCU fully active             : {MCU_ACTIVE_POWER_W * 1e6:.0f} uW")
+    print(f"  this exchange: {ledger.wakeups} wake events, "
+          f"{ledger.active_s * 1e6:.0f} us active, "
+          f"{ledger.energy_j * 1e9:.1f} nJ total")
+    during = ledger.average_power_w
+    print(f"  average MCU draw during the exchange: {during * 1e6:.1f} uW")
+    # Amortized over a one-second listening window (one query/second is
+    # already a fast polling rate for a sensor tag):
+    ledger.idle(1.0)
+    print(f"  amortized over 1 s of listening    : "
+          f"{ledger.average_power_w * 1e6:.2f} uW")
+    false_cost = ledger.false_wake_energy_cost_j(80)
+    per_hour = 30 * false_cost  # the paper's worst-case FP rate
+    print(f"  one false preamble wake costs {false_cost * 1e9:.0f} nJ; at the "
+          f"paper's <30/hour that is <{per_hour * 1e6:.1f} uJ/hour — "
+          "negligible against the harvest budget")
+    assert during < MCU_ACTIVE_POWER_W / 3       # duty cycling works
+    assert ledger.average_power_w < 10e-6        # long-run budget fits
+
+
+if __name__ == "__main__":
+    main()

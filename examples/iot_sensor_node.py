@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""An RF-powered temperature sensor queried over Wi-Fi Backscatter.
+
+The paper's motivating application: a battery-free sensor node
+embedded in an everyday object, read by any commodity Wi-Fi device.
+This example runs the full request-response protocol of §2:
+
+1. the reader measures the helper's packet rate and computes the N/M
+   uplink rate plan (§5);
+2. it transmits a 64-bit query (address | rate code | command) as
+   on-off keyed Wi-Fi packets inside a CTS_to_SELF window (§4.1);
+3. the tag's ~1 uW envelope/peak-detector circuit and duty-cycled MCU
+   decode the query (§4.2), checking the CRC;
+4. the tag backscatters its sensor reading; the reader decodes it from
+   CSI (§3.2) — retransmitting the query whenever any step fails;
+5. the tag's energy ledger confirms the whole exchange fits the
+   harvested power budget (§6).
+
+Run:
+    python examples/iot_sensor_node.py
+"""
+
+import numpy as np
+
+from repro.core.frames import bits_to_int
+from repro.core.protocol import CMD_READ_SENSOR, WiFiBackscatterReader
+from repro.core.rate_adaptation import UplinkRatePlanner
+from repro.sim.link import SimulatedDownlinkTransport, SimulatedUplinkTransport
+from repro.tag.harvester import wifi_power_density_w_m2
+from repro.tag.tag import WiFiBackscatterTag
+
+TAG_ADDRESS = 0x0042
+TAG_READER_DISTANCE_M = 0.3
+
+
+class SensorDownlink(SimulatedDownlinkTransport):
+    """Downlink that drives the tag when the query survives the channel."""
+
+    def __init__(self, tag: WiFiBackscatterTag, uplink, **kwargs):
+        super().__init__(**kwargs)
+        self.tag = tag
+        self.uplink = uplink
+
+    def send(self, message) -> bool:
+        if not super().send(message):
+            return False  # the tag's receiver missed it; reader retries
+        query = self.tag.handle_query(message)
+        if query is None:
+            return False  # addressed to some other tag
+        # Arm the tag's modulator (drawing transmit energy from the
+        # harvester) and hand the frame to the uplink channel.
+        self.tag.arm_response(query, start_time_s=0.0)
+        self.uplink.pending_frame = self.tag.response_frame(query)
+        return True
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # -- the battery-free node -------------------------------------------------
+    tag = WiFiBackscatterTag(address=TAG_ADDRESS)
+    density = wifi_power_density_w_m2(
+        tx_power_w=40e-3, distance_m=TAG_READER_DISTANCE_M
+    )
+    print(f"tag at {TAG_READER_DISTANCE_M} m: harvesting "
+          f"{tag.harvester.harvest_rate_w(density) * 1e6:.1f} uW "
+          f"(continuous draw {tag.continuous_power_w() * 1e6:.1f} uW) -> "
+          f"{'self-sustaining' if tag.can_sustain(density) else 'duty-cycled'}")
+    tag.harvester.charge(density, duration_s=5.0)  # pre-charge the cap
+
+    # -- the reader --------------------------------------------------------------
+    uplink = SimulatedUplinkTransport(
+        tag_to_reader_m=TAG_READER_DISTANCE_M, packets_per_bit=10.0, rng=rng
+    )
+    downlink = SensorDownlink(
+        tag, uplink, distance_m=TAG_READER_DISTANCE_M, rng=rng
+    )
+    reader = WiFiBackscatterReader(
+        downlink, uplink, planner=UplinkRatePlanner(packets_per_bit=3.0)
+    )
+
+    # -- periodic sensor reads ----------------------------------------------------
+    helper_rate_pps = 1800.0  # observed network load
+    for sample in range(5):
+        tag.sensor_value = 2150 + sample * 3  # centi-degrees from the "sensor"
+        result = reader.query(
+            TAG_ADDRESS, helper_rate_pps=helper_rate_pps,
+            payload_len=32, command=CMD_READ_SENSOR,
+        )
+        if result.success:
+            reading = bits_to_int(list(result.frame.payload_bits))
+            print(f"  read #{sample}: {reading / 100:.2f} C  "
+                  f"(rate plan {result.rate_plan.bit_rate_bps:.0f} bps, "
+                  f"{result.attempts} attempt(s))")
+        else:
+            print(f"  read #{sample}: FAILED after {result.attempts} attempts")
+
+    ok = sum(r.success for r in reader.transaction_log)
+    print(f"{ok}/{len(reader.transaction_log)} transactions succeeded; "
+          f"tag spent {tag.modulator.energy_used_j() * 1e6:.2f} uJ transmitting, "
+          f"stored energy now {tag.harvester.stored_j * 1e3:.2f} mJ")
+    assert ok >= 4
+
+
+if __name__ == "__main__":
+    main()

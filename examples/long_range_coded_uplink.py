@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Extending uplink range with orthogonal codes (§3.4, Fig 20).
+
+Past ~65 cm the reflection no longer produces two distinct CSI levels
+(paper Fig 6), so the tag trades bit rate for range: each bit becomes
+an L-chip orthogonal code and the reader correlates. This example
+walks the tag outward and shows the shortest code that still decodes
+at each distance.
+
+Run:
+    python examples/long_range_coded_uplink.py
+"""
+
+import numpy as np
+
+from repro.analysis.ber import CorrelationRangeModel
+from repro.sim.link import run_correlation_trial
+
+
+def main() -> None:
+    print("distance   shortest working code (sim)   paper-anchored model")
+    model = CorrelationRangeModel()
+    for i, distance in enumerate((0.8, 1.2, 1.6, 2.0)):
+        working = None
+        for length in (4, 8, 16, 32, 64, 128):
+            errors = 0
+            for t in range(2):
+                trial = run_correlation_trial(
+                    distance, length, num_bits=10, packets_per_chip=5.0,
+                    rng=np.random.default_rng(300 + 37 * i + length + t),
+                )
+                errors += trial.errors
+            if errors == 0:
+                working = length
+                break
+        analytic = model.required_code_length(distance)
+        rate_note = ""
+        if working:
+            # Effective bit rate at 100 chips/s drops by the code length.
+            rate_note = f"(~{100 / working:.1f} bps at 100 chips/s)"
+        print(f"{distance:5.1f} m    L = {working!s:>4} {rate_note:<22} "
+              f"L = {analytic}")
+    print("\nlonger codes buy range at the cost of bit rate — the paper's"
+          "\nL=20 @ 1.6 m and L=150 @ 2.1 m trade-off (Fig 20)")
+
+
+if __name__ == "__main__":
+    main()

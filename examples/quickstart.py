@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: one uplink transmission, end to end.
+
+A Wi-Fi Backscatter tag sits 25 cm from an Intel 5300 reader; a helper
+3 m away injects traffic. The tag backscatters a framed message; the
+reader finds the preamble in its CSI stream, combines the good
+sub-channels, and decodes — exactly the paper's Fig 1 scenario.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.frames import UplinkFrame, bits_to_bytes, bytes_to_bits
+from repro.core.uplink_decoder import UplinkDecoder
+from repro.sim.link import helper_packet_times, simulate_uplink_stream
+
+
+def main() -> None:
+    rng = np.random.default_rng(2014)
+
+    # -- the tag's message ---------------------------------------------------
+    message = b"HI!"
+    payload = tuple(bytes_to_bits(message))
+    frame = UplinkFrame(payload_bits=payload)
+    on_air_bits = frame.to_bits()
+    print(f"tag message: {message!r} -> {len(on_air_bits)} on-air bits "
+          "(13-bit Barker preamble | payload | CRC-8 | postamble)")
+
+    # -- the channel: helper packets modulated by the tag --------------------
+    bit_rate = 100.0  # bps, the paper's base rate
+    bit_s = 1.0 / bit_rate
+    packet_times = helper_packet_times(
+        rate_pps=2000.0,
+        duration_s=len(on_air_bits) * bit_s + 1.2,
+        traffic="cbr",
+        rng=rng,
+    )
+    stream, tx_start = simulate_uplink_stream(
+        on_air_bits, bit_s, packet_times, tag_to_reader_m=0.25, rng=rng
+    )
+    print(f"reader captured {len(stream)} packets of CSI "
+          f"(3 antennas x 30 sub-channels each)")
+
+    # -- the reader's decode pipeline ----------------------------------------
+    decoder = UplinkDecoder()
+    decoded = decoder.decode_frame(
+        stream, payload_len=len(payload), bit_duration_s=bit_s
+    )  # blind: the decoder finds the preamble itself
+    text = bits_to_bytes(list(decoded.payload_bits))
+    print(f"decoded message: {text!r} (CRC ok)")
+    assert text == message
+    print("quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

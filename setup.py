@@ -1,0 +1,6 @@
+"""Setuptools shim (the environment lacks the wheel package, so the
+PEP 517 editable path is unavailable; ``--no-use-pep517`` needs this)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,214 @@
+"""Analytic BER models.
+
+Fast closed-form companions to the Monte-Carlo simulators, used for
+parameter sweeps, calibration, and the ablation benches that check the
+simulation against theory:
+
+* Gaussian Q-function single-measurement error,
+* majority-vote BER over M measurements,
+* correlation-decoder BER with sub-coherent integration efficiency
+  (long codes integrate imperfectly because of drift and clock skew),
+* the downlink peak-detection model behind Fig 17.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def q_function(x: float) -> float:
+    """Gaussian tail probability Q(x) = P(N(0,1) > x)."""
+    return 0.5 * math.erfc(x / math.sqrt(2.0))
+
+
+def q_inverse(p: float, tol: float = 1e-12) -> float:
+    """Inverse Q-function by bisection.
+
+    Raises:
+        ConfigurationError: for p outside (0, 0.5].
+    """
+    if not 0.0 < p <= 0.5:
+        raise ConfigurationError(f"p must be in (0, 0.5], got {p}")
+    lo, hi = 0.0, 40.0
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if q_function(mid) > p:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def measurement_error_probability(snr: float) -> float:
+    """Per-measurement slicing error for decision SNR (mu/sigma)^2."""
+    if snr < 0:
+        raise ConfigurationError("snr must be >= 0")
+    return q_function(math.sqrt(snr))
+
+
+def majority_vote_ber(p: float, m: int) -> float:
+    """Bit error rate of an M-measurement majority vote.
+
+    Ties (even M) count as half an error. Exact binomial sum.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError("p must be in [0, 1]")
+    if m < 1:
+        raise ConfigurationError("m must be >= 1")
+    total = 0.0
+    for k in range(m + 1):
+        prob = math.comb(m, k) * p**k * (1.0 - p) ** (m - k)
+        if 2 * k > m:
+            total += prob
+        elif 2 * k == m:
+            total += 0.5 * prob
+    return total
+
+
+def uplink_ber(snr_per_measurement: float, packets_per_bit: int) -> float:
+    """Short-range uplink BER: Q-function + majority vote."""
+    p = measurement_error_probability(snr_per_measurement)
+    return majority_vote_ber(p, packets_per_bit)
+
+
+@dataclass(frozen=True)
+class CorrelationRangeModel:
+    """Correlation-decoder SNR model with sub-coherent integration.
+
+    Ideal correlation over an L-chip code multiplies the per-chip SNR
+    by L. Over long codes the real system integrates sub-coherently —
+    channel drift, clock skew, and conditioning losses erode the gain —
+    modelled as an efficiency ``eta(L) = eta0 / L**loss_exponent``, so
+    the post-correlation SNR is::
+
+        SNR_out = eta0 * L**(1 - loss_exponent) * M * snr_meas(d)
+
+    Fitted to the paper's (L=20 @ 1.6 m, L=150 @ 2.1 m) anchors.
+
+    Attributes:
+        snr_at_reference: per-measurement decision SNR at the reference
+            distance.
+        reference_distance_m: anchor distance for the SNR model.
+        distance_exponent: SNR decay exponent with tag-reader distance.
+        packets_per_chip: measurements averaged per code chip.
+        eta0: integration efficiency scale.
+        loss_exponent: efficiency decay with code length.
+    """
+
+    snr_at_reference: float = 0.24
+    reference_distance_m: float = 0.65
+    distance_exponent: float = 2.0
+    packets_per_chip: float = 30.0
+    eta0: float = 2.2
+    loss_exponent: float = 0.734
+
+    def snr_per_measurement(self, distance_m: float) -> float:
+        if distance_m <= 0:
+            raise ConfigurationError("distance_m must be positive")
+        return self.snr_at_reference * (
+            self.reference_distance_m / distance_m
+        ) ** self.distance_exponent
+
+    def post_correlation_snr(self, distance_m: float, code_length: int) -> float:
+        if code_length < 1:
+            raise ConfigurationError("code_length must be >= 1")
+        eta = self.eta0 / code_length**self.loss_exponent
+        return (
+            eta
+            * code_length
+            * self.packets_per_chip
+            * self.snr_per_measurement(distance_m)
+        )
+
+    def ber(self, distance_m: float, code_length: int) -> float:
+        return q_function(math.sqrt(self.post_correlation_snr(distance_m, code_length)))
+
+    def required_code_length(
+        self, distance_m: float, ber_target: float = 1e-2, max_length: int = 4096
+    ) -> int:
+        """Smallest L meeting the BER target at ``distance_m`` (Fig 20).
+
+        Raises:
+            ConfigurationError: if even ``max_length`` is insufficient.
+        """
+        if not 0 < ber_target < 0.5:
+            raise ConfigurationError("ber_target must be in (0, 0.5)")
+        needed = q_inverse(ber_target) ** 2
+        for length in range(1, max_length + 1):
+            if self.post_correlation_snr(distance_m, length) >= needed:
+                return length
+        raise ConfigurationError(
+            f"no code length up to {max_length} reaches BER {ber_target} at "
+            f"{distance_m} m"
+        )
+
+
+@dataclass(frozen=True)
+class DownlinkDetectionModel:
+    """Peak-detection downlink BER vs distance (Fig 17 shape).
+
+    A '1' bit (one Wi-Fi packet) is detected when at least one OFDM
+    envelope peak within the packet crosses the comparator threshold.
+    With one independent peak opportunity per OFDM symbol (4 us) and a
+    per-peak detection probability ``q(d) = exp(-(d/scale)**shape)``
+    (Rayleigh-like tail of the peak amplitude against a threshold that
+    grows with path loss), the miss probability is ``(1-q)**n``.
+
+    '0' bits flip only on rare noise/interference events
+    (``false_one_probability``), giving the short-range BER floor.
+
+    Attributes:
+        scale_m: calibrated distance scale.
+        shape: calibrated tail exponent.
+        symbol_duration_s: peak opportunity spacing (4 us OFDM symbol).
+        false_one_probability: per-bit probability of a spurious '1'.
+    """
+
+    scale_m: float = 2.09
+    shape: float = 2.0
+    symbol_duration_s: float = 4e-6
+    false_one_probability: float = 5e-6
+
+    def peak_detection_probability(self, distance_m: float) -> float:
+        if distance_m <= 0:
+            raise ConfigurationError("distance_m must be positive")
+        return math.exp(-((distance_m / self.scale_m) ** self.shape))
+
+    def peaks_per_bit(self, bit_duration_s: float) -> int:
+        if bit_duration_s <= 0:
+            raise ConfigurationError("bit_duration_s must be positive")
+        return max(1, int(bit_duration_s / self.symbol_duration_s))
+
+    def miss_probability(self, distance_m: float, bit_duration_s: float) -> float:
+        """P(a '1' bit is not detected)."""
+        q = self.peak_detection_probability(distance_m)
+        n = self.peaks_per_bit(bit_duration_s)
+        return (1.0 - q) ** n
+
+    def ber(self, distance_m: float, bit_duration_s: float) -> float:
+        """BER with equiprobable bits."""
+        miss = self.miss_probability(distance_m, bit_duration_s)
+        return 0.5 * (miss + self.false_one_probability)
+
+    def range_at_ber(
+        self, bit_duration_s: float, ber_target: float = 1e-2,
+        max_distance_m: float = 10.0,
+    ) -> float:
+        """Largest distance meeting the BER target (bisection)."""
+        if not 0 < ber_target < 0.5:
+            raise ConfigurationError("ber_target must be in (0, 0.5)")
+        lo, hi = 0.01, max_distance_m
+        if self.ber(lo, bit_duration_s) > ber_target:
+            return 0.0
+        if self.ber(hi, bit_duration_s) <= ber_target:
+            return hi
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self.ber(mid, bit_duration_s) <= ber_target:
+                lo = mid
+            else:
+                hi = mid
+        return lo

@@ -1,0 +1,90 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints each figure's data as an ASCII table (and
+a rough log-scale sparkline for BER curves), matching the paper's
+rows/series so paper-vs-measured comparison is a visual diff.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.analysis.sweep import SweepResult
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table."""
+    if not headers:
+        raise ConfigurationError("headers must be non-empty")
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-2 or abs(value) >= 1e5:
+            return f"{value:.2e}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_series(results: Sequence[SweepResult], title: str = "") -> str:
+    """Multiple sweeps as one table keyed by the shared x column."""
+    if not results:
+        raise ConfigurationError("results must be non-empty")
+    xs = results[0].xs
+    for r in results[1:]:
+        if r.xs != xs:
+            raise ConfigurationError("all series must share the same x grid")
+    headers = [results[0].x_name] + [r.label or r.y_name for r in results]
+    rows = [
+        [x] + [r.ys[i] for r in results] for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def log_sparkline(ys: Sequence[float], floor: float = 1e-5) -> str:
+    """A one-line log-scale sketch of a positive series."""
+    blocks = " .:-=+*#%@"
+    if not ys:
+        raise ConfigurationError("ys must be non-empty")
+    logs = [math.log10(max(y, floor)) for y in ys]
+    lo, hi = min(logs), max(logs)
+    if hi == lo:
+        return blocks[len(blocks) // 2] * len(ys)
+    out = []
+    for v in logs:
+        idx = int((v - lo) / (hi - lo) * (len(blocks) - 1))
+        out.append(blocks[idx])
+    return "".join(out)
+
+
+def paper_vs_measured(
+    rows: Sequence[Dict[str, object]], title: str = "paper vs measured"
+) -> str:
+    """Table of {'metric', 'paper', 'measured'} comparison rows."""
+    headers = ["metric", "paper", "measured"]
+    table_rows = [[r.get("metric"), r.get("paper"), r.get("measured")] for r in rows]
+    return format_table(headers, table_rows, title=title)

@@ -1,0 +1,101 @@
+"""Parameter sweep utilities for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (x, y) result of a sweep, with optional extra columns."""
+
+    x: float
+    y: float
+    extra: Tuple[Tuple[str, float], ...] = ()
+
+    def as_dict(self) -> Dict[str, float]:
+        d = {"x": self.x, "y": self.y}
+        d.update(dict(self.extra))
+        return d
+
+
+@dataclass
+class SweepResult:
+    """A labelled series of sweep points.
+
+    Attributes:
+        label: series name (e.g. "30 pkts/bit").
+        x_name: x-axis meaning.
+        y_name: y-axis meaning.
+        points: the measured points in sweep order.
+    """
+
+    label: str
+    x_name: str
+    y_name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def xs(self) -> List[float]:
+        return [p.x for p in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [p.y for p in self.points]
+
+    def add(self, x: float, y: float, **extra: float) -> None:
+        self.points.append(
+            SweepPoint(x=x, y=y, extra=tuple(sorted(extra.items())))
+        )
+
+
+def sweep(
+    xs: Sequence[float],
+    fn: Callable[[float], float],
+    label: str = "",
+    x_name: str = "x",
+    y_name: str = "y",
+) -> SweepResult:
+    """Evaluate ``fn`` over ``xs`` into a :class:`SweepResult`."""
+    if not xs:
+        raise ConfigurationError("xs must be non-empty")
+    result = SweepResult(label=label, x_name=x_name, y_name=y_name)
+    for x in xs:
+        result.add(float(x), float(fn(x)))
+    return result
+
+
+def crossover_x(result: SweepResult, threshold: float) -> float:
+    """First x where the series crosses above/below ``threshold``.
+
+    Linear interpolation between the bracketing points; raises if the
+    series never crosses.
+    """
+    pts = result.points
+    if len(pts) < 2:
+        raise ConfigurationError("need at least 2 points to find a crossover")
+    for a, b in zip(pts, pts[1:]):
+        if (a.y - threshold) * (b.y - threshold) <= 0 and a.y != b.y:
+            frac = (threshold - a.y) / (b.y - a.y)
+            return a.x + frac * (b.x - a.x)
+    raise ConfigurationError(
+        f"series {result.label!r} never crosses {threshold}"
+    )
+
+
+def monotone_fraction(ys: Sequence[float], increasing: bool = True) -> float:
+    """Fraction of consecutive pairs obeying the expected monotonicity.
+
+    Used by shape checks: noisy Monte-Carlo curves need not be strictly
+    monotone, but most steps should move the right way.
+    """
+    if len(ys) < 2:
+        raise ConfigurationError("need at least 2 values")
+    good = 0
+    for a, b in zip(ys, ys[1:]):
+        if (b >= a) == increasing or a == b:
+            good += 1
+    return good / (len(ys) - 1)

@@ -1,0 +1,140 @@
+"""Analytic 802.11 DCF throughput (Bianchi's model).
+
+The MAC simulator is a substrate the paper's results depend on, so it
+deserves independent validation: Bianchi's classic fixed-point model
+[Bianchi 2000] predicts DCF saturation throughput from first
+principles. `benchmarks/test_substrate_validation.py` checks the
+event-driven simulator against it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.mac.dcf import CW_MIN, CW_MAX
+from repro.mac.packets import ACK_BYTES, BASIC_RATE_BPS, DATA_HEADER_BYTES
+from repro.phy import constants
+from repro.phy.ofdm import OfdmPacket
+
+
+@dataclass(frozen=True)
+class DcfTiming:
+    """Airtime components of one DCF exchange."""
+
+    slot_s: float = constants.SLOT_TIME_S
+    sifs_s: float = constants.SIFS_S
+    difs_s: float = constants.DIFS_S
+
+    def data_airtime_s(self, payload_bytes: int, rate_bps: float) -> float:
+        return OfdmPacket(
+            payload_bytes + DATA_HEADER_BYTES, rate_bps
+        ).airtime_s
+
+    def ack_airtime_s(self) -> float:
+        return OfdmPacket(ACK_BYTES, BASIC_RATE_BPS).airtime_s
+
+    def success_slot_s(self, payload_bytes: int, rate_bps: float) -> float:
+        """Busy time of one successful exchange."""
+        return (
+            self.data_airtime_s(payload_bytes, rate_bps)
+            + self.sifs_s
+            + self.ack_airtime_s()
+            + self.difs_s
+        )
+
+    def collision_slot_s(self, payload_bytes: int, rate_bps: float) -> float:
+        """Busy time wasted by a collision (no ACK follows)."""
+        return self.data_airtime_s(payload_bytes, rate_bps) + self.difs_s
+
+
+def _backoff_stages(cw_min: int = CW_MIN, cw_max: int = CW_MAX) -> int:
+    """Number of doubling stages between CW_MIN and CW_MAX."""
+    stages = 0
+    cw = cw_min
+    while cw < cw_max:
+        cw = (cw + 1) * 2 - 1
+        stages += 1
+    return stages
+
+
+def transmission_probability(n_stations: int, cw_min: int = CW_MIN,
+                             cw_max: int = CW_MAX) -> float:
+    """Bianchi's per-slot transmission probability tau (fixed point).
+
+    Solves the coupled equations::
+
+        tau = 2 (1 - 2p) / ((1 - 2p)(W + 1) + p W (1 - (2p)^m))
+        p   = 1 - (1 - tau)^(n - 1)
+
+    by damped iteration.
+    """
+    if n_stations < 1:
+        raise ConfigurationError("n_stations must be >= 1")
+    w = cw_min + 1
+    m = _backoff_stages(cw_min, cw_max)
+    if n_stations == 1:
+        # No collisions: mean backoff is W0/2 slots; tau = 2/(W+1).
+        return 2.0 / (w + 1.0)
+    tau = 0.1
+    for _ in range(10_000):
+        p = 1.0 - (1.0 - tau) ** (n_stations - 1)
+        denom = (1.0 - 2.0 * p) * (w + 1.0) + p * w * (1.0 - (2.0 * p) ** m)
+        new_tau = 2.0 * (1.0 - 2.0 * p) / denom if denom > 0 else 1e-6
+        new_tau = min(max(new_tau, 1e-9), 0.999)
+        if abs(new_tau - tau) < 1e-12:
+            tau = new_tau
+            break
+        tau = 0.5 * tau + 0.5 * new_tau
+    return tau
+
+
+def saturation_throughput_bps(
+    n_stations: int,
+    payload_bytes: int = 1470,
+    rate_bps: float = 54e6,
+    timing: DcfTiming = DcfTiming(),
+) -> float:
+    """Application-payload saturation throughput of n contending stations.
+
+    Bianchi's renewal-reward expression: the payload delivered per
+    expected slot time, summed over the network.
+    """
+    if payload_bytes <= 0:
+        raise ConfigurationError("payload_bytes must be positive")
+    n = n_stations
+    tau = transmission_probability(n)
+    p_tr = 1.0 - (1.0 - tau) ** n
+    p_s = (
+        n * tau * (1.0 - tau) ** (n - 1) / p_tr if p_tr > 0 else 0.0
+    )
+    t_s = timing.success_slot_s(payload_bytes, rate_bps)
+    t_c = timing.collision_slot_s(payload_bytes, rate_bps)
+    sigma = timing.slot_s
+    expected_slot = (
+        (1.0 - p_tr) * sigma
+        + p_tr * p_s * t_s
+        + p_tr * (1.0 - p_s) * t_c
+    )
+    payload_bits = payload_bytes * 8
+    return p_tr * p_s * payload_bits / expected_slot
+
+
+def single_station_throughput_bps(
+    payload_bytes: int = 1470,
+    rate_bps: float = 54e6,
+    timing: DcfTiming = DcfTiming(),
+) -> float:
+    """Closed-form throughput of one saturated station (no collisions).
+
+    Each exchange costs the success slot plus the mean initial backoff
+    of CW_MIN / 2 slots.
+    """
+    if payload_bytes <= 0:
+        raise ConfigurationError("payload_bytes must be positive")
+    per_frame = (
+        timing.success_slot_s(payload_bytes, rate_bps)
+        + (CW_MIN / 2.0) * timing.slot_s
+    )
+    return payload_bytes * 8 / per_frame

@@ -1,0 +1,211 @@
+"""Command-line interface: run Wi-Fi Backscatter experiments directly.
+
+Examples::
+
+    python -m repro uplink-ber --distance 0.4 --pkts-per-bit 30
+    python -m repro downlink-ber --distance 2.0 --rate 20000
+    python -m repro correlation --distance 1.6 --length 20
+    python -m repro rate-plan --helper-pps 3070
+    python -m repro power-budget
+    python -m repro calibration
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro import __version__
+from repro.analysis.ber import CorrelationRangeModel, DownlinkDetectionModel
+from repro.analysis.report import format_table
+
+
+def _cmd_uplink_ber(args: argparse.Namespace) -> str:
+    from repro.sim.link import run_uplink_ber
+
+    result = run_uplink_ber(
+        args.distance,
+        args.pkts_per_bit,
+        mode=args.mode,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    lo, hi = result.confidence_interval()
+    return format_table(
+        ["quantity", "value"],
+        [
+            ["tag-reader distance", f"{args.distance} m"],
+            ["packets per bit", args.pkts_per_bit],
+            ["mode", args.mode],
+            ["bits", result.total_bits],
+            ["bit errors", result.errors],
+            ["BER", result.ber],
+            ["95% CI", f"[{lo:.2e}, {hi:.2e}]"],
+            ["note", "floor value (no errors seen)" if result.is_floor else ""],
+        ],
+        title="uplink BER (Fig 10 style measurement)",
+    )
+
+
+def _cmd_downlink_ber(args: argparse.Namespace) -> str:
+    from repro.core.downlink_encoder import bit_duration_for_rate
+    from repro.sim.link import run_downlink_ber
+
+    bit_s = bit_duration_for_rate(args.rate)
+    result = run_downlink_ber(
+        args.distance, bit_s, num_bits=args.bits, seed=args.seed
+    )
+    model = DownlinkDetectionModel()
+    return format_table(
+        ["quantity", "value"],
+        [
+            ["reader-tag distance", f"{args.distance} m"],
+            ["bit rate", f"{args.rate:.0f} bps"],
+            ["bits", result.total_bits],
+            ["BER", result.ber],
+            ["range at BER 1e-2", f"{model.range_at_ber(bit_s):.2f} m"],
+        ],
+        title="downlink BER (Fig 17 style measurement)",
+    )
+
+
+def _cmd_correlation(args: argparse.Namespace) -> str:
+    model = CorrelationRangeModel()
+    rows = [
+        ["distance", f"{args.distance} m"],
+        ["code length L", args.length],
+        ["model BER", model.ber(args.distance, args.length)],
+        ["required L at this distance", model.required_code_length(args.distance)],
+    ]
+    if args.simulate:
+        import numpy as np
+
+        from repro.sim.link import run_correlation_trial
+
+        trial = run_correlation_trial(
+            args.distance,
+            args.length,
+            num_bits=16,
+            packets_per_chip=5.0,
+            rng=np.random.default_rng(args.seed),
+        )
+        rows.append(["simulated errors", f"{trial.errors}/16"])
+    return format_table(
+        ["quantity", "value"], rows,
+        title="long-range coded uplink (Fig 20 style)",
+    )
+
+
+def _cmd_rate_plan(args: argparse.Namespace) -> str:
+    from repro.core.rate_adaptation import UplinkRatePlanner
+
+    planner = UplinkRatePlanner(
+        packets_per_bit=args.pkts_per_bit, safety_factor=args.safety
+    )
+    plan = planner.plan(args.helper_pps)
+    return format_table(
+        ["quantity", "value"],
+        [
+            ["helper rate", f"{plan.helper_rate_pps:.0f} pkts/s"],
+            ["M (packets per bit wanted)", args.pkts_per_bit],
+            ["planned tag rate", f"{plan.bit_rate_bps:.0f} bps"],
+            ["expected packets per bit", f"{plan.packets_per_bit:.1f}"],
+        ],
+        title="N/M uplink rate plan (sent in the query packet, §5)",
+    )
+
+
+def _cmd_power_budget(args: argparse.Namespace) -> str:
+    from repro.tag.harvester import (
+        EnergyHarvester,
+        power_budget_summary,
+        wifi_power_density_w_m2,
+    )
+
+    budget = power_budget_summary()
+    harvester = EnergyHarvester()
+    density = wifi_power_density_w_m2(40e-3, args.distance)
+    harvest = harvester.harvest_rate_w(density)
+    continuous = budget["receiver_circuit_w"] + budget["transmit_circuit_w"]
+    rows = [[k, f"{v * 1e6:.2f} uW"] for k, v in budget.items()]
+    rows.append(
+        [f"harvest at {args.distance} m from a 16 dBm Wi-Fi source",
+         f"{harvest * 1e6:.2f} uW"]
+    )
+    rows.append(
+        ["verdict",
+         "self-sustaining" if harvest >= continuous else "needs duty cycling"]
+    )
+    return format_table(
+        ["quantity", "value"], rows, title="tag power budget (§6)"
+    )
+
+
+def _cmd_calibration(args: argparse.Namespace) -> str:
+    from dataclasses import asdict
+
+    from repro.sim.calibration import DEFAULTS
+
+    rows = [[k, v] for k, v in asdict(DEFAULTS).items()]
+    return format_table(
+        ["parameter", "value"], rows,
+        title="calibrated simulation parameters (see EXPERIMENTS.md)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wi-Fi Backscatter (SIGCOMM 2014) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("uplink-ber", help="Fig 10 style uplink BER point")
+    p.add_argument("--distance", type=float, default=0.3, help="tag-reader m")
+    p.add_argument("--pkts-per-bit", type=float, default=30.0)
+    p.add_argument("--mode", choices=("csi", "rssi"), default="csi")
+    p.add_argument("--repeats", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_uplink_ber)
+
+    p = sub.add_parser("downlink-ber", help="Fig 17 style downlink BER point")
+    p.add_argument("--distance", type=float, default=2.0)
+    p.add_argument("--rate", type=float, default=20e3, help="bps (<= 25000)")
+    p.add_argument("--bits", type=int, default=200_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_downlink_ber)
+
+    p = sub.add_parser("correlation", help="Fig 20 style coded-uplink point")
+    p.add_argument("--distance", type=float, default=1.6)
+    p.add_argument("--length", type=int, default=20)
+    p.add_argument("--simulate", action="store_true",
+                   help="also run the Monte-Carlo decoder")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_correlation)
+
+    p = sub.add_parser("rate-plan", help="compute the N/M rate plan")
+    p.add_argument("--helper-pps", type=float, required=True)
+    p.add_argument("--pkts-per-bit", type=float, default=3.0)
+    p.add_argument("--safety", type=float, default=1.0)
+    p.set_defaults(func=_cmd_rate_plan)
+
+    p = sub.add_parser("power-budget", help="tag power/harvest summary")
+    p.add_argument("--distance", type=float, default=0.3048,
+                   help="meters from a Wi-Fi source (default: one foot)")
+    p.set_defaults(func=_cmd_power_budget)
+
+    p = sub.add_parser("calibration", help="show calibrated parameters")
+    p.set_defaults(func=_cmd_calibration)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(args.func(args))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

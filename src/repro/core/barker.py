@@ -1,0 +1,72 @@
+"""Barker-code preambles.
+
+The prototype's uplink frames start with a 13-bit Barker code, "known
+for its good auto-correlation properties" (§6): the aperiodic
+autocorrelation of a Barker sequence has off-peak magnitudes of at most
+1, making the correlation peak at frame start unambiguous even in noisy
+channel measurements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Known Barker codes by length, in +1/-1 chip form.
+BARKER_CODES = {
+    2: (1, -1),
+    3: (1, 1, -1),
+    4: (1, 1, -1, 1),
+    5: (1, 1, 1, -1, 1),
+    7: (1, 1, 1, -1, -1, 1, -1),
+    11: (1, 1, 1, -1, -1, -1, 1, -1, -1, 1, -1),
+    13: (1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1),
+}
+
+#: Length used by the prototype firmware (§6).
+DEFAULT_LENGTH = 13
+
+
+def barker_code(length: int = DEFAULT_LENGTH) -> np.ndarray:
+    """Barker code of ``length`` as a +1/-1 float array.
+
+    Raises:
+        ConfigurationError: if no Barker code of that length exists.
+    """
+    if length not in BARKER_CODES:
+        raise ConfigurationError(
+            f"no Barker code of length {length}; known lengths: "
+            f"{sorted(BARKER_CODES)}"
+        )
+    return np.array(BARKER_CODES[length], dtype=float)
+
+
+def barker_bits(length: int = DEFAULT_LENGTH) -> List[int]:
+    """Barker code as 0/1 bits (chip +1 -> bit 1, chip -1 -> bit 0)."""
+    return [1 if chip > 0 else 0 for chip in BARKER_CODES[length]]
+
+
+def bits_to_chips(bits: Sequence[int]) -> np.ndarray:
+    """Map 0/1 bits to -1/+1 chips for correlation."""
+    chips = np.asarray(bits, dtype=float)
+    if not np.all(np.isin(chips, (0.0, 1.0))):
+        raise ConfigurationError("bits must be 0/1")
+    return 2.0 * chips - 1.0
+
+
+def autocorrelation_sidelobe_ratio(code: np.ndarray) -> float:
+    """Peak-to-max-sidelobe ratio of a code's aperiodic autocorrelation.
+
+    Barker codes achieve the theoretical optimum (ratio == length).
+    """
+    code = np.asarray(code, dtype=float)
+    full = np.correlate(code, code, mode="full")
+    peak = full[len(code) - 1]
+    sidelobes = np.delete(full, len(code) - 1)
+    max_side = np.abs(sidelobes).max() if len(sidelobes) else 0.0
+    if max_side == 0:
+        return float("inf")
+    return float(abs(peak) / max_side)

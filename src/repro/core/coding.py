@@ -1,0 +1,127 @@
+"""Orthogonal code pairs for the long-range uplink (§3.4).
+
+To extend range past the point where the two reflection states are
+separable per-measurement, "the tag transmits two orthogonal codes of
+length L each, to represent the one and the zero bits. The Wi-Fi
+reader correlates the channel measurements with the two codes and
+outputs the bit corresponding to the larger correlation value."
+
+We generate the code pairs from Walsh-Hadamard rows, which are exactly
+orthogonal, DC-balanced (important because the reader's signal
+conditioning removes the mean), and cheap for the tag to store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _hadamard(order: int) -> np.ndarray:
+    """Sylvester-construction Hadamard matrix of size ``order`` (power of 2)."""
+    if order < 1 or order & (order - 1):
+        raise ConfigurationError(f"Hadamard order must be a power of 2, got {order}")
+    h = np.array([[1.0]])
+    while h.shape[0] < order:
+        h = np.block([[h, h], [h, -h]])
+    return h
+
+
+@dataclass(frozen=True)
+class OrthogonalCodePair:
+    """A (code_one, code_zero) pair of +1/-1 chip sequences.
+
+    Attributes:
+        code_one: chips transmitted for a '1' bit.
+        code_zero: chips transmitted for a '0' bit.
+    """
+
+    code_one: Tuple[int, ...]
+    code_zero: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.code_one) != len(self.code_zero):
+            raise ConfigurationError("codes must have equal length")
+        if not self.code_one:
+            raise ConfigurationError("codes must be non-empty")
+        for code in (self.code_one, self.code_zero):
+            if any(chip not in (-1, 1) for chip in code):
+                raise ConfigurationError("chips must be +1/-1")
+
+    @property
+    def length(self) -> int:
+        return len(self.code_one)
+
+    @property
+    def cross_correlation(self) -> float:
+        """Normalized inner product of the two codes (0 when orthogonal)."""
+        a = np.asarray(self.code_one, dtype=float)
+        b = np.asarray(self.code_zero, dtype=float)
+        return float(a @ b) / self.length
+
+    def chips_for_bit(self, bit: int) -> np.ndarray:
+        if bit not in (0, 1):
+            raise ConfigurationError(f"bit must be 0/1, got {bit!r}")
+        return np.asarray(self.code_one if bit else self.code_zero, dtype=float)
+
+    def encode(self, bits: Sequence[int]) -> np.ndarray:
+        """Chip sequence for a whole message (length = L * len(bits))."""
+        return np.concatenate([self.chips_for_bit(b) for b in bits])
+
+
+def make_code_pair(length: int) -> OrthogonalCodePair:
+    """Orthogonal, DC-balanced code pair of exactly ``length`` chips.
+
+    For power-of-two lengths the pair comes straight from Hadamard rows.
+    For other lengths (the paper quotes L = 20 and L = 150) we truncate
+    rows of the next power-of-two Hadamard matrix, picking the row pair
+    whose truncated prefixes stay orthogonal and balanced; truncation
+    of rows with the right index structure preserves exact orthogonality
+    when ``length`` is a multiple of 4.
+    """
+    if length < 2:
+        raise ConfigurationError(f"code length must be >= 2, got {length}")
+    # Build from a repeating 4-chip orthogonal kernel when possible:
+    # rows [+1,+1,-1,-1] and [+1,-1,-1,+1] are orthogonal over every
+    # window that is a multiple of 4 and both are DC balanced.
+    kernel_one = np.array([1, 1, -1, -1])
+    kernel_zero = np.array([1, -1, -1, 1])
+    if length % 4 == 0:
+        reps = length // 4
+        one = np.tile(kernel_one, reps)
+        zero = np.tile(kernel_zero, reps)
+    else:
+        # Fall back to Hadamard rows of the next power of 2, truncated;
+        # re-orthogonalize by sign-flipping trailing chips if needed.
+        order = 4  # need at least rows 1 and 2 of the Hadamard matrix
+        while order < length:
+            order *= 2
+        h = _hadamard(order)
+        one = h[1, :length].copy()
+        zero = h[2, :length].copy()
+        # Greedy repair of residual cross-correlation from truncation.
+        for i in range(length - 1, -1, -1):
+            dot = float(one @ zero)
+            if dot == 0:
+                break
+            if np.sign(one[i] * zero[i]) == np.sign(dot):
+                zero[i] = -zero[i]
+    return OrthogonalCodePair(
+        code_one=tuple(int(c) for c in one),
+        code_zero=tuple(int(c) for c in zero),
+    )
+
+
+def correlation_gain_db(length: int) -> float:
+    """Ideal SNR gain (dB) from correlating over an L-chip code.
+
+    "Correlation with a L bit long code provides an increase in the SNR
+    that is proportional to L" (§3.4).
+    """
+    if length < 1:
+        raise ConfigurationError("length must be >= 1")
+    return 10.0 * np.log10(length)

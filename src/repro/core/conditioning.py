@@ -1,0 +1,115 @@
+"""Signal conditioning for uplink channel measurements (§3.2 step 1).
+
+Two-fold goal, per the paper: "1) remove the natural temporal
+variations in the channel measurements due to mobility in the
+environment, and 2) normalize the channel measurements to map to -1
+and +1 values."
+
+* Temporal variations: subtract a moving average "computed over a
+  duration of 400 ms" — time-based, not sample-count-based, because
+  the packet rate varies with network load.
+* Normalization: divide the zero-mean measurements by the mean of
+  their absolute values, so a '1' (reflecting) bit maps near +1 and a
+  '0' near -1 without knowing the transmitted bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Moving-average window used in the paper's experiments.
+DEFAULT_WINDOW_S = 0.4
+
+
+def moving_average_by_time(
+    values: np.ndarray, timestamps_s: np.ndarray, window_s: float = DEFAULT_WINDOW_S
+) -> np.ndarray:
+    """Centered time-windowed moving average of each column.
+
+    For each packet ``i`` the average is taken over packets whose
+    timestamp lies within ``window_s / 2`` of packet ``i``'s.
+
+    Args:
+        values: measurement matrix, shape ``(n_packets, n_channels)``.
+        timestamps_s: packet timestamps, shape ``(n_packets,)``,
+            non-decreasing.
+        window_s: full window width in seconds.
+
+    Returns:
+        Matrix of the same shape holding the local means.
+    """
+    values = np.asarray(values, dtype=float)
+    timestamps = np.asarray(timestamps_s, dtype=float)
+    if values.ndim != 2:
+        raise ConfigurationError("values must be 2-D (packets x channels)")
+    if len(timestamps) != values.shape[0]:
+        raise ConfigurationError("timestamps length must match values rows")
+    if window_s <= 0:
+        raise ConfigurationError("window_s must be positive")
+    if len(timestamps) > 1 and np.any(np.diff(timestamps) < 0):
+        raise ConfigurationError("timestamps must be non-decreasing")
+    n = values.shape[0]
+    half = window_s / 2.0
+    lo = np.searchsorted(timestamps, timestamps - half, side="left")
+    hi = np.searchsorted(timestamps, timestamps + half, side="right")
+    csum = np.vstack([np.zeros((1, values.shape[1])), np.cumsum(values, axis=0)])
+    counts = (hi - lo).astype(float)
+    return (csum[hi] - csum[lo]) / counts[:, None]
+
+
+@dataclass(frozen=True)
+class ConditionedMeasurements:
+    """Output of signal conditioning.
+
+    Attributes:
+        normalized: zero-mean, unit-mean-absolute measurements with the
+            same shape as the input — '1' bits cluster near +1, '0'
+            bits near -1 on sub-channels where the tag is visible.
+        scale: the per-channel normalization divisor (mean |zero-mean|),
+            useful as a raw signal-strength diagnostic.
+        timestamps_s: pass-through packet timestamps.
+    """
+
+    normalized: np.ndarray
+    scale: np.ndarray
+    timestamps_s: np.ndarray
+
+
+def condition(
+    values: np.ndarray,
+    timestamps_s: np.ndarray,
+    window_s: float = DEFAULT_WINDOW_S,
+) -> ConditionedMeasurements:
+    """Full §3.2-step-1 conditioning of a measurement matrix.
+
+    Args:
+        values: raw CSI amplitudes or RSSI values, shape
+            ``(n_packets, n_channels)``. RSSI streams use
+            ``n_channels == num_antennas``.
+        timestamps_s: packet timestamps.
+        window_s: moving-average window.
+
+    Returns:
+        :class:`ConditionedMeasurements`.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim == 1:
+        values = values[:, None]
+    if values.shape[0] == 0:
+        raise ConfigurationError("cannot condition an empty measurement set")
+    baseline = moving_average_by_time(values, timestamps_s, window_s)
+    zero_mean = values - baseline
+    scale = np.abs(zero_mean).mean(axis=0)
+    # Guard sub-channels with no variation at all (e.g. all-quantized to
+    # one level): leave them at zero rather than dividing by zero.
+    safe = np.where(scale > 0, scale, 1.0)
+    normalized = zero_mean / safe
+    return ConditionedMeasurements(
+        normalized=normalized,
+        scale=scale,
+        timestamps_s=np.asarray(timestamps_s, dtype=float),
+    )

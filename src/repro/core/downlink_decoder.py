@@ -1,0 +1,443 @@
+"""Tag-side downlink decoding (§4.2).
+
+The tag sees only the comparator's binary output. Decoding proceeds in
+the two power modes of the paper's firmware:
+
+* **Preamble detection mode** — "we keep the microcontroller asleep
+  until a new transition occurs at the comparator's output. We then
+  correlate the intervals between these transitions with the reference
+  intervals for the preamble." This module implements that interval
+  matcher: the known preamble's run-length structure is compared
+  against the observed transition intervals with a timing tolerance.
+* **Packet decoding mode** — after a preamble match, "the
+  microcontroller ... sampl[es] the signal only in the middle of each
+  transmitted bit", then checks framing and CRC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.frames import DOWNLINK_PREAMBLE_BITS, DownlinkMessage
+from repro.errors import ConfigurationError, CrcError, DecodeError, FrameError
+
+
+def run_lengths(bits: Sequence[int]) -> List[int]:
+    """Run-length encoding of a bit sequence (first run starts the list)."""
+    if not bits:
+        raise ConfigurationError("bits must be non-empty")
+    runs = [1]
+    for prev, cur in zip(bits, bits[1:]):
+        if cur == prev:
+            runs[-1] += 1
+        else:
+            runs.append(1)
+    return runs
+
+
+#: Reference transition-interval pattern of the downlink preamble, in
+#: bit-duration units.
+PREAMBLE_RUNS: Tuple[int, ...] = tuple(run_lengths(list(DOWNLINK_PREAMBLE_BITS)))
+
+
+def transitions(samples: np.ndarray, times_s: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Comparator output transitions.
+
+    Args:
+        samples: binary comparator output.
+        times_s: matching sample times.
+
+    Returns:
+        ``(transition_times, new_levels)`` — the time of each level
+        change and the level it changed to. The initial level at
+        ``times_s[0]`` is prepended as a transition.
+    """
+    samples = np.asarray(samples, dtype=int)
+    times = np.asarray(times_s, dtype=float)
+    if samples.shape != times.shape:
+        raise ConfigurationError("samples and times must have equal length")
+    if samples.size == 0:
+        raise ConfigurationError("samples must be non-empty")
+    change = np.nonzero(np.diff(samples) != 0)[0] + 1
+    t = np.concatenate([[times[0]], times[change]])
+    levels = np.concatenate([[samples[0]], samples[change]])
+    return t, levels
+
+
+def debounce_transitions(
+    transition_times_s: np.ndarray,
+    levels: np.ndarray,
+    min_run_s: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Remove runs shorter than ``min_run_s`` by merging neighbours.
+
+    The analog comparator flickers on envelope troughs within a packet;
+    the firmware's transition handler ignores runs much shorter than a
+    bit. The final (open-ended) run is never removed.
+    """
+    if min_run_s < 0:
+        raise ConfigurationError("min_run_s must be >= 0")
+    t = np.asarray(transition_times_s, dtype=float)
+    lv = np.asarray(levels, dtype=int)
+    if len(t) != len(lv) or len(t) == 0:
+        raise ConfigurationError("times and levels must be equal, non-empty")
+    out_t = [float(t[0])]
+    out_l = [int(lv[0])]
+    for i in range(1, len(t)):
+        ti, li = float(t[i]), int(lv[i])
+        if li == out_l[-1]:
+            continue
+        if len(out_t) > 1 and ti - out_t[-1] < min_run_s:
+            # The run being closed is shorter than the debounce window:
+            # drop its opening transition, merging it into the level
+            # before it. With binary levels the incoming level then
+            # matches the merged-into level, so no new transition.
+            out_t.pop()
+            out_l.pop()
+            if li == out_l[-1]:
+                continue
+        out_t.append(ti)
+        out_l.append(li)
+    return np.asarray(out_t), np.asarray(out_l)
+
+
+@dataclass(frozen=True)
+class PreambleMatch:
+    """A matched downlink preamble.
+
+    Attributes:
+        end_time_s: time the preamble's final bit ends (payload starts
+            here).
+        bit_duration_s: estimated bit clock from the matched intervals.
+        error: mean fractional interval mismatch of the match.
+    """
+
+    end_time_s: float
+    bit_duration_s: float
+    error: float
+
+
+class IntervalPreambleMatcher:
+    """Matches comparator transition intervals to the known preamble.
+
+    Attributes:
+        bit_duration_s: nominal bit duration the reader uses.
+        tolerance: per-interval fractional timing tolerance.
+    """
+
+    def __init__(
+        self,
+        bit_duration_s: float,
+        tolerance: float = 0.3,
+        mean_tolerance: Optional[float] = None,
+    ) -> None:
+        """Args:
+            bit_duration_s: nominal bit duration.
+            tolerance: per-interval fractional tolerance (strict mode).
+            mean_tolerance: when set, use the firmware's softer
+                correlation criterion instead — accept an alignment
+                when the *mean* fractional interval error is within
+                this bound (individual intervals may stray up to
+                ``2 * mean_tolerance``). This matches §4.2's "correlate
+                the intervals between these transitions with the
+                reference intervals", and is what produces the small
+                but non-zero false-positive rate of Fig 18.
+        """
+        if bit_duration_s <= 0:
+            raise ConfigurationError("bit_duration_s must be positive")
+        if not 0 < tolerance < 1:
+            raise ConfigurationError("tolerance must be in (0, 1)")
+        if mean_tolerance is not None and not 0 < mean_tolerance < 1:
+            raise ConfigurationError("mean_tolerance must be in (0, 1)")
+        self.bit_duration_s = bit_duration_s
+        self.tolerance = tolerance
+        self.mean_tolerance = mean_tolerance
+
+    def _alignment_ok(self, frac_err: np.ndarray) -> bool:
+        if self.mean_tolerance is not None:
+            return bool(
+                frac_err.mean() <= self.mean_tolerance
+                and frac_err.max() <= 2.0 * self.mean_tolerance
+            )
+        return bool(np.all(frac_err <= self.tolerance))
+
+    def find_all(
+        self, transition_times_s: np.ndarray, levels: np.ndarray
+    ) -> List[PreambleMatch]:
+        """All preamble matches in a transition record.
+
+        The preamble starts with a '1' run, so candidate alignments are
+        rising transitions. The first ``n_runs - 1`` intervals must each
+        be within ``tolerance`` of the reference run lengths. The final
+        run is special: when the first payload bit equals the
+        preamble's last bit the two runs merge on air, so the final run
+        is only required not to end *early* — it may be extended by the
+        payload.
+        """
+        times = np.asarray(transition_times_s, dtype=float)
+        levels = np.asarray(levels, dtype=int)
+        n_runs = len(PREAMBLE_RUNS)
+        inner = np.asarray(PREAMBLE_RUNS[:-1], dtype=float) * self.bit_duration_s
+        matches: List[PreambleMatch] = []
+        # Transitions start .. start+n_runs-1 delimit the inner runs.
+        for start in range(len(times) - (n_runs - 1)):
+            if levels[start] != 1:
+                continue
+            intervals = np.diff(times[start : start + n_runs])
+            frac_err = np.abs(intervals - inner) / inner
+            if not self._alignment_ok(frac_err):
+                continue
+            # Recover the bit clock from the matched inner runs.
+            inner_bits = sum(PREAMBLE_RUNS[:-1])
+            est_bit = float(intervals.sum()) / inner_bits
+            final_expected = PREAMBLE_RUNS[-1] * est_bit
+            final_start = times[start + n_runs - 1]
+            next_idx = start + n_runs
+            if next_idx < len(times):
+                final_observed = times[next_idx] - final_start
+                if final_observed < final_expected * (1.0 - self.tolerance):
+                    continue  # final run ended too early: not our preamble
+            matches.append(
+                PreambleMatch(
+                    end_time_s=float(final_start + final_expected),
+                    bit_duration_s=est_bit,
+                    error=float(frac_err.mean()),
+                )
+            )
+        return matches
+
+    def find_first(
+        self, transition_times_s: np.ndarray, levels: np.ndarray
+    ) -> PreambleMatch:
+        """First preamble match.
+
+        Raises:
+            DecodeError: when no alignment matches.
+        """
+        matches = self.find_all(transition_times_s, levels)
+        if not matches:
+            raise DecodeError("no downlink preamble found in transitions")
+        return matches[0]
+
+
+def sample_mid_bits(
+    samples: np.ndarray,
+    times_s: np.ndarray,
+    start_time_s: float,
+    bit_duration_s: float,
+    num_bits: int,
+) -> np.ndarray:
+    """Mid-bit sampling of the comparator output (packet decoding mode).
+
+    Args:
+        samples: binary comparator output.
+        times_s: sample times (uniform or not; nearest sample is used).
+        start_time_s: first payload bit start.
+        bit_duration_s: recovered bit clock.
+        num_bits: bits to read.
+
+    Raises:
+        DecodeError: if a required sample time falls outside the record.
+    """
+    samples = np.asarray(samples, dtype=int)
+    times = np.asarray(times_s, dtype=float)
+    targets = start_time_s + (np.arange(num_bits) + 0.5) * bit_duration_s
+    if targets[-1] > times[-1] + 1e-12:
+        raise DecodeError(
+            f"record ends at {times[-1]:.6f} s, before the last bit sample "
+            f"at {targets[-1]:.6f} s"
+        )
+    idx = np.searchsorted(times, targets)
+    idx = np.clip(idx, 0, len(times) - 1)
+    # Snap to the nearer neighbour.
+    left = np.maximum(idx - 1, 0)
+    nearer_left = np.abs(times[left] - targets) < np.abs(times[idx] - targets)
+    idx[nearer_left] = left[nearer_left]
+    return samples[idx]
+
+
+def bits_from_transitions(
+    transition_times_s: np.ndarray,
+    levels: np.ndarray,
+    start_time_s: float,
+    bit_duration_s: float,
+    num_bits: int,
+) -> np.ndarray:
+    """Decode payload bits from run lengths, resyncing at transitions.
+
+    The bit clock recovered from the 16-bit preamble is only accurate
+    to a few percent, which is not enough to blindly mid-sample an
+    80-bit message. Like any OOK receiver, the firmware re-synchronizes
+    its bit phase on every comparator transition: each run contributes
+    ``round(duration / bit_duration)`` bits of its level.
+
+    Args:
+        transition_times_s: debounced transition times.
+        levels: level after each transition.
+        start_time_s: payload start (preamble match end).
+        bit_duration_s: nominal bit duration.
+        num_bits: bits to emit.
+
+    Raises:
+        DecodeError: when the record ends before ``num_bits`` are
+            recovered and the trailing level cannot cover the rest.
+    """
+    if bit_duration_s <= 0:
+        raise ConfigurationError("bit_duration_s must be positive")
+    if num_bits < 1:
+        raise ConfigurationError("num_bits must be >= 1")
+    times = np.asarray(transition_times_s, dtype=float)
+    lv = np.asarray(levels, dtype=int)
+    if times.size == 0:
+        raise DecodeError("no transitions to decode from")
+    out: List[int] = []
+    # Index of the run active at start_time_s.
+    i = int(np.searchsorted(times, start_time_s, side="right") - 1)
+    i = max(i, 0)
+    t_cursor = start_time_s
+    bit = bit_duration_s
+    while len(out) < num_bits and i < len(times):
+        run_end = times[i + 1] if i + 1 < len(times) else None
+        if run_end is None:
+            # Open-ended final run: fill the remainder with its level.
+            out.extend([int(lv[i])] * (num_bits - len(out)))
+            break
+        duration = run_end - t_cursor
+        n = max(0, int(round(duration / bit)))
+        if i == len(times) - 2 and lv[i + 1] == 0:
+            # Run ending into trailing silence: cap at what's needed.
+            n = min(n, num_bits - len(out))
+        out.extend([int(lv[i])] * min(n, num_bits - len(out)))
+        if n >= 4:
+            # DLL-style clock tracking on long runs only: a long run's
+            # per-bit duration is a reliable clock reference, while 1-2
+            # bit runs are dominated by the envelope detector's
+            # asymmetric edge delays and would bias the estimate.
+            bit += 0.3 * (duration / n - bit)
+        t_cursor = run_end
+        i += 1
+    if len(out) < num_bits:
+        raise DecodeError(
+            f"transitions cover only {len(out)} of {num_bits} bits"
+        )
+    return np.asarray(out[:num_bits], dtype=int)
+
+
+def measure_packet_lengths(
+    transition_times_s: np.ndarray,
+    levels: np.ndarray,
+    resolution_s: float = 50e-6,
+) -> List[float]:
+    """Packet airtimes measured by the tag, quantized to the circuit's
+    resolution.
+
+    §4.2: "since longer packets can be intuitively thought of as
+    multiple small packets sent back-to-back without any gap, the Wi-Fi
+    Backscatter tag outputs a continuous sequence of ones corresponding
+    to each long packet. By counting the number of ones, Wi-Fi
+    Backscatter can resolve the length of a Wi-Fi packet to a
+    resolution of 50 us."
+
+    Args:
+        transition_times_s: comparator transition times.
+        levels: level after each transition.
+        resolution_s: quantization step (the detectable minimum).
+
+    Returns:
+        One duration per completed '1' run, rounded up to the
+        resolution (a packet shorter than the resolution still reads
+        as one unit). The final run is skipped if still high.
+    """
+    if resolution_s <= 0:
+        raise ConfigurationError("resolution_s must be positive")
+    times = np.asarray(transition_times_s, dtype=float)
+    lv = np.asarray(levels, dtype=int)
+    if times.shape != lv.shape:
+        raise ConfigurationError("times and levels must align")
+    lengths: List[float] = []
+    for i in range(len(times) - 1):
+        if lv[i] == 1:
+            duration = times[i + 1] - times[i]
+            units = max(1, int(np.ceil(duration / resolution_s - 0.25)))
+            lengths.append(units * resolution_s)
+    return lengths
+
+
+@dataclass
+class DownlinkDecoder:
+    """Full tag-side downlink receive path on comparator samples.
+
+    Attributes:
+        bit_duration_s: nominal bit duration (from the reader's query
+            parameters).
+        payload_len: expected payload bit count.
+        tolerance: preamble interval matching tolerance.
+    """
+
+    bit_duration_s: float
+    payload_len: int = 64
+    tolerance: float = 0.3
+    #: Comparator runs shorter than this fraction of a bit are treated
+    #: as analog flicker and merged away before interval matching.
+    debounce_fraction: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.payload_len < 1:
+            raise ConfigurationError("payload_len must be >= 1")
+        if not 0 <= self.debounce_fraction < 1:
+            raise ConfigurationError("debounce_fraction must be in [0, 1)")
+        self._matcher = IntervalPreambleMatcher(
+            self.bit_duration_s, self.tolerance
+        )
+
+    def _transitions(self, samples: np.ndarray, times_s: np.ndarray):
+        t, levels = transitions(samples, times_s)
+        return debounce_transitions(
+            t, levels, self.debounce_fraction * self.bit_duration_s
+        )
+
+    def decode(self, samples: np.ndarray, times_s: np.ndarray) -> DownlinkMessage:
+        """Decode one message from a comparator-output record.
+
+        Every preamble match is tried in order; a match whose payload
+        fails the CRC sends the firmware back to preamble-detection
+        mode to try the next (§4.2: the wake-up on a false preamble is
+        wasted energy, but not a wrong message).
+
+        Raises:
+            DecodeError: no preamble match anywhere in the record.
+            CrcError: a preamble matched but every candidate payload
+                failed its CRC.
+        """
+        t, levels = self._transitions(samples, times_s)
+        matches = self._matcher.find_all(t, levels)
+        if not matches:
+            raise DecodeError("no downlink preamble found in transitions")
+        last_error: Exception = DecodeError("no decodable payload")
+        for match in matches:
+            try:
+                bits = bits_from_transitions(
+                    t,
+                    levels,
+                    match.end_time_s,
+                    match.bit_duration_s,
+                    self.payload_len + 16,
+                )
+                return DownlinkMessage.parse(list(bits), self.payload_len)
+            except (CrcError, DecodeError, FrameError) as exc:
+                last_error = exc
+        raise last_error
+
+    def count_false_preambles(
+        self, samples: np.ndarray, times_s: np.ndarray
+    ) -> int:
+        """Number of preamble matches in traffic *not* carrying a message.
+
+        Used by the false-positive experiment (Fig 18): each match would
+        wake the microcontroller for a doomed decode attempt.
+        """
+        t, levels = self._transitions(samples, times_s)
+        return len(self._matcher.find_all(t, levels))

@@ -1,0 +1,150 @@
+"""Downlink fragmentation across CTS_to_SELF windows (§4.1).
+
+A single downlink message is capped by the medium-reservation rules:
+"the Wi-Fi reader can transmit a 64-bit payload message with a 16-bit
+preamble in 4.0 ms. We can transmit more bits by splitting them across
+multiple CTS_to_SELF packets." This module implements that splitting:
+
+* the sender chops a byte payload into fragments, each carried in one
+  :class:`~repro.core.frames.DownlinkMessage` with a small header
+  (4-bit fragment index, 4-bit fragment count) ahead of the data;
+* the tag-side :class:`Reassembler` accepts fragments in any order,
+  tolerates duplicates (retransmissions), and yields the payload when
+  complete.
+
+Each fragment is individually CRC-16 protected by the message framing,
+so a corrupted fragment is re-requested rather than poisoning the
+whole transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.frames import (
+    DownlinkMessage,
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    int_to_bits,
+)
+from repro.errors import ConfigurationError, FrameError
+
+#: Header bits: 4-bit fragment index + 4-bit fragment count.
+HEADER_BITS = 8
+
+#: Data bits per fragment (message payload cap minus the header).
+FRAGMENT_DATA_BITS = DownlinkMessage.MAX_PAYLOAD_BITS - HEADER_BITS
+
+#: Maximum fragments addressable by the 4-bit index.
+MAX_FRAGMENTS = 16
+
+#: Largest transferable payload in bytes.
+MAX_TRANSFER_BYTES = (MAX_FRAGMENTS * FRAGMENT_DATA_BITS) // 8
+
+
+def fragment_payload(data: bytes) -> List[DownlinkMessage]:
+    """Split ``data`` into a sequence of framed downlink fragments.
+
+    Args:
+        data: payload bytes (1 to :data:`MAX_TRANSFER_BYTES`).
+
+    Raises:
+        ConfigurationError: empty or oversized payload.
+    """
+    if not data:
+        raise ConfigurationError("data must be non-empty")
+    if len(data) > MAX_TRANSFER_BYTES:
+        raise ConfigurationError(
+            f"payload of {len(data)} bytes exceeds the "
+            f"{MAX_TRANSFER_BYTES}-byte transfer limit "
+            f"({MAX_FRAGMENTS} fragments)"
+        )
+    bits = bytes_to_bits(data)
+    chunks = [
+        bits[i : i + FRAGMENT_DATA_BITS]
+        for i in range(0, len(bits), FRAGMENT_DATA_BITS)
+    ]
+    total = len(chunks)
+    messages = []
+    for index, chunk in enumerate(chunks):
+        header = int_to_bits(index, 4) + int_to_bits(total - 1, 4)
+        messages.append(DownlinkMessage(payload_bits=tuple(header + chunk)))
+    return messages
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A parsed fragment."""
+
+    index: int
+    total: int
+    data_bits: Sequence[int]
+
+
+def parse_fragment(message: DownlinkMessage) -> Fragment:
+    """Extract the fragmentation header from a received message.
+
+    Raises:
+        FrameError: malformed header (index beyond the count).
+    """
+    bits = list(message.payload_bits)
+    if len(bits) < HEADER_BITS + 1:
+        raise FrameError("fragment too short to carry a header")
+    index = bits_to_int(bits[:4])
+    total = bits_to_int(bits[4:8]) + 1
+    if index >= total:
+        raise FrameError(f"fragment index {index} beyond count {total}")
+    return Fragment(index=index, total=total, data_bits=bits[HEADER_BITS:])
+
+
+@dataclass
+class Reassembler:
+    """Tag-side reassembly of a fragmented transfer.
+
+    Fragments may arrive out of order or more than once (the reader
+    retransmits anything unacknowledged). ``feed`` returns the
+    completed payload once every fragment has arrived, else ``None``.
+    """
+
+    _fragments: Dict[int, Fragment] = field(default_factory=dict)
+    _total: Optional[int] = None
+
+    def feed(self, message: DownlinkMessage) -> Optional[bytes]:
+        """Accept one fragment; returns the payload when complete.
+
+        Raises:
+            FrameError: a fragment disagrees with the transfer's
+                fragment count (mixed-up transfers).
+        """
+        fragment = parse_fragment(message)
+        if self._total is None:
+            self._total = fragment.total
+        elif fragment.total != self._total:
+            raise FrameError(
+                f"fragment count mismatch: transfer has {self._total}, "
+                f"fragment says {fragment.total}"
+            )
+        self._fragments[fragment.index] = fragment
+        if len(self._fragments) < self._total:
+            return None
+        bits: List[int] = []
+        for index in range(self._total):
+            bits.extend(self._fragments[index].data_bits)
+        # Trim padding down to whole bytes (the last fragment may carry
+        # fewer data bits than the slot allows).
+        usable = len(bits) - (len(bits) % 8)
+        return bits_to_bytes(bits[:usable])
+
+    @property
+    def missing(self) -> List[int]:
+        """Fragment indices still outstanding (for selective repeat)."""
+        if self._total is None:
+            return []
+        return [i for i in range(self._total) if i not in self._fragments]
+
+    def reset(self) -> None:
+        """Drop state ahead of a new transfer."""
+        self._fragments.clear()
+        self._total = None

@@ -1,0 +1,210 @@
+"""Tag/reader message framing.
+
+Uplink frames (§6): "Each packet consists of a Wi-Fi Backscatter
+preamble, payload and a postamble. The reader uses the preamble and
+postamble to recover the bit clock." The preamble is the 13-bit Barker
+code; we use its reverse as the postamble so the two are individually
+identifiable.
+
+Downlink messages (§4.1): a 16-bit preamble followed by a payload of
+up to 64 bits including a CRC — "the Wi-Fi reader can transmit a
+64-bit payload message with a 16-bit preamble in 4.0 ms".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.barker import barker_bits
+from repro.errors import ConfigurationError, CrcError, FrameError
+
+#: 16-bit downlink preamble: alternating pairs chosen for a distinctive
+#: on-off interval structure that plain Wi-Fi traffic rarely mimics.
+DOWNLINK_PREAMBLE_BITS: Tuple[int, ...] = (
+    1, 0, 1, 0, 0, 1, 1, 0, 1, 1, 0, 0, 1, 0, 1, 1,
+)
+
+#: CRC-8 polynomial (CRC-8/ATM: x^8 + x^2 + x + 1).
+CRC8_POLY = 0x07
+
+#: CRC-16 polynomial (CRC-16/CCITT-FALSE).
+CRC16_POLY = 0x1021
+
+
+def crc8(bits: Sequence[int]) -> int:
+    """CRC-8 over a bit sequence (MSB first)."""
+    _validate_bits(bits)
+    crc = 0
+    for bit in bits:
+        crc ^= bit << 7
+        crc = ((crc << 1) ^ CRC8_POLY) & 0xFF if crc & 0x80 else (crc << 1) & 0xFF
+    return crc
+
+
+def crc16(bits: Sequence[int]) -> int:
+    """CRC-16/CCITT over a bit sequence (MSB first)."""
+    _validate_bits(bits)
+    crc = 0xFFFF
+    for bit in bits:
+        crc ^= bit << 15
+        crc = ((crc << 1) ^ CRC16_POLY) & 0xFFFF if crc & 0x8000 else (crc << 1) & 0xFFFF
+    return crc
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Big-endian bit list of ``value`` in ``width`` bits."""
+    if value < 0 or value >= (1 << width):
+        raise ConfigurationError(f"value {value} does not fit in {width} bits")
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Big-endian integer from a bit list."""
+    _validate_bits(bits)
+    out = 0
+    for bit in bits:
+        out = (out << 1) | bit
+    return out
+
+
+def bytes_to_bits(data: bytes) -> List[int]:
+    """MSB-first bit list of a byte string."""
+    return [(byte >> (7 - i)) & 1 for byte in data for i in range(8)]
+
+
+def bits_to_bytes(bits: Sequence[int]) -> bytes:
+    """Pack an MSB-first bit list (length multiple of 8) into bytes."""
+    _validate_bits(bits)
+    if len(bits) % 8:
+        raise FrameError(f"bit count {len(bits)} is not a multiple of 8")
+    return bytes(
+        bits_to_int(bits[i : i + 8]) for i in range(0, len(bits), 8)
+    )
+
+
+def _validate_bits(bits: Sequence[int]) -> None:
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ConfigurationError(f"bits must be 0/1, got {bit!r}")
+
+
+@dataclass(frozen=True)
+class UplinkFrame:
+    """A tag-to-reader frame: preamble | payload | crc8 | postamble."""
+
+    payload_bits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        _validate_bits(self.payload_bits)
+        if not self.payload_bits:
+            raise FrameError("payload must be non-empty")
+
+    @property
+    def preamble(self) -> List[int]:
+        return barker_bits()
+
+    @property
+    def postamble(self) -> List[int]:
+        return list(reversed(barker_bits()))
+
+    def to_bits(self, include_crc: bool = True) -> List[int]:
+        """Full on-air bit sequence."""
+        bits = list(self.preamble) + list(self.payload_bits)
+        if include_crc:
+            bits += int_to_bits(crc8(self.payload_bits), 8)
+        return bits + self.postamble
+
+    @classmethod
+    def parse(cls, bits: Sequence[int], payload_len: int) -> "UplinkFrame":
+        """Parse and CRC-check a full frame bit sequence.
+
+        Args:
+            bits: received bits starting at the preamble.
+            payload_len: expected payload length in bits.
+
+        Raises:
+            FrameError: wrong length or preamble mismatch.
+            CrcError: payload CRC check failed.
+        """
+        pre = barker_bits()
+        expected_len = len(pre) * 2 + payload_len + 8
+        if len(bits) != expected_len:
+            raise FrameError(
+                f"frame length {len(bits)} != expected {expected_len}"
+            )
+        if list(bits[: len(pre)]) != pre:
+            raise FrameError("preamble mismatch")
+        payload = tuple(bits[len(pre) : len(pre) + payload_len])
+        crc_bits = bits[len(pre) + payload_len : len(pre) + payload_len + 8]
+        expected_crc = crc8(payload)
+        actual_crc = bits_to_int(crc_bits)
+        if actual_crc != expected_crc:
+            raise CrcError(expected=expected_crc, actual=actual_crc)
+        return cls(payload_bits=payload)
+
+
+@dataclass(frozen=True)
+class DownlinkMessage:
+    """A reader-to-tag message: 16-bit preamble | payload | crc16.
+
+    The paper's canonical message is a 64-bit payload; with the 16-bit
+    preamble and 50 us bits it fits a single 4.0 ms CTS_to_SELF window.
+    """
+
+    payload_bits: Tuple[int, ...]
+
+    MAX_PAYLOAD_BITS = 64
+
+    def __post_init__(self) -> None:
+        _validate_bits(self.payload_bits)
+        if not self.payload_bits:
+            raise FrameError("payload must be non-empty")
+        if len(self.payload_bits) > self.MAX_PAYLOAD_BITS:
+            raise FrameError(
+                f"payload of {len(self.payload_bits)} bits exceeds the "
+                f"{self.MAX_PAYLOAD_BITS}-bit downlink limit; split across "
+                "multiple messages"
+            )
+
+    def to_bits(self) -> List[int]:
+        """Full on-air bit sequence (preamble + payload + CRC-16)."""
+        return (
+            list(DOWNLINK_PREAMBLE_BITS)
+            + list(self.payload_bits)
+            + int_to_bits(crc16(self.payload_bits), 16)
+        )
+
+    @property
+    def num_bits(self) -> int:
+        return len(DOWNLINK_PREAMBLE_BITS) + len(self.payload_bits) + 16
+
+    def airtime_s(self, bit_duration_s: float) -> float:
+        """Message duration at the given on-off bit slot length."""
+        if bit_duration_s <= 0:
+            raise ConfigurationError("bit_duration_s must be positive")
+        return self.num_bits * bit_duration_s
+
+    @classmethod
+    def parse(cls, bits: Sequence[int], payload_len: int) -> "DownlinkMessage":
+        """Parse a post-preamble downlink bit sequence and check CRC.
+
+        Args:
+            bits: payload + CRC bits (the preamble is consumed by the
+                tag's preamble detector before decoding starts).
+            payload_len: expected payload bit count.
+
+        Raises:
+            FrameError: wrong length.
+            CrcError: CRC check failed.
+        """
+        if len(bits) != payload_len + 16:
+            raise FrameError(
+                f"expected {payload_len + 16} bits (payload+crc), got {len(bits)}"
+            )
+        payload = tuple(bits[:payload_len])
+        actual = bits_to_int(bits[payload_len:])
+        expected = crc16(payload)
+        if actual != expected:
+            raise CrcError(expected=expected, actual=actual)
+        return cls(payload_bits=payload)

@@ -1,0 +1,189 @@
+"""Query-response reader protocol (§2, §4.1).
+
+"Wi-Fi Backscatter follows a request-response model, similar to RFID
+systems. Specifically, the Wi-Fi reader asks the Wi-Fi Backscatter tag
+for information on the downlink and receives a response on the uplink
+... if the Wi-Fi Backscatter tag does not respond to the Wi-Fi
+reader's query, the reader re-transmits its packet until it gets a
+response."
+
+The protocol layer is transport-agnostic: it drives abstract downlink
+and uplink transports, so the same state machine runs over the
+bit-exact envelope/circuit simulation, the whole-network MAC
+simulation, or (in principle) real hardware.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.frames import DownlinkMessage, UplinkFrame, bits_to_int, int_to_bits
+from repro.core.rate_adaptation import RatePlan, UplinkRatePlanner
+from repro.errors import ConfigurationError
+
+#: Query payload layout: 16-bit tag address | 8-bit rate code |
+#: 8-bit command | 32-bit argument = 64 bits.
+TAG_ADDRESS_BITS = 16
+RATE_CODE_BITS = 8
+COMMAND_BITS = 8
+ARGUMENT_BITS = 32
+
+#: Rate code values map to these uplink bit rates (bps).
+RATE_CODE_TABLE = {0: 100.0, 1: 200.0, 2: 500.0, 3: 1000.0}
+
+#: Command values.
+CMD_READ_SENSOR = 0x01
+CMD_READ_ID = 0x02
+CMD_ACK_ONLY = 0x03
+
+
+def encode_query(
+    tag_address: int, rate_bps: float, command: int = CMD_READ_SENSOR,
+    argument: int = 0,
+) -> DownlinkMessage:
+    """Build the reader's 64-bit query payload.
+
+    Raises:
+        ConfigurationError: for unknown rates or out-of-range fields.
+    """
+    codes = {v: k for k, v in RATE_CODE_TABLE.items()}
+    if rate_bps not in codes:
+        raise ConfigurationError(
+            f"rate {rate_bps} bps has no rate code; choose from "
+            f"{sorted(RATE_CODE_TABLE.values())}"
+        )
+    bits = (
+        int_to_bits(tag_address, TAG_ADDRESS_BITS)
+        + int_to_bits(codes[rate_bps], RATE_CODE_BITS)
+        + int_to_bits(command, COMMAND_BITS)
+        + int_to_bits(argument, ARGUMENT_BITS)
+    )
+    return DownlinkMessage(payload_bits=tuple(bits))
+
+
+@dataclass(frozen=True)
+class Query:
+    """Decoded query fields at the tag."""
+
+    tag_address: int
+    rate_bps: float
+    command: int
+    argument: int
+
+
+def decode_query(message: DownlinkMessage) -> Query:
+    """Parse a received query payload into its fields."""
+    bits = list(message.payload_bits)
+    expected = TAG_ADDRESS_BITS + RATE_CODE_BITS + COMMAND_BITS + ARGUMENT_BITS
+    if len(bits) != expected:
+        raise ConfigurationError(
+            f"query payload must be {expected} bits, got {len(bits)}"
+        )
+    pos = 0
+    address = bits_to_int(bits[pos : pos + TAG_ADDRESS_BITS])
+    pos += TAG_ADDRESS_BITS
+    rate_code = bits_to_int(bits[pos : pos + RATE_CODE_BITS])
+    pos += RATE_CODE_BITS
+    command = bits_to_int(bits[pos : pos + COMMAND_BITS])
+    pos += COMMAND_BITS
+    argument = bits_to_int(bits[pos:])
+    if rate_code not in RATE_CODE_TABLE:
+        raise ConfigurationError(f"unknown rate code {rate_code}")
+    return Query(
+        tag_address=address,
+        rate_bps=RATE_CODE_TABLE[rate_code],
+        command=command,
+        argument=argument,
+    )
+
+
+class DownlinkTransport(abc.ABC):
+    """Sends one downlink message toward the tag."""
+
+    @abc.abstractmethod
+    def send(self, message: DownlinkMessage) -> bool:
+        """Transmit; returns True when the tag decoded the message."""
+
+
+class UplinkTransport(abc.ABC):
+    """Receives one uplink frame from the tag."""
+
+    @abc.abstractmethod
+    def receive(self, payload_len: int, bit_rate_bps: float) -> Optional[UplinkFrame]:
+        """Listen for a response; None on timeout/CRC failure."""
+
+
+@dataclass
+class TransactionResult:
+    """Outcome of one reader query transaction.
+
+    Attributes:
+        frame: the decoded response, or None after all retries failed.
+        attempts: downlink transmissions performed.
+        rate_plan: the rate decision used for this transaction.
+    """
+
+    frame: Optional[UplinkFrame]
+    attempts: int
+    rate_plan: RatePlan
+
+    @property
+    def success(self) -> bool:
+        return self.frame is not None
+
+
+class WiFiBackscatterReader:
+    """The reader's protocol engine.
+
+    Attributes:
+        downlink: transport delivering queries to the tag.
+        uplink: transport decoding the tag's responses.
+        planner: rate planner (N/M with conservative margin).
+        max_attempts: downlink retransmission budget per transaction.
+    """
+
+    def __init__(
+        self,
+        downlink: DownlinkTransport,
+        uplink: UplinkTransport,
+        planner: Optional[UplinkRatePlanner] = None,
+        max_attempts: int = 5,
+    ) -> None:
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        self.downlink = downlink
+        self.uplink = uplink
+        self.planner = planner or UplinkRatePlanner()
+        self.max_attempts = max_attempts
+        self.transaction_log: List[TransactionResult] = []
+
+    def query(
+        self,
+        tag_address: int,
+        helper_rate_pps: float,
+        payload_len: int = 90,
+        command: int = CMD_READ_SENSOR,
+    ) -> TransactionResult:
+        """Run one query-response transaction.
+
+        The reader computes the rate plan from the current helper
+        packet rate, embeds it in the query, and retransmits the query
+        until a CRC-valid response arrives or the attempt budget is
+        spent.
+        """
+        plan = self.planner.plan(helper_rate_pps)
+        message = encode_query(tag_address, plan.bit_rate_bps, command)
+        frame: Optional[UplinkFrame] = None
+        attempts = 0
+        for _ in range(self.max_attempts):
+            attempts += 1
+            if not self.downlink.send(message):
+                continue  # tag missed the query; retransmit
+            frame = self.uplink.receive(payload_len, plan.bit_rate_bps)
+            if frame is not None:
+                break
+        result = TransactionResult(frame=frame, attempts=attempts, rate_plan=plan)
+        self.transaction_log.append(result)
+        return result

@@ -1,0 +1,116 @@
+"""Uplink bit-rate adaptation to network traffic (§5).
+
+"Suppose the Wi-Fi helper can transmit, on average, N packets per
+second given the current network load and suppose the Wi-Fi reader
+requires the channel information from M packets to reliably decode
+each bit. ... the rate at which the Wi-Fi Backscatter tag sends bits
+is given by N/M bits per second. The Wi-Fi reader computes this bit
+rate and transmits this information in the query packet."
+
+The reader also "provides conservative bit rate estimates ... to
+minimize the probability of not receiving channel information for some
+of the transmitted bits" — implemented as a safety factor and by
+rounding down to the tag's supported rate set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Bit rates the paper's experiments exercise on the uplink (§7.2).
+STANDARD_RATES_BPS = (100.0, 200.0, 500.0, 1000.0)
+
+
+def estimate_packet_rate(timestamps_s: Sequence[float]) -> float:
+    """Observed helper packet rate (packets/s) from capture timestamps.
+
+    Raises:
+        ConfigurationError: with fewer than 2 packets or zero span.
+    """
+    ts = np.asarray(timestamps_s, dtype=float)
+    if len(ts) < 2:
+        raise ConfigurationError("need at least 2 packets to estimate a rate")
+    span = float(ts[-1] - ts[0])
+    if span <= 0:
+        raise ConfigurationError("timestamps must span a positive duration")
+    return (len(ts) - 1) / span
+
+
+@dataclass(frozen=True)
+class RatePlan:
+    """The reader's uplink rate decision, sent in the query packet.
+
+    Attributes:
+        bit_rate_bps: the rate the tag should transmit at.
+        packets_per_bit: expected mean measurements per bit at that rate.
+        helper_rate_pps: the measured helper packet rate.
+    """
+
+    bit_rate_bps: float
+    packets_per_bit: float
+    helper_rate_pps: float
+
+
+class UplinkRatePlanner:
+    """Computes N/M rate plans with a conservative margin.
+
+    Attributes:
+        packets_per_bit: M — measurements the decoder wants per bit
+            (the paper sweeps 3/6/30 in Fig 10).
+        safety_factor: multiplier > 1 shrinking the advertised rate to
+            ride out bursty traffic ("conservative bit rate estimates").
+        supported_rates_bps: discrete rates the tag supports; the plan
+            rounds down into this set. ``None`` allows any rate.
+    """
+
+    def __init__(
+        self,
+        packets_per_bit: float = 5.0,
+        safety_factor: float = 1.0,
+        supported_rates_bps: Optional[Sequence[float]] = STANDARD_RATES_BPS,
+    ) -> None:
+        if packets_per_bit <= 0:
+            raise ConfigurationError("packets_per_bit must be positive")
+        if safety_factor < 1.0:
+            raise ConfigurationError("safety_factor must be >= 1")
+        if supported_rates_bps is not None and not supported_rates_bps:
+            raise ConfigurationError("supported_rates_bps must be non-empty")
+        self.packets_per_bit = packets_per_bit
+        self.safety_factor = safety_factor
+        self.supported_rates_bps = (
+            tuple(sorted(supported_rates_bps))
+            if supported_rates_bps is not None
+            else None
+        )
+
+    def plan(self, helper_rate_pps: float) -> RatePlan:
+        """Rate plan for an observed helper packet rate.
+
+        Returns the largest supported rate not exceeding
+        ``N / (M * safety_factor)``; if even the smallest supported
+        rate is too fast, the smallest is returned anyway (the tag must
+        transmit at *some* rate; reliability degrades gracefully via
+        the majority vote).
+        """
+        if helper_rate_pps <= 0:
+            raise ConfigurationError("helper_rate_pps must be positive")
+        raw = helper_rate_pps / (self.packets_per_bit * self.safety_factor)
+        if self.supported_rates_bps is None:
+            rate = raw
+        else:
+            eligible = [r for r in self.supported_rates_bps if r <= raw]
+            rate = eligible[-1] if eligible else self.supported_rates_bps[0]
+        return RatePlan(
+            bit_rate_bps=rate,
+            packets_per_bit=helper_rate_pps / rate,
+            helper_rate_pps=helper_rate_pps,
+        )
+
+    def plan_from_capture(self, timestamps_s: Sequence[float]) -> RatePlan:
+        """Plan directly from observed capture timestamps."""
+        return self.plan(estimate_packet_rate(timestamps_s))

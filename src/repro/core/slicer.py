@@ -1,0 +1,210 @@
+"""Bit slicing: timestamp binning, hysteresis, majority vote (§3.2 step 3).
+
+Three mechanisms from the paper combine here:
+
+* **Timestamp binning** — "it is unlikely that every bit transmitted by
+  the tag sees the same number of Wi-Fi packets ... we use the
+  timestamp that is in every Wi-Fi packet header to accurately group
+  Wi-Fi packets belonging to the same bit transmission."
+* **Hysteresis** — Intel cards "report spurious changes in the CSI once
+  every so often", so per-measurement decisions use two thresholds
+  ``Thresh1``/``Thresh0`` at ``mu +/- sigma/2``; values between them
+  repeat the previous decision instead of flipping on a glitch.
+* **Majority vote** — "each bit transmitted by the tag corresponds to
+  multiple channel measurements ... [the reader] uses a simple
+  majority vote to compute the transmitted bits."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodeError
+
+
+@dataclass(frozen=True)
+class HysteresisThresholds:
+    """The two slicing thresholds.
+
+    Attributes:
+        low: ``Thresh0`` — output 0 when the value is below this.
+        high: ``Thresh1`` — output 1 when the value is above this.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ConfigurationError(
+                f"low threshold {self.low} exceeds high threshold {self.high}"
+            )
+
+
+def compute_thresholds(values: np.ndarray, width: float = 0.5) -> HysteresisThresholds:
+    """Thresholds at ``mu +/- width * sigma`` of the combined statistic.
+
+    The paper sets them from "the mean and standard deviation of
+    CSI_weighted computed across packets" with a half-sigma offset.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("cannot compute thresholds of empty input")
+    if width < 0:
+        raise ConfigurationError("width must be >= 0")
+    mu = float(values.mean())
+    sigma = float(values.std())
+    return HysteresisThresholds(low=mu - width * sigma, high=mu + width * sigma)
+
+
+def hysteresis_slice(
+    values: np.ndarray,
+    thresholds: HysteresisThresholds,
+    initial: int = 0,
+) -> np.ndarray:
+    """Per-measurement hard decisions with hysteresis.
+
+    Values above ``high`` output 1, below ``low`` output 0, and values
+    in the dead band repeat the previous output — absorbing spurious
+    single-packet CSI jumps.
+    """
+    values = np.asarray(values, dtype=float)
+    if initial not in (0, 1):
+        raise ConfigurationError("initial state must be 0 or 1")
+    out = np.empty(len(values), dtype=int)
+    state = initial
+    for i, v in enumerate(values):
+        if v > thresholds.high:
+            state = 1
+        elif v < thresholds.low:
+            state = 0
+        out[i] = state
+    return out
+
+
+def bin_by_timestamp(
+    timestamps_s: np.ndarray,
+    start_time_s: float,
+    bit_duration_s: float,
+    num_bits: int,
+) -> List[np.ndarray]:
+    """Packet indices belonging to each transmitted bit interval.
+
+    Args:
+        timestamps_s: packet timestamps.
+        start_time_s: first bit's start time (from preamble detection).
+        bit_duration_s: tag bit duration.
+        num_bits: number of bit intervals to produce.
+
+    Returns:
+        List of ``num_bits`` index arrays (possibly empty for bits that
+        saw no packets — the caller decides how to handle erasures).
+    """
+    if bit_duration_s <= 0:
+        raise ConfigurationError("bit_duration_s must be positive")
+    if num_bits < 1:
+        raise ConfigurationError("num_bits must be >= 1")
+    ts = np.asarray(timestamps_s, dtype=float)
+    idx = np.floor((ts - start_time_s) / bit_duration_s).astype(int)
+    return [np.nonzero(idx == k)[0] for k in range(num_bits)]
+
+
+@dataclass(frozen=True)
+class SlicedBits:
+    """Decoded bit decisions with per-bit support counts.
+
+    Attributes:
+        bits: decided bit per interval (erasures resolved to
+            ``erasure_value``).
+        support: measurements contributing to each bit.
+        erasures: indices of bits that saw zero measurements.
+    """
+
+    bits: np.ndarray
+    support: np.ndarray
+    erasures: np.ndarray
+
+
+def majority_vote_bits(
+    decisions: np.ndarray,
+    timestamps_s: np.ndarray,
+    start_time_s: float,
+    bit_duration_s: float,
+    num_bits: int,
+    erasure_value: int = 0,
+    min_support: int = 1,
+    strict: bool = False,
+) -> SlicedBits:
+    """Majority vote of per-measurement decisions within each bit bin.
+
+    Args:
+        decisions: 0/1 per-measurement decisions (from hysteresis).
+        timestamps_s: matching packet timestamps.
+        start_time_s: first bit boundary.
+        bit_duration_s: tag bit duration.
+        num_bits: bits to decode.
+        erasure_value: value assigned to bins with no measurements.
+        min_support: bins with fewer measurements than this count as
+            erasures.
+        strict: raise :class:`DecodeError` on any erasure instead of
+            substituting ``erasure_value``.
+
+    Ties (equal ones and zeros) resolve to 1 — the combined statistic
+    is zero-mean so ties are rare and unbiased either way.
+    """
+    decisions = np.asarray(decisions, dtype=int)
+    if len(decisions) != len(timestamps_s):
+        raise ConfigurationError("decisions and timestamps must align")
+    bins = bin_by_timestamp(timestamps_s, start_time_s, bit_duration_s, num_bits)
+    bits = np.empty(num_bits, dtype=int)
+    support = np.empty(num_bits, dtype=int)
+    erasures: List[int] = []
+    for k, indices in enumerate(bins):
+        support[k] = len(indices)
+        if len(indices) < min_support:
+            erasures.append(k)
+            bits[k] = erasure_value
+            continue
+        ones = int(decisions[indices].sum())
+        bits[k] = 1 if 2 * ones >= len(indices) else 0
+    if erasures and strict:
+        raise DecodeError(
+            f"{len(erasures)} bit(s) saw fewer than {min_support} "
+            f"measurement(s): {erasures[:10]}"
+        )
+    return SlicedBits(
+        bits=bits, support=support, erasures=np.asarray(erasures, dtype=int)
+    )
+
+
+def soft_average_bits(
+    combined: np.ndarray,
+    timestamps_s: np.ndarray,
+    start_time_s: float,
+    bit_duration_s: float,
+    num_bits: int,
+    erasure_value: int = 0,
+) -> SlicedBits:
+    """Ablation alternative: average the soft statistic per bin, then slice.
+
+    Compared in the ablation benches against the paper's
+    hysteresis+majority approach.
+    """
+    combined = np.asarray(combined, dtype=float)
+    bins = bin_by_timestamp(timestamps_s, start_time_s, bit_duration_s, num_bits)
+    bits = np.empty(num_bits, dtype=int)
+    support = np.empty(num_bits, dtype=int)
+    erasures: List[int] = []
+    for k, indices in enumerate(bins):
+        support[k] = len(indices)
+        if len(indices) == 0:
+            erasures.append(k)
+            bits[k] = erasure_value
+            continue
+        bits[k] = 1 if combined[indices].mean() >= 0 else 0
+    return SlicedBits(
+        bits=bits, support=support, erasures=np.asarray(erasures, dtype=int)
+    )

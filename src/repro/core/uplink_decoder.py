@@ -1,0 +1,272 @@
+"""The complete uplink decoding pipeline (§3.2, §3.3).
+
+Chains every stage the paper describes:
+
+1. signal conditioning (400 ms moving average removal + normalization),
+2. preamble correlation to find the frame start and rank sub-channels,
+3. top-10 good sub-channel selection with antennas treated as extra
+   sub-channels,
+4. noise-variance-weighted maximum-ratio combining,
+5. hysteresis slicing of the combined statistic,
+6. timestamp binning + majority vote per transmitted bit,
+7. optional frame parsing with CRC check.
+
+Two measurement modes share the pipeline:
+
+* ``"csi"`` — all 90 antenna x sub-channel values (Intel 5300);
+* ``"rssi"`` — per-antenna RSSI only; the best single RSSI channel is
+  chosen by preamble correlation (§3.3), reflecting that RSSI carries
+  no frequency diversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core import combining, conditioning, slicer, subchannel
+from repro.core.barker import barker_bits
+from repro.core.frames import UplinkFrame
+from repro.errors import ConfigurationError, DecodeError
+from repro.measurement import MeasurementStream
+
+#: Supported measurement modes.
+MODES = ("csi", "rssi")
+
+
+@dataclass(frozen=True)
+class UplinkDecoderConfig:
+    """Tunables of the uplink pipeline (paper defaults).
+
+    Attributes:
+        window_s: conditioning moving-average window (400 ms).
+        good_count: sub-channels kept by the selector (10).
+        hysteresis_width: threshold offset in units of sigma (0.5).
+        preamble_bits: the known tag preamble (13-bit Barker).
+        search_step_fraction: preamble search grid, as a fraction of the
+            bit duration.
+        min_detection_score: preamble detection threshold (0 accepts the
+            best candidate).
+        per_source_conditioning: condition each transmitter's packets
+            separately before combining. Different helpers reach the
+            reader over different channels, so their raw CSI levels
+            differ; normalizing per source lets the reader "leverage
+            transmissions from all Wi-Fi devices in the network and
+            combine the channel information across all of them" (§5).
+    """
+
+    window_s: float = conditioning.DEFAULT_WINDOW_S
+    good_count: int = subchannel.DEFAULT_GOOD_COUNT
+    hysteresis_width: float = 0.5
+    preamble_bits: Sequence[int] = field(default_factory=barker_bits)
+    search_step_fraction: float = 0.25
+    min_detection_score: float = 0.0
+    per_source_conditioning: bool = False
+
+    def __post_init__(self) -> None:
+        if self.good_count < 1:
+            raise ConfigurationError("good_count must be >= 1")
+        if not 0 < self.search_step_fraction <= 1:
+            raise ConfigurationError("search_step_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class UplinkDecodeResult:
+    """Everything the pipeline produced for one transmission.
+
+    Attributes:
+        bits: decoded data bits (after the preamble).
+        detection: the preamble detection record.
+        weights: MRC weights used.
+        combined: per-packet combined statistic.
+        sliced: binning/majority metadata.
+        mode: "csi" or "rssi".
+    """
+
+    bits: np.ndarray
+    detection: subchannel.PreambleDetection
+    weights: combining.CombinerWeights
+    combined: np.ndarray
+    sliced: slicer.SlicedBits
+    mode: str
+
+
+class UplinkDecoder:
+    """Decodes tag transmissions from a reader's measurement stream."""
+
+    def __init__(self, config: Optional[UplinkDecoderConfig] = None) -> None:
+        self.config = config or UplinkDecoderConfig()
+
+    # -- measurement matrices -------------------------------------------------
+
+    def _matrix(self, stream: MeasurementStream, mode: str) -> np.ndarray:
+        if mode == "csi":
+            return stream.flattened_csi()
+        if mode == "rssi":
+            return stream.rssi_matrix()
+        raise ConfigurationError(f"mode must be one of {MODES}, got {mode!r}")
+
+    def _condition(
+        self,
+        stream: MeasurementStream,
+        matrix: np.ndarray,
+        timestamps: np.ndarray,
+    ) -> conditioning.ConditionedMeasurements:
+        """Condition the measurement matrix, optionally per source.
+
+        With per-source conditioning, each transmitter's packets are
+        baseline-removed and normalized against their own history, then
+        re-interleaved in time order — so measurements taken over
+        different helper channels become commensurable.
+        """
+        cfg = self.config
+        if not cfg.per_source_conditioning:
+            return conditioning.condition(matrix, timestamps, cfg.window_s)
+        sources = np.array([m.source for m in stream])
+        normalized = np.empty_like(matrix, dtype=float)
+        scale = np.zeros(matrix.shape[1])
+        for source in np.unique(sources):
+            rows = np.nonzero(sources == source)[0]
+            if len(rows) < 2:
+                normalized[rows] = 0.0
+                continue
+            part = conditioning.condition(
+                matrix[rows], timestamps[rows], cfg.window_s
+            )
+            normalized[rows] = part.normalized
+            scale = np.maximum(scale, part.scale)
+        return conditioning.ConditionedMeasurements(
+            normalized=normalized, scale=scale, timestamps_s=timestamps
+        )
+
+    # -- pipeline --------------------------------------------------------------
+
+    def decode_bits(
+        self,
+        stream: MeasurementStream,
+        num_bits: int,
+        bit_duration_s: float,
+        mode: str = "csi",
+        start_time_s: Optional[float] = None,
+    ) -> UplinkDecodeResult:
+        """Decode ``num_bits`` data bits following the preamble.
+
+        Args:
+            stream: reader measurements covering the transmission.
+            num_bits: data bits after the preamble (payload [+ CRC +
+                postamble] as the caller counts them).
+            bit_duration_s: tag bit duration.
+            mode: "csi" or "rssi".
+            start_time_s: known frame start (skips preamble search when
+                provided — used by experiments that control the tag).
+
+        Raises:
+            PreambleNotFound: no preamble above the detection threshold.
+            DecodeError: the stream is too short to cover the data bits.
+        """
+        if len(stream) == 0:
+            raise DecodeError("empty measurement stream")
+        if num_bits < 1:
+            raise ConfigurationError("num_bits must be >= 1")
+        matrix = self._matrix(stream, mode)
+        timestamps = stream.timestamps
+        cond = self._condition(stream, matrix, timestamps)
+
+        cfg = self.config
+        if start_time_s is None:
+            detection = subchannel.detect_preamble(
+                cond.normalized,
+                timestamps,
+                cfg.preamble_bits,
+                bit_duration_s,
+                search_step_s=cfg.search_step_fraction * bit_duration_s,
+                min_score=cfg.min_detection_score,
+            )
+        else:
+            corr = subchannel.correlate_at(
+                cond.normalized,
+                timestamps,
+                start_time_s,
+                cfg.preamble_bits,
+                bit_duration_s,
+            )
+            detection = subchannel.PreambleDetection(
+                start_time_s=start_time_s,
+                correlations=corr,
+                score=float(np.abs(corr).sum()),
+                threshold=0.0,
+            )
+
+        # RSSI mode keeps only the single best antenna channel (§3.3);
+        # CSI mode keeps the top `good_count` of all 90 channels.
+        good_count = 1 if mode == "rssi" else cfg.good_count
+        good = subchannel.select_good_subchannels(detection.correlations, good_count)
+        variances = combining.estimate_noise_variance(
+            cond.normalized,
+            timestamps,
+            detection.start_time_s,
+            cfg.preamble_bits,
+            bit_duration_s,
+            detection.correlations,
+        )
+        weights = combining.make_weights(detection.correlations, variances, good)
+        combined = combining.combine(cond.normalized, weights)
+
+        thresholds = slicer.compute_thresholds(combined, cfg.hysteresis_width)
+        decisions = slicer.hysteresis_slice(combined, thresholds)
+        data_start = (
+            detection.start_time_s + len(cfg.preamble_bits) * bit_duration_s
+        )
+        last_needed = data_start + num_bits * bit_duration_s
+        if timestamps[-1] < data_start:
+            raise DecodeError(
+                "measurement stream ends before the data bits begin"
+            )
+        if timestamps[-1] + bit_duration_s < last_needed:
+            raise DecodeError(
+                f"stream covers only {timestamps[-1] - data_start:.3f} s of "
+                f"the {num_bits * bit_duration_s:.3f} s data span"
+            )
+        sliced = slicer.majority_vote_bits(
+            decisions,
+            timestamps,
+            data_start,
+            bit_duration_s,
+            num_bits,
+        )
+        return UplinkDecodeResult(
+            bits=sliced.bits,
+            detection=detection,
+            weights=weights,
+            combined=combined,
+            sliced=sliced,
+            mode=mode,
+        )
+
+    def decode_frame(
+        self,
+        stream: MeasurementStream,
+        payload_len: int,
+        bit_duration_s: float,
+        mode: str = "csi",
+        start_time_s: Optional[float] = None,
+    ) -> UplinkFrame:
+        """Decode and CRC-check a complete uplink frame.
+
+        The frame layout is preamble | payload | crc8 | postamble; the
+        preamble is consumed by detection, the rest is decoded and
+        handed to :meth:`UplinkFrame.parse`.
+
+        Raises:
+            CrcError: the payload failed its CRC.
+            FrameError: structural mismatch.
+        """
+        pre = list(self.config.preamble_bits)
+        tail_bits = payload_len + 8 + len(pre)  # payload + crc + postamble
+        result = self.decode_bits(
+            stream, tail_bits, bit_duration_s, mode=mode, start_time_s=start_time_s
+        )
+        full = pre + list(result.bits)
+        return UplinkFrame.parse(full, payload_len)

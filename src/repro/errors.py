@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Wi-Fi Backscatter reproduction library.
+
+Every exception raised by :mod:`repro` derives from :class:`ReproError`,
+so callers can catch library failures with a single ``except`` clause
+while still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class FrameError(ReproError):
+    """A tag/reader frame could not be built or parsed."""
+
+
+class CrcError(FrameError):
+    """A received frame failed its CRC check."""
+
+    def __init__(self, expected: int, actual: int) -> None:
+        super().__init__(
+            f"CRC mismatch: expected 0x{expected:04x}, got 0x{actual:04x}"
+        )
+        self.expected = expected
+        self.actual = actual
+
+
+class PreambleNotFound(ReproError):
+    """No tag preamble was detected in the measurement stream."""
+
+
+class DecodeError(ReproError):
+    """The decoder could not recover a valid message."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class MediumReservationError(SimulationError):
+    """A CTS_to_SELF reservation request violated 802.11 constraints."""
+
+
+class EnergyError(ReproError):
+    """The tag's harvested-energy budget was violated."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file could not be parsed."""

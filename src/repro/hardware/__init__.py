@@ -1,0 +1,29 @@
+"""Commodity Wi-Fi hardware models: CSI/RSSI reporting and artefacts.
+
+Models the measurement side of off-the-shelf devices: the Intel 5300's
+30x3 CSI reports with quantization, AGC wander, spurious glitches, and
+a weak antenna; coarse 1 dB RSSI on everything else; and device
+capability profiles.
+"""
+
+from repro.hardware.agc import AgcModel
+from repro.hardware.devices import (
+    INTEL_5300,
+    LINKSYS_WRT54GL,
+    THINKPAD_LAPTOP,
+    DeviceProfile,
+    reader_capabilities,
+)
+from repro.hardware.intel5300 import Intel5300
+from repro.hardware.rssi import RssiModel
+
+__all__ = [
+    "AgcModel",
+    "DeviceProfile",
+    "INTEL_5300",
+    "Intel5300",
+    "LINKSYS_WRT54GL",
+    "RssiModel",
+    "THINKPAD_LAPTOP",
+    "reader_capabilities",
+]

@@ -1,0 +1,84 @@
+"""Descriptors for the commodity devices used in the paper's testbed.
+
+These capture the capabilities that matter to Wi-Fi Backscatter:
+whether a chipset exposes CSI or only RSSI, antenna count, and
+transmit power — the difference that makes the CSI pipeline (Intel
+5300 reader) outrange the RSSI pipeline (everything else).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Capability summary of a commodity Wi-Fi device.
+
+    Attributes:
+        name: model string.
+        num_antennas: receive antenna count.
+        provides_csi: whether per-sub-channel CSI is available.
+        provides_rssi: whether per-packet RSSI is available.
+        csi_for_beacons: whether CSI is reported for beacon frames
+            (false on the Intel 5300, §7.5).
+        max_tx_power_dbm: maximum transmit power.
+    """
+
+    name: str
+    num_antennas: int
+    provides_csi: bool
+    provides_rssi: bool = True
+    csi_for_beacons: bool = False
+    max_tx_power_dbm: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.num_antennas < 1:
+            raise ConfigurationError("num_antennas must be >= 1")
+        if not (self.provides_csi or self.provides_rssi):
+            raise ConfigurationError(
+                "a reader must provide at least one of CSI or RSSI"
+            )
+
+    @property
+    def max_tx_power_w(self) -> float:
+        return units.dbm_to_watts(self.max_tx_power_dbm)
+
+
+#: The paper's reader/helper card, with the Linux CSI Tool.
+INTEL_5300 = DeviceProfile(
+    name="Intel Wi-Fi Link 5300",
+    num_antennas=3,
+    provides_csi=True,
+    csi_for_beacons=False,
+    max_tx_power_dbm=16.0,
+)
+
+#: The paper's Wi-Fi helper AP for the Fig 3 experiment.
+LINKSYS_WRT54GL = DeviceProfile(
+    name="Linksys WRT54GL",
+    num_antennas=2,
+    provides_csi=False,
+    max_tx_power_dbm=18.0,
+)
+
+#: A generic laptop Wi-Fi client (Fig 19 transmitter).
+THINKPAD_LAPTOP = DeviceProfile(
+    name="Lenovo ThinkPad built-in Wi-Fi",
+    num_antennas=2,
+    provides_csi=False,
+    max_tx_power_dbm=15.0,
+)
+
+
+def reader_capabilities(profile: DeviceProfile) -> str:
+    """Human-readable summary of what uplink pipeline a device supports."""
+    modes = []
+    if profile.provides_csi:
+        modes.append("CSI decoding (65 cm class range)")
+    if profile.provides_rssi:
+        modes.append("RSSI decoding (30 cm class range)")
+    return f"{profile.name}: " + ", ".join(modes)

@@ -1,0 +1,99 @@
+"""RSSI measurement model for commodity Wi-Fi chipsets.
+
+"Most existing chipsets only provide the RSSI information. RSSI is a
+single metric that provides a measure of the cumulative Wi-Fi signal
+strength across all the sub-channels" (§3.3). Compared with CSI this
+throws away frequency diversity and is reported with coarse (1 dB)
+resolution — which is why the paper's RSSI pipeline reaches 30 cm
+while the CSI pipeline reaches 65 cm.
+
+MIMO receivers report one RSSI per antenna; the decoder picks the best
+antenna by preamble correlation (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class RssiModel:
+    """Per-antenna RSSI reports from a true channel amplitude matrix.
+
+    Attributes:
+        quantization_db: reporting granularity (1 dB on most chipsets).
+        noise_std_db: per-packet measurement noise before quantization.
+        floor_dbm: lowest reportable RSSI (sensitivity floor).
+        ceiling_dbm: highest reportable RSSI (saturation).
+        rng: random source.
+    """
+
+    quantization_db: float = 1.0
+    noise_std_db: float = 0.35
+    floor_dbm: float = -95.0
+    ceiling_dbm: float = -10.0
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.quantization_db < 0:
+            raise ConfigurationError("quantization_db must be >= 0")
+        if self.noise_std_db < 0:
+            raise ConfigurationError("noise_std_db must be >= 0")
+        if self.floor_dbm >= self.ceiling_dbm:
+            raise ConfigurationError("floor_dbm must be below ceiling_dbm")
+        if self.rng is None:
+            self.rng = np.random.default_rng()
+
+    def measure(self, amplitude: np.ndarray, tx_power_w: float) -> np.ndarray:
+        """Per-antenna RSSI (dBm) for one packet.
+
+        Args:
+            amplitude: true channel amplitude matrix, shape
+                ``(antennas, subchannels)``.
+            tx_power_w: transmit power of the packet's sender.
+
+        Returns:
+            Array of shape ``(antennas,)``.
+        """
+        amp = np.asarray(amplitude, dtype=float)
+        if amp.ndim != 2:
+            raise ConfigurationError("amplitude must be 2-D (ant x subch)")
+        if tx_power_w <= 0:
+            raise ConfigurationError("tx_power_w must be positive")
+        # Cumulative power across sub-channels, normalized so that a
+        # unit-mean-power channel yields the full transmit power.
+        mean_gain = (amp**2).mean(axis=1)
+        rx_power_w = np.maximum(mean_gain * tx_power_w, 1e-30)
+        rssi = 10.0 * np.log10(rx_power_w / 1e-3)
+        rssi = rssi + self.rng.normal(scale=self.noise_std_db, size=rssi.shape)
+        if self.quantization_db > 0:
+            rssi = np.round(rssi / self.quantization_db) * self.quantization_db
+        return np.clip(rssi, self.floor_dbm, self.ceiling_dbm)
+
+    def measure_batch(self, amplitudes: np.ndarray, tx_power_w: float) -> np.ndarray:
+        """Vectorized RSSI for many packets.
+
+        Args:
+            amplitudes: shape ``(n_packets, antennas, subchannels)``.
+            tx_power_w: transmit power.
+
+        Returns:
+            Array of shape ``(n_packets, antennas)``.
+        """
+        amp = np.asarray(amplitudes, dtype=float)
+        if amp.ndim != 3:
+            raise ConfigurationError("amplitudes must be 3-D (pkt x ant x subch)")
+        if tx_power_w <= 0:
+            raise ConfigurationError("tx_power_w must be positive")
+        mean_gain = (amp**2).mean(axis=2)
+        rx_power_w = np.maximum(mean_gain * tx_power_w, 1e-30)
+        rssi = 10.0 * np.log10(rx_power_w / 1e-3)
+        rssi = rssi + self.rng.normal(scale=self.noise_std_db, size=rssi.shape)
+        if self.quantization_db > 0:
+            rssi = np.round(rssi / self.quantization_db) * self.quantization_db
+        return np.clip(rssi, self.floor_dbm, self.ceiling_dbm)

@@ -1,0 +1,59 @@
+"""802.11 MAC substrate: DCF, stations, traffic, beacons, capture.
+
+An event-driven 802.11 network simulation providing the traffic
+dynamics the paper's uplink depends on: helper packet rates, bursty
+shared-medium arrivals, AP beacons, CTS_to_SELF reservations, and
+monitor-mode capture that turns each heard packet into a CSI/RSSI
+measurement at the reader.
+"""
+
+from repro.mac.beacons import BeaconNetwork, build_beacon_network
+from repro.mac.capture import MonitorCapture, idle_tag
+from repro.mac.cts_to_self import ReservationPlan, cts_to_self_frame, plan_reservations
+from repro.mac.dcf import DcfAccess, DcfStats, LinkQualityModel, Medium
+from repro.mac.packets import FrameKind, Transmission, WifiFrame
+from repro.mac.rate_control import (
+    RateController,
+    SnrLinkQualityModel,
+    snr_from_distance,
+)
+from repro.mac.simulator import EventHandle, EventScheduler
+from repro.mac.station import AccessPoint, Station
+from repro.mac.traffic import (
+    BurstyTraffic,
+    ConstantRateTraffic,
+    DiurnalOfficeLoad,
+    PoissonTraffic,
+    SaturatedTraffic,
+    office_load_pps,
+)
+
+__all__ = [
+    "AccessPoint",
+    "BeaconNetwork",
+    "BurstyTraffic",
+    "ConstantRateTraffic",
+    "DcfAccess",
+    "DcfStats",
+    "DiurnalOfficeLoad",
+    "EventHandle",
+    "EventScheduler",
+    "FrameKind",
+    "LinkQualityModel",
+    "Medium",
+    "MonitorCapture",
+    "PoissonTraffic",
+    "RateController",
+    "ReservationPlan",
+    "SaturatedTraffic",
+    "SnrLinkQualityModel",
+    "Station",
+    "Transmission",
+    "WifiFrame",
+    "build_beacon_network",
+    "cts_to_self_frame",
+    "idle_tag",
+    "office_load_pps",
+    "plan_reservations",
+    "snr_from_distance",
+]

@@ -1,0 +1,87 @@
+"""Monitor-mode capture: turning transmissions into channel measurements.
+
+The paper's reader is an Intel 5300 in monitor mode, logging CSI/RSSI
+for every packet it hears (§7.1). :class:`MonitorCapture` plays that
+role in the simulation: it listens on the :class:`~repro.mac.dcf.Medium`,
+and for each successfully received frame asks the backscatter channel
+for the true response at that instant (given the tag's current switch
+state) and the card model for the noisy measurement record.
+
+The tag's switch state is supplied as a callable ``tag_state(t)`` so
+the same capture works whether the tag is idle, alternating bits, or
+transmitting framed messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hardware.intel5300 import Intel5300
+from repro.mac.dcf import Medium
+from repro.mac.packets import FrameKind, Transmission
+from repro.phy.backscatter_channel import BackscatterChannel
+from repro.measurement import MeasurementStream
+
+#: Tag switch state at time t: 0 (absorb) or 1 (reflect).
+TagStateFn = Callable[[float], int]
+
+
+def idle_tag(time_s: float) -> int:
+    """A tag that never reflects (the 'no device' baseline)."""
+    return 0
+
+
+@dataclass
+class MonitorCapture:
+    """Captures measurements for packets heard by the reader.
+
+    Attributes:
+        channel: the composite backscatter channel to the reader.
+        card: the CSI/RSSI measurement model.
+        tag_state: the tag's switch state as a function of time.
+        sources: only frames from these transmitter names are captured
+            (``None`` = capture everything, as a monitor-mode card
+            hearing the whole channel would).
+        csi_kinds: frame kinds for which the card reports CSI; beacons
+            are RSSI-only on the Intel 5300 (§7.5).
+    """
+
+    channel: BackscatterChannel
+    card: Intel5300
+    tag_state: TagStateFn = idle_tag
+    sources: Optional[Sequence[str]] = None
+    csi_kinds: frozenset = frozenset({FrameKind.DATA, FrameKind.DOWNLINK_MARK})
+    stream: MeasurementStream = field(default_factory=MeasurementStream)
+
+    def attach(self, medium: Medium) -> None:
+        """Start listening on ``medium``."""
+        medium.add_listener(self.on_transmission)
+
+    def on_transmission(self, tx: Transmission) -> None:
+        """Medium callback: record a measurement for an audible frame."""
+        if tx.collided:
+            return  # collided frames don't decode, so no CSI is logged
+        frame = tx.frame
+        if self.sources is not None and frame.src not in self.sources:
+            return
+        # Sample the tag state at the middle of the packet airtime: the
+        # paper guarantees the tag never switches mid-packet (§3.1), and
+        # mid-packet sampling reflects that the channel estimate comes
+        # from the packet's preamble/payload as a whole.
+        t_mid = 0.5 * (tx.start_s + tx.end_s)
+        state = self.tag_state(t_mid)
+        if state not in (0, 1):
+            raise ConfigurationError(f"tag_state must return 0/1, got {state!r}")
+        true_h = self.channel.response(tx.start_s, state)
+        with_csi = frame.kind in self.csi_kinds
+        source = frame.src if frame.kind is not FrameKind.BEACON else "ap-beacon"
+        measurement = self.card.measure(
+            true_h, timestamp_s=tx.start_s, source=source, with_csi=with_csi
+        )
+        self.stream.append(measurement)
+
+    def measurements(self) -> MeasurementStream:
+        """The stream captured so far."""
+        return self.stream

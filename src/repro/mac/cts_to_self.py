@@ -1,0 +1,95 @@
+"""CTS_to_SELF medium reservation.
+
+The downlink encoder needs silence periods that other Wi-Fi devices do
+not fill: "the Wi-Fi reader transmits a CTS_to_SELF packet before
+transmitting the message. CTS_to_SELF is a Wi-Fi message that forces
+802.11-compliant devices to refrain for a specified time period"
+(§4.1). The 802.11 standard caps one reservation at 32 ms, so longer
+messages must be split across multiple reservations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import MediumReservationError
+from repro.mac.packets import FrameKind, WifiFrame
+from repro.phy import constants
+
+
+@dataclass(frozen=True)
+class ReservationPlan:
+    """How a downlink message of ``total_duration_s`` maps to NAV windows.
+
+    Attributes:
+        window_durations_s: per-CTS_to_SELF reserved payload time.
+        bits_per_window: number of downlink bits carried per window.
+    """
+
+    window_durations_s: List[float]
+    bits_per_window: List[int]
+
+    @property
+    def num_windows(self) -> int:
+        return len(self.window_durations_s)
+
+    @property
+    def total_reserved_s(self) -> float:
+        return sum(self.window_durations_s)
+
+
+def plan_reservations(num_bits: int, bit_duration_s: float) -> ReservationPlan:
+    """Split ``num_bits`` of on-off keying into <=32 ms NAV windows.
+
+    Args:
+        num_bits: total downlink bits (preamble + payload + CRC).
+        bit_duration_s: one bit slot (packet or equal silence), e.g.
+            50 us for the paper's 20 kbps mode.
+
+    Raises:
+        MediumReservationError: if a single bit cannot fit in a window.
+    """
+    if num_bits <= 0:
+        raise MediumReservationError("num_bits must be positive")
+    if bit_duration_s <= 0:
+        raise MediumReservationError("bit_duration_s must be positive")
+    max_window = constants.MAX_CTS_TO_SELF_RESERVATION_S
+    bits_per_window = int(max_window / bit_duration_s)
+    if bits_per_window < 1:
+        raise MediumReservationError(
+            f"bit duration {bit_duration_s * 1e3:.1f} ms exceeds the "
+            f"{max_window * 1e3:.0f} ms reservation limit"
+        )
+    windows: List[float] = []
+    bits: List[int] = []
+    remaining = num_bits
+    while remaining > 0:
+        n = min(bits_per_window, remaining)
+        windows.append(n * bit_duration_s)
+        bits.append(n)
+        remaining -= n
+    return ReservationPlan(window_durations_s=windows, bits_per_window=bits)
+
+
+def cts_to_self_frame(src: str, nav_s: float,
+                      tx_power_w: float = None) -> WifiFrame:
+    """Build a CTS_to_SELF frame reserving ``nav_s`` of medium time.
+
+    Raises:
+        MediumReservationError: if ``nav_s`` exceeds the 32 ms limit.
+    """
+    if nav_s <= 0:
+        raise MediumReservationError("nav_s must be positive")
+    if nav_s > constants.MAX_CTS_TO_SELF_RESERVATION_S + 1e-12:
+        raise MediumReservationError(
+            f"requested NAV {nav_s * 1e3:.1f} ms exceeds the 802.11 limit of "
+            f"{constants.MAX_CTS_TO_SELF_RESERVATION_S * 1e3:.0f} ms"
+        )
+    kwargs = {}
+    if tx_power_w is not None:
+        kwargs["tx_power_w"] = tx_power_w
+    return WifiFrame(
+        src=src, dst=src, kind=FrameKind.CTS_TO_SELF, payload_bytes=0,
+        nav_s=nav_s, **kwargs,
+    )

@@ -1,0 +1,355 @@
+"""802.11 DCF medium access: carrier sense, backoff, NAV, collisions.
+
+The :class:`Medium` is the single shared broadcast channel: it tracks
+busy airtime, the virtual carrier-sense NAV (set by CTS_to_SELF), and
+detects collisions between overlapping transmissions. Each station
+owns a :class:`DcfAccess` that implements CSMA/CA: wait DIFS after the
+medium goes idle, count down a random backoff (frozen while busy),
+transmit, and on failure retry with a doubled contention window.
+
+Frame delivery errors come from two sources: collisions (modelled
+exactly, from overlap) and channel losses (delegated to a pluggable
+:class:`LinkQualityModel`, used by the rate-adaptation experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mac.packets import FrameKind, Transmission, WifiFrame
+from repro.mac.simulator import EventHandle, EventScheduler
+from repro.phy import constants
+
+#: Minimum contention window (slots), 802.11g OFDM PHY.
+CW_MIN = 15
+
+#: Maximum contention window (slots).
+CW_MAX = 1023
+
+#: Retry limit before a frame is dropped.
+RETRY_LIMIT = 7
+
+
+class LinkQualityModel:
+    """Maps a transmission to a delivery probability (non-collision loss).
+
+    The default model is an ideal channel: everything not collided is
+    delivered. Experiments override :meth:`delivery_probability`.
+    """
+
+    def delivery_probability(self, frame: WifiFrame, time_s: float) -> float:
+        """Probability the frame survives channel impairments."""
+        return 1.0
+
+
+TransmissionListener = Callable[[Transmission], None]
+
+
+class Medium:
+    """Shared wireless medium with carrier sense, NAV, and collisions."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        link_quality: Optional[LinkQualityModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.link_quality = link_quality or LinkQualityModel()
+        self.rng = rng or np.random.default_rng()
+        self.busy_until = 0.0
+        self.nav_until = 0.0
+        self.nav_owner: Optional[str] = None
+        self.transmission_log: List[Transmission] = []
+        self._active: List[Transmission] = []
+        self._occupied_until = 0.0
+        self._listeners: List[TransmissionListener] = []
+        self._contenders: List["DcfAccess"] = []
+
+    # -- carrier sense -------------------------------------------------------
+
+    def is_physically_idle(self) -> bool:
+        """True when no *sensible* energy is on the air right now.
+
+        A transmission that began at this very instant cannot have been
+        sensed yet — carrier sense takes non-zero time — so a station
+        whose backoff expires in the same slot as another's must also
+        transmit, producing the collision that DCF's exponential
+        backoff exists to resolve.
+        """
+        now = self.scheduler.now
+        if now >= self.busy_until:
+            return True
+        if now < self._occupied_until:
+            return False
+        eps = 1e-12
+        active = [t for t in self._active if t.end_s > now + eps]
+        return bool(active) and all(
+            abs(t.start_s - now) <= eps for t in active
+        )
+
+    def is_idle_for(self, station_name: str) -> bool:
+        """Physical + virtual (NAV) carrier sense for ``station_name``."""
+        if not self.is_physically_idle():
+            return False
+        if self.scheduler.now < self.nav_until and station_name != self.nav_owner:
+            return False
+        return True
+
+    def add_listener(self, listener: TransmissionListener) -> None:
+        """Register a callback invoked for every completed transmission."""
+        self._listeners.append(listener)
+
+    def register_contender(self, access: "DcfAccess") -> None:
+        self._contenders.append(access)
+
+    # -- transmission --------------------------------------------------------
+
+    def begin_transmission(self, frame: WifiFrame) -> Transmission:
+        """Put a frame on the air; returns the in-flight transmission.
+
+        Overlap with any already-active transmission marks both as
+        collided. The completion event fires at airtime end.
+        """
+        now = self.scheduler.now
+        tx = Transmission(frame=frame, start_s=now, end_s=now + frame.airtime_s)
+        collided = False
+        for other in self._active:
+            if other.end_s > now:
+                collided = True
+                idx = self._active.index(other)
+                self._active[idx] = Transmission(
+                    frame=other.frame,
+                    start_s=other.start_s,
+                    end_s=other.end_s,
+                    collided=True,
+                )
+        if collided:
+            tx = Transmission(
+                frame=frame, start_s=tx.start_s, end_s=tx.end_s, collided=True
+            )
+        self._active.append(tx)
+        self.busy_until = max(self.busy_until, tx.end_s)
+        if frame.nav_s > 0:
+            self.nav_until = max(self.nav_until, tx.end_s + frame.nav_s)
+            self.nav_owner = frame.src
+            # Wake deferring stations when the reservation expires.
+            self.scheduler.schedule_at(self.nav_until, self._idle_check)
+        self.scheduler.schedule_at(tx.end_s, self._complete_transmissions)
+        return tx
+
+    def _idle_check(self) -> None:
+        if self.is_physically_idle():
+            self._notify_idle()
+
+    def _complete_transmissions(self) -> None:
+        now = self.scheduler.now
+        done = [t for t in self._active if t.end_s <= now + 1e-12]
+        self._active = [t for t in self._active if t.end_s > now + 1e-12]
+        for tx in done:
+            self.transmission_log.append(tx)
+            for listener in self._listeners:
+                listener(tx)
+        if self.is_physically_idle():
+            self._notify_idle()
+
+    def _notify_idle(self) -> None:
+        for access in self._contenders:
+            access.on_medium_idle()
+
+    def occupy(self, duration_s: float) -> None:
+        """Mark the medium busy for ``duration_s`` without a frame.
+
+        Used for SIFS-spaced control exchanges modelled in aggregate.
+        """
+        if duration_s < 0:
+            raise ConfigurationError("duration_s must be >= 0")
+        self.busy_until = max(self.busy_until, self.scheduler.now + duration_s)
+        self._occupied_until = max(
+            self._occupied_until, self.scheduler.now + duration_s
+        )
+        # occupy() has no completing transmission, so schedule the idle
+        # notification that _complete_transmissions would otherwise give.
+        self.scheduler.schedule_at(self.busy_until, self._idle_check)
+
+    def channel_delivers(self, frame: WifiFrame) -> bool:
+        """Sample the non-collision channel loss for a frame."""
+        p = self.link_quality.delivery_probability(frame, self.scheduler.now)
+        if not 0.0 <= p <= 1.0:
+            raise SimulationError(f"delivery probability {p} outside [0, 1]")
+        return bool(self.rng.random() < p)
+
+
+@dataclass
+class DcfStats:
+    """Per-station MAC statistics."""
+
+    attempts: int = 0
+    successes: int = 0
+    collisions: int = 0
+    channel_losses: int = 0
+    drops: int = 0
+    bytes_delivered: int = 0
+
+
+class DcfAccess:
+    """CSMA/CA transmit engine for one station.
+
+    The owner enqueues frames; DCF delivers a completion callback
+    ``on_result(frame, success)`` for each attempt outcome (used by
+    rate adaptation).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        medium: Medium,
+        scheduler: EventScheduler,
+        rng: Optional[np.random.Generator] = None,
+        on_result: Optional[Callable[[WifiFrame, bool], None]] = None,
+    ) -> None:
+        self.name = name
+        self.medium = medium
+        self.scheduler = scheduler
+        self.rng = rng or np.random.default_rng()
+        self.on_result = on_result
+        self.queue: List[WifiFrame] = []
+        self.stats = DcfStats()
+        self._cw = CW_MIN
+        self._backoff_slots: Optional[int] = None
+        self._pending_attempt: Optional[EventHandle] = None
+        self._attempt_idle_start: Optional[float] = None
+        self._in_flight: Optional[WifiFrame] = None
+        medium.register_contender(self)
+
+    # -- queueing ------------------------------------------------------------
+
+    def enqueue(self, frame: WifiFrame, front: bool = False) -> None:
+        """Add a frame to the transmit queue and start contending."""
+        if front:
+            self.queue.insert(0, frame)
+        else:
+            self.queue.append(frame)
+        self._try_start_contention()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    # -- contention ----------------------------------------------------------
+
+    def _try_start_contention(self) -> None:
+        if self._in_flight is not None or self._pending_attempt is not None:
+            return
+        if not self.queue:
+            return
+        if self._backoff_slots is None:
+            self._backoff_slots = int(self.rng.integers(0, self._cw + 1))
+        if self.medium.is_idle_for(self.name):
+            self._schedule_attempt()
+        # else: wait for on_medium_idle notification.
+
+    def on_medium_idle(self) -> None:
+        """Medium transitioned to idle; resume DIFS + backoff countdown."""
+        if self._in_flight is None and self._pending_attempt is None and self.queue:
+            if self.medium.is_idle_for(self.name):
+                if self._backoff_slots is None:
+                    self._backoff_slots = int(self.rng.integers(0, self._cw + 1))
+                self._schedule_attempt()
+
+    def _schedule_attempt(self) -> None:
+        assert self._backoff_slots is not None
+        wait = constants.DIFS_S + self._backoff_slots * constants.SLOT_TIME_S
+        self._attempt_idle_start = self.scheduler.now
+        self._pending_attempt = self.scheduler.schedule_in(wait, self._attempt)
+
+    def _freeze_backoff(self) -> None:
+        """Cancel the pending attempt and keep the un-elapsed slots."""
+        if self._pending_attempt is None:
+            return
+        if self._pending_attempt.time_s <= self.scheduler.now + 1e-12:
+            # The attempt fires at this very instant: the station has
+            # already committed to transmitting in this slot and cannot
+            # sense the other station's simultaneous start — this is
+            # exactly how DCF collisions happen. Let it run.
+            return
+        assert self._attempt_idle_start is not None
+        elapsed = self.scheduler.now - self._attempt_idle_start - constants.DIFS_S
+        elapsed_slots = max(0, int(elapsed / constants.SLOT_TIME_S))
+        if self._backoff_slots is not None:
+            self._backoff_slots = max(0, self._backoff_slots - elapsed_slots)
+        self._pending_attempt.cancel()
+        self._pending_attempt = None
+        self._attempt_idle_start = None
+
+    def _attempt(self) -> None:
+        self._pending_attempt = None
+        self._attempt_idle_start = None
+        if not self.queue:
+            return
+        if not self.medium.is_idle_for(self.name):
+            # Someone grabbed the medium during our countdown; freeze and
+            # wait for the next idle notification.
+            return
+        frame = self.queue.pop(0)
+        self._backoff_slots = None
+        self._in_flight = frame
+        self.stats.attempts += 1
+        # Freeze everyone else's countdown.
+        for access in self.medium._contenders:
+            if access is not self:
+                access._freeze_backoff()
+        tx = self.medium.begin_transmission(frame)
+        self.scheduler.schedule_at(tx.end_s, lambda: self._on_airtime_done(tx))
+
+    def _on_airtime_done(self, tx: Transmission) -> None:
+        frame = tx.frame
+        self._in_flight = None
+        # Look up the final collision flag from the log (overlap may have
+        # been detected after we started).
+        final = next(
+            (t for t in reversed(self.medium.transmission_log)
+             if t.frame.frame_id == frame.frame_id),
+            tx,
+        )
+        if final.collided:
+            self.stats.collisions += 1
+            self._handle_failure(frame)
+            return
+        if frame.needs_ack:
+            if self.medium.channel_delivers(frame):
+                # Receiver ACKs after SIFS; model the ACK as busy airtime.
+                ack_time = constants.SIFS_S + WifiFrame(
+                    src=frame.dst, dst=frame.src, kind=FrameKind.ACK
+                ).airtime_s
+                self.medium.occupy(ack_time)
+                self._handle_success(frame)
+            else:
+                self.stats.channel_losses += 1
+                self._handle_failure(frame)
+        else:
+            self._handle_success(frame)
+
+    def _handle_success(self, frame: WifiFrame) -> None:
+        self.stats.successes += 1
+        self.stats.bytes_delivered += frame.payload_bytes
+        self._cw = CW_MIN
+        if self.on_result is not None:
+            self.on_result(frame, True)
+        self._try_start_contention()
+
+    def _handle_failure(self, frame: WifiFrame) -> None:
+        if self.on_result is not None:
+            self.on_result(frame, False)
+        if frame.retries + 1 >= RETRY_LIMIT:
+            self.stats.drops += 1
+            self._cw = CW_MIN
+        else:
+            self._cw = min(CW_MAX, (self._cw + 1) * 2 - 1)
+            frame.retries += 1
+            self.queue.insert(0, frame)
+        self._try_start_contention()

@@ -1,0 +1,125 @@
+"""802.11 frame descriptors and airtime computation.
+
+Frames carry only the attributes the simulation needs: addressing,
+kind, size, PHY rate, and transmit power. Airtime is computed with the
+OFDM model from :mod:`repro.phy.ofdm`; control frames (ACK, CTS) use
+fixed sizes per the standard.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from repro import units
+from repro.errors import ConfigurationError
+from repro.phy import constants
+from repro.phy.ofdm import OfdmPacket
+
+#: MAC header + FCS bytes for data frames.
+DATA_HEADER_BYTES = 28
+
+#: ACK frame body size (bytes).
+ACK_BYTES = 14
+
+#: CTS frame body size (bytes).
+CTS_BYTES = 14
+
+#: Beacon frame body size (bytes), including typical IEs.
+BEACON_BYTES = 110
+
+#: PHY rate used for control frames and beacons (basic rate).
+BASIC_RATE_BPS = 6e6
+
+_frame_ids = itertools.count(1)
+
+
+class FrameKind(enum.Enum):
+    """802.11 frame types used by the simulation."""
+
+    DATA = "data"
+    ACK = "ack"
+    BEACON = "beacon"
+    CTS_TO_SELF = "cts_to_self"
+    #: Short padding frames used by the downlink encoder as '1' bits.
+    DOWNLINK_MARK = "downlink_mark"
+
+
+@dataclass
+class WifiFrame:
+    """One simulated 802.11 frame.
+
+    Attributes:
+        src: transmitter name.
+        dst: receiver name ("*" for broadcast).
+        kind: frame type.
+        payload_bytes: MAC payload size excluding header.
+        rate_bps: PHY data rate.
+        tx_power_w: transmit power.
+        nav_s: NAV duration carried in the frame header (used by
+            CTS_to_SELF to silence the medium).
+        retries: number of retransmission attempts so far.
+    """
+
+    src: str
+    dst: str
+    kind: FrameKind = FrameKind.DATA
+    payload_bytes: int = 1000
+    rate_bps: float = 54e6
+    tx_power_w: float = units.dbm_to_watts(16.0)
+    nav_s: float = 0.0
+    retries: int = 0
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ConfigurationError("payload_bytes must be >= 0")
+        if self.tx_power_w <= 0:
+            raise ConfigurationError("tx_power_w must be positive")
+        if self.nav_s < 0:
+            raise ConfigurationError("nav_s must be >= 0")
+        if self.nav_s > constants.MAX_CTS_TO_SELF_RESERVATION_S + 1e-9:
+            raise ConfigurationError(
+                f"NAV of {self.nav_s * 1e3:.1f} ms exceeds the 802.11 limit of "
+                f"{constants.MAX_CTS_TO_SELF_RESERVATION_S * 1e3:.0f} ms"
+            )
+
+    @property
+    def airtime_s(self) -> float:
+        """On-air duration of this frame."""
+        if self.kind is FrameKind.ACK:
+            return OfdmPacket(ACK_BYTES, BASIC_RATE_BPS).airtime_s
+        if self.kind is FrameKind.CTS_TO_SELF:
+            return OfdmPacket(CTS_BYTES, BASIC_RATE_BPS).airtime_s
+        if self.kind is FrameKind.BEACON:
+            return OfdmPacket(BEACON_BYTES, BASIC_RATE_BPS).airtime_s
+        size = self.payload_bytes
+        if self.kind is FrameKind.DATA:
+            size += DATA_HEADER_BYTES
+        return OfdmPacket(size, self.rate_bps).airtime_s
+
+    @property
+    def needs_ack(self) -> bool:
+        """Whether the receiver replies with an ACK after SIFS."""
+        return self.kind is FrameKind.DATA and self.dst != "*"
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """A completed on-air transmission, as recorded by the medium.
+
+    Attributes:
+        frame: the transmitted frame.
+        start_s: airtime start.
+        end_s: airtime end.
+        collided: True when it overlapped another transmission.
+    """
+
+    frame: WifiFrame
+    start_s: float
+    end_s: float
+    collided: bool = False
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s

@@ -1,0 +1,137 @@
+"""802.11 bit-rate adaptation (ARF-style).
+
+Fig 19 of the paper shows that normal Wi-Fi throughput is essentially
+unaffected by the tag's modulation because "Wi-Fi uses rate adaptation
+and can easily adapt for the small variations in the channel quality".
+To reproduce that experiment we implement Auto Rate Fallback: step the
+rate up after a run of consecutive successes, step down after
+consecutive failures.
+
+The per-rate delivery probability itself comes from
+:class:`SnrLinkQualityModel`, which maps receiver SNR to frame error
+rate using 802.11g sensitivity thresholds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.mac.dcf import LinkQualityModel
+from repro.mac.packets import FrameKind, WifiFrame
+from repro.phy import constants
+
+#: Approximate SNR (dB) required for ~1e-1 FER at each 802.11g rate
+#: for ~1000-byte frames (textbook OFDM sensitivity ladder).
+RATE_SNR_REQUIREMENTS_DB = {
+    6e6: 4.0,
+    9e6: 5.5,
+    12e6: 7.0,
+    18e6: 9.5,
+    24e6: 12.5,
+    36e6: 16.5,
+    48e6: 20.5,
+    54e6: 22.0,
+}
+
+
+class RateController:
+    """ARF rate adaptation state machine.
+
+    Attributes:
+        up_threshold: consecutive successes needed to move up a rate.
+        down_threshold: consecutive failures needed to move down.
+    """
+
+    def __init__(self, up_threshold: int = 10, down_threshold: int = 2,
+                 initial_rate_bps: float = 54e6) -> None:
+        if initial_rate_bps not in constants.OFDM_RATES_BPS:
+            raise ConfigurationError(f"unknown OFDM rate {initial_rate_bps}")
+        if up_threshold < 1 or down_threshold < 1:
+            raise ConfigurationError("thresholds must be >= 1")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self._rates = sorted(constants.OFDM_RATES_BPS)
+        self._index = self._rates.index(initial_rate_bps)
+        self._successes = 0
+        self._failures = 0
+
+    @property
+    def current_rate_bps(self) -> float:
+        return self._rates[self._index]
+
+    def record(self, success: bool) -> None:
+        """Feed one transmission outcome into the controller."""
+        if success:
+            self._successes += 1
+            self._failures = 0
+            if (
+                self._successes >= self.up_threshold
+                and self._index < len(self._rates) - 1
+            ):
+                self._index += 1
+                self._successes = 0
+        else:
+            self._failures += 1
+            self._successes = 0
+            if self._failures >= self.down_threshold:
+                if self._index > 0:
+                    self._index -= 1
+                self._failures = 0
+
+
+@dataclass
+class SnrLinkQualityModel(LinkQualityModel):
+    """Delivery probability from receiver SNR vs per-rate requirements.
+
+    The frame error rate follows a logistic curve around the rate's SNR
+    requirement. A time-varying ``snr_perturbation_db`` callable models
+    the small channel-quality wiggle the backscatter tag introduces
+    (Fig 19 stress test).
+
+    Attributes:
+        snr_db: nominal link SNR.
+        transition_width_db: softness of the FER-vs-SNR curve.
+        snr_perturbation_db: optional function of time returning an SNR
+            offset (dB), e.g. the tag's modulation.
+        rng: random source (unused here but kept for interface parity).
+    """
+
+    snr_db: float = 25.0
+    transition_width_db: float = 1.5
+    snr_perturbation_db: Optional[Callable[[float], float]] = None
+
+    def delivery_probability(self, frame: WifiFrame, time_s: float) -> float:
+        if frame.kind is not FrameKind.DATA:
+            return 1.0  # control frames at basic rate are robust
+        required = RATE_SNR_REQUIREMENTS_DB.get(frame.rate_bps)
+        if required is None:
+            raise ConfigurationError(f"unknown OFDM rate {frame.rate_bps}")
+        snr = self.snr_db
+        if self.snr_perturbation_db is not None:
+            snr += self.snr_perturbation_db(time_s)
+        margin = snr - required
+        # Logistic FER curve: ~0.5 delivery at the requirement point.
+        return 1.0 / (1.0 + math.exp(-margin / self.transition_width_db))
+
+
+def snr_from_distance(distance_m: float, tx_power_dbm: float = 16.0,
+                      noise_floor_dbm: float = -94.0,
+                      exponent: float = 2.5, num_walls: int = 0,
+                      wall_loss_db: float = 5.0) -> float:
+    """Receiver SNR (dB) for a link of ``distance_m`` meters.
+
+    A convenience for the Fig 19 location sweep: log-distance path loss
+    at channel 6 plus wall penetration, referenced to a -94 dBm noise
+    floor.
+    """
+    from repro.phy.pathloss import LogDistancePathLoss
+
+    freq = constants.channel_center_frequency(constants.DEFAULT_CHANNEL)
+    model = LogDistancePathLoss(
+        frequency_hz=freq, exponent=exponent, wall_loss_db=wall_loss_db
+    )
+    rx_dbm = tx_power_dbm - model.path_loss_db(distance_m, num_walls)
+    return rx_dbm - noise_floor_dbm

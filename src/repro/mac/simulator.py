@@ -1,0 +1,146 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event scheduler used by the 802.11 MAC
+simulation: events are ``(time, sequence, callback)`` triples in a
+binary heap; ties in time break by insertion order so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    time_s: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventScheduler.schedule`; supports cancel."""
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event; a cancelled event's callback never runs."""
+        self._event.cancelled = True
+
+    @property
+    def time_s(self) -> float:
+        return self._event.time_s
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class EventScheduler:
+    """Priority-queue discrete-event scheduler.
+
+    Example:
+        >>> sched = EventScheduler()
+        >>> fired = []
+        >>> _ = sched.schedule_at(1.0, lambda: fired.append(sched.now))
+        >>> sched.run_until(2.0)
+        >>> fired
+        [1.0]
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (s)."""
+        return self._now
+
+    def schedule_at(self, time_s: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``time_s``.
+
+        Raises:
+            SimulationError: if ``time_s`` is in the past.
+        """
+        if time_s < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_s} s; current time is {self._now} s"
+            )
+        event = _Event(time_s=time_s, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_in(self, delay_s: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay_s`` seconds.
+
+        Raises:
+            SimulationError: if ``delay_s`` is negative.
+        """
+        if delay_s < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay_s}")
+        return self.schedule_at(self._now + delay_s, callback)
+
+    def run_until(self, end_time_s: float) -> None:
+        """Process events with time <= ``end_time_s``; advance the clock.
+
+        The clock finishes at ``end_time_s`` even if the queue drains
+        earlier.
+        """
+        if end_time_s < self._now:
+            raise SimulationError(
+                f"end time {end_time_s} s is before current time {self._now} s"
+            )
+        if self._running:
+            raise SimulationError("run_until is not reentrant")
+        self._running = True
+        try:
+            while self._heap and self._heap[0].time_s <= end_time_s:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time_s
+                event.callback()
+            self._now = end_time_s
+        finally:
+            self._running = False
+
+    def run_all(self, safety_limit: int = 10_000_000) -> None:
+        """Process every pending event.
+
+        Args:
+            safety_limit: abort (raising :class:`SimulationError`) after
+                this many events, to catch runaway self-rescheduling.
+        """
+        if self._running:
+            raise SimulationError("run_all is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time_s
+                event.callback()
+                processed += 1
+                if processed > safety_limit:
+                    raise SimulationError(
+                        f"event limit {safety_limit} exceeded; likely a "
+                        "self-rescheduling loop"
+                    )
+        finally:
+            self._running = False
+
+    def pending_count(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._heap)

@@ -1,0 +1,103 @@
+"""Stations and access points.
+
+A :class:`Station` couples a DCF access engine with an optional rate
+controller; an :class:`AccessPoint` additionally emits periodic
+beacons at the TBTT (Fig 16's beacon-only uplink relies on these).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mac.dcf import DcfAccess, Medium
+from repro.mac.packets import FrameKind, WifiFrame
+from repro.mac.rate_control import RateController
+from repro.mac.simulator import EventScheduler
+from repro.phy import constants
+
+
+class Station:
+    """A Wi-Fi device with a transmit queue and DCF access.
+
+    Attributes:
+        name: unique station name (used for addressing and NAV).
+        access: the DCF engine.
+        rate_controller: optional adaptation; when present, each
+            dequeued data frame is stamped with the controller's
+            current rate and outcomes are fed back.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        medium: Medium,
+        scheduler: EventScheduler,
+        rate_controller: Optional[RateController] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not name:
+            raise ConfigurationError("station name must be non-empty")
+        self.name = name
+        self.scheduler = scheduler
+        self.rate_controller = rate_controller
+        self.access = DcfAccess(
+            name=name,
+            medium=medium,
+            scheduler=scheduler,
+            rng=rng,
+            on_result=self._on_result,
+        )
+
+    def send(self, frame: WifiFrame, front: bool = False) -> None:
+        """Queue a frame for transmission."""
+        if frame.src != self.name:
+            raise ConfigurationError(
+                f"frame src {frame.src!r} does not match station {self.name!r}"
+            )
+        if self.rate_controller is not None and frame.kind is FrameKind.DATA:
+            frame.rate_bps = self.rate_controller.current_rate_bps
+        self.access.enqueue(frame, front=front)
+
+    def _on_result(self, frame: WifiFrame, success: bool) -> None:
+        if self.rate_controller is not None and frame.kind is FrameKind.DATA:
+            self.rate_controller.record(success)
+
+    @property
+    def stats(self):
+        return self.access.stats
+
+
+class AccessPoint(Station):
+    """A station that additionally broadcasts periodic beacons.
+
+    Attributes:
+        beacon_interval_s: TBTT spacing (102.4 ms default; Fig 16
+            sweeps effective beacon rates of 10-70 per second).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        medium: Medium,
+        scheduler: EventScheduler,
+        beacon_interval_s: float = constants.BEACON_INTERVAL_S,
+        beacons_enabled: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name, medium, scheduler, rng=rng)
+        if beacon_interval_s <= 0:
+            raise ConfigurationError("beacon_interval_s must be positive")
+        self.beacon_interval_s = beacon_interval_s
+        self.beacons_sent = 0
+        if beacons_enabled:
+            scheduler.schedule_in(beacon_interval_s, self._beacon_tick)
+
+    def _beacon_tick(self) -> None:
+        beacon = WifiFrame(src=self.name, dst="*", kind=FrameKind.BEACON)
+        # Beacons go to the head of the queue (the AP prioritizes them).
+        self.access.enqueue(beacon, front=True)
+        self.beacons_sent += 1
+        self.scheduler.schedule_in(self.beacon_interval_s, self._beacon_tick)

@@ -1,0 +1,231 @@
+"""Traffic generators driving the 802.11 simulation.
+
+The uplink's achievable bit rate is set by how many helper packets per
+second the reader observes (§5, Fig 12) and by traffic burstiness
+(timestamp binning, §3.2). These generators reproduce the workloads
+used in the paper's evaluation:
+
+* :class:`ConstantRateTraffic` — injected packets with a fixed
+  inter-packet delay (the knob the paper turns in §7.2 to sweep
+  240-3070 packets/s).
+* :class:`PoissonTraffic` — memoryless arrivals.
+* :class:`BurstyTraffic` — Pareto-distributed bursts with idle gaps,
+  the "bursty in nature" shared-medium traffic of §3.2.
+* :class:`SaturatedTraffic` — always-backlogged source, modelling the
+  1 GB media-file download of Fig 3.
+* :class:`DiurnalOfficeLoad` — time-of-day-varying office load for the
+  ambient-traffic experiments (Fig 15, Fig 18).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mac.packets import FrameKind, WifiFrame
+from repro.mac.simulator import EventScheduler
+
+#: Callable that hands a ready frame to a station queue.
+FrameSink = Callable[[WifiFrame], None]
+
+
+@dataclass
+class TrafficSource:
+    """Base class: emits frames into a sink on a schedule."""
+
+    src: str
+    dst: str
+    sink: FrameSink
+    scheduler: EventScheduler
+    payload_bytes: int = 1000
+    rate_bps: float = 54e6
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ConfigurationError("payload_bytes must be positive")
+        if self.rng is None:
+            self.rng = np.random.default_rng()
+        self._stopped = False
+
+    def start(self) -> None:
+        """Begin emitting frames."""
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _make_frame(self) -> WifiFrame:
+        return WifiFrame(
+            src=self.src,
+            dst=self.dst,
+            kind=FrameKind.DATA,
+            payload_bytes=self.payload_bytes,
+            rate_bps=self.rate_bps,
+        )
+
+    def _emit(self) -> None:
+        if self._stopped:
+            return
+        self.sink(self._make_frame())
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        raise NotImplementedError
+
+    # Interval hook shared by subclasses.
+    def _schedule_after(self, delay_s: float) -> None:
+        if self._stopped:
+            return
+        self.scheduler.schedule_in(max(0.0, delay_s), self._emit)
+
+
+@dataclass
+class ConstantRateTraffic(TrafficSource):
+    """Fixed inter-packet interval (paper §7.2: injected traffic)."""
+
+    interval_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+
+    def _schedule_next(self) -> None:
+        self._schedule_after(self.interval_s)
+
+
+@dataclass
+class PoissonTraffic(TrafficSource):
+    """Exponential inter-arrival times at ``mean_rate_pps`` packets/s."""
+
+    mean_rate_pps: float = 500.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mean_rate_pps <= 0:
+            raise ConfigurationError("mean_rate_pps must be positive")
+
+    def _schedule_next(self) -> None:
+        self._schedule_after(self.rng.exponential(1.0 / self.mean_rate_pps))
+
+
+@dataclass
+class BurstyTraffic(TrafficSource):
+    """Pareto-burst traffic: bursts of back-to-back packets, idle gaps.
+
+    Attributes:
+        burst_shape: Pareto shape of the burst length (smaller = heavier
+            tail).
+        mean_burst_packets: mean packets per burst.
+        mean_gap_s: mean idle gap between bursts.
+    """
+
+    burst_shape: float = 1.5
+    mean_burst_packets: float = 20.0
+    mean_gap_s: float = 20e-3
+    _burst_remaining: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.burst_shape <= 1.0:
+            raise ConfigurationError(
+                "burst_shape must be > 1 for a finite mean burst size"
+            )
+        if self.mean_burst_packets < 1:
+            raise ConfigurationError("mean_burst_packets must be >= 1")
+        if self.mean_gap_s <= 0:
+            raise ConfigurationError("mean_gap_s must be positive")
+
+    def _draw_burst_length(self) -> int:
+        # Pareto with mean = xm * shape / (shape - 1).
+        xm = self.mean_burst_packets * (self.burst_shape - 1.0) / self.burst_shape
+        return max(1, int(xm * (1.0 + self.rng.pareto(self.burst_shape))))
+
+    def _schedule_next(self) -> None:
+        if self._burst_remaining > 0:
+            self._burst_remaining -= 1
+            # Back-to-back within a burst (queueing spaces them out).
+            self._schedule_after(0.0)
+        else:
+            self._burst_remaining = self._draw_burst_length()
+            self._schedule_after(self.rng.exponential(self.mean_gap_s))
+
+
+@dataclass
+class SaturatedTraffic(TrafficSource):
+    """Always-backlogged source: keeps ``backlog`` frames queued.
+
+    Models the 1 GB media-file download of the paper's Fig 3
+    experiment — the AP always has data pending for the client.
+    """
+
+    backlog: int = 4
+    queue_length: Callable[[], int] = lambda: 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.backlog < 1:
+            raise ConfigurationError("backlog must be >= 1")
+
+    def _schedule_next(self) -> None:
+        # Poll frequently; refill whenever the queue drains below backlog.
+        self._schedule_after(50e-6)
+
+    def _emit(self) -> None:
+        if self._stopped:
+            return
+        while self.queue_length() < self.backlog:
+            self.sink(self._make_frame())
+        self._schedule_next()
+
+
+def office_load_pps(hour_of_day: float, peak_pps: float = 1100.0,
+                    base_pps: float = 100.0) -> float:
+    """Diurnal office network load (packets/s) at ``hour_of_day``.
+
+    A smooth single-peak curve: ramps up through the morning, peaks in
+    the early afternoon (~14:30), and decays into the evening —
+    matching the qualitative load curve the paper logs from its
+    organization's AP between 12 PM and 8 PM (Fig 15).
+    """
+    if not 0.0 <= hour_of_day <= 24.0:
+        raise ConfigurationError("hour_of_day must be within [0, 24]")
+    peak_hour = 14.5
+    width_hours = 3.4
+    load = base_pps + (peak_pps - base_pps) * math.exp(
+        -((hour_of_day - peak_hour) ** 2) / (2 * width_hours**2)
+    )
+    return load
+
+
+@dataclass
+class DiurnalOfficeLoad(TrafficSource):
+    """Poisson traffic whose rate follows :func:`office_load_pps`.
+
+    Attributes:
+        start_hour: wall-clock hour corresponding to simulation t=0.
+        peak_pps: mid-afternoon peak load.
+        base_pps: overnight floor.
+    """
+
+    start_hour: float = 12.0
+    peak_pps: float = 1100.0
+    base_pps: float = 100.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.start_hour <= 24.0:
+            raise ConfigurationError("start_hour must be within [0, 24]")
+
+    def current_rate_pps(self) -> float:
+        hour = (self.start_hour + self.scheduler.now / 3600.0) % 24.0
+        return office_load_pps(hour, self.peak_pps, self.base_pps)
+
+    def _schedule_next(self) -> None:
+        rate = self.current_rate_pps()
+        self._schedule_after(self.rng.exponential(1.0 / rate))

@@ -1,0 +1,148 @@
+"""Per-packet channel measurement records.
+
+A :class:`ChannelMeasurement` is what monitor-mode capture on a
+commodity Wi-Fi card yields per received packet: a timestamp (from the
+Wi-Fi header — the paper uses it to bin measurements into tag-bit
+boundaries, §3.2/§5), the CSI amplitude matrix when the chipset exposes
+CSI (Intel 5300: 3 antennas x 30 sub-channels), and per-antenna RSSI.
+
+The uplink decoders consume sequences of these records; the MAC
+capture layer and the trace reader both produce them, so recorded and
+simulated experiments share one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ChannelMeasurement:
+    """One packet's channel observation at the reader.
+
+    Attributes:
+        timestamp_s: packet arrival time from the Wi-Fi header.
+        csi: CSI amplitude matrix, shape ``(num_antennas,
+            num_subchannels)``, or ``None`` when the chipset only
+            reports RSSI (e.g. beacon frames on the Intel 5300, §7.5).
+        rssi_dbm: per-antenna RSSI in dBm, shape ``(num_antennas,)``.
+        source: label of the transmitter ("helper", "ap-beacon", ...).
+    """
+
+    timestamp_s: float
+    csi: Optional[np.ndarray]
+    rssi_dbm: np.ndarray
+    source: str = "helper"
+
+    def __post_init__(self) -> None:
+        if self.csi is not None and self.csi.ndim != 2:
+            raise ConfigurationError(
+                f"csi must be 2-D (antennas x subchannels), got shape "
+                f"{self.csi.shape}"
+            )
+        if np.ndim(self.rssi_dbm) != 1:
+            raise ConfigurationError("rssi_dbm must be a 1-D per-antenna array")
+
+    @property
+    def has_csi(self) -> bool:
+        return self.csi is not None
+
+    @property
+    def num_antennas(self) -> int:
+        return len(self.rssi_dbm)
+
+
+@dataclass
+class MeasurementStream:
+    """An ordered collection of measurements with array accessors.
+
+    Decoders operate on matrices, not record lists; this container
+    validates time ordering and exposes the stacked views they need.
+    """
+
+    measurements: List[ChannelMeasurement] = field(default_factory=list)
+
+    def append(self, measurement: ChannelMeasurement) -> None:
+        if self.measurements and (
+            measurement.timestamp_s < self.measurements[-1].timestamp_s
+        ):
+            raise ConfigurationError(
+                "measurements must be appended in timestamp order"
+            )
+        self.measurements.append(measurement)
+
+    def extend(self, items: Iterable[ChannelMeasurement]) -> None:
+        for item in items:
+            self.append(item)
+
+    def __len__(self) -> int:
+        return len(self.measurements)
+
+    def __iter__(self):
+        return iter(self.measurements)
+
+    def __getitem__(self, index):
+        return self.measurements[index]
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Packet timestamps (s), shape ``(n_packets,)``."""
+        return np.array([m.timestamp_s for m in self.measurements])
+
+    def csi_matrix(self) -> np.ndarray:
+        """Stacked CSI amplitudes, shape ``(n_packets, antennas, subchannels)``.
+
+        Raises:
+            ConfigurationError: if any measurement lacks CSI or shapes
+                are inconsistent.
+        """
+        if not self.measurements:
+            return np.empty((0, 0, 0))
+        mats = []
+        for m in self.measurements:
+            if m.csi is None:
+                raise ConfigurationError(
+                    "csi_matrix() requires CSI on every measurement; "
+                    "use rssi_matrix() for RSSI-only streams"
+                )
+            mats.append(m.csi)
+        return np.stack(mats)
+
+    def rssi_matrix(self) -> np.ndarray:
+        """Stacked RSSI values, shape ``(n_packets, antennas)``."""
+        if not self.measurements:
+            return np.empty((0, 0))
+        return np.stack([m.rssi_dbm for m in self.measurements])
+
+    def flattened_csi(self) -> np.ndarray:
+        """CSI flattened to (n_packets, antennas * subchannels).
+
+        The paper treats "multiple antennas as additional sub-channels"
+        (§3.2); this view implements that.
+        """
+        csi = self.csi_matrix()
+        return csi.reshape(csi.shape[0], -1)
+
+    def sliced(self, start_s: float, end_s: float) -> "MeasurementStream":
+        """Sub-stream with ``start_s <= t < end_s``."""
+        if end_s < start_s:
+            raise ConfigurationError("end_s must be >= start_s")
+        subset = [
+            m for m in self.measurements if start_s <= m.timestamp_s < end_s
+        ]
+        return MeasurementStream(measurements=subset)
+
+
+def merge_streams(streams: Sequence[MeasurementStream]) -> MeasurementStream:
+    """Merge several streams into one, ordered by timestamp."""
+    merged = sorted(
+        (m for s in streams for m in s.measurements), key=lambda m: m.timestamp_s
+    )
+    out = MeasurementStream()
+    out.extend(merged)
+    return out

@@ -1,0 +1,9 @@
+"""Application layer: bridging tags to the Internet via the reader."""
+
+from repro.net.gateway import (
+    BackscatterGateway,
+    SensorReading,
+    TagStatus,
+)
+
+__all__ = ["BackscatterGateway", "SensorReading", "TagStatus"]

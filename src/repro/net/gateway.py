@@ -1,0 +1,171 @@
+"""The Internet bridge: a gateway service over Wi-Fi Backscatter.
+
+The paper's point is connectivity, not just a link: "we show that it
+is possible to reuse existing Wi-Fi infrastructure to provide Internet
+connectivity to RF-powered devices" (§1). The reader — a phone or AP —
+is the bridge: it inventories nearby tags, polls them over the
+query-response protocol, and forwards their readings upstream.
+
+:class:`BackscatterGateway` is that application layer: a tag registry,
+a polling loop with per-tag health tracking, and a pluggable publish
+sink standing in for the cloud upstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.frames import bits_to_int
+from repro.core.inventory import InventoryTag, SlottedAlohaInventory
+from repro.core.protocol import CMD_READ_SENSOR, WiFiBackscatterReader
+from repro.errors import ConfigurationError
+
+#: Sink for readings headed upstream ("the Internet").
+PublishFn = Callable[["SensorReading"], None]
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One reading forwarded upstream.
+
+    Attributes:
+        tag_address: source tag.
+        value: decoded 32-bit sensor value.
+        poll_index: the gateway poll cycle that produced it.
+        attempts: downlink transmissions the transaction needed.
+    """
+
+    tag_address: int
+    value: int
+    poll_index: int
+    attempts: int
+
+
+@dataclass
+class TagStatus:
+    """Per-tag health bookkeeping."""
+
+    address: int
+    polls: int = 0
+    successes: int = 0
+    consecutive_failures: int = 0
+    last_value: Optional[int] = None
+    last_seen_poll: Optional[int] = None
+
+    @property
+    def availability(self) -> float:
+        """Fraction of polls that produced a reading."""
+        return self.successes / self.polls if self.polls else 0.0
+
+
+class BackscatterGateway:
+    """Polls registered tags and publishes their readings.
+
+    Attributes:
+        reader: the protocol engine used for every transaction.
+        helper_rate_fn: returns the current helper packet rate; the
+            reader's rate plan adapts to it each poll (§5).
+        publish: upstream sink; ``None`` collects readings locally only.
+        offline_threshold: consecutive failures after which a tag is
+            reported offline by :meth:`offline_tags`.
+    """
+
+    def __init__(
+        self,
+        reader: WiFiBackscatterReader,
+        helper_rate_fn: Callable[[], float],
+        publish: Optional[PublishFn] = None,
+        offline_threshold: int = 3,
+    ) -> None:
+        if offline_threshold < 1:
+            raise ConfigurationError("offline_threshold must be >= 1")
+        self.reader = reader
+        self.helper_rate_fn = helper_rate_fn
+        self.publish = publish
+        self.offline_threshold = offline_threshold
+        self.registry: Dict[int, TagStatus] = {}
+        self.poll_index = 0
+        self.published: List[SensorReading] = []
+
+    # -- registry ---------------------------------------------------------------
+
+    def register(self, address: int) -> TagStatus:
+        """Add a tag to the polling set (idempotent)."""
+        if not 0 <= address < (1 << 16):
+            raise ConfigurationError("address must fit in 16 bits")
+        return self.registry.setdefault(address, TagStatus(address=address))
+
+    def discover(
+        self,
+        population: Sequence[InventoryTag],
+        inventory: Optional[SlottedAlohaInventory] = None,
+    ) -> List[int]:
+        """Inventory nearby tags and register everything identified."""
+        engine = inventory or SlottedAlohaInventory()
+        result = engine.run(population)
+        for address in result.identified:
+            self.register(address)
+        return sorted(result.identified)
+
+    # -- polling -----------------------------------------------------------------
+
+    def poll_once(self) -> List[SensorReading]:
+        """Query every registered tag once; returns this cycle's readings."""
+        if not self.registry:
+            raise ConfigurationError("no tags registered")
+        self.poll_index += 1
+        readings: List[SensorReading] = []
+        helper_rate = self.helper_rate_fn()
+        if helper_rate <= 0:
+            raise ConfigurationError("helper_rate_fn must return > 0")
+        for status in self.registry.values():
+            status.polls += 1
+            result = self.reader.query(
+                status.address,
+                helper_rate_pps=helper_rate,
+                payload_len=32,
+                command=CMD_READ_SENSOR,
+            )
+            if result.success:
+                value = bits_to_int(list(result.frame.payload_bits))
+                status.successes += 1
+                status.consecutive_failures = 0
+                status.last_value = value
+                status.last_seen_poll = self.poll_index
+                reading = SensorReading(
+                    tag_address=status.address,
+                    value=value,
+                    poll_index=self.poll_index,
+                    attempts=result.attempts,
+                )
+                readings.append(reading)
+                self.published.append(reading)
+                if self.publish is not None:
+                    self.publish(reading)
+            else:
+                status.consecutive_failures += 1
+        return readings
+
+    def poll(self, cycles: int) -> List[SensorReading]:
+        """Run several poll cycles; returns all readings gathered."""
+        if cycles < 1:
+            raise ConfigurationError("cycles must be >= 1")
+        out: List[SensorReading] = []
+        for _ in range(cycles):
+            out.extend(self.poll_once())
+        return out
+
+    # -- health -------------------------------------------------------------------
+
+    def offline_tags(self) -> List[int]:
+        """Tags past the consecutive-failure threshold."""
+        return sorted(
+            s.address
+            for s in self.registry.values()
+            if s.consecutive_failures >= self.offline_threshold
+        )
+
+    def health_report(self) -> List[TagStatus]:
+        """All statuses, least available first."""
+        return sorted(self.registry.values(), key=lambda s: s.availability)

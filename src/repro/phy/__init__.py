@@ -1,0 +1,37 @@
+"""RF physical-layer substrate: propagation, fading, OFDM, backscatter.
+
+This package models everything between the antennas: path loss
+(:mod:`~repro.phy.pathloss`), frequency-selective multipath
+(:mod:`~repro.phy.fading`), receiver noise and quantization artefacts
+(:mod:`~repro.phy.noise`), OFDM airtime/envelope statistics
+(:mod:`~repro.phy.ofdm`), the composite helper->tag->reader backscatter
+channel (:mod:`~repro.phy.backscatter_channel`), and sampled envelope
+waveforms for the downlink circuit simulation
+(:mod:`~repro.phy.envelope`).
+"""
+
+from repro.phy.backscatter_channel import BackscatterChannel, LinkGeometry
+from repro.phy.envelope import AirInterval, EnvelopeSynthesizer, intervals_from_bits
+from repro.phy.fading import MultipathChannel, TapDelayProfile, TemporalDrift
+from repro.phy.noise import AwgnSource, SpuriousGlitchModel, quantize
+from repro.phy.ofdm import OfdmEnvelopeModel, OfdmPacket, airtime_for_duration
+from repro.phy.pathloss import LogDistancePathLoss, friis_path_gain
+
+__all__ = [
+    "AirInterval",
+    "AwgnSource",
+    "BackscatterChannel",
+    "EnvelopeSynthesizer",
+    "LinkGeometry",
+    "LogDistancePathLoss",
+    "MultipathChannel",
+    "OfdmEnvelopeModel",
+    "OfdmPacket",
+    "SpuriousGlitchModel",
+    "TapDelayProfile",
+    "TemporalDrift",
+    "airtime_for_duration",
+    "friis_path_gain",
+    "intervals_from_bits",
+    "quantize",
+]

@@ -1,0 +1,94 @@
+"""Physical-layer constants for 2.4 GHz 802.11 (Wi-Fi) channels.
+
+The paper runs all experiments on Wi-Fi channel 6 in the 2.4 GHz band
+with 20 MHz OFDM transmissions, and reads CSI from the Intel Wi-Fi Link
+5300, which reports 30 sub-carrier groups ("sub-channels") per antenna.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Center frequency (Hz) of 2.4 GHz Wi-Fi channel 1.
+CHANNEL_1_FREQ_HZ = 2.412e9
+
+#: Spacing (Hz) between adjacent 2.4 GHz Wi-Fi channel centers.
+CHANNEL_SPACING_HZ = 5e6
+
+#: Channel used throughout the paper's evaluation.
+DEFAULT_CHANNEL = 6
+
+#: OFDM signal bandwidth (Hz) for 20 MHz 802.11a/g/n transmissions.
+BANDWIDTH_HZ = 20e6
+
+#: Number of OFDM sub-carriers in a 20 MHz 802.11n symbol (data + pilot).
+NUM_OFDM_SUBCARRIERS = 56
+
+#: Sub-carrier spacing (Hz): 20 MHz / 64-point FFT.
+SUBCARRIER_SPACING_HZ = 312.5e3
+
+#: Number of CSI sub-channels reported by the Intel 5300 (grouped pairs).
+NUM_CSI_SUBCHANNELS = 30
+
+#: Number of receive antennas on the Intel Wi-Fi Link 5300.
+NUM_INTEL5300_ANTENNAS = 3
+
+#: OFDM symbol duration (s), including the 800 ns guard interval.
+OFDM_SYMBOL_DURATION_S = 4e-6
+
+#: 802.11 slot time (s) for OFDM PHYs in 2.4 GHz (802.11g long slot is
+#: 20 us; ERP short slot is 9 us — we model the short slot used by
+#: g/n-capable networks).
+SLOT_TIME_S = 9e-6
+
+#: Short interframe space (s).
+SIFS_S = 10e-6
+
+#: DCF interframe space (s): SIFS + 2 slots.
+DIFS_S = SIFS_S + 2 * SLOT_TIME_S
+
+#: Maximum NAV duration (s) reservable with one CTS_to_SELF (paper: 32 ms).
+MAX_CTS_TO_SELF_RESERVATION_S = 32e-3
+
+#: Minimum practical Wi-Fi packet airtime (s) at 54 Mbps (paper: ~40 us).
+MIN_WIFI_PACKET_DURATION_S = 40e-6
+
+#: Default beacon interval (s): 100 TU of 1024 us.
+BEACON_INTERVAL_S = 102.4e-3
+
+#: 802.11g OFDM data rates (bits/s).
+OFDM_RATES_BPS = (
+    6e6, 9e6, 12e6, 18e6, 24e6, 36e6, 48e6, 54e6,
+)
+
+#: PLCP preamble + header airtime (s) for OFDM frames.
+PLCP_OVERHEAD_S = 20e-6
+
+
+def channel_center_frequency(channel: int) -> float:
+    """Center frequency (Hz) of a 2.4 GHz Wi-Fi channel number.
+
+    Args:
+        channel: channel number, 1..13 (channel 14 is excluded because
+            its center does not follow the 5 MHz grid).
+
+    Raises:
+        ConfigurationError: if ``channel`` is outside 1..13.
+    """
+    if not 1 <= channel <= 13:
+        raise ConfigurationError(f"2.4 GHz Wi-Fi channel must be 1..13, got {channel}")
+    return CHANNEL_1_FREQ_HZ + (channel - 1) * CHANNEL_SPACING_HZ
+
+
+def subcarrier_frequencies(channel: int = DEFAULT_CHANNEL) -> "list[float]":
+    """Absolute RF frequencies (Hz) of the 30 Intel 5300 CSI sub-channels.
+
+    The 5300 groups the 56 usable sub-carriers into 30 reported groups
+    spread evenly across the occupied band; we model them as 30 equally
+    spaced taps spanning +/- 28 sub-carrier spacings around the channel
+    center.
+    """
+    center = channel_center_frequency(channel)
+    half_span = 28 * SUBCARRIER_SPACING_HZ
+    step = 2 * half_span / (NUM_CSI_SUBCHANNELS - 1)
+    return [center - half_span + i * step for i in range(NUM_CSI_SUBCHANNELS)]

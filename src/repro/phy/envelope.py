@@ -1,0 +1,156 @@
+"""Received-envelope synthesis for the downlink circuit simulation.
+
+The tag's receiver (paper Fig 8) operates on the RF envelope of nearby
+Wi-Fi transmissions. This module renders a sampled envelope-power
+waveform for an arbitrary schedule of packets and silences, including:
+
+* OFDM peak-to-average structure within each packet (the reason the
+  circuit uses peak detection),
+* path loss from the transmitting reader to the tag,
+* receiver thermal noise and ambient interference bursts.
+
+The output feeds :class:`repro.tag.receiver_circuit.ReceiverCircuit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.phy import constants
+from repro.phy.ofdm import OfdmEnvelopeModel
+from repro.phy.pathloss import LogDistancePathLoss
+
+
+@dataclass(frozen=True)
+class AirInterval:
+    """One on-air transmission interval.
+
+    Attributes:
+        start_s: interval start time.
+        duration_s: interval length.
+        power_w: mean received power during the interval, at the
+            transmitter's antenna (path loss applied separately).
+    """
+
+    start_s: float
+    duration_s: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if self.power_w < 0:
+            raise ConfigurationError("power_w must be >= 0")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass
+class EnvelopeSynthesizer:
+    """Renders a received envelope-power waveform at the tag.
+
+    Attributes:
+        distance_m: reader-to-tag distance.
+        pathloss: propagation model (defaults to exponent-2 log-distance
+            at channel 6).
+        sample_interval_s: output sample spacing.
+        noise_power_w: receiver-referred noise floor (envelope detector
+            input), as mean power.
+        rng: random source.
+    """
+
+    distance_m: float = 1.0
+    pathloss: Optional[LogDistancePathLoss] = None
+    sample_interval_s: float = 0.25e-6
+    noise_power_w: float = 1e-12
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.distance_m <= 0:
+            raise ConfigurationError("distance_m must be positive")
+        if self.sample_interval_s <= 0:
+            raise ConfigurationError("sample_interval_s must be positive")
+        if self.noise_power_w < 0:
+            raise ConfigurationError("noise_power_w must be >= 0")
+        if self.rng is None:
+            self.rng = np.random.default_rng()
+        if self.pathloss is None:
+            freq = constants.channel_center_frequency(constants.DEFAULT_CHANNEL)
+            self.pathloss = LogDistancePathLoss(frequency_hz=freq)
+        self._ofdm = OfdmEnvelopeModel(
+            sample_interval_s=self.sample_interval_s, rng=self.rng
+        )
+
+    def render(
+        self, intervals: Sequence[AirInterval], total_duration_s: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Render the envelope power waveform.
+
+        Args:
+            intervals: packet on-air intervals (may be unsorted; must
+                fit within ``total_duration_s``).
+            total_duration_s: length of the rendered waveform.
+
+        Returns:
+            ``(times_s, power_w)`` arrays of equal length.
+        """
+        if total_duration_s <= 0:
+            raise ConfigurationError("total_duration_s must be positive")
+        n = int(np.ceil(total_duration_s / self.sample_interval_s))
+        times = np.arange(n) * self.sample_interval_s
+        power = self.rng.exponential(scale=self.noise_power_w, size=n) if (
+            self.noise_power_w > 0
+        ) else np.zeros(n)
+        gain = self.pathloss.power_gain(self.distance_m)
+        for iv in intervals:
+            if iv.end_s > total_duration_s + self.sample_interval_s:
+                raise ConfigurationError(
+                    f"interval ending at {iv.end_s} s exceeds waveform length "
+                    f"{total_duration_s} s"
+                )
+            i0 = int(round(iv.start_s / self.sample_interval_s))
+            i1 = min(n, int(round(iv.end_s / self.sample_interval_s)))
+            if i1 <= i0:
+                continue
+            rx_power = iv.power_w * gain
+            burst = self._ofdm.envelope(
+                (i1 - i0) * self.sample_interval_s, mean_power_w=rx_power
+            )
+            power[i0:i1] += burst[: i1 - i0]
+        return times, power
+
+
+def intervals_from_bits(
+    bits: Sequence[int],
+    bit_duration_s: float,
+    power_w: float,
+    start_s: float = 0.0,
+) -> List[AirInterval]:
+    """Downlink on-off-keyed schedule: a packet per '1' bit, silence per '0'.
+
+    This is the encoding of paper Fig 7: "the reader encodes a '1' bit
+    with presence of a Wi-Fi packet and a '0' bit with silence. The
+    duration of the silence period is set to be equal to that of the
+    Wi-Fi packet."
+    """
+    if bit_duration_s <= 0:
+        raise ConfigurationError("bit_duration_s must be positive")
+    intervals: List[AirInterval] = []
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ConfigurationError(f"bits must be 0/1, got {bit!r}")
+        if bit:
+            intervals.append(
+                AirInterval(
+                    start_s=start_s + i * bit_duration_s,
+                    duration_s=bit_duration_s,
+                    power_w=power_w,
+                )
+            )
+    return intervals

@@ -1,0 +1,167 @@
+"""802.11 OFDM signal model: packet airtimes and envelope statistics.
+
+Two aspects of OFDM matter to Wi-Fi Backscatter:
+
+* **Packet airtime** sets both the downlink bit clock (a bit is one
+  packet-or-silence slot) and the MAC simulation timing. We compute
+  airtime from payload size and PHY rate with PLCP overhead, as in
+  802.11a/g.
+* **Peak-to-average power ratio (PAPR)**: the paper's downlink receiver
+  uses *peak* detection rather than average-energy detection precisely
+  because "Wi-Fi transmissions are modulated using OFDM, which is known
+  to have a high peak to average ratio" (§4.2). We model the complex
+  baseband OFDM envelope as a Gaussian process, whose magnitude is
+  Rayleigh-distributed per sample — giving realistic peak statistics
+  for the circuit simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.phy import constants
+
+
+@dataclass(frozen=True)
+class OfdmPacket:
+    """Airtime description of one OFDM Wi-Fi transmission.
+
+    Attributes:
+        payload_bytes: MAC payload size (including MAC header/FCS).
+        rate_bps: PHY data rate in bits/s (one of the 802.11g rates).
+    """
+
+    payload_bytes: int
+    rate_bps: float = 54e6
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ConfigurationError("payload_bytes must be >= 0")
+        if self.rate_bps not in constants.OFDM_RATES_BPS:
+            raise ConfigurationError(
+                f"rate {self.rate_bps} is not an 802.11g OFDM rate "
+                f"{constants.OFDM_RATES_BPS}"
+            )
+
+    @property
+    def airtime_s(self) -> float:
+        """Total on-air duration: PLCP overhead + data symbols.
+
+        The data portion is rounded up to whole OFDM symbols (4 us), plus
+        16 service bits and 6 tail bits per 802.11a/g.
+        """
+        bits = self.payload_bytes * 8 + 16 + 6
+        bits_per_symbol = self.rate_bps * constants.OFDM_SYMBOL_DURATION_S
+        n_symbols = math.ceil(bits / bits_per_symbol)
+        return constants.PLCP_OVERHEAD_S + n_symbols * constants.OFDM_SYMBOL_DURATION_S
+
+
+def airtime_for_duration(target_s: float, rate_bps: float = 54e6) -> OfdmPacket:
+    """Largest packet whose airtime does not exceed ``target_s``.
+
+    Used by the downlink encoder to build packets of (approximately) the
+    requested slot duration, e.g. 50/100/200 us bits.
+
+    Raises:
+        ConfigurationError: if ``target_s`` is shorter than the minimum
+            possible Wi-Fi packet (~40 us at 54 Mbps).
+    """
+    if target_s < constants.MIN_WIFI_PACKET_DURATION_S:
+        raise ConfigurationError(
+            f"target duration {target_s * 1e6:.0f} us is below the minimum "
+            f"Wi-Fi packet airtime of "
+            f"{constants.MIN_WIFI_PACKET_DURATION_S * 1e6:.0f} us"
+        )
+    bits_per_symbol = rate_bps * constants.OFDM_SYMBOL_DURATION_S
+    data_time = target_s - constants.PLCP_OVERHEAD_S
+    n_symbols = max(1, int(data_time / constants.OFDM_SYMBOL_DURATION_S))
+    payload_bits = n_symbols * bits_per_symbol - 16 - 6
+    payload_bytes = max(0, int(payload_bits // 8))
+    pkt = OfdmPacket(payload_bytes=payload_bytes, rate_bps=rate_bps)
+    # Guard against rounding pushing airtime over target by one symbol.
+    while pkt.airtime_s > target_s and pkt.payload_bytes > 0:
+        shrink = int(bits_per_symbol // 8) or 1
+        pkt = OfdmPacket(
+            payload_bytes=max(0, pkt.payload_bytes - shrink), rate_bps=rate_bps
+        )
+    return pkt
+
+
+@dataclass
+class OfdmEnvelopeModel:
+    """Sampled baseband |envelope| of an OFDM burst.
+
+    The superposition of many independently modulated sub-carriers makes
+    the complex baseband signal approximately Gaussian; its magnitude is
+    Rayleigh distributed with mean power equal to the transmit power.
+    The envelope decorrelates on the scale of 1/bandwidth, so we draw
+    independent samples at ``sample_interval_s`` >= 50 ns.
+
+    Two refinements matter to the peak-detection circuit that consumes
+    these waveforms:
+
+    * the exponential tail is truncated at ``papr_cap`` times the mean
+      power — a real OFDM signal sums a finite number of sub-carriers,
+      so its peak-to-average ratio is bounded (~9-10 dB), and
+      transmitter PAs clip beyond that;
+    * the true envelope decorrelates every ``1/bandwidth`` = 50 ns,
+      faster than the simulation sample grid, and a diode detector
+      responds to the *peak* within its response window — so each
+      rendered sample is the maximum of the sub-window's independent
+      draws (``peaks_per_sample`` of them), not a single draw.
+
+    Attributes:
+        sample_interval_s: spacing of envelope samples (s).
+        papr_cap: maximum instantaneous-to-mean power ratio (linear).
+        peaks_per_sample: independent envelope peaks per sample window
+            (sample_interval / envelope correlation time; 5 for 0.25 us
+            samples of a 20 MHz signal).
+        rng: random source.
+    """
+
+    sample_interval_s: float = 0.25e-6
+    papr_cap: float = 8.0
+    peaks_per_sample: int = 5
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.sample_interval_s <= 0:
+            raise ConfigurationError("sample_interval_s must be positive")
+        if self.papr_cap <= 1.0:
+            raise ConfigurationError("papr_cap must exceed 1")
+        if self.peaks_per_sample < 1:
+            raise ConfigurationError("peaks_per_sample must be >= 1")
+        if self.rng is None:
+            self.rng = np.random.default_rng()
+
+    def envelope(self, duration_s: float, mean_power_w: float) -> np.ndarray:
+        """Instantaneous envelope *power* samples (W) over ``duration_s``.
+
+        Returns an array of length ``ceil(duration/sample_interval)``
+        with exponential (Rayleigh-magnitude) instantaneous power whose
+        mean is ``mean_power_w``.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if mean_power_w < 0:
+            raise ConfigurationError("mean_power_w must be >= 0")
+        n = max(1, math.ceil(duration_s / self.sample_interval_s))
+        if mean_power_w == 0:
+            return np.zeros(n)
+        # |CN(0, P)|^2 is exponential with mean P; each rendered sample
+        # is the max of `peaks_per_sample` independent draws (inverse
+        # CDF of the max: -ln(1 - U**(1/k))), clipped at the PAPR cap.
+        u = self.rng.random(n)
+        k = self.peaks_per_sample
+        samples = -np.log1p(-np.power(u, 1.0 / k)) * mean_power_w
+        return np.minimum(samples, self.papr_cap * mean_power_w)
+
+    def papr_db(self, duration_s: float) -> float:
+        """Empirical peak-to-average power ratio (dB) for one burst."""
+        env = self.envelope(duration_s, mean_power_w=1.0)
+        return 10.0 * math.log10(env.max() / env.mean())

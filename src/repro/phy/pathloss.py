@@ -1,0 +1,102 @@
+"""Path-loss models for indoor 2.4 GHz propagation.
+
+Two models are provided:
+
+* :func:`friis_path_gain` — free-space (exponent 2), used as the
+  reference model and for the short helper->reader direct path.
+* :class:`LogDistancePathLoss` — log-distance model with configurable
+  exponent and optional wall penetration losses, used for the indoor
+  testbed (Fig 13) where locations span line-of-sight and
+  non-line-of-sight cases.
+
+All gains are returned as *linear power gains* (dimensionless, <= 1 in
+practice); amplitude gains are the square root.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ConfigurationError
+
+#: Minimum modelled distance (m); closer geometry is clamped to avoid the
+#: far-field formulas diverging in the near field.
+NEAR_FIELD_LIMIT_M = 0.05
+
+
+def friis_path_gain(distance_m: float, frequency_hz: float,
+                    tx_gain: float = 1.0, rx_gain: float = 1.0) -> float:
+    """Free-space (Friis) power gain between isotropic-ish antennas.
+
+    Args:
+        distance_m: separation in meters (clamped at the near-field limit).
+        frequency_hz: carrier frequency in Hz.
+        tx_gain: linear transmit antenna gain.
+        rx_gain: linear receive antenna gain.
+
+    Returns:
+        Linear power gain Pr/Pt.
+    """
+    if distance_m < 0:
+        raise ConfigurationError(f"distance must be non-negative, got {distance_m}")
+    d = max(distance_m, NEAR_FIELD_LIMIT_M)
+    lam = units.wavelength(frequency_hz)
+    return tx_gain * rx_gain * (lam / (4.0 * math.pi * d)) ** 2
+
+
+@dataclass(frozen=True)
+class LogDistancePathLoss:
+    """Log-distance path-loss model with optional wall losses.
+
+    The power gain at distance ``d`` is::
+
+        G(d) = G(d0) * (d0 / d) ** exponent * wall_loss
+
+    where ``G(d0)`` is the Friis gain at the reference distance ``d0``.
+
+    Attributes:
+        frequency_hz: carrier frequency.
+        exponent: path-loss exponent (2 = free space; 3-4 typical of
+            cluttered indoor NLOS environments).
+        reference_distance_m: distance at which free-space behaviour is
+            anchored.
+        wall_loss_db: per-wall penetration loss in dB.
+    """
+
+    frequency_hz: float
+    exponent: float = 2.0
+    reference_distance_m: float = 1.0
+    wall_loss_db: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError("frequency_hz must be positive")
+        if self.exponent < 1.0:
+            raise ConfigurationError(
+                f"path-loss exponent below 1 is unphysical, got {self.exponent}"
+            )
+        if self.reference_distance_m <= 0:
+            raise ConfigurationError("reference_distance_m must be positive")
+
+    def power_gain(self, distance_m: float, num_walls: int = 0) -> float:
+        """Linear power gain at ``distance_m`` through ``num_walls`` walls."""
+        if num_walls < 0:
+            raise ConfigurationError(f"num_walls must be >= 0, got {num_walls}")
+        d = max(distance_m, NEAR_FIELD_LIMIT_M)
+        ref_gain = friis_path_gain(self.reference_distance_m, self.frequency_hz)
+        if d <= self.reference_distance_m:
+            # Inside the reference radius fall back to free space.
+            gain = friis_path_gain(d, self.frequency_hz)
+        else:
+            gain = ref_gain * (self.reference_distance_m / d) ** self.exponent
+        return gain / units.db_to_linear(self.wall_loss_db * num_walls)
+
+    def amplitude_gain(self, distance_m: float, num_walls: int = 0) -> float:
+        """Linear amplitude gain (square root of the power gain)."""
+        return math.sqrt(self.power_gain(distance_m, num_walls))
+
+    def path_loss_db(self, distance_m: float, num_walls: int = 0) -> float:
+        """Path loss in dB (positive number)."""
+        return -units.linear_to_db(self.power_gain(distance_m, num_walls))

@@ -1,0 +1,83 @@
+"""The paper's testbed geometry (Fig 13).
+
+Five named locations in an office: location 1 holds the tag + reader
+pair (5 cm apart); locations 2-5 are where the helper (or the Fig 19
+Wi-Fi transmitter) is placed, spanning "line-of-sight and
+non-line-of-sight scenarios ... at distances of 3-9 meters from the
+tag". Location 5 "is in a different room" (one wall) and sits near a
+classroom with heavy Wi-Fi utilization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Location:
+    """A named testbed position.
+
+    Attributes:
+        name: location label from Fig 13.
+        position_m: (x, y) coordinates in meters.
+        walls_to_tag: walls between this location and location 1.
+        ambient_interference: qualitative co-channel load at this spot
+            (0 = quiet, 1 = heavy — location 5's adjacent classroom).
+    """
+
+    name: str
+    position_m: Tuple[float, float]
+    walls_to_tag: int = 0
+    ambient_interference: float = 0.0
+
+    def distance_to(self, other: "Location") -> float:
+        dx = self.position_m[0] - other.position_m[0]
+        dy = self.position_m[1] - other.position_m[1]
+        return math.hypot(dx, dy)
+
+
+#: The Fig 13 testbed. Location 1 is the tag+reader; 2-4 are same-room
+#: helper spots at increasing range; 5 is through a wall.
+TESTBED: Dict[str, Location] = {
+    "1": Location(name="1", position_m=(0.0, 0.0)),
+    "2": Location(name="2", position_m=(3.0, 0.5)),
+    "3": Location(name="3", position_m=(4.5, 2.0)),
+    "4": Location(name="4", position_m=(6.5, 3.0)),
+    "5": Location(
+        name="5",
+        position_m=(8.0, 4.5),
+        walls_to_tag=1,
+        ambient_interference=0.8,
+    ),
+}
+
+#: Helper locations swept in Figs 14 and 19.
+HELPER_LOCATIONS = ("2", "3", "4", "5")
+
+
+def helper_geometry(location_name: str, tag_reader_separation_m: float = 0.05):
+    """Distances for a helper at a named location (tag at location 1).
+
+    Returns:
+        ``(helper_to_tag_m, helper_to_reader_m, walls)`` — the reader
+        sits ``tag_reader_separation_m`` from the tag, so both helper
+        distances are effectively equal at testbed scale.
+
+    Raises:
+        ConfigurationError: for unknown location names.
+    """
+    if location_name not in TESTBED:
+        raise ConfigurationError(
+            f"unknown location {location_name!r}; testbed has "
+            f"{sorted(TESTBED)}"
+        )
+    if tag_reader_separation_m <= 0:
+        raise ConfigurationError("tag_reader_separation_m must be positive")
+    tag = TESTBED["1"]
+    helper = TESTBED[location_name]
+    d = helper.distance_to(tag)
+    return d, max(0.05, d - tag_reader_separation_m), helper.walls_to_tag

@@ -1,0 +1,452 @@
+"""End-to-end link simulation drivers.
+
+The functions here wire the substrates together the way the paper's
+experiments do, and are what the benchmark harness calls:
+
+* :func:`simulate_uplink_stream` — tag bits + helper traffic ->
+  measurement stream at the reader;
+* :func:`run_uplink_ber` — the Fig 10 experiment (BER vs distance at a
+  given packets/bit, CSI or RSSI);
+* :func:`run_correlation_trial` — the §3.4/Fig 20 long-range mode;
+* :func:`run_downlink_ber` — the Fig 17 experiment (analytic model or
+  the full circuit simulation);
+* transports binding the :mod:`repro.core.protocol` state machine to
+  the simulated links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.ber import DownlinkDetectionModel
+from repro.core.barker import barker_bits
+from repro.core.coding import make_code_pair
+from repro.core.correlation_decoder import CorrelationDecoder
+from repro.core.downlink_encoder import DownlinkEncoder
+from repro.core.frames import DownlinkMessage, UplinkFrame
+from repro.core.protocol import DownlinkTransport, UplinkTransport
+from repro.core.uplink_decoder import UplinkDecoder
+from repro.errors import ConfigurationError, ReproError
+from repro.phy.envelope import EnvelopeSynthesizer
+from repro.sim import calibration
+from repro.sim.calibration import CalibratedParameters, DEFAULTS
+from repro.measurement import MeasurementStream
+from repro.sim.metrics import BerResult, bit_errors
+from repro.tag.modulator import TagModulator, random_payload
+from repro.tag.receiver_circuit import ReceiverCircuit
+
+#: Lead-in/lead-out idle time around a transmission so the conditioning
+#: moving average has context at the frame edges.
+EDGE_PADDING_S = 0.45
+
+
+def helper_packet_times(
+    rate_pps: float,
+    duration_s: float,
+    traffic: str = "cbr",
+    start_s: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Helper packet timestamps over ``duration_s``.
+
+    Args:
+        rate_pps: mean packet rate.
+        duration_s: span to cover.
+        traffic: "cbr" (fixed interval with 10% jitter — the paper's
+            injected traffic) or "poisson" (ambient-like arrivals).
+        start_s: first-packet offset.
+        rng: random source.
+    """
+    if rate_pps <= 0:
+        raise ConfigurationError("rate_pps must be positive")
+    if duration_s <= 0:
+        raise ConfigurationError("duration_s must be positive")
+    rng = rng or np.random.default_rng()
+    if traffic == "cbr":
+        interval = 1.0 / rate_pps
+        n = int(duration_s / interval)
+        times = start_s + np.arange(n) * interval
+        times = times + rng.uniform(-0.05 * interval, 0.05 * interval, size=n)
+        return np.sort(times)
+    if traffic == "poisson":
+        n_expected = int(rate_pps * duration_s * 1.5) + 10
+        gaps = rng.exponential(1.0 / rate_pps, size=n_expected)
+        times = start_s + np.cumsum(gaps)
+        return times[times < start_s + duration_s]
+    raise ConfigurationError(f"traffic must be 'cbr' or 'poisson', got {traffic!r}")
+
+
+def simulate_uplink_stream(
+    bits: Sequence[int],
+    bit_duration_s: float,
+    packet_times_s: np.ndarray,
+    tag_to_reader_m: float,
+    params: CalibratedParameters = DEFAULTS,
+    helper_to_tag_m: float = 3.0,
+    rng: Optional[np.random.Generator] = None,
+    modulator: Optional[TagModulator] = None,
+) -> Tuple[MeasurementStream, float]:
+    """Render the reader's measurement stream for one tag transmission.
+
+    The transmission starts ``EDGE_PADDING_S`` after the first packet.
+
+    Returns:
+        ``(stream, tx_start_time_s)``.
+    """
+    rng = rng or np.random.default_rng()
+    times = np.asarray(packet_times_s, dtype=float)
+    if len(times) == 0:
+        raise ConfigurationError("packet_times_s must be non-empty")
+    modulator = modulator or TagModulator(bit_duration_s=bit_duration_s)
+    modulator.bit_duration_s = bit_duration_s
+    tx_start = float(times[0]) + EDGE_PADDING_S
+    modulator.load_bits(list(bits), tx_start)
+
+    channel = calibration.make_channel(
+        tag_to_reader_m=tag_to_reader_m,
+        helper_to_tag_m=helper_to_tag_m,
+        params=params,
+        rng=rng,
+    )
+    card = calibration.make_card(params=params, rng=rng)
+    states = np.array([modulator.state(t) for t in times])
+    true_h = channel.response_batch(times, states)
+    records = card.measure_batch(true_h, times)
+    stream = MeasurementStream()
+    stream.extend(records)
+    return stream, tx_start
+
+
+@dataclass(frozen=True)
+class UplinkTrial:
+    """One uplink BER trial's outcome."""
+
+    sent_bits: np.ndarray
+    decoded_bits: np.ndarray
+    errors: int
+
+
+def run_uplink_trial(
+    tag_to_reader_m: float,
+    packets_per_bit: float,
+    mode: str = "csi",
+    num_payload_bits: int = 90,
+    bit_rate_bps: float = 100.0,
+    traffic: str = "cbr",
+    known_timing: bool = True,
+    params: CalibratedParameters = DEFAULTS,
+    decoder: Optional[UplinkDecoder] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> UplinkTrial:
+    """One tag transmission decoded at the reader (Fig 10 inner loop).
+
+    The tag sends the Barker preamble followed by ``num_payload_bits``
+    random bits; the helper sends ``packets_per_bit * bit_rate_bps``
+    packets/s. BER is computed over the payload bits.
+
+    Args:
+        known_timing: use the true transmission start (the experiment
+            controls the tag) instead of searching for the preamble;
+            the paper computes BER on synchronized comparisons.
+    """
+    rng = rng or np.random.default_rng()
+    bit_duration = 1.0 / bit_rate_bps
+    payload = random_payload(num_payload_bits, rng)
+    bits = barker_bits() + payload
+    span = len(bits) * bit_duration + 2 * EDGE_PADDING_S + 0.1
+    pkt_rate = packets_per_bit * bit_rate_bps
+    times = helper_packet_times(pkt_rate, span, traffic=traffic, rng=rng)
+    stream, tx_start = simulate_uplink_stream(
+        bits, bit_duration, times, tag_to_reader_m, params=params, rng=rng
+    )
+    decoder = decoder or UplinkDecoder()
+    result = decoder.decode_bits(
+        stream,
+        num_bits=num_payload_bits,
+        bit_duration_s=bit_duration,
+        mode=mode,
+        start_time_s=tx_start if known_timing else None,
+    )
+    errors = bit_errors(payload, result.bits)
+    return UplinkTrial(
+        sent_bits=np.asarray(payload), decoded_bits=result.bits, errors=errors
+    )
+
+
+def run_uplink_ber(
+    tag_to_reader_m: float,
+    packets_per_bit: float,
+    mode: str = "csi",
+    repeats: int = 20,
+    num_payload_bits: int = 90,
+    bit_rate_bps: float = 100.0,
+    traffic: str = "cbr",
+    params: CalibratedParameters = DEFAULTS,
+    seed: Optional[int] = None,
+) -> BerResult:
+    """The Fig 10 measurement: BER over ``repeats`` transmissions.
+
+    The paper transmits a 90-bit payload 20 times per distance (1800
+    bits) and floors zero-error runs.
+    """
+    if repeats < 1:
+        raise ConfigurationError("repeats must be >= 1")
+    rng = np.random.default_rng(seed)
+    errors = 0
+    total = 0
+    for _ in range(repeats):
+        trial = run_uplink_trial(
+            tag_to_reader_m,
+            packets_per_bit,
+            mode=mode,
+            num_payload_bits=num_payload_bits,
+            bit_rate_bps=bit_rate_bps,
+            traffic=traffic,
+            params=params,
+            rng=rng,
+        )
+        errors += trial.errors
+        total += num_payload_bits
+    return BerResult(errors=errors, total_bits=total, runs=repeats)
+
+
+def run_correlation_trial(
+    tag_to_reader_m: float,
+    code_length: int,
+    num_bits: int = 16,
+    packets_per_chip: float = 30.0,
+    chip_rate_cps: float = 100.0,
+    params: CalibratedParameters = DEFAULTS,
+    rng: Optional[np.random.Generator] = None,
+) -> UplinkTrial:
+    """Long-range coded uplink (§3.4): send + correlation-decode.
+
+    Args:
+        code_length: L, chips per bit.
+        num_bits: message bits (each expanded to L chips).
+        packets_per_chip: helper packets per chip interval.
+        chip_rate_cps: chip rate (the tag's raw switching rate).
+    """
+    rng = rng or np.random.default_rng()
+    pair = make_code_pair(code_length)
+    payload = random_payload(num_bits, rng)
+    chips = pair.encode(payload)
+    states = [1 if c > 0 else 0 for c in chips]
+    chip_duration = 1.0 / chip_rate_cps
+    span = len(states) * chip_duration + 2 * EDGE_PADDING_S + 0.1
+    pkt_rate = packets_per_chip * chip_rate_cps
+    times = helper_packet_times(pkt_rate, span, traffic="cbr", rng=rng)
+    stream, tx_start = simulate_uplink_stream(
+        states, chip_duration, times, tag_to_reader_m, params=params, rng=rng
+    )
+    decoder = CorrelationDecoder(pair)
+    result = decoder.decode_bits(
+        stream,
+        num_bits=num_bits,
+        chip_duration_s=chip_duration,
+        start_time_s=tx_start,
+    )
+    errors = bit_errors(payload, result.bits)
+    return UplinkTrial(
+        sent_bits=np.asarray(payload), decoded_bits=result.bits, errors=errors
+    )
+
+
+def simulate_multi_helper_stream(
+    bits: Sequence[int],
+    bit_duration_s: float,
+    helpers: "dict[str, tuple[float, float]]",
+    tag_to_reader_m: float,
+    params: CalibratedParameters = DEFAULTS,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[MeasurementStream, float]:
+    """Measurement stream with traffic from several Wi-Fi transmitters.
+
+    §5: "the Wi-Fi reader can leverage transmissions from all Wi-Fi
+    devices in the network and combine the channel information across
+    all of them to achieve a high data rate in a busy network." Each
+    helper reaches the reader over its own channel, so each packet's
+    record is tagged with its source for per-source conditioning.
+
+    Args:
+        bits: the tag's switch states.
+        bit_duration_s: tag bit duration.
+        helpers: ``{name: (helper_to_tag_m, packets_per_second)}``.
+        tag_to_reader_m: tag-reader distance.
+        params: calibration constants.
+        rng: random source.
+
+    Returns:
+        ``(merged stream, tx_start_time_s)``.
+    """
+    if not helpers:
+        raise ConfigurationError("helpers must be non-empty")
+    rng = rng or np.random.default_rng()
+    modulator = TagModulator(bit_duration_s=bit_duration_s)
+    span = len(bits) * bit_duration_s + 2 * EDGE_PADDING_S + 0.1
+    tx_start = EDGE_PADDING_S
+    modulator.load_bits(list(bits), tx_start)
+    streams = []
+    for name, (distance_m, rate_pps) in helpers.items():
+        times = helper_packet_times(
+            rate_pps, span, traffic="poisson", rng=rng
+        )
+        channel = calibration.make_channel(
+            tag_to_reader_m=tag_to_reader_m,
+            helper_to_tag_m=distance_m,
+            params=params,
+            rng=rng,
+        )
+        card = calibration.make_card(params=params, rng=rng)
+        states = np.array([modulator.state(t) for t in times])
+        records = card.measure_batch(
+            channel.response_batch(times, states), times, source=name
+        )
+        part = MeasurementStream()
+        part.extend(records)
+        streams.append(part)
+    from repro.measurement import merge_streams
+
+    return merge_streams(streams), tx_start
+
+
+# -- downlink ------------------------------------------------------------------
+
+
+def run_downlink_ber(
+    distance_m: float,
+    bit_duration_s: float,
+    num_bits: int = 200_000,
+    model: Optional[DownlinkDetectionModel] = None,
+    params: CalibratedParameters = DEFAULTS,
+    seed: Optional[int] = None,
+) -> BerResult:
+    """Fig 17: downlink BER at a distance via the analytic peak model.
+
+    Monte-Carlo over ``num_bits`` equiprobable bits using the
+    calibrated :class:`DownlinkDetectionModel` (the paper transmits
+    200 kilobits per point). For the bit-exact circuit path use
+    :func:`run_downlink_circuit_trial`.
+    """
+    if num_bits < 1:
+        raise ConfigurationError("num_bits must be >= 1")
+    rng = np.random.default_rng(seed)
+    model = model or DownlinkDetectionModel(
+        scale_m=params.downlink_range_scale_m, shape=params.downlink_range_shape
+    )
+    miss = model.miss_probability(distance_m, bit_duration_s)
+    false_one = model.false_one_probability
+    ones = rng.random(num_bits) < 0.5
+    n_ones = int(ones.sum())
+    n_zeros = num_bits - n_ones
+    errors = int((rng.random(n_ones) < miss).sum())
+    errors += int((rng.random(n_zeros) < false_one).sum())
+    return BerResult(errors=errors, total_bits=num_bits, runs=1)
+
+
+def run_downlink_circuit_trial(
+    distance_m: float,
+    bit_duration_s: float,
+    num_payload_bits: int = 64,
+    circuit: Optional[ReceiverCircuit] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[List[int], np.ndarray]:
+    """Bit-exact downlink through the envelope + circuit simulation.
+
+    Renders the on-off keyed waveform for one message, runs the Fig 8
+    circuit, and samples mid-bit values with known timing.
+
+    Returns:
+        ``(sent_bits, received_bits)`` over the full message (preamble
+        + payload + CRC).
+    """
+    rng = rng or np.random.default_rng()
+    payload = random_payload(num_payload_bits, rng)
+    message = DownlinkMessage(payload_bits=tuple(payload))
+    encoder = DownlinkEncoder(bit_duration_s=bit_duration_s)
+    lead_in = 20 * bit_duration_s
+    intervals = encoder.air_intervals(message, start_s=lead_in)
+    total = lead_in + encoder.message_airtime_s(message) + 10 * bit_duration_s
+    synth = EnvelopeSynthesizer(distance_m=distance_m, rng=rng)
+    times, power = synth.render(intervals, total)
+    circuit = circuit or ReceiverCircuit(rng=rng)
+    _, _, comparator = circuit.process(power, synth.sample_interval_s)
+    from repro.core.downlink_decoder import sample_mid_bits
+
+    sent = message.to_bits()
+    received = sample_mid_bits(
+        comparator, times, lead_in, bit_duration_s, len(sent)
+    )
+    return sent, received
+
+
+# -- protocol transports ---------------------------------------------------------
+
+
+@dataclass
+class SimulatedDownlinkTransport(DownlinkTransport):
+    """Downlink delivery via the calibrated detection model.
+
+    A message is delivered when every one of its bits decodes and the
+    preamble is matched; per-bit error sampling uses the analytic
+    model. CRC catches multi-bit corruption, so any bit error = lost
+    message (the reader retransmits).
+    """
+
+    distance_m: float
+    bit_duration_s: float = 50e-6
+    model: DownlinkDetectionModel = field(default_factory=DownlinkDetectionModel)
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    sends: int = 0
+
+    def send(self, message: DownlinkMessage) -> bool:
+        self.sends += 1
+        bits = message.to_bits()
+        miss = self.model.miss_probability(self.distance_m, self.bit_duration_s)
+        for bit in bits:
+            p_err = miss if bit else self.model.false_one_probability
+            if self.rng.random() < p_err:
+                return False
+        return True
+
+
+@dataclass
+class SimulatedUplinkTransport(UplinkTransport):
+    """Uplink reception via the full measurement-stream pipeline."""
+
+    tag_to_reader_m: float
+    packets_per_bit: float = 10.0
+    params: CalibratedParameters = DEFAULTS
+    mode: str = "csi"
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    #: Filled by the protocol harness before receive(): the frame the
+    #: tag will transmit (the simulation needs to render its bits).
+    pending_frame: Optional[UplinkFrame] = None
+
+    def receive(self, payload_len: int, bit_rate_bps: float) -> Optional[UplinkFrame]:
+        if self.pending_frame is None:
+            return None
+        frame = self.pending_frame
+        bits = frame.to_bits()
+        bit_duration = 1.0 / bit_rate_bps
+        span = len(bits) * bit_duration + 2 * EDGE_PADDING_S + 0.1
+        pkt_rate = self.packets_per_bit * bit_rate_bps
+        times = helper_packet_times(pkt_rate, span, traffic="cbr", rng=self.rng)
+        stream, tx_start = simulate_uplink_stream(
+            bits, bit_duration, times, self.tag_to_reader_m,
+            params=self.params, rng=self.rng,
+        )
+        decoder = UplinkDecoder()
+        try:
+            return decoder.decode_frame(
+                stream,
+                payload_len=len(frame.payload_bits),
+                bit_duration_s=bit_duration,
+                mode=self.mode,
+                start_time_s=tx_start,
+            )
+        except ReproError:
+            return None

@@ -1,0 +1,7 @@
+"""Compatibility alias: the measurement records live in
+:mod:`repro.measurement` (a leaf module, so that :mod:`repro.core` can
+depend on it without importing the sim package)."""
+
+from repro.measurement import ChannelMeasurement, MeasurementStream, merge_streams
+
+__all__ = ["ChannelMeasurement", "MeasurementStream", "merge_streams"]

@@ -1,0 +1,123 @@
+"""Experiment metrics: BER, PER, throughput, confidence intervals.
+
+Includes the paper's conventions: "Since we transmit a total of 1800
+bits, if we do not see any bit errors, we set the BER to 5e-4" — i.e.
+a zero-error run reports the reciprocal of the bit budget (a one-sided
+resolution floor), handled by :func:`ber_with_floor`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def bit_errors(sent: Sequence[int], received: Sequence[int]) -> int:
+    """Hamming distance between two equal-length bit sequences."""
+    a = np.asarray(sent, dtype=int)
+    b = np.asarray(received, dtype=int)
+    if a.shape != b.shape:
+        raise ConfigurationError(
+            f"length mismatch: sent {a.shape}, received {b.shape}"
+        )
+    return int(np.count_nonzero(a != b))
+
+
+def ber_with_floor(errors: int, total_bits: int) -> float:
+    """BER with the paper's zero-error floor convention.
+
+    A run with no observed errors reports ``1 / (2 * total_bits)``-ish
+    — the paper uses ``5e-4`` for 1800 bits, i.e. ``0.9 / total``;
+    we use ``1 / total`` as the floor, which matches to rounding.
+    """
+    if total_bits <= 0:
+        raise ConfigurationError("total_bits must be positive")
+    if errors < 0 or errors > total_bits:
+        raise ConfigurationError("errors must be within [0, total_bits]")
+    if errors == 0:
+        return 1.0 / total_bits
+    return errors / total_bits
+
+
+@dataclass(frozen=True)
+class BerResult:
+    """Aggregated BER over repeated transmissions.
+
+    Attributes:
+        errors: total bit errors.
+        total_bits: total bits compared.
+        runs: number of transmissions aggregated.
+    """
+
+    errors: int
+    total_bits: int
+    runs: int
+
+    @property
+    def ber(self) -> float:
+        return ber_with_floor(self.errors, self.total_bits)
+
+    @property
+    def is_floor(self) -> bool:
+        """True when no errors were seen (BER is a resolution floor)."""
+        return self.errors == 0
+
+    def confidence_interval(self, z: float = 1.96) -> "tuple[float, float]":
+        """Wilson score interval for the error probability."""
+        n = self.total_bits
+        p = self.errors / n
+        denom = 1.0 + z**2 / n
+        center = (p + z**2 / (2 * n)) / denom
+        half = (z / denom) * math.sqrt(p * (1 - p) / n + z**2 / (4 * n**2))
+        return max(0.0, center - half), min(1.0, center + half)
+
+
+def packet_delivery_probability(successes: int, attempts: int) -> float:
+    """Fraction of packets received correctly (Fig 14 metric)."""
+    if attempts <= 0:
+        raise ConfigurationError("attempts must be positive")
+    if not 0 <= successes <= attempts:
+        raise ConfigurationError("successes must be within [0, attempts]")
+    return successes / attempts
+
+
+def throughput_mbytes_per_s(bytes_delivered: int, duration_s: float) -> float:
+    """Application throughput in MB/s (Fig 19 metric)."""
+    if duration_s <= 0:
+        raise ConfigurationError("duration_s must be positive")
+    if bytes_delivered < 0:
+        raise ConfigurationError("bytes_delivered must be >= 0")
+    return bytes_delivered / duration_s / 1e6
+
+
+def achievable_bit_rate(
+    rate_to_ber: "dict[float, float]", ber_target: float = 1e-2
+) -> float:
+    """Max tested rate whose BER meets the target (Figs 12, 15, 16).
+
+    "The average achievable bit rate is the maximum bit rate, amongst
+    the tested rates ... that can be decoded at the Wi-Fi reader with a
+    BER less than 1e-2."
+
+    Returns 0.0 when no tested rate meets the target.
+    """
+    if not rate_to_ber:
+        raise ConfigurationError("rate_to_ber must be non-empty")
+    if not 0 < ber_target < 1:
+        raise ConfigurationError("ber_target must be in (0, 1)")
+    good = [rate for rate, ber in rate_to_ber.items() if ber < ber_target]
+    return max(good) if good else 0.0
+
+
+def mean_and_std(values: Sequence[float]) -> "tuple[float, float]":
+    """Sample mean and standard deviation (ddof=1 when possible)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("values must be non-empty")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return float(arr.mean()), std

@@ -1,0 +1,146 @@
+"""MSP430 power-state machine (§4.2 energy-saving modes).
+
+"The microcontroller requires a relatively large amount of power
+(several hundred uW) in its active mode. To reduce overall power
+consumption, the Wi-Fi Backscatter tag keeps the microcontroller in a
+sleep state as much as possible":
+
+* **Preamble detection mode** — the MCU sleeps between comparator
+  transitions; each transition briefly wakes it to update the interval
+  correlation.
+* **Packet decoding mode** — the MCU "wakes up briefly to capture each
+  sample, then sleeps until the next bit"; after the known packet
+  length it wakes fully for framing/CRC.
+
+This module does the energy accounting for those modes and tracks
+false-positive wake-ups (each costs a doomed decode attempt — the
+cost quantified by Fig 18).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.tag.harvester import MCU_ACTIVE_POWER_W, MCU_SLEEP_POWER_W
+
+
+class McuMode(enum.Enum):
+    """Operating modes of the tag's microcontroller."""
+
+    SLEEP = "sleep"
+    PREAMBLE_DETECTION = "preamble_detection"
+    PACKET_DECODING = "packet_decoding"
+
+
+@dataclass(frozen=True)
+class McuPowerProfile:
+    """Power draws and per-event wake costs.
+
+    Attributes:
+        active_power_w: full-active draw.
+        sleep_power_w: sleep draw.
+        transition_wake_s: active time to process one comparator
+            transition in preamble-detection mode.
+        sample_wake_s: active time to capture one mid-bit sample.
+        decode_active_s: active time for framing + CRC after a packet.
+    """
+
+    active_power_w: float = MCU_ACTIVE_POWER_W
+    sleep_power_w: float = MCU_SLEEP_POWER_W
+    transition_wake_s: float = 5e-6
+    sample_wake_s: float = 3e-6
+    decode_active_s: float = 250e-6
+
+    def __post_init__(self) -> None:
+        if self.active_power_w <= self.sleep_power_w:
+            raise ConfigurationError("active power must exceed sleep power")
+        for name in ("transition_wake_s", "sample_wake_s", "decode_active_s"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+
+@dataclass
+class McuEnergyLedger:
+    """Accumulates MCU energy over a simulated interval.
+
+    Attributes:
+        profile: power/timing profile.
+        elapsed_s: wall time accounted so far.
+        active_s: time spent in active mode.
+        wakeups: total wake events.
+        false_wakeups: wakes caused by false preamble matches.
+    """
+
+    profile: McuPowerProfile = field(default_factory=McuPowerProfile)
+    elapsed_s: float = 0.0
+    active_s: float = 0.0
+    wakeups: int = 0
+    false_wakeups: int = 0
+    mode: McuMode = McuMode.SLEEP
+    _log: List[str] = field(default_factory=list)
+
+    def idle(self, duration_s: float) -> None:
+        """Account a fully-asleep interval."""
+        if duration_s < 0:
+            raise ConfigurationError("duration_s must be >= 0")
+        self.elapsed_s += duration_s
+        self.mode = McuMode.SLEEP
+
+    def transition_event(self, count: int = 1) -> None:
+        """Account ``count`` comparator-transition wakes (preamble mode)."""
+        if count < 0:
+            raise ConfigurationError("count must be >= 0")
+        self.wakeups += count
+        self.active_s += count * self.profile.transition_wake_s
+        self.mode = McuMode.PREAMBLE_DETECTION
+
+    def decode_packet(self, num_bits: int, false_positive: bool = False) -> None:
+        """Account a packet-decoding episode.
+
+        Per-bit mid-sample wakes plus the final full-wake decode. A
+        ``false_positive`` episode is the Fig 18 cost: the same energy,
+        spent on noise.
+        """
+        if num_bits < 1:
+            raise ConfigurationError("num_bits must be >= 1")
+        self.wakeups += num_bits + 1
+        self.active_s += (
+            num_bits * self.profile.sample_wake_s + self.profile.decode_active_s
+        )
+        self.mode = McuMode.PACKET_DECODING
+        if false_positive:
+            self.false_wakeups += 1
+            self._log.append(f"false wake after {self.elapsed_s:.3f} s")
+
+    @property
+    def sleep_s(self) -> float:
+        return max(0.0, self.elapsed_s - self.active_s)
+
+    @property
+    def energy_j(self) -> float:
+        """Total MCU energy over the accounted interval."""
+        return (
+            self.active_s * self.profile.active_power_w
+            + self.sleep_s * self.profile.sleep_power_w
+        )
+
+    @property
+    def average_power_w(self) -> float:
+        """Mean draw; the number to compare against the harvest rate.
+
+        Raises:
+            ConfigurationError: before any time is accounted.
+        """
+        if self.elapsed_s <= 0:
+            raise ConfigurationError("no time accounted yet")
+        return self.energy_j / self.elapsed_s
+
+    def false_wake_energy_cost_j(self, num_bits: int) -> float:
+        """Energy wasted by one false preamble wake (Fig 18 economics)."""
+        return (
+            num_bits * self.profile.sample_wake_s
+            + self.profile.decode_active_s
+        ) * self.profile.active_power_w

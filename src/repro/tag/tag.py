@@ -1,0 +1,151 @@
+"""The assembled Wi-Fi Backscatter tag.
+
+Combines the antenna, uplink modulator, downlink receiver (circuit +
+decoder + MCU ledger), and energy harvester into the device the paper
+prototypes: a battery-free node that answers reader queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.coding import OrthogonalCodePair
+from repro.core.downlink_decoder import DownlinkDecoder
+from repro.core.frames import DownlinkMessage, UplinkFrame, int_to_bits
+from repro.core.protocol import Query, decode_query
+from repro.errors import ConfigurationError, DecodeError
+from repro.tag.antenna import PatchArrayAntenna
+from repro.tag.harvester import (
+    EnergyHarvester,
+    RECEIVER_POWER_W,
+    TRANSMIT_POWER_W,
+)
+from repro.tag.mcu import McuEnergyLedger
+from repro.tag.modulator import TagModulator
+from repro.tag.receiver_circuit import ReceiverCircuit
+
+
+@dataclass
+class WiFiBackscatterTag:
+    """A complete RF-powered tag.
+
+    Attributes:
+        address: 16-bit tag address.
+        antenna: patch-array model (supplies the channel coupling).
+        modulator: uplink switch driver.
+        circuit: downlink analog front end.
+        harvester: energy store.
+        mcu: energy ledger for the microcontroller.
+        sensor_value: the value returned to CMD_READ_SENSOR queries
+            (in a real deployment this comes from an attached sensor).
+    """
+
+    address: int = 0x0001
+    antenna: PatchArrayAntenna = field(default_factory=PatchArrayAntenna)
+    modulator: TagModulator = field(default_factory=TagModulator)
+    circuit: ReceiverCircuit = field(default_factory=ReceiverCircuit)
+    harvester: EnergyHarvester = field(default_factory=EnergyHarvester)
+    mcu: McuEnergyLedger = field(default_factory=McuEnergyLedger)
+    sensor_value: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address < (1 << 16):
+            raise ConfigurationError("address must fit in 16 bits")
+        self.queries_heard: List[Query] = []
+
+    @property
+    def coupling(self) -> float:
+        """Differential RCS coupling for the backscatter channel."""
+        return self.antenna.differential_coupling
+
+    # -- downlink --------------------------------------------------------------
+
+    def receive_downlink(
+        self,
+        power_w: np.ndarray,
+        sample_interval_s: float,
+        bit_duration_s: float,
+        payload_len: int = 64,
+    ) -> DownlinkMessage:
+        """Run the full receive path on an envelope-power waveform.
+
+        Circuit -> transition preamble match -> mid-bit sampling ->
+        CRC check, with MCU energy accounted.
+
+        Raises:
+            DecodeError / CrcError: when the message cannot be
+                recovered (the reader will retransmit).
+        """
+        times = np.arange(len(power_w)) * sample_interval_s
+        _, _, comparator = self.circuit.process(power_w, sample_interval_s)
+        decoder = DownlinkDecoder(
+            bit_duration_s=bit_duration_s, payload_len=payload_len
+        )
+        # Energy accounting: transitions wake the MCU in preamble mode.
+        n_transitions = int(np.count_nonzero(np.diff(comparator)))
+        self.mcu.idle(len(power_w) * sample_interval_s)
+        self.mcu.transition_event(n_transitions)
+        message = decoder.decode(comparator, times)  # may raise
+        self.mcu.decode_packet(payload_len + 16)
+        return message
+
+    def handle_query(self, message: DownlinkMessage) -> Optional[Query]:
+        """Process a decoded query; returns it when addressed to us."""
+        query = decode_query(message)
+        if query.tag_address != self.address:
+            return None
+        self.queries_heard.append(query)
+        return query
+
+    # -- uplink ----------------------------------------------------------------
+
+    def response_frame(self, query: Query) -> UplinkFrame:
+        """Build the response payload for a query.
+
+        CMD_READ_SENSOR returns the 32-bit sensor value; other commands
+        echo the tag address (a minimal, CRC-protected presence reply).
+        """
+        from repro.core.protocol import CMD_READ_SENSOR
+
+        if query.command == CMD_READ_SENSOR:
+            payload = int_to_bits(self.sensor_value & 0xFFFFFFFF, 32)
+        else:
+            payload = int_to_bits(self.address, 16)
+        return UplinkFrame(payload_bits=tuple(payload))
+
+    def arm_response(
+        self,
+        query: Query,
+        start_time_s: float,
+        code_pair: Optional[OrthogonalCodePair] = None,
+    ) -> List[int]:
+        """Arm the modulator with the response at the queried bit rate.
+
+        Returns the on-air switch states. Draws transmit energy from
+        the harvester.
+        """
+        frame = self.response_frame(query)
+        self.modulator.bit_duration_s = 1.0 / query.rate_bps
+        if code_pair is None:
+            bits = self.modulator.load_frame(frame, start_time_s)
+        else:
+            bits = self.modulator.load_coded_frame(frame, code_pair, start_time_s)
+        duration = len(bits) * self.modulator.effective_bit_duration_s
+        self.harvester.draw(TRANSMIT_POWER_W, duration)
+        return bits
+
+    # -- energy ----------------------------------------------------------------
+
+    def continuous_power_w(self) -> float:
+        """Always-on draw: receiver circuit + modulator idle + MCU sleep."""
+        return RECEIVER_POWER_W + self.mcu.profile.sleep_power_w
+
+    def can_sustain(self, incident_density_w_m2: float) -> bool:
+        """Whether harvesting covers the continuous draw."""
+        return (
+            self.harvester.harvest_rate_w(incident_density_w_m2)
+            >= self.continuous_power_w()
+        )

@@ -1,0 +1,19 @@
+"""Trace generation and persistence."""
+
+from repro.traces.format import FORMAT_VERSION, load_stream, save_stream
+from repro.traces.synthetic import (
+    TrafficSample,
+    hours_range,
+    office_traffic_sample,
+    sample_to_intervals,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "TrafficSample",
+    "hours_range",
+    "load_stream",
+    "office_traffic_sample",
+    "sample_to_intervals",
+    "save_stream",
+]

@@ -1,0 +1,119 @@
+"""Synthetic trace generation.
+
+The paper's ambient-traffic experiments (Figs 15, 18) run against a
+live office network over a working day. Without that network, we
+generate equivalent traces: packet timelines following the diurnal
+office load curve, renderable either as reader-side measurement
+streams (uplink experiments) or as on-air interval schedules
+(tag-side false-positive experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mac.traffic import office_load_pps
+from repro.phy.envelope import AirInterval
+from repro.phy.ofdm import OfdmPacket
+
+
+@dataclass(frozen=True)
+class TrafficSample:
+    """A slice of synthetic office traffic.
+
+    Attributes:
+        hour_of_day: wall-clock hour the slice represents.
+        packet_times_s: packet start times within the slice (t=0 based).
+        load_pps: the nominal load at that hour.
+    """
+
+    hour_of_day: float
+    packet_times_s: np.ndarray
+    load_pps: float
+
+
+def office_traffic_sample(
+    hour_of_day: float,
+    duration_s: float,
+    peak_pps: float = 1100.0,
+    base_pps: float = 100.0,
+    burstiness: float = 0.3,
+    rng: Optional[np.random.Generator] = None,
+) -> TrafficSample:
+    """Packet times for ``duration_s`` of office traffic at a given hour.
+
+    Arrivals are Poisson at the diurnal rate, with a fraction
+    ``burstiness`` of packets arriving in short back-to-back clumps
+    (Internet traffic's burstiness, §5).
+    """
+    if duration_s <= 0:
+        raise ConfigurationError("duration_s must be positive")
+    if not 0.0 <= burstiness < 1.0:
+        raise ConfigurationError("burstiness must be in [0, 1)")
+    rng = rng or np.random.default_rng()
+    load = office_load_pps(hour_of_day, peak_pps=peak_pps, base_pps=base_pps)
+    base_rate = load * (1.0 - burstiness)
+    n_expected = int(base_rate * duration_s * 1.5) + 10
+    gaps = rng.exponential(1.0 / base_rate, size=n_expected)
+    seeds = np.cumsum(gaps)
+    seeds = seeds[seeds < duration_s]
+    times: List[float] = list(seeds)
+    # Burst clumps: some seeds spawn a few trailing packets ~0.5 ms apart.
+    n_burst_packets = int(load * duration_s * burstiness)
+    if len(seeds) and n_burst_packets:
+        parents = rng.choice(seeds, size=n_burst_packets)
+        offsets = rng.uniform(0.2e-3, 2e-3, size=n_burst_packets)
+        times.extend((parents + offsets).tolist())
+    arr = np.sort(np.asarray(times))
+    return TrafficSample(
+        hour_of_day=hour_of_day, packet_times_s=arr[arr < duration_s], load_pps=load
+    )
+
+
+def sample_to_intervals(
+    sample: TrafficSample,
+    tx_power_w: float,
+    payload_bytes_range: Tuple[int, int] = (60, 1500),
+    rng: Optional[np.random.Generator] = None,
+) -> List[AirInterval]:
+    """Convert a traffic sample into on-air intervals at the tag.
+
+    Packet sizes are drawn uniformly over the given byte range (office
+    traffic mixes ACK-sized and MTU-sized frames); durations come from
+    the OFDM airtime model at 54 Mbps.
+    """
+    if tx_power_w <= 0:
+        raise ConfigurationError("tx_power_w must be positive")
+    lo, hi = payload_bytes_range
+    if lo < 0 or hi < lo:
+        raise ConfigurationError("invalid payload_bytes_range")
+    rng = rng or np.random.default_rng()
+    intervals: List[AirInterval] = []
+    prev_end = -1.0
+    for t in sample.packet_times_s:
+        size = int(rng.integers(lo, hi + 1))
+        duration = OfdmPacket(payload_bytes=size).airtime_s
+        start = max(float(t), prev_end + 1e-6)  # no overlapping airtime
+        intervals.append(
+            AirInterval(start_s=start, duration_s=duration, power_w=tx_power_w)
+        )
+        prev_end = start + duration
+    return intervals
+
+
+def hours_range(start_hour: float, end_hour: float, step_hours: float) -> List[float]:
+    """Inclusive hour grid for time-of-day sweeps (e.g. 12.0 to 20.0)."""
+    if step_hours <= 0:
+        raise ConfigurationError("step_hours must be positive")
+    if end_hour < start_hour:
+        raise ConfigurationError("end_hour must be >= start_hour")
+    hours = []
+    h = start_hour
+    while h <= end_hour + 1e-9:
+        hours.append(round(h, 6))
+        h += step_hours
+    return hours

@@ -1,0 +1,111 @@
+"""Unit helpers: power (dBm/dB/mW/W), time, and frequency conversions.
+
+All internal computation in the library uses linear SI units (watts,
+seconds, hertz, meters). These helpers convert at the boundaries, where
+parameters are naturally expressed in engineering units (dBm transmit
+power, microsecond packet durations, microwatt circuit budgets).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum (m/s).
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Boltzmann constant (J/K) for thermal-noise computation.
+BOLTZMANN = 1.380649e-23
+
+#: Reference temperature (K) used for thermal noise floors.
+ROOM_TEMPERATURE_K = 290.0
+
+# -- Power ------------------------------------------------------------------
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to watts."""
+    return 10.0 ** (dbm / 10.0) * 1e-3
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in watts to dBm.
+
+    Raises:
+        ValueError: if ``watts`` is not strictly positive.
+    """
+    if watts <= 0.0:
+        raise ValueError(f"power must be positive to express in dBm, got {watts}")
+    return 10.0 * math.log10(watts / 1e-3)
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a power ratio in dB to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises:
+        ValueError: if ``ratio`` is not strictly positive.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive to express in dB, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def amplitude_db(ratio: float) -> float:
+    """Convert a linear *amplitude* ratio to dB (20 log10)."""
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive to express in dB, got {ratio}")
+    return 20.0 * math.log10(ratio)
+
+
+# -- Time -------------------------------------------------------------------
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * 1e-6
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * 1e-3
+
+
+def to_us(seconds: float) -> float:
+    """Seconds to microseconds."""
+    return seconds * 1e6
+
+
+def to_ms(seconds: float) -> float:
+    """Seconds to milliseconds."""
+    return seconds * 1e3
+
+
+# -- Frequency / wavelength --------------------------------------------------
+
+
+def wavelength(frequency_hz: float) -> float:
+    """Free-space wavelength (m) of a carrier at ``frequency_hz``.
+
+    Raises:
+        ValueError: if ``frequency_hz`` is not strictly positive.
+    """
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def thermal_noise_watts(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Thermal noise power (W) over ``bandwidth_hz`` at room temperature.
+
+    Args:
+        bandwidth_hz: receiver bandwidth in Hz.
+        noise_figure_db: receiver noise figure added on top of kTB.
+    """
+    if bandwidth_hz <= 0.0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+    ktb = BOLTZMANN * ROOM_TEMPERATURE_K * bandwidth_hz
+    return ktb * db_to_linear(noise_figure_db)

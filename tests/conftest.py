@@ -1,0 +1,16 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng2():
+    """A second independent deterministic generator."""
+    return np.random.default_rng(54321)

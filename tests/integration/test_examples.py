@@ -1,0 +1,49 @@
+"""Every example script runs clean end to end.
+
+Examples are part of the public API surface: each is executed as a
+subprocess (as a user would run it) and must exit 0 with its expected
+output markers.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", "quickstart OK"),
+    ("iot_sensor_node.py", "transactions succeeded"),
+    ("ambient_traffic_uplink.py", "busier network"),
+    ("long_range_coded_uplink.py", "longer codes buy range"),
+    ("multi_tag_inventory.py", "identified"),
+    ("downlink_wakeup.py", "negligible against the harvest budget"),
+    ("internet_bridge.py", "internet bridge OK"),
+]
+
+
+@pytest.mark.parametrize("script,marker", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, marker):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert marker in result.stdout
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {script for script, _ in CASES}
+    assert scripts == covered, (
+        f"examples without a test: {scripts - covered}; "
+        f"tests without a script: {covered - scripts}"
+    )

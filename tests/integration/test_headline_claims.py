@@ -1,0 +1,115 @@
+"""The paper's headline numbers, asserted against the simulation.
+
+Each test cites the claim it checks. Tolerances are loose — the
+substrate is a calibrated simulator, and the *shape/ordering* is the
+reproduction target — but the anchors must land in the right ballpark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ber import CorrelationRangeModel, DownlinkDetectionModel
+from repro.sim.link import run_uplink_ber
+from repro.tag.harvester import RECEIVER_POWER_W, TRANSMIT_POWER_W
+from repro.tag.receiver_circuit import CIRCUIT_POWER_W
+
+
+class TestUplinkClaims:
+    def test_csi_works_at_65cm(self):
+        """'The Wi-Fi devices can reliably decode information on the
+        uplink at distances of up to 65 cm ... using CSI' at 30 pkts/bit."""
+        result = run_uplink_ber(0.65, 30, mode="csi", repeats=12, seed=42)
+        assert result.ber < 0.08  # near the 1e-2 operating point
+
+    def test_csi_clean_at_40cm(self):
+        result = run_uplink_ber(0.40, 30, mode="csi", repeats=8, seed=43)
+        assert result.ber < 0.01 + 1e-9
+
+    def test_csi_fails_well_beyond_range(self):
+        result = run_uplink_ber(1.3, 30, mode="csi", repeats=6, seed=44)
+        assert result.ber > 0.05
+
+    def test_rssi_works_at_30cm_not_60cm(self):
+        """'...up to 65 cm and 30 cm using CSI and RSSI information
+        respectively.'"""
+        near = run_uplink_ber(0.30, 30, mode="rssi", repeats=12, seed=45)
+        far = run_uplink_ber(0.60, 30, mode="rssi", repeats=8, seed=46)
+        assert near.ber < 0.08  # at/near the 1e-2 operating point
+        assert far.ber > 2 * near.ber
+
+    def test_csi_outranges_rssi(self):
+        csi = run_uplink_ber(0.5, 30, mode="csi", repeats=8, seed=47)
+        rssi = run_uplink_ber(0.5, 30, mode="rssi", repeats=8, seed=47)
+        assert csi.errors < rssi.errors
+
+    def test_more_packets_per_bit_reduce_ber(self):
+        """Fig 10: 'as the average number of Wi-Fi packets per bit
+        increases, both the BER and the range improve.' The analytic
+        model is strictly monotone; the Monte-Carlo check compares the
+        extremes with enough repeats to beat realization variance."""
+        from repro.analysis.ber import uplink_ber
+
+        analytic = [uplink_ber(0.3, m) for m in (3, 9, 31)]
+        assert analytic == sorted(analytic, reverse=True)
+        few = run_uplink_ber(0.45, 3, repeats=14, seed=48)
+        many = run_uplink_ber(0.45, 30, repeats=14, seed=48)
+        assert many.errors <= few.errors
+
+
+class TestLongRangeClaims:
+    def test_correlation_extends_range_to_2_1m(self):
+        """'The uplink range can be increased to more than 2.1 meters by
+        performing coding at the Wi-Fi device' with L = 150."""
+        model = CorrelationRangeModel()
+        assert model.ber(2.1, 150) < 1e-2
+        assert model.ber(2.1, 10) > 1e-2
+
+    def test_l20_reaches_1_6m(self):
+        """'with a correlation length of 20 bits, the communication
+        range can be increased to 1.6 meters.'"""
+        model = CorrelationRangeModel()
+        assert model.ber(1.6, 20) < 1.5e-2
+
+
+class TestDownlinkClaims:
+    def test_20kbps_at_2_13m(self):
+        """'the Wi-Fi Backscatter downlink can achieve bit rates of
+        20 kbps at distances of 2.13 meters.'"""
+        model = DownlinkDetectionModel()
+        assert model.range_at_ber(50e-6) == pytest.approx(2.13, abs=0.35)
+
+    def test_10kbps_at_2_90m(self):
+        """'The range can be increased to 2.90 meters by decreasing the
+        bit rate to 10 kbps.'"""
+        model = DownlinkDetectionModel()
+        assert model.range_at_ber(100e-6) == pytest.approx(2.90, abs=0.35)
+
+    def test_50us_packets_detectable_past_2m(self):
+        """'The prototype can detect Wi-Fi packets as short as 50 us at
+        distances of up to 2.2 meters.'"""
+        from repro.sim.link import run_downlink_circuit_trial
+        from repro.sim.metrics import bit_errors
+
+        errs, total = 0, 0
+        for seed in range(4):
+            sent, rec = run_downlink_circuit_trial(
+                2.0, 50e-6, rng=np.random.default_rng(seed)
+            )
+            errs += bit_errors(sent, rec)
+            total += len(sent)
+        assert errs / total < 0.05
+
+
+class TestPowerClaims:
+    def test_transmit_power_0_65uw(self):
+        """'the power consumption of our transmit circuit is 0.65 uW.'"""
+        assert TRANSMIT_POWER_W == pytest.approx(0.65e-6)
+
+    def test_receiver_power_9uw(self):
+        """'...while that of the receiver circuit is 9.0 uW.'"""
+        assert RECEIVER_POWER_W == pytest.approx(9.0e-6)
+
+    def test_analog_front_end_1uw(self):
+        """'the above circuit requires only a very small amount of power
+        to operate (around 1 uW).'"""
+        assert CIRCUIT_POWER_W == pytest.approx(1e-6)

@@ -1,0 +1,102 @@
+"""Whole-network integration: MAC scenarios feeding the uplink decoder."""
+
+import numpy as np
+import pytest
+
+from repro.core.rate_adaptation import UplinkRatePlanner
+from repro.core.uplink_decoder import UplinkDecoder
+from repro.mac.beacons import build_beacon_network
+from repro.sim import calibration
+from repro.sim.scenario import build_injected_traffic_scenario
+from repro.tag.modulator import TagModulator, random_payload
+from repro.core.barker import barker_bits
+from repro.sim.metrics import bit_errors
+
+
+def run_network_uplink(pps, bit_rate=100.0, payload_bits=20, seed=0,
+                       distance=0.05):
+    """Tag transmits over a real DCF network; reader decodes."""
+    rng = np.random.default_rng(seed)
+    payload = random_payload(payload_bits, rng)
+    bits = barker_bits() + payload
+    bit_s = 1.0 / bit_rate
+    modulator = TagModulator(bit_duration_s=bit_s)
+    tx_start = 0.6
+    modulator.load_bits(bits, tx_start)
+    scenario = build_injected_traffic_scenario(
+        packets_per_second=pps,
+        tag_to_reader_m=distance,
+        tag_state=modulator.state,
+        seed=seed,
+    )
+    scenario.run(tx_start + len(bits) * bit_s + 0.6)
+    stream = scenario.measurements()
+    decoder = UplinkDecoder()
+    result = decoder.decode_bits(
+        stream, num_bits=payload_bits, bit_duration_s=bit_s,
+        start_time_s=tx_start,
+    )
+    return payload, result
+
+
+class TestNetworkUplink:
+    def test_decode_over_real_dcf_network(self):
+        payload, result = run_network_uplink(1000.0, seed=1)
+        assert bit_errors(payload, result.bits) == 0
+
+    def test_decode_at_higher_bit_rate_with_fast_helper(self):
+        payload, result = run_network_uplink(
+            3000.0, bit_rate=500.0, seed=2
+        )
+        assert bit_errors(payload, result.bits) <= 2
+
+    def test_slow_helper_starves_fast_tag(self):
+        # 200 pkts/s cannot support 500 bps (no measurements for many
+        # bits): erasures/mistakes appear.
+        payload, result = run_network_uplink(
+            200.0, bit_rate=500.0, seed=3
+        )
+        assert result.sliced.support.min() <= 1
+
+    def test_rate_planner_closes_the_loop(self):
+        scenario = build_injected_traffic_scenario(1700.0, seed=4)
+        scenario.run(1.0)
+        planner = UplinkRatePlanner(packets_per_bit=3.0)
+        plan = planner.plan(scenario.helper_packet_rate())
+        assert plan.bit_rate_bps == 500.0
+
+
+class TestBeaconOnlyNetwork:
+    def test_beacon_capture_is_rssi_only(self):
+        channel = calibration.make_channel(0.05, rng=np.random.default_rng(5))
+        net = build_beacon_network(
+            50.0, channel, rng=np.random.default_rng(5)
+        )
+        net.run(2.0)
+        stream = net.capture.measurements()
+        assert len(stream) == pytest.approx(100, abs=5)
+        assert all(not m.has_csi for m in stream)
+
+    def test_beacon_uplink_decodes_at_contact_range(self):
+        """§7.5: the uplink works from beacons alone, via RSSI."""
+        rng = np.random.default_rng(6)
+        payload = random_payload(10, rng)
+        bits = barker_bits() + payload
+        bit_s = 1 / 10.0  # 10 bps: ~7 beacons per bit at 70 beacons/s
+        modulator = TagModulator(bit_duration_s=bit_s)
+        tx_start = 0.6
+        modulator.load_bits(bits, tx_start)
+        channel = calibration.make_channel(0.05, rng=rng)
+        net = build_beacon_network(
+            70.0, channel, tag_state=modulator.state, rng=rng
+        )
+        net.run(tx_start + len(bits) * bit_s + 0.6)
+        decoder = UplinkDecoder()
+        result = decoder.decode_bits(
+            net.capture.measurements(),
+            num_bits=len(payload),
+            bit_duration_s=bit_s,
+            mode="rssi",
+            start_time_s=tx_start,
+        )
+        assert bit_errors(payload, result.bits) <= 1

@@ -1,0 +1,146 @@
+"""Property-based tests: DSP building blocks."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.coding import make_code_pair
+from repro.core.conditioning import condition, moving_average_by_time
+from repro.core.slicer import (
+    HysteresisThresholds,
+    bin_by_timestamp,
+    compute_thresholds,
+    hysteresis_slice,
+)
+from repro.phy.noise import quantize
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestMovingAverageProperties:
+    @given(
+        arrays(np.float64, st.integers(2, 60), elements=finite_floats),
+        st.floats(0.01, 10.0),
+    )
+    @settings(max_examples=60)
+    def test_average_within_data_range(self, values, window):
+        times = np.arange(len(values)) * 0.01
+        avg = moving_average_by_time(values[:, None], times, window)
+        # Tolerance scales with magnitude: the cumulative-sum trick
+        # loses ~1e-10 relative precision under catastrophic
+        # cancellation of large values.
+        tol = 1e-9 + 1e-7 * float(np.abs(values).max())
+        assert avg.min() >= values.min() - tol
+        assert avg.max() <= values.max() + tol
+
+    @given(st.floats(-100, 100), st.integers(3, 50))
+    def test_constant_is_fixed_point(self, level, n):
+        values = np.full((n, 1), level)
+        times = np.arange(n) * 0.01
+        avg = moving_average_by_time(values, times, 0.4)
+        assert np.allclose(avg, level)
+
+
+class TestConditioningProperties:
+    @given(
+        arrays(
+            np.float64,
+            (40, 3),
+            elements=st.floats(0.1, 100.0, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40)
+    def test_output_zero_mean_unit_abs(self, values):
+        times = np.arange(values.shape[0]) * 0.01
+        cond = condition(values, times, window_s=10.0)
+        for ch in range(values.shape[1]):
+            col = cond.normalized[:, ch]
+            if np.abs(col).max() > 0:
+                assert np.abs(col).mean() == 1.0 or np.isclose(
+                    np.abs(col).mean(), 1.0
+                )
+
+    @given(st.floats(0.5, 10.0), st.floats(1.1, 5.0))
+    def test_scale_invariance(self, base, factor):
+        # Conditioning output is invariant to multiplying raw values by
+        # a constant (AGC independence).
+        rng = np.random.default_rng(0)
+        values = base + rng.random((50, 2))
+        times = np.arange(50) * 0.01
+        a = condition(values, times).normalized
+        b = condition(values * factor, times).normalized
+        assert np.allclose(a, b, atol=1e-9)
+
+
+class TestSlicerProperties:
+    @given(
+        arrays(np.float64, st.integers(1, 100), elements=finite_floats),
+        st.floats(0.0, 2.0),
+    )
+    @settings(max_examples=60)
+    def test_hysteresis_output_is_binary(self, values, width):
+        th = compute_thresholds(values, width)
+        out = hysteresis_slice(values, th)
+        assert set(np.unique(out)) <= {0, 1}
+
+    @given(arrays(np.float64, st.integers(2, 100), elements=finite_floats))
+    @settings(max_examples=60)
+    def test_zero_width_equals_threshold_at_mean(self, values):
+        th = compute_thresholds(values, width=0.0)
+        out = hysteresis_slice(values, th)
+        mu = values.mean()
+        # Away from exact ties, zero-width hysteresis is a plain slicer.
+        for v, o in zip(values, out):
+            if v > mu + 1e-9:
+                assert o == 1
+            elif v < mu - 1e-9:
+                assert o == 0
+
+    @given(st.integers(1, 20), st.integers(1, 30), st.floats(0.001, 0.1))
+    def test_binning_partitions_all_packets(self, num_bits, pkts_per_bit, bit_s):
+        times = np.arange(num_bits * pkts_per_bit) * (bit_s / pkts_per_bit)
+        bins = bin_by_timestamp(times, 0.0, bit_s, num_bits)
+        total = sum(len(b) for b in bins)
+        assert total == len(times)
+        seen = np.concatenate([b for b in bins if len(b)])
+        assert sorted(seen.tolist()) == list(range(len(times)))
+
+
+class TestCodingProperties:
+    @given(st.integers(2, 256))
+    @settings(max_examples=80)
+    def test_code_pairs_near_orthogonal(self, length):
+        pair = make_code_pair(length)
+        assert abs(pair.cross_correlation) * length <= 1.0 + 1e-9
+        assert pair.length == length
+
+    @given(st.integers(2, 64), st.lists(st.integers(0, 1), min_size=1, max_size=8))
+    @settings(max_examples=60)
+    def test_encode_decode_by_correlation(self, length, payload):
+        pair = make_code_pair(length)
+        chips = pair.encode(payload)
+        one = np.asarray(pair.code_one, float)
+        zero = np.asarray(pair.code_zero, float)
+        for i, bit in enumerate(payload):
+            word = chips[i * length : (i + 1) * length]
+            c1, c0 = word @ one, word @ zero
+            assert (c1 > c0) == bool(bit)
+
+
+class TestQuantizeProperties:
+    @given(
+        arrays(np.float64, st.integers(1, 50), elements=finite_floats),
+        st.floats(0.001, 10.0),
+    )
+    def test_quantization_error_bounded(self, values, step):
+        out = quantize(values, step)
+        assert np.all(np.abs(out - values) <= step / 2 + 1e-9)
+
+    @given(arrays(np.float64, st.integers(1, 50), elements=finite_floats))
+    def test_idempotent(self, values):
+        once = quantize(values, 0.5)
+        twice = quantize(once, 0.5)
+        assert np.allclose(once, twice)

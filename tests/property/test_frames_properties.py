@@ -1,0 +1,85 @@
+"""Property-based tests: framing and CRC invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.frames import (
+    DownlinkMessage,
+    UplinkFrame,
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    crc8,
+    crc16,
+    int_to_bits,
+)
+from repro.errors import CrcError
+
+bits = st.lists(st.integers(0, 1), min_size=1, max_size=64)
+
+
+class TestCrcProperties:
+    @given(bits)
+    def test_crc8_range(self, payload):
+        assert 0 <= crc8(payload) <= 0xFF
+
+    @given(bits)
+    def test_crc16_range(self, payload):
+        assert 0 <= crc16(payload) <= 0xFFFF
+
+    @given(bits, st.data())
+    def test_crc8_detects_any_single_flip(self, payload, data):
+        idx = data.draw(st.integers(0, len(payload) - 1))
+        flipped = list(payload)
+        flipped[idx] ^= 1
+        assert crc8(flipped) != crc8(payload)
+
+    @given(bits, st.data())
+    def test_crc16_detects_any_single_flip(self, payload, data):
+        idx = data.draw(st.integers(0, len(payload) - 1))
+        flipped = list(payload)
+        flipped[idx] ^= 1
+        assert crc16(flipped) != crc16(payload)
+
+
+class TestBitConversionProperties:
+    @given(st.integers(0, 2**31 - 1))
+    def test_int_bits_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 32)) == value
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_bytes_bits_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+class TestFrameProperties:
+    @given(bits)
+    def test_uplink_frame_roundtrip(self, payload):
+        frame = UplinkFrame(payload_bits=tuple(payload))
+        parsed = UplinkFrame.parse(frame.to_bits(), payload_len=len(payload))
+        assert parsed.payload_bits == tuple(payload)
+
+    @given(bits, st.data())
+    @settings(max_examples=50)
+    def test_uplink_payload_flip_always_caught(self, payload, data):
+        frame = UplinkFrame(payload_bits=tuple(payload))
+        on_air = frame.to_bits()
+        idx = data.draw(st.integers(13, 13 + len(payload) - 1))
+        on_air[idx] ^= 1
+        with pytest.raises(CrcError):
+            UplinkFrame.parse(on_air, payload_len=len(payload))
+
+    @given(bits)
+    def test_downlink_message_roundtrip(self, payload):
+        msg = DownlinkMessage(payload_bits=tuple(payload))
+        parsed = DownlinkMessage.parse(
+            msg.to_bits()[16:], payload_len=len(payload)
+        )
+        assert parsed.payload_bits == tuple(payload)
+
+    @given(bits)
+    def test_downlink_length_formula(self, payload):
+        msg = DownlinkMessage(payload_bits=tuple(payload))
+        assert len(msg.to_bits()) == msg.num_bits == 16 + len(payload) + 16

@@ -1,0 +1,115 @@
+"""Property-based tests: analytic models, MAC, and protocol invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.analysis.ber import majority_vote_ber, q_function
+from repro.core.downlink_decoder import debounce_transitions, run_lengths
+from repro.core.protocol import RATE_CODE_TABLE, decode_query, encode_query
+from repro.core.rate_adaptation import UplinkRatePlanner
+from repro.mac.cts_to_self import plan_reservations
+from repro.phy import constants
+from repro.sim.metrics import ber_with_floor
+
+
+class TestAnalyticProperties:
+    @given(st.floats(0.0, 1.0), st.integers(1, 61))
+    @settings(max_examples=80)
+    def test_majority_vote_is_probability(self, p, m):
+        ber = majority_vote_ber(p, m)
+        assert 0.0 <= ber <= 1.0
+
+    @given(st.floats(0.0, 0.49), st.integers(1, 15))
+    def test_more_votes_never_hurt_below_half(self, p, m):
+        assert majority_vote_ber(p, 2 * m + 1) <= majority_vote_ber(p, m) + 1e-12
+
+    @given(st.floats(0.0, 0.5))
+    def test_symmetry_around_half(self, p):
+        # BER(p) + BER(1-p) == 1 for majority voting.
+        m = 5
+        assert majority_vote_ber(p, m) + majority_vote_ber(1 - p, m) == pytest.approx(
+            1.0
+        )
+
+    @given(st.floats(0.0, 10.0), st.floats(0.0, 10.0))
+    def test_q_function_monotone(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert q_function(hi) <= q_function(lo)
+
+
+class TestReservationProperties:
+    @given(st.integers(1, 5000), st.sampled_from([50e-6, 100e-6, 200e-6]))
+    @settings(max_examples=60)
+    def test_plans_cover_all_bits_within_limit(self, num_bits, bit_s):
+        plan = plan_reservations(num_bits, bit_s)
+        assert sum(plan.bits_per_window) == num_bits
+        for duration in plan.window_durations_s:
+            assert duration <= constants.MAX_CTS_TO_SELF_RESERVATION_S + 1e-12
+        assert plan.total_reserved_s == pytest.approx(num_bits * bit_s)
+
+
+class TestRatePlannerProperties:
+    @given(st.floats(10.0, 10_000.0), st.floats(1.0, 50.0))
+    @settings(max_examples=60)
+    def test_planned_rate_never_exceeds_n_over_m(self, pps, m):
+        planner = UplinkRatePlanner(packets_per_bit=m)
+        plan = planner.plan(pps)
+        floor_rate = min(planner.supported_rates_bps)
+        assert plan.bit_rate_bps <= max(pps / m, floor_rate)
+
+    @given(st.floats(10.0, 10_000.0))
+    def test_plan_rate_in_supported_set(self, pps):
+        planner = UplinkRatePlanner()
+        assert planner.plan(pps).bit_rate_bps in planner.supported_rates_bps
+
+
+class TestQueryProperties:
+    @given(
+        st.integers(0, 0xFFFF),
+        st.sampled_from(sorted(RATE_CODE_TABLE.values())),
+        st.integers(0, 0xFF),
+        st.integers(0, 0xFFFFFFFF),
+    )
+    def test_query_roundtrip(self, address, rate, command, argument):
+        msg = encode_query(address, rate, command, argument)
+        q = decode_query(msg)
+        assert (q.tag_address, q.rate_bps, q.command, q.argument) == (
+            address,
+            rate,
+            command,
+            argument,
+        )
+
+
+class TestDebounceProperties:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_debounce_removes_short_runs(self, bits):
+        samples = np.repeat(bits, 3)
+        times = np.arange(len(samples)) * 1.0
+        from repro.core.downlink_decoder import transitions
+
+        t, lv = transitions(samples, times)
+        td, lvd = debounce_transitions(t, lv, min_run_s=5.0)
+        # All inner runs (not the final open-ended one) are >= 5 samples.
+        for i in range(1, len(td) - 1):
+            assert td[i + 1] - td[i] >= 5.0
+        # Alternation is preserved.
+        assert all(a != b for a, b in zip(lvd, lvd[1:]))
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=40))
+    def test_run_lengths_sum(self, bits):
+        assert sum(run_lengths(bits)) == len(bits)
+
+
+class TestMetricsProperties:
+    @given(st.integers(1, 100_000), st.data())
+    def test_ber_floor_bounds(self, total, data):
+        errors = data.draw(st.integers(0, total))
+        ber = ber_with_floor(errors, total)
+        assert 0 < ber <= 1.0
+        if errors > 0:
+            assert ber == errors / total

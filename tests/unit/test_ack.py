@@ -1,0 +1,87 @@
+"""Preamble-less single-bit ACK detection (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ack import AckDetector, ack_slot_start
+from repro.errors import ConfigurationError, DecodeError
+from repro.measurement import MeasurementStream
+from repro.sim.link import helper_packet_times, simulate_uplink_stream
+
+BIT = 0.01
+SLOT_BITS = 4
+
+
+def ack_stream(reflect, distance_m=0.2, seed=0, rate_pps=2000.0):
+    """Stream where the tag reflects (or not) during the agreed slot."""
+    rng = np.random.default_rng(seed)
+    # The "message" is just the slot: SLOT_BITS ones (or zeros).
+    bits = [1 if reflect else 0] * SLOT_BITS
+    times = helper_packet_times(
+        rate_pps, SLOT_BITS * BIT + 1.1, traffic="cbr", rng=rng
+    )
+    stream, slot_start = simulate_uplink_stream(
+        bits, BIT, times, tag_to_reader_m=distance_m, rng=rng
+    )
+    return stream, slot_start
+
+
+class TestAckDetector:
+    def test_detects_real_ack(self):
+        stream, slot_start = ack_stream(reflect=True, seed=1)
+        detector = AckDetector(slot_bits=SLOT_BITS)
+        result = detector.detect(stream, slot_start, BIT)
+        assert result.detected
+        assert result.score > result.threshold
+
+    def test_no_false_ack_when_tag_silent(self):
+        detector = AckDetector(slot_bits=SLOT_BITS)
+        false_acks = 0
+        for seed in range(8):
+            stream, slot_start = ack_stream(reflect=False, seed=seed)
+            result = detector.detect(stream, slot_start, BIT)
+            false_acks += int(result.detected)
+        assert false_acks <= 1
+
+    def test_detection_degrades_with_distance(self):
+        detector = AckDetector(slot_bits=SLOT_BITS)
+        near_scores = []
+        far_scores = []
+        for seed in range(4):
+            s, t0 = ack_stream(reflect=True, distance_m=0.1, seed=10 + seed)
+            near_scores.append(detector.detect(s, t0, BIT).score)
+            s, t0 = ack_stream(reflect=True, distance_m=1.5, seed=10 + seed)
+            far_scores.append(detector.detect(s, t0, BIT).score)
+        assert np.mean(near_scores) > np.mean(far_scores)
+
+    def test_rssi_mode(self):
+        stream, slot_start = ack_stream(reflect=True, distance_m=0.1, seed=2)
+        detector = AckDetector(slot_bits=SLOT_BITS)
+        result = detector.detect(stream, slot_start, BIT, mode="rssi")
+        assert result.detected
+
+    def test_empty_slot_rejected(self):
+        stream, slot_start = ack_stream(reflect=True, seed=3)
+        detector = AckDetector(slot_bits=SLOT_BITS)
+        with pytest.raises(DecodeError):
+            detector.detect(stream, slot_start + 100.0, BIT)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AckDetector(threshold_sigmas=0.0)
+        with pytest.raises(ConfigurationError):
+            AckDetector(slot_bits=0)
+        detector = AckDetector()
+        with pytest.raises(DecodeError):
+            detector.detect(MeasurementStream(), 0.0, BIT)
+
+
+class TestAckSlotTiming:
+    def test_turnaround_arithmetic(self):
+        assert ack_slot_start(1.0, 2.0, 0.01) == pytest.approx(1.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ack_slot_start(1.0, -1.0, 0.01)
+        with pytest.raises(ConfigurationError):
+            ack_slot_start(1.0, 1.0, 0.0)

@@ -1,0 +1,174 @@
+"""Analytic BER models, sweeps, and reporting."""
+
+import math
+
+import pytest
+
+from repro.analysis.ber import (
+    CorrelationRangeModel,
+    DownlinkDetectionModel,
+    majority_vote_ber,
+    measurement_error_probability,
+    q_function,
+    q_inverse,
+    uplink_ber,
+)
+from repro.analysis.report import (
+    format_table,
+    log_sparkline,
+    paper_vs_measured,
+    render_series,
+)
+from repro.analysis.sweep import SweepResult, crossover_x, monotone_fraction, sweep
+from repro.errors import ConfigurationError
+
+
+class TestQFunction:
+    def test_known_values(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+        assert q_function(1.96) == pytest.approx(0.025, rel=0.01)
+        assert q_function(2.33) == pytest.approx(0.0099, rel=0.02)
+
+    def test_inverse_roundtrip(self):
+        for p in (0.4, 0.1, 0.01, 1e-4):
+            assert q_function(q_inverse(p)) == pytest.approx(p, rel=1e-6)
+
+    def test_inverse_domain(self):
+        with pytest.raises(ConfigurationError):
+            q_inverse(0.7)
+
+
+class TestMajorityVote:
+    def test_single_measurement_is_identity(self):
+        assert majority_vote_ber(0.2, 1) == pytest.approx(0.2)
+
+    def test_more_votes_reduce_ber(self):
+        p = 0.2
+        bers = [majority_vote_ber(p, m) for m in (1, 3, 9, 31)]
+        assert bers == sorted(bers, reverse=True)
+
+    def test_even_m_ties_count_half(self):
+        # With p=0.5 everything is a coin flip whatever M is.
+        assert majority_vote_ber(0.5, 4) == pytest.approx(0.5)
+
+    def test_exact_m3(self):
+        p = 0.1
+        expected = 3 * p**2 * (1 - p) + p**3
+        assert majority_vote_ber(p, 3) == pytest.approx(expected)
+
+    def test_uplink_ber_composition(self):
+        snr = 1.0
+        p = measurement_error_probability(snr)
+        assert uplink_ber(snr, 5) == pytest.approx(majority_vote_ber(p, 5))
+
+
+class TestCorrelationRangeModel:
+    def test_paper_anchors(self):
+        # Fitted to L=20 @ 1.6 m and L=150 @ 2.1 m at BER 1e-2 (Fig 20).
+        model = CorrelationRangeModel()
+        assert model.required_code_length(1.6) == pytest.approx(20, abs=6)
+        assert model.required_code_length(2.1) == pytest.approx(150, abs=40)
+
+    def test_required_length_monotone_in_distance(self):
+        model = CorrelationRangeModel()
+        lengths = [model.required_code_length(d) for d in (1.0, 1.4, 1.8, 2.2)]
+        assert lengths == sorted(lengths)
+
+    def test_ber_decreases_with_length(self):
+        model = CorrelationRangeModel()
+        bers = [model.ber(2.0, L) for L in (10, 50, 200)]
+        assert bers == sorted(bers, reverse=True)
+
+    def test_unreachable_distance_raises(self):
+        model = CorrelationRangeModel()
+        with pytest.raises(ConfigurationError):
+            model.required_code_length(50.0, max_length=100)
+
+
+class TestDownlinkDetectionModel:
+    def test_paper_ranges(self):
+        # Fig 17: 20 kbps to ~2.13 m, 10 kbps to ~2.90 m.
+        model = DownlinkDetectionModel()
+        r20 = model.range_at_ber(50e-6)
+        r10 = model.range_at_ber(100e-6)
+        r5 = model.range_at_ber(200e-6)
+        assert r20 == pytest.approx(2.13, abs=0.35)
+        assert r10 == pytest.approx(2.90, abs=0.35)
+        assert r20 < r10 < r5 < 4.0
+
+    def test_ber_monotone_in_distance(self):
+        model = DownlinkDetectionModel()
+        bers = [model.ber(d, 50e-6) for d in (0.5, 1.5, 2.5, 3.5)]
+        assert bers == sorted(bers)
+
+    def test_short_range_floor(self):
+        model = DownlinkDetectionModel()
+        assert model.ber(0.1, 50e-6) < 1e-4
+
+    def test_longer_bits_better(self):
+        model = DownlinkDetectionModel()
+        assert model.ber(2.5, 200e-6) < model.ber(2.5, 50e-6)
+
+    def test_validation(self):
+        model = DownlinkDetectionModel()
+        with pytest.raises(ConfigurationError):
+            model.ber(-1.0, 50e-6)
+        with pytest.raises(ConfigurationError):
+            model.peaks_per_bit(0.0)
+
+
+class TestSweep:
+    def test_sweep_evaluates(self):
+        result = sweep([1, 2, 3], lambda x: x * 2, label="double")
+        assert result.ys == [2.0, 4.0, 6.0]
+
+    def test_crossover_interpolates(self):
+        result = sweep([0, 1, 2], lambda x: x)
+        assert crossover_x(result, 0.5) == pytest.approx(0.5)
+
+    def test_crossover_missing_raises(self):
+        result = sweep([0, 1], lambda x: x)
+        with pytest.raises(ConfigurationError):
+            crossover_x(result, 10.0)
+
+    def test_monotone_fraction(self):
+        assert monotone_fraction([1, 2, 3, 4]) == 1.0
+        assert monotone_fraction([1, 2, 1, 4]) == pytest.approx(2 / 3)
+        assert monotone_fraction([4, 3, 1], increasing=False) == 1.0
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(
+            ["distance", "ber"], [[0.05, 5e-4], [0.65, 0.01]], title="Fig 10a"
+        )
+        assert "Fig 10a" in text
+        assert "distance" in text
+        assert "5.00e-04" in text
+
+    def test_table_validates_width(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_render_series_shares_x(self):
+        a = sweep([1, 2], lambda x: x, label="a")
+        b = sweep([1, 2], lambda x: x * 2, label="b")
+        text = render_series([a, b])
+        assert "a" in text and "b" in text
+
+    def test_render_series_rejects_mismatched_x(self):
+        a = sweep([1, 2], lambda x: x, label="a")
+        b = sweep([1, 3], lambda x: x, label="b")
+        with pytest.raises(ConfigurationError):
+            render_series([a, b])
+
+    def test_log_sparkline(self):
+        line = log_sparkline([1e-4, 1e-3, 1e-2, 1e-1])
+        assert len(line) == 4
+        assert line[0] != line[-1]
+
+    def test_paper_vs_measured(self):
+        text = paper_vs_measured(
+            [{"metric": "CSI range", "paper": "65 cm", "measured": "~65 cm"}]
+        )
+        assert "CSI range" in text

@@ -1,0 +1,125 @@
+"""The composite helper->tag->reader backscatter channel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.backscatter_channel import BackscatterChannel, LinkGeometry
+
+
+def make_channel(rng, **kwargs):
+    defaults = dict(
+        geometry=LinkGeometry(tag_to_reader_m=0.2),
+        tag_coupling=5.0,
+        rng=rng,
+    )
+    defaults.update(kwargs)
+    return BackscatterChannel(**defaults)
+
+
+class TestLinkGeometry:
+    def test_defaults_match_paper_setup(self):
+        g = LinkGeometry()
+        assert g.helper_to_tag_m == 3.0  # "helper is placed three meters away"
+
+    def test_rejects_nonpositive_distances(self):
+        with pytest.raises(ConfigurationError):
+            LinkGeometry(tag_to_reader_m=0.0)
+        with pytest.raises(ConfigurationError):
+            LinkGeometry(helper_to_tag_m=-1.0)
+
+    def test_rejects_negative_walls(self):
+        with pytest.raises(ConfigurationError):
+            LinkGeometry(walls_helper_tag=-1)
+
+
+class TestBackscatterChannel:
+    def test_response_shape(self, rng):
+        ch = make_channel(rng)
+        h = ch.response(0.0, 0)
+        assert h.shape == (3, 30)
+
+    def test_states_differ(self, rng):
+        ch = make_channel(rng)
+        h0 = ch.response(0.0, 0)
+        h1 = ch.response(0.0, 1)
+        assert not np.allclose(np.abs(h0), np.abs(h1))
+
+    def test_invalid_state_rejected(self, rng):
+        ch = make_channel(rng)
+        with pytest.raises(ConfigurationError):
+            ch.response(0.0, 2)
+
+    def test_modulation_depth_shrinks_with_distance(self, rng):
+        depths = []
+        for d in (0.05, 0.5, 2.0):
+            # Average over realizations to suppress multipath luck.
+            vals = []
+            for seed in range(10):
+                ch = BackscatterChannel(
+                    geometry=LinkGeometry(tag_to_reader_m=d),
+                    tag_coupling=5.0,
+                    rng=np.random.default_rng(seed),
+                )
+                vals.append(np.abs(ch.modulation_depth()).mean())
+            depths.append(np.mean(vals))
+        assert depths[0] > depths[1] > depths[2]
+
+    def test_depth_scales_with_coupling(self, rng):
+        ch1 = BackscatterChannel(
+            geometry=LinkGeometry(tag_to_reader_m=0.2),
+            tag_coupling=1.0,
+            rng=np.random.default_rng(3),
+        )
+        ch2 = BackscatterChannel(
+            geometry=LinkGeometry(tag_to_reader_m=0.2),
+            tag_coupling=2.0,
+            rng=np.random.default_rng(3),
+        )
+        d1 = np.abs(ch1.modulation_depth()).mean()
+        d2 = np.abs(ch2.modulation_depth()).mean()
+        assert d2 > d1
+
+    def test_frequency_diversity_in_depth(self, rng):
+        # Some sub-channels see the tag strongly, others barely (Fig 4).
+        ch = make_channel(rng)
+        depth = np.abs(ch.modulation_depth())
+        assert depth.max() > 3 * depth.min()
+
+    def test_move_tag_changes_good_subchannels(self, rng):
+        ch = make_channel(rng)
+        before = ch.modulation_depth().copy()
+        ch.move_tag(0.4)
+        after = ch.modulation_depth()
+        assert ch.geometry.tag_to_reader_m == 0.4
+        assert not np.allclose(before, after)
+
+    def test_move_tag_rejects_nonpositive(self, rng):
+        ch = make_channel(rng)
+        with pytest.raises(ConfigurationError):
+            ch.move_tag(0.0)
+
+    def test_batch_matches_sequential(self):
+        times = np.linspace(0, 1, 50)
+        states = np.tile([0, 1], 25)
+        ch1 = BackscatterChannel(rng=np.random.default_rng(9))
+        seq = np.stack([ch1.response(t, s) for t, s in zip(times, states)])
+        ch2 = BackscatterChannel(rng=np.random.default_rng(9))
+        batch = ch2.response_batch(times, states)
+        assert np.allclose(seq, batch)
+
+    def test_batch_validates_states(self, rng):
+        ch = make_channel(rng)
+        with pytest.raises(ConfigurationError):
+            ch.response_batch(np.array([0.0]), np.array([2]))
+        with pytest.raises(ConfigurationError):
+            ch.response_batch(np.array([0.0, 1.0]), np.array([1]))
+
+    def test_subchannel_frequencies_exposed(self, rng):
+        ch = make_channel(rng)
+        freqs = ch.subchannel_frequencies()
+        assert len(freqs) == ch.num_subchannels == 30
+
+    def test_negative_coupling_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_channel(rng, tag_coupling=-1.0)

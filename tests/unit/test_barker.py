@@ -1,0 +1,50 @@
+"""Barker-code preambles."""
+
+import numpy as np
+import pytest
+
+from repro.core.barker import (
+    BARKER_CODES,
+    autocorrelation_sidelobe_ratio,
+    barker_bits,
+    barker_code,
+    bits_to_chips,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBarkerCodes:
+    def test_default_is_13_bits(self):
+        # "We use a 13-bit Barker code" (§6).
+        assert len(barker_code()) == 13
+
+    @pytest.mark.parametrize("length", sorted(BARKER_CODES))
+    def test_sidelobe_property(self, length):
+        # Barker codes: off-peak autocorrelation magnitude <= 1, so the
+        # peak-to-sidelobe ratio equals the code length.
+        code = barker_code(length)
+        assert autocorrelation_sidelobe_ratio(code) == pytest.approx(length)
+
+    def test_chips_are_plus_minus_one(self):
+        assert set(np.unique(barker_code())) <= {-1.0, 1.0}
+
+    def test_unknown_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            barker_code(6)
+
+    def test_bits_match_chips(self):
+        bits = barker_bits()
+        chips = barker_code()
+        assert all((b == 1) == (c > 0) for b, c in zip(bits, chips))
+
+
+class TestBitsToChips:
+    def test_mapping(self):
+        assert bits_to_chips([0, 1, 0]).tolist() == [-1.0, 1.0, -1.0]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_chips([0, 2])
+
+    def test_empty_ok(self):
+        assert bits_to_chips([]).size == 0

@@ -1,0 +1,81 @@
+"""Orthogonal code pairs for the long-range uplink."""
+
+import numpy as np
+import pytest
+
+from repro.core.coding import (
+    OrthogonalCodePair,
+    correlation_gain_db,
+    make_code_pair,
+)
+from repro.errors import ConfigurationError
+
+
+class TestMakeCodePair:
+    @pytest.mark.parametrize("length", [4, 8, 20, 64, 100, 150])
+    def test_orthogonality(self, length):
+        pair = make_code_pair(length)
+        assert pair.length == length
+        assert pair.cross_correlation == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("length", [4, 20, 152])
+    def test_dc_balance_for_multiples_of_four(self, length):
+        # DC balance matters because the reader's conditioning removes
+        # the mean; unbalanced codes would lose energy to the high-pass.
+        pair = make_code_pair(length)
+        assert abs(sum(pair.code_one)) <= 1
+        assert abs(sum(pair.code_zero)) <= 1
+
+    @pytest.mark.parametrize("length", [5, 7, 13, 150])
+    def test_odd_and_non_multiple_lengths_still_orthogonal(self, length):
+        pair = make_code_pair(length)
+        assert abs(pair.cross_correlation) * length <= 1.0 + 1e-9
+
+    def test_paper_lengths(self):
+        # L = 20 and L = 150 are the paper's quoted operating points.
+        for length in (20, 150):
+            pair = make_code_pair(length)
+            assert pair.length == length
+            assert pair.cross_correlation == pytest.approx(0.0, abs=0.01)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_code_pair(1)
+
+
+class TestCodePair:
+    def test_chips_for_bit(self):
+        pair = make_code_pair(8)
+        assert np.array_equal(pair.chips_for_bit(1), np.asarray(pair.code_one, float))
+        assert np.array_equal(pair.chips_for_bit(0), np.asarray(pair.code_zero, float))
+
+    def test_chips_for_bad_bit(self):
+        with pytest.raises(ConfigurationError):
+            make_code_pair(8).chips_for_bit(2)
+
+    def test_encode_concatenates(self):
+        pair = make_code_pair(4)
+        chips = pair.encode([1, 0])
+        assert len(chips) == 8
+        assert np.array_equal(chips[:4], pair.chips_for_bit(1))
+        assert np.array_equal(chips[4:], pair.chips_for_bit(0))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OrthogonalCodePair(code_one=(1, -1), code_zero=(1,))
+
+    def test_non_chip_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OrthogonalCodePair(code_one=(1, 0), code_zero=(1, -1))
+
+
+class TestCorrelationGain:
+    def test_gain_proportional_to_length(self):
+        # "Correlation with a L bit long code provides an increase in
+        # the SNR that is proportional to L" (§3.4).
+        assert correlation_gain_db(10) == pytest.approx(10.0)
+        assert correlation_gain_db(100) == pytest.approx(20.0)
+
+    def test_invalid_length(self):
+        with pytest.raises(ConfigurationError):
+            correlation_gain_db(0)

@@ -1,0 +1,101 @@
+"""Signal conditioning: moving-average removal and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.conditioning import condition, moving_average_by_time
+from repro.errors import ConfigurationError
+
+
+def uniform_times(n, dt=0.01):
+    return np.arange(n) * dt
+
+
+class TestMovingAverage:
+    def test_constant_signal(self):
+        values = np.full((100, 2), 3.5)
+        avg = moving_average_by_time(values, uniform_times(100), window_s=0.4)
+        assert np.allclose(avg, 3.5)
+
+    def test_tracks_slow_ramp(self):
+        times = uniform_times(1000, dt=0.001)
+        values = times[:, None] * 2.0
+        avg = moving_average_by_time(values, times, window_s=0.05)
+        # Centered window: the local mean of a ramp equals the ramp.
+        inner = slice(100, 900)
+        assert np.allclose(avg[inner], values[inner], atol=2.5e-3)
+
+    def test_window_excludes_distant_samples(self):
+        times = np.array([0.0, 0.001, 10.0])
+        values = np.array([[1.0], [1.0], [100.0]])
+        avg = moving_average_by_time(values, times, window_s=0.4)
+        assert avg[0, 0] == pytest.approx(1.0)
+        assert avg[2, 0] == pytest.approx(100.0)
+
+    def test_irregular_timestamps(self):
+        times = np.array([0.0, 0.01, 0.02, 0.5, 0.51])
+        values = np.ones((5, 1))
+        avg = moving_average_by_time(values, times, window_s=0.1)
+        assert np.allclose(avg, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            moving_average_by_time(np.ones(5), uniform_times(5), 0.4)  # 1-D
+        with pytest.raises(ConfigurationError):
+            moving_average_by_time(np.ones((5, 1)), uniform_times(4), 0.4)
+        with pytest.raises(ConfigurationError):
+            moving_average_by_time(np.ones((5, 1)), uniform_times(5), 0.0)
+        with pytest.raises(ConfigurationError):
+            moving_average_by_time(
+                np.ones((3, 1)), np.array([0.0, 2.0, 1.0]), 0.4
+            )
+
+
+class TestCondition:
+    def test_square_wave_maps_to_plus_minus_one(self):
+        # A clean alternating modulation should normalize to ~+1/-1.
+        n = 400
+        times = uniform_times(n, dt=0.01)
+        bits = np.tile([1.0, -1.0], n // 2)
+        values = (5.0 + 0.5 * bits)[:, None]
+        cond = condition(values, times, window_s=0.4)
+        ones = cond.normalized[bits > 0, 0]
+        zeros = cond.normalized[bits < 0, 0]
+        assert ones.mean() == pytest.approx(1.0, abs=0.1)
+        assert zeros.mean() == pytest.approx(-1.0, abs=0.1)
+
+    def test_removes_slow_drift(self):
+        n = 1000
+        times = uniform_times(n, dt=0.002)
+        drift = 10.0 + 3.0 * np.sin(2 * np.pi * times / 10.0)
+        bits = np.tile([1.0, -1.0], n // 2)
+        values = (drift + 0.2 * bits)[:, None]
+        cond = condition(values, times, window_s=0.1)
+        # After conditioning, the bit structure dominates the drift.
+        corr = np.corrcoef(cond.normalized[:, 0], bits)[0, 1]
+        assert corr > 0.9
+
+    def test_scale_reflects_modulation_strength(self):
+        n = 200
+        times = uniform_times(n, dt=0.01)
+        bits = np.tile([1.0, -1.0], n // 2)
+        weak = (5 + 0.1 * bits)[:, None]
+        strong = (5 + 1.0 * bits)[:, None]
+        both = np.hstack([weak, strong])
+        cond = condition(both, times)
+        assert cond.scale[1] > 5 * cond.scale[0]
+
+    def test_1d_input_promoted(self):
+        times = uniform_times(50)
+        cond = condition(np.ones(50), times)
+        assert cond.normalized.shape == (50, 1)
+
+    def test_flat_channel_stays_zero(self):
+        # A channel with no variation must not blow up (div by zero).
+        times = uniform_times(50)
+        cond = condition(np.full((50, 1), 2.0), times)
+        assert np.allclose(cond.normalized, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            condition(np.empty((0, 3)), np.empty(0))

@@ -1,0 +1,103 @@
+"""The long-range code-correlation decoder."""
+
+import numpy as np
+import pytest
+
+from repro.core.coding import make_code_pair
+from repro.core.correlation_decoder import CorrelationDecoder
+from repro.errors import ConfigurationError, DecodeError
+from repro.measurement import ChannelMeasurement, MeasurementStream
+
+CHIP = 0.01
+
+
+def synth_coded_stream(payload, pair, pkts_per_chip=5, depth=0.1, noise=0.3,
+                       lead_s=0.6, seed=0, n_channels=8):
+    """Stream where the per-measurement SNR is too low to slice, but
+    correlation over the code recovers the bits."""
+    rng = np.random.default_rng(seed)
+    chips = pair.encode(payload)
+    dt = CHIP / pkts_per_chip
+    total = lead_s + len(chips) * CHIP + lead_s
+    times = np.arange(0, total, dt)
+    idx = np.floor((times - lead_s) / CHIP).astype(int)
+    level = np.zeros(len(times))
+    valid = (idx >= 0) & (idx < len(chips))
+    # Chip +1 reflects (state 1), chip -1 absorbs (state 0).
+    level[valid] = (chips[idx[valid]] + 1) / 2
+    stream = MeasurementStream()
+    gains = np.zeros(n_channels)
+    gains[:3] = depth  # a few channels see the tag
+    for t, s in zip(times, level):
+        csi = 5.0 + s * gains + rng.normal(scale=noise, size=n_channels)
+        stream.append(
+            ChannelMeasurement(
+                timestamp_s=t,
+                csi=csi.reshape(1, -1),
+                rssi_dbm=np.array([-40.0]),
+            )
+        )
+    return stream, lead_s
+
+
+class TestCorrelationDecoder:
+    def test_recovers_bits_below_slicing_snr(self):
+        pair = make_code_pair(48)
+        payload = [1, 0, 0, 1, 1, 0]
+        stream, start = synth_coded_stream(payload, pair, depth=0.15)
+        decoder = CorrelationDecoder(pair, good_count=4)
+        result = decoder.decode_bits(stream, len(payload), CHIP, start)
+        assert result.bits.tolist() == payload
+
+    def test_longer_codes_give_larger_margins(self):
+        payload = [1, 0, 1, 0]
+        margins = {}
+        for length in (8, 64):
+            pair = make_code_pair(length)
+            stream, start = synth_coded_stream(payload, pair, seed=2)
+            decoder = CorrelationDecoder(pair, good_count=4)
+            result = decoder.decode_bits(stream, len(payload), CHIP, start)
+            margins[length] = np.abs(result.margins).mean()
+        # SNR grows with L, so decision margins should too (§3.4).
+        assert margins[64] > margins[8]
+
+    def test_channel_selection_finds_signal_channels(self):
+        pair = make_code_pair(32)
+        payload = [1, 0, 1]
+        stream, start = synth_coded_stream(payload, pair, seed=4)
+        decoder = CorrelationDecoder(pair, good_count=3)
+        result = decoder.decode_bits(stream, len(payload), CHIP, start)
+        assert set(result.channel_indices.tolist()) <= {0, 1, 2}
+
+    def test_rssi_mode(self):
+        pair = make_code_pair(16)
+        payload = [1, 0]
+        stream, start = synth_coded_stream(payload, pair, depth=0.5, noise=0.1)
+        decoder = CorrelationDecoder(pair, good_count=1)
+        result = decoder.decode_bits(stream, len(payload), CHIP, start, mode="rssi")
+        assert len(result.bits) == 2
+
+    def test_stream_too_short(self):
+        pair = make_code_pair(16)
+        stream, start = synth_coded_stream([1], pair)
+        with pytest.raises(DecodeError):
+            CorrelationDecoder(pair).decode_bits(stream, 50, CHIP, start)
+
+    def test_empty_stream(self):
+        pair = make_code_pair(8)
+        with pytest.raises(DecodeError):
+            CorrelationDecoder(pair).decode_bits(
+                MeasurementStream(), 1, CHIP, 0.0
+            )
+
+    def test_invalid_arguments(self):
+        pair = make_code_pair(8)
+        with pytest.raises(ConfigurationError):
+            CorrelationDecoder(pair, good_count=0)
+        stream, start = synth_coded_stream([1], pair)
+        with pytest.raises(ConfigurationError):
+            CorrelationDecoder(pair).decode_bits(stream, 0, CHIP, start)
+        with pytest.raises(ConfigurationError):
+            CorrelationDecoder(pair).decode_bits(stream, 1, -1.0, start)
+        with pytest.raises(ConfigurationError):
+            CorrelationDecoder(pair).decode_bits(stream, 1, CHIP, start, mode="x")

@@ -1,0 +1,141 @@
+"""DCF medium access: carrier sense, backoff, NAV, collisions."""
+
+import numpy as np
+import pytest
+
+from repro.mac.dcf import CW_MIN, DcfAccess, LinkQualityModel, Medium
+from repro.mac.packets import FrameKind, WifiFrame
+from repro.mac.simulator import EventScheduler
+from repro.phy import constants
+
+
+def setup_network(n_stations=1, seed=0, link_quality=None):
+    sched = EventScheduler()
+    medium = Medium(sched, link_quality=link_quality, rng=np.random.default_rng(seed))
+    stations = [
+        DcfAccess(f"sta{i}", medium, sched, rng=np.random.default_rng(seed + i))
+        for i in range(n_stations)
+    ]
+    return sched, medium, stations
+
+
+def data_frame(src, dst="peer", payload=500):
+    return WifiFrame(src=src, dst=dst, payload_bytes=payload)
+
+
+class TestSingleStation:
+    def test_frame_transmitted(self):
+        sched, medium, (sta,) = setup_network()
+        sta.enqueue(data_frame("sta0"))
+        sched.run_until(0.1)
+        assert len(medium.transmission_log) == 1
+        assert sta.stats.successes == 1
+
+    def test_frames_do_not_overlap(self):
+        sched, medium, (sta,) = setup_network()
+        for _ in range(5):
+            sta.enqueue(data_frame("sta0"))
+        sched.run_until(0.5)
+        log = sorted(medium.transmission_log, key=lambda t: t.start_s)
+        assert len(log) == 5
+        for a, b in zip(log, log[1:]):
+            assert b.start_s >= a.end_s
+
+    def test_difs_respected(self):
+        sched, medium, (sta,) = setup_network()
+        sta.enqueue(data_frame("sta0"))
+        sched.run_until(0.1)
+        first = medium.transmission_log[0]
+        assert first.start_s >= constants.DIFS_S - 1e-12
+
+    def test_throughput_accounting(self):
+        sched, medium, (sta,) = setup_network()
+        for _ in range(3):
+            sta.enqueue(data_frame("sta0", payload=1000))
+        sched.run_until(0.5)
+        assert sta.stats.bytes_delivered == 3000
+
+
+class TestContention:
+    def test_two_stations_share_medium(self):
+        sched, medium, stations = setup_network(n_stations=2, seed=3)
+        for _ in range(10):
+            stations[0].enqueue(data_frame("sta0"))
+            stations[1].enqueue(data_frame("sta1"))
+        sched.run_until(1.0)
+        srcs = {t.frame.src for t in medium.transmission_log if not t.collided}
+        assert srcs == {"sta0", "sta1"}
+
+    def test_collisions_are_retried(self):
+        sched, medium, stations = setup_network(n_stations=4, seed=1)
+        for sta in stations:
+            for _ in range(5):
+                sta.enqueue(data_frame(sta.name))
+        sched.run_until(2.0)
+        total_success = sum(s.stats.successes for s in stations)
+        assert total_success == 20  # every frame eventually delivered
+
+    def test_saturated_medium_utilization(self):
+        sched, medium, stations = setup_network(n_stations=2, seed=5)
+        for sta in stations:
+            for _ in range(50):
+                sta.enqueue(data_frame(sta.name, payload=1470))
+        sched.run_until(5.0)
+        assert sum(s.stats.successes for s in stations) == 100
+
+
+class TestNav:
+    def test_cts_to_self_blocks_others(self):
+        sched, medium, stations = setup_network(n_stations=2, seed=2)
+        reserver, other = stations
+        cts = WifiFrame(
+            src="sta0", dst="sta0", kind=FrameKind.CTS_TO_SELF, payload_bytes=0,
+            nav_s=5e-3,
+        )
+        reserver.enqueue(cts)
+        sched.run_until(200e-6)  # CTS now on air / done
+        other.enqueue(data_frame("sta1"))
+        sched.run_until(3e-3)
+        # Within the NAV, only the CTS has been transmitted.
+        others = [t for t in medium.transmission_log if t.frame.src == "sta1"]
+        assert others == []
+        sched.run_until(20e-3)
+        others = [t for t in medium.transmission_log if t.frame.src == "sta1"]
+        assert len(others) == 1  # transmitted after NAV expiry
+
+    def test_nav_owner_can_transmit(self):
+        sched, medium, (sta,) = setup_network()
+        cts = WifiFrame(
+            src="sta0", dst="sta0", kind=FrameKind.CTS_TO_SELF, payload_bytes=0,
+            nav_s=10e-3,
+        )
+        sta.enqueue(cts)
+        sta.enqueue(data_frame("sta0"))
+        sched.run_until(5e-3)
+        kinds = [t.frame.kind for t in medium.transmission_log]
+        assert FrameKind.DATA in kinds  # owner transmits inside its NAV
+
+
+class TestChannelLoss:
+    def test_lossy_channel_counts_losses(self):
+        class HalfLoss(LinkQualityModel):
+            def delivery_probability(self, frame, time_s):
+                return 0.5
+
+        sched, medium, (sta,) = setup_network(link_quality=HalfLoss(), seed=7)
+        for _ in range(20):
+            sta.enqueue(data_frame("sta0"))
+        sched.run_until(3.0)
+        assert sta.stats.channel_losses > 0
+        assert sta.stats.successes == 20  # retries recover everything
+
+    def test_retry_limit_drops(self):
+        class AlwaysLose(LinkQualityModel):
+            def delivery_probability(self, frame, time_s):
+                return 0.0
+
+        sched, medium, (sta,) = setup_network(link_quality=AlwaysLose(), seed=8)
+        sta.enqueue(data_frame("sta0"))
+        sched.run_until(5.0)
+        assert sta.stats.drops == 1
+        assert sta.stats.successes == 0

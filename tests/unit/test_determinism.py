@@ -1,0 +1,76 @@
+"""Determinism: seeded experiments are exactly reproducible.
+
+Regression guard for a real bug: sub-models (AGC, glitches) used to
+construct their own unseeded generators, so two runs with the same
+seed diverged. Every seeded entry point must now be bit-stable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import calibration
+from repro.sim.link import (
+    helper_packet_times,
+    run_correlation_trial,
+    run_downlink_ber,
+    run_uplink_ber,
+)
+
+
+class TestSeededReproducibility:
+    def test_uplink_ber_is_seed_stable(self):
+        a = run_uplink_ber(0.45, 6, repeats=3, seed=123)
+        b = run_uplink_ber(0.45, 6, repeats=3, seed=123)
+        assert (a.errors, a.total_bits) == (b.errors, b.total_bits)
+
+    def test_different_seeds_differ(self):
+        # Not a tautology: a constant-output bug would pass the test
+        # above; mid-range BER has enough variance to distinguish seeds.
+        results = {
+            run_uplink_ber(0.55, 6, repeats=3, seed=s).errors
+            for s in range(6)
+        }
+        assert len(results) > 1
+
+    def test_correlation_trial_is_seed_stable(self):
+        a = run_correlation_trial(
+            1.5, 16, num_bits=8, rng=np.random.default_rng(9)
+        )
+        b = run_correlation_trial(
+            1.5, 16, num_bits=8, rng=np.random.default_rng(9)
+        )
+        assert a.errors == b.errors
+        assert a.decoded_bits.tolist() == b.decoded_bits.tolist()
+
+    def test_downlink_ber_is_seed_stable(self):
+        a = run_downlink_ber(2.5, 50e-6, num_bits=10_000, seed=5)
+        b = run_downlink_ber(2.5, 50e-6, num_bits=10_000, seed=5)
+        assert a.errors == b.errors
+
+    def test_packet_times_are_seed_stable(self):
+        a = helper_packet_times(500.0, 1.0, "poisson",
+                                rng=np.random.default_rng(3))
+        b = helper_packet_times(500.0, 1.0, "poisson",
+                                rng=np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_seeded_card_is_fully_deterministic(self):
+        """The regression: card sub-models must draw from the card's
+        seeded generator, not fresh OS entropy."""
+        h = np.full((3, 30), 1e-3, dtype=complex)
+        outs = []
+        for _ in range(2):
+            card = calibration.make_card(rng=np.random.default_rng(77))
+            outs.append(
+                np.stack([card.measure(h, float(i)).csi for i in range(50)])
+            )
+        assert np.array_equal(outs[0], outs[1])
+
+    def test_seeded_channel_is_fully_deterministic(self):
+        times = np.linspace(0, 1, 40)
+        states = np.tile([0, 1], 20)
+        outs = []
+        for _ in range(2):
+            ch = calibration.make_channel(0.3, rng=np.random.default_rng(88))
+            outs.append(ch.response_batch(times, states))
+        assert np.array_equal(outs[0], outs[1])

@@ -1,0 +1,40 @@
+"""Device capability profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.devices import (
+    INTEL_5300,
+    LINKSYS_WRT54GL,
+    THINKPAD_LAPTOP,
+    DeviceProfile,
+    reader_capabilities,
+)
+
+
+class TestProfiles:
+    def test_intel_5300_capabilities(self):
+        assert INTEL_5300.provides_csi
+        assert INTEL_5300.num_antennas == 3
+        assert not INTEL_5300.csi_for_beacons  # §7.5
+
+    def test_linksys_is_rssi_only(self):
+        assert not LINKSYS_WRT54GL.provides_csi
+        assert LINKSYS_WRT54GL.provides_rssi
+
+    def test_tx_power_conversion(self):
+        assert INTEL_5300.max_tx_power_w == pytest.approx(39.8e-3, rel=0.01)
+
+    def test_capability_summary_mentions_modes(self):
+        summary = reader_capabilities(INTEL_5300)
+        assert "CSI" in summary and "RSSI" in summary
+        summary = reader_capabilities(THINKPAD_LAPTOP)
+        assert "CSI" not in summary.replace("RSSI", "")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeviceProfile(name="x", num_antennas=0, provides_csi=True)
+        with pytest.raises(ConfigurationError):
+            DeviceProfile(
+                name="x", num_antennas=1, provides_csi=False, provides_rssi=False
+            )

@@ -1,0 +1,145 @@
+"""Tag-side downlink decoding: interval matching and mid-bit sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.downlink_decoder import (
+    DownlinkDecoder,
+    IntervalPreambleMatcher,
+    PREAMBLE_RUNS,
+    run_lengths,
+    sample_mid_bits,
+    transitions,
+)
+from repro.core.frames import DOWNLINK_PREAMBLE_BITS, DownlinkMessage
+from repro.errors import ConfigurationError, DecodeError
+
+BIT = 50e-6
+DT = 5e-6  # comparator sample spacing
+
+
+def render_bits(bits, bit_duration=BIT, dt=DT, lead_bits=5, tail_bits=5):
+    """Ideal comparator output for a bit pattern."""
+    full = [0] * lead_bits + list(bits) + [0] * tail_bits
+    n_per_bit = int(round(bit_duration / dt))
+    samples = np.repeat(full, n_per_bit)
+    times = np.arange(len(samples)) * dt
+    return samples, times, lead_bits * bit_duration
+
+
+class TestRunLengths:
+    def test_basic(self):
+        assert run_lengths([1, 1, 0, 1, 1, 1]) == [2, 1, 3]
+
+    def test_preamble_runs_sum(self):
+        assert sum(PREAMBLE_RUNS) == len(DOWNLINK_PREAMBLE_BITS)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_lengths([])
+
+
+class TestTransitions:
+    def test_detects_changes(self):
+        samples = np.array([0, 0, 1, 1, 0])
+        times = np.arange(5) * 1.0
+        t, levels = transitions(samples, times)
+        assert t.tolist() == [0.0, 2.0, 4.0]
+        assert levels.tolist() == [0, 1, 0]
+
+    def test_constant_signal(self):
+        t, levels = transitions(np.ones(5), np.arange(5.0))
+        assert len(t) == 1
+        assert levels[0] == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            transitions(np.array([1]), np.array([0.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            transitions(np.array([]), np.array([]))
+
+
+class TestPreambleMatcher:
+    def test_matches_clean_preamble(self):
+        samples, times, start = render_bits(DOWNLINK_PREAMBLE_BITS)
+        t, levels = transitions(samples, times)
+        matcher = IntervalPreambleMatcher(BIT)
+        match = matcher.find_first(t, levels)
+        expected_end = start + len(DOWNLINK_PREAMBLE_BITS) * BIT
+        assert match.end_time_s == pytest.approx(expected_end, abs=2 * DT)
+        assert match.bit_duration_s == pytest.approx(BIT, rel=0.1)
+
+    def test_tolerates_timing_jitter(self):
+        # Stretch the clock by 10%: still within the 30% tolerance.
+        samples, times, start = render_bits(
+            DOWNLINK_PREAMBLE_BITS, bit_duration=BIT * 1.1
+        )
+        t, levels = transitions(samples, times)
+        match = IntervalPreambleMatcher(BIT).find_first(t, levels)
+        assert match.bit_duration_s == pytest.approx(BIT * 1.1, rel=0.1)
+
+    def test_rejects_wrong_pattern(self):
+        wrong = [1, 0] * 8
+        samples, times, _ = render_bits(wrong)
+        t, levels = transitions(samples, times)
+        with pytest.raises(DecodeError):
+            IntervalPreambleMatcher(BIT).find_first(t, levels)
+
+    def test_random_traffic_rarely_matches(self):
+        # The false-positive mechanism of Fig 18: random on-off traffic
+        # seldom reproduces the preamble's interval structure.
+        rng = np.random.default_rng(0)
+        matcher = IntervalPreambleMatcher(BIT)
+        total_matches = 0
+        for _ in range(20):
+            bits = rng.integers(0, 2, 200)
+            samples, times, _ = render_bits(bits)
+            t, levels = transitions(samples, times)
+            total_matches += len(matcher.find_all(t, levels))
+        assert total_matches <= 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            IntervalPreambleMatcher(0.0)
+        with pytest.raises(ConfigurationError):
+            IntervalPreambleMatcher(BIT, tolerance=1.5)
+
+
+class TestSampleMidBits:
+    def test_samples_centers(self):
+        samples, times, start = render_bits([1, 0, 1, 1])
+        out = sample_mid_bits(samples, times, start, BIT, 4)
+        assert out.tolist() == [1, 0, 1, 1]
+
+    def test_record_too_short(self):
+        samples, times, start = render_bits([1, 0], tail_bits=0)
+        with pytest.raises(DecodeError):
+            sample_mid_bits(samples, times, start, BIT, 50)
+
+
+class TestDownlinkDecoder:
+    def test_full_message_roundtrip(self):
+        payload = tuple([1, 0, 1, 1, 0, 0, 1, 0] * 4)
+        msg = DownlinkMessage(payload_bits=payload)
+        samples, times, _ = render_bits(msg.to_bits())
+        decoder = DownlinkDecoder(bit_duration_s=BIT, payload_len=len(payload))
+        decoded = decoder.decode(samples, times)
+        assert decoded.payload_bits == payload
+
+    def test_counts_false_preambles(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 500)
+        samples, times, _ = render_bits(bits)
+        decoder = DownlinkDecoder(bit_duration_s=BIT)
+        count = decoder.count_false_preambles(samples, times)
+        assert count >= 0  # just exercises the path; rate checked above
+
+    def test_no_preamble_raises(self):
+        samples, times, _ = render_bits([1, 0] * 10)
+        decoder = DownlinkDecoder(bit_duration_s=BIT, payload_len=8)
+        with pytest.raises(DecodeError):
+            decoder.decode(samples, times)
+
+    def test_invalid_payload_len(self):
+        with pytest.raises(ConfigurationError):
+            DownlinkDecoder(bit_duration_s=BIT, payload_len=0)

@@ -1,0 +1,135 @@
+"""Run-length decoding, clock tracking, and debouncing (tag firmware)."""
+
+import numpy as np
+import pytest
+
+from repro.core.downlink_decoder import (
+    IntervalPreambleMatcher,
+    bits_from_transitions,
+    debounce_transitions,
+    transitions,
+)
+from repro.errors import ConfigurationError, DecodeError
+
+BIT = 50e-6
+
+
+def transitions_for(bits, bit_s=BIT, start=0.0, edge_bias=0.0):
+    """Ideal transition record for a bit sequence (prepends idle 0).
+
+    ``edge_bias`` delays falling edges (the envelope-decay effect).
+    """
+    t = [start - 10 * bit_s]
+    lv = [0]
+    level = 0
+    for i, b in enumerate(bits):
+        if b != level:
+            time = start + i * bit_s
+            if b == 0:  # falling edge
+                time += edge_bias
+            t.append(time)
+            lv.append(b)
+            level = b
+    return np.asarray(t), np.asarray(lv)
+
+
+class TestBitsFromTransitions:
+    def test_exact_clock(self):
+        bits = [1, 0, 1, 1, 0, 0, 0, 1]
+        t, lv = transitions_for(bits)
+        out = bits_from_transitions(t, lv, 0.0, BIT, len(bits))
+        assert out.tolist() == bits
+
+    def test_three_percent_clock_error_over_80_bits(self):
+        # The preamble-derived clock is only a few percent accurate; the
+        # per-transition resync must absorb that over long messages.
+        rng = np.random.default_rng(0)
+        bits = [int(b) for b in rng.integers(0, 2, 80)]
+        bits[0] = 1
+        t, lv = transitions_for(bits)
+        out = bits_from_transitions(t, lv, 0.0, BIT * 1.03, len(bits))
+        assert out.tolist() == bits
+
+    def test_edge_bias_tolerated(self):
+        rng = np.random.default_rng(1)
+        bits = [int(b) for b in rng.integers(0, 2, 60)]
+        bits[0] = 1
+        t, lv = transitions_for(bits, edge_bias=0.15 * BIT)
+        out = bits_from_transitions(t, lv, 0.0, BIT, len(bits))
+        assert out.tolist() == bits
+
+    def test_trailing_level_fills_remainder(self):
+        bits = [1, 0, 0, 0, 0]
+        t, lv = transitions_for(bits)
+        out = bits_from_transitions(t, lv, 0.0, BIT, 5)
+        assert out.tolist() == bits
+
+    def test_validation(self):
+        t, lv = transitions_for([1, 0])
+        with pytest.raises(ConfigurationError):
+            bits_from_transitions(t, lv, 0.0, 0.0, 2)
+        with pytest.raises(ConfigurationError):
+            bits_from_transitions(t, lv, 0.0, BIT, 0)
+        with pytest.raises(DecodeError):
+            bits_from_transitions(np.array([]), np.array([]), 0.0, BIT, 2)
+
+
+class TestDebounce:
+    def test_removes_single_glitch(self):
+        # 1-run with a short dip in the middle.
+        t = np.array([0.0, 1.0, 1.4, 1.45, 2.0])
+        lv = np.array([0, 1, 0, 1, 0])
+        td, lvd = debounce_transitions(t, lv, min_run_s=0.2)
+        assert td.tolist() == [0.0, 1.0, 2.0]
+        assert lvd.tolist() == [0, 1, 0]
+
+    def test_keeps_long_runs(self):
+        t = np.array([0.0, 1.0, 2.0, 3.0])
+        lv = np.array([0, 1, 0, 1])
+        td, lvd = debounce_transitions(t, lv, min_run_s=0.5)
+        assert td.tolist() == t.tolist()
+
+    def test_zero_window_is_identity(self):
+        t = np.array([0.0, 1.0, 1.001, 1.002])
+        lv = np.array([0, 1, 0, 1])
+        td, _ = debounce_transitions(t, lv, min_run_s=0.0)
+        assert len(td) == 4
+
+    def test_consecutive_glitches(self):
+        # Multiple short bounces inside one logical run all merge away.
+        t = np.array([0.0, 1.0, 1.30, 1.31, 1.60, 1.61, 2.5])
+        lv = np.array([0, 1, 0, 1, 0, 1, 0])
+        td, lvd = debounce_transitions(t, lv, min_run_s=0.1)
+        assert lvd.tolist() == [0, 1, 0]
+        assert td.tolist() == [0.0, 1.0, 2.5]
+
+    def test_never_drops_first_transition(self):
+        t = np.array([0.0, 0.01, 5.0])
+        lv = np.array([1, 0, 1])
+        td, lvd = debounce_transitions(t, lv, min_run_s=0.1)
+        assert td[0] == 0.0 and lvd[0] == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            debounce_transitions(np.array([0.0]), np.array([0, 1]), 0.1)
+        with pytest.raises(ConfigurationError):
+            debounce_transitions(np.array([0.0]), np.array([0]), -0.1)
+
+
+class TestMeanToleranceMatcher:
+    def test_mean_mode_accepts_noisy_but_close(self):
+        from repro.core.frames import DOWNLINK_PREAMBLE_BITS
+
+        rng = np.random.default_rng(3)
+        bits = list(DOWNLINK_PREAMBLE_BITS) + [1, 1]
+        t, lv = transitions_for(bits)
+        # Jitter every transition by ~10% of a bit.
+        t = t + rng.normal(scale=0.1 * BIT, size=len(t))
+        t = np.sort(t)
+        strict = IntervalPreambleMatcher(BIT, tolerance=0.12)
+        soft = IntervalPreambleMatcher(BIT, mean_tolerance=0.25)
+        assert len(soft.find_all(t, lv)) >= len(strict.find_all(t, lv))
+
+    def test_mean_mode_validation(self):
+        with pytest.raises(ConfigurationError):
+            IntervalPreambleMatcher(BIT, mean_tolerance=1.5)

@@ -1,0 +1,122 @@
+"""Downlink on-off keying encoder and CTS_to_SELF planning."""
+
+import pytest
+
+from repro.core.downlink_encoder import (
+    BIT_DURATION_5KBPS_S,
+    BIT_DURATION_10KBPS_S,
+    BIT_DURATION_20KBPS_S,
+    DownlinkEncoder,
+    bit_duration_for_rate,
+)
+from repro.core.frames import DownlinkMessage
+from repro.errors import ConfigurationError, MediumReservationError
+from repro.mac.cts_to_self import cts_to_self_frame, plan_reservations
+from repro.phy import constants
+
+
+def message(bits=64):
+    return DownlinkMessage(payload_bits=tuple([1, 0] * (bits // 2)))
+
+
+class TestBitDurations:
+    def test_paper_rates(self):
+        # 50/100/200 us bits = 20/10/5 kbps (Fig 17).
+        assert 1.0 / BIT_DURATION_20KBPS_S == pytest.approx(20e3)
+        assert 1.0 / BIT_DURATION_10KBPS_S == pytest.approx(10e3)
+        assert 1.0 / BIT_DURATION_5KBPS_S == pytest.approx(5e3)
+
+    def test_bit_duration_for_rate(self):
+        assert bit_duration_for_rate(20e3) == pytest.approx(50e-6)
+
+    def test_rate_beyond_minimum_packet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bit_duration_for_rate(30e3)  # would need 33 us packets
+
+
+class TestReservationPlanning:
+    def test_single_window_for_canonical_message(self):
+        plan = plan_reservations(96, 50e-6)
+        assert plan.num_windows == 1
+        assert plan.total_reserved_s == pytest.approx(96 * 50e-6)
+
+    def test_splits_long_messages(self):
+        # "The current 802.11 standard only allows ... up to a duration
+        # of 32 ms using the CTS_to_SELF packet" (§4.1).
+        bits = 2000  # 2000 * 50 us = 100 ms > 32 ms
+        plan = plan_reservations(bits, 50e-6)
+        assert plan.num_windows == 4
+        assert all(
+            w <= constants.MAX_CTS_TO_SELF_RESERVATION_S + 1e-12
+            for w in plan.window_durations_s
+        )
+        assert sum(plan.bits_per_window) == bits
+
+    def test_rejects_oversized_bits(self):
+        with pytest.raises(MediumReservationError):
+            plan_reservations(10, 40e-3)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(MediumReservationError):
+            plan_reservations(0, 50e-6)
+
+
+class TestCtsToSelfFrame:
+    def test_carries_nav(self):
+        frame = cts_to_self_frame("reader", nav_s=4.8e-3)
+        assert frame.nav_s == pytest.approx(4.8e-3)
+        assert frame.src == frame.dst == "reader"
+
+    def test_rejects_over_limit(self):
+        with pytest.raises(MediumReservationError):
+            cts_to_self_frame("reader", nav_s=40e-3)
+
+
+class TestEncoder:
+    def test_air_intervals_match_one_bits(self):
+        msg = message()
+        enc = DownlinkEncoder(bit_duration_s=50e-6)
+        intervals = enc.air_intervals(msg)
+        assert len(intervals) == sum(msg.to_bits())
+
+    def test_intervals_on_bit_grid(self):
+        msg = message(8)
+        enc = DownlinkEncoder(bit_duration_s=100e-6)
+        for iv in enc.air_intervals(msg):
+            slot = iv.start_s / 100e-6
+            assert slot == pytest.approx(round(slot), abs=1e-9)
+            assert iv.duration_s == pytest.approx(100e-6)
+
+    def test_message_airtime(self):
+        msg = message()
+        enc = DownlinkEncoder(bit_duration_s=50e-6)
+        # 96 bits in one window: no gaps.
+        assert enc.message_airtime_s(msg) == pytest.approx(96 * 50e-6)
+
+    def test_bit_rate_property(self):
+        assert DownlinkEncoder(bit_duration_s=50e-6).bit_rate_bps == pytest.approx(
+            20e3
+        )
+
+    def test_too_short_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DownlinkEncoder(bit_duration_s=20e-6)
+
+    def test_schedule_queues_frames(self):
+        import numpy as np
+
+        from repro.mac.dcf import Medium
+        from repro.mac.simulator import EventScheduler
+        from repro.mac.station import Station
+
+        sched = EventScheduler()
+        medium = Medium(sched, rng=np.random.default_rng(0))
+        station = Station("reader", medium, sched, rng=np.random.default_rng(1))
+        msg = message()
+        enc = DownlinkEncoder(bit_duration_s=50e-6)
+        queued = enc.schedule(station, msg)
+        # 1 CTS_to_SELF + one mark frame per '1' bit.
+        assert queued == 1 + sum(msg.to_bits())
+        sched.run_until(1.0)
+        # All queued frames eventually hit the air.
+        assert len(medium.transmission_log) == queued

@@ -1,0 +1,82 @@
+"""Envelope synthesis for the downlink circuit path."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.phy.envelope import AirInterval, EnvelopeSynthesizer, intervals_from_bits
+
+
+class TestAirInterval:
+    def test_end_time(self):
+        iv = AirInterval(start_s=1.0, duration_s=0.5, power_w=1e-3)
+        assert iv.end_s == pytest.approx(1.5)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            AirInterval(start_s=0.0, duration_s=0.0, power_w=1.0)
+        with pytest.raises(ConfigurationError):
+            AirInterval(start_s=0.0, duration_s=1.0, power_w=-1.0)
+
+
+class TestIntervalsFromBits:
+    def test_one_bits_become_packets(self):
+        ivs = intervals_from_bits([1, 0, 1, 1], 50e-6, power_w=0.04)
+        assert len(ivs) == 3
+        starts = [iv.start_s for iv in ivs]
+        assert starts == pytest.approx([0.0, 100e-6, 150e-6])
+
+    def test_silence_matches_packet_duration(self):
+        # "The duration of the silence period is set to be equal to that
+        # of the Wi-Fi packet" (§4.1): bit slots are uniform.
+        ivs = intervals_from_bits([1, 0, 0, 1], 50e-6, power_w=0.04)
+        assert ivs[1].start_s - ivs[0].start_s == pytest.approx(150e-6)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            intervals_from_bits([1, 2], 50e-6, power_w=0.04)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigurationError):
+            intervals_from_bits([1], 0.0, power_w=0.04)
+
+
+class TestSynthesizer:
+    def test_render_length(self, rng):
+        synth = EnvelopeSynthesizer(distance_m=1.0, rng=rng)
+        times, power = synth.render([], 1e-3)
+        assert len(times) == len(power) == int(np.ceil(1e-3 / synth.sample_interval_s))
+
+    def test_packet_power_above_noise(self, rng):
+        synth = EnvelopeSynthesizer(distance_m=1.0, rng=rng)
+        iv = AirInterval(start_s=0.2e-3, duration_s=0.2e-3, power_w=0.04)
+        times, power = synth.render([iv], 1e-3)
+        in_pkt = (times >= iv.start_s) & (times < iv.end_s)
+        assert power[in_pkt].mean() > 100 * power[~in_pkt].mean()
+
+    def test_received_power_scales_with_distance(self, rng):
+        levels = []
+        for d in (0.5, 2.0):
+            synth = EnvelopeSynthesizer(
+                distance_m=d, rng=np.random.default_rng(1)
+            )
+            iv = AirInterval(start_s=0.0, duration_s=0.5e-3, power_w=0.04)
+            _, power = synth.render([iv], 0.5e-3)
+            levels.append(power.mean())
+        # 4x distance ratio -> 16x power ratio under free space.
+        assert levels[0] / levels[1] == pytest.approx(16.0, rel=0.2)
+
+    def test_rejects_interval_past_end(self, rng):
+        synth = EnvelopeSynthesizer(distance_m=1.0, rng=rng)
+        iv = AirInterval(start_s=0.9e-3, duration_s=0.5e-3, power_w=0.04)
+        with pytest.raises(ConfigurationError):
+            synth.render([iv], 1e-3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            EnvelopeSynthesizer(distance_m=0.0)
+        with pytest.raises(ConfigurationError):
+            EnvelopeSynthesizer(distance_m=1.0, sample_interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            EnvelopeSynthesizer(distance_m=1.0, noise_power_w=-1.0)

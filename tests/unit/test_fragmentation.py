@@ -1,0 +1,105 @@
+"""Downlink fragmentation across CTS_to_SELF windows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fragmentation import (
+    FRAGMENT_DATA_BITS,
+    MAX_TRANSFER_BYTES,
+    Reassembler,
+    fragment_payload,
+    parse_fragment,
+)
+from repro.core.frames import DownlinkMessage
+from repro.errors import ConfigurationError, FrameError
+
+
+class TestFragmentation:
+    def test_small_payload_is_one_fragment(self):
+        messages = fragment_payload(b"hi")
+        assert len(messages) == 1
+        frag = parse_fragment(messages[0])
+        assert frag.index == 0 and frag.total == 1
+
+    def test_large_payload_spans_fragments(self):
+        data = bytes(range(40))  # 320 bits > 56 data bits/fragment
+        messages = fragment_payload(data)
+        assert len(messages) == -(-320 // FRAGMENT_DATA_BITS)
+        totals = {parse_fragment(m).total for m in messages}
+        assert totals == {len(messages)}
+
+    def test_each_fragment_fits_one_window(self):
+        for message in fragment_payload(bytes(range(MAX_TRANSFER_BYTES))):
+            assert len(message.payload_bits) <= DownlinkMessage.MAX_PAYLOAD_BITS
+
+    def test_limits(self):
+        with pytest.raises(ConfigurationError):
+            fragment_payload(b"")
+        with pytest.raises(ConfigurationError):
+            fragment_payload(bytes(MAX_TRANSFER_BYTES + 1))
+
+
+class TestReassembly:
+    def test_in_order(self):
+        data = bytes(range(30))
+        reassembler = Reassembler()
+        messages = fragment_payload(data)
+        for message in messages[:-1]:
+            assert reassembler.feed(message) is None
+        assert reassembler.feed(messages[-1]) == data
+
+    def test_out_of_order_and_duplicates(self):
+        data = b"wifi backscatter internet of things"
+        messages = fragment_payload(data)
+        rng = np.random.default_rng(0)
+        order = list(rng.permutation(len(messages)))
+        order = order + order[:2]  # duplicates (retransmissions)
+        reassembler = Reassembler()
+        result = None
+        for i in order:
+            result = reassembler.feed(messages[i]) or result
+        assert result == data
+
+    def test_missing_reports_outstanding(self):
+        messages = fragment_payload(bytes(range(30)))
+        reassembler = Reassembler()
+        reassembler.feed(messages[0])
+        assert reassembler.missing == list(range(1, len(messages)))
+
+    def test_mixed_transfers_rejected(self):
+        a = fragment_payload(bytes(range(30)))
+        b = fragment_payload(bytes(range(8)))
+        reassembler = Reassembler()
+        reassembler.feed(a[0])
+        with pytest.raises(FrameError):
+            reassembler.feed(b[0])
+
+    def test_reset(self):
+        messages = fragment_payload(bytes(range(30)))
+        reassembler = Reassembler()
+        reassembler.feed(messages[0])
+        reassembler.reset()
+        assert reassembler.missing == []
+        # A new, different transfer now proceeds cleanly.
+        assert reassembler.feed(fragment_payload(b"x")[0]) == b"x"
+
+    def test_malformed_header_rejected(self):
+        # index > total: structurally impossible from fragment_payload.
+        bogus = DownlinkMessage(
+            payload_bits=tuple([0, 1, 0, 0] + [0, 0, 0, 0] + [1] * 8)
+        )
+        with pytest.raises(FrameError):
+            parse_fragment(bogus)
+
+
+class TestRoundtripProperty:
+    @given(st.binary(min_size=1, max_size=MAX_TRANSFER_BYTES))
+    @settings(max_examples=60)
+    def test_any_payload_roundtrips(self, data):
+        reassembler = Reassembler()
+        result = None
+        for message in fragment_payload(data):
+            result = reassembler.feed(message)
+        assert result == data

@@ -1,0 +1,147 @@
+"""Frame construction, parsing, and CRC behaviour."""
+
+import pytest
+
+from repro.core.frames import (
+    DOWNLINK_PREAMBLE_BITS,
+    DownlinkMessage,
+    UplinkFrame,
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    crc8,
+    crc16,
+    int_to_bits,
+)
+from repro.errors import ConfigurationError, CrcError, FrameError
+
+
+class TestBitHelpers:
+    def test_int_to_bits_roundtrip(self):
+        for value, width in ((0, 4), (5, 4), (255, 8), (40000, 16)):
+            assert bits_to_int(int_to_bits(value, width)) == value
+
+    def test_int_to_bits_overflow(self):
+        with pytest.raises(ConfigurationError):
+            int_to_bits(16, 4)
+
+    def test_bytes_roundtrip(self):
+        data = b"\x00\xff\x5a"
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_bits_to_bytes_needs_multiple_of_8(self):
+        with pytest.raises(FrameError):
+            bits_to_bytes([1, 0, 1])
+
+
+class TestCrc:
+    def test_crc8_deterministic(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        assert crc8(bits) == crc8(bits)
+
+    def test_crc8_detects_single_flip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0] * 4
+        base = crc8(bits)
+        for i in range(len(bits)):
+            flipped = list(bits)
+            flipped[i] ^= 1
+            assert crc8(flipped) != base
+
+    def test_crc16_detects_single_flip(self):
+        bits = [0, 1] * 20
+        base = crc16(bits)
+        for i in range(len(bits)):
+            flipped = list(bits)
+            flipped[i] ^= 1
+            assert crc16(flipped) != base
+
+    def test_crc16_known_nonzero(self):
+        assert crc16([1, 0, 1, 1, 0, 0, 1, 0]) != 0
+
+    def test_crc_rejects_non_bits(self):
+        with pytest.raises(ConfigurationError):
+            crc8([0, 1, 2])
+
+
+class TestUplinkFrame:
+    def test_roundtrip(self):
+        payload = tuple([1, 0, 1, 1, 0, 0, 1, 0, 1, 0])
+        frame = UplinkFrame(payload_bits=payload)
+        bits = frame.to_bits()
+        parsed = UplinkFrame.parse(bits, payload_len=len(payload))
+        assert parsed.payload_bits == payload
+
+    def test_structure(self):
+        frame = UplinkFrame(payload_bits=(1, 0, 1))
+        bits = frame.to_bits()
+        # preamble(13) + payload(3) + crc8(8) + postamble(13)
+        assert len(bits) == 13 + 3 + 8 + 13
+        assert bits[:13] == frame.preamble
+        assert bits[-13:] == frame.postamble
+
+    def test_postamble_is_reversed_preamble(self):
+        frame = UplinkFrame(payload_bits=(1,))
+        assert frame.postamble == list(reversed(frame.preamble))
+
+    def test_crc_error_detected(self):
+        frame = UplinkFrame(payload_bits=(1, 0, 1, 1))
+        bits = frame.to_bits()
+        bits[14] ^= 1  # flip a payload bit
+        with pytest.raises(CrcError):
+            UplinkFrame.parse(bits, payload_len=4)
+
+    def test_wrong_length_rejected(self):
+        frame = UplinkFrame(payload_bits=(1, 0))
+        with pytest.raises(FrameError):
+            UplinkFrame.parse(frame.to_bits()[:-1], payload_len=2)
+
+    def test_preamble_mismatch_rejected(self):
+        frame = UplinkFrame(payload_bits=(1, 0))
+        bits = frame.to_bits()
+        bits[0] ^= 1
+        with pytest.raises(FrameError):
+            UplinkFrame.parse(bits, payload_len=2)
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(FrameError):
+            UplinkFrame(payload_bits=())
+
+
+class TestDownlinkMessage:
+    def test_canonical_message_timing(self):
+        # "the Wi-Fi reader can transmit a 64-bit payload message with a
+        # 16-bit preamble in 4.0 ms" at 50 us bits (§4.1). With our
+        # 16-bit CRC appended the full message takes 4.8 ms.
+        msg = DownlinkMessage(payload_bits=tuple([1, 0] * 32))
+        assert len(DOWNLINK_PREAMBLE_BITS) == 16
+        preamble_plus_payload = (16 + 64) * 50e-6
+        assert preamble_plus_payload == pytest.approx(4.0e-3)
+        assert msg.airtime_s(50e-6) == pytest.approx(4.8e-3)
+
+    def test_roundtrip(self):
+        payload = tuple([1, 1, 0, 1] * 4)
+        msg = DownlinkMessage(payload_bits=payload)
+        bits = msg.to_bits()
+        parsed = DownlinkMessage.parse(bits[16:], payload_len=len(payload))
+        assert parsed.payload_bits == payload
+
+    def test_starts_with_preamble(self):
+        msg = DownlinkMessage(payload_bits=(1, 0))
+        assert tuple(msg.to_bits()[:16]) == DOWNLINK_PREAMBLE_BITS
+
+    def test_crc_error(self):
+        payload = tuple([0, 1] * 8)
+        msg = DownlinkMessage(payload_bits=payload)
+        bits = msg.to_bits()[16:]
+        bits[0] ^= 1
+        with pytest.raises(CrcError):
+            DownlinkMessage.parse(bits, payload_len=len(payload))
+
+    def test_payload_limit(self):
+        with pytest.raises(FrameError):
+            DownlinkMessage(payload_bits=tuple([0] * 65))
+
+    def test_bad_airtime_duration(self):
+        msg = DownlinkMessage(payload_bits=(1,))
+        with pytest.raises(ConfigurationError):
+            msg.airtime_s(0.0)

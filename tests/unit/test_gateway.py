@@ -1,0 +1,151 @@
+"""The Internet-bridge gateway service."""
+
+from typing import Optional
+
+import numpy as np
+import pytest
+
+from repro.core.frames import UplinkFrame, int_to_bits
+from repro.core.protocol import (
+    DownlinkTransport,
+    UplinkTransport,
+    WiFiBackscatterReader,
+    decode_query,
+)
+from repro.core.inventory import InventoryTag
+from repro.errors import ConfigurationError
+from repro.net.gateway import BackscatterGateway, SensorReading
+
+
+class FakeField:
+    """A population of addressable tags behind one pair of transports."""
+
+    def __init__(self, values, reachable=None, rng=None):
+        self.values = dict(values)
+        self.reachable = reachable if reachable is not None else set(values)
+        self.pending: Optional[UplinkFrame] = None
+
+
+class FieldDownlink(DownlinkTransport):
+    def __init__(self, field):
+        self.field = field
+
+    def send(self, message) -> bool:
+        query = decode_query(message)
+        if query.tag_address not in self.field.reachable:
+            return False
+        value = self.field.values[query.tag_address]
+        self.field.pending = UplinkFrame(
+            payload_bits=tuple(int_to_bits(value & 0xFFFFFFFF, 32))
+        )
+        return True
+
+
+class FieldUplink(UplinkTransport):
+    def __init__(self, field):
+        self.field = field
+
+    def receive(self, payload_len, bit_rate_bps):
+        frame, self.field.pending = self.field.pending, None
+        return frame
+
+
+def make_gateway(values, reachable=None, publish=None):
+    field = FakeField(values, reachable)
+    reader = WiFiBackscatterReader(
+        FieldDownlink(field), FieldUplink(field), max_attempts=2
+    )
+    gateway = BackscatterGateway(
+        reader, helper_rate_fn=lambda: 1500.0, publish=publish
+    )
+    return gateway, field
+
+
+class TestRegistryAndPolling:
+    def test_poll_reads_every_tag(self):
+        gateway, _ = make_gateway({1: 100, 2: 200, 3: 300})
+        for addr in (1, 2, 3):
+            gateway.register(addr)
+        readings = gateway.poll_once()
+        assert {r.tag_address: r.value for r in readings} == {
+            1: 100, 2: 200, 3: 300,
+        }
+
+    def test_publish_sink_called(self):
+        seen = []
+        gateway, _ = make_gateway({1: 42}, publish=seen.append)
+        gateway.register(1)
+        gateway.poll_once()
+        assert len(seen) == 1
+        assert isinstance(seen[0], SensorReading)
+        assert seen[0].value == 42
+
+    def test_values_update_across_polls(self):
+        gateway, field = make_gateway({1: 10})
+        gateway.register(1)
+        gateway.poll_once()
+        field.values[1] = 11
+        gateway.poll_once()
+        assert gateway.registry[1].last_value == 11
+        assert gateway.registry[1].availability == 1.0
+
+    def test_poll_cycles(self):
+        gateway, _ = make_gateway({1: 5, 2: 6})
+        gateway.register(1)
+        gateway.register(2)
+        readings = gateway.poll(cycles=3)
+        assert len(readings) == 6
+        assert gateway.poll_index == 3
+
+    def test_register_validates_address(self):
+        gateway, _ = make_gateway({1: 5})
+        with pytest.raises(ConfigurationError):
+            gateway.register(1 << 16)
+
+    def test_poll_requires_tags(self):
+        gateway, _ = make_gateway({})
+        with pytest.raises(ConfigurationError):
+            gateway.poll_once()
+
+
+class TestHealthTracking:
+    def test_unreachable_tag_goes_offline(self):
+        gateway, _ = make_gateway({1: 5, 2: 6}, reachable={1})
+        gateway.register(1)
+        gateway.register(2)
+        gateway.poll(cycles=3)
+        assert gateway.offline_tags() == [2]
+        assert gateway.registry[2].availability == 0.0
+        assert gateway.registry[1].availability == 1.0
+
+    def test_recovery_clears_failure_streak(self):
+        gateway, field = make_gateway({1: 5}, reachable=set())
+        gateway.register(1)
+        gateway.poll(cycles=2)
+        assert gateway.registry[1].consecutive_failures == 2
+        field.reachable.add(1)
+        gateway.poll_once()
+        assert gateway.registry[1].consecutive_failures == 0
+        assert gateway.offline_tags() == []
+
+    def test_health_report_sorted_by_availability(self):
+        gateway, _ = make_gateway({1: 5, 2: 6}, reachable={1})
+        gateway.register(1)
+        gateway.register(2)
+        gateway.poll(cycles=2)
+        report = gateway.health_report()
+        assert [s.address for s in report] == [2, 1]
+
+
+class TestDiscovery:
+    def test_discover_registers_identified_tags(self, rng):
+        gateway, _ = make_gateway({i: i * 10 for i in range(1, 6)})
+        population = [InventoryTag(address=i) for i in range(1, 6)]
+        from repro.core.inventory import SlottedAlohaInventory
+
+        found = gateway.discover(
+            population, SlottedAlohaInventory(rng=rng)
+        )
+        assert found == [1, 2, 3, 4, 5]
+        readings = gateway.poll_once()
+        assert len(readings) == 5

@@ -1,0 +1,130 @@
+"""The Intel 5300 CSI/RSSI measurement model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.intel5300 import Intel5300
+from repro.phy.noise import SpuriousGlitchModel
+
+
+def true_channel(n_ant=3, n_sub=30, scale=1e-3, seed=0):
+    rng = np.random.default_rng(seed)
+    return scale * (
+        rng.normal(size=(n_ant, n_sub)) + 1j * rng.normal(size=(n_ant, n_sub))
+    )
+
+
+class TestMeasure:
+    def test_reports_csi_shape(self, rng):
+        card = Intel5300(rng=rng)
+        m = card.measure(true_channel(), 0.0)
+        assert m.csi.shape == (3, 30)
+        assert m.rssi_dbm.shape == (3,)
+
+    def test_rssi_only_mode(self, rng):
+        card = Intel5300(rng=rng)
+        m = card.measure(true_channel(), 0.0, with_csi=False)
+        assert m.csi is None
+        assert m.rssi_dbm.shape == (3,)
+
+    def test_csi_near_nominal_level(self, rng):
+        # Without the weak antenna, reports average to the nominal level.
+        card = Intel5300(nominal_level=8.0, weak_antenna=None, rng=rng)
+        h = true_channel()
+        values = [card.measure(h, float(i)).csi.mean() for i in range(20)]
+        assert np.mean(values) == pytest.approx(8.0, rel=0.3)
+
+    def test_weak_antenna(self, rng):
+        # "one of the antennas on our Intel device almost always
+        # reported significantly low CSI values" (§7.1).
+        card = Intel5300(weak_antenna=2, weak_antenna_gain=0.15, rng=rng)
+        h = np.full((3, 30), 1e-3, dtype=complex)
+        m = card.measure(h, 0.0)
+        assert m.csi[2].mean() < 0.5 * m.csi[0].mean()
+
+    def test_no_weak_antenna_option(self, rng):
+        card = Intel5300(weak_antenna=None, rng=rng)
+        h = np.full((3, 30), 1e-3, dtype=complex)
+        m = card.measure(h, 0.0)
+        assert m.csi[2].mean() == pytest.approx(m.csi[0].mean(), rel=0.2)
+
+    def test_csi_never_negative(self, rng):
+        card = Intel5300(csi_noise_rel=0.5, rng=rng)
+        h = true_channel(scale=1e-6)
+        for i in range(20):
+            assert np.all(card.measure(h, float(i)).csi >= 0)
+
+    def test_glitches_scale_whole_report(self):
+        card = Intel5300(
+            glitches=SpuriousGlitchModel(
+                probability=1.0, magnitude=0.5,
+                rng=np.random.default_rng(0),
+            ),
+            csi_noise_rel=0.0,
+            csi_quantization_rel=0.0,
+            agc=None or __import__("repro.hardware.agc", fromlist=["AgcModel"]).AgcModel(
+                wander_std_db=0.0, step_db=0.0, rng=np.random.default_rng(1)
+            ),
+            rng=np.random.default_rng(2),
+        )
+        h = np.full((3, 30), 1e-3, dtype=complex)
+        first = card.measure(h, 0.0).csi
+        second = card.measure(h, 1.0).csi
+        # With certain glitches and no other noise, reports differ by a
+        # common scale factor.
+        ratio = second / first
+        assert np.allclose(ratio, ratio.flat[0], rtol=1e-6)
+
+    def test_requires_2d_channel(self, rng):
+        card = Intel5300(rng=rng)
+        with pytest.raises(ConfigurationError):
+            card.measure(np.ones(30, dtype=complex), 0.0)
+
+
+class TestMeasureBatch:
+    def test_batch_shape_and_order(self, rng):
+        card = Intel5300(rng=rng)
+        h = np.stack([true_channel(seed=i) for i in range(5)])
+        times = np.arange(5) * 0.01
+        records = card.measure_batch(h, times)
+        assert len(records) == 5
+        assert [r.timestamp_s for r in records] == times.tolist()
+        assert all(r.csi.shape == (3, 30) for r in records)
+
+    def test_batch_rssi_only(self, rng):
+        card = Intel5300(rng=rng)
+        h = np.stack([true_channel(seed=i) for i in range(3)])
+        records = card.measure_batch(h, np.arange(3.0), with_csi=False)
+        assert all(r.csi is None for r in records)
+
+    def test_batch_statistics_match_sequential(self):
+        h = np.stack([true_channel(seed=i) for i in range(200)])
+        times = np.arange(200) * 0.001
+        card_a = Intel5300(rng=np.random.default_rng(1))
+        seq = np.stack([card_a.measure(h[i], times[i]).csi for i in range(200)])
+        card_b = Intel5300(rng=np.random.default_rng(1))
+        batch = np.stack([r.csi for r in card_b.measure_batch(h, times)])
+        # Same model parameters: distributions agree (not sample-exact,
+        # the rng draw order differs).
+        assert batch.mean() == pytest.approx(seq.mean(), rel=0.05)
+        assert batch.std() == pytest.approx(seq.std(), rel=0.15)
+
+    def test_batch_validates_input(self, rng):
+        card = Intel5300(rng=rng)
+        with pytest.raises(ConfigurationError):
+            card.measure_batch(np.ones((3, 30)), np.arange(3.0))
+        with pytest.raises(ConfigurationError):
+            card.measure_batch(
+                np.ones((2, 3, 30), dtype=complex), np.arange(3.0)
+            )
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Intel5300(csi_noise_rel=-0.1)
+        with pytest.raises(ConfigurationError):
+            Intel5300(nominal_level=0.0)
+        with pytest.raises(ConfigurationError):
+            Intel5300(weak_antenna_gain=0.0)

@@ -1,0 +1,87 @@
+"""Multi-tag slotted-ALOHA inventory."""
+
+import numpy as np
+import pytest
+
+from repro.core.inventory import (
+    InventoryTag,
+    SlottedAlohaInventory,
+    expected_rounds_lower_bound,
+)
+from repro.errors import ConfigurationError
+
+
+class TestInventory:
+    def test_identifies_all_tags(self, rng):
+        tags = [InventoryTag(address=i) for i in range(10)]
+        engine = SlottedAlohaInventory(rng=rng)
+        result = engine.run(tags)
+        assert sorted(result.identified) == list(range(10))
+
+    def test_single_tag_fast(self, rng):
+        engine = SlottedAlohaInventory(rng=rng)
+        result = engine.run([InventoryTag(address=42)])
+        assert result.identified == [42]
+        assert len(result.rounds) <= 3
+
+    def test_empty_population(self, rng):
+        result = SlottedAlohaInventory(rng=rng).run([])
+        assert result.identified == []
+        assert result.rounds == []
+
+    def test_lossy_tags_take_longer(self):
+        reliable = [InventoryTag(address=i) for i in range(8)]
+        lossy = [
+            InventoryTag(address=i, respond_probability=0.4) for i in range(8)
+        ]
+        r_rounds = []
+        l_rounds = []
+        for seed in range(10):
+            r = SlottedAlohaInventory(rng=np.random.default_rng(seed)).run(reliable)
+            l = SlottedAlohaInventory(rng=np.random.default_rng(seed)).run(lossy)
+            r_rounds.append(len(r.rounds))
+            l_rounds.append(len(l.rounds))
+        assert np.mean(l_rounds) > np.mean(r_rounds)
+
+    def test_round_stats_consistent(self, rng):
+        tags = [InventoryTag(address=i) for i in range(5)]
+        result = SlottedAlohaInventory(rng=rng).run(tags)
+        for stats in result.rounds:
+            assert stats.slots == 1 << stats.q
+            assert stats.singletons + stats.collisions + stats.empties >= stats.slots - stats.collisions
+            assert len(stats.identified) == stats.singletons
+
+    def test_duplicate_addresses_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            SlottedAlohaInventory(rng=rng).run(
+                [InventoryTag(address=1), InventoryTag(address=1)]
+            )
+
+    def test_round_budget_respected(self):
+        # Tags that never respond exhaust the budget without hanging.
+        tags = [InventoryTag(address=i, respond_probability=0.0) for i in range(3)]
+        engine = SlottedAlohaInventory(max_rounds=5, rng=np.random.default_rng(0))
+        result = engine.run(tags)
+        assert result.identified == []
+        assert len(result.rounds) == 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SlottedAlohaInventory(initial_q=20)
+        with pytest.raises(ConfigurationError):
+            SlottedAlohaInventory(max_rounds=0)
+        with pytest.raises(ConfigurationError):
+            InventoryTag(address=1 << 17)
+        with pytest.raises(ConfigurationError):
+            InventoryTag(address=1, respond_probability=1.5)
+
+
+class TestAnalyticBound:
+    def test_bound_is_positive_and_monotone(self):
+        b_small = expected_rounds_lower_bound(4, q=2)
+        b_large = expected_rounds_lower_bound(40, q=2)
+        assert 0 < b_small < b_large
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            expected_rounds_lower_bound(0, q=2)

@@ -1,0 +1,137 @@
+"""End-to-end link drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core.frames import UplinkFrame
+from repro.errors import ConfigurationError
+from repro.sim.link import (
+    SimulatedDownlinkTransport,
+    SimulatedUplinkTransport,
+    helper_packet_times,
+    run_correlation_trial,
+    run_downlink_ber,
+    run_downlink_circuit_trial,
+    run_uplink_ber,
+    run_uplink_trial,
+)
+
+
+class TestHelperPacketTimes:
+    def test_cbr_rate(self, rng):
+        times = helper_packet_times(1000.0, 2.0, "cbr", rng=rng)
+        assert len(times) == pytest.approx(2000, abs=5)
+        assert np.all(np.diff(times) > 0)
+
+    def test_poisson_rate(self, rng):
+        times = helper_packet_times(1000.0, 4.0, "poisson", rng=rng)
+        assert len(times) == pytest.approx(4000, rel=0.1)
+
+    def test_unknown_traffic(self, rng):
+        with pytest.raises(ConfigurationError):
+            helper_packet_times(100.0, 1.0, "fractal", rng=rng)
+
+
+class TestUplinkTrials:
+    def test_short_range_is_error_free(self):
+        trial = run_uplink_trial(0.05, 30, rng=np.random.default_rng(0))
+        assert trial.errors == 0
+
+    def test_long_range_is_noisy(self):
+        errs = sum(
+            run_uplink_trial(1.5, 30, rng=np.random.default_rng(s)).errors
+            for s in range(3)
+        )
+        assert errs > 30  # essentially random at 1.5 m without coding
+
+    def test_ber_aggregation(self):
+        result = run_uplink_ber(0.05, 30, repeats=3, seed=1)
+        assert result.total_bits == 270
+        assert result.runs == 3
+        assert result.ber <= 0.01
+
+    def test_rssi_worse_than_csi_at_range(self):
+        csi = run_uplink_ber(0.45, 30, mode="csi", repeats=4, seed=2)
+        rssi = run_uplink_ber(0.45, 30, mode="rssi", repeats=4, seed=2)
+        assert rssi.errors >= csi.errors
+
+    def test_poisson_traffic_supported(self):
+        result = run_uplink_ber(
+            0.05, 30, repeats=2, traffic="poisson", seed=3
+        )
+        assert result.ber < 0.05
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ConfigurationError):
+            run_uplink_ber(0.05, 30, repeats=0)
+
+
+class TestCorrelationTrials:
+    def test_long_code_reaches_two_meters(self):
+        trial = run_correlation_trial(
+            2.0, code_length=100, num_bits=8, rng=np.random.default_rng(4)
+        )
+        assert trial.errors <= 1
+
+    def test_short_code_fails_at_two_meters(self):
+        errs = sum(
+            run_correlation_trial(
+                2.2, code_length=4, num_bits=8,
+                packets_per_chip=5.0,
+                rng=np.random.default_rng(s),
+            ).errors
+            for s in range(4)
+        )
+        assert errs >= 3
+
+
+class TestDownlink:
+    def test_analytic_ber_distance_ordering(self):
+        near = run_downlink_ber(0.5, 50e-6, num_bits=50_000, seed=0)
+        far = run_downlink_ber(3.5, 50e-6, num_bits=50_000, seed=0)
+        assert near.ber < far.ber
+
+    def test_circuit_trial_roundtrip_at_short_range(self):
+        sent, received = run_downlink_circuit_trial(
+            0.5, 50e-6, rng=np.random.default_rng(5)
+        )
+        assert len(sent) == len(received)
+        errors = int(np.count_nonzero(np.array(sent) != received))
+        assert errors <= 1
+
+
+class TestTransports:
+    def test_downlink_transport_delivers_nearby(self):
+        from repro.core.frames import DownlinkMessage
+
+        transport = SimulatedDownlinkTransport(
+            distance_m=0.5, rng=np.random.default_rng(0)
+        )
+        msg = DownlinkMessage(payload_bits=tuple([1, 0] * 16))
+        delivered = sum(transport.send(msg) for _ in range(20))
+        assert delivered >= 19
+
+    def test_downlink_transport_fails_far(self):
+        from repro.core.frames import DownlinkMessage
+
+        transport = SimulatedDownlinkTransport(
+            distance_m=4.0, rng=np.random.default_rng(0)
+        )
+        msg = DownlinkMessage(payload_bits=tuple([1, 0] * 16))
+        delivered = sum(transport.send(msg) for _ in range(20))
+        assert delivered <= 10
+
+    def test_uplink_transport_decodes_pending_frame(self):
+        transport = SimulatedUplinkTransport(
+            tag_to_reader_m=0.05, packets_per_bit=10.0,
+            rng=np.random.default_rng(1),
+        )
+        frame = UplinkFrame(payload_bits=tuple([1, 0, 1, 1] * 4))
+        transport.pending_frame = frame
+        decoded = transport.receive(len(frame.payload_bits), 100.0)
+        assert decoded is not None
+        assert decoded.payload_bits == frame.payload_bits
+
+    def test_uplink_transport_none_without_frame(self):
+        transport = SimulatedUplinkTransport(tag_to_reader_m=0.05)
+        assert transport.receive(16, 100.0) is None

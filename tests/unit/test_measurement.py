@@ -1,0 +1,92 @@
+"""Measurement records and streams."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.measurement import ChannelMeasurement, MeasurementStream, merge_streams
+
+
+def m(t, with_csi=True, source="helper"):
+    return ChannelMeasurement(
+        timestamp_s=t,
+        csi=np.ones((3, 30)) * t if with_csi else None,
+        rssi_dbm=np.array([-40.0, -41.0, -55.0]),
+        source=source,
+    )
+
+
+class TestChannelMeasurement:
+    def test_properties(self):
+        meas = m(1.0)
+        assert meas.has_csi
+        assert meas.num_antennas == 3
+
+    def test_rssi_only(self):
+        meas = m(1.0, with_csi=False)
+        assert not meas.has_csi
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChannelMeasurement(
+                timestamp_s=0.0, csi=np.ones(30), rssi_dbm=np.array([-40.0])
+            )
+        with pytest.raises(ConfigurationError):
+            ChannelMeasurement(
+                timestamp_s=0.0, csi=None, rssi_dbm=np.ones((2, 2))
+            )
+
+
+class TestMeasurementStream:
+    def test_append_enforces_order(self):
+        stream = MeasurementStream()
+        stream.append(m(1.0))
+        with pytest.raises(ConfigurationError):
+            stream.append(m(0.5))
+
+    def test_matrices(self):
+        stream = MeasurementStream()
+        stream.extend([m(0.0), m(1.0), m(2.0)])
+        assert stream.csi_matrix().shape == (3, 3, 30)
+        assert stream.rssi_matrix().shape == (3, 3)
+        assert stream.flattened_csi().shape == (3, 90)
+        assert stream.timestamps.tolist() == [0.0, 1.0, 2.0]
+
+    def test_csi_matrix_rejects_mixed(self):
+        stream = MeasurementStream()
+        stream.extend([m(0.0), m(1.0, with_csi=False)])
+        with pytest.raises(ConfigurationError):
+            stream.csi_matrix()
+
+    def test_sliced(self):
+        stream = MeasurementStream()
+        stream.extend([m(float(i)) for i in range(10)])
+        window = stream.sliced(2.0, 5.0)
+        assert window.timestamps.tolist() == [2.0, 3.0, 4.0]
+
+    def test_sliced_validates(self):
+        stream = MeasurementStream()
+        with pytest.raises(ConfigurationError):
+            stream.sliced(5.0, 1.0)
+
+    def test_empty_matrices(self):
+        stream = MeasurementStream()
+        assert stream.csi_matrix().size == 0
+        assert stream.rssi_matrix().size == 0
+
+    def test_iteration_and_indexing(self):
+        stream = MeasurementStream()
+        stream.extend([m(0.0), m(1.0)])
+        assert len(stream) == 2
+        assert stream[1].timestamp_s == 1.0
+        assert [x.timestamp_s for x in stream] == [0.0, 1.0]
+
+
+class TestMerge:
+    def test_merge_sorts_by_time(self):
+        a = MeasurementStream()
+        a.extend([m(0.0), m(2.0)])
+        b = MeasurementStream()
+        b.extend([m(1.0), m(3.0)])
+        merged = merge_streams([a, b])
+        assert merged.timestamps.tolist() == [0.0, 1.0, 2.0, 3.0]

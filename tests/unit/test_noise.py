@@ -1,0 +1,77 @@
+"""Receiver noise models: AWGN, glitches, quantization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.noise import AwgnSource, SpuriousGlitchModel, quantize
+
+
+class TestAwgn:
+    def test_real_noise_statistics(self, rng):
+        src = AwgnSource(std=0.5, rng=rng)
+        samples = src.real(100_000)
+        assert np.std(samples) == pytest.approx(0.5, rel=0.02)
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.01)
+
+    def test_complex_noise_is_circular(self, rng):
+        src = AwgnSource(std=1.0, rng=rng)
+        samples = src.complex(100_000)
+        assert np.std(samples.real) == pytest.approx(1.0, rel=0.02)
+        assert np.std(samples.imag) == pytest.approx(1.0, rel=0.02)
+
+    def test_zero_std_returns_zeros(self, rng):
+        src = AwgnSource(std=0.0, rng=rng)
+        assert np.all(src.real(10) == 0)
+        assert np.all(src.complex(10) == 0)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AwgnSource(std=-1.0)
+
+
+class TestGlitches:
+    def test_glitch_rate(self, rng):
+        model = SpuriousGlitchModel(probability=0.1, magnitude=0.5, rng=rng)
+        scales = [model.sample_scale() for _ in range(20_000)]
+        glitched = sum(1 for s in scales if s != 1.0)
+        assert glitched / len(scales) == pytest.approx(0.1, rel=0.15)
+
+    def test_glitch_magnitude_bounded(self, rng):
+        model = SpuriousGlitchModel(probability=1.0, magnitude=0.3, rng=rng)
+        for _ in range(100):
+            assert 0.7 <= model.sample_scale() <= 1.3
+
+    def test_batch_statistics_match(self, rng):
+        model = SpuriousGlitchModel(probability=0.2, magnitude=0.4, rng=rng)
+        scales = model.sample_scales(20_000)
+        rate = np.count_nonzero(scales != 1.0) / len(scales)
+        assert rate == pytest.approx(0.2, rel=0.15)
+        assert np.all(scales >= 0.6) and np.all(scales <= 1.4)
+
+    def test_zero_probability_never_glitches(self, rng):
+        model = SpuriousGlitchModel(probability=0.0, rng=rng)
+        assert np.all(model.sample_scales(1000) == 1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SpuriousGlitchModel(probability=1.5)
+        with pytest.raises(ConfigurationError):
+            SpuriousGlitchModel(magnitude=-0.1)
+        model = SpuriousGlitchModel()
+        with pytest.raises(ConfigurationError):
+            model.sample_scales(-1)
+
+
+class TestQuantize:
+    def test_quantizes_to_grid(self):
+        out = quantize(np.array([0.12, 0.26, -0.37]), step=0.25)
+        assert out.tolist() == [0.0, 0.25, -0.25]
+
+    def test_zero_step_is_identity(self):
+        values = np.array([0.1234, -5.6])
+        assert np.array_equal(quantize(values, 0.0), values)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quantize(np.array([1.0]), step=-0.1)

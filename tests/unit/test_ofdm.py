@@ -1,0 +1,120 @@
+"""OFDM airtime and envelope statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy import constants
+from repro.phy.ofdm import OfdmEnvelopeModel, OfdmPacket, airtime_for_duration
+
+
+class TestAirtime:
+    def test_minimum_packet_constant_matches_paper(self):
+        # "The smallest packet size possible on a Wi-Fi device is about
+        # 40 us at a bit rate of 54 Mbps" (§4.1). A small data frame
+        # (MAC header + a few payload bytes) lands in that ballpark.
+        assert constants.MIN_WIFI_PACKET_DURATION_S == pytest.approx(40e-6)
+        pkt = OfdmPacket(payload_bytes=60, rate_bps=54e6)
+        assert 28e-6 <= pkt.airtime_s <= 48e-6
+
+    def test_airtime_grows_with_payload(self):
+        small = OfdmPacket(payload_bytes=100).airtime_s
+        large = OfdmPacket(payload_bytes=1500).airtime_s
+        assert large > small
+
+    def test_airtime_grows_at_lower_rates(self):
+        fast = OfdmPacket(payload_bytes=1000, rate_bps=54e6).airtime_s
+        slow = OfdmPacket(payload_bytes=1000, rate_bps=6e6).airtime_s
+        assert slow > 5 * fast
+
+    def test_1000_byte_packet_at_54mbps(self):
+        # ~8022 bits / 216 bits-per-symbol = 38 symbols -> 152 us + 20 us.
+        pkt = OfdmPacket(payload_bytes=1000, rate_bps=54e6)
+        assert pkt.airtime_s == pytest.approx(172e-6, abs=4e-6)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OfdmPacket(payload_bytes=100, rate_bps=11e6)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OfdmPacket(payload_bytes=-1)
+
+
+class TestAirtimeForDuration:
+    @pytest.mark.parametrize("target_us", [50, 100, 200])
+    def test_fits_within_target(self, target_us):
+        pkt = airtime_for_duration(target_us * 1e-6)
+        assert pkt.airtime_s <= target_us * 1e-6 + 1e-9
+
+    def test_is_maximal(self):
+        # Adding one more symbol's worth of bytes should overshoot.
+        pkt = airtime_for_duration(100e-6)
+        bigger = OfdmPacket(pkt.payload_bytes + 28, pkt.rate_bps)
+        assert bigger.airtime_s > 100e-6 or pkt.payload_bytes == 0
+
+    def test_below_minimum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            airtime_for_duration(30e-6)
+
+
+class TestEnvelopeModel:
+    def test_mean_power_approximately_preserved(self, rng):
+        model = OfdmEnvelopeModel(rng=rng)
+        env = model.envelope(1e-3, mean_power_w=2.0)
+        # The max-of-k sub-sampling raises the mean above the raw power;
+        # it must stay within the PAPR cap and the right order.
+        assert 1.0 < env.mean() < 8.0
+
+    def test_papr_is_high_but_capped(self, rng):
+        model = OfdmEnvelopeModel(papr_cap=8.0, rng=rng)
+        papr_db = model.papr_db(1e-3)
+        # OFDM PAPR: several dB, but bounded by the cap.
+        assert 2.0 < papr_db <= 10 * np.log10(8.0) + 0.1
+
+    def test_zero_power_gives_zeros(self, rng):
+        model = OfdmEnvelopeModel(rng=rng)
+        assert np.all(model.envelope(1e-4, 0.0) == 0)
+
+    def test_sample_count(self, rng):
+        model = OfdmEnvelopeModel(sample_interval_s=1e-6, rng=rng)
+        assert len(model.envelope(10.5e-6, 1.0)) == 11
+        assert len(model.envelope(1e-6, 1.0)) == 1
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ConfigurationError):
+            OfdmEnvelopeModel(sample_interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            OfdmEnvelopeModel(papr_cap=0.5)
+        with pytest.raises(ConfigurationError):
+            OfdmEnvelopeModel(peaks_per_sample=0)
+        model = OfdmEnvelopeModel(rng=rng)
+        with pytest.raises(ConfigurationError):
+            model.envelope(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            model.envelope(1.0, -1.0)
+
+
+class TestConstants:
+    def test_channel_6_center(self):
+        assert constants.channel_center_frequency(6) == pytest.approx(2.437e9)
+
+    def test_channel_bounds(self):
+        with pytest.raises(ConfigurationError):
+            constants.channel_center_frequency(0)
+        with pytest.raises(ConfigurationError):
+            constants.channel_center_frequency(14)
+
+    def test_subcarrier_count_matches_intel5300(self):
+        freqs = constants.subcarrier_frequencies(6)
+        assert len(freqs) == constants.NUM_CSI_SUBCHANNELS == 30
+
+    def test_subcarriers_span_20mhz_band(self):
+        freqs = constants.subcarrier_frequencies(6)
+        span = max(freqs) - min(freqs)
+        assert 15e6 < span < 20e6
+
+    def test_difs_is_sifs_plus_two_slots(self):
+        assert constants.DIFS_S == pytest.approx(
+            constants.SIFS_S + 2 * constants.SLOT_TIME_S
+        )

@@ -1,0 +1,71 @@
+"""Packet-length resolution at the tag (§4.2) and MCU mode tracking."""
+
+import numpy as np
+import pytest
+
+from repro.core.downlink_decoder import measure_packet_lengths
+from repro.errors import ConfigurationError
+from repro.tag.mcu import McuEnergyLedger, McuMode
+
+
+class TestPacketLengthResolution:
+    def test_exact_multiples(self):
+        # Packets of 1, 3, and 2 units with gaps.
+        t = np.array([0.0, 100e-6, 150e-6, 200e-6, 350e-6, 400e-6, 500e-6])
+        lv = np.array([0, 1, 0, 1, 0, 1, 0])
+        lengths = measure_packet_lengths(t, lv, resolution_s=50e-6)
+        assert lengths == pytest.approx([50e-6, 150e-6, 100e-6])
+
+    def test_long_packet_counts_ones(self):
+        # "Longer packets can be intuitively thought of as multiple
+        # small packets sent back-to-back": a 1 ms packet reads as 20
+        # units of 50 us.
+        t = np.array([0.0, 1e-3, 2e-3])
+        lv = np.array([0, 1, 0])
+        lengths = measure_packet_lengths(t, lv)
+        assert lengths == pytest.approx([20 * 50e-6])
+
+    def test_sub_resolution_packet_reads_one_unit(self):
+        t = np.array([0.0, 100e-6, 120e-6])
+        lv = np.array([0, 1, 0])
+        lengths = measure_packet_lengths(t, lv)
+        assert lengths == pytest.approx([50e-6])
+
+    def test_open_final_run_skipped(self):
+        t = np.array([0.0, 100e-6])
+        lv = np.array([0, 1])
+        assert measure_packet_lengths(t, lv) == []
+
+    def test_jitter_rounds_correctly(self):
+        # 147 us with 50 us resolution: 3 units.
+        t = np.array([0.0, 1e-3, 1e-3 + 147e-6])
+        lv = np.array([0, 1, 0])
+        lengths = measure_packet_lengths(t, lv)
+        assert lengths == pytest.approx([150e-6])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            measure_packet_lengths(np.array([0.0]), np.array([0]), 0.0)
+        with pytest.raises(ConfigurationError):
+            measure_packet_lengths(np.array([0.0]), np.array([0, 1]), 50e-6)
+
+
+class TestMcuModes:
+    def test_starts_asleep(self):
+        assert McuEnergyLedger().mode is McuMode.SLEEP
+
+    def test_transitions_enter_preamble_mode(self):
+        ledger = McuEnergyLedger()
+        ledger.transition_event(3)
+        assert ledger.mode is McuMode.PREAMBLE_DETECTION
+
+    def test_decode_enters_packet_mode(self):
+        ledger = McuEnergyLedger()
+        ledger.decode_packet(80)
+        assert ledger.mode is McuMode.PACKET_DECODING
+
+    def test_idle_returns_to_sleep(self):
+        ledger = McuEnergyLedger()
+        ledger.decode_packet(80)
+        ledger.idle(0.1)
+        assert ledger.mode is McuMode.SLEEP

@@ -1,0 +1,57 @@
+"""802.11 frame descriptors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.packets import FrameKind, Transmission, WifiFrame
+from repro.phy import constants
+
+
+class TestWifiFrame:
+    def test_data_frame_airtime_includes_header(self):
+        bare = WifiFrame(src="a", dst="b", payload_bytes=0)
+        loaded = WifiFrame(src="a", dst="b", payload_bytes=1000)
+        assert loaded.airtime_s > bare.airtime_s > 0
+
+    def test_control_frames_have_fixed_airtime(self):
+        ack1 = WifiFrame(src="a", dst="b", kind=FrameKind.ACK)
+        ack2 = WifiFrame(src="a", dst="b", kind=FrameKind.ACK, payload_bytes=500)
+        assert ack1.airtime_s == ack2.airtime_s
+
+    def test_beacon_airtime_at_basic_rate(self):
+        beacon = WifiFrame(src="ap", dst="*", kind=FrameKind.BEACON)
+        # ~110 bytes at 6 Mbps: on the order of 150-250 us.
+        assert 100e-6 < beacon.airtime_s < 400e-6
+
+    def test_ack_semantics(self):
+        data = WifiFrame(src="a", dst="b", kind=FrameKind.DATA)
+        bcast = WifiFrame(src="a", dst="*", kind=FrameKind.DATA)
+        beacon = WifiFrame(src="a", dst="*", kind=FrameKind.BEACON)
+        assert data.needs_ack
+        assert not bcast.needs_ack
+        assert not beacon.needs_ack
+
+    def test_frame_ids_unique(self):
+        a = WifiFrame(src="a", dst="b")
+        b = WifiFrame(src="a", dst="b")
+        assert a.frame_id != b.frame_id
+
+    def test_nav_limit_enforced(self):
+        with pytest.raises(ConfigurationError):
+            WifiFrame(src="a", dst="a", nav_s=50e-3)
+
+    def test_invalid_fields(self):
+        with pytest.raises(ConfigurationError):
+            WifiFrame(src="a", dst="b", payload_bytes=-1)
+        with pytest.raises(ConfigurationError):
+            WifiFrame(src="a", dst="b", tx_power_w=0.0)
+        with pytest.raises(ConfigurationError):
+            WifiFrame(src="a", dst="b", nav_s=-1.0)
+
+
+class TestTransmission:
+    def test_duration(self):
+        frame = WifiFrame(src="a", dst="b")
+        tx = Transmission(frame=frame, start_s=1.0, end_s=1.001)
+        assert tx.duration_s == pytest.approx(0.001)
+        assert not tx.collided

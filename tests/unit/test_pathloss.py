@@ -1,0 +1,89 @@
+"""Path-loss models."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy import constants
+from repro.phy.pathloss import (
+    NEAR_FIELD_LIMIT_M,
+    LogDistancePathLoss,
+    friis_path_gain,
+)
+
+FREQ = constants.channel_center_frequency(6)
+
+
+class TestFriis:
+    def test_gain_decreases_with_distance(self):
+        g1 = friis_path_gain(1.0, FREQ)
+        g2 = friis_path_gain(2.0, FREQ)
+        assert g2 == pytest.approx(g1 / 4.0)
+
+    def test_known_value_at_one_meter(self):
+        # 2.437 GHz at 1 m: 20 log10(4 pi / lambda) ~ 40.2 dB loss.
+        g = friis_path_gain(1.0, FREQ)
+        assert -10 * math.log10(g) == pytest.approx(40.2, abs=0.3)
+
+    def test_antenna_gains_multiply(self):
+        base = friis_path_gain(2.0, FREQ)
+        assert friis_path_gain(2.0, FREQ, tx_gain=2.0, rx_gain=3.0) == pytest.approx(
+            6.0 * base
+        )
+
+    def test_near_field_clamp(self):
+        assert friis_path_gain(0.0, FREQ) == friis_path_gain(
+            NEAR_FIELD_LIMIT_M, FREQ
+        )
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            friis_path_gain(-0.1, FREQ)
+
+
+class TestLogDistance:
+    def test_matches_friis_at_reference(self):
+        model = LogDistancePathLoss(frequency_hz=FREQ, exponent=3.0)
+        assert model.power_gain(1.0) == pytest.approx(friis_path_gain(1.0, FREQ))
+
+    def test_exponent_controls_rolloff(self):
+        m2 = LogDistancePathLoss(frequency_hz=FREQ, exponent=2.0)
+        m4 = LogDistancePathLoss(frequency_hz=FREQ, exponent=4.0)
+        # Beyond the reference distance, higher exponent = less gain.
+        assert m4.power_gain(5.0) < m2.power_gain(5.0)
+        ratio = m2.power_gain(2.0) / m2.power_gain(4.0)
+        assert ratio == pytest.approx(4.0)
+
+    def test_free_space_inside_reference(self):
+        model = LogDistancePathLoss(
+            frequency_hz=FREQ, exponent=4.0, reference_distance_m=1.0
+        )
+        assert model.power_gain(0.5) == pytest.approx(friis_path_gain(0.5, FREQ))
+
+    def test_wall_loss_applied(self):
+        model = LogDistancePathLoss(frequency_hz=FREQ, wall_loss_db=5.0)
+        no_wall = model.power_gain(4.0, num_walls=0)
+        one_wall = model.power_gain(4.0, num_walls=1)
+        assert no_wall / one_wall == pytest.approx(10 ** 0.5, rel=1e-6)
+
+    def test_amplitude_gain_is_sqrt(self):
+        model = LogDistancePathLoss(frequency_hz=FREQ)
+        assert model.amplitude_gain(3.0) == pytest.approx(
+            math.sqrt(model.power_gain(3.0))
+        )
+
+    def test_path_loss_db_positive(self):
+        model = LogDistancePathLoss(frequency_hz=FREQ)
+        assert model.path_loss_db(3.0) > 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss(frequency_hz=-1.0)
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss(frequency_hz=FREQ, exponent=0.5)
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss(frequency_hz=FREQ, reference_distance_m=0.0)
+        model = LogDistancePathLoss(frequency_hz=FREQ)
+        with pytest.raises(ConfigurationError):
+            model.power_gain(1.0, num_walls=-1)

@@ -1,0 +1,125 @@
+"""Query-response protocol engine."""
+
+from typing import Optional
+
+import pytest
+
+from repro.core.frames import DownlinkMessage, UplinkFrame
+from repro.core.protocol import (
+    CMD_READ_ID,
+    CMD_READ_SENSOR,
+    DownlinkTransport,
+    UplinkTransport,
+    WiFiBackscatterReader,
+    decode_query,
+    encode_query,
+)
+from repro.core.rate_adaptation import UplinkRatePlanner
+from repro.errors import ConfigurationError
+
+
+class TestQueryEncoding:
+    def test_roundtrip(self):
+        msg = encode_query(0xBEEF, 200.0, CMD_READ_SENSOR, argument=42)
+        query = decode_query(msg)
+        assert query.tag_address == 0xBEEF
+        assert query.rate_bps == 200.0
+        assert query.command == CMD_READ_SENSOR
+        assert query.argument == 42
+
+    def test_query_is_64_bits(self):
+        msg = encode_query(1, 100.0)
+        assert len(msg.payload_bits) == 64
+
+    def test_unknown_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_query(1, 123.0)
+
+    def test_decode_validates_length(self):
+        with pytest.raises(ConfigurationError):
+            decode_query(DownlinkMessage(payload_bits=(1, 0, 1)))
+
+
+class ScriptedDownlink(DownlinkTransport):
+    """Delivers according to a scripted success sequence."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.sent = []
+
+    def send(self, message: DownlinkMessage) -> bool:
+        self.sent.append(message)
+        return self.outcomes.pop(0) if self.outcomes else False
+
+
+class ScriptedUplink(UplinkTransport):
+    def __init__(self, frames):
+        self.frames = list(frames)
+
+    def receive(self, payload_len: int, bit_rate_bps: float) -> Optional[UplinkFrame]:
+        return self.frames.pop(0) if self.frames else None
+
+
+def frame():
+    return UplinkFrame(payload_bits=tuple([1, 0] * 8))
+
+
+class TestReader:
+    def test_success_on_first_attempt(self):
+        reader = WiFiBackscatterReader(
+            ScriptedDownlink([True]), ScriptedUplink([frame()])
+        )
+        result = reader.query(1, helper_rate_pps=1000.0)
+        assert result.success
+        assert result.attempts == 1
+
+    def test_retransmits_until_tag_hears(self):
+        # "the reader re-transmits its packet until it gets a response".
+        downlink = ScriptedDownlink([False, False, True])
+        reader = WiFiBackscatterReader(downlink, ScriptedUplink([frame()]))
+        result = reader.query(1, helper_rate_pps=1000.0)
+        assert result.success
+        assert result.attempts == 3
+
+    def test_gives_up_after_budget(self):
+        reader = WiFiBackscatterReader(
+            ScriptedDownlink([False] * 10), ScriptedUplink([]), max_attempts=4
+        )
+        result = reader.query(1, helper_rate_pps=1000.0)
+        assert not result.success
+        assert result.attempts == 4
+
+    def test_retry_on_uplink_decode_failure(self):
+        downlink = ScriptedDownlink([True, True])
+        uplink = ScriptedUplink([None, frame()])
+        reader = WiFiBackscatterReader(downlink, uplink)
+        result = reader.query(1, helper_rate_pps=1000.0)
+        assert result.success
+        assert result.attempts == 2
+
+    def test_rate_plan_embedded_in_query(self):
+        downlink = ScriptedDownlink([True])
+        reader = WiFiBackscatterReader(
+            downlink,
+            ScriptedUplink([frame()]),
+            planner=UplinkRatePlanner(packets_per_bit=3.0),
+        )
+        reader.query(7, helper_rate_pps=3070.0)
+        query = decode_query(downlink.sent[0])
+        assert query.rate_bps == 1000.0
+        assert query.tag_address == 7
+
+    def test_transaction_log(self):
+        reader = WiFiBackscatterReader(
+            ScriptedDownlink([True, True]),
+            ScriptedUplink([frame(), frame()]),
+        )
+        reader.query(1, 500.0)
+        reader.query(2, 500.0, command=CMD_READ_ID)
+        assert len(reader.transaction_log) == 2
+
+    def test_invalid_max_attempts(self):
+        with pytest.raises(ConfigurationError):
+            WiFiBackscatterReader(
+                ScriptedDownlink([]), ScriptedUplink([]), max_attempts=0
+            )

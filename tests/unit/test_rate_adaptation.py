@@ -1,0 +1,80 @@
+"""N/M uplink rate planning."""
+
+import numpy as np
+import pytest
+
+from repro.core.rate_adaptation import (
+    STANDARD_RATES_BPS,
+    UplinkRatePlanner,
+    estimate_packet_rate,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEstimatePacketRate:
+    def test_uniform_times(self):
+        times = np.arange(101) * 0.01  # 100 intervals over 1 s
+        assert estimate_packet_rate(times) == pytest.approx(100.0)
+
+    def test_needs_two_packets(self):
+        with pytest.raises(ConfigurationError):
+            estimate_packet_rate([1.0])
+
+    def test_zero_span_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_packet_rate([1.0, 1.0])
+
+
+class TestPlanner:
+    def test_paper_operating_points(self):
+        # Fig 12: "The bit rate is around 100 bits/s at a helper
+        # transmission rate of 500 packets/s and is 1 kbps when the
+        # transmission rate is about 3070 packets/s."
+        planner = UplinkRatePlanner(packets_per_bit=3.0)
+        assert planner.plan(500.0).bit_rate_bps == 100.0
+        assert planner.plan(3070.0).bit_rate_bps == 1000.0
+
+    def test_rate_monotone_in_helper_rate(self):
+        planner = UplinkRatePlanner(packets_per_bit=3.0)
+        rates = [planner.plan(pps).bit_rate_bps for pps in (300, 700, 1600, 3100)]
+        assert rates == sorted(rates)
+
+    def test_safety_factor_is_conservative(self):
+        fast = UplinkRatePlanner(packets_per_bit=3.0, safety_factor=1.0)
+        safe = UplinkRatePlanner(packets_per_bit=3.0, safety_factor=2.0)
+        assert safe.plan(700.0).bit_rate_bps <= fast.plan(700.0).bit_rate_bps
+
+    def test_floor_at_smallest_supported_rate(self):
+        planner = UplinkRatePlanner(packets_per_bit=10.0)
+        plan = planner.plan(50.0)  # N/M = 5 bps, below all supported
+        assert plan.bit_rate_bps == min(STANDARD_RATES_BPS)
+
+    def test_unconstrained_rates(self):
+        planner = UplinkRatePlanner(
+            packets_per_bit=5.0, supported_rates_bps=None
+        )
+        assert planner.plan(1000.0).bit_rate_bps == pytest.approx(200.0)
+
+    def test_packets_per_bit_reported(self):
+        planner = UplinkRatePlanner(packets_per_bit=3.0)
+        plan = planner.plan(1000.0)
+        assert plan.packets_per_bit == pytest.approx(
+            1000.0 / plan.bit_rate_bps
+        )
+
+    def test_plan_from_capture(self):
+        planner = UplinkRatePlanner(packets_per_bit=3.0)
+        times = np.arange(0, 1.0, 1 / 500.0)
+        plan = planner.plan_from_capture(times)
+        assert plan.bit_rate_bps == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UplinkRatePlanner(packets_per_bit=0.0)
+        with pytest.raises(ConfigurationError):
+            UplinkRatePlanner(safety_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            UplinkRatePlanner(supported_rates_bps=())
+        planner = UplinkRatePlanner()
+        with pytest.raises(ConfigurationError):
+            planner.plan(0.0)

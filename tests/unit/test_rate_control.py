@@ -1,0 +1,111 @@
+"""ARF rate adaptation and the SNR link-quality model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.packets import FrameKind, WifiFrame
+from repro.mac.rate_control import (
+    RATE_SNR_REQUIREMENTS_DB,
+    RateController,
+    SnrLinkQualityModel,
+    snr_from_distance,
+)
+from repro.phy import constants
+
+
+class TestRateController:
+    def test_climbs_after_successes(self):
+        ctl = RateController(up_threshold=3, initial_rate_bps=6e6)
+        for _ in range(3):
+            ctl.record(True)
+        assert ctl.current_rate_bps == 9e6
+
+    def test_falls_after_failures(self):
+        ctl = RateController(down_threshold=2, initial_rate_bps=54e6)
+        ctl.record(False)
+        ctl.record(False)
+        assert ctl.current_rate_bps == 48e6
+
+    def test_failure_resets_success_streak(self):
+        ctl = RateController(up_threshold=3, initial_rate_bps=6e6)
+        ctl.record(True)
+        ctl.record(True)
+        ctl.record(False)
+        ctl.record(True)
+        ctl.record(True)
+        assert ctl.current_rate_bps == 6e6  # streak broken
+
+    def test_bounded_at_extremes(self):
+        ctl = RateController(initial_rate_bps=54e6, up_threshold=1)
+        ctl.record(True)
+        assert ctl.current_rate_bps == 54e6
+        ctl = RateController(initial_rate_bps=6e6, down_threshold=1)
+        ctl.record(False)
+        assert ctl.current_rate_bps == 6e6
+
+    def test_converges_on_lossy_channel(self):
+        # With ~50% loss at high rates, ARF should settle below 54 Mbps.
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        ctl = RateController()
+        model = SnrLinkQualityModel(snr_db=15.0)
+        for _ in range(500):
+            frame = WifiFrame(src="a", dst="b", rate_bps=ctl.current_rate_bps)
+            p = model.delivery_probability(frame, 0.0)
+            ctl.record(bool(rng.random() < p))
+        # 15 dB SNR supports ~18-24 Mbps reliably.
+        assert 9e6 <= ctl.current_rate_bps <= 36e6
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            RateController(initial_rate_bps=11e6)
+        with pytest.raises(ConfigurationError):
+            RateController(up_threshold=0)
+
+
+class TestSnrLinkQuality:
+    def test_high_snr_delivers(self):
+        model = SnrLinkQualityModel(snr_db=30.0)
+        frame = WifiFrame(src="a", dst="b", rate_bps=54e6)
+        assert model.delivery_probability(frame, 0.0) > 0.95
+
+    def test_low_snr_fails_high_rates(self):
+        model = SnrLinkQualityModel(snr_db=8.0)
+        fast = WifiFrame(src="a", dst="b", rate_bps=54e6)
+        slow = WifiFrame(src="a", dst="b", rate_bps=6e6)
+        assert model.delivery_probability(fast, 0.0) < 0.01
+        assert model.delivery_probability(slow, 0.0) > 0.9
+
+    def test_control_frames_robust(self):
+        model = SnrLinkQualityModel(snr_db=0.0)
+        beacon = WifiFrame(src="a", dst="*", kind=FrameKind.BEACON)
+        assert model.delivery_probability(beacon, 0.0) == 1.0
+
+    def test_perturbation_applied(self):
+        model = SnrLinkQualityModel(
+            snr_db=22.0, snr_perturbation_db=lambda t: -6.0
+        )
+        frame = WifiFrame(src="a", dst="b", rate_bps=54e6)
+        base = SnrLinkQualityModel(snr_db=22.0)
+        assert model.delivery_probability(frame, 0.0) < base.delivery_probability(
+            frame, 0.0
+        )
+
+    def test_requirements_cover_all_rates(self):
+        assert set(RATE_SNR_REQUIREMENTS_DB) == set(constants.OFDM_RATES_BPS)
+
+    def test_requirements_monotone(self):
+        reqs = [RATE_SNR_REQUIREMENTS_DB[r] for r in sorted(RATE_SNR_REQUIREMENTS_DB)]
+        assert reqs == sorted(reqs)
+
+
+class TestSnrFromDistance:
+    def test_decreases_with_distance(self):
+        assert snr_from_distance(3.0) > snr_from_distance(9.0)
+
+    def test_walls_reduce_snr(self):
+        assert snr_from_distance(5.0, num_walls=1) < snr_from_distance(5.0)
+
+    def test_short_link_supports_54mbps(self):
+        assert snr_from_distance(3.0) > RATE_SNR_REQUIREMENTS_DB[54e6]

@@ -1,0 +1,86 @@
+"""The tag's analog receiver circuit."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.envelope import AirInterval, EnvelopeSynthesizer
+from repro.tag.receiver_circuit import CIRCUIT_POWER_W, ReceiverCircuit
+
+DT = 0.25e-6
+
+
+def packet_waveform(rng, on_power=1e-3, lead_s=50e-6, pkt_s=100e-6, tail_s=100e-6):
+    synth = EnvelopeSynthesizer(distance_m=0.05, rng=rng, noise_power_w=1e-14)
+    # Use raw power (gain ~1 at near-field clamp): simpler to reason about.
+    iv = AirInterval(start_s=lead_s, duration_s=pkt_s, power_w=on_power)
+    total = lead_s + pkt_s + tail_s
+    times, power = synth.render([iv], total)
+    return times, power
+
+
+class TestReceiverCircuit:
+    def test_comparator_high_during_packet(self, rng):
+        times, power = packet_waveform(rng)
+        circuit = ReceiverCircuit(rng=rng)
+        env, thr, out = circuit.process(power, DT)
+        mid = (times > 80e-6) & (times < 140e-6)
+        assert out[mid].mean() > 0.9
+
+    def test_comparator_low_in_silence(self, rng):
+        times, power = packet_waveform(rng)
+        circuit = ReceiverCircuit(rng=rng)
+        env, thr, out = circuit.process(power, DT)
+        tail = times > 220e-6  # well after the packet
+        assert out[tail].mean() < 0.1
+
+    def test_threshold_is_half_peak(self, rng):
+        times, power = packet_waveform(rng)
+        circuit = ReceiverCircuit(comparator_floor_v=0.0, rng=rng)
+        env, thr, out = circuit.process(power, DT)
+        peak_region = thr[len(thr) // 2]
+        # Threshold tracks half the held peak ("halved to produce the
+        # actual threshold", §4.2).
+        assert thr.max() == pytest.approx(0.5 * (thr.max() * 2), rel=1e-9)
+        assert 0 < peak_region < env.max()
+
+    def test_threshold_adapts_after_signal_stops(self, rng):
+        # The set-threshold resistor leaks the peak away, "resetting"
+        # the detector (§4.2).
+        times, power = packet_waveform(rng, tail_s=100e-3)
+        circuit = ReceiverCircuit(leak_tau_s=5e-3, rng=rng)
+        env, thr, out = circuit.process(power, DT)
+        thr_right_after = thr[int(260e-6 / DT)]
+        thr_much_later = thr[-1]
+        assert thr_much_later < 0.5 * thr_right_after
+
+    def test_weak_signal_not_detected(self, rng):
+        # Below the comparator floor, nothing comes out: the circuit's
+        # sensitivity limit.
+        times, power = packet_waveform(rng, on_power=1e-12)
+        circuit = ReceiverCircuit(rng=rng)
+        _, _, out = circuit.process(power, DT)
+        assert out.mean() < 0.05
+
+    def test_minimum_detectable_power(self):
+        circuit = ReceiverCircuit()
+        p_min = circuit.minimum_detectable_power_w()
+        assert p_min == pytest.approx(
+            circuit.comparator_floor_v / circuit.detector_gain_v_per_w
+        )
+
+    def test_circuit_power_is_one_microwatt(self):
+        assert CIRCUIT_POWER_W == pytest.approx(1e-6)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            ReceiverCircuit(detector_gain_v_per_w=0.0)
+        with pytest.raises(ConfigurationError):
+            ReceiverCircuit(threshold_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            ReceiverCircuit(envelope_decay_tau_s=0.0)
+        circuit = ReceiverCircuit(rng=rng)
+        with pytest.raises(ConfigurationError):
+            circuit.process(np.array([]), DT)
+        with pytest.raises(ConfigurationError):
+            circuit.process(np.ones(10), 0.0)

@@ -1,0 +1,80 @@
+"""Whole-network scenario builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.rate_control import SnrLinkQualityModel
+from repro.sim.scenario import (
+    build_injected_traffic_scenario,
+    build_office_scenario,
+    build_throughput_scenario,
+)
+
+
+class TestInjectedTraffic:
+    def test_helper_rate_tracks_request(self):
+        scenario = build_injected_traffic_scenario(
+            packets_per_second=500.0, seed=0
+        )
+        scenario.run(2.0)
+        assert scenario.helper_packet_rate() == pytest.approx(500.0, rel=0.1)
+
+    def test_measurements_have_csi(self):
+        scenario = build_injected_traffic_scenario(200.0, seed=1)
+        scenario.run(0.5)
+        stream = scenario.measurements()
+        assert len(stream) > 50
+        assert stream[0].has_csi
+
+    def test_tag_state_function_wired(self):
+        flips = []
+
+        def tag_state(t):
+            flips.append(t)
+            return 0
+
+        scenario = build_injected_traffic_scenario(
+            100.0, tag_state=tag_state, seed=2
+        )
+        scenario.run(0.2)
+        assert len(flips) == len(scenario.measurements())
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            build_injected_traffic_scenario(0.0)
+
+
+class TestOfficeScenario:
+    def test_afternoon_busier_than_evening(self):
+        noon = build_office_scenario(start_hour=14.0, seed=3)
+        noon.run(2.0)
+        evening = build_office_scenario(start_hour=21.0, seed=3)
+        evening.run(2.0)
+        assert len(noon.measurements()) > len(evening.measurements())
+
+    def test_capture_only_sees_ap(self):
+        scenario = build_office_scenario(start_hour=14.0, seed=4)
+        scenario.run(0.5)
+        sources = {m.source for m in scenario.measurements()}
+        assert sources <= {"ap", "ap-beacon"}
+
+
+class TestThroughputScenario:
+    def test_good_channel_throughput(self):
+        scenario = build_throughput_scenario(
+            SnrLinkQualityModel(snr_db=30.0), seed=5
+        )
+        scenario.run(2.0)
+        rate = scenario.helper.stats.bytes_delivered / 2.0 / 1e6
+        # 54 Mbps UDP with DCF overhead: on the order of 2-3.5 MB/s.
+        assert 1.5 < rate < 4.5
+
+    def test_bad_channel_lowers_throughput(self):
+        good = build_throughput_scenario(SnrLinkQualityModel(snr_db=30.0), seed=6)
+        good.run(1.0)
+        bad = build_throughput_scenario(SnrLinkQualityModel(snr_db=10.0), seed=6)
+        bad.run(1.0)
+        assert (
+            bad.helper.stats.bytes_delivered < good.helper.stats.bytes_delivered
+        )

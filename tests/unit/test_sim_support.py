@@ -1,0 +1,122 @@
+"""Geometry, calibration, and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.calibration import (
+    CalibratedParameters,
+    DEFAULTS,
+    make_card,
+    make_channel,
+    with_overrides,
+)
+from repro.sim.geometry import HELPER_LOCATIONS, TESTBED, helper_geometry
+from repro.sim.metrics import (
+    BerResult,
+    achievable_bit_rate,
+    ber_with_floor,
+    bit_errors,
+    mean_and_std,
+    packet_delivery_probability,
+    throughput_mbytes_per_s,
+)
+
+
+class TestGeometry:
+    def test_testbed_has_five_locations(self):
+        assert set(TESTBED) == {"1", "2", "3", "4", "5"}
+        assert HELPER_LOCATIONS == ("2", "3", "4", "5")
+
+    def test_location_5_is_nlos(self):
+        # "location 5 is in a different room from our prototype" (§7.3).
+        assert TESTBED["5"].walls_to_tag == 1
+        assert TESTBED["5"].ambient_interference > 0
+
+    def test_helper_distances_in_paper_range(self):
+        # Locations 2-5 "are at distances of 3-9 meters from the tag".
+        for name in HELPER_LOCATIONS:
+            d, _, _ = helper_geometry(name)
+            assert 3.0 <= d <= 9.5
+
+    def test_distances_increase(self):
+        ds = [helper_geometry(n)[0] for n in HELPER_LOCATIONS]
+        assert ds == sorted(ds)
+
+    def test_unknown_location(self):
+        with pytest.raises(ConfigurationError):
+            helper_geometry("9")
+
+
+class TestCalibration:
+    def test_defaults_valid(self):
+        assert DEFAULTS.tag_coupling > 0
+
+    def test_make_channel_uses_params(self, rng):
+        params = with_overrides(DEFAULTS, tag_coupling=3.0)
+        ch = make_channel(0.2, params=params, rng=rng)
+        assert ch.tag_coupling == 3.0
+        assert ch.geometry.tag_to_reader_m == 0.2
+        assert ch.geometry.helper_to_tag_m == 3.0  # paper default
+
+    def test_make_card_uses_params(self, rng):
+        params = with_overrides(DEFAULTS, csi_noise_rel=0.09)
+        card = make_card(params=params, rng=rng)
+        assert card.csi_noise_rel == 0.09
+
+    def test_overrides_do_not_mutate_defaults(self):
+        with_overrides(DEFAULTS, tag_coupling=99.0)
+        assert DEFAULTS.tag_coupling != 99.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            CalibratedParameters(tag_coupling=-1.0)
+        with pytest.raises(ConfigurationError):
+            CalibratedParameters(tag_reader_exponent=0.5)
+
+
+class TestMetrics:
+    def test_bit_errors(self):
+        assert bit_errors([1, 0, 1], [1, 1, 1]) == 1
+        with pytest.raises(ConfigurationError):
+            bit_errors([1], [1, 0])
+
+    def test_ber_floor_convention(self):
+        # "Since we transmit a total of 1800 bits, if we do not see any
+        # bit errors, we set the BER to 5e-4" — i.e. ~1/total.
+        assert ber_with_floor(0, 1800) == pytest.approx(1 / 1800)
+        assert ber_with_floor(18, 1800) == pytest.approx(0.01)
+
+    def test_ber_result(self):
+        r = BerResult(errors=0, total_bits=1800, runs=20)
+        assert r.is_floor
+        assert r.ber == pytest.approx(1 / 1800)
+        lo, hi = r.confidence_interval()
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_confidence_interval_contains_p(self):
+        r = BerResult(errors=50, total_bits=1000, runs=1)
+        lo, hi = r.confidence_interval()
+        assert lo < 0.05 < hi
+
+    def test_delivery_probability(self):
+        assert packet_delivery_probability(18, 20) == pytest.approx(0.9)
+        with pytest.raises(ConfigurationError):
+            packet_delivery_probability(5, 0)
+
+    def test_throughput(self):
+        assert throughput_mbytes_per_s(2_000_000, 2.0) == pytest.approx(1.0)
+
+    def test_achievable_bit_rate(self):
+        rates = {100.0: 1e-3, 200.0: 5e-3, 500.0: 0.05, 1000.0: 0.2}
+        assert achievable_bit_rate(rates) == 200.0
+
+    def test_achievable_bit_rate_none_qualify(self):
+        assert achievable_bit_rate({100.0: 0.5}) == 0.0
+
+    def test_mean_and_std(self):
+        mean, std = mean_and_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+        mean, std = mean_and_std([5.0])
+        assert std == 0.0

@@ -1,0 +1,98 @@
+"""Discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mac.simulator import EventScheduler
+
+
+class TestScheduler:
+    def test_events_fire_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_at(2.0, lambda: fired.append("b"))
+        sched.schedule_at(1.0, lambda: fired.append("a"))
+        sched.schedule_at(3.0, lambda: fired.append("c"))
+        sched.run_until(5.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_at(1.0, lambda: fired.append(1))
+        sched.schedule_at(1.0, lambda: fired.append(2))
+        sched.run_until(2.0)
+        assert fired == [1, 2]
+
+    def test_clock_advances_to_end_time(self):
+        sched = EventScheduler()
+        sched.run_until(7.5)
+        assert sched.now == 7.5
+
+    def test_events_beyond_horizon_stay_queued(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_at(10.0, lambda: fired.append("late"))
+        sched.run_until(5.0)
+        assert fired == []
+        sched.run_until(15.0)
+        assert fired == ["late"]
+
+    def test_schedule_in_is_relative(self):
+        sched = EventScheduler()
+        seen = []
+        sched.schedule_at(1.0, lambda: sched.schedule_in(0.5, lambda: seen.append(sched.now)))
+        sched.run_until(2.0)
+        assert seen == [1.5]
+
+    def test_cancel(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule_at(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sched.run_until(2.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_past_scheduling_rejected(self):
+        sched = EventScheduler()
+        sched.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sched.schedule_at(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sched.schedule_in(-1.0, lambda: None)
+
+    def test_run_until_backwards_rejected(self):
+        sched = EventScheduler()
+        sched.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sched.run_until(1.0)
+
+    def test_events_scheduled_during_run(self):
+        sched = EventScheduler()
+        fired = []
+
+        def chain():
+            fired.append(sched.now)
+            if len(fired) < 3:
+                sched.schedule_in(1.0, chain)
+
+        sched.schedule_at(0.0, chain)
+        sched.run_until(10.0)
+        assert fired == [0.0, 1.0, 2.0]
+
+    def test_run_all_safety_limit(self):
+        sched = EventScheduler()
+
+        def forever():
+            sched.schedule_in(0.1, forever)
+
+        sched.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError):
+            sched.run_all(safety_limit=100)
+
+    def test_pending_count(self):
+        sched = EventScheduler()
+        sched.schedule_at(1.0, lambda: None)
+        sched.schedule_at(2.0, lambda: None)
+        assert sched.pending_count() == 2

@@ -1,0 +1,139 @@
+"""Hysteresis slicing, timestamp binning, majority voting."""
+
+import numpy as np
+import pytest
+
+from repro.core.slicer import (
+    HysteresisThresholds,
+    bin_by_timestamp,
+    compute_thresholds,
+    hysteresis_slice,
+    majority_vote_bits,
+    soft_average_bits,
+)
+from repro.errors import ConfigurationError, DecodeError
+
+
+class TestThresholds:
+    def test_centered_on_mean(self):
+        values = np.concatenate([np.full(50, 1.0), np.full(50, -1.0)])
+        th = compute_thresholds(values, width=0.5)
+        assert th.low == pytest.approx(-0.5)
+        assert th.high == pytest.approx(0.5)
+
+    def test_zero_width_collapses(self):
+        th = compute_thresholds(np.array([1.0, -1.0]), width=0.0)
+        assert th.low == th.high == pytest.approx(0.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            compute_thresholds(np.array([]))
+        with pytest.raises(ConfigurationError):
+            compute_thresholds(np.array([1.0]), width=-1.0)
+        with pytest.raises(ConfigurationError):
+            HysteresisThresholds(low=1.0, high=0.0)
+
+
+class TestHysteresisSlice:
+    def test_clean_signal(self):
+        th = HysteresisThresholds(low=-0.5, high=0.5)
+        values = np.array([1.0, 1.0, -1.0, -1.0, 1.0])
+        assert hysteresis_slice(values, th).tolist() == [1, 1, 0, 0, 1]
+
+    def test_dead_band_holds_state(self):
+        # A spurious value inside the dead band must not flip the output
+        # (the paper's defence against spurious CSI jumps).
+        th = HysteresisThresholds(low=-0.5, high=0.5)
+        values = np.array([1.0, 0.2, -0.2, 1.0, -1.0, 0.3, -1.0])
+        out = hysteresis_slice(values, th)
+        assert out.tolist() == [1, 1, 1, 1, 0, 0, 0]
+
+    def test_initial_state(self):
+        th = HysteresisThresholds(low=-0.5, high=0.5)
+        values = np.array([0.0, 0.0])
+        assert hysteresis_slice(values, th, initial=1).tolist() == [1, 1]
+        assert hysteresis_slice(values, th, initial=0).tolist() == [0, 0]
+
+    def test_invalid_initial(self):
+        th = HysteresisThresholds(low=0.0, high=0.0)
+        with pytest.raises(ConfigurationError):
+            hysteresis_slice(np.array([1.0]), th, initial=2)
+
+
+class TestBinning:
+    def test_uniform_packets(self):
+        times = np.arange(30) * 0.001
+        bins = bin_by_timestamp(times, 0.0, 0.01, 3)
+        assert [len(b) for b in bins] == [10, 10, 10]
+
+    def test_bursty_packets_follow_timestamps(self):
+        # Bursty arrivals: bit 0 gets 2 packets, bit 1 gets 5, bit 2 none.
+        times = np.array([0.001, 0.002, 0.011, 0.012, 0.013, 0.014, 0.015])
+        bins = bin_by_timestamp(times, 0.0, 0.01, 3)
+        assert [len(b) for b in bins] == [2, 5, 0]
+
+    def test_pre_start_packets_excluded(self):
+        times = np.array([-0.005, 0.005])
+        bins = bin_by_timestamp(times, 0.0, 0.01, 1)
+        assert len(bins[0]) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            bin_by_timestamp(np.array([0.0]), 0.0, 0.0, 1)
+        with pytest.raises(ConfigurationError):
+            bin_by_timestamp(np.array([0.0]), 0.0, 0.01, 0)
+
+
+class TestMajorityVote:
+    def test_majority_wins(self):
+        times = np.arange(10) * 0.001
+        decisions = np.array([1, 1, 1, 0, 1, 0, 0, 0, 1, 0])
+        out = majority_vote_bits(decisions, times, 0.0, 0.005, 2)
+        assert out.bits.tolist() == [1, 0]
+        assert out.support.tolist() == [5, 5]
+
+    def test_erasure_handling(self):
+        times = np.array([0.0005, 0.0015])
+        decisions = np.array([1, 1])
+        out = majority_vote_bits(decisions, times, 0.0, 0.001, 3, erasure_value=0)
+        assert out.bits[2] == 0
+        assert 2 in out.erasures
+
+    def test_strict_erasure_raises(self):
+        times = np.array([0.0005])
+        decisions = np.array([1])
+        with pytest.raises(DecodeError):
+            majority_vote_bits(
+                decisions, times, 0.0, 0.001, 2, strict=True
+            )
+
+    def test_min_support(self):
+        times = np.array([0.0005, 0.0015, 0.0016])
+        decisions = np.array([1, 1, 1])
+        out = majority_vote_bits(
+            decisions, times, 0.0, 0.001, 2, min_support=2
+        )
+        assert 0 in out.erasures  # only one measurement in bit 0
+        assert out.bits[1] == 1
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            majority_vote_bits(np.array([1]), np.array([0.0, 1.0]), 0.0, 1.0, 1)
+
+
+class TestSoftAverage:
+    def test_agrees_with_majority_on_clean_data(self):
+        times = np.arange(20) * 0.001
+        combined = np.tile([1.0, 1.0, -1.0, -1.0], 5)
+        # bits of 5 ms -> 4 bits, alternating pairs pattern
+        soft = soft_average_bits(combined, times, 0.0, 0.005, 4)
+        hard = majority_vote_bits(
+            (combined > 0).astype(int), times, 0.0, 0.005, 4
+        )
+        assert soft.bits.tolist() == hard.bits.tolist()
+
+    def test_erasures_tracked(self):
+        out = soft_average_bits(
+            np.array([1.0]), np.array([0.0005]), 0.0, 0.001, 2
+        )
+        assert 1 in out.erasures

@@ -1,0 +1,94 @@
+"""Stations, APs, and beacons."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.dcf import Medium
+from repro.mac.packets import FrameKind, WifiFrame
+from repro.mac.rate_control import RateController
+from repro.mac.simulator import EventScheduler
+from repro.mac.station import AccessPoint, Station
+
+
+def setup(seed=0):
+    sched = EventScheduler()
+    medium = Medium(sched, rng=np.random.default_rng(seed))
+    return sched, medium
+
+
+class TestStation:
+    def test_send_validates_src(self):
+        sched, medium = setup()
+        sta = Station("alice", medium, sched)
+        with pytest.raises(ConfigurationError):
+            sta.send(WifiFrame(src="bob", dst="x"))
+
+    def test_empty_name_rejected(self):
+        sched, medium = setup()
+        with pytest.raises(ConfigurationError):
+            Station("", medium, sched)
+
+    def test_rate_controller_stamps_frames(self):
+        sched, medium = setup()
+        controller = RateController(initial_rate_bps=6e6)
+        sta = Station("alice", medium, sched, rate_controller=controller)
+        frame = WifiFrame(src="alice", dst="bob", rate_bps=54e6)
+        sta.send(frame)
+        assert frame.rate_bps == 6e6
+
+    def test_outcomes_feed_controller(self):
+        sched, medium = setup(seed=4)
+        controller = RateController(
+            up_threshold=2, initial_rate_bps=6e6
+        )
+        sta = Station("alice", medium, sched, rate_controller=controller)
+        for _ in range(6):
+            sta.send(WifiFrame(src="alice", dst="bob"))
+        sched.run_until(1.0)
+        # All successes on an ideal channel: the rate must have climbed.
+        assert controller.current_rate_bps > 6e6
+
+
+class TestAccessPoint:
+    def test_beacons_emitted_at_interval(self):
+        sched, medium = setup()
+        ap = AccessPoint("ap", medium, sched, beacon_interval_s=0.1)
+        sched.run_until(1.05)
+        beacons = [
+            t for t in medium.transmission_log
+            if t.frame.kind is FrameKind.BEACON
+        ]
+        assert len(beacons) == 10
+        assert ap.beacons_sent == 10
+
+    def test_beacon_rate_configurable(self):
+        # Fig 16 sweeps 10-70 beacons/s.
+        sched, medium = setup()
+        AccessPoint("ap", medium, sched, beacon_interval_s=1 / 50.0)
+        sched.run_until(1.0)
+        beacons = [
+            t for t in medium.transmission_log
+            if t.frame.kind is FrameKind.BEACON
+        ]
+        assert len(beacons) == pytest.approx(50, abs=2)
+
+    def test_beacons_can_be_disabled(self):
+        sched, medium = setup()
+        AccessPoint("ap", medium, sched, beacons_enabled=False)
+        sched.run_until(1.0)
+        assert medium.transmission_log == []
+
+    def test_invalid_interval(self):
+        sched, medium = setup()
+        with pytest.raises(ConfigurationError):
+            AccessPoint("ap", medium, sched, beacon_interval_s=0.0)
+
+    def test_beacons_interleave_with_data(self):
+        sched, medium = setup(seed=2)
+        ap = AccessPoint("ap", medium, sched, beacon_interval_s=0.05)
+        for _ in range(20):
+            ap.send(WifiFrame(src="ap", dst="client", payload_bytes=1470))
+        sched.run_until(1.0)
+        kinds = {t.frame.kind for t in medium.transmission_log}
+        assert kinds == {FrameKind.BEACON, FrameKind.DATA}

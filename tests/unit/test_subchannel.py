@@ -1,0 +1,129 @@
+"""Preamble correlation and good sub-channel selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.barker import barker_bits, bits_to_chips
+from repro.core.subchannel import (
+    correlate_at,
+    detect_preamble,
+    expected_chips_at,
+    select_good_subchannels,
+)
+from repro.errors import ConfigurationError, PreambleNotFound
+
+BIT = 0.01  # 100 bps bit duration
+PRE = barker_bits()
+
+
+def synth_stream(n_channels=4, signal_channels=(0, 2), start=1.0,
+                 pkts_per_bit=10, noise=0.3, n_extra_bits=20, seed=0,
+                 polarity=None):
+    """Packets covering idle + preamble + random bits; returns
+    (normalized-like matrix, timestamps, sent_bits)."""
+    rng = np.random.default_rng(seed)
+    bits = PRE + list(rng.integers(0, 2, n_extra_bits))
+    total_span = start + len(bits) * BIT + 0.5
+    dt = BIT / pkts_per_bit
+    times = np.arange(0, total_span, dt)
+    chips = np.zeros(len(times))
+    idx = np.floor((times - start) / BIT).astype(int)
+    valid = (idx >= 0) & (idx < len(bits))
+    chips[valid] = bits_to_chips([bits[i] for i in idx[valid]])
+    matrix = rng.normal(scale=noise, size=(len(times), n_channels))
+    polarity = polarity or {c: 1.0 for c in signal_channels}
+    for ch in signal_channels:
+        matrix[:, ch] += polarity[ch] * chips
+    return matrix, times, bits
+
+
+class TestExpectedChips:
+    def test_outside_preamble_is_zero(self):
+        times = np.array([-0.5, 0.0, 0.05, 0.2])
+        chips = expected_chips_at(times, 0.0, PRE, BIT)
+        assert chips[0] == 0.0  # before start
+        assert chips[-1] == 0.0  # after 13 bits * 10 ms
+        assert chips[1] != 0.0
+
+    def test_maps_bits_to_signs(self):
+        times = np.array([0.005, 0.055])  # bits 0 and 5
+        chips = expected_chips_at(times, 0.0, PRE, BIT)
+        assert chips[0] == (1.0 if PRE[0] else -1.0)
+        assert chips[1] == (1.0 if PRE[5] else -1.0)
+
+
+class TestCorrelateAt:
+    def test_signal_channel_correlates(self):
+        matrix, times, _ = synth_stream()
+        corr = correlate_at(matrix, times, 1.0, PRE, BIT)
+        assert corr[0] > 0.5
+        assert abs(corr[1]) < 0.3
+
+    def test_inverted_polarity_gives_negative(self):
+        matrix, times, _ = synth_stream(
+            signal_channels=(0,), polarity={0: -1.0}
+        )
+        corr = correlate_at(matrix, times, 1.0, PRE, BIT)
+        assert corr[0] < -0.5
+
+    def test_wrong_offset_correlates_weakly(self):
+        matrix, times, _ = synth_stream()
+        right = correlate_at(matrix, times, 1.0, PRE, BIT)
+        wrong = correlate_at(matrix, times, 1.0 + 4.5 * BIT, PRE, BIT)
+        assert abs(right[0]) > 2 * abs(wrong[0])
+
+    def test_requires_2d(self):
+        with pytest.raises(ConfigurationError):
+            correlate_at(np.ones(10), np.arange(10.0), 0.0, PRE, BIT)
+
+
+class TestDetectPreamble:
+    def test_finds_start_time(self):
+        matrix, times, _ = synth_stream(start=1.0)
+        det = detect_preamble(matrix, times, PRE, BIT)
+        assert det.start_time_s == pytest.approx(1.0, abs=BIT / 2)
+
+    def test_correlations_identify_signal_channels(self):
+        matrix, times, _ = synth_stream(signal_channels=(1, 3))
+        det = detect_preamble(matrix, times, PRE, BIT)
+        ranked = select_good_subchannels(det.correlations, 2)
+        assert set(ranked.tolist()) == {1, 3}
+
+    def test_threshold_rejects_noise(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(500, 4))
+        times = np.arange(500) * (BIT / 10)
+        with pytest.raises(PreambleNotFound):
+            detect_preamble(matrix, times, PRE, BIT, min_score=3.9)
+
+    def test_short_stream_rejected(self):
+        matrix = np.ones((5, 2))
+        times = np.arange(5) * 0.001
+        with pytest.raises(PreambleNotFound):
+            detect_preamble(matrix, times, PRE, BIT)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(PreambleNotFound):
+            detect_preamble(np.empty((0, 2)), np.empty(0), PRE, BIT)
+
+
+class TestSelectGoodSubchannels:
+    def test_picks_top_by_magnitude(self):
+        corr = np.array([0.1, -0.9, 0.5, -0.2])
+        top2 = select_good_subchannels(corr, 2)
+        assert top2.tolist() == [1, 2]
+
+    def test_count_clamped_to_available(self):
+        corr = np.array([0.3, 0.1])
+        assert len(select_good_subchannels(corr, 10)) == 2
+
+    def test_default_count_is_ten(self):
+        # "The Wi-Fi reader picks the top ten 'good' sub-channels" (§3.2).
+        corr = np.linspace(0, 1, 30)
+        assert len(select_good_subchannels(corr)) == 10
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            select_good_subchannels(np.ones((2, 2)), 1)
+        with pytest.raises(ConfigurationError):
+            select_good_subchannels(np.ones(5), 0)

@@ -1,0 +1,109 @@
+"""The assembled WiFiBackscatterTag."""
+
+import numpy as np
+import pytest
+
+from repro.core.downlink_encoder import DownlinkEncoder
+from repro.core.protocol import CMD_READ_ID, CMD_READ_SENSOR, encode_query
+from repro.errors import ConfigurationError
+from repro.phy.envelope import EnvelopeSynthesizer
+from repro.tag.tag import WiFiBackscatterTag
+
+
+def rendered_query(tag_address=1, rate=200.0, distance_m=0.5, seed=0,
+                   command=CMD_READ_SENSOR):
+    rng = np.random.default_rng(seed)
+    msg = encode_query(tag_address, rate, command)
+    enc = DownlinkEncoder(bit_duration_s=50e-6)
+    lead = 1e-3
+    intervals = enc.air_intervals(msg, start_s=lead)
+    total = lead + enc.message_airtime_s(msg) + 1e-3
+    synth = EnvelopeSynthesizer(distance_m=distance_m, rng=rng)
+    _, power = synth.render(intervals, total)
+    return msg, power, synth.sample_interval_s
+
+
+class TestTagDownlink:
+    def test_receives_query_end_to_end(self, rng):
+        tag = WiFiBackscatterTag(address=1)
+        msg, power, dt = rendered_query()
+        decoded = tag.receive_downlink(power, dt, bit_duration_s=50e-6)
+        assert decoded.payload_bits == msg.payload_bits
+
+    def test_mcu_energy_accounted(self):
+        tag = WiFiBackscatterTag(address=1)
+        _, power, dt = rendered_query()
+        tag.receive_downlink(power, dt, bit_duration_s=50e-6)
+        assert tag.mcu.energy_j > 0
+        assert tag.mcu.wakeups > 0
+
+    def test_handle_query_filters_address(self):
+        tag = WiFiBackscatterTag(address=5)
+        other = encode_query(9, 100.0)
+        mine = encode_query(5, 100.0)
+        assert tag.handle_query(other) is None
+        q = tag.handle_query(mine)
+        assert q is not None and q.tag_address == 5
+        assert len(tag.queries_heard) == 1
+
+
+class TestTagUplink:
+    def test_sensor_response_payload(self):
+        tag = WiFiBackscatterTag(address=1, sensor_value=0xDEADBEEF)
+        q = tag.handle_query(encode_query(1, 100.0, CMD_READ_SENSOR))
+        frame = tag.response_frame(q)
+        assert len(frame.payload_bits) == 32
+        from repro.core.frames import bits_to_int
+
+        assert bits_to_int(list(frame.payload_bits)) == 0xDEADBEEF
+
+    def test_id_response_payload(self):
+        tag = WiFiBackscatterTag(address=0x1234)
+        q = tag.handle_query(encode_query(0x1234, 100.0, CMD_READ_ID))
+        frame = tag.response_frame(q)
+        from repro.core.frames import bits_to_int
+
+        assert bits_to_int(list(frame.payload_bits)) == 0x1234
+
+    def test_arm_response_draws_energy(self):
+        tag = WiFiBackscatterTag(address=1)
+        tag.harvester.stored_j = 1e-3
+        q = tag.handle_query(encode_query(1, 100.0))
+        before = tag.harvester.stored_j
+        bits = tag.arm_response(q, start_time_s=0.0)
+        assert tag.harvester.stored_j < before
+        assert set(bits) <= {0, 1}
+        assert tag.modulator.bit_duration_s == pytest.approx(1 / 100.0)
+
+    def test_coded_response(self):
+        from repro.core.coding import make_code_pair
+
+        tag = WiFiBackscatterTag(address=1)
+        tag.harvester.stored_j = 1e-3
+        q = tag.handle_query(encode_query(1, 100.0))
+        plain_len = len(tag.response_frame(q).to_bits())
+        states = tag.arm_response(q, 0.0, code_pair=make_code_pair(20))
+        assert len(states) == plain_len * 20
+
+
+class TestTagEnergy:
+    def test_continuous_power_dominated_by_receiver(self):
+        tag = WiFiBackscatterTag()
+        assert tag.continuous_power_w() == pytest.approx(9.5e-6, rel=0.1)
+
+    def test_sustain_near_vs_far(self):
+        tag = WiFiBackscatterTag()
+        from repro.tag.harvester import wifi_power_density_w_m2
+
+        near = wifi_power_density_w_m2(40e-3, 0.3)
+        far = wifi_power_density_w_m2(40e-3, 30.0)
+        assert tag.can_sustain(near)
+        assert not tag.can_sustain(far)
+
+    def test_coupling_from_antenna(self):
+        tag = WiFiBackscatterTag()
+        assert tag.coupling == tag.antenna.differential_coupling > 0
+
+    def test_invalid_address(self):
+        with pytest.raises(ConfigurationError):
+            WiFiBackscatterTag(address=1 << 16)

@@ -1,0 +1,73 @@
+"""Bianchi-style analytic DCF throughput model."""
+
+import pytest
+
+from repro.analysis.throughput import (
+    DcfTiming,
+    saturation_throughput_bps,
+    single_station_throughput_bps,
+    transmission_probability,
+)
+from repro.errors import ConfigurationError
+from repro.mac.dcf import CW_MIN
+
+
+class TestTransmissionProbability:
+    def test_single_station_closed_form(self):
+        tau = transmission_probability(1)
+        assert tau == pytest.approx(2.0 / (CW_MIN + 2.0))
+
+    def test_tau_decreases_with_contention(self):
+        taus = [transmission_probability(n) for n in (2, 5, 10, 20)]
+        assert taus == sorted(taus, reverse=True)
+
+    def test_tau_in_unit_interval(self):
+        for n in (1, 3, 7, 15, 50):
+            assert 0.0 < transmission_probability(n) < 1.0
+
+    def test_invalid_station_count(self):
+        with pytest.raises(ConfigurationError):
+            transmission_probability(0)
+
+
+class TestSaturationThroughput:
+    def test_54mbps_mtu_ballpark(self):
+        # 1470-byte UDP at 54 Mbps: classic ~26-31 Mbps goodput.
+        s = saturation_throughput_bps(2, 1470, 54e6)
+        assert 24e6 < s < 34e6
+
+    def test_throughput_declines_with_contention(self):
+        values = [saturation_throughput_bps(n) for n in (2, 5, 10, 30)]
+        assert values == sorted(values, reverse=True)
+
+    def test_small_frames_are_overhead_dominated(self):
+        small = saturation_throughput_bps(2, payload_bytes=100)
+        large = saturation_throughput_bps(2, payload_bytes=1470)
+        # Efficiency collapses for tiny frames.
+        assert small < large / 4
+
+    def test_rate_scaling_sublinear(self):
+        slow = saturation_throughput_bps(2, rate_bps=6e6)
+        fast = saturation_throughput_bps(2, rate_bps=54e6)
+        # 9x PHY rate gives much less than 9x goodput (fixed overheads).
+        assert fast / slow < 6.0
+        assert fast > slow
+
+    def test_invalid_payload(self):
+        with pytest.raises(ConfigurationError):
+            saturation_throughput_bps(2, payload_bytes=0)
+
+
+class TestSingleStation:
+    def test_matches_bianchi_limit(self):
+        # With one station, the general model (no collisions possible)
+        # and the closed form agree within a few percent.
+        closed = single_station_throughput_bps(1470, 54e6)
+        general = saturation_throughput_bps(1, 1470, 54e6)
+        assert closed == pytest.approx(general, rel=0.05)
+
+    def test_timing_components_positive(self):
+        timing = DcfTiming()
+        assert timing.success_slot_s(1470, 54e6) > timing.collision_slot_s(
+            1470, 54e6
+        ) > 0

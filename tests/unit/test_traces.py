@@ -1,0 +1,114 @@
+"""Trace persistence and synthetic traffic generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.measurement import ChannelMeasurement, MeasurementStream
+from repro.traces.format import load_stream, save_stream
+from repro.traces.synthetic import (
+    hours_range,
+    office_traffic_sample,
+    sample_to_intervals,
+)
+
+
+def make_stream(n=5, mixed=False):
+    stream = MeasurementStream()
+    for i in range(n):
+        with_csi = not (mixed and i % 2)
+        stream.append(
+            ChannelMeasurement(
+                timestamp_s=float(i) * 0.01,
+                csi=np.random.default_rng(i).random((3, 30)) if with_csi else None,
+                rssi_dbm=np.array([-40.0, -42.0, -55.0]),
+                source="helper" if with_csi else "ap-beacon",
+            )
+        )
+    return stream
+
+
+class TestTraceFormat:
+    def test_roundtrip(self, tmp_path):
+        stream = make_stream()
+        path = tmp_path / "trace.npz"
+        save_stream(stream, path)
+        loaded = load_stream(path)
+        assert len(loaded) == len(stream)
+        assert np.allclose(loaded.timestamps, stream.timestamps)
+        assert np.allclose(loaded.csi_matrix(), stream.csi_matrix())
+        assert np.allclose(loaded.rssi_matrix(), stream.rssi_matrix())
+
+    def test_mixed_csi_roundtrip(self, tmp_path):
+        stream = make_stream(mixed=True)
+        path = tmp_path / "trace.npz"
+        save_stream(stream, path)
+        loaded = load_stream(path)
+        assert [m.has_csi for m in loaded] == [m.has_csi for m in stream]
+        assert [m.source for m in loaded] == [m.source for m in stream]
+
+    def test_empty_stream_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_stream(MeasurementStream(), path)
+        assert len(load_stream(path)) == 0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_stream(tmp_path / "nope.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not a trace")
+        with pytest.raises(TraceFormatError):
+            load_stream(path)
+
+
+class TestSyntheticTraffic:
+    def test_load_follows_diurnal_curve(self, rng):
+        noon = office_traffic_sample(14.5, 5.0, rng=rng)
+        night = office_traffic_sample(22.0, 5.0, rng=rng)
+        assert len(noon.packet_times_s) > 2 * len(night.packet_times_s)
+
+    def test_times_sorted_and_bounded(self, rng):
+        sample = office_traffic_sample(13.0, 2.0, rng=rng)
+        t = sample.packet_times_s
+        assert np.all(np.diff(t) >= 0)
+        assert t.min() >= 0 and t.max() < 2.0
+
+    def test_burstiness_increases_cv(self):
+        smooth = office_traffic_sample(
+            14.0, 10.0, burstiness=0.0, rng=np.random.default_rng(0)
+        )
+        bursty = office_traffic_sample(
+            14.0, 10.0, burstiness=0.5, rng=np.random.default_rng(0)
+        )
+        cv = lambda t: np.diff(t).std() / np.diff(t).mean()
+        assert cv(bursty.packet_times_s) > cv(smooth.packet_times_s)
+
+    def test_sample_to_intervals_no_overlap(self, rng):
+        sample = office_traffic_sample(14.0, 1.0, rng=rng)
+        intervals = sample_to_intervals(sample, tx_power_w=0.04, rng=rng)
+        for a, b in zip(intervals, intervals[1:]):
+            assert b.start_s >= a.end_s
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ConfigurationError):
+            office_traffic_sample(14.0, -1.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            office_traffic_sample(14.0, 1.0, burstiness=1.0, rng=rng)
+        sample = office_traffic_sample(14.0, 1.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            sample_to_intervals(sample, tx_power_w=0.0, rng=rng)
+
+
+class TestHoursRange:
+    def test_paper_window(self):
+        # Fig 15 runs 12 PM to 8 PM.
+        hours = hours_range(12.0, 20.0, 1.0)
+        assert hours == [12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0, 19.0, 20.0]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            hours_range(12.0, 10.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            hours_range(12.0, 20.0, 0.0)

@@ -1,0 +1,138 @@
+"""Traffic generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.simulator import EventScheduler
+from repro.mac.traffic import (
+    BurstyTraffic,
+    ConstantRateTraffic,
+    DiurnalOfficeLoad,
+    PoissonTraffic,
+    SaturatedTraffic,
+    office_load_pps,
+)
+
+
+def collect(source_cls, duration=2.0, seed=0, **kwargs):
+    sched = EventScheduler()
+    frames = []
+    source = source_cls(
+        src="ap",
+        dst="client",
+        sink=frames.append,
+        scheduler=sched,
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+    source.start()
+    sched.run_until(duration)
+    return frames, sched, source
+
+
+class TestConstantRate:
+    def test_rate_matches_interval(self):
+        frames, _, _ = collect(ConstantRateTraffic, interval_s=1e-3)
+        assert len(frames) == pytest.approx(2000, abs=3)
+
+    def test_stop(self):
+        sched = EventScheduler()
+        frames = []
+        source = ConstantRateTraffic(
+            src="a", dst="b", sink=frames.append, scheduler=sched,
+            interval_s=1e-3, rng=np.random.default_rng(0),
+        )
+        source.start()
+        sched.run_until(0.5)
+        source.stop()
+        count = len(frames)
+        sched.run_until(1.0)
+        assert len(frames) == count
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError):
+            collect(ConstantRateTraffic, interval_s=0.0)
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        frames, _, _ = collect(PoissonTraffic, duration=5.0, mean_rate_pps=400.0)
+        assert len(frames) / 5.0 == pytest.approx(400.0, rel=0.1)
+
+    def test_interarrival_cv_near_one(self):
+        sched = EventScheduler()
+        times = []
+        source = PoissonTraffic(
+            src="a", dst="b",
+            sink=lambda f: times.append(sched.now),
+            scheduler=sched, mean_rate_pps=500.0,
+            rng=np.random.default_rng(1),
+        )
+        source.start()
+        sched.run_until(4.0)
+        gaps = np.diff(times)
+        cv = gaps.std() / gaps.mean()
+        assert cv == pytest.approx(1.0, abs=0.15)
+
+
+class TestBursty:
+    def test_burstier_than_poisson(self):
+        sched = EventScheduler()
+        times = []
+        source = BurstyTraffic(
+            src="a", dst="b",
+            sink=lambda f: times.append(sched.now),
+            scheduler=sched,
+            rng=np.random.default_rng(2),
+        )
+        source.start()
+        sched.run_until(5.0)
+        gaps = np.diff(times)
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.3  # heavier than Poisson
+
+    def test_invalid_shape(self):
+        with pytest.raises(ConfigurationError):
+            collect(BurstyTraffic, burst_shape=0.9)
+
+
+class TestSaturated:
+    def test_keeps_backlog(self):
+        sched = EventScheduler()
+        queue = []
+        source = SaturatedTraffic(
+            src="a", dst="b", sink=queue.append, scheduler=sched,
+            backlog=3, queue_length=lambda: len(queue),
+            rng=np.random.default_rng(0),
+        )
+        source.start()
+        sched.run_until(0.01)
+        assert len(queue) == 3
+        queue.pop()  # simulate a transmission
+        sched.run_until(0.02)
+        assert len(queue) == 3
+
+
+class TestOfficeLoad:
+    def test_peaks_in_afternoon(self):
+        assert office_load_pps(14.5) > office_load_pps(9.0)
+        assert office_load_pps(14.5) > office_load_pps(20.0)
+
+    def test_bounds(self):
+        for hour in (0.0, 6.0, 12.0, 18.0, 23.9):
+            load = office_load_pps(hour, peak_pps=1100, base_pps=100)
+            assert 100 <= load <= 1100
+
+    def test_invalid_hour(self):
+        with pytest.raises(ConfigurationError):
+            office_load_pps(25.0)
+
+    def test_diurnal_source_tracks_clock(self):
+        frames_noon, _, _ = collect(
+            DiurnalOfficeLoad, duration=3.0, start_hour=14.0
+        )
+        frames_night, _, _ = collect(
+            DiurnalOfficeLoad, duration=3.0, start_hour=22.0
+        )
+        assert len(frames_noon) > 2 * len(frames_night)

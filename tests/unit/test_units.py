@@ -1,0 +1,76 @@
+"""Unit conversions: power, time, frequency."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestPowerConversions:
+    def test_dbm_to_watts_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_dbm_to_watts_16_dbm_is_40_mw(self):
+        # The paper's downlink transmit power: "+16 dBm (40 mW)".
+        assert units.dbm_to_watts(16.0) == pytest.approx(39.8e-3, rel=0.01)
+
+    def test_watts_to_dbm_roundtrip(self):
+        for dbm in (-90.0, -30.0, 0.0, 16.0, 30.0):
+            assert units.watts_to_dbm(units.dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+    def test_watts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(0.0)
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(-1.0)
+
+    def test_db_to_linear_3db_doubles(self):
+        assert units.db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-3)
+
+    def test_linear_to_db_roundtrip(self):
+        for db in (-20.0, 0.0, 10.0, 33.0):
+            assert units.linear_to_db(units.db_to_linear(db)) == pytest.approx(db)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+
+    def test_amplitude_db_uses_20log(self):
+        assert units.amplitude_db(10.0) == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            units.amplitude_db(-1.0)
+
+
+class TestTimeConversions:
+    def test_us_and_back(self):
+        assert units.us(50.0) == pytest.approx(50e-6)
+        assert units.to_us(50e-6) == pytest.approx(50.0)
+
+    def test_ms_and_back(self):
+        assert units.ms(32.0) == pytest.approx(32e-3)
+        assert units.to_ms(32e-3) == pytest.approx(32.0)
+
+
+class TestFrequency:
+    def test_wavelength_at_2_4_ghz(self):
+        # 2.4 GHz Wi-Fi wavelength is ~12.5 cm.
+        assert units.wavelength(2.4e9) == pytest.approx(0.125, rel=0.01)
+
+    def test_wavelength_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.wavelength(0.0)
+
+    def test_thermal_noise_20mhz(self):
+        # kTB over 20 MHz at 290 K is about -101 dBm.
+        noise = units.thermal_noise_watts(20e6)
+        assert units.watts_to_dbm(noise) == pytest.approx(-101.0, abs=0.5)
+
+    def test_thermal_noise_with_noise_figure(self):
+        base = units.thermal_noise_watts(20e6)
+        with_nf = units.thermal_noise_watts(20e6, noise_figure_db=6.0)
+        assert with_nf / base == pytest.approx(units.db_to_linear(6.0))
+
+    def test_thermal_noise_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.thermal_noise_watts(-1.0)
