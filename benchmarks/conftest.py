@@ -5,9 +5,27 @@ prints the rows/series the paper reports, plus a paper-vs-measured
 summary. Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Each figure test also leaves a ``BENCH_<test>.json`` artifact under
+``benchmarks/artifacts/`` (override with ``REPRO_BENCH_ARTIFACTS``)
+recording wall time, the obs metric snapshot, aggregated span timings,
+and the git SHA — so successive PRs can track a perf/quality
+trajectory. See docs/observability.md.
 """
 
+import json
+import os
+import time
+
 import pytest
+
+from repro import obs
+
+#: Where per-figure artifacts land; override with REPRO_BENCH_ARTIFACTS.
+ARTIFACT_DIR = os.environ.get(
+    "REPRO_BENCH_ARTIFACTS",
+    os.path.join(os.path.dirname(__file__), "artifacts"),
+)
 
 
 def emit(text: str) -> None:
@@ -17,8 +35,36 @@ def emit(text: str) -> None:
 
 
 @pytest.fixture
-def once(benchmark):
-    """Run the experiment exactly once under pytest-benchmark timing."""
+def obs_capture(request):
+    """Observe one figure test and write its BENCH_*.json artifact.
+
+    Yields the live :class:`~repro.obs.MetricsRegistry` so tests can
+    record figure-level results as gauges. On teardown, writes wall
+    time, the full metric snapshot, per-span aggregate timings, and
+    the git SHA to ``benchmarks/artifacts/BENCH_<testname>.json``.
+    """
+    with obs.session(metrics=True, tracing=True) as (registry, tracer):
+        start = time.perf_counter()
+        yield registry
+        wall_s = time.perf_counter() - start
+        artifact = {
+            "test": request.node.name,
+            "wall_s": wall_s,
+            "git_sha": obs.git_sha(),
+            "metrics": registry.snapshot(),
+            "spans": tracer.aggregate(),
+        }
+    name = request.node.name.replace("/", "_")
+    obs.write_json(os.path.join(ARTIFACT_DIR, f"BENCH_{name}.json"), artifact)
+
+
+@pytest.fixture
+def once(benchmark, obs_capture):
+    """Run the experiment exactly once under pytest-benchmark timing.
+
+    Runs inside :func:`obs_capture`, so every figure regeneration gets
+    a metrics/trace artifact for free.
+    """
 
     def runner(fn, *args, **kwargs):
         return benchmark.pedantic(fn, args=args, kwargs=kwargs,

@@ -8,19 +8,50 @@ Examples::
     python -m repro rate-plan --helper-pps 3070
     python -m repro power-budget
     python -m repro calibration
+    python -m repro obs-report /tmp/run.json
+
+Every experiment subcommand also accepts the observability flags::
+
+    --json                 machine-readable output instead of the table
+    --trace                record + print the pipeline span tree
+    --metrics-out PATH     write a run manifest (seed, calibrated
+                           params, git SHA, metrics, spans) to PATH
+    --obs-dir DIR          auto-write per-driver manifests under DIR
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
-from repro import __version__
+from repro import __version__, obs
 from repro.analysis.ber import CorrelationRangeModel, DownlinkDetectionModel
 from repro.analysis.report import format_table
 
 
-def _cmd_uplink_ber(args: argparse.Namespace) -> str:
+@dataclass
+class CommandOutput:
+    """One subcommand's result in both human and machine form.
+
+    Attributes:
+        title: table heading.
+        rows: ``[label, display value]`` pairs for the ASCII table.
+        data: JSON-ready payload for ``--json`` (raw values, not the
+            display strings).
+        headers: table column headers.
+    """
+
+    title: str
+    rows: List[List[object]]
+    data: Dict[str, Any] = field(default_factory=dict)
+    headers: List[str] = field(default_factory=lambda: ["quantity", "value"])
+
+    def to_table(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+
+def _cmd_uplink_ber(args: argparse.Namespace) -> CommandOutput:
     from repro.sim.link import run_uplink_ber
 
     result = run_uplink_ber(
@@ -31,23 +62,29 @@ def _cmd_uplink_ber(args: argparse.Namespace) -> str:
         seed=args.seed,
     )
     lo, hi = result.confidence_interval()
-    return format_table(
-        ["quantity", "value"],
-        [
-            ["tag-reader distance", f"{args.distance} m"],
-            ["packets per bit", args.pkts_per_bit],
-            ["mode", args.mode],
-            ["bits", result.total_bits],
-            ["bit errors", result.errors],
-            ["BER", result.ber],
-            ["95% CI", f"[{lo:.2e}, {hi:.2e}]"],
-            ["note", "floor value (no errors seen)" if result.is_floor else ""],
-        ],
-        title="uplink BER (Fig 10 style measurement)",
+    rows = [
+        ["tag-reader distance", f"{args.distance} m"],
+        ["packets per bit", args.pkts_per_bit],
+        ["mode", args.mode],
+        ["bits", result.total_bits],
+        ["bit errors", result.errors],
+        ["BER", result.ber],
+        ["95% CI", f"[{lo:.2e}, {hi:.2e}]"],
+        ["note", "floor value (no errors seen)" if result.is_floor else ""],
+    ]
+    data = {
+        "distance_m": args.distance,
+        "packets_per_bit": args.pkts_per_bit,
+        "mode": args.mode,
+        "seed": args.seed,
+        **result.to_dict(),
+    }
+    return CommandOutput(
+        title="uplink BER (Fig 10 style measurement)", rows=rows, data=data
     )
 
 
-def _cmd_downlink_ber(args: argparse.Namespace) -> str:
+def _cmd_downlink_ber(args: argparse.Namespace) -> CommandOutput:
     from repro.core.downlink_encoder import bit_duration_for_rate
     from repro.sim.link import run_downlink_ber
 
@@ -56,30 +93,44 @@ def _cmd_downlink_ber(args: argparse.Namespace) -> str:
         args.distance, bit_s, num_bits=args.bits, seed=args.seed
     )
     model = DownlinkDetectionModel()
-    return format_table(
-        ["quantity", "value"],
-        [
-            ["reader-tag distance", f"{args.distance} m"],
-            ["bit rate", f"{args.rate:.0f} bps"],
-            ["bits", result.total_bits],
-            ["BER", result.ber],
-            ["range at BER 1e-2", f"{model.range_at_ber(bit_s):.2f} m"],
-        ],
-        title="downlink BER (Fig 17 style measurement)",
+    range_m = model.range_at_ber(bit_s)
+    rows = [
+        ["reader-tag distance", f"{args.distance} m"],
+        ["bit rate", f"{args.rate:.0f} bps"],
+        ["bits", result.total_bits],
+        ["BER", result.ber],
+        ["range at BER 1e-2", f"{range_m:.2f} m"],
+    ]
+    data = {
+        "distance_m": args.distance,
+        "bit_rate_bps": args.rate,
+        "seed": args.seed,
+        "range_at_ber_1e2_m": range_m,
+        **result.to_dict(),
+    }
+    return CommandOutput(
+        title="downlink BER (Fig 17 style measurement)", rows=rows, data=data
     )
 
 
-def _cmd_correlation(args: argparse.Namespace) -> str:
+def _cmd_correlation(args: argparse.Namespace) -> CommandOutput:
     model = CorrelationRangeModel()
+    model_ber = model.ber(args.distance, args.length)
+    required_l = model.required_code_length(args.distance)
     rows = [
         ["distance", f"{args.distance} m"],
         ["code length L", args.length],
-        ["model BER", model.ber(args.distance, args.length)],
-        ["required L at this distance", model.required_code_length(args.distance)],
+        ["model BER", model_ber],
+        ["required L at this distance", required_l],
     ]
+    data = {
+        "distance_m": args.distance,
+        "code_length": args.length,
+        "model_ber": model_ber,
+        "required_code_length": required_l,
+        "seed": args.seed,
+    }
     if args.simulate:
-        import numpy as np
-
         from repro.sim.link import run_correlation_trial
 
         trial = run_correlation_trial(
@@ -87,35 +138,43 @@ def _cmd_correlation(args: argparse.Namespace) -> str:
             args.length,
             num_bits=16,
             packets_per_chip=5.0,
-            rng=np.random.default_rng(args.seed),
+            seed=args.seed,
         )
         rows.append(["simulated errors", f"{trial.errors}/16"])
-    return format_table(
-        ["quantity", "value"], rows,
-        title="long-range coded uplink (Fig 20 style)",
+        data["simulated_errors"] = trial.errors
+        data["simulated_bits"] = 16
+    return CommandOutput(
+        title="long-range coded uplink (Fig 20 style)", rows=rows, data=data
     )
 
 
-def _cmd_rate_plan(args: argparse.Namespace) -> str:
+def _cmd_rate_plan(args: argparse.Namespace) -> CommandOutput:
     from repro.core.rate_adaptation import UplinkRatePlanner
 
     planner = UplinkRatePlanner(
         packets_per_bit=args.pkts_per_bit, safety_factor=args.safety
     )
     plan = planner.plan(args.helper_pps)
-    return format_table(
-        ["quantity", "value"],
-        [
-            ["helper rate", f"{plan.helper_rate_pps:.0f} pkts/s"],
-            ["M (packets per bit wanted)", args.pkts_per_bit],
-            ["planned tag rate", f"{plan.bit_rate_bps:.0f} bps"],
-            ["expected packets per bit", f"{plan.packets_per_bit:.1f}"],
-        ],
+    rows = [
+        ["helper rate", f"{plan.helper_rate_pps:.0f} pkts/s"],
+        ["M (packets per bit wanted)", args.pkts_per_bit],
+        ["planned tag rate", f"{plan.bit_rate_bps:.0f} bps"],
+        ["expected packets per bit", f"{plan.packets_per_bit:.1f}"],
+    ]
+    data = {
+        "helper_rate_pps": plan.helper_rate_pps,
+        "packets_per_bit_wanted": args.pkts_per_bit,
+        "bit_rate_bps": plan.bit_rate_bps,
+        "packets_per_bit": plan.packets_per_bit,
+    }
+    return CommandOutput(
         title="N/M uplink rate plan (sent in the query packet, §5)",
+        rows=rows,
+        data=data,
     )
 
 
-def _cmd_power_budget(args: argparse.Namespace) -> str:
+def _cmd_power_budget(args: argparse.Namespace) -> CommandOutput:
     from repro.tag.harvester import (
         EnergyHarvester,
         power_budget_summary,
@@ -127,30 +186,64 @@ def _cmd_power_budget(args: argparse.Namespace) -> str:
     density = wifi_power_density_w_m2(40e-3, args.distance)
     harvest = harvester.harvest_rate_w(density)
     continuous = budget["receiver_circuit_w"] + budget["transmit_circuit_w"]
+    verdict = "self-sustaining" if harvest >= continuous else "needs duty cycling"
     rows = [[k, f"{v * 1e6:.2f} uW"] for k, v in budget.items()]
     rows.append(
         [f"harvest at {args.distance} m from a 16 dBm Wi-Fi source",
          f"{harvest * 1e6:.2f} uW"]
     )
-    rows.append(
-        ["verdict",
-         "self-sustaining" if harvest >= continuous else "needs duty cycling"]
-    )
-    return format_table(
-        ["quantity", "value"], rows, title="tag power budget (§6)"
-    )
+    rows.append(["verdict", verdict])
+    data = {
+        **{k: v for k, v in budget.items()},
+        "distance_m": args.distance,
+        "harvest_w": harvest,
+        "continuous_draw_w": continuous,
+        "verdict": verdict,
+    }
+    return CommandOutput(title="tag power budget (§6)", rows=rows, data=data)
 
 
-def _cmd_calibration(args: argparse.Namespace) -> str:
+def _cmd_calibration(args: argparse.Namespace) -> CommandOutput:
     from dataclasses import asdict
 
     from repro.sim.calibration import DEFAULTS
 
-    rows = [[k, v] for k, v in asdict(DEFAULTS).items()]
-    return format_table(
-        ["parameter", "value"], rows,
+    params = asdict(DEFAULTS)
+    return CommandOutput(
         title="calibrated simulation parameters (see EXPERIMENTS.md)",
+        rows=[[k, v] for k, v in params.items()],
+        data=params,
+        headers=["parameter", "value"],
     )
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> CommandOutput:
+    """Render a previously written run manifest (or pick the latest)."""
+    import os
+
+    from repro.obs.report import render_manifest
+
+    path = args.manifest
+    if path is None and args.dir is not None:
+        candidates = sorted(
+            (os.path.join(args.dir, n) for n in os.listdir(args.dir)
+             if n.endswith(".json")),
+            key=os.path.getmtime,
+        )
+        if not candidates:
+            raise SystemExit(f"no .json manifests under {args.dir}")
+        path = candidates[-1]
+    if path is None:
+        raise SystemExit("obs-report needs a manifest path or --dir")
+    try:
+        manifest = obs.load_manifest(path)
+    except FileNotFoundError:
+        raise SystemExit(f"no such manifest: {path}")
+    data = manifest.to_dict()
+    # The report is pre-rendered text, not a quantity/value table.
+    return CommandOutput(
+        title="", rows=[], data=data,
+    ), render_manifest(data)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -159,9 +252,22 @@ def build_parser() -> argparse.ArgumentParser:
         description="Wi-Fi Backscatter (SIGCOMM 2014) reproduction toolkit",
     )
     parser.add_argument("--version", action="version", version=__version__)
+
+    # Observability + output-format flags shared by every subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
+    common.add_argument("--trace", action="store_true",
+                        help="record and print the pipeline span tree")
+    common.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write a run manifest (JSON) to PATH")
+    common.add_argument("--obs-dir", metavar="DIR", default=None,
+                        help="auto-write per-driver run manifests under DIR")
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("uplink-ber", help="Fig 10 style uplink BER point")
+    p = sub.add_parser("uplink-ber", parents=[common],
+                       help="Fig 10 style uplink BER point")
     p.add_argument("--distance", type=float, default=0.3, help="tag-reader m")
     p.add_argument("--pkts-per-bit", type=float, default=30.0)
     p.add_argument("--mode", choices=("csi", "rssi"), default="csi")
@@ -169,14 +275,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_uplink_ber)
 
-    p = sub.add_parser("downlink-ber", help="Fig 17 style downlink BER point")
+    p = sub.add_parser("downlink-ber", parents=[common],
+                       help="Fig 17 style downlink BER point")
     p.add_argument("--distance", type=float, default=2.0)
     p.add_argument("--rate", type=float, default=20e3, help="bps (<= 25000)")
     p.add_argument("--bits", type=int, default=200_000)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_downlink_ber)
 
-    p = sub.add_parser("correlation", help="Fig 20 style coded-uplink point")
+    p = sub.add_parser("correlation", parents=[common],
+                       help="Fig 20 style coded-uplink point")
     p.add_argument("--distance", type=float, default=1.6)
     p.add_argument("--length", type=int, default=20)
     p.add_argument("--simulate", action="store_true",
@@ -184,26 +292,93 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_correlation)
 
-    p = sub.add_parser("rate-plan", help="compute the N/M rate plan")
+    p = sub.add_parser("rate-plan", parents=[common],
+                       help="compute the N/M rate plan")
     p.add_argument("--helper-pps", type=float, required=True)
     p.add_argument("--pkts-per-bit", type=float, default=3.0)
     p.add_argument("--safety", type=float, default=1.0)
     p.set_defaults(func=_cmd_rate_plan)
 
-    p = sub.add_parser("power-budget", help="tag power/harvest summary")
+    p = sub.add_parser("power-budget", parents=[common],
+                       help="tag power/harvest summary")
     p.add_argument("--distance", type=float, default=0.3048,
                    help="meters from a Wi-Fi source (default: one foot)")
     p.set_defaults(func=_cmd_power_budget)
 
-    p = sub.add_parser("calibration", help="show calibrated parameters")
+    p = sub.add_parser("calibration", parents=[common],
+                       help="show calibrated parameters")
     p.set_defaults(func=_cmd_calibration)
+
+    p = sub.add_parser("obs-report", parents=[common],
+                       help="render a run manifest written by --metrics-out")
+    p.add_argument("manifest", nargs="?", default=None,
+                   help="manifest JSON path")
+    p.add_argument("--dir", default=None,
+                   help="pick the newest manifest in this directory")
+    p.set_defaults(func=_cmd_obs_report)
     return parser
+
+
+def _write_cli_manifest(args: argparse.Namespace, output: CommandOutput) -> str:
+    """Build + write the run manifest for one CLI invocation."""
+    from repro.sim.calibration import DEFAULTS
+
+    skip = {"func", "command", "json", "trace", "metrics_out", "obs_dir"}
+    config = {
+        k: v for k, v in vars(args).items() if k not in skip and v is not None
+    }
+    manifest = obs.build_manifest(
+        args.command,
+        seed=getattr(args, "seed", None),
+        params=DEFAULTS,
+        config=config,
+        results=output.data,
+    )
+    return manifest.write(args.metrics_out)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    print(args.func(args))
+
+    trace = getattr(args, "trace", False)
+    metrics_out = getattr(args, "metrics_out", None)
+    obs_dir = getattr(args, "obs_dir", None)
+    observing = trace or metrics_out is not None or obs_dir is not None
+    if observing:
+        obs.configure(metrics=True, tracing=True, manifest_dir=obs_dir)
+        obs.reset()
+
+    result = args.func(args)
+    rendered: Optional[str] = None
+    if isinstance(result, tuple):
+        result, rendered = result
+
+    if getattr(args, "json", False):
+        print(obs.dumps({"command": args.command, **result.data}))
+    elif rendered is not None:
+        print(rendered)
+    else:
+        print(result.to_table())
+
+    if metrics_out is not None:
+        import sys
+
+        path = _write_cli_manifest(args, result)
+        out = sys.stderr if getattr(args, "json", False) else sys.stdout
+        print(f"\nrun manifest written to {path}", file=out)
+    if trace:
+        import sys
+
+        from repro.obs.report import render_span_tree
+
+        tree = render_span_tree(obs.get_tracer().to_dicts())
+        if tree:
+            # Keep stdout machine-readable under --json.
+            out = sys.stderr if getattr(args, "json", False) else sys.stdout
+            print("\ntrace\n" + tree, file=out)
+    if observing:
+        obs.disable()
     return 0
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 import numpy as np
 
+from repro import obs
 from repro.core import conditioning
 from repro.core.coding import OrthogonalCodePair
 from repro.errors import ConfigurationError, DecodeError
@@ -151,6 +152,19 @@ class CorrelationDecoder:
         score_zero = np.abs(corr_zero[:, best]).sum(axis=1)
         bits = (score_one > score_zero).astype(int)
         margins = score_one - score_zero
+        if obs.enabled():
+            obs.counter("correlation.decodes").inc()
+            obs.histogram("correlation.margin").observe_many(np.abs(margins))
+            obs.histogram("correlation.subchannel.energy").observe_many(
+                energy[best]
+            )
+            sp = obs.current_span()
+            if sp is not None:
+                sp.set(
+                    code_length=length,
+                    selected_subchannels=best,
+                    margin_mean=float(np.abs(margins).mean()),
+                )
         return CorrelationDecodeResult(
             bits=bits, margins=margins, channel_indices=best
         )

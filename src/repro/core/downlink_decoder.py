@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.frames import DOWNLINK_PREAMBLE_BITS, DownlinkMessage
 from repro.errors import ConfigurationError, CrcError, DecodeError, FrameError
 
@@ -412,24 +413,33 @@ class DownlinkDecoder:
             CrcError: a preamble matched but every candidate payload
                 failed its CRC.
         """
-        t, levels = self._transitions(samples, times_s)
-        matches = self._matcher.find_all(t, levels)
-        if not matches:
-            raise DecodeError("no downlink preamble found in transitions")
-        last_error: Exception = DecodeError("no decodable payload")
-        for match in matches:
-            try:
-                bits = bits_from_transitions(
-                    t,
-                    levels,
-                    match.end_time_s,
-                    match.bit_duration_s,
-                    self.payload_len + 16,
-                )
-                return DownlinkMessage.parse(list(bits), self.payload_len)
-            except (CrcError, DecodeError, FrameError) as exc:
-                last_error = exc
-        raise last_error
+        with obs.span("downlink.decode", payload_len=self.payload_len) as sp:
+            t, levels = self._transitions(samples, times_s)
+            matches = self._matcher.find_all(t, levels)
+            obs.counter("downlink.preamble.matches").inc(len(matches))
+            if sp is not None:
+                sp.set(transitions=len(t), preamble_matches=len(matches))
+            if not matches:
+                obs.counter("downlink.decode.no_preamble").inc()
+                raise DecodeError("no downlink preamble found in transitions")
+            last_error: Exception = DecodeError("no decodable payload")
+            for match in matches:
+                try:
+                    bits = bits_from_transitions(
+                        t,
+                        levels,
+                        match.end_time_s,
+                        match.bit_duration_s,
+                        self.payload_len + 16,
+                    )
+                    message = DownlinkMessage.parse(list(bits), self.payload_len)
+                    obs.counter("downlink.decode.ok").inc()
+                    return message
+                except (CrcError, DecodeError, FrameError) as exc:
+                    obs.counter("downlink.decode.crc_failures").inc()
+                    last_error = exc
+            obs.counter("downlink.decode.failed").inc()
+            raise last_error
 
     def count_false_preambles(
         self, samples: np.ndarray, times_s: np.ndarray
@@ -440,4 +450,6 @@ class DownlinkDecoder:
         wake the microcontroller for a doomed decode attempt.
         """
         t, levels = self._transitions(samples, times_s)
-        return len(self._matcher.find_all(t, levels))
+        count = len(self._matcher.find_all(t, levels))
+        obs.counter("downlink.preamble.false_positives").inc(count)
+        return count

@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core import combining, conditioning, slicer, subchannel
 from repro.core.barker import barker_bits
 from repro.core.frames import UplinkFrame
@@ -170,80 +171,164 @@ class UplinkDecoder:
             raise DecodeError("empty measurement stream")
         if num_bits < 1:
             raise ConfigurationError("num_bits must be >= 1")
-        matrix = self._matrix(stream, mode)
-        timestamps = stream.timestamps
-        cond = self._condition(stream, matrix, timestamps)
+        with obs.span("uplink.decode", mode=mode, num_bits=num_bits,
+                      packets=len(stream)):
+            matrix = self._matrix(stream, mode)
+            timestamps = stream.timestamps
+            with obs.span("uplink.decode.condition"):
+                cond = self._condition(stream, matrix, timestamps)
 
-        cfg = self.config
-        if start_time_s is None:
-            detection = subchannel.detect_preamble(
-                cond.normalized,
-                timestamps,
-                cfg.preamble_bits,
-                bit_duration_s,
-                search_step_s=cfg.search_step_fraction * bit_duration_s,
-                min_score=cfg.min_detection_score,
-            )
-        else:
-            corr = subchannel.correlate_at(
-                cond.normalized,
-                timestamps,
-                start_time_s,
-                cfg.preamble_bits,
-                bit_duration_s,
-            )
-            detection = subchannel.PreambleDetection(
-                start_time_s=start_time_s,
-                correlations=corr,
-                score=float(np.abs(corr).sum()),
-                threshold=0.0,
+            cfg = self.config
+            with obs.span("uplink.decode.detect",
+                          known_timing=start_time_s is not None) as sp_detect:
+                if start_time_s is None:
+                    detection = subchannel.detect_preamble(
+                        cond.normalized,
+                        timestamps,
+                        cfg.preamble_bits,
+                        bit_duration_s,
+                        search_step_s=cfg.search_step_fraction * bit_duration_s,
+                        min_score=cfg.min_detection_score,
+                    )
+                else:
+                    corr = subchannel.correlate_at(
+                        cond.normalized,
+                        timestamps,
+                        start_time_s,
+                        cfg.preamble_bits,
+                        bit_duration_s,
+                    )
+                    detection = subchannel.PreambleDetection(
+                        start_time_s=start_time_s,
+                        correlations=corr,
+                        score=float(np.abs(corr).sum()),
+                        threshold=0.0,
+                    )
+                if sp_detect is not None:
+                    sp_detect.set(start_time_s=detection.start_time_s,
+                                  score=detection.score)
+
+            # RSSI mode keeps only the single best antenna channel (§3.3);
+            # CSI mode keeps the top `good_count` of all 90 channels.
+            good_count = 1 if mode == "rssi" else cfg.good_count
+            with obs.span("uplink.decode.combine") as sp_combine:
+                good = subchannel.select_good_subchannels(
+                    detection.correlations, good_count
+                )
+                variances = combining.estimate_noise_variance(
+                    cond.normalized,
+                    timestamps,
+                    detection.start_time_s,
+                    cfg.preamble_bits,
+                    bit_duration_s,
+                    detection.correlations,
+                )
+                weights = combining.make_weights(
+                    detection.correlations, variances, good
+                )
+                combined = combining.combine(cond.normalized, weights)
+                self._emit_combine_diagnostics(
+                    detection, good, weights, sp_combine
+                )
+
+            with obs.span("uplink.decode.slice") as sp_slice:
+                thresholds = slicer.compute_thresholds(
+                    combined, cfg.hysteresis_width
+                )
+                decisions = slicer.hysteresis_slice(combined, thresholds)
+                data_start = (
+                    detection.start_time_s
+                    + len(cfg.preamble_bits) * bit_duration_s
+                )
+                last_needed = data_start + num_bits * bit_duration_s
+                if timestamps[-1] < data_start:
+                    raise DecodeError(
+                        "measurement stream ends before the data bits begin"
+                    )
+                if timestamps[-1] + bit_duration_s < last_needed:
+                    raise DecodeError(
+                        f"stream covers only {timestamps[-1] - data_start:.3f}"
+                        f" s of the {num_bits * bit_duration_s:.3f} s data span"
+                    )
+                sliced = slicer.majority_vote_bits(
+                    decisions,
+                    timestamps,
+                    data_start,
+                    bit_duration_s,
+                    num_bits,
+                )
+                self._emit_slice_diagnostics(
+                    combined, decisions, thresholds, sliced, sp_slice
+                )
+            obs.counter("uplink.decodes").inc()
+            return UplinkDecodeResult(
+                bits=sliced.bits,
+                detection=detection,
+                weights=weights,
+                combined=combined,
+                sliced=sliced,
+                mode=mode,
             )
 
-        # RSSI mode keeps only the single best antenna channel (§3.3);
-        # CSI mode keeps the top `good_count` of all 90 channels.
-        good_count = 1 if mode == "rssi" else cfg.good_count
-        good = subchannel.select_good_subchannels(detection.correlations, good_count)
-        variances = combining.estimate_noise_variance(
-            cond.normalized,
-            timestamps,
-            detection.start_time_s,
-            cfg.preamble_bits,
-            bit_duration_s,
-            detection.correlations,
-        )
-        weights = combining.make_weights(detection.correlations, variances, good)
-        combined = combining.combine(cond.normalized, weights)
+    # -- diagnostics ----------------------------------------------------------
 
-        thresholds = slicer.compute_thresholds(combined, cfg.hysteresis_width)
-        decisions = slicer.hysteresis_slice(combined, thresholds)
-        data_start = (
-            detection.start_time_s + len(cfg.preamble_bits) * bit_duration_s
+    @staticmethod
+    def _emit_combine_diagnostics(
+        detection: subchannel.PreambleDetection,
+        good: np.ndarray,
+        weights: combining.CombinerWeights,
+        span,
+    ) -> None:
+        """Selected sub-channels, correlation scores, and MRC weights."""
+        if not obs.metrics_enabled() and span is None:
+            return
+        selected_corr = detection.correlations[good]
+        obs.gauge("uplink.preamble.score").set(detection.score)
+        obs.histogram("uplink.subchannel.correlation").observe_many(
+            np.abs(selected_corr)
         )
-        last_needed = data_start + num_bits * bit_duration_s
-        if timestamps[-1] < data_start:
-            raise DecodeError(
-                "measurement stream ends before the data bits begin"
+        obs.histogram("uplink.mrc.weight").observe_many(np.abs(weights.weights))
+        if span is not None:
+            span.set(
+                selected_subchannels=good,
+                correlation_scores=selected_corr,
+                mrc_weights=weights.weights,
             )
-        if timestamps[-1] + bit_duration_s < last_needed:
-            raise DecodeError(
-                f"stream covers only {timestamps[-1] - data_start:.3f} s of "
-                f"the {num_bits * bit_duration_s:.3f} s data span"
+
+    @staticmethod
+    def _emit_slice_diagnostics(
+        combined: np.ndarray,
+        decisions: np.ndarray,
+        thresholds: slicer.HysteresisThresholds,
+        sliced: slicer.SlicedBits,
+        span,
+    ) -> None:
+        """Slicer margins, hysteresis flips, and erasures.
+
+        The margin of a sample is its distance past the threshold it
+        must clear (negative inside the dead band): small margins mean
+        the two reflection levels are barely separable at this range.
+        """
+        if not obs.metrics_enabled() and span is None:
+            return
+        flips = int(np.count_nonzero(np.diff(decisions)))
+        mid = 0.5 * (thresholds.low + thresholds.high)
+        margins = np.where(
+            combined >= mid, combined - thresholds.high,
+            thresholds.low - combined,
+        )
+        obs.counter("uplink.slicer.flips").inc(flips)
+        obs.counter("uplink.slicer.erasures").inc(len(sliced.erasures))
+        obs.histogram("uplink.slicer.margin").observe_many(margins)
+        obs.histogram("uplink.slicer.support").observe_many(sliced.support)
+        if span is not None:
+            span.set(
+                threshold_low=thresholds.low,
+                threshold_high=thresholds.high,
+                hysteresis_flips=flips,
+                erasures=len(sliced.erasures),
+                margin_mean=float(margins.mean()) if margins.size else None,
             )
-        sliced = slicer.majority_vote_bits(
-            decisions,
-            timestamps,
-            data_start,
-            bit_duration_s,
-            num_bits,
-        )
-        return UplinkDecodeResult(
-            bits=sliced.bits,
-            detection=detection,
-            weights=weights,
-            combined=combined,
-            sliced=sliced,
-            mode=mode,
-        )
 
     def decode_frame(
         self,

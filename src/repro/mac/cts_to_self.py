@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro import obs
 from repro.errors import MediumReservationError
 from repro.mac.packets import FrameKind, WifiFrame
 from repro.phy import constants
@@ -69,6 +70,9 @@ def plan_reservations(num_bits: int, bit_duration_s: float) -> ReservationPlan:
         windows.append(n * bit_duration_s)
         bits.append(n)
         remaining -= n
+    if obs.metrics_enabled():
+        obs.counter("mac.cts.windows").inc(len(windows))
+        obs.histogram("mac.cts.window_s").observe_many(windows)
     return ReservationPlan(window_durations_s=windows, bits_per_window=bits)
 
 

@@ -19,6 +19,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError, SimulationError
 from repro.mac.packets import FrameKind, Transmission, WifiFrame
 from repro.mac.simulator import EventHandle, EventScheduler
@@ -137,6 +138,10 @@ class Medium:
         if frame.nav_s > 0:
             self.nav_until = max(self.nav_until, tx.end_s + frame.nav_s)
             self.nav_owner = frame.src
+            # CTS window telemetry: reservation length and how many the
+            # downlink needed (long messages split across <=32 ms NAVs).
+            obs.counter("mac.nav.reservations").inc()
+            obs.histogram("mac.nav.window_s").observe(frame.nav_s)
             # Wake deferring stations when the reservation expires.
             self.scheduler.schedule_at(self.nav_until, self._idle_check)
         self.scheduler.schedule_at(tx.end_s, self._complete_transmissions)
@@ -154,6 +159,12 @@ class Medium:
             self.transmission_log.append(tx)
             for listener in self._listeners:
                 listener(tx)
+        if done and obs.metrics_enabled():
+            for tx in done:
+                obs.counter("mac.transmissions").inc()
+                obs.histogram("mac.airtime_s").observe(tx.end_s - tx.start_s)
+                if tx.collided:
+                    obs.counter("mac.collisions").inc()
         if self.is_physically_idle():
             self._notify_idle()
 
@@ -347,6 +358,7 @@ class DcfAccess:
             self.on_result(frame, False)
         if frame.retries + 1 >= RETRY_LIMIT:
             self.stats.drops += 1
+            obs.counter("mac.frames.dropped").inc()
             self._cw = CW_MIN
         else:
             self._cw = min(CW_MAX, (self._cw + 1) * 2 - 1)

@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List
 
+from repro import obs
 from repro.errors import SimulationError
 
 
@@ -103,6 +104,7 @@ class EventScheduler:
         if self._running:
             raise SimulationError("run_until is not reentrant")
         self._running = True
+        processed = 0
         try:
             while self._heap and self._heap[0].time_s <= end_time_s:
                 event = heapq.heappop(self._heap)
@@ -110,9 +112,12 @@ class EventScheduler:
                     continue
                 self._now = event.time_s
                 event.callback()
+                processed += 1
             self._now = end_time_s
         finally:
             self._running = False
+            if processed and obs.metrics_enabled():
+                obs.counter("mac.sim.events").inc(processed)
 
     def run_all(self, safety_limit: int = 10_000_000) -> None:
         """Process every pending event.
@@ -140,6 +145,8 @@ class EventScheduler:
                     )
         finally:
             self._running = False
+            if processed and obs.metrics_enabled():
+                obs.counter("mac.sim.events").inc(processed)
 
     def pending_count(self) -> int:
         """Number of queued (possibly cancelled) events."""

@@ -1,0 +1,135 @@
+"""Observability: metrics, tracing, and run manifests for the pipeline.
+
+The whole link simulation (phy -> tag -> mac -> core decoders -> sim
+drivers -> benchmarks) reports through this package:
+
+* **Metrics** — counters/gauges/histograms/timers in an in-process
+  :class:`~repro.obs.metrics.MetricsRegistry` with JSON and
+  line-protocol export.
+* **Spans** — :func:`span` context-manager/decorator recording
+  wall-time, hierarchy, and structured attributes per pipeline stage.
+* **Manifests** — :func:`record_run` captures seed, calibrated
+  parameters, git SHA, and a metric snapshot per experiment run.
+
+Everything is **off by default** and costs a boolean check per call
+site when off. Turn it on globally with :func:`enable` /
+:func:`configure`, or scoped with :func:`session`::
+
+    from repro import obs
+
+    with obs.session() as (registry, tracer):
+        run_uplink_ber(0.4, 30, seed=7)
+        print(registry.snapshot()["uplink.bits.errors"])
+
+Instrumented code uses the module-level accessors, which return live
+metrics while enabled and shared no-ops while disabled::
+
+    obs.counter("uplink.decodes").inc()
+    obs.histogram("uplink.mrc.weight").observe_many(weights)
+    with obs.span("uplink.decode", mode=mode):
+        ...
+
+Naming conventions and the manifest schema are documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from repro.obs import state
+from repro.obs.export import dumps, jsonable, read_json, write_json
+from repro.obs.manifest import (
+    RunManifest,
+    build_manifest,
+    git_sha,
+    load_manifest,
+    record_run,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    Timer,
+)
+from repro.obs.state import (
+    configure,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    get_tracer,
+    manifest_dir,
+    metrics_enabled,
+    reset,
+    session,
+    tracing_enabled,
+)
+from repro.obs.tracing import Span, Tracer, current_span, span
+
+
+def counter(name: str):
+    """Live :class:`Counter` while metrics are on, else a no-op."""
+    if state.metrics_enabled():
+        return state.get_registry().counter(name)
+    return NULL_METRIC
+
+
+def gauge(name: str):
+    """Live :class:`Gauge` while metrics are on, else a no-op."""
+    if state.metrics_enabled():
+        return state.get_registry().gauge(name)
+    return NULL_METRIC
+
+
+def histogram(name: str):
+    """Live :class:`Histogram` while metrics are on, else a no-op."""
+    if state.metrics_enabled():
+        return state.get_registry().histogram(name)
+    return NULL_METRIC
+
+
+def timer(name: str):
+    """Live :class:`Timer` while metrics are on, else a no-op."""
+    if state.metrics_enabled():
+        return state.get_registry().timer(name)
+    return NULL_METRIC
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "RunManifest",
+    "Span",
+    "Timer",
+    "Tracer",
+    "build_manifest",
+    "configure",
+    "counter",
+    "current_span",
+    "disable",
+    "dumps",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "git_sha",
+    "histogram",
+    "jsonable",
+    "load_manifest",
+    "manifest_dir",
+    "metrics_enabled",
+    "read_json",
+    "record_run",
+    "reset",
+    "session",
+    "span",
+    "state",
+    "timer",
+    "tracing_enabled",
+    "write_json",
+]

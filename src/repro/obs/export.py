@@ -1,0 +1,56 @@
+"""Serialization helpers: JSON-safe coercion and file writing.
+
+Span attributes and metric values routinely carry numpy scalars and
+arrays; :func:`jsonable` converts them (and other awkward types) into
+plain python so ``json.dumps`` always succeeds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+import numpy as np
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively coerce ``value`` into JSON-serializable python.
+
+    numpy scalars become python scalars, arrays become lists, sets and
+    tuples become lists, dataclass-free objects fall back to ``repr``.
+    Non-finite floats become None (JSON has no NaN/inf).
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if np.isfinite(value) else None
+    if isinstance(value, np.generic):
+        return jsonable(value.item())
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    return repr(value)
+
+
+def dumps(obj: Any, indent: int = 2) -> str:
+    """JSON text of ``obj`` after :func:`jsonable` coercion."""
+    return json.dumps(jsonable(obj), indent=indent, sort_keys=False)
+
+
+def write_json(path: str, obj: Any) -> str:
+    """Write ``obj`` as JSON to ``path`` (parents created); returns path."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps(obj))
+        fh.write("\n")
+    return path
+
+
+def read_json(path: str) -> Any:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,264 @@
+"""In-process metrics: counters, gauges, histograms, timers.
+
+Zero-dependency aggregation designed for the simulation pipeline: a
+metric is a named slot in a :class:`MetricsRegistry`; histograms keep
+streaming aggregates (count/sum/min/max) plus a bounded sample buffer
+so snapshots can report percentiles without unbounded memory.
+
+Naming convention (see ``docs/observability.md``): dot-separated,
+``<subsystem>.<stage>.<quantity>`` — e.g. ``uplink.mrc.weight``,
+``mac.airtime_s``. Unit suffixes (``_s``, ``_db``, ``_m``) are part of
+the name.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Bound on stored histogram samples; aggregates keep counting past it.
+MAX_SAMPLES = 2048
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only go up; use a gauge")
+        self.value += amount
+
+    def summary(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-written value (plus how many times it was written)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "value", "writes")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+        self.writes = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.writes += 1
+
+    def summary(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self.value, "writes": self.writes}
+
+
+class Histogram:
+    """Streaming distribution aggregate with a bounded sample buffer."""
+
+    kind = "histogram"
+
+    __slots__ = ("name", "count", "total", "min", "max", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        if len(self.samples) < MAX_SAMPLES:
+            self.samples.append(v)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.observe(v)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Percentile from the stored samples (None when empty).
+
+        Args:
+            p: percentile in [0, 100].
+        """
+        if not 0 <= p <= 100:
+            raise ConfigurationError("percentile must be in [0, 100]")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        idx = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def summary(self) -> Dict[str, object]:
+        if self.count == 0:
+            return {"type": self.kind, "count": 0}
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class Timer(Histogram):
+    """Histogram of elapsed wall-clock seconds with a timing helper."""
+
+    kind = "timer"
+
+    __slots__ = ()
+
+    def time(self) -> "_TimerContext":
+        """Context manager recording the block's duration in seconds."""
+        return _TimerContext(self)
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._timer.observe(time.perf_counter() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """Named metrics with typed accessors and snapshot export.
+
+    Accessors create the metric on first use; requesting an existing
+    name as a different type raises :class:`ConfigurationError` (a
+    nearly-always-a-bug situation worth failing loudly on).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            if not name:
+                raise ConfigurationError("metric name must be non-empty")
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls) or metric.kind != cls.kind:
+            raise ConfigurationError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        # A Timer is-a Histogram; keep the kinds distinct.
+        metric = self._metrics.get(name)
+        if isinstance(metric, Timer):
+            raise ConfigurationError(f"metric {name!r} is a timer, not a histogram")
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All metrics as ``{name: summary}``, sorted by name."""
+        return {name: self._metrics[name].summary() for name in self.names()}
+
+    def to_line_protocol(self) -> str:
+        """One line per metric: ``<name> <field>=<value> ...``.
+
+        A minimal influx-style text form for scraping/diffing.
+        """
+        lines = []
+        for name, summary in self.snapshot().items():
+            fields = ",".join(
+                f"{k}={v}" for k, v in summary.items() if v is not None
+            )
+            lines.append(f"{name} {fields}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+
+class NullMetric:
+    """No-op stand-in returned while metrics are disabled.
+
+    Implements the union of the metric write APIs so instrumentation
+    call sites never branch on type.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        pass
+
+    def time(self) -> "_NullTimerContext":
+        return _NULL_TIMER_CONTEXT
+
+
+class _NullTimerContext:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimerContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: Shared no-op instances (one allocation for the process lifetime).
+NULL_METRIC = NullMetric()
+_NULL_TIMER_CONTEXT = _NullTimerContext()

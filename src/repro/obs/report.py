@@ -1,0 +1,111 @@
+"""Human-readable rendering of observability data.
+
+Used by ``python -m repro obs-report`` and the ``--trace`` CLI flag:
+turns a run manifest (or the live tracer/registry) into the same
+ASCII-table style the experiment commands print.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "open"
+    if value >= 1.0:
+        return f"{value:.2f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f} ms"
+    return f"{value * 1e6:.1f} us"
+
+
+def _fmt_attr(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, list):
+        if len(value) > 8:
+            head = ", ".join(_fmt_attr(v) for v in value[:8])
+            return f"[{head}, ... ({len(value)} items)]"
+        return "[" + ", ".join(_fmt_attr(v) for v in value) + "]"
+    return str(value)
+
+
+def render_span_tree(spans: Sequence[Dict[str, Any]], max_attrs: int = 6) -> str:
+    """Indented tree of span dicts (name, duration, key attributes)."""
+    lines: List[str] = []
+
+    def visit(span: Dict[str, Any], depth: int) -> None:
+        indent = "  " * depth
+        dur = _fmt_seconds(span.get("duration_s"))
+        line = f"{indent}{span.get('name', '?')}  [{dur}]"
+        if span.get("error"):
+            line += f"  !{span['error']}"
+        attrs = span.get("attributes") or {}
+        if attrs:
+            shown = list(attrs.items())[:max_attrs]
+            rendered = ", ".join(f"{k}={_fmt_attr(v)}" for k, v in shown)
+            if len(attrs) > max_attrs:
+                rendered += f", ... (+{len(attrs) - max_attrs})"
+            line += f"  {{{rendered}}}"
+        lines.append(line)
+        for child in span.get("children") or []:
+            visit(child, depth + 1)
+
+    for root in spans:
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def render_metrics(metrics: Dict[str, Dict[str, Any]]) -> str:
+    """Metric snapshot as a table (one row per metric)."""
+    if not metrics:
+        return "(no metrics recorded)"
+    rows = []
+    for name in sorted(metrics):
+        summary = dict(metrics[name])
+        kind = summary.pop("type", "?")
+        if kind in ("counter", "gauge"):
+            detail = ""
+            value = summary.get("value")
+        else:
+            value = summary.get("mean")
+            parts = []
+            for key in ("count", "min", "max", "p95"):
+                if summary.get(key) is not None:
+                    parts.append(f"{key}={_fmt_attr(summary[key])}")
+            detail = " ".join(parts)
+        rows.append([name, kind, "" if value is None else value, detail])
+    return format_table(["metric", "type", "value", "detail"], rows)
+
+
+def render_manifest(manifest: Dict[str, Any]) -> str:
+    """Full report for a manifest dict: header, metrics, span tree."""
+    header_rows = [
+        ["run", manifest.get("name", "?")],
+        ["created", manifest.get("created_utc", "?")],
+        ["seed", manifest.get("seed")],
+        ["git sha", manifest.get("git_sha")],
+        ["version", manifest.get("version")],
+    ]
+    for key, value in (manifest.get("config") or {}).items():
+        header_rows.append([f"config.{key}", value])
+    for key, value in (manifest.get("results") or {}).items():
+        header_rows.append([f"result.{key}", value])
+    sections = [format_table(["field", "value"], header_rows, title="run manifest")]
+    params = manifest.get("params") or {}
+    if params:
+        sections.append(
+            format_table(
+                ["parameter", "value"],
+                [[k, v] for k, v in params.items()],
+                title="calibrated parameters",
+            )
+        )
+    sections.append("metrics\n" + render_metrics(manifest.get("metrics") or {}))
+    spans = manifest.get("spans") or []
+    if spans:
+        sections.append("trace\n" + render_span_tree(spans))
+    return "\n\n".join(sections)

@@ -1,0 +1,187 @@
+"""Trace spans: timed, attributed, hierarchical execution records.
+
+The decode pipeline is a tree of stages (a BER run contains trials,
+a trial contains conditioning / detection / combining / slicing), and
+diagnosing a bad BER point means knowing which stage went weird and
+how long it took. A :class:`Span` records wall-time and structured
+attributes for one stage; nesting follows the call structure via a
+context variable.
+
+Usage — context manager with attributes, or decorator::
+
+    with span("uplink.decode", distance_m=d) as sp:
+        ...
+        if sp is not None:
+            sp.set(selected=list(good))
+
+    @span("uplink.trial")
+    def run_trial(...): ...
+
+When tracing is disabled (the default) ``span(...)`` yields ``None``
+and costs one attribute lookup plus a boolean check.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import state
+
+#: Hard cap on recorded spans per tracer; past it spans are counted but
+#: not stored (keeps week-long sims from exhausting memory).
+MAX_SPANS = 100_000
+
+_current: contextvars.ContextVar[Optional["Span"]] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class Span:
+    """One timed pipeline stage.
+
+    Attributes:
+        name: dotted stage name (``uplink.decode``).
+        attributes: structured key/value diagnostics.
+        start_s / end_s: ``perf_counter`` bounds (``end_s`` None while
+            open).
+        children: nested spans, in start order.
+        error: exception class name if the stage raised.
+    """
+
+    __slots__ = ("name", "attributes", "start_s", "end_s", "children", "error")
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.start_s = time.perf_counter()
+        self.end_s: Optional[float] = None
+        self.children: List["Span"] = []
+        self.error: Optional[str] = None
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.end_s is None:
+            return None
+        return self.end_s - self.start_s
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach diagnostics to the span; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (numpy values coerced)."""
+        from repro.obs.export import jsonable
+
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "attributes": jsonable(self.attributes),
+            "error": self.error,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class Tracer:
+    """Collects finished span trees for export and reporting."""
+
+    def __init__(self, max_spans: int = MAX_SPANS) -> None:
+        self.max_spans = max_spans
+        self.roots: List[Span] = []
+        self.started = 0
+        self.dropped = 0
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self.started = 0
+        self.dropped = 0
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [root.to_dict() for root in self.roots]
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-name rollup ``{name: {count, total_s, max_s}}``.
+
+        The compact form benchmarks persist: stable-size regardless of
+        how many spans a figure produced.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        def visit(span: Span) -> None:
+            entry = out.setdefault(
+                span.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            entry["count"] += 1
+            d = span.duration_s or 0.0
+            entry["total_s"] += d
+            if d > entry["max_s"]:
+                entry["max_s"] = d
+            for child in span.children:
+                visit(child)
+        for root in self.roots:
+            visit(root)
+        return out
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span, or None (also None when disabled)."""
+    return _current.get()
+
+
+class span:
+    """Context manager / decorator starting a :class:`Span`.
+
+    As a context manager it yields the live :class:`Span` (or ``None``
+    when tracing is disabled — callers attaching attributes must
+    guard). As a decorator it wraps the function body in a span named
+    after the constructor argument.
+    """
+
+    __slots__ = ("name", "attrs", "_span", "_token")
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._span: Optional[Span] = None
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Optional[Span]:
+        if not state.tracing_enabled():
+            return None
+        tracer = state.get_tracer()
+        tracer.started += 1
+        parent = _current.get()
+        if parent is None and len(tracer.roots) >= tracer.max_spans:
+            tracer.dropped += 1
+            return None
+        sp = Span(self.name, self.attrs)
+        if parent is None:
+            tracer.roots.append(sp)
+        else:
+            parent.children.append(sp)
+        self._token = _current.set(sp)
+        self._span = sp
+        return sp
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        sp = self._span
+        if sp is None:
+            return False
+        sp.end_s = time.perf_counter()
+        if exc_type is not None:
+            sp.error = exc_type.__name__
+        if self._token is not None:
+            _current.reset(self._token)
+        self._span = None
+        self._token = None
+        return False
+
+    def __call__(self, fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with span(self.name, **self.attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper

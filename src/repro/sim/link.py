@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.ber import DownlinkDetectionModel
 from repro.core.barker import barker_bits
 from repro.core.coding import make_code_pair
@@ -35,6 +36,7 @@ from repro.sim import calibration
 from repro.sim.calibration import CalibratedParameters, DEFAULTS
 from repro.measurement import MeasurementStream
 from repro.sim.metrics import BerResult, bit_errors
+from repro.sim.seeding import DEFAULT_SEED, resolve_rng
 from repro.tag.modulator import TagModulator, random_payload
 from repro.tag.receiver_circuit import ReceiverCircuit
 
@@ -58,13 +60,14 @@ def helper_packet_times(
         traffic: "cbr" (fixed interval with 10% jitter — the paper's
             injected traffic) or "poisson" (ambient-like arrivals).
         start_s: first-packet offset.
-        rng: random source.
+        rng: random source (a fixed default seed when omitted — see
+            :mod:`repro.sim.seeding`).
     """
     if rate_pps <= 0:
         raise ConfigurationError("rate_pps must be positive")
     if duration_s <= 0:
         raise ConfigurationError("duration_s must be positive")
-    rng = rng or np.random.default_rng()
+    rng, _ = resolve_rng(rng)
     if traffic == "cbr":
         interval = 1.0 / rate_pps
         n = int(duration_s / interval)
@@ -96,7 +99,7 @@ def simulate_uplink_stream(
     Returns:
         ``(stream, tx_start_time_s)``.
     """
-    rng = rng or np.random.default_rng()
+    rng, _ = resolve_rng(rng)
     times = np.asarray(packet_times_s, dtype=float)
     if len(times) == 0:
         raise ConfigurationError("packet_times_s must be non-empty")
@@ -152,25 +155,36 @@ def run_uplink_trial(
             controls the tag) instead of searching for the preamble;
             the paper computes BER on synchronized comparisons.
     """
-    rng = rng or np.random.default_rng()
-    bit_duration = 1.0 / bit_rate_bps
-    payload = random_payload(num_payload_bits, rng)
-    bits = barker_bits() + payload
-    span = len(bits) * bit_duration + 2 * EDGE_PADDING_S + 0.1
-    pkt_rate = packets_per_bit * bit_rate_bps
-    times = helper_packet_times(pkt_rate, span, traffic=traffic, rng=rng)
-    stream, tx_start = simulate_uplink_stream(
-        bits, bit_duration, times, tag_to_reader_m, params=params, rng=rng
-    )
-    decoder = decoder or UplinkDecoder()
-    result = decoder.decode_bits(
-        stream,
-        num_bits=num_payload_bits,
-        bit_duration_s=bit_duration,
+    rng, _ = resolve_rng(rng)
+    with obs.span(
+        "uplink.trial",
+        distance_m=tag_to_reader_m,
+        packets_per_bit=packets_per_bit,
         mode=mode,
-        start_time_s=tx_start if known_timing else None,
-    )
-    errors = bit_errors(payload, result.bits)
+    ) as sp:
+        bit_duration = 1.0 / bit_rate_bps
+        payload = random_payload(num_payload_bits, rng)
+        bits = barker_bits() + payload
+        span_s = len(bits) * bit_duration + 2 * EDGE_PADDING_S + 0.1
+        pkt_rate = packets_per_bit * bit_rate_bps
+        with obs.span("uplink.synthesize"):
+            times = helper_packet_times(pkt_rate, span_s, traffic=traffic, rng=rng)
+            stream, tx_start = simulate_uplink_stream(
+                bits, bit_duration, times, tag_to_reader_m, params=params, rng=rng
+            )
+        decoder = decoder or UplinkDecoder()
+        result = decoder.decode_bits(
+            stream,
+            num_bits=num_payload_bits,
+            bit_duration_s=bit_duration,
+            mode=mode,
+            start_time_s=tx_start if known_timing else None,
+        )
+        errors = bit_errors(payload, result.bits)
+        if sp is not None:
+            sp.set(errors=errors, packets=len(stream))
+        obs.counter("uplink.bits.total").inc(num_payload_bits)
+        obs.counter("uplink.bits.errors").inc(errors)
     return UplinkTrial(
         sent_bits=np.asarray(payload), decoded_bits=result.bits, errors=errors
     )
@@ -194,23 +208,47 @@ def run_uplink_ber(
     """
     if repeats < 1:
         raise ConfigurationError("repeats must be >= 1")
-    rng = np.random.default_rng(seed)
+    rng, effective_seed = resolve_rng(None, seed)
     errors = 0
     total = 0
-    for _ in range(repeats):
-        trial = run_uplink_trial(
-            tag_to_reader_m,
-            packets_per_bit,
-            mode=mode,
-            num_payload_bits=num_payload_bits,
-            bit_rate_bps=bit_rate_bps,
-            traffic=traffic,
-            params=params,
-            rng=rng,
-        )
-        errors += trial.errors
-        total += num_payload_bits
-    return BerResult(errors=errors, total_bits=total, runs=repeats)
+    with obs.span(
+        "uplink.run_ber",
+        distance_m=tag_to_reader_m,
+        packets_per_bit=packets_per_bit,
+        mode=mode,
+        repeats=repeats,
+        seed=effective_seed,
+    ):
+        for _ in range(repeats):
+            trial = run_uplink_trial(
+                tag_to_reader_m,
+                packets_per_bit,
+                mode=mode,
+                num_payload_bits=num_payload_bits,
+                bit_rate_bps=bit_rate_bps,
+                traffic=traffic,
+                params=params,
+                rng=rng,
+            )
+            errors += trial.errors
+            total += num_payload_bits
+    result = BerResult(errors=errors, total_bits=total, runs=repeats)
+    obs.record_run(
+        "uplink_ber",
+        seed=effective_seed,
+        params=params,
+        config={
+            "tag_to_reader_m": tag_to_reader_m,
+            "packets_per_bit": packets_per_bit,
+            "mode": mode,
+            "repeats": repeats,
+            "num_payload_bits": num_payload_bits,
+            "bit_rate_bps": bit_rate_bps,
+            "traffic": traffic,
+        },
+        results=result.to_dict(),
+    )
+    return result
 
 
 def run_correlation_trial(
@@ -221,6 +259,7 @@ def run_correlation_trial(
     chip_rate_cps: float = 100.0,
     params: CalibratedParameters = DEFAULTS,
     rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
 ) -> UplinkTrial:
     """Long-range coded uplink (§3.4): send + correlation-decode.
 
@@ -229,27 +268,53 @@ def run_correlation_trial(
         num_bits: message bits (each expanded to L chips).
         packets_per_chip: helper packets per chip interval.
         chip_rate_cps: chip rate (the tag's raw switching rate).
+        seed: RNG seed used when ``rng`` is not supplied.
     """
-    rng = rng or np.random.default_rng()
-    pair = make_code_pair(code_length)
-    payload = random_payload(num_bits, rng)
-    chips = pair.encode(payload)
-    states = [1 if c > 0 else 0 for c in chips]
-    chip_duration = 1.0 / chip_rate_cps
-    span = len(states) * chip_duration + 2 * EDGE_PADDING_S + 0.1
-    pkt_rate = packets_per_chip * chip_rate_cps
-    times = helper_packet_times(pkt_rate, span, traffic="cbr", rng=rng)
-    stream, tx_start = simulate_uplink_stream(
-        states, chip_duration, times, tag_to_reader_m, params=params, rng=rng
-    )
-    decoder = CorrelationDecoder(pair)
-    result = decoder.decode_bits(
-        stream,
+    rng, effective_seed = resolve_rng(rng, seed)
+    with obs.span(
+        "correlation.trial",
+        distance_m=tag_to_reader_m,
+        code_length=code_length,
         num_bits=num_bits,
-        chip_duration_s=chip_duration,
-        start_time_s=tx_start,
+        seed=effective_seed,
+    ) as sp:
+        pair = make_code_pair(code_length)
+        payload = random_payload(num_bits, rng)
+        chips = pair.encode(payload)
+        states = [1 if c > 0 else 0 for c in chips]
+        chip_duration = 1.0 / chip_rate_cps
+        span_s = len(states) * chip_duration + 2 * EDGE_PADDING_S + 0.1
+        pkt_rate = packets_per_chip * chip_rate_cps
+        with obs.span("uplink.synthesize"):
+            times = helper_packet_times(pkt_rate, span_s, traffic="cbr", rng=rng)
+            stream, tx_start = simulate_uplink_stream(
+                states, chip_duration, times, tag_to_reader_m, params=params, rng=rng
+            )
+        decoder = CorrelationDecoder(pair)
+        result = decoder.decode_bits(
+            stream,
+            num_bits=num_bits,
+            chip_duration_s=chip_duration,
+            start_time_s=tx_start,
+        )
+        errors = bit_errors(payload, result.bits)
+        if sp is not None:
+            sp.set(errors=errors)
+        obs.counter("correlation.bits.total").inc(num_bits)
+        obs.counter("correlation.bits.errors").inc(errors)
+    obs.record_run(
+        "correlation_trial",
+        seed=effective_seed,
+        params=params,
+        config={
+            "tag_to_reader_m": tag_to_reader_m,
+            "code_length": code_length,
+            "num_bits": num_bits,
+            "packets_per_chip": packets_per_chip,
+            "chip_rate_cps": chip_rate_cps,
+        },
+        results={"errors": errors, "total_bits": num_bits},
     )
-    errors = bit_errors(payload, result.bits)
     return UplinkTrial(
         sent_bits=np.asarray(payload), decoded_bits=result.bits, errors=errors
     )
@@ -284,7 +349,7 @@ def simulate_multi_helper_stream(
     """
     if not helpers:
         raise ConfigurationError("helpers must be non-empty")
-    rng = rng or np.random.default_rng()
+    rng, _ = resolve_rng(rng)
     modulator = TagModulator(bit_duration_s=bit_duration_s)
     span = len(bits) * bit_duration_s + 2 * EDGE_PADDING_S + 0.1
     tx_start = EDGE_PADDING_S
@@ -333,18 +398,53 @@ def run_downlink_ber(
     """
     if num_bits < 1:
         raise ConfigurationError("num_bits must be >= 1")
-    rng = np.random.default_rng(seed)
+    rng, effective_seed = resolve_rng(None, seed)
     model = model or DownlinkDetectionModel(
         scale_m=params.downlink_range_scale_m, shape=params.downlink_range_shape
     )
-    miss = model.miss_probability(distance_m, bit_duration_s)
-    false_one = model.false_one_probability
-    ones = rng.random(num_bits) < 0.5
-    n_ones = int(ones.sum())
-    n_zeros = num_bits - n_ones
-    errors = int((rng.random(n_ones) < miss).sum())
-    errors += int((rng.random(n_zeros) < false_one).sum())
-    return BerResult(errors=errors, total_bits=num_bits, runs=1)
+    with obs.span(
+        "downlink.run_ber",
+        distance_m=distance_m,
+        bit_duration_s=bit_duration_s,
+        num_bits=num_bits,
+        seed=effective_seed,
+    ) as sp:
+        miss = model.miss_probability(distance_m, bit_duration_s)
+        false_one = model.false_one_probability
+        ones = rng.random(num_bits) < 0.5
+        n_ones = int(ones.sum())
+        n_zeros = num_bits - n_ones
+        missed_ones = int((rng.random(n_ones) < miss).sum())
+        false_positives = int((rng.random(n_zeros) < false_one).sum())
+        errors = missed_ones + false_positives
+        # Envelope-detector operating point + error split: the two
+        # failure modes (missed packet peaks vs spurious ones) degrade
+        # very differently with distance, so report them separately.
+        obs.gauge("downlink.detector.miss_probability").set(miss)
+        obs.gauge("downlink.detector.false_one_probability").set(false_one)
+        obs.counter("downlink.errors.missed_ones").inc(missed_ones)
+        obs.counter("downlink.errors.false_positives").inc(false_positives)
+        obs.counter("downlink.bits.total").inc(num_bits)
+        if sp is not None:
+            sp.set(
+                miss_probability=miss,
+                false_one_probability=false_one,
+                missed_ones=missed_ones,
+                false_positives=false_positives,
+            )
+    result = BerResult(errors=errors, total_bits=num_bits, runs=1)
+    obs.record_run(
+        "downlink_ber",
+        seed=effective_seed,
+        params=params,
+        config={
+            "distance_m": distance_m,
+            "bit_duration_s": bit_duration_s,
+            "num_bits": num_bits,
+        },
+        results=result.to_dict(),
+    )
+    return result
 
 
 def run_downlink_circuit_trial(
@@ -363,7 +463,7 @@ def run_downlink_circuit_trial(
         ``(sent_bits, received_bits)`` over the full message (preamble
         + payload + CRC).
     """
-    rng = rng or np.random.default_rng()
+    rng, _ = resolve_rng(rng)
     payload = random_payload(num_payload_bits, rng)
     message = DownlinkMessage(payload_bits=tuple(payload))
     encoder = DownlinkEncoder(bit_duration_s=bit_duration_s)
@@ -399,7 +499,9 @@ class SimulatedDownlinkTransport(DownlinkTransport):
     distance_m: float
     bit_duration_s: float = 50e-6
     model: DownlinkDetectionModel = field(default_factory=DownlinkDetectionModel)
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(DEFAULT_SEED)
+    )
     sends: int = 0
 
     def send(self, message: DownlinkMessage) -> bool:
@@ -421,7 +523,9 @@ class SimulatedUplinkTransport(UplinkTransport):
     packets_per_bit: float = 10.0
     params: CalibratedParameters = DEFAULTS
     mode: str = "csi"
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(DEFAULT_SEED)
+    )
     #: Filled by the protocol harness before receive(): the frame the
     #: tag will transmit (the simulation needs to render its bits).
     pending_frame: Optional[UplinkFrame] = None

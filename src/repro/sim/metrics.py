@@ -76,6 +76,19 @@ class BerResult:
         half = (z / denom) * math.sqrt(p * (1 - p) / n + z**2 / (4 * n**2))
         return max(0.0, center - half), min(1.0, center + half)
 
+    def to_dict(self) -> "dict[str, object]":
+        """Machine-readable form (CLI ``--json`` and run manifests)."""
+        lo, hi = self.confidence_interval()
+        return {
+            "errors": self.errors,
+            "total_bits": self.total_bits,
+            "runs": self.runs,
+            "ber": self.ber,
+            "is_floor": self.is_floor,
+            "ci95_low": lo,
+            "ci95_high": hi,
+        }
+
 
 def packet_delivery_probability(successes: int, attempts: int) -> float:
     """Fraction of packets received correctly (Fig 14 metric)."""

@@ -1,0 +1,39 @@
+"""Deterministic RNG resolution for the simulation drivers.
+
+The link drivers historically fell back to ``np.random.default_rng()``
+(OS entropy) when no generator was supplied, which made un-seeded runs
+silently unreproducible — a BER point could not be re-run, and its run
+manifest could not name the seed that produced it. Every driver now
+resolves its generator through :func:`resolve_rng`, which falls back to
+a *fixed* default seed, and reports the effective seed so manifests can
+record it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Seed used when a driver is called with neither an rng nor a seed.
+DEFAULT_SEED = 2014
+
+
+def resolve_rng(
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> Tuple[np.random.Generator, Optional[int]]:
+    """A generator plus the seed it was (knowably) built from.
+
+    Precedence: an explicit ``rng`` wins (its seed is unknown, reported
+    as None); else ``seed``; else :data:`DEFAULT_SEED`.
+
+    Returns:
+        ``(generator, effective_seed)`` — ``effective_seed`` is what a
+        run manifest should record, and is None only when the caller
+        passed a live generator.
+    """
+    if rng is not None:
+        return rng, None
+    effective = DEFAULT_SEED if seed is None else int(seed)
+    return np.random.default_rng(effective), effective

@@ -1,0 +1,203 @@
+"""Integration: the instrumented pipeline emits its diagnostics.
+
+Covers the ISSUE acceptance path end to end: a driver run inside an
+obs session produces the expected per-stage metrics and span tree, the
+auto-written manifest reproduces the run's seed and calibration, and
+the CLI surfaces it all via --trace/--metrics-out/--json.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.sim.calibration import DEFAULTS
+from repro.sim.link import run_downlink_ber, run_uplink_ber
+from repro.sim.seeding import DEFAULT_SEED, resolve_rng
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+#: Expected uplink per-stage diagnostics (decoder internals).
+UPLINK_STAGE_METRICS = (
+    "uplink.bits.total",
+    "uplink.bits.errors",
+    "uplink.decodes",
+    "uplink.preamble.score",
+    "uplink.subchannel.correlation",
+    "uplink.mrc.weight",
+    "uplink.slicer.flips",
+    "uplink.slicer.margin",
+    "uplink.slicer.support",
+)
+
+
+def span_names(spans):
+    names = set()
+
+    def visit(node):
+        names.add(node["name"])
+        for child in node["children"]:
+            visit(child)
+
+    for root in spans:
+        visit(root)
+    return names
+
+
+class TestUplinkInstrumentation:
+    def test_run_uplink_ber_emits_stage_metrics_and_spans(self, tmp_path):
+        with obs.session(manifest_dir=str(tmp_path)) as (registry, tracer):
+            result = run_uplink_ber(0.3, 10.0, repeats=2, seed=3)
+            snapshot = registry.snapshot()
+            spans = tracer.to_dicts()
+
+        for name in UPLINK_STAGE_METRICS:
+            assert name in snapshot, f"missing metric {name}"
+        assert snapshot["uplink.bits.total"]["value"] == result.total_bits
+        assert snapshot["uplink.bits.errors"]["value"] == result.errors
+        assert snapshot["uplink.decodes"]["value"] == 2.0
+
+        assert span_names(spans) >= {
+            "uplink.run_ber",
+            "uplink.trial",
+            "uplink.synthesize",
+            "uplink.decode",
+            "uplink.decode.condition",
+            "uplink.decode.detect",
+            "uplink.decode.combine",
+            "uplink.decode.slice",
+        }
+
+        # The driver auto-wrote its manifest into the session dir.
+        manifest = obs.load_manifest(str(tmp_path / "uplink_ber.json"))
+        assert manifest.seed == 3
+        assert manifest.params["tag_coupling"] == DEFAULTS.tag_coupling
+        assert manifest.config["tag_to_reader_m"] == 0.3
+        assert manifest.results["ber"] == result.ber
+        assert "uplink.slicer.flips" in manifest.metrics
+
+    def test_combine_span_carries_decoder_diagnostics(self):
+        with obs.session() as (_, tracer):
+            run_uplink_ber(0.3, 10.0, repeats=1, seed=3)
+            spans = tracer.to_dicts()
+
+        def find(node, name):
+            if node["name"] == name:
+                return node
+            for child in node["children"]:
+                hit = find(child, name)
+                if hit is not None:
+                    return hit
+            return None
+
+        combine = find(spans[0], "uplink.decode.combine")
+        assert combine is not None
+        attrs = combine["attributes"]
+        assert len(attrs["selected_subchannels"]) == 10
+        assert len(attrs["correlation_scores"]) == 10
+        assert len(attrs["mrc_weights"]) == 10
+        sliced = find(spans[0], "uplink.decode.slice")
+        assert sliced["attributes"]["hysteresis_flips"] >= 0
+        assert "threshold_high" in sliced["attributes"]
+
+    def test_disabled_run_collects_nothing(self):
+        run_uplink_ber(0.3, 10.0, repeats=1, seed=3)
+        assert len(obs.get_registry()) == 0
+        assert obs.get_tracer().roots == []
+
+
+class TestDownlinkInstrumentation:
+    def test_detector_gauges_and_error_split(self):
+        with obs.session() as (registry, tracer):
+            result = run_downlink_ber(2.0, 50e-6, num_bits=5_000, seed=3)
+            snapshot = registry.snapshot()
+        assert 0 <= snapshot["downlink.detector.miss_probability"]["value"] <= 1
+        assert 0 <= snapshot["downlink.detector.false_one_probability"]["value"] <= 1
+        total_errors = (
+            snapshot["downlink.errors.missed_ones"]["value"]
+            + snapshot["downlink.errors.false_positives"]["value"]
+        )
+        assert total_errors == result.errors
+        assert snapshot["downlink.bits.total"]["value"] == 5_000
+
+
+class TestDeterminism:
+    def test_default_seed_makes_unseeded_runs_reproducible(self):
+        a = run_uplink_ber(0.3, 10.0, repeats=1)
+        b = run_uplink_ber(0.3, 10.0, repeats=1)
+        assert a.errors == b.errors
+        assert a.ber == b.ber
+
+    def test_resolve_rng_contract(self, rng):
+        resolved, seed = resolve_rng(rng)
+        assert resolved is rng and seed is None
+        _, seed = resolve_rng(None, 7)
+        assert seed == 7
+        _, seed = resolve_rng(None, None)
+        assert seed == DEFAULT_SEED
+
+
+class TestCliSurface:
+    def test_trace_and_metrics_out(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        rc = main([
+            "uplink-ber", "--distance", "0.4", "--pkts-per-bit", "10",
+            "--repeats", "1", "--trace", "--metrics-out", str(out),
+        ])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "uplink BER" in stdout
+        assert "uplink.decode" in stdout  # span tree printed
+
+        manifest = json.loads(out.read_text())
+        assert manifest["seed"] == 0
+        assert manifest["params"]["tag_coupling"] == DEFAULTS.tag_coupling
+        assert "uplink.slicer.flips" in manifest["metrics"]
+        assert span_names(manifest["spans"]) >= {
+            "uplink.run_ber", "uplink.decode", "uplink.decode.slice",
+        }
+        assert manifest["config"]["distance"] == 0.4
+        assert manifest["results"]["ber"] == pytest.approx(
+            manifest["results"]["ber"]
+        )
+
+    def test_json_output_parses(self, capsys):
+        rc = main([
+            "uplink-ber", "--distance", "0.3", "--pkts-per-bit", "10",
+            "--repeats", "1", "--json",
+        ])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["command"] == "uplink-ber"
+        assert data["total_bits"] == 90
+        assert 0 <= data["ber"] <= 1
+
+    def test_obs_report_renders_manifest(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        main([
+            "downlink-ber", "--distance", "2.0", "--bits", "2000",
+            "--metrics-out", str(out),
+        ])
+        capsys.readouterr()
+        rc = main(["obs-report", str(out)])
+        assert rc == 0
+        report = capsys.readouterr().out
+        assert "run manifest" in report
+        assert "downlink-ber" in report
+        assert "downlink.detector.miss_probability" in report
+
+    def test_cli_leaves_obs_disabled(self, tmp_path, capsys):
+        main([
+            "uplink-ber", "--distance", "0.3", "--pkts-per-bit", "10",
+            "--repeats", "1", "--metrics-out", str(tmp_path / "m.json"),
+        ])
+        capsys.readouterr()
+        assert not obs.enabled()

@@ -1,0 +1,255 @@
+"""Unit tests for the obs metrics registry and trace spans."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    MAX_SAMPLES,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+)
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Every test starts and ends with instrumentation disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Counter("x").inc(-1)
+
+    def test_summary(self):
+        c = Counter("x")
+        c.inc(4)
+        assert c.summary() == {"type": "counter", "value": 4.0}
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        r = MetricsRegistry()
+        g = r.gauge("g")
+        g.set(1.0)
+        g.set(7.5)
+        assert g.value == 7.5
+        assert g.writes == 2
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        h = Histogram("h")
+        h.observe_many([1.0, 2.0, 3.0, 4.0])
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.mean == 2.5
+
+    def test_percentiles(self):
+        h = Histogram("h")
+        h.observe_many(range(101))
+        assert h.percentile(0) == 0
+        assert h.percentile(50) == 50
+        assert h.percentile(100) == 100
+        with pytest.raises(ConfigurationError):
+            h.percentile(101)
+
+    def test_empty_summary(self):
+        assert Histogram("h").summary() == {"type": "histogram", "count": 0}
+        assert Histogram("h").mean is None
+        assert Histogram("h").percentile(50) is None
+
+    def test_sample_buffer_is_bounded_but_aggregates_continue(self):
+        h = Histogram("h")
+        h.observe_many([1.0] * (MAX_SAMPLES + 100))
+        h.observe(99.0)
+        assert len(h.samples) == MAX_SAMPLES
+        assert h.count == MAX_SAMPLES + 101
+        assert h.max == 99.0
+
+    def test_summary_has_p50_p95(self):
+        h = Histogram("h")
+        h.observe_many(range(100))
+        s = h.summary()
+        assert s["p50"] == 50
+        assert s["p95"] == 94
+
+
+class TestTimer:
+    def test_time_context_records_seconds(self):
+        r = MetricsRegistry()
+        t = r.timer("t")
+        with t.time():
+            pass
+        assert t.count == 1
+        assert t.samples[0] >= 0.0
+
+
+class TestRegistry:
+    def test_same_name_same_metric(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(ConfigurationError):
+            r.gauge("a")
+
+    def test_timer_is_not_a_histogram(self):
+        r = MetricsRegistry()
+        r.timer("t")
+        with pytest.raises(ConfigurationError):
+            r.histogram("t")
+        r.histogram("h")
+        with pytest.raises(ConfigurationError):
+            r.timer("h")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("")
+
+    def test_snapshot_sorted_and_complete(self):
+        r = MetricsRegistry()
+        r.counter("b.count").inc(2)
+        r.gauge("a.level").set(1.5)
+        snap = r.snapshot()
+        assert list(snap) == ["a.level", "b.count"]
+        assert snap["b.count"]["value"] == 2.0
+
+    def test_line_protocol(self):
+        r = MetricsRegistry()
+        r.counter("uplink.bits").inc(5)
+        line = r.to_line_protocol()
+        assert line == "uplink.bits type=counter,value=5.0"
+
+    def test_reset(self):
+        r = MetricsRegistry()
+        r.counter("a").inc()
+        r.reset()
+        assert len(r) == 0
+
+
+class TestModuleHelpers:
+    def test_disabled_returns_null_metric(self):
+        assert obs.counter("anything") is NULL_METRIC
+        assert obs.gauge("anything") is NULL_METRIC
+        assert obs.histogram("anything") is NULL_METRIC
+        assert obs.timer("anything") is NULL_METRIC
+
+    def test_null_metric_accepts_all_writes(self):
+        NULL_METRIC.inc()
+        NULL_METRIC.set(3)
+        NULL_METRIC.observe(1.0)
+        NULL_METRIC.observe_many([1, 2])
+        with NULL_METRIC.time():
+            pass
+
+    def test_enabled_returns_live_metrics(self):
+        with obs.session() as (registry, _):
+            obs.counter("live").inc()
+            assert registry.counter("live").value == 1.0
+
+
+class TestSpans:
+    def test_disabled_span_yields_none_and_records_nothing(self):
+        with obs.span("stage") as sp:
+            assert sp is None
+        assert obs.current_span() is None
+
+    def test_nesting_and_attributes(self):
+        with obs.session(metrics=False) as (_, tracer):
+            with obs.span("outer", distance_m=0.4) as outer:
+                assert obs.current_span() is outer
+                with obs.span("inner") as inner:
+                    inner.set(errors=3)
+            assert obs.current_span() is None
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert root.attributes == {"distance_m": 0.4}
+        assert [c.name for c in root.children] == ["inner"]
+        assert root.children[0].attributes == {"errors": 3}
+        assert root.duration_s >= root.children[0].duration_s >= 0.0
+
+    def test_error_recorded(self):
+        with obs.session(metrics=False) as (_, tracer):
+            with pytest.raises(ValueError):
+                with obs.span("boom"):
+                    raise ValueError("nope")
+        assert tracer.roots[0].error == "ValueError"
+
+    def test_decorator(self):
+        @obs.span("decorated")
+        def work(x):
+            return x * 2
+
+        with obs.session(metrics=False) as (_, tracer):
+            assert work(21) == 42
+        assert tracer.roots[0].name == "decorated"
+
+    def test_aggregate(self):
+        with obs.session(metrics=False) as (_, tracer):
+            for _ in range(3):
+                with obs.span("a"):
+                    with obs.span("b"):
+                        pass
+        agg = tracer.aggregate()
+        assert agg["a"]["count"] == 3
+        assert agg["b"]["count"] == 3
+        assert agg["a"]["total_s"] >= agg["a"]["max_s"] > 0.0
+
+    def test_root_cap_drops_but_counts(self):
+        tracer = Tracer(max_spans=1)
+        obs.configure(tracing=True)
+        import repro.obs.state as state
+
+        saved = state._tracer
+        state._tracer = tracer
+        try:
+            with obs.span("first"):
+                pass
+            with obs.span("second") as sp:
+                assert sp is None
+        finally:
+            state._tracer = saved
+        assert len(tracer.roots) == 1
+        assert tracer.dropped == 1
+        assert tracer.started == 2
+
+
+class TestSession:
+    def test_restores_prior_state(self):
+        assert not obs.enabled()
+        with obs.session():
+            assert obs.metrics_enabled() and obs.tracing_enabled()
+            with obs.session(metrics=True, tracing=False, fresh=False):
+                assert obs.metrics_enabled() and not obs.tracing_enabled()
+            assert obs.tracing_enabled()
+        assert not obs.enabled()
+
+    def test_fresh_clears_previous_data(self):
+        with obs.session() as (registry, _):
+            obs.counter("stale").inc()
+        with obs.session() as (registry, _):
+            assert "stale" not in registry
+
+    def test_manifest_dir_scoped(self, tmp_path):
+        with obs.session(manifest_dir=str(tmp_path)):
+            assert obs.manifest_dir() == str(tmp_path)
+        assert obs.manifest_dir() is None
