@@ -16,18 +16,46 @@ Every experiment subcommand also accepts the observability flags::
     --trace                record + print the pipeline span tree
     --metrics-out PATH     write a run manifest (seed, calibrated
                            params, git SHA, metrics, spans) to PATH
-    --obs-dir DIR          auto-write per-driver manifests under DIR
+    --obs-dir DIR          auto-write per-driver run manifests under DIR
+
+and a fault-injection spec (see :mod:`repro.faults`)::
+
+    --faults "outage:duty=0.1,burst=0.1;nan:prob=0.01"
+
+Exit codes: 0 success, 2 decode/link failure, 3 configuration error
+(bad arguments, malformed --faults spec).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro import __version__, obs
 from repro.analysis.ber import CorrelationRangeModel, DownlinkDetectionModel
 from repro.analysis.report import format_table
+from repro.errors import ConfigurationError, ReproError
+
+#: Exit codes distinguishing why a run died (satellite: scripting needs
+#: to tell "the link failed under these faults" from "bad invocation").
+EXIT_OK = 0
+EXIT_DECODE_FAILURE = 2
+EXIT_CONFIG_ERROR = 3
+
+#: Subcommands whose drivers actually consume a fault plan.
+FAULT_AWARE_COMMANDS = frozenset({"uplink-ber", "downlink-ber", "correlation", "arq"})
+
+
+def _resolve_faults(args: argparse.Namespace):
+    """Parse ``--faults`` into a plan (None when the flag is unused)."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from repro.faults import parse_fault_spec
+
+    return parse_fault_spec(spec, base_seed=getattr(args, "seed", None))
 
 
 @dataclass
@@ -54,12 +82,14 @@ class CommandOutput:
 def _cmd_uplink_ber(args: argparse.Namespace) -> CommandOutput:
     from repro.sim.link import run_uplink_ber
 
+    faults = _resolve_faults(args)
     result = run_uplink_ber(
         args.distance,
         args.pkts_per_bit,
         mode=args.mode,
         repeats=args.repeats,
         seed=args.seed,
+        faults=faults,
     )
     lo, hi = result.confidence_interval()
     rows = [
@@ -72,15 +102,58 @@ def _cmd_uplink_ber(args: argparse.Namespace) -> CommandOutput:
         ["95% CI", f"[{lo:.2e}, {hi:.2e}]"],
         ["note", "floor value (no errors seen)" if result.is_floor else ""],
     ]
+    if faults is not None:
+        rows.insert(3, ["faults", args.faults])
     data = {
         "distance_m": args.distance,
         "packets_per_bit": args.pkts_per_bit,
         "mode": args.mode,
         "seed": args.seed,
+        "faults": faults.describe() if faults is not None else None,
         **result.to_dict(),
     }
     return CommandOutput(
         title="uplink BER (Fig 10 style measurement)", rows=rows, data=data
+    )
+
+
+def _cmd_arq(args: argparse.Namespace) -> CommandOutput:
+    from repro.core.protocol import BackoffPolicy
+    from repro.sim.link import run_arq_uplink
+
+    faults = _resolve_faults(args)
+    result = run_arq_uplink(
+        args.distance,
+        num_frames=args.frames,
+        payload_len=args.payload,
+        bit_rate_bps=args.rate,
+        packets_per_bit=args.pkts_per_bit,
+        max_attempts=args.max_attempts,
+        backoff=BackoffPolicy(initial_s=args.backoff_initial),
+        faults=faults,
+        degrade_after=args.degrade_after,
+        seed=args.seed,
+    )
+    rows = [
+        ["tag-reader distance", f"{args.distance} m"],
+        ["frames", result.frames],
+        ["delivered", result.delivered],
+        ["delivery ratio", f"{result.delivery_ratio:.4f}"],
+        ["payload-correct", result.correct],
+        ["mean attempts/frame", f"{result.mean_attempts:.2f}"],
+        ["degraded frames", result.degraded_frames],
+        ["session span", f"{result.elapsed_s:.1f} s (virtual)"],
+    ]
+    if faults is not None:
+        rows.insert(1, ["faults", args.faults])
+    data = {
+        "distance_m": args.distance,
+        "seed": args.seed,
+        "faults": faults.describe() if faults is not None else None,
+        **result.to_dict(),
+    }
+    return CommandOutput(
+        title="resilient ARQ uplink session", rows=rows, data=data
     )
 
 
@@ -90,7 +163,8 @@ def _cmd_downlink_ber(args: argparse.Namespace) -> CommandOutput:
 
     bit_s = bit_duration_for_rate(args.rate)
     result = run_downlink_ber(
-        args.distance, bit_s, num_bits=args.bits, seed=args.seed
+        args.distance, bit_s, num_bits=args.bits, seed=args.seed,
+        faults=_resolve_faults(args),
     )
     model = DownlinkDetectionModel()
     range_m = model.range_at_ber(bit_s)
@@ -139,6 +213,7 @@ def _cmd_correlation(args: argparse.Namespace) -> CommandOutput:
             num_bits=16,
             packets_per_chip=5.0,
             seed=args.seed,
+            faults=_resolve_faults(args),
         )
         rows.append(["simulated errors", f"{trial.errors}/16"])
         data["simulated_errors"] = trial.errors
@@ -263,6 +338,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a run manifest (JSON) to PATH")
     common.add_argument("--obs-dir", metavar="DIR", default=None,
                         help="auto-write per-driver run manifests under DIR")
+    common.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="fault-injection spec, e.g. "
+             "'outage:duty=0.1,burst=0.1;nan:prob=0.01' "
+             "(see repro.faults; ignored by commands without a link)")
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -274,6 +354,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_uplink_ber)
+
+    p = sub.add_parser("arq", parents=[common],
+                       help="resilient ARQ uplink session (retries + backoff)")
+    p.add_argument("--distance", type=float, default=0.3, help="tag-reader m")
+    p.add_argument("--frames", type=int, default=20)
+    p.add_argument("--payload", type=int, default=16, help="payload bits/frame")
+    p.add_argument("--rate", type=float, default=100.0, help="uplink bps")
+    p.add_argument("--pkts-per-bit", type=float, default=30.0)
+    p.add_argument("--max-attempts", type=int, default=5)
+    p.add_argument("--backoff-initial", type=float, default=0.05,
+                   help="first retry delay, seconds")
+    p.add_argument("--degrade-after", type=int, default=None,
+                   help="failed attempts before the correlation rung")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_arq)
 
     p = sub.add_parser("downlink-ber", parents=[common],
                        help="Fig 17 style downlink BER point")
@@ -324,6 +419,8 @@ def _write_cli_manifest(args: argparse.Namespace, output: CommandOutput) -> str:
     from repro.sim.calibration import DEFAULTS
 
     skip = {"func", "command", "json", "trace", "metrics_out", "obs_dir"}
+    if args.command not in FAULT_AWARE_COMMANDS:
+        skip = skip | {"faults"}
     config = {
         k: v for k, v in vars(args).items() if k not in skip and v is not None
     }
@@ -341,6 +438,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if (
+        getattr(args, "faults", None)
+        and args.command not in FAULT_AWARE_COMMANDS
+    ):
+        print(
+            f"warning: --faults has no effect on '{args.command}'",
+            file=sys.stderr,
+        )
+
     trace = getattr(args, "trace", False)
     metrics_out = getattr(args, "metrics_out", None)
     obs_dir = getattr(args, "obs_dir", None)
@@ -349,7 +455,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs.configure(metrics=True, tracing=True, manifest_dir=obs_dir)
         obs.reset()
 
-    result = args.func(args)
+    try:
+        result = args.func(args)
+    except ConfigurationError as exc:
+        # Bad invocation (including a malformed --faults spec): the
+        # run never happened, so scripts must not read it as a link
+        # failure.
+        print(f"error: {exc}", file=sys.stderr)
+        if observing:
+            obs.disable()
+        return EXIT_CONFIG_ERROR
+    except ReproError as exc:
+        # The experiment ran and the link/decode failed (e.g. faults
+        # severe enough to kill every trial).
+        print(f"decode failure: {exc}", file=sys.stderr)
+        if observing:
+            obs.disable()
+        return EXIT_DECODE_FAILURE
     rendered: Optional[str] = None
     if isinstance(result, tuple):
         result, rendered = result
@@ -362,14 +484,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(result.to_table())
 
     if metrics_out is not None:
-        import sys
-
         path = _write_cli_manifest(args, result)
         out = sys.stderr if getattr(args, "json", False) else sys.stdout
         print(f"\nrun manifest written to {path}", file=out)
     if trace:
-        import sys
-
         from repro.obs.report import render_span_tree
 
         tree = render_span_tree(obs.get_tracer().to_dicts())
@@ -379,7 +497,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("\ntrace\n" + tree, file=out)
     if observing:
         obs.disable()
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 import numpy as np
 
+from repro import obs
 from repro.core import conditioning
 from repro.errors import ConfigurationError, DecodeError
 from repro.measurement import MeasurementStream
@@ -57,6 +58,12 @@ class AckDetector:
             reliably.
         slot_bits: tag bit periods the tag reflects for.
         window_s: conditioning moving-average window.
+        nonfinite_policy: NaN/inf handling before conditioning (see
+            :func:`repro.core.conditioning.sanitize`).
+        empty_slot_ok: treat a measurement-less ACK slot (helper outage
+            during the slot) as "no ACK heard" instead of raising
+            :class:`DecodeError` — what an ARQ loop wants, since either
+            way the reader retransmits.
     """
 
     def __init__(
@@ -64,14 +71,23 @@ class AckDetector:
         threshold_sigmas: float = 4.5,
         slot_bits: int = DEFAULT_SLOT_BITS,
         window_s: float = conditioning.DEFAULT_WINDOW_S,
+        nonfinite_policy: str = "repair",
+        empty_slot_ok: bool = False,
     ) -> None:
         if threshold_sigmas <= 0:
             raise ConfigurationError("threshold_sigmas must be positive")
         if slot_bits < 1:
             raise ConfigurationError("slot_bits must be >= 1")
+        if nonfinite_policy not in conditioning.NONFINITE_POLICIES:
+            raise ConfigurationError(
+                f"nonfinite_policy must be one of "
+                f"{conditioning.NONFINITE_POLICIES}"
+            )
         self.threshold_sigmas = threshold_sigmas
         self.slot_bits = slot_bits
         self.window_s = window_s
+        self.nonfinite_policy = nonfinite_policy
+        self.empty_slot_ok = empty_slot_ok
 
     def detect(
         self,
@@ -103,11 +119,24 @@ class AckDetector:
         else:
             raise ConfigurationError(f"unknown mode {mode!r}")
         timestamps = stream.timestamps
-        cond = conditioning.condition(matrix, timestamps, self.window_s)
+        matrix, repaired = conditioning.sanitize(matrix, self.nonfinite_policy)
+        if repaired:
+            obs.counter("ack.nonfinite.repaired").inc(repaired)
+        cond = conditioning.condition(
+            matrix, timestamps, self.window_s, nonfinite="propagate"
+        )
         slot_end = slot_start_s + self.slot_bits * bit_duration_s
         in_slot = (timestamps >= slot_start_s) & (timestamps < slot_end)
         n = int(in_slot.sum())
         if n == 0:
+            if self.empty_slot_ok:
+                obs.counter("ack.slots.empty").inc()
+                return AckResult(
+                    detected=False,
+                    score=0.0,
+                    threshold=self.threshold_sigmas,
+                    best_channel=-1,
+                )
             raise DecodeError("no measurements in the ACK slot")
         out_slot = ~in_slot
         if int(out_slot.sum()) < 10 * n:

@@ -16,13 +16,72 @@ and +1 values."
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro import obs
+from repro.errors import ConfigurationError, MeasurementError
 
 #: Moving-average window used in the paper's experiments.
 DEFAULT_WINDOW_S = 0.4
+
+#: Non-finite sample policies accepted by :func:`sanitize`.
+NONFINITE_POLICIES = ("reject", "repair", "propagate")
+
+
+def sanitize(
+    values: np.ndarray, policy: str = "reject"
+) -> Tuple[np.ndarray, int]:
+    """Handle NaN/inf samples before they poison the pipeline.
+
+    A single NaN CSI cell, left alone, turns the moving-average
+    baseline, the normalization scale, the MRC weights, and finally
+    every sliced bit into NaN — silent corruption.  Decoders therefore
+    run their matrices through this gate first.
+
+    Args:
+        values: measurement matrix, shape ``(n_packets, n_channels)``.
+        policy: ``"reject"`` raises :class:`MeasurementError` on any
+            non-finite sample; ``"repair"`` replaces each non-finite
+            cell with its channel's finite median (0 for channels with
+            no finite samples at all); ``"propagate"`` returns the
+            input untouched (the pre-fix legacy behaviour, kept for
+            diagnosis).
+
+    Returns:
+        ``(clean_matrix, num_repaired)`` — ``num_repaired`` counts the
+        non-finite cells found (0 under ``reject`` when it returns).
+
+    Raises:
+        MeasurementError: non-finite samples under the reject policy.
+    """
+    if policy not in NONFINITE_POLICIES:
+        raise ConfigurationError(
+            f"nonfinite policy must be one of {NONFINITE_POLICIES}, "
+            f"got {policy!r}"
+        )
+    values = np.asarray(values, dtype=float)
+    bad = ~np.isfinite(values)
+    count = int(bad.sum())
+    if count == 0 or policy == "propagate":
+        return values, count
+    if policy == "reject":
+        raise MeasurementError(
+            f"measurement matrix contains {count} non-finite sample(s); "
+            "repair or drop them before decoding"
+        )
+    repaired = values.copy()
+    if repaired.ndim == 1:
+        repaired = repaired[:, None]
+        bad = bad[:, None]
+    for col in np.nonzero(bad.any(axis=0))[0]:
+        finite = repaired[~bad[:, col], col]
+        fill = float(np.median(finite)) if finite.size else 0.0
+        repaired[bad[:, col], col] = fill
+    repaired = repaired.reshape(np.asarray(values).shape)
+    obs.counter("conditioning.nonfinite.repaired").inc(count)
+    return repaired, count
 
 
 def moving_average_by_time(
@@ -72,17 +131,20 @@ class ConditionedMeasurements:
         scale: the per-channel normalization divisor (mean |zero-mean|),
             useful as a raw signal-strength diagnostic.
         timestamps_s: pass-through packet timestamps.
+        repaired: non-finite input cells repaired before conditioning.
     """
 
     normalized: np.ndarray
     scale: np.ndarray
     timestamps_s: np.ndarray
+    repaired: int = 0
 
 
 def condition(
     values: np.ndarray,
     timestamps_s: np.ndarray,
     window_s: float = DEFAULT_WINDOW_S,
+    nonfinite: str = "reject",
 ) -> ConditionedMeasurements:
     """Full §3.2-step-1 conditioning of a measurement matrix.
 
@@ -92,15 +154,22 @@ def condition(
             ``n_channels == num_antennas``.
         timestamps_s: packet timestamps.
         window_s: moving-average window.
+        nonfinite: NaN/inf policy — see :func:`sanitize`.  The default
+            rejects with a typed :class:`MeasurementError` rather than
+            silently propagating NaN downstream.
 
     Returns:
         :class:`ConditionedMeasurements`.
+
+    Raises:
+        MeasurementError: non-finite samples under the reject policy.
     """
     values = np.asarray(values, dtype=float)
     if values.ndim == 1:
         values = values[:, None]
     if values.shape[0] == 0:
         raise ConfigurationError("cannot condition an empty measurement set")
+    values, repaired = sanitize(values, nonfinite)
     baseline = moving_average_by_time(values, timestamps_s, window_s)
     zero_mean = values - baseline
     scale = np.abs(zero_mean).mean(axis=0)
@@ -112,4 +181,5 @@ def condition(
         normalized=normalized,
         scale=scale,
         timestamps_s=np.asarray(timestamps_s, dtype=float),
+        repaired=repaired,
     )

@@ -52,12 +52,19 @@ class CorrelationDecoder:
         code_pair: OrthogonalCodePair,
         good_count: int = 10,
         window_s: float = conditioning.DEFAULT_WINDOW_S,
+        nonfinite_policy: str = "repair",
     ) -> None:
         if good_count < 1:
             raise ConfigurationError("good_count must be >= 1")
+        if nonfinite_policy not in conditioning.NONFINITE_POLICIES:
+            raise ConfigurationError(
+                f"nonfinite_policy must be one of "
+                f"{conditioning.NONFINITE_POLICIES}"
+            )
         self.code_pair = code_pair
         self.good_count = good_count
         self.window_s = window_s
+        self.nonfinite_policy = nonfinite_policy
 
     def _chip_means(
         self,
@@ -122,7 +129,15 @@ class CorrelationDecoder:
                 f"stream covers {timestamps[-1] - start_time_s:.3f} s of the "
                 f"{span:.3f} s coded message"
             )
-        cond = conditioning.condition(matrix, timestamps, self.window_s)
+        # Correlation is the last rung of the degradation ladder, so it
+        # must digest poisoned samples rather than bail: repair (or
+        # reject, per policy) before conditioning.
+        matrix, repaired = conditioning.sanitize(matrix, self.nonfinite_policy)
+        if repaired:
+            obs.counter("correlation.nonfinite.repaired").inc(repaired)
+        cond = conditioning.condition(
+            matrix, timestamps, self.window_s, nonfinite="propagate"
+        )
 
         length = self.code_pair.length
         chips = self._chip_means(

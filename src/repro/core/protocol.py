@@ -17,11 +17,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+import numpy as np
+
+from repro import obs
 from repro.core.frames import DownlinkMessage, UplinkFrame, bits_to_int, int_to_bits
 from repro.core.rate_adaptation import RatePlan, UplinkRatePlanner
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, LinkTimeoutError
 
 #: Query payload layout: 16-bit tag address | 8-bit rate code |
 #: 8-bit command | 32-bit argument = 64 bits.
@@ -99,6 +102,54 @@ def decode_query(message: DownlinkMessage) -> Query:
     )
 
 
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with jitter between ARQ retransmissions.
+
+    Blind immediate retransmission is the worst response to a bursty
+    channel: if an outage burst ate the last attempt, an immediate
+    retry lands in the same burst.  Exponential backoff walks the retry
+    out of the burst, and jitter decorrelates multiple readers sharing
+    a helper.
+
+    Attributes:
+        initial_s: delay before the first retransmission.
+        multiplier: growth factor per retry.
+        max_s: delay ceiling.
+        jitter_fraction: uniform +/- fraction applied to each delay.
+    """
+
+    initial_s: float = 0.05
+    multiplier: float = 2.0
+    max_s: float = 2.0
+    jitter_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.initial_s < 0:
+            raise ConfigurationError("initial_s must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if self.max_s < self.initial_s:
+            raise ConfigurationError("max_s must be >= initial_s")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigurationError("jitter_fraction must be in [0, 1)")
+
+    def delay_s(
+        self,
+        retry_index: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Delay before retry ``retry_index`` (0 = first retransmission)."""
+        if retry_index < 0:
+            raise ConfigurationError("retry_index must be >= 0")
+        base = min(self.initial_s * self.multiplier ** retry_index, self.max_s)
+        if rng is not None and self.jitter_fraction > 0:
+            base *= 1.0 + rng.uniform(
+                -self.jitter_fraction, self.jitter_fraction
+            )
+        return base
+
+
 class DownlinkTransport(abc.ABC):
     """Sends one downlink message toward the tag."""
 
@@ -123,15 +174,26 @@ class TransactionResult:
         frame: the decoded response, or None after all retries failed.
         attempts: downlink transmissions performed.
         rate_plan: the rate decision used for this transaction.
+        backoff_delays_s: the ARQ delay inserted before each retry.
+        elapsed_s: total (virtual) backoff time spent on retries.
+        timed_out: the attempt budget was cut short by ``timeout_s``.
     """
 
     frame: Optional[UplinkFrame]
     attempts: int
     rate_plan: RatePlan
+    backoff_delays_s: Tuple[float, ...] = ()
+    elapsed_s: float = 0.0
+    timed_out: bool = False
 
     @property
     def success(self) -> bool:
         return self.frame is not None
+
+    @property
+    def gave_up(self) -> bool:
+        """The reader stopped trying without a decoded response."""
+        return self.frame is None
 
 
 class WiFiBackscatterReader:
@@ -142,6 +204,14 @@ class WiFiBackscatterReader:
         uplink: transport decoding the tag's responses.
         planner: rate planner (N/M with conservative margin).
         max_attempts: downlink retransmission budget per transaction.
+        backoff: ARQ backoff policy between retransmissions, or None
+            for the paper's plain immediate retransmit loop.
+        timeout_s: per-transaction budget of accumulated backoff time;
+            when the next delay would exceed it the reader gives up
+            (and raises :class:`LinkTimeoutError` if
+            ``raise_on_timeout``). None = attempts-bounded only.
+        raise_on_timeout: escalate timeouts as exceptions instead of a
+            failed :class:`TransactionResult`.
     """
 
     def __init__(
@@ -150,13 +220,29 @@ class WiFiBackscatterReader:
         uplink: UplinkTransport,
         planner: Optional[UplinkRatePlanner] = None,
         max_attempts: int = 5,
+        backoff: Optional[BackoffPolicy] = None,
+        timeout_s: Optional[float] = None,
+        raise_on_timeout: bool = False,
+        rng: Optional[np.random.Generator] = None,
     ) -> None:
         if max_attempts < 1:
             raise ConfigurationError("max_attempts must be >= 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
         self.downlink = downlink
         self.uplink = uplink
         self.planner = planner or UplinkRatePlanner()
         self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.timeout_s = timeout_s
+        self.raise_on_timeout = raise_on_timeout
+        if rng is None and backoff is not None:
+            # Jitter needs a generator; resolve the library default
+            # seed lazily to avoid a core -> sim import cycle.
+            from repro.sim.seeding import resolve_rng
+
+            rng, _ = resolve_rng(None, None)
+        self.rng = rng
         self.transaction_log: List[TransactionResult] = []
 
     def query(
@@ -170,20 +256,58 @@ class WiFiBackscatterReader:
 
         The reader computes the rate plan from the current helper
         packet rate, embeds it in the query, and retransmits the query
-        until a CRC-valid response arrives or the attempt budget is
-        spent.
+        until a CRC-valid response arrives or the attempt budget (or
+        backoff-time budget) is spent.  With a :class:`BackoffPolicy`
+        configured, each retransmission is preceded by an exponentially
+        growing, jittered delay so retries ride out outage bursts
+        instead of slamming into them.
         """
         plan = self.planner.plan(helper_rate_pps)
         message = encode_query(tag_address, plan.bit_rate_bps, command)
         frame: Optional[UplinkFrame] = None
         attempts = 0
-        for _ in range(self.max_attempts):
+        delays: List[float] = []
+        elapsed = 0.0
+        timed_out = False
+        for attempt in range(self.max_attempts):
+            if attempt > 0 and self.backoff is not None:
+                delay = self.backoff.delay_s(attempt - 1, self.rng)
+                if (
+                    self.timeout_s is not None
+                    and elapsed + delay > self.timeout_s
+                ):
+                    timed_out = True
+                    obs.counter("arq.timeouts").inc()
+                    break
+                delays.append(delay)
+                elapsed += delay
             attempts += 1
+            obs.counter("arq.attempts").inc()
+            if attempt > 0:
+                obs.counter("arq.retries").inc()
             if not self.downlink.send(message):
                 continue  # tag missed the query; retransmit
             frame = self.uplink.receive(payload_len, plan.bit_rate_bps)
             if frame is not None:
                 break
-        result = TransactionResult(frame=frame, attempts=attempts, rate_plan=plan)
+        if frame is None:
+            obs.counter("arq.giveups").inc()
+        if elapsed:
+            obs.histogram("arq.backoff_s").observe(elapsed)
+        result = TransactionResult(
+            frame=frame,
+            attempts=attempts,
+            rate_plan=plan,
+            backoff_delays_s=tuple(delays),
+            elapsed_s=elapsed,
+            timed_out=timed_out,
+        )
         self.transaction_log.append(result)
+        if timed_out and frame is None and self.raise_on_timeout:
+            raise LinkTimeoutError(
+                f"transaction to tag {tag_address:#06x} exceeded "
+                f"{self.timeout_s:.3f} s of backoff budget",
+                attempts=attempts,
+                elapsed_s=elapsed,
+            )
         return result

@@ -22,7 +22,7 @@ Two measurement modes share the pipeline:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,11 +30,15 @@ from repro import obs
 from repro.core import combining, conditioning, slicer, subchannel
 from repro.core.barker import barker_bits
 from repro.core.frames import UplinkFrame
-from repro.errors import ConfigurationError, DecodeError
+from repro.errors import ConfigurationError, DecodeError, MeasurementError
 from repro.measurement import MeasurementStream
 
 #: Supported measurement modes.
 MODES = ("csi", "rssi")
+
+#: Minimum fraction of finite samples for a CSI sub-channel to count as
+#: usable when deciding whether CSI-mode decoding is viable at all.
+MIN_CHANNEL_FINITE_FRACTION = 0.5
 
 
 @dataclass(frozen=True)
@@ -56,6 +60,14 @@ class UplinkDecoderConfig:
             differ; normalizing per source lets the reader "leverage
             transmissions from all Wi-Fi devices in the network and
             combine the channel information across all of them" (§5).
+        nonfinite_policy: what to do with NaN/inf samples — "repair"
+            (default: impute the channel's finite median and keep
+            decoding), "reject" (raise :class:`MeasurementError`), or
+            "propagate" (legacy NaN-poisoning, for diagnosis only).
+        rssi_fallback: graceful degradation — when CSI-mode decoding is
+            requested but the stream's CSI is missing or mostly dead
+            (sub-channel dropouts), silently fall back to RSSI-mode
+            decoding instead of failing.  Clean streams are unaffected.
     """
 
     window_s: float = conditioning.DEFAULT_WINDOW_S
@@ -65,12 +77,19 @@ class UplinkDecoderConfig:
     search_step_fraction: float = 0.25
     min_detection_score: float = 0.0
     per_source_conditioning: bool = False
+    nonfinite_policy: str = "repair"
+    rssi_fallback: bool = True
 
     def __post_init__(self) -> None:
         if self.good_count < 1:
             raise ConfigurationError("good_count must be >= 1")
         if not 0 < self.search_step_fraction <= 1:
             raise ConfigurationError("search_step_fraction must be in (0, 1]")
+        if self.nonfinite_policy not in conditioning.NONFINITE_POLICIES:
+            raise ConfigurationError(
+                f"nonfinite_policy must be one of "
+                f"{conditioning.NONFINITE_POLICIES}"
+            )
 
 
 @dataclass(frozen=True)
@@ -83,7 +102,13 @@ class UplinkDecodeResult:
         weights: MRC weights used.
         combined: per-packet combined statistic.
         sliced: binning/majority metadata.
-        mode: "csi" or "rssi".
+        mode: the mode actually decoded with ("csi" or "rssi").
+        fallback_from: the originally requested mode when graceful
+            degradation switched modes (None on the normal path).
+        repaired_values: non-finite samples repaired before decoding.
+        frame_slice: ``(start, end)`` packet indices of the decoded
+            frame within ``combined`` (the stream also holds idle
+            padding, which quality assessment must not average in).
     """
 
     bits: np.ndarray
@@ -92,6 +117,102 @@ class UplinkDecodeResult:
     combined: np.ndarray
     sliced: slicer.SlicedBits
     mode: str
+    fallback_from: Optional[str] = None
+    repaired_values: int = 0
+    frame_slice: Optional[Tuple[int, int]] = None
+
+
+@dataclass(frozen=True)
+class LinkQuality:
+    """Post-decode link health, driving the degradation ladder.
+
+    Attributes:
+        separation: two-level separability of the combined statistic —
+            the gap between the upper and lower sample clusters in
+            units of their intra-cluster spread.  Past ~65 cm "there
+            are no two distinct levels in the channel measurements"
+            (Fig 6), which shows up here as the separation collapsing
+            toward the unimodal-noise baseline (~2.7 for a Gaussian).
+        erasure_fraction: fraction of bit intervals with zero
+            measurements (helper outage bursts produce these).
+        mean_support: mean measurements per decided bit.
+        repaired_values: non-finite samples repaired during decoding.
+        degraded: whether the decode already fell back CSI -> RSSI.
+    """
+
+    separation: float
+    erasure_fraction: float
+    mean_support: float
+    repaired_values: int
+    degraded: bool
+
+    #: Separation below which standard slicing is considered collapsed
+    #: and the ladder recommends the long-range correlation mode.
+    SEPARATION_COLLAPSE = 3.5
+    #: Erasure fraction above which the frame was starved of packets
+    #: (retry later / back off — the channel may recover).
+    ERASURE_STARVED = 0.25
+
+    @property
+    def recommendation(self) -> str:
+        """One of "ok", "retry", "long_range"."""
+        if self.erasure_fraction > self.ERASURE_STARVED:
+            return "retry"
+        if self.separation < self.SEPARATION_COLLAPSE:
+            return "long_range"
+        return "ok"
+
+
+def assess_quality(result: UplinkDecodeResult) -> LinkQuality:
+    """Judge a decode's trustworthiness from its own diagnostics.
+
+    Cheap (no re-decode) and label-free: uses only the combined
+    statistic and slicing metadata, so the ARQ layer can call it on
+    every transaction to decide whether to accept, retry, or drop to
+    the coded long-range mode.
+    """
+    combined = np.asarray(result.combined, dtype=float)
+    if result.frame_slice is not None:
+        lo, hi = result.frame_slice
+        combined = combined[lo:hi]
+    finite = combined[np.isfinite(combined)]
+    support = np.asarray(result.sliced.support, dtype=float)
+    # Per-packet samples are noise-dominated even when the eye is wide
+    # open; the slicer's decisions work because it averages ~support
+    # packets per bit. Block-average at that scale so the statistic
+    # measures the *level* separation the slicer actually sees, not
+    # the raw packet noise (for which a median split is always ~2.7).
+    k = int(round(float(support.mean()))) if support.size else 1
+    if k > 1 and finite.size >= 2 * k:
+        n_blocks = finite.size // k
+        finite = finite[: n_blocks * k].reshape(n_blocks, k).mean(axis=1)
+    if finite.size < 4:
+        separation = 0.0
+    else:
+        mid = float(np.median(finite))
+        upper = finite[finite >= mid]
+        lower = finite[finite < mid]
+        if upper.size == 0 or lower.size == 0:
+            separation = 0.0
+        else:
+            spread = 0.5 * (float(upper.std()) + float(lower.std()))
+            separation = (float(upper.mean()) - float(lower.mean())) / max(
+                spread, 1e-9
+            )
+    num_bits = len(result.sliced.bits)
+    erasure_fraction = (
+        len(result.sliced.erasures) / num_bits if num_bits else 0.0
+    )
+    quality = LinkQuality(
+        separation=separation,
+        erasure_fraction=erasure_fraction,
+        mean_support=float(support.mean()) if support.size else 0.0,
+        repaired_values=result.repaired_values,
+        degraded=result.fallback_from is not None,
+    )
+    obs.gauge("uplink.quality.separation").set(separation)
+    obs.gauge("uplink.quality.erasure_fraction").set(erasure_fraction)
+    return quality
 
 
 class UplinkDecoder:
@@ -109,6 +230,49 @@ class UplinkDecoder:
             return stream.rssi_matrix()
         raise ConfigurationError(f"mode must be one of {MODES}, got {mode!r}")
 
+    def _resolve_matrix(self, stream: MeasurementStream, mode: str):
+        """Pick the effective mode and sanitized matrix (degradation rung 1).
+
+        CSI-mode decoding degrades to RSSI when the stream's CSI is
+        unusable — records without CSI at all, or so many sub-channel
+        dropouts that fewer usable channels remain than the selector
+        needs.  RSSI carries no frequency diversity, but it is always
+        reported, so a corrupted capture still yields a decode attempt
+        instead of an exception.
+
+        Returns:
+            ``(effective_mode, matrix, repaired_count)``.
+        """
+        cfg = self.config
+        if mode == "csi" and cfg.rssi_fallback:
+            reason = None
+            if stream.csi_coverage() < 1.0:
+                reason = "records without CSI"
+            else:
+                raw = self._matrix(stream, "csi")
+                finite_frac = np.isfinite(raw).mean(axis=0)
+                usable = int(
+                    (finite_frac >= MIN_CHANNEL_FINITE_FRACTION).sum()
+                )
+                if usable >= min(cfg.good_count, raw.shape[1]):
+                    matrix, repaired = conditioning.sanitize(
+                        raw, cfg.nonfinite_policy
+                    )
+                    return "csi", matrix, repaired
+                reason = f"only {usable} usable CSI sub-channels"
+            obs.counter("uplink.degradation.rssi_fallbacks").inc()
+            sp = obs.current_span()
+            if sp is not None:
+                sp.set(rssi_fallback_reason=reason)
+            matrix, repaired = conditioning.sanitize(
+                self._matrix(stream, "rssi"), cfg.nonfinite_policy
+            )
+            return "rssi", matrix, repaired
+        matrix, repaired = conditioning.sanitize(
+            self._matrix(stream, mode), cfg.nonfinite_policy
+        )
+        return mode, matrix, repaired
+
     def _condition(
         self,
         stream: MeasurementStream,
@@ -123,8 +287,12 @@ class UplinkDecoder:
         different helper channels become commensurable.
         """
         cfg = self.config
+        # The matrix has already been through the decoder's own
+        # sanitize gate, so conditioning must not re-reject here.
         if not cfg.per_source_conditioning:
-            return conditioning.condition(matrix, timestamps, cfg.window_s)
+            return conditioning.condition(
+                matrix, timestamps, cfg.window_s, nonfinite="propagate"
+            )
         sources = np.array([m.source for m in stream])
         normalized = np.empty_like(matrix, dtype=float)
         scale = np.zeros(matrix.shape[1])
@@ -134,7 +302,8 @@ class UplinkDecoder:
                 normalized[rows] = 0.0
                 continue
             part = conditioning.condition(
-                matrix[rows], timestamps[rows], cfg.window_s
+                matrix[rows], timestamps[rows], cfg.window_s,
+                nonfinite="propagate",
             )
             normalized[rows] = part.normalized
             scale = np.maximum(scale, part.scale)
@@ -173,7 +342,10 @@ class UplinkDecoder:
             raise ConfigurationError("num_bits must be >= 1")
         with obs.span("uplink.decode", mode=mode, num_bits=num_bits,
                       packets=len(stream)):
-            matrix = self._matrix(stream, mode)
+            requested_mode = mode
+            mode, matrix, repaired = self._resolve_matrix(stream, mode)
+            if repaired:
+                obs.counter("uplink.nonfinite.repaired").inc(repaired)
             timestamps = stream.timestamps
             with obs.span("uplink.decode.condition"):
                 cond = self._condition(stream, matrix, timestamps)
@@ -261,6 +433,9 @@ class UplinkDecoder:
                     combined, decisions, thresholds, sliced, sp_slice
                 )
             obs.counter("uplink.decodes").inc()
+            frame_lo, frame_hi = np.searchsorted(
+                timestamps, [detection.start_time_s, last_needed]
+            )
             return UplinkDecodeResult(
                 bits=sliced.bits,
                 detection=detection,
@@ -268,6 +443,11 @@ class UplinkDecoder:
                 combined=combined,
                 sliced=sliced,
                 mode=mode,
+                fallback_from=(
+                    requested_mode if mode != requested_mode else None
+                ),
+                repaired_values=repaired,
+                frame_slice=(int(frame_lo), int(frame_hi)),
             )
 
     # -- diagnostics ----------------------------------------------------------

@@ -39,6 +39,15 @@ class DecodeError(ReproError):
     """The decoder could not recover a valid message."""
 
 
+class MeasurementError(ReproError):
+    """A measurement stream contained unusable samples (NaN/inf).
+
+    Raised by the conditioning/decoding layers when non-finite values
+    would otherwise propagate into MRC weights or slicer output, and
+    the caller asked for rejection rather than repair.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 
@@ -49,6 +58,34 @@ class MediumReservationError(SimulationError):
 
 class EnergyError(ReproError):
     """The tag's harvested-energy budget was violated."""
+
+
+class BrownoutError(EnergyError):
+    """The tag lost power mid-operation and could not complete it.
+
+    Distinguishes "the tag was dark for the whole exchange" (nothing to
+    decode, retry later) from decode failures where the tag *did*
+    transmit but the reader could not recover the frame.
+    """
+
+
+class LinkTimeoutError(ReproError):
+    """An ARQ exchange exhausted its retry/backoff time budget."""
+
+    def __init__(self, message: str, attempts: int = 0,
+                 elapsed_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
+
+
+class FaultInjectionError(ConfigurationError):
+    """A fault-injection plan or spec string was invalid.
+
+    Subclasses :class:`ConfigurationError`: a bad ``--faults`` spec is
+    operator error, not a link failure, and maps to the configuration
+    exit code at the CLI.
+    """
 
 
 class TraceFormatError(ReproError):

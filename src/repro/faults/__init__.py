@@ -1,0 +1,43 @@
+"""Fault injection: seeded chaos for the Wi-Fi Backscatter pipeline.
+
+See :mod:`repro.faults.base` for the framework contract,
+:mod:`repro.faults.injectors` for the fault classes, and
+:mod:`repro.faults.spec` for the CLI ``--faults`` mini-language::
+
+    from repro.faults import parse_fault_spec
+
+    plan = parse_fault_spec("outage:duty=0.1,burst=0.05;nan:prob=0.01")
+    run_uplink_ber(0.4, 10, seed=7, faults=plan)
+"""
+
+from repro.faults.base import BurstState, FaultInjector, FaultPlan
+from repro.faults.injectors import (
+    AgcJump,
+    CsiDropout,
+    HelperOutage,
+    InterferenceBurst,
+    NanCorruption,
+    ReaderClockDrift,
+    TagBrownout,
+)
+from repro.faults.spec import (
+    INJECTOR_TYPES,
+    format_fault_plan,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "AgcJump",
+    "BurstState",
+    "CsiDropout",
+    "FaultInjector",
+    "FaultPlan",
+    "HelperOutage",
+    "INJECTOR_TYPES",
+    "InterferenceBurst",
+    "NanCorruption",
+    "ReaderClockDrift",
+    "TagBrownout",
+    "format_fault_plan",
+    "parse_fault_spec",
+]

@@ -1,0 +1,279 @@
+"""Fault-injection framework: composable, seeded chaos for the link.
+
+The paper's link rides on *uncontrolled* ambient Wi-Fi: helper traffic
+comes and goes, interferers key up, the tag's harvested energy budget
+can brown it out mid-frame, and commodity readers contribute their own
+artefacts (AGC re-locks, CSI dropouts, clock drift).  The clean-channel
+simulation never exercises any of that, so this package provides the
+machinery to: every injector is a :class:`FaultInjector` exposing a
+small set of hooks, and a :class:`FaultPlan` composes several injectors
+and applies them at well-defined points of the measurement pipeline.
+
+Hook points (each a no-op unless an injector overrides it):
+
+``drop_packet(t)``
+    The helper packet at time ``t`` never reaches the reader (outage
+    bursts, interferer captures the medium).
+``corrupt(csi, rssi, t)``
+    Mutate one measurement record's CSI matrix / RSSI vector
+    (sub-channel dropouts, NaN/saturation corruption, AGC gain jumps,
+    interference noise).
+``tag_powered(t)``
+    Whether the tag's harvester can keep the modulator running at
+    ``t`` (energy brownouts force the switch to the absorbing state).
+``warp_timestamp(t)``
+    The reader's clock view of ``t`` (oscillator drift + jitter).
+
+Determinism contract: every injector draws randomness from its own
+generator resolved through :func:`repro.sim.seeding.resolve_rng`, so a
+plan built from the same spec/seed produces the *same* fault sequence,
+independent of the driver's RNG.  A disabled plan (``faults=None`` or an
+empty plan) is zero-overhead: drivers skip the hooks entirely and the
+driver's random stream is untouched, keeping no-fault runs byte-identical
+to builds without this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.errors import FaultInjectionError
+from repro.measurement import ChannelMeasurement
+
+
+class FaultInjector:
+    """Base class: one fault mechanism with seeded, replayable state.
+
+    Subclasses override the hooks they model and leave the rest as
+    inherited no-ops.  ``reset()`` must return the injector to its
+    just-constructed state so a plan can be replayed deterministically.
+    """
+
+    #: Short machine name used by the spec parser and obs counters.
+    name = "fault"
+
+    def reset(self) -> None:
+        """Return to the just-constructed (replayable) state."""
+
+    # -- hooks ----------------------------------------------------------------
+
+    def drop_packet(self, time_s: float) -> bool:
+        """True when the helper packet at ``time_s`` is lost."""
+        return False
+
+    def corrupt(
+        self,
+        csi: Optional[np.ndarray],
+        rssi_dbm: np.ndarray,
+        time_s: float,
+    ) -> Tuple[Optional[np.ndarray], np.ndarray]:
+        """Mutate one record's measurements; return the new pair."""
+        return csi, rssi_dbm
+
+    def tag_powered(self, time_s: float) -> bool:
+        """False while the tag's energy store is browned out."""
+        return True
+
+    def warp_timestamp(self, time_s: float) -> float:
+        """The reader-clock timestamp recorded for true time ``time_s``."""
+        return time_s
+
+    # -- description ----------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Spec-like parameter dict for run manifests."""
+        return {"name": self.name}
+
+
+class BurstState:
+    """Lazily sampled alternating good/bad (Gilbert–Elliott) intervals.
+
+    Dwell times are exponential with means chosen so the long-run
+    fraction of time spent in the bad state equals ``duty_cycle`` and
+    bad intervals average ``mean_burst_s``.  Intervals are extended on
+    demand as later times are queried, so the schedule is deterministic
+    for a given generator regardless of how many queries are made.
+    """
+
+    def __init__(
+        self,
+        duty_cycle: float,
+        mean_burst_s: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if not 0.0 <= duty_cycle < 1.0:
+            raise FaultInjectionError("duty_cycle must be in [0, 1)")
+        if mean_burst_s <= 0:
+            raise FaultInjectionError("mean_burst_s must be positive")
+        self.duty_cycle = duty_cycle
+        self.mean_burst_s = mean_burst_s
+        self._rng = rng
+        self._bad: List[Tuple[float, float]] = []
+        self._horizon_s = 0.0
+
+    @property
+    def mean_good_s(self) -> float:
+        if self.duty_cycle == 0.0:
+            return float("inf")
+        return self.mean_burst_s * (1.0 - self.duty_cycle) / self.duty_cycle
+
+    def _extend_to(self, time_s: float) -> None:
+        while self._horizon_s <= time_s:
+            good = self._rng.exponential(self.mean_good_s)
+            bad = self._rng.exponential(self.mean_burst_s)
+            start = self._horizon_s + good
+            self._bad.append((start, start + bad))
+            self._horizon_s = start + bad
+
+    def in_burst(self, time_s: float) -> bool:
+        """Whether ``time_s`` falls inside a bad interval."""
+        if self.duty_cycle == 0.0 or time_s < 0:
+            return False
+        self._extend_to(time_s)
+        starts = [b[0] for b in self._bad]
+        idx = np.searchsorted(starts, time_s, side="right") - 1
+        if idx < 0:
+            return False
+        start, end = self._bad[idx]
+        return start <= time_s < end
+
+    def burst_index(self, time_s: float) -> Optional[int]:
+        """Index of the burst covering ``time_s``, or None."""
+        if self.duty_cycle == 0.0 or time_s < 0:
+            return None
+        self._extend_to(time_s)
+        starts = [b[0] for b in self._bad]
+        idx = int(np.searchsorted(starts, time_s, side="right") - 1)
+        if idx < 0:
+            return None
+        start, end = self._bad[idx]
+        return idx if start <= time_s < end else None
+
+
+@dataclass
+class FaultPlan:
+    """A composition of fault injectors applied to the pipeline.
+
+    Drivers accept ``faults: Optional[FaultPlan]`` and must treat
+    ``None`` and :meth:`empty` plans identically (skip every hook), so
+    fault-free runs cost nothing and stay byte-identical.
+    """
+
+    injectors: Tuple[FaultInjector, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.injectors = tuple(self.injectors)
+        for inj in self.injectors:
+            if not isinstance(inj, FaultInjector):
+                raise FaultInjectionError(
+                    f"FaultPlan takes FaultInjector instances, got {inj!r}"
+                )
+
+    @property
+    def empty(self) -> bool:
+        return not self.injectors
+
+    def reset(self) -> None:
+        """Rewind every injector for a deterministic replay."""
+        for inj in self.injectors:
+            inj.reset()
+
+    # -- pipeline application -------------------------------------------------
+
+    def packet_mask(self, times_s: Sequence[float]) -> np.ndarray:
+        """Boolean keep-mask over helper packet times (False = dropped)."""
+        times = np.asarray(times_s, dtype=float)
+        keep = np.ones(len(times), dtype=bool)
+        if self.empty:
+            return keep
+        for i, t in enumerate(times):
+            for inj in self.injectors:
+                if inj.drop_packet(float(t)):
+                    keep[i] = False
+                    break
+        dropped = int(len(times) - keep.sum())
+        if dropped:
+            obs.counter("faults.packets.dropped").inc(dropped)
+        return keep
+
+    def tag_powered_mask(self, times_s: Sequence[float]) -> np.ndarray:
+        """Boolean powered-mask over sample times (False = browned out)."""
+        times = np.asarray(times_s, dtype=float)
+        powered = np.ones(len(times), dtype=bool)
+        if self.empty:
+            return powered
+        for i, t in enumerate(times):
+            for inj in self.injectors:
+                if not inj.tag_powered(float(t)):
+                    powered[i] = False
+                    break
+        dark = int(len(times) - powered.sum())
+        if dark:
+            obs.counter("faults.tag.brownout_samples").inc(dark)
+        return powered
+
+    def tag_powered(self, time_s: float) -> bool:
+        return all(inj.tag_powered(time_s) for inj in self.injectors)
+
+    def drop_packet(self, time_s: float) -> bool:
+        dropped = any(inj.drop_packet(time_s) for inj in self.injectors)
+        if dropped:
+            obs.counter("faults.packets.dropped").inc()
+        return dropped
+
+    def corrupt_measurement(
+        self, measurement: ChannelMeasurement
+    ) -> ChannelMeasurement:
+        """One record through every injector's corruption + clock warp."""
+        csi = measurement.csi
+        rssi = measurement.rssi_dbm
+        t = measurement.timestamp_s
+        for inj in self.injectors:
+            csi, rssi = inj.corrupt(csi, rssi, t)
+        warped = t
+        for inj in self.injectors:
+            warped = inj.warp_timestamp(warped)
+        if csi is measurement.csi and rssi is measurement.rssi_dbm \
+                and warped == t:
+            return measurement
+        obs.counter("faults.measurements.corrupted").inc()
+        return ChannelMeasurement(
+            timestamp_s=warped,
+            csi=csi,
+            rssi_dbm=rssi,
+            source=measurement.source,
+        )
+
+    def corrupt_records(
+        self, records: Iterable[ChannelMeasurement]
+    ) -> List[ChannelMeasurement]:
+        """Apply corruption + clock warp to a record sequence.
+
+        Warped timestamps are re-monotonized (cumulative max) so the
+        result still satisfies :class:`MeasurementStream` ordering.
+        """
+        out = [self.corrupt_measurement(m) for m in records]
+        last = -np.inf
+        fixed: List[ChannelMeasurement] = []
+        for m in out:
+            if m.timestamp_s < last:
+                m = ChannelMeasurement(
+                    timestamp_s=last, csi=m.csi, rssi_dbm=m.rssi_dbm,
+                    source=m.source,
+                )
+            last = m.timestamp_s
+            fixed.append(m)
+        return fixed
+
+    # -- description ----------------------------------------------------------
+
+    def describe(self) -> List[dict]:
+        """Manifest-ready description of the whole plan."""
+        return [inj.describe() for inj in self.injectors]
+
+    def __len__(self) -> int:
+        return len(self.injectors)

@@ -1,0 +1,358 @@
+"""The concrete fault injectors (chaos menagerie).
+
+Each class models one "in the wild" impairment the paper's deployment
+would face.  All of them draw randomness from their own generator
+resolved through :func:`repro.sim.seeding.resolve_rng` and snapshot its
+state at construction, so ``reset()`` rewinds the injector to an exact
+replay — same seed, same faults.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+from repro.faults.base import BurstState, FaultInjector
+
+
+class _SeededInjector(FaultInjector):
+    """Shared seeded-RNG plumbing: resolve, snapshot, rewind."""
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        # Lazy import: repro.sim pulls in the whole simulation stack
+        # (which itself uses faults), so a top-level import here would
+        # be circular.
+        from repro.sim.seeding import resolve_rng
+
+        self.rng, self.seed = resolve_rng(rng, seed)
+        self._initial_state = copy.deepcopy(self.rng.bit_generator.state)
+
+    def reset(self) -> None:
+        self.rng.bit_generator.state = copy.deepcopy(self._initial_state)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "seed": self.seed}
+
+
+class _BurstInjector(_SeededInjector):
+    """Base for injectors active during Gilbert–Elliott bad intervals."""
+
+    def __init__(
+        self,
+        duty_cycle: float,
+        mean_burst_s: float,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(rng, seed)
+        self.duty_cycle = duty_cycle
+        self.mean_burst_s = mean_burst_s
+        self._bursts = BurstState(duty_cycle, mean_burst_s, self.rng)
+
+    def reset(self) -> None:
+        super().reset()
+        self._bursts = BurstState(self.duty_cycle, self.mean_burst_s, self.rng)
+
+    def in_burst(self, time_s: float) -> bool:
+        return self._bursts.in_burst(time_s)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "duty_cycle": self.duty_cycle,
+            "mean_burst_s": self.mean_burst_s,
+            "seed": self.seed,
+        }
+
+
+class HelperOutage(_BurstInjector):
+    """Bursty helper silence: packets inside bad intervals never arrive.
+
+    Models the ambient traffic source pausing (TCP stalls, user walks
+    off, AP serves another station): the reader simply hears nothing,
+    so whole runs of tag bits get no measurements.
+    """
+
+    name = "outage"
+
+    def drop_packet(self, time_s: float) -> bool:
+        return self.in_burst(time_s)
+
+
+class InterferenceBurst(_BurstInjector):
+    """Co-channel interference bursts swamping the measurements.
+
+    Packets still arrive (carrier sense defers, then retransmits), but
+    their channel estimates are buried in interference: CSI picks up
+    large additive noise and RSSI jumps by the interferer's power.
+    """
+
+    name = "interference"
+
+    def __init__(
+        self,
+        duty_cycle: float,
+        mean_burst_s: float,
+        csi_noise_rel: float = 1.0,
+        rssi_shift_db: float = 8.0,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if csi_noise_rel < 0:
+            raise FaultInjectionError("csi_noise_rel must be >= 0")
+        super().__init__(duty_cycle, mean_burst_s, rng, seed)
+        self.csi_noise_rel = csi_noise_rel
+        self.rssi_shift_db = rssi_shift_db
+
+    def corrupt(
+        self,
+        csi: Optional[np.ndarray],
+        rssi_dbm: np.ndarray,
+        time_s: float,
+    ) -> Tuple[Optional[np.ndarray], np.ndarray]:
+        if not self.in_burst(time_s):
+            return csi, rssi_dbm
+        if csi is not None:
+            scale = self.csi_noise_rel * max(float(np.abs(csi).mean()), 1e-12)
+            csi = csi + self.rng.normal(scale=scale, size=csi.shape)
+        rssi_dbm = rssi_dbm + self.rssi_shift_db + self.rng.normal(
+            scale=1.0, size=rssi_dbm.shape
+        )
+        return csi, rssi_dbm
+
+    def describe(self) -> dict:
+        d = super().describe()
+        d.update(csi_noise_rel=self.csi_noise_rel,
+                 rssi_shift_db=self.rssi_shift_db)
+        return d
+
+
+class CsiDropout(_BurstInjector):
+    """Sub-channel dropouts: the CSI tool reports garbage for a subset.
+
+    During each burst a freshly sampled fraction of the (antenna,
+    sub-channel) cells is replaced with NaN — the firmware simply did
+    not estimate them.  Decoders must repair or reject these, never
+    average them into MRC weights.
+    """
+
+    name = "csi_dropout"
+
+    def __init__(
+        self,
+        duty_cycle: float,
+        mean_burst_s: float,
+        subchannel_fraction: float = 0.3,
+        fill_value: float = float("nan"),
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 < subchannel_fraction <= 1.0:
+            raise FaultInjectionError("subchannel_fraction must be in (0, 1]")
+        super().__init__(duty_cycle, mean_burst_s, rng, seed)
+        self.subchannel_fraction = subchannel_fraction
+        self.fill_value = fill_value
+        self._burst_cells: dict = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._burst_cells = {}
+
+    def _cells_for_burst(self, burst: int, shape: Tuple[int, ...]) -> np.ndarray:
+        key = (burst, shape)
+        if key not in self._burst_cells:
+            total = int(np.prod(shape))
+            count = max(1, int(round(self.subchannel_fraction * total)))
+            self._burst_cells[key] = self.rng.choice(
+                total, size=count, replace=False
+            )
+        return self._burst_cells[key]
+
+    def corrupt(
+        self,
+        csi: Optional[np.ndarray],
+        rssi_dbm: np.ndarray,
+        time_s: float,
+    ) -> Tuple[Optional[np.ndarray], np.ndarray]:
+        if csi is None:
+            return csi, rssi_dbm
+        burst = self._bursts.burst_index(time_s)
+        if burst is None:
+            return csi, rssi_dbm
+        flat = csi.astype(float).reshape(-1).copy()
+        flat[self._cells_for_burst(burst, csi.shape)] = self.fill_value
+        return flat.reshape(csi.shape), rssi_dbm
+
+    def describe(self) -> dict:
+        d = super().describe()
+        d.update(subchannel_fraction=self.subchannel_fraction)
+        return d
+
+
+class NanCorruption(_SeededInjector):
+    """Sporadic NaN/inf/saturated samples in the CSI report.
+
+    Firmware races and log truncation produce isolated poisoned values;
+    with probability ``probability`` a record has ``cells`` of its CSI
+    cells replaced by NaN, +inf, or a huge saturated constant.
+    """
+
+    name = "nan"
+
+    MODES = ("nan", "inf", "saturate")
+
+    def __init__(
+        self,
+        probability: float = 0.01,
+        cells: int = 3,
+        mode: str = "nan",
+        saturate_value: float = 1e6,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise FaultInjectionError("probability must be in [0, 1]")
+        if mode not in self.MODES:
+            raise FaultInjectionError(f"mode must be one of {self.MODES}")
+        if cells < 1:
+            raise FaultInjectionError("cells must be >= 1")
+        super().__init__(rng, seed)
+        self.probability = probability
+        self.cells = cells
+        self.mode = mode
+        self.saturate_value = saturate_value
+
+    def _fill(self) -> float:
+        if self.mode == "nan":
+            return float("nan")
+        if self.mode == "inf":
+            return float("inf")
+        return self.saturate_value
+
+    def corrupt(
+        self,
+        csi: Optional[np.ndarray],
+        rssi_dbm: np.ndarray,
+        time_s: float,
+    ) -> Tuple[Optional[np.ndarray], np.ndarray]:
+        if csi is None or self.rng.random() >= self.probability:
+            return csi, rssi_dbm
+        flat = csi.astype(float).reshape(-1).copy()
+        count = min(self.cells, flat.size)
+        flat[self.rng.choice(flat.size, size=count, replace=False)] = \
+            self._fill()
+        return flat.reshape(csi.shape), rssi_dbm
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "probability": self.probability,
+            "cells": self.cells,
+            "mode": self.mode,
+            "seed": self.seed,
+        }
+
+
+class AgcJump(_SeededInjector):
+    """Occasional large AGC re-locks scaling a whole packet's CSI.
+
+    The slow wander in :class:`repro.hardware.agc.AgcModel` is benign;
+    this injects the pathological case — a sudden several-dB gain step
+    on isolated packets when the front end re-locks mid-capture.
+    """
+
+    name = "agc_jump"
+
+    def __init__(
+        self,
+        probability: float = 0.02,
+        max_jump_db: float = 9.0,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise FaultInjectionError("probability must be in [0, 1]")
+        if max_jump_db <= 0:
+            raise FaultInjectionError("max_jump_db must be positive")
+        super().__init__(rng, seed)
+        self.probability = probability
+        self.max_jump_db = max_jump_db
+
+    def corrupt(
+        self,
+        csi: Optional[np.ndarray],
+        rssi_dbm: np.ndarray,
+        time_s: float,
+    ) -> Tuple[Optional[np.ndarray], np.ndarray]:
+        if csi is None or self.rng.random() >= self.probability:
+            return csi, rssi_dbm
+        jump_db = self.rng.uniform(-self.max_jump_db, self.max_jump_db)
+        return csi * 10.0 ** (jump_db / 20.0), rssi_dbm
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "probability": self.probability,
+            "max_jump_db": self.max_jump_db,
+            "seed": self.seed,
+        }
+
+
+class TagBrownout(_BurstInjector):
+    """Harvested-energy brownouts: the tag goes dark in bursts.
+
+    While browned out the modulator cannot hold the reflecting state,
+    so the switch reads as absorbing (state 0) regardless of the bit
+    being sent — exactly what an RF-powered tag does when its storage
+    capacitor sags below the logic threshold (§6).
+    """
+
+    name = "brownout"
+
+    def tag_powered(self, time_s: float) -> bool:
+        return not self.in_burst(time_s)
+
+
+class ReaderClockDrift(_SeededInjector):
+    """Reader timestamp drift + jitter.
+
+    Packet timestamps come from the capture host's clock; a drifting
+    oscillator stretches the apparent bit grid and timestamp jitter
+    smears measurements across bin boundaries.
+    """
+
+    name = "drift"
+
+    def __init__(
+        self,
+        drift_ppm: float = 0.0,
+        jitter_std_s: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if jitter_std_s < 0:
+            raise FaultInjectionError("jitter_std_s must be >= 0")
+        super().__init__(rng, seed)
+        self.drift_ppm = drift_ppm
+        self.jitter_std_s = jitter_std_s
+
+    def warp_timestamp(self, time_s: float) -> float:
+        warped = time_s * (1.0 + self.drift_ppm * 1e-6)
+        if self.jitter_std_s > 0:
+            warped += self.rng.normal(scale=self.jitter_std_s)
+        return warped
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "drift_ppm": self.drift_ppm,
+            "jitter_std_s": self.jitter_std_s,
+            "seed": self.seed,
+        }

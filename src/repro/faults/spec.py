@@ -1,0 +1,148 @@
+"""Textual fault specs: the CLI's ``--faults`` mini-language.
+
+A spec is a semicolon-separated list of injector clauses, each
+``name:key=value,key=value``::
+
+    outage:duty=0.1,burst=0.05
+    outage:duty=0.1,burst=0.05;nan:prob=0.02;drift:ppm=80,jitter=2e-4
+    csi_dropout:duty=0.2,burst=0.1,frac=0.4;brownout:duty=0.05,burst=0.02
+
+Short aliases keep command lines readable (``duty`` for duty_cycle,
+``burst`` for mean_burst_s, ``prob`` for probability, ``frac`` for
+subchannel_fraction, ``ppm`` for drift_ppm, ``jitter`` for
+jitter_std_s).  Per-injector seeds default to ``base_seed + index`` so
+the injectors' random streams are decorrelated yet fully determined by
+one run seed.
+
+Errors raise :class:`repro.errors.FaultInjectionError`, which the CLI
+maps to the configuration exit code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import FaultInjectionError
+from repro.faults.base import FaultPlan
+from repro.faults.injectors import (
+    AgcJump,
+    CsiDropout,
+    HelperOutage,
+    InterferenceBurst,
+    NanCorruption,
+    ReaderClockDrift,
+    TagBrownout,
+)
+
+#: Injector constructors by spec name.
+INJECTOR_TYPES = {
+    HelperOutage.name: HelperOutage,
+    InterferenceBurst.name: InterferenceBurst,
+    CsiDropout.name: CsiDropout,
+    NanCorruption.name: NanCorruption,
+    AgcJump.name: AgcJump,
+    TagBrownout.name: TagBrownout,
+    ReaderClockDrift.name: ReaderClockDrift,
+}
+
+#: Short aliases accepted in clause key=value pairs, per injector.
+_ALIASES: Dict[str, Dict[str, str]] = {
+    "outage": {"duty": "duty_cycle", "burst": "mean_burst_s"},
+    "interference": {
+        "duty": "duty_cycle",
+        "burst": "mean_burst_s",
+        "noise": "csi_noise_rel",
+        "rssi": "rssi_shift_db",
+    },
+    "csi_dropout": {
+        "duty": "duty_cycle",
+        "burst": "mean_burst_s",
+        "frac": "subchannel_fraction",
+        "fill": "fill_value",
+    },
+    "nan": {"prob": "probability"},
+    "agc_jump": {"prob": "probability", "jump": "max_jump_db"},
+    "brownout": {"duty": "duty_cycle", "burst": "mean_burst_s"},
+    "drift": {"ppm": "drift_ppm", "jitter": "jitter_std_s"},
+}
+
+#: Parameters that must stay strings / ints rather than floats.
+_STRING_PARAMS = {"mode"}
+_INT_PARAMS = {"cells", "seed"}
+
+
+def _coerce(key: str, raw: str):
+    if key in _STRING_PARAMS:
+        return raw
+    try:
+        if key in _INT_PARAMS:
+            return int(raw)
+        return float(raw)
+    except ValueError:
+        raise FaultInjectionError(
+            f"fault spec value {raw!r} for {key!r} is not numeric"
+        ) from None
+
+
+def parse_fault_spec(
+    spec: str, base_seed: Optional[int] = None
+) -> FaultPlan:
+    """Parse a ``--faults`` spec string into a :class:`FaultPlan`.
+
+    Args:
+        spec: the spec text; empty/whitespace yields an empty plan.
+        base_seed: run seed the per-injector default seeds derive from
+            (``base_seed + clause index``); the library default seed
+            when omitted.  An explicit ``seed=`` key in a clause wins.
+
+    Raises:
+        FaultInjectionError: unknown injector name, bad key, or a
+            non-numeric value.
+    """
+    if spec is None:
+        return FaultPlan()
+    # Lazy import: repro.sim initializes the whole simulation stack,
+    # which itself imports faults (circular otherwise).
+    from repro.sim.seeding import DEFAULT_SEED
+
+    base = DEFAULT_SEED if base_seed is None else int(base_seed)
+    injectors = []
+    for index, clause in enumerate(spec.split(";")):
+        clause = clause.strip()
+        if not clause:
+            continue
+        name, _, arg_text = clause.partition(":")
+        name = name.strip()
+        if name not in INJECTOR_TYPES:
+            raise FaultInjectionError(
+                f"unknown fault injector {name!r}; choose from "
+                f"{sorted(INJECTOR_TYPES)}"
+            )
+        aliases = _ALIASES.get(name, {})
+        kwargs = {}
+        for pair in filter(None, (p.strip() for p in arg_text.split(","))):
+            key, eq, raw = pair.partition("=")
+            if not eq:
+                raise FaultInjectionError(
+                    f"fault parameter {pair!r} must be key=value"
+                )
+            key = aliases.get(key.strip(), key.strip())
+            kwargs[key] = _coerce(key, raw.strip())
+        kwargs.setdefault("seed", base + index)
+        try:
+            injectors.append(INJECTOR_TYPES[name](**kwargs))
+        except TypeError as exc:
+            raise FaultInjectionError(
+                f"bad parameters for fault {name!r}: {exc}"
+            ) from None
+    return FaultPlan(tuple(injectors))
+
+
+def format_fault_plan(plan: Optional[FaultPlan]) -> str:
+    """Human-readable one-liner for tables and manifests."""
+    if plan is None or plan.empty:
+        return "none"
+    return "; ".join(
+        ",".join(f"{k}={v}" for k, v in inj.describe().items())
+        for inj in plan.injectors
+    )

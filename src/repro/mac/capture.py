@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.faults.base import FaultPlan
 from repro.hardware.intel5300 import Intel5300
 from repro.mac.dcf import Medium
 from repro.mac.packets import FrameKind, Transmission
@@ -46,6 +47,11 @@ class MonitorCapture:
             hearing the whole channel would).
         csi_kinds: frame kinds for which the card reports CSI; beacons
             are RSSI-only on the Intel 5300 (§7.5).
+        faults: optional fault plan. Outage drops discard audible
+            frames before measurement, brownouts force the tag's
+            switch to absorb, and corruption/clock-warp hooks rewrite
+            the record the card produced (warped timestamps are
+            clamped non-decreasing to keep the stream ordered).
     """
 
     channel: BackscatterChannel
@@ -54,6 +60,8 @@ class MonitorCapture:
     sources: Optional[Sequence[str]] = None
     csi_kinds: frozenset = frozenset({FrameKind.DATA, FrameKind.DOWNLINK_MARK})
     stream: MeasurementStream = field(default_factory=MeasurementStream)
+    faults: Optional[FaultPlan] = None
+    _last_warped_s: float = float("-inf")
 
     def attach(self, medium: Medium) -> None:
         """Start listening on ``medium``."""
@@ -66,6 +74,9 @@ class MonitorCapture:
         frame = tx.frame
         if self.sources is not None and frame.src not in self.sources:
             return
+        active = self.faults is not None and not self.faults.empty
+        if active and self.faults.drop_packet(tx.start_s):
+            return  # outage/interference ate this frame at the reader
         # Sample the tag state at the middle of the packet airtime: the
         # paper guarantees the tag never switches mid-packet (§3.1), and
         # mid-packet sampling reflects that the channel estimate comes
@@ -74,12 +85,26 @@ class MonitorCapture:
         state = self.tag_state(t_mid)
         if state not in (0, 1):
             raise ConfigurationError(f"tag_state must return 0/1, got {state!r}")
+        if active and not self.faults.tag_powered(t_mid):
+            state = 0  # browned out: the switch rests in absorb
         true_h = self.channel.response(tx.start_s, state)
         with_csi = frame.kind in self.csi_kinds
         source = frame.src if frame.kind is not FrameKind.BEACON else "ap-beacon"
         measurement = self.card.measure(
             true_h, timestamp_s=tx.start_s, source=source, with_csi=with_csi
         )
+        if active:
+            measurement = self.faults.corrupt_measurement(measurement)
+            if measurement.timestamp_s < self._last_warped_s:
+                from repro.measurement import ChannelMeasurement
+
+                measurement = ChannelMeasurement(
+                    timestamp_s=self._last_warped_s,
+                    csi=measurement.csi,
+                    rssi_dbm=measurement.rssi_dbm,
+                    source=measurement.source,
+                )
+            self._last_warped_s = measurement.timestamp_s
         self.stream.append(measurement)
 
     def measurements(self) -> MeasurementStream:

@@ -128,6 +128,32 @@ class MeasurementStream:
         csi = self.csi_matrix()
         return csi.reshape(csi.shape[0], -1)
 
+    def csi_coverage(self) -> float:
+        """Fraction of records carrying a CSI matrix (1.0 when empty).
+
+        The degradation ladder uses this to decide whether CSI-mode
+        decoding is even possible, or the stream is effectively
+        RSSI-only (e.g. a beacon-dominated capture, §7.5).
+        """
+        if not self.measurements:
+            return 1.0
+        with_csi = sum(1 for m in self.measurements if m.csi is not None)
+        return with_csi / len(self.measurements)
+
+    def non_finite_count(self) -> int:
+        """Total NaN/inf cells across all CSI and RSSI arrays.
+
+        Fault injection (and real capture logs) can poison individual
+        samples; this is the cheap health probe callers use before
+        deciding on a repair/reject policy.
+        """
+        count = 0
+        for m in self.measurements:
+            if m.csi is not None:
+                count += int((~np.isfinite(m.csi)).sum())
+            count += int((~np.isfinite(m.rssi_dbm)).sum())
+        return count
+
     def sliced(self, start_s: float, end_s: float) -> "MeasurementStream":
         """Sub-stream with ``start_s <= t < end_s``."""
         if end_s < start_s:

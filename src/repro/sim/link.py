@@ -27,10 +27,11 @@ from repro.core.barker import barker_bits
 from repro.core.coding import make_code_pair
 from repro.core.correlation_decoder import CorrelationDecoder
 from repro.core.downlink_encoder import DownlinkEncoder
-from repro.core.frames import DownlinkMessage, UplinkFrame
-from repro.core.protocol import DownlinkTransport, UplinkTransport
+from repro.core.frames import DownlinkMessage, UplinkFrame, crc8, int_to_bits
+from repro.core.protocol import BackoffPolicy, DownlinkTransport, UplinkTransport
 from repro.core.uplink_decoder import UplinkDecoder
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import BrownoutError, ConfigurationError, DecodeError, ReproError
+from repro.faults.base import FaultPlan
 from repro.phy.envelope import EnvelopeSynthesizer
 from repro.sim import calibration
 from repro.sim.calibration import CalibratedParameters, DEFAULTS
@@ -91,20 +92,38 @@ def simulate_uplink_stream(
     helper_to_tag_m: float = 3.0,
     rng: Optional[np.random.Generator] = None,
     modulator: Optional[TagModulator] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> Tuple[MeasurementStream, float]:
     """Render the reader's measurement stream for one tag transmission.
 
     The transmission starts ``EDGE_PADDING_S`` after the first packet.
 
+    Args:
+        faults: optional fault plan conditioning the rendered link.
+            Helper-outage drops remove packets (the tag's timing is
+            unaffected: it keys off the helper's schedule, the loss
+            happens at the reader), brownouts force the tag's switch
+            open, and measurement corruptions rewrite the records the
+            card produced. ``None`` or an empty plan is a strict no-op:
+            the RNG draw sequence and output are byte-identical to the
+            fault-free path.
+
     Returns:
         ``(stream, tx_start_time_s)``.
+
+    Raises:
+        BrownoutError: the tag was unpowered for the entire capture.
+        DecodeError: a fault dropped every helper packet.
     """
     rng, _ = resolve_rng(rng)
     times = np.asarray(packet_times_s, dtype=float)
     if len(times) == 0:
         raise ConfigurationError("packet_times_s must be non-empty")
+    active = faults is not None and not faults.empty
     modulator = modulator or TagModulator(bit_duration_s=bit_duration_s)
     modulator.bit_duration_s = bit_duration_s
+    # The tag starts relative to the helper's first packet on air, not
+    # the first packet the reader happens to hear.
     tx_start = float(times[0]) + EDGE_PADDING_S
     modulator.load_bits(list(bits), tx_start)
 
@@ -115,9 +134,26 @@ def simulate_uplink_stream(
         rng=rng,
     )
     card = calibration.make_card(params=params, rng=rng)
+    if active:
+        keep = faults.packet_mask(times)
+        times = times[keep]
+        if len(times) == 0:
+            raise DecodeError(
+                "fault injection dropped every helper packet; nothing "
+                "reached the reader"
+            )
     states = np.array([modulator.state(t) for t in times])
+    if active:
+        powered = faults.tag_powered_mask(times)
+        if not powered.any():
+            raise BrownoutError(
+                "tag browned out for the entire transmission"
+            )
+        states = np.where(powered, states, 0)
     true_h = channel.response_batch(times, states)
     records = card.measure_batch(true_h, times)
+    if active:
+        records = faults.corrupt_records(records)
     stream = MeasurementStream()
     stream.extend(records)
     return stream, tx_start
@@ -143,6 +179,8 @@ def run_uplink_trial(
     params: CalibratedParameters = DEFAULTS,
     decoder: Optional[UplinkDecoder] = None,
     rng: Optional[np.random.Generator] = None,
+    faults: Optional[FaultPlan] = None,
+    start_s: float = 0.0,
 ) -> UplinkTrial:
     """One tag transmission decoded at the reader (Fig 10 inner loop).
 
@@ -154,6 +192,11 @@ def run_uplink_trial(
         known_timing: use the true transmission start (the experiment
             controls the tag) instead of searching for the preamble;
             the paper computes BER on synchronized comparisons.
+        faults: optional fault plan applied to the rendered link.
+        start_s: absolute start time of the trial. Fault plans live in
+            absolute time, so sweeps advance this per trial to sample
+            fresh burst realizations instead of replaying the same
+            schedule around t=0.
     """
     rng, _ = resolve_rng(rng)
     with obs.span(
@@ -168,9 +211,12 @@ def run_uplink_trial(
         span_s = len(bits) * bit_duration + 2 * EDGE_PADDING_S + 0.1
         pkt_rate = packets_per_bit * bit_rate_bps
         with obs.span("uplink.synthesize"):
-            times = helper_packet_times(pkt_rate, span_s, traffic=traffic, rng=rng)
+            times = helper_packet_times(
+                pkt_rate, span_s, traffic=traffic, start_s=start_s, rng=rng
+            )
             stream, tx_start = simulate_uplink_stream(
-                bits, bit_duration, times, tag_to_reader_m, params=params, rng=rng
+                bits, bit_duration, times, tag_to_reader_m, params=params,
+                rng=rng, faults=faults,
             )
         decoder = decoder or UplinkDecoder()
         result = decoder.decode_bits(
@@ -200,17 +246,32 @@ def run_uplink_ber(
     traffic: str = "cbr",
     params: CalibratedParameters = DEFAULTS,
     seed: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> BerResult:
     """The Fig 10 measurement: BER over ``repeats`` transmissions.
 
     The paper transmits a 90-bit payload 20 times per distance (1800
     bits) and floors zero-error runs.
+
+    With a fault plan attached, successive trials are laid out
+    back-to-back in absolute time so each one samples a fresh stretch
+    of the burst schedule; a trial the faults render undecodable
+    (brownout, total outage, lost preamble) scores all its payload bits
+    as errors, which is what the reader would deliver upstream.
     """
     if repeats < 1:
         raise ConfigurationError("repeats must be >= 1")
     rng, effective_seed = resolve_rng(None, seed)
+    active = faults is not None and not faults.empty
+    bit_duration = 1.0 / bit_rate_bps
+    preamble_len = len(barker_bits())
+    trial_span = (
+        (preamble_len + num_payload_bits) * bit_duration
+        + 2 * EDGE_PADDING_S + 0.1
+    )
     errors = 0
     total = 0
+    failed_trials = 0
     with obs.span(
         "uplink.run_ber",
         distance_m=tag_to_reader_m,
@@ -219,18 +280,27 @@ def run_uplink_ber(
         repeats=repeats,
         seed=effective_seed,
     ):
-        for _ in range(repeats):
-            trial = run_uplink_trial(
-                tag_to_reader_m,
-                packets_per_bit,
-                mode=mode,
-                num_payload_bits=num_payload_bits,
-                bit_rate_bps=bit_rate_bps,
-                traffic=traffic,
-                params=params,
-                rng=rng,
-            )
-            errors += trial.errors
+        for i in range(repeats):
+            try:
+                trial = run_uplink_trial(
+                    tag_to_reader_m,
+                    packets_per_bit,
+                    mode=mode,
+                    num_payload_bits=num_payload_bits,
+                    bit_rate_bps=bit_rate_bps,
+                    traffic=traffic,
+                    params=params,
+                    rng=rng,
+                    faults=faults,
+                    start_s=i * trial_span if active else 0.0,
+                )
+                errors += trial.errors
+            except ReproError:
+                if not active:
+                    raise
+                failed_trials += 1
+                errors += num_payload_bits
+                obs.counter("uplink.trials.faulted").inc()
             total += num_payload_bits
     result = BerResult(errors=errors, total_bits=total, runs=repeats)
     obs.record_run(
@@ -245,8 +315,9 @@ def run_uplink_ber(
             "num_payload_bits": num_payload_bits,
             "bit_rate_bps": bit_rate_bps,
             "traffic": traffic,
+            "faults": faults.describe() if active else None,
         },
-        results=result.to_dict(),
+        results={**result.to_dict(), "failed_trials": failed_trials},
     )
     return result
 
@@ -260,6 +331,8 @@ def run_correlation_trial(
     params: CalibratedParameters = DEFAULTS,
     rng: Optional[np.random.Generator] = None,
     seed: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
+    start_s: float = 0.0,
 ) -> UplinkTrial:
     """Long-range coded uplink (§3.4): send + correlation-decode.
 
@@ -269,6 +342,8 @@ def run_correlation_trial(
         packets_per_chip: helper packets per chip interval.
         chip_rate_cps: chip rate (the tag's raw switching rate).
         seed: RNG seed used when ``rng`` is not supplied.
+        faults: optional fault plan applied to the rendered link.
+        start_s: absolute start time (fault plans live in absolute time).
     """
     rng, effective_seed = resolve_rng(rng, seed)
     with obs.span(
@@ -286,9 +361,12 @@ def run_correlation_trial(
         span_s = len(states) * chip_duration + 2 * EDGE_PADDING_S + 0.1
         pkt_rate = packets_per_chip * chip_rate_cps
         with obs.span("uplink.synthesize"):
-            times = helper_packet_times(pkt_rate, span_s, traffic="cbr", rng=rng)
+            times = helper_packet_times(
+                pkt_rate, span_s, traffic="cbr", start_s=start_s, rng=rng
+            )
             stream, tx_start = simulate_uplink_stream(
-                states, chip_duration, times, tag_to_reader_m, params=params, rng=rng
+                states, chip_duration, times, tag_to_reader_m, params=params,
+                rng=rng, faults=faults,
             )
         decoder = CorrelationDecoder(pair)
         result = decoder.decode_bits(
@@ -327,6 +405,7 @@ def simulate_multi_helper_stream(
     tag_to_reader_m: float,
     params: CalibratedParameters = DEFAULTS,
     rng: Optional[np.random.Generator] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> Tuple[MeasurementStream, float]:
     """Measurement stream with traffic from several Wi-Fi transmitters.
 
@@ -343,6 +422,9 @@ def simulate_multi_helper_stream(
         tag_to_reader_m: tag-reader distance.
         params: calibration constants.
         rng: random source.
+        faults: optional fault plan; outage drops apply per helper
+            (each helper's bursts hit its own packets), brownouts and
+            corruptions apply to the tag and merged records as usual.
 
     Returns:
         ``(merged stream, tx_start_time_s)``.
@@ -350,6 +432,7 @@ def simulate_multi_helper_stream(
     if not helpers:
         raise ConfigurationError("helpers must be non-empty")
     rng, _ = resolve_rng(rng)
+    active = faults is not None and not faults.empty
     modulator = TagModulator(bit_duration_s=bit_duration_s)
     span = len(bits) * bit_duration_s + 2 * EDGE_PADDING_S + 0.1
     tx_start = EDGE_PADDING_S
@@ -366,13 +449,27 @@ def simulate_multi_helper_stream(
             rng=rng,
         )
         card = calibration.make_card(params=params, rng=rng)
+        if active:
+            keep = faults.packet_mask(times)
+            times = times[keep]
+            if len(times) == 0:
+                continue  # this helper was wiped out; others may survive
         states = np.array([modulator.state(t) for t in times])
+        if active:
+            powered = faults.tag_powered_mask(times)
+            states = np.where(powered, states, 0)
         records = card.measure_batch(
             channel.response_batch(times, states), times, source=name
         )
+        if active:
+            records = faults.corrupt_records(records)
         part = MeasurementStream()
         part.extend(records)
         streams.append(part)
+    if not streams:
+        raise DecodeError(
+            "fault injection dropped every packet from every helper"
+        )
     from repro.measurement import merge_streams
 
     return merge_streams(streams), tx_start
@@ -388,6 +485,7 @@ def run_downlink_ber(
     model: Optional[DownlinkDetectionModel] = None,
     params: CalibratedParameters = DEFAULTS,
     seed: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> BerResult:
     """Fig 17: downlink BER at a distance via the analytic peak model.
 
@@ -395,10 +493,17 @@ def run_downlink_ber(
     calibrated :class:`DownlinkDetectionModel` (the paper transmits
     200 kilobits per point). For the bit-exact circuit path use
     :func:`run_downlink_circuit_trial`.
+
+    Fault semantics on the downlink are brownout-only: the reader
+    transmits directly, so helper outages and CSI corruption do not
+    apply, but a browned-out tag cannot run its peak detector and
+    misses every '1' bit while dark ('0' bits, being the absence of a
+    peak, still "decode").
     """
     if num_bits < 1:
         raise ConfigurationError("num_bits must be >= 1")
     rng, effective_seed = resolve_rng(None, seed)
+    active = faults is not None and not faults.empty
     model = model or DownlinkDetectionModel(
         scale_m=params.downlink_range_scale_m, shape=params.downlink_range_shape
     )
@@ -414,7 +519,16 @@ def run_downlink_ber(
         ones = rng.random(num_bits) < 0.5
         n_ones = int(ones.sum())
         n_zeros = num_bits - n_ones
-        missed_ones = int((rng.random(n_ones) < miss).sum())
+        missed = rng.random(n_ones) < miss
+        brownout_misses = 0
+        if active:
+            bit_times = np.arange(num_bits) * bit_duration_s
+            dark = ~faults.tag_powered_mask(bit_times)
+            dark_ones = dark[ones]
+            brownout_misses = int((dark_ones & ~missed).sum())
+            missed = missed | dark_ones
+            obs.counter("downlink.errors.brownout").inc(brownout_misses)
+        missed_ones = int(missed.sum())
         false_positives = int((rng.random(n_zeros) < false_one).sum())
         errors = missed_ones + false_positives
         # Envelope-detector operating point + error split: the two
@@ -441,6 +555,7 @@ def run_downlink_ber(
             "distance_m": distance_m,
             "bit_duration_s": bit_duration_s,
             "num_bits": num_bits,
+            "faults": faults.describe() if active else None,
         },
         results=result.to_dict(),
     )
@@ -494,6 +609,11 @@ class SimulatedDownlinkTransport(DownlinkTransport):
     preamble is matched; per-bit error sampling uses the analytic
     model. CRC catches multi-bit corruption, so any bit error = lost
     message (the reader retransmits).
+
+    With a fault plan attached the transport keeps a virtual clock
+    (``clock_s`` advances by the message airtime per send) and a
+    browned-out tag misses the whole query; helper outages do not
+    apply — the reader transmits the downlink itself.
     """
 
     distance_m: float
@@ -503,10 +623,19 @@ class SimulatedDownlinkTransport(DownlinkTransport):
         default_factory=lambda: np.random.default_rng(DEFAULT_SEED)
     )
     sends: int = 0
+    faults: Optional[FaultPlan] = None
+    clock_s: float = 0.0
 
     def send(self, message: DownlinkMessage) -> bool:
         self.sends += 1
         bits = message.to_bits()
+        airtime = len(bits) * self.bit_duration_s
+        start = self.clock_s
+        self.clock_s += airtime
+        if self.faults is not None and not self.faults.empty:
+            if not self.faults.tag_powered(start + airtime / 2.0):
+                obs.counter("faults.downlink.brownout_drops").inc()
+                return False
         miss = self.model.miss_probability(self.distance_m, self.bit_duration_s)
         for bit in bits:
             p_err = miss if bit else self.model.false_one_probability
@@ -517,7 +646,13 @@ class SimulatedDownlinkTransport(DownlinkTransport):
 
 @dataclass
 class SimulatedUplinkTransport(UplinkTransport):
-    """Uplink reception via the full measurement-stream pipeline."""
+    """Uplink reception via the full measurement-stream pipeline.
+
+    With a fault plan attached the transport keeps a virtual clock so
+    each receive() samples a fresh stretch of the plan's absolute-time
+    burst schedule — retransmissions genuinely ride out bursts instead
+    of replaying them.
+    """
 
     tag_to_reader_m: float
     packets_per_bit: float = 10.0
@@ -529,20 +664,30 @@ class SimulatedUplinkTransport(UplinkTransport):
     #: Filled by the protocol harness before receive(): the frame the
     #: tag will transmit (the simulation needs to render its bits).
     pending_frame: Optional[UplinkFrame] = None
+    faults: Optional[FaultPlan] = None
+    clock_s: float = 0.0
 
     def receive(self, payload_len: int, bit_rate_bps: float) -> Optional[UplinkFrame]:
         if self.pending_frame is None:
             return None
+        active = self.faults is not None and not self.faults.empty
         frame = self.pending_frame
         bits = frame.to_bits()
         bit_duration = 1.0 / bit_rate_bps
         span = len(bits) * bit_duration + 2 * EDGE_PADDING_S + 0.1
         pkt_rate = self.packets_per_bit * bit_rate_bps
-        times = helper_packet_times(pkt_rate, span, traffic="cbr", rng=self.rng)
-        stream, tx_start = simulate_uplink_stream(
-            bits, bit_duration, times, self.tag_to_reader_m,
-            params=self.params, rng=self.rng,
+        start = self.clock_s if active else 0.0
+        times = helper_packet_times(
+            pkt_rate, span, traffic="cbr", start_s=start, rng=self.rng
         )
+        self.clock_s += span
+        try:
+            stream, tx_start = simulate_uplink_stream(
+                bits, bit_duration, times, self.tag_to_reader_m,
+                params=self.params, rng=self.rng, faults=self.faults,
+            )
+        except ReproError:
+            return None
         decoder = UplinkDecoder()
         try:
             return decoder.decode_frame(
@@ -554,3 +699,267 @@ class SimulatedUplinkTransport(UplinkTransport):
             )
         except ReproError:
             return None
+
+
+# -- resilient ARQ session --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArqFrameOutcome:
+    """One frame's fate through the ARQ loop.
+
+    Attributes:
+        delivered: a CRC-valid decode was produced within the budget.
+        correct: the delivered payload matched what the tag sent
+            (CRC-8 can alias; delivered-but-wrong counts both).
+        attempts: transmissions spent on this frame.
+        mode: decode path that finally succeeded ("csi", "rssi",
+            "correlation") or the last one tried on failure.
+        backoff_s: total backoff delay inserted for this frame.
+        degraded: the session dropped to the correlation rung for this
+            frame.
+    """
+
+    delivered: bool
+    correct: bool
+    attempts: int
+    mode: str
+    backoff_s: float
+    degraded: bool
+
+
+@dataclass(frozen=True)
+class ArqSessionResult:
+    """Delivery statistics for a resilient ARQ uplink session."""
+
+    outcomes: Tuple[ArqFrameOutcome, ...]
+    elapsed_s: float
+
+    @property
+    def frames(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def delivered(self) -> int:
+        return sum(1 for o in self.outcomes if o.delivered)
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.frames if self.outcomes else 0.0
+
+    @property
+    def correct(self) -> int:
+        return sum(1 for o in self.outcomes if o.correct)
+
+    @property
+    def mean_attempts(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.attempts for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def degraded_frames(self) -> int:
+        return sum(1 for o in self.outcomes if o.degraded)
+
+    def to_dict(self) -> dict:
+        return {
+            "frames": self.frames,
+            "delivered": self.delivered,
+            "delivery_ratio": self.delivery_ratio,
+            "correct": self.correct,
+            "mean_attempts": self.mean_attempts,
+            "degraded_frames": self.degraded_frames,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def run_arq_uplink(
+    tag_to_reader_m: float,
+    num_frames: int = 20,
+    payload_len: int = 32,
+    bit_rate_bps: float = 1000.0,
+    packets_per_bit: float = 8.0,
+    max_attempts: int = 5,
+    backoff: Optional[BackoffPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    degrade_after: Optional[int] = None,
+    code_length: int = 8,
+    traffic: str = "cbr",
+    params: CalibratedParameters = DEFAULTS,
+    decoder: Optional[UplinkDecoder] = None,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> ArqSessionResult:
+    """A resilient uplink session: frames + ARQ + graceful degradation.
+
+    Each frame (preamble | payload | CRC-8 | postamble) is transmitted
+    and decoded through the full pipeline; a failed decode triggers a
+    retransmission after an exponential-with-jitter backoff delay. The
+    session keeps a virtual clock, and fault plans live in absolute
+    time, so backoff genuinely walks retries out of outage bursts.
+    When ``degrade_after`` failed attempts are spent on a frame the
+    session drops to the §3.4 long-range rung: the payload+CRC bits
+    are code-expanded and correlation-decoded, trading rate for
+    robustness (the quality signal :func:`assess_quality` surfaces
+    drives the same decision in a live reader).
+
+    A frame counts as *delivered* only on a CRC-valid decode; *correct*
+    additionally requires the payload to match what the tag sent.
+
+    Args:
+        tag_to_reader_m: tag-reader distance.
+        num_frames: frames the application submits.
+        payload_len: payload bits per frame.
+        bit_rate_bps: uplink bit rate (paper's nominal 1 kbps default).
+        packets_per_bit: helper packets per tag bit.
+        max_attempts: transmission budget per frame.
+        backoff: ARQ delay policy; default :class:`BackoffPolicy`.
+        faults: optional fault plan conditioning every transmission.
+        degrade_after: failed slicing attempts before dropping to the
+            correlation rung; None disables degradation.
+        code_length: L for the correlation rung.
+        decoder: uplink decoder override (its config controls the
+            CSI->RSSI fallback rung).
+        seed: RNG seed used when ``rng`` is not supplied.
+    """
+    if num_frames < 1:
+        raise ConfigurationError("num_frames must be >= 1")
+    if max_attempts < 1:
+        raise ConfigurationError("max_attempts must be >= 1")
+    if degrade_after is not None and degrade_after < 1:
+        raise ConfigurationError("degrade_after must be >= 1 or None")
+    rng, effective_seed = resolve_rng(rng, seed)
+    backoff = backoff or BackoffPolicy()
+    decoder = decoder or UplinkDecoder()
+    bit_duration = 1.0 / bit_rate_bps
+    pkt_rate = packets_per_bit * bit_rate_bps
+    pair = make_code_pair(code_length)
+    clock = 0.0
+    outcomes: List[ArqFrameOutcome] = []
+    with obs.span(
+        "arq.session",
+        distance_m=tag_to_reader_m,
+        num_frames=num_frames,
+        max_attempts=max_attempts,
+        seed=effective_seed,
+    ):
+        for _ in range(num_frames):
+            payload = random_payload(payload_len, rng)
+            frame = UplinkFrame(payload_bits=tuple(payload))
+            frame_bits = frame.to_bits()
+            check_bits = list(payload) + int_to_bits(crc8(list(payload)), 8)
+            delivered = False
+            correct = False
+            degraded = False
+            mode_used = "csi"
+            attempts = 0
+            frame_backoff = 0.0
+            for attempt in range(max_attempts):
+                if attempt > 0:
+                    delay = backoff.delay_s(attempt - 1, rng)
+                    frame_backoff += delay
+                    clock += delay
+                attempts += 1
+                use_correlation = (
+                    degrade_after is not None and attempt >= degrade_after
+                )
+                if use_correlation:
+                    degraded = True
+                    mode_used = "correlation"
+                    chips = pair.encode(check_bits)
+                    states = [1 if c > 0 else 0 for c in chips]
+                    span = (
+                        len(states) * bit_duration
+                        + 2 * EDGE_PADDING_S + 0.1
+                    )
+                else:
+                    states = frame_bits
+                    span = (
+                        len(frame_bits) * bit_duration
+                        + 2 * EDGE_PADDING_S + 0.1
+                    )
+                times = helper_packet_times(
+                    pkt_rate, span, traffic=traffic, start_s=clock, rng=rng
+                )
+                clock += span
+                try:
+                    stream, tx_start = simulate_uplink_stream(
+                        states, bit_duration, times, tag_to_reader_m,
+                        params=params, rng=rng, faults=faults,
+                    )
+                    if use_correlation:
+                        corr = CorrelationDecoder(pair)
+                        got = corr.decode_bits(
+                            stream,
+                            num_bits=len(check_bits),
+                            chip_duration_s=bit_duration,
+                            start_time_s=tx_start,
+                        )
+                        got_bits = [int(b) for b in got.bits]
+                        got_payload = got_bits[:payload_len]
+                        got_crc = got_bits[payload_len:]
+                        if int_to_bits(crc8(got_payload), 8) != got_crc:
+                            raise DecodeError("correlation-mode CRC mismatch")
+                        delivered = True
+                        correct = got_payload == list(payload)
+                    else:
+                        decoded = decoder.decode_frame(
+                            stream,
+                            payload_len=payload_len,
+                            bit_duration_s=bit_duration,
+                            mode="csi",
+                            start_time_s=tx_start,
+                        )
+                        delivered = True
+                        correct = (
+                            list(decoded.payload_bits) == list(payload)
+                        )
+                        mode_used = "csi"
+                except ReproError:
+                    obs.counter("arq.frame.attempt_failures").inc()
+                    continue
+                break
+            obs.counter("arq.attempts").inc(attempts)
+            if attempts > 1:
+                obs.counter("arq.retries").inc(attempts - 1)
+            if delivered:
+                obs.counter("arq.frames.delivered").inc()
+            else:
+                obs.counter("arq.frames.failed").inc()
+                obs.counter("arq.giveups").inc()
+            if degraded:
+                obs.counter("arq.frames.degraded").inc()
+            if frame_backoff:
+                obs.histogram("arq.backoff_s").observe(frame_backoff)
+            outcomes.append(
+                ArqFrameOutcome(
+                    delivered=delivered,
+                    correct=correct,
+                    attempts=attempts,
+                    mode=mode_used,
+                    backoff_s=frame_backoff,
+                    degraded=degraded,
+                )
+            )
+    result = ArqSessionResult(outcomes=tuple(outcomes), elapsed_s=clock)
+    obs.record_run(
+        "arq_uplink",
+        seed=effective_seed,
+        params=params,
+        config={
+            "tag_to_reader_m": tag_to_reader_m,
+            "num_frames": num_frames,
+            "payload_len": payload_len,
+            "bit_rate_bps": bit_rate_bps,
+            "packets_per_bit": packets_per_bit,
+            "max_attempts": max_attempts,
+            "degrade_after": degrade_after,
+            "code_length": code_length,
+            "faults": (
+                faults.describe()
+                if faults is not None and not faults.empty else None
+            ),
+        },
+        results=result.to_dict(),
+    )
+    return result

@@ -1,0 +1,168 @@
+"""Chaos suite: gateway circuit breaker under scripted tag failures.
+
+A scripted reader replaces the protocol engine so failure patterns are
+exact: the tests check quarantine entry/exit, exponential backoff of
+the quarantine length, reopen probes, and that a dead tag's polling
+budget actually shrinks versus the legacy always-repoll behaviour.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.frames import int_to_bits
+from repro.errors import LinkTimeoutError
+from repro.net.gateway import (
+    BREAKER_CLOSED,
+    BREAKER_OPEN,
+    BackscatterGateway,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+class ScriptedReader:
+    """Protocol-engine stand-in with a per-address outcome script.
+
+    Each script entry is True (transaction succeeds), False (clean
+    failure), or "raise" (transport escalates a ReproError).  Past the
+    end of the script the tag succeeds forever.
+    """
+
+    max_attempts = 3
+
+    def __init__(self, scripts):
+        self.scripts = {addr: list(s) for addr, s in scripts.items()}
+        self.queries = []
+
+    def query(self, address, helper_rate_pps, payload_len, command):
+        self.queries.append(address)
+        script = self.scripts.get(address, [])
+        outcome = script.pop(0) if script else True
+        if outcome == "raise":
+            raise LinkTimeoutError("scripted transport blow-up")
+        if not outcome:
+            return SimpleNamespace(success=False, attempts=self.max_attempts,
+                                   frame=None)
+        return SimpleNamespace(
+            success=True,
+            attempts=1,
+            frame=SimpleNamespace(payload_bits=tuple(int_to_bits(42, 32))),
+        )
+
+
+def make_gateway(scripts, **kwargs):
+    reader = ScriptedReader(scripts)
+    gateway = BackscatterGateway(reader, helper_rate_fn=lambda: 600.0,
+                                 **kwargs)
+    for address in scripts:
+        gateway.register(address)
+    return gateway, reader
+
+
+class TestBreakerLifecycle:
+    def test_breaker_opens_after_threshold_failures(self):
+        gateway, _ = make_gateway({1: [False] * 3}, offline_threshold=3)
+        gateway.poll(3)
+        status = gateway.registry[1]
+        assert status.breaker_state == BREAKER_OPEN
+        assert gateway.quarantined_tags() == [1]
+        assert status.give_ups == 1
+
+    def test_quarantined_tag_is_skipped(self):
+        gateway, reader = make_gateway(
+            {1: [False] * 3}, offline_threshold=3, quarantine_base_cycles=4
+        )
+        gateway.poll(3)          # opens the breaker
+        gateway.poll(3)          # all inside the quarantine window
+        assert reader.queries.count(1) == 3
+        assert gateway.registry[1].skipped_polls == 3
+
+    def test_probe_recovers_the_tag(self):
+        gateway, _ = make_gateway(
+            {1: [False] * 3}, offline_threshold=3, quarantine_base_cycles=2
+        )
+        gateway.poll(3)                      # open (2-cycle quarantine)
+        assert gateway.poll_once() == []     # skipped
+        readings = gateway.poll_once()       # quarantine expired: probe
+        assert len(readings) == 1
+        assert readings[0].probe
+        assert readings[0].value == 42
+        status = gateway.registry[1]
+        assert status.breaker_state == BREAKER_CLOSED
+        assert status.probes == 1
+        assert gateway.quarantined_tags() == []
+
+    def test_failed_probe_doubles_quarantine(self):
+        gateway, _ = make_gateway(
+            {1: [False] * 10}, offline_threshold=3, quarantine_base_cycles=2,
+            quarantine_max_cycles=64,
+        )
+        gateway.poll(3)                      # open, 2 cycles
+        assert gateway.registry[1].quarantine_cycles == 2
+        gateway.poll(2)                      # skip, then failed probe
+        assert gateway.registry[1].quarantine_cycles == 4
+        assert gateway.registry[1].give_ups == 2
+
+    def test_transport_exception_counts_as_failure(self):
+        gateway, _ = make_gateway({1: ["raise"] * 3}, offline_threshold=3)
+        gateway.poll(3)
+        status = gateway.registry[1]
+        assert status.breaker_state == BREAKER_OPEN
+        # A blown-up transaction bills the full attempt budget.
+        assert status.total_attempts == 3 * ScriptedReader.max_attempts
+
+
+class TestPollingBudget:
+    def test_dead_tag_polled_less_with_breaker(self):
+        """Satellite: a dead tag must not be re-polled at full rate."""
+        cycles = 20
+        dead = {7: [False] * 100}
+        with_breaker, reader_on = make_gateway(
+            dead, offline_threshold=3, quarantine_base_cycles=4
+        )
+        without, reader_off = make_gateway(
+            dead, offline_threshold=3, quarantine_base_cycles=0
+        )
+        with_breaker.poll(cycles)
+        without.poll(cycles)
+        assert reader_off.queries.count(7) == cycles
+        assert reader_on.queries.count(7) < cycles / 2
+        assert with_breaker.registry[7].skipped_polls > 0
+
+    def test_healthy_tag_unaffected_by_neighbor_quarantine(self):
+        gateway, reader = make_gateway(
+            {1: [False] * 100, 2: []}, offline_threshold=3,
+            quarantine_base_cycles=4,
+        )
+        readings = gateway.poll(10)
+        assert reader.queries.count(2) == 10
+        assert sum(r.tag_address == 2 for r in readings) == 10
+
+
+class TestHealthSurface:
+    def test_health_metrics_reports_fleet_state(self):
+        gateway, _ = make_gateway(
+            {1: [False] * 100, 2: []}, offline_threshold=3,
+            quarantine_base_cycles=8,
+        )
+        gateway.poll(6)
+        metrics = gateway.health_metrics()
+        assert metrics["tags"] == 2.0
+        assert metrics["poll_cycles"] == 6.0
+        assert metrics["quarantined"] == 1.0
+        assert metrics["offline"] == 1.0
+        assert metrics["give_ups"] >= 1.0
+        assert metrics["skipped_polls"] > 0.0
+        assert set(metrics) == {
+            "tags", "poll_cycles", "polls", "successes", "total_attempts",
+            "skipped_polls", "give_ups", "probes", "quarantined", "offline",
+        }
+
+    def test_availability_orders_health_report(self):
+        gateway, _ = make_gateway(
+            {1: [False] * 100, 2: []}, offline_threshold=3
+        )
+        gateway.poll(4)
+        report = gateway.health_report()
+        assert [s.address for s in report] == [1, 2]
