@@ -6,22 +6,27 @@ summary. Run with::
 
     pytest benchmarks/ --benchmark-only -s
 
-Each figure test also leaves a ``BENCH_<test>.json`` artifact under
-``benchmarks/artifacts/`` (override with ``REPRO_BENCH_ARTIFACTS``)
-recording wall time, the obs metric snapshot, aggregated span timings,
-and the git SHA — so successive PRs can track a perf/quality
-trajectory. See docs/observability.md.
+Each figure test leaves two artifacts:
+
+* the full diagnostic record (wall time, metric snapshot, aggregated
+  span timings, git SHA) under ``benchmarks/artifacts/`` (override
+  with ``REPRO_BENCH_ARTIFACTS``), and
+* the canonical trajectory artifact ``BENCH_<test>.json`` at the
+  **repo root** with the schema ``{name, commit, timestamp,
+  metrics{...}}`` — the location and shape the cross-PR tooling and
+  ``python -m repro bench`` share. See docs/observability.md.
 """
 
-import json
 import os
 import time
 
 import pytest
 
 from repro import obs
+from repro.obs.perf.bench import repo_root, write_root_artifact
 
-#: Where per-figure artifacts land; override with REPRO_BENCH_ARTIFACTS.
+#: Where per-figure diagnostic artifacts land; override with
+#: REPRO_BENCH_ARTIFACTS.
 ARTIFACT_DIR = os.environ.get(
     "REPRO_BENCH_ARTIFACTS",
     os.path.join(os.path.dirname(__file__), "artifacts"),
@@ -39,23 +44,34 @@ def obs_capture(request):
     """Observe one figure test and write its BENCH_*.json artifact.
 
     Yields the live :class:`~repro.obs.MetricsRegistry` so tests can
-    record figure-level results as gauges. On teardown, writes wall
-    time, the full metric snapshot, per-span aggregate timings, and
-    the git SHA to ``benchmarks/artifacts/BENCH_<testname>.json``.
+    record figure-level results as gauges. On teardown, writes the
+    full diagnostic record to ``benchmarks/artifacts/BENCH_<test>.json``
+    and the canonical ``{name, commit, timestamp, metrics{...}}``
+    trajectory artifact to ``<repo root>/BENCH_<test>.json``.
     """
     with obs.session(metrics=True, tracing=True) as (registry, tracer):
         start = time.perf_counter()
         yield registry
         wall_s = time.perf_counter() - start
+        snapshot = registry.snapshot()
         artifact = {
             "test": request.node.name,
             "wall_s": wall_s,
             "git_sha": obs.git_sha(),
-            "metrics": registry.snapshot(),
+            "metrics": snapshot,
             "spans": tracer.aggregate(),
         }
     name = request.node.name.replace("/", "_")
     obs.write_json(os.path.join(ARTIFACT_DIR, f"BENCH_{name}.json"), artifact)
+    # Canonical flat-schema artifact at the repo root: one scalar per
+    # metric (counters/gauges keep their value, distributions their
+    # mean), plus the wall time.
+    flat = {"wall_s": wall_s}
+    for metric, summary in snapshot.items():
+        value = summary.get("value", summary.get("mean"))
+        if isinstance(value, (int, float)):
+            flat[metric] = value
+    write_root_artifact(name, flat, root=repo_root(os.path.dirname(__file__)))
 
 
 @pytest.fixture

@@ -22,13 +22,28 @@ and a fault-injection spec (see :mod:`repro.faults`)::
 
     --faults "outage:duty=0.1,burst=0.1;nan:prob=0.01"
 
+performance telemetry flags::
+
+    --profile              enable the stage profiler and print the
+                           perf report (self vs. cumulative time)
+    --slo SPEC             declarative SLO rules checked after the run,
+                           e.g. 'uplink.delivery.rate >= 0.99 over 200
+                           frames ! critical'; violations exit 4
+
+and the benchmark harness::
+
+    python -m repro bench --quick            # run the workload matrix
+    python -m repro bench --quick --check    # gate against the baseline
+
 Exit codes: 0 success, 2 decode/link failure, 3 configuration error
-(bad arguments, malformed --faults spec).
+(bad arguments, malformed --faults/--slo spec), 4 SLO violation,
+5 benchmark regression.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -43,6 +58,8 @@ from repro.errors import ConfigurationError, ReproError
 EXIT_OK = 0
 EXIT_DECODE_FAILURE = 2
 EXIT_CONFIG_ERROR = 3
+EXIT_SLO_VIOLATION = 4
+EXIT_BENCH_REGRESSION = 5
 
 #: Subcommands whose drivers actually consume a fault plan.
 FAULT_AWARE_COMMANDS = frozenset({"uplink-ber", "downlink-ber", "correlation", "arq"})
@@ -321,6 +338,100 @@ def _cmd_obs_report(args: argparse.Namespace) -> CommandOutput:
     ), render_manifest(data)
 
 
+def _cmd_bench(args: argparse.Namespace):
+    """Run the benchmark workload matrix; optionally gate on baseline."""
+    from repro.obs.perf import bench as benchmod
+
+    results = benchmod.run_bench(
+        quick=not args.full,
+        workloads=args.workloads or None,
+        seed=args.seed,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    root = args.out_dir or benchmod.repo_root()
+    paths = benchmod.write_bench_artifacts(results, root=root)
+    rows = []
+    for r in results:
+        for metric, value in r.metrics.items():
+            rows.append([r.name, metric, f"{value:.6g}"])
+    rendered = format_table(
+        ["workload", "metric", "value"], rows,
+        title="benchmark workload matrix "
+              f"({'quick' if not args.full else 'full'})",
+    )
+    rendered += "\n\nartifacts:\n" + "\n".join(f"  {p}" for p in paths)
+    data: Dict[str, Any] = {
+        "quick": not args.full,
+        "seed": args.seed,
+        "workloads": {r.name: r.metrics for r in results},
+        "artifacts": paths,
+    }
+    baseline_path = args.baseline or os.path.join(
+        benchmod.repo_root(), benchmod.DEFAULT_BASELINE
+    )
+    if args.write_baseline:
+        doc = benchmod.make_baseline(results)
+        obs.write_json(baseline_path, doc)
+        rendered += f"\n\nbaseline written to {baseline_path}"
+        data["baseline_written"] = baseline_path
+    if args.check:
+        try:
+            baseline = benchmod.load_baseline(baseline_path)
+        except FileNotFoundError:
+            raise ConfigurationError(
+                f"no baseline at {baseline_path}; run "
+                "'repro bench --write-baseline' first"
+            )
+        diffs = benchmod.compare_to_baseline(results, baseline)
+        rendered += "\n\n" + benchmod.render_diffs(diffs)
+        regressions = [d for d in diffs if d.regressed]
+        data["regressed"] = bool(regressions)
+        data["regressions"] = [
+            {
+                "workload": d.workload,
+                "metric": d.metric,
+                "baseline": d.baseline,
+                "measured": d.measured,
+                "tolerance": d.tolerance,
+                "direction": d.direction,
+            }
+            for d in regressions
+        ]
+    return CommandOutput(title="", rows=[], data=data), rendered
+
+
+def _cmd_perf_report(args: argparse.Namespace):
+    """Render the performance sections of a run manifest."""
+    from repro.obs.perf.report import (
+        render_alerts,
+        render_profile,
+        render_timeseries,
+    )
+
+    try:
+        manifest = obs.load_manifest(args.manifest)
+    except FileNotFoundError:
+        raise SystemExit(f"no such manifest: {args.manifest}")
+    data = manifest.to_dict()
+    sections = [f"perf report: {data.get('name', '?')}"]
+    profile = data.get("profile") or {}
+    sections.append(
+        render_profile(profile) if profile
+        else "(no profile recorded — rerun with --profile)"
+    )
+    series = {
+        name: summary
+        for name, summary in (data.get("metrics") or {}).items()
+        if summary.get("type") == "timeseries"
+    }
+    if series:
+        sections.append(render_timeseries(series))
+    alerts = (data.get("extra") or {}).get("alerts") or []
+    if alerts:
+        sections.append(render_alerts(alerts))
+    return CommandOutput(title="", rows=[], data=data), "\n\n".join(sections)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -343,6 +454,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection spec, e.g. "
              "'outage:duty=0.1,burst=0.1;nan:prob=0.01' "
              "(see repro.faults; ignored by commands without a link)")
+    common.add_argument(
+        "--profile", action="store_true",
+        help="enable the stage profiler and print the perf report")
+    common.add_argument(
+        "--slo", metavar="SPEC", default=None,
+        help="SLO rules evaluated after the run, e.g. "
+             "'uplink.delivery.rate >= 0.99 over 200 frames ! critical'; "
+             "fired alerts exit with code 4")
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -411,10 +530,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dir", default=None,
                    help="pick the newest manifest in this directory")
     p.set_defaults(func=_cmd_obs_report)
+
+    p = sub.add_parser("perf-report", parents=[common],
+                       help="render the perf sections of a run manifest")
+    p.add_argument("manifest", help="manifest JSON path")
+    p.set_defaults(func=_cmd_perf_report)
+
+    p = sub.add_parser("bench", parents=[common],
+                       help="run the benchmark workload matrix")
+    p.add_argument("--quick", action="store_true", default=True,
+                   help="few iterations per workload (default)")
+    p.add_argument("--full", action="store_true",
+                   help="more iterations per workload")
+    p.add_argument("--check", action="store_true",
+                   help="compare against the committed baseline; "
+                        "regressions exit with code 5")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="write this run as the new baseline")
+    p.add_argument("--baseline", default=None,
+                   help="baseline JSON path "
+                        "(default: <repo>/benchmarks/baseline.json)")
+    p.add_argument("--workloads", nargs="*", default=None,
+                   help="subset of workloads to run")
+    p.add_argument("--out-dir", default=None,
+                   help="where BENCH_*.json land (default: repo root)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_bench)
     return parser
 
 
-def _write_cli_manifest(args: argparse.Namespace, output: CommandOutput) -> str:
+def _write_cli_manifest(
+    args: argparse.Namespace,
+    output: CommandOutput,
+    alerts: Optional[List[Any]] = None,
+) -> str:
     """Build + write the run manifest for one CLI invocation."""
     from repro.sim.calibration import DEFAULTS
 
@@ -424,12 +573,14 @@ def _write_cli_manifest(args: argparse.Namespace, output: CommandOutput) -> str:
     config = {
         k: v for k, v in vars(args).items() if k not in skip and v is not None
     }
+    extra = {"alerts": [a.to_dict() for a in alerts]} if alerts else None
     manifest = obs.build_manifest(
         args.command,
         seed=getattr(args, "seed", None),
         params=DEFAULTS,
         config=config,
         results=output.data,
+        extra=extra,
     )
     return manifest.write(args.metrics_out)
 
@@ -450,9 +601,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace = getattr(args, "trace", False)
     metrics_out = getattr(args, "metrics_out", None)
     obs_dir = getattr(args, "obs_dir", None)
-    observing = trace or metrics_out is not None or obs_dir is not None
+    profiling = getattr(args, "profile", False)
+    slo_spec = getattr(args, "slo", None)
+    slo_engine = None
+    if slo_spec:
+        from repro.obs.perf.slo import SloEngine
+
+        try:
+            slo_engine = SloEngine.from_spec(slo_spec)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_CONFIG_ERROR
+    observing = (
+        trace or metrics_out is not None or obs_dir is not None
+        or profiling or slo_engine is not None
+    )
     if observing:
-        obs.configure(metrics=True, tracing=True, manifest_dir=obs_dir)
+        obs.configure(
+            metrics=True, tracing=True, profiling=profiling,
+            manifest_dir=obs_dir,
+        )
         obs.reset()
 
     try:
@@ -476,27 +644,46 @@ def main(argv: Optional[List[str]] = None) -> int:
     if isinstance(result, tuple):
         result, rendered = result
 
+    alerts: List[Any] = []
+    if slo_engine is not None:
+        alerts = slo_engine.evaluate(context={"command": args.command})
+
     if getattr(args, "json", False):
-        print(obs.dumps({"command": args.command, **result.data}))
+        payload = {"command": args.command, **result.data}
+        if slo_engine is not None:
+            payload["alerts"] = [a.to_dict() for a in alerts]
+        print(obs.dumps(payload))
     elif rendered is not None:
         print(rendered)
     else:
         print(result.to_table())
 
+    # Diagnostics (alerts, perf, trace) go to stderr under --json so
+    # stdout stays machine-readable.
+    out = sys.stderr if getattr(args, "json", False) else sys.stdout
+    if alerts:
+        from repro.obs.perf.report import render_alerts
+
+        print("\n" + render_alerts([a.to_dict() for a in alerts]), file=out)
     if metrics_out is not None:
-        path = _write_cli_manifest(args, result)
-        out = sys.stderr if getattr(args, "json", False) else sys.stdout
+        path = _write_cli_manifest(args, result, alerts=alerts)
         print(f"\nrun manifest written to {path}", file=out)
+    if profiling:
+        from repro.obs.perf.report import render_profile
+
+        print("\n" + render_profile(obs.get_profiler().snapshot()), file=out)
     if trace:
         from repro.obs.report import render_span_tree
 
         tree = render_span_tree(obs.get_tracer().to_dicts())
         if tree:
-            # Keep stdout machine-readable under --json.
-            out = sys.stderr if getattr(args, "json", False) else sys.stdout
             print("\ntrace\n" + tree, file=out)
     if observing:
         obs.disable()
+    if alerts:
+        return EXIT_SLO_VIOLATION
+    if args.command == "bench" and result.data.get("regressed"):
+        return EXIT_BENCH_REGRESSION
     return EXIT_OK
 
 

@@ -169,14 +169,16 @@ def condition(
         values = values[:, None]
     if values.shape[0] == 0:
         raise ConfigurationError("cannot condition an empty measurement set")
-    values, repaired = sanitize(values, nonfinite)
-    baseline = moving_average_by_time(values, timestamps_s, window_s)
-    zero_mean = values - baseline
-    scale = np.abs(zero_mean).mean(axis=0)
-    # Guard sub-channels with no variation at all (e.g. all-quantized to
-    # one level): leave them at zero rather than dividing by zero.
-    safe = np.where(scale > 0, scale, 1.0)
-    normalized = zero_mean / safe
+    with obs.profile("conditioning.condition"):
+        values, repaired = sanitize(values, nonfinite)
+        baseline = moving_average_by_time(values, timestamps_s, window_s)
+        zero_mean = values - baseline
+        scale = np.abs(zero_mean).mean(axis=0)
+        # Guard sub-channels with no variation at all (e.g. all-quantized
+        # to one level): leave them at zero rather than dividing by zero.
+        safe = np.where(scale > 0, scale, 1.0)
+        normalized = zero_mean / safe
+        obs.add_ops(values.size, values.nbytes)
     return ConditionedMeasurements(
         normalized=normalized,
         scale=scale,

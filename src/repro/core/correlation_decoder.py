@@ -12,7 +12,9 @@ peaks". SNR grows with L, trading bit rate for range (Fig 20).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+
 import numpy as np
 
 from repro import obs
@@ -132,43 +134,53 @@ class CorrelationDecoder:
         # Correlation is the last rung of the degradation ladder, so it
         # must digest poisoned samples rather than bail: repair (or
         # reject, per policy) before conditioning.
-        matrix, repaired = conditioning.sanitize(matrix, self.nonfinite_policy)
-        if repaired:
-            obs.counter("correlation.nonfinite.repaired").inc(repaired)
-        cond = conditioning.condition(
-            matrix, timestamps, self.window_s, nonfinite="propagate"
-        )
+        t_decode = time.perf_counter() if obs.metrics_enabled() else 0.0
+        with obs.profile("correlation.decode"):
+            matrix, repaired = conditioning.sanitize(
+                matrix, self.nonfinite_policy
+            )
+            if repaired:
+                obs.counter("correlation.nonfinite.repaired").inc(repaired)
+            cond = conditioning.condition(
+                matrix, timestamps, self.window_s, nonfinite="propagate"
+            )
 
-        length = self.code_pair.length
-        chips = self._chip_means(
-            cond.normalized,
-            timestamps,
-            start_time_s,
-            chip_duration_s,
-            num_bits * length,
-        )
-        code_one = np.asarray(self.code_pair.code_one, dtype=float)
-        code_zero = np.asarray(self.code_pair.code_zero, dtype=float)
+            length = self.code_pair.length
+            chips = self._chip_means(
+                cond.normalized,
+                timestamps,
+                start_time_s,
+                chip_duration_s,
+                num_bits * length,
+            )
+            code_one = np.asarray(self.code_pair.code_one, dtype=float)
+            code_zero = np.asarray(self.code_pair.code_zero, dtype=float)
 
-        # Per-bit, per-channel correlations with both codes.
-        per_bit = chips.reshape(num_bits, length, -1)
-        corr_one = np.einsum("blc,l->bc", per_bit, code_one) / length
-        corr_zero = np.einsum("blc,l->bc", per_bit, code_zero) / length
+            # Per-bit, per-channel correlations with both codes.
+            per_bit = chips.reshape(num_bits, length, -1)
+            corr_one = np.einsum("blc,l->bc", per_bit, code_one) / length
+            corr_zero = np.einsum("blc,l->bc", per_bit, code_zero) / length
 
-        # Pick the channels with the strongest total correlation energy
-        # ("the sub-channels that provide the maximum correlation peaks").
-        energy = (np.abs(corr_one) + np.abs(corr_zero)).sum(axis=0)
-        count = min(self.good_count, matrix.shape[1])
-        best = np.argsort(-energy)[:count]
+            # Pick the channels with the strongest total correlation energy
+            # ("the sub-channels that provide the maximum correlation
+            # peaks").
+            energy = (np.abs(corr_one) + np.abs(corr_zero)).sum(axis=0)
+            count = min(self.good_count, matrix.shape[1])
+            best = np.argsort(-energy)[:count]
 
-        # Decision: larger |correlation| wins, energy-combined across the
-        # selected channels (|.| makes the decision polarity-free).
-        score_one = np.abs(corr_one[:, best]).sum(axis=1)
-        score_zero = np.abs(corr_zero[:, best]).sum(axis=1)
-        bits = (score_one > score_zero).astype(int)
-        margins = score_one - score_zero
+            # Decision: larger |correlation| wins, energy-combined across
+            # the selected channels (|.| makes the decision polarity-free).
+            score_one = np.abs(corr_one[:, best]).sum(axis=1)
+            score_zero = np.abs(corr_zero[:, best]).sum(axis=1)
+            bits = (score_one > score_zero).astype(int)
+            margins = score_one - score_zero
+            obs.add_ops(2 * per_bit.size, per_bit.nbytes)
         if obs.enabled():
             obs.counter("correlation.decodes").inc()
+            if obs.metrics_enabled():
+                obs.timeseries("correlation.decode.latency_s").sample(
+                    time.perf_counter() - t_decode
+                )
             obs.histogram("correlation.margin").observe_many(np.abs(margins))
             obs.histogram("correlation.subchannel.energy").observe_many(
                 energy[best]

@@ -21,6 +21,7 @@ Two measurement modes share the pipeline:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
@@ -340,19 +341,22 @@ class UplinkDecoder:
             raise DecodeError("empty measurement stream")
         if num_bits < 1:
             raise ConfigurationError("num_bits must be >= 1")
+        t_decode = time.perf_counter() if obs.metrics_enabled() else 0.0
         with obs.span("uplink.decode", mode=mode, num_bits=num_bits,
-                      packets=len(stream)):
+                      packets=len(stream)), obs.profile("uplink.decode"):
             requested_mode = mode
             mode, matrix, repaired = self._resolve_matrix(stream, mode)
             if repaired:
                 obs.counter("uplink.nonfinite.repaired").inc(repaired)
             timestamps = stream.timestamps
-            with obs.span("uplink.decode.condition"):
+            with obs.span("uplink.decode.condition"), \
+                    obs.profile("uplink.decode.condition"):
                 cond = self._condition(stream, matrix, timestamps)
 
             cfg = self.config
             with obs.span("uplink.decode.detect",
-                          known_timing=start_time_s is not None) as sp_detect:
+                          known_timing=start_time_s is not None) \
+                    as sp_detect, obs.profile("uplink.decode.detect"):
                 if start_time_s is None:
                     detection = subchannel.detect_preamble(
                         cond.normalized,
@@ -383,7 +387,8 @@ class UplinkDecoder:
             # RSSI mode keeps only the single best antenna channel (§3.3);
             # CSI mode keeps the top `good_count` of all 90 channels.
             good_count = 1 if mode == "rssi" else cfg.good_count
-            with obs.span("uplink.decode.combine") as sp_combine:
+            with obs.span("uplink.decode.combine") as sp_combine, \
+                    obs.profile("uplink.decode.combine"):
                 good = subchannel.select_good_subchannels(
                     detection.correlations, good_count
                 )
@@ -399,11 +404,13 @@ class UplinkDecoder:
                     detection.correlations, variances, good
                 )
                 combined = combining.combine(cond.normalized, weights)
+                obs.add_ops(cond.normalized.size, cond.normalized.nbytes)
                 self._emit_combine_diagnostics(
                     detection, good, weights, sp_combine
                 )
 
-            with obs.span("uplink.decode.slice") as sp_slice:
+            with obs.span("uplink.decode.slice") as sp_slice, \
+                    obs.profile("uplink.decode.slice"):
                 thresholds = slicer.compute_thresholds(
                     combined, cfg.hysteresis_width
                 )
@@ -433,6 +440,10 @@ class UplinkDecoder:
                     combined, decisions, thresholds, sliced, sp_slice
                 )
             obs.counter("uplink.decodes").inc()
+            if obs.metrics_enabled():
+                obs.timeseries("uplink.decode.latency_s").sample(
+                    time.perf_counter() - t_decode
+                )
             frame_lo, frame_hi = np.searchsorted(
                 timestamps, [detection.start_time_s, last_needed]
             )

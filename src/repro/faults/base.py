@@ -198,6 +198,10 @@ class FaultPlan:
         dropped = int(len(times) - keep.sum())
         if dropped:
             obs.counter("faults.packets.dropped").inc(dropped)
+        if obs.metrics_enabled() and len(times):
+            obs.timeseries("faults.packets.drop_fraction").sample(
+                dropped / len(times)
+            )
         return keep
 
     def tag_powered_mask(self, times_s: Sequence[float]) -> np.ndarray:

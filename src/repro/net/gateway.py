@@ -21,6 +21,7 @@ from repro.core.frames import bits_to_int
 from repro.core.inventory import InventoryTag, SlottedAlohaInventory
 from repro.core.protocol import CMD_READ_SENSOR, WiFiBackscatterReader
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.perf.slo import AlertEvent, SloEngine
 
 #: Sink for readings headed upstream ("the Internet").
 PublishFn = Callable[["SensorReading"], None]
@@ -103,6 +104,12 @@ class BackscatterGateway:
             re-failure.  0 disables the breaker (legacy behaviour: a
             dead tag is re-polled at full rate forever).
         quarantine_max_cycles: quarantine length ceiling.
+        slo: optional :class:`SloEngine` evaluated after every poll
+            cycle (requires metrics to be enabled).  A fired alert whose
+            rule carries ``action == "quarantine"`` pre-empts the
+            breaker: tags already failing (but still below the normal
+            ``offline_threshold``) are quarantined immediately, cutting
+            the polling budget spent on a link the SLO says is sick.
     """
 
     def __init__(
@@ -113,6 +120,7 @@ class BackscatterGateway:
         offline_threshold: int = 3,
         quarantine_base_cycles: int = 4,
         quarantine_max_cycles: int = 64,
+        slo: Optional[SloEngine] = None,
     ) -> None:
         if offline_threshold < 1:
             raise ConfigurationError("offline_threshold must be >= 1")
@@ -128,9 +136,11 @@ class BackscatterGateway:
         self.offline_threshold = offline_threshold
         self.quarantine_base_cycles = quarantine_base_cycles
         self.quarantine_max_cycles = quarantine_max_cycles
+        self.slo = slo
         self.registry: Dict[int, TagStatus] = {}
         self.poll_index = 0
         self.published: List[SensorReading] = []
+        self.alerts: List[AlertEvent] = []
 
     # -- registry ---------------------------------------------------------------
 
@@ -237,6 +247,7 @@ class BackscatterGateway:
         helper_rate = self.helper_rate_fn()
         if helper_rate <= 0:
             raise ConfigurationError("helper_rate_fn must return > 0")
+        attempted = 0
         for status in self.registry.values():
             probe = False
             if status.breaker_state == BREAKER_OPEN:
@@ -246,6 +257,7 @@ class BackscatterGateway:
                     continue
                 status.breaker_state = BREAKER_HALF_OPEN
                 probe = True
+            attempted += 1
             reading = self._poll_tag(status, helper_rate, probe)
             if reading is not None:
                 readings.append(reading)
@@ -253,7 +265,44 @@ class BackscatterGateway:
                 if self.publish is not None:
                     self.publish(reading)
         obs.counter("gateway.polls").inc()
+        if obs.metrics_enabled():
+            if attempted:
+                obs.timeseries("gateway.delivery").sample(
+                    len(readings) / attempted
+                )
+            obs.gauge("gateway.breaker.open").set(
+                len(self.quarantined_tags())
+            )
+        if self.slo is not None and obs.metrics_enabled():
+            fired = self.slo.evaluate(
+                context={"poll_index": self.poll_index}
+            )
+            if fired:
+                self.handle_alerts(fired)
         return readings
+
+    def handle_alerts(self, alerts: Sequence[AlertEvent]) -> None:
+        """React to fired SLO alerts (alert-driven breaker pre-emption).
+
+        An alert whose rule carries ``action == "quarantine"``
+        quarantines every tag that is already failing
+        (``consecutive_failures >= 1``) but whose breaker has not yet
+        tripped — the fleet-level SLO violation is evidence the link is
+        sick, so waiting out the full ``offline_threshold`` per tag
+        just burns polling budget.
+        """
+        self.alerts.extend(alerts)
+        if not any(a.rule.action == "quarantine" for a in alerts):
+            return
+        if self.quarantine_base_cycles <= 0:
+            return
+        for status in self.registry.values():
+            if (
+                status.breaker_state == BREAKER_CLOSED
+                and status.consecutive_failures >= 1
+            ):
+                self._open_breaker(status)
+                obs.counter("gateway.breaker.preempted").inc()
 
     def poll(self, cycles: int) -> List[SensorReading]:
         """Run several poll cycles; returns all readings gathered."""

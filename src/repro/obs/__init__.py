@@ -52,15 +52,25 @@ from repro.obs.metrics import (
     NULL_METRIC,
     Timer,
 )
+from repro.obs.perf import (
+    AlertEvent,
+    SloEngine,
+    SloRule,
+    TimeSeries,
+    add_ops,
+    profile,
+)
 from repro.obs.state import (
     configure,
     disable,
     enable,
     enabled,
+    get_profiler,
     get_registry,
     get_tracer,
     manifest_dir,
     metrics_enabled,
+    profiling_enabled,
     reset,
     session,
     tracing_enabled,
@@ -96,16 +106,28 @@ def timer(name: str):
     return NULL_METRIC
 
 
+def timeseries(name: str, capacity=None):
+    """Live :class:`TimeSeries` while metrics are on, else a no-op."""
+    if state.metrics_enabled():
+        return state.get_registry().timeseries(name, capacity=capacity)
+    return NULL_METRIC
+
+
 __all__ = [
+    "AlertEvent",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_METRIC",
     "RunManifest",
+    "SloEngine",
+    "SloRule",
     "Span",
+    "TimeSeries",
     "Timer",
     "Tracer",
+    "add_ops",
     "build_manifest",
     "configure",
     "counter",
@@ -115,6 +137,7 @@ __all__ = [
     "enable",
     "enabled",
     "gauge",
+    "get_profiler",
     "get_registry",
     "get_tracer",
     "git_sha",
@@ -123,6 +146,8 @@ __all__ = [
     "load_manifest",
     "manifest_dir",
     "metrics_enabled",
+    "profile",
+    "profiling_enabled",
     "read_json",
     "record_run",
     "reset",
@@ -130,6 +155,7 @@ __all__ = [
     "span",
     "state",
     "timer",
+    "timeseries",
     "tracing_enabled",
     "write_json",
 ]

@@ -3,15 +3,32 @@
 Span attributes and metric values routinely carry numpy scalars and
 arrays; :func:`jsonable` converts them (and other awkward types) into
 plain python so ``json.dumps`` always succeeds.
+
+Non-finite floats are *signal*, not noise — a NaN separation gauge
+means the quality assessor saw poisoned input, an inf means a genuine
+divide-by-zero — so they are encoded as the strings ``"NaN"``,
+``"Infinity"``, ``"-Infinity"`` (the IEEE names JavaScript/Python both
+recognise) rather than flattened to null.  :func:`read_json` decodes
+them back to floats, making the round trip lossless.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 from typing import Any
 
 import numpy as np
+
+#: String spellings of the non-finite floats (write side).
+_NONFINITE_STRINGS = {"NaN", "Infinity", "-Infinity"}
+
+
+def _encode_nonfinite(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    return "Infinity" if value > 0 else "-Infinity"
 
 
 def jsonable(value: Any) -> Any:
@@ -19,12 +36,14 @@ def jsonable(value: Any) -> Any:
 
     numpy scalars become python scalars, arrays become lists, sets and
     tuples become lists, dataclass-free objects fall back to ``repr``.
-    Non-finite floats become None (JSON has no NaN/inf).
+    Non-finite floats become the strings ``"NaN"`` / ``"Infinity"`` /
+    ``"-Infinity"`` (JSON has no literal for them); :func:`read_json`
+    restores them.
     """
     if value is None or isinstance(value, (bool, int, str)):
         return value
     if isinstance(value, float):
-        return value if np.isfinite(value) else None
+        return value if np.isfinite(value) else _encode_nonfinite(value)
     if isinstance(value, np.generic):
         return jsonable(value.item())
     if isinstance(value, np.ndarray):
@@ -34,6 +53,19 @@ def jsonable(value: Any) -> Any:
     if isinstance(value, (list, tuple, set, frozenset)):
         return [jsonable(v) for v in value]
     return repr(value)
+
+
+def _decode_nonfinite(value: Any) -> Any:
+    """Inverse of the non-finite string encoding, applied recursively."""
+    if isinstance(value, str):
+        if value in _NONFINITE_STRINGS:
+            return float(value)
+        return value
+    if isinstance(value, dict):
+        return {k: _decode_nonfinite(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_nonfinite(v) for v in value]
+    return value
 
 
 def dumps(obj: Any, indent: int = 2) -> str:
@@ -52,5 +84,7 @@ def write_json(path: str, obj: Any) -> str:
 
 
 def read_json(path: str) -> Any:
+    """Read JSON written by :func:`write_json`, restoring the
+    ``"NaN"``/``"Infinity"``/``"-Infinity"`` strings to floats."""
     with open(path, "r", encoding="utf-8") as fh:
-        return json.load(fh)
+        return _decode_nonfinite(json.load(fh))

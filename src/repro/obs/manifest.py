@@ -72,7 +72,11 @@ class RunManifest:
         version: package version.
         metrics: metric snapshot at capture time.
         spans: recorded span trees at capture time.
-        extra: free-form additions.
+        profile: per-stage profiler snapshot (``{stage: {calls,
+            total_s, self_s, max_s, ops, bytes}}``) when profiling was
+            enabled.
+        extra: free-form additions (the CLI stores fired SLO alerts
+            under ``extra["alerts"]``).
     """
 
     name: str
@@ -85,6 +89,7 @@ class RunManifest:
     version: str = __version__
     metrics: Dict[str, Any] = field(default_factory=dict)
     spans: List[Dict[str, Any]] = field(default_factory=list)
+    profile: Dict[str, Any] = field(default_factory=dict)
     extra: Dict[str, Any] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
@@ -142,10 +147,13 @@ def build_manifest(
     """
     metrics: Dict[str, Any] = {}
     spans: List[Dict[str, Any]] = []
+    profile: Dict[str, Any] = {}
     if state.metrics_enabled():
         metrics = state.get_registry().snapshot()
     if state.tracing_enabled():
         spans = state.get_tracer().to_dicts()
+    if state.profiling_enabled():
+        profile = state.get_profiler().snapshot()
     return RunManifest(
         name=name,
         seed=seed,
@@ -155,6 +163,7 @@ def build_manifest(
         git_sha=git_sha(),
         metrics=metrics,
         spans=spans,
+        profile=profile,
         extra=dict(extra or {}),
     )
 

@@ -18,6 +18,7 @@ import time
 from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.perf.timeseries import TimeSeries
 
 #: Bound on stored histogram samples; aggregates keep counting past it.
 MAX_SAMPLES = 2048
@@ -194,6 +195,28 @@ class MetricsRegistry:
     def timer(self, name: str) -> Timer:
         return self._get(name, Timer)
 
+    def timeseries(self, name: str, capacity: Optional[int] = None) -> TimeSeries:
+        """A ring-buffer :class:`TimeSeries` (created on first use).
+
+        ``capacity`` only applies at creation; re-requesting an
+        existing series with a different capacity is not an error (the
+        original ring is kept — capacity is a creation-time hint).
+        """
+        metric = self._metrics.get(name)
+        if metric is None:
+            if not name:
+                raise ConfigurationError("metric name must be non-empty")
+            if capacity is None:
+                metric = TimeSeries(name)
+            else:
+                metric = TimeSeries(name, capacity=capacity)
+            self._metrics[name] = metric
+        elif not isinstance(metric, TimeSeries):
+            raise ConfigurationError(
+                f"metric {name!r} is a {metric.kind}, not a timeseries"
+            )
+        return metric
+
     def __len__(self) -> int:
         return len(self._metrics)
 
@@ -207,21 +230,48 @@ class MetricsRegistry:
         """All metrics as ``{name: summary}``, sorted by name."""
         return {name: self._metrics[name].summary() for name in self.names()}
 
-    def to_line_protocol(self) -> str:
-        """One line per metric: ``<name> <field>=<value> ...``.
+    def to_line_protocol(self, timestamp_ns: Optional[int] = None) -> str:
+        """One InfluxDB line-protocol line per metric:
+        ``<name>,type=<kind> <field>=<value>,... <timestamp_ns>``.
 
-        A minimal influx-style text form for scraping/diffing.
+        Measurement names and tag values are escaped per the line
+        protocol spec (commas and spaces in measurements; commas,
+        spaces, and equals signs in tag keys/values).  Every line
+        carries the same nanosecond timestamp — the snapshot instant —
+        so an ingester sees one coherent scrape.
+
+        Args:
+            timestamp_ns: snapshot time in nanoseconds since the epoch;
+                defaults to ``time.time_ns()``.
         """
+        if timestamp_ns is None:
+            timestamp_ns = time.time_ns()
+        ts = int(timestamp_ns)
         lines = []
         for name, summary in self.snapshot().items():
+            summary = dict(summary)
+            kind = summary.pop("type", "?")
             fields = ",".join(
-                f"{k}={v}" for k, v in summary.items() if v is not None
+                f"{_escape_tag(k)}={v}"
+                for k, v in summary.items() if v is not None
             )
-            lines.append(f"{name} {fields}")
+            measurement = _escape_measurement(name)
+            tag = f"type={_escape_tag(str(kind))}"
+            lines.append(f"{measurement},{tag} {fields} {ts}")
         return "\n".join(lines)
 
     def reset(self) -> None:
         self._metrics.clear()
+
+
+def _escape_measurement(name: str) -> str:
+    """Escape a line-protocol measurement name (commas and spaces)."""
+    return name.replace("\\", "\\\\").replace(",", "\\,").replace(" ", "\\ ")
+
+
+def _escape_tag(value: str) -> str:
+    """Escape a line-protocol tag key/value (commas, spaces, equals)."""
+    return _escape_measurement(value).replace("=", "\\=")
 
 
 class NullMetric:
@@ -243,6 +293,9 @@ class NullMetric:
         pass
 
     def observe_many(self, values: Iterable[float]) -> None:
+        pass
+
+    def sample(self, value: float, t: Optional[float] = None) -> None:
         pass
 
     def time(self) -> "_NullTimerContext":

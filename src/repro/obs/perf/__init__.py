@@ -1,0 +1,57 @@
+"""Performance telemetry: time series, profiling, SLOs, benchmarks.
+
+Layered on the :mod:`repro.obs` registry, this package turns the
+point-in-time instrumentation into an *operated* system:
+
+* :mod:`~repro.obs.perf.timeseries` — fixed-capacity ring-buffer
+  :class:`TimeSeries` with windowed mean/min/max/p50/p95/p99, reached
+  through ``obs.timeseries(name).sample(v)``;
+* :mod:`~repro.obs.perf.profiler` — :func:`profile`/:func:`add_ops`
+  per-stage wall-time and op/byte accounting with the same
+  boolean-check-when-disabled contract as the metrics layer;
+* :mod:`~repro.obs.perf.slo` — declarative :class:`SloRule` objectives
+  (``uplink.delivery.rate >= 0.99 over 200 frames``) evaluated by an
+  :class:`SloEngine` into typed :class:`AlertEvent`s;
+* :mod:`~repro.obs.perf.bench` — the standardized workload matrix
+  behind ``python -m repro bench``, repo-root ``BENCH_*.json``
+  artifacts, and the regression gate against
+  ``benchmarks/baseline.json``;
+* :mod:`~repro.obs.perf.report` — perf-report and alert rendering.
+
+``bench`` is imported lazily (it pulls in the simulation drivers).
+"""
+
+from __future__ import annotations
+
+from repro.obs.perf.profiler import (
+    NULL_PROFILE_CONTEXT,
+    Profiler,
+    StageStats,
+    add_ops,
+    profile,
+)
+from repro.obs.perf.slo import (
+    AlertEvent,
+    SloEngine,
+    SloRule,
+    parse_slo_rule,
+    parse_slo_spec,
+    resolve_metric_value,
+)
+from repro.obs.perf.timeseries import DEFAULT_CAPACITY, TimeSeries
+
+__all__ = [
+    "AlertEvent",
+    "DEFAULT_CAPACITY",
+    "NULL_PROFILE_CONTEXT",
+    "Profiler",
+    "SloEngine",
+    "SloRule",
+    "StageStats",
+    "TimeSeries",
+    "add_ops",
+    "parse_slo_rule",
+    "parse_slo_spec",
+    "profile",
+    "resolve_metric_value",
+]

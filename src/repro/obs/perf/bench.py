@@ -1,0 +1,423 @@
+"""Benchmark baseline + regression gate (``python -m repro bench``).
+
+A standardized workload matrix exercises every major path of the
+reproduction — uplink decoding in CSI and RSSI mode at two distances,
+the long-range correlation mode, ARQ under fault injection, and the
+downlink — under a metrics+profiling session.  Each workload yields:
+
+* wall-clock latency percentiles (p50/p95/p99 over its iterations),
+* throughput (decoded payload bits per second of wall time),
+* its deterministic quality metrics (BER, delivery ratio, ...).
+
+Results land as canonical repo-root ``BENCH_<workload>.json`` artifacts
+(schema ``{name, commit, timestamp, metrics{...}}``) that the
+trajectory tooling tracks across PRs, and ``--check`` compares them
+against the committed ``benchmarks/baseline.json`` with per-metric
+tolerances: wall-clock metrics get wide relative bands (CI machines
+vary), deterministic metrics get tight ones (the simulation is
+seeded).  A regression exits nonzero with a per-metric diff.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs import state
+from repro.obs.export import read_json, write_json
+from repro.obs.manifest import git_sha
+from repro.obs.perf.timeseries import TimeSeries
+
+#: Baseline file schema version.
+BASELINE_SCHEMA_VERSION = 1
+
+#: Default baseline location, relative to the repo root.
+DEFAULT_BASELINE = os.path.join("benchmarks", "baseline.json")
+
+#: Direction semantics for regression checks.
+HIGHER_BETTER = "higher_better"
+LOWER_BETTER = "lower_better"
+
+
+def repo_root(start: Optional[str] = None) -> str:
+    """Nearest ancestor holding ``pyproject.toml`` (fallback: cwd).
+
+    The canonical ``BENCH_*.json`` artifacts belong at the repo root so
+    the trajectory tooling can glob them without knowing the layout.
+    """
+    here = os.path.abspath(start or os.getcwd())
+    probe = here
+    while True:
+        if os.path.exists(os.path.join(probe, "pyproject.toml")):
+            return probe
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            return here
+        probe = parent
+
+
+def utc_timestamp() -> str:
+    return datetime.now(timezone.utc).isoformat()
+
+
+# -- workloads ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """One workload's measured metrics plus its obs snapshot."""
+
+    name: str
+    metrics: Dict[str, float]
+    snapshot: Dict[str, Any] = field(default_factory=dict)
+    profile: Dict[str, Any] = field(default_factory=dict)
+
+
+def _latency_metrics(latencies: TimeSeries) -> Dict[str, float]:
+    stats = latencies.stats()
+    return {
+        "latency_p50_s": stats["p50"],
+        "latency_p95_s": stats["p95"],
+        "latency_p99_s": stats["p99"],
+        "wall_s": stats["mean"] * stats["count"],
+    }
+
+
+def _bench_uplink(distance_m: float, mode: str, iterations: int,
+                  seed: int) -> Dict[str, float]:
+    from repro.sim.link import run_uplink_ber
+
+    bits_per_iter = 45
+    repeats = 2
+    latencies = TimeSeries("bench.latency", capacity=max(iterations, 1))
+    errors = total = 0
+    for i in range(iterations):
+        t0 = time.perf_counter()
+        result = run_uplink_ber(
+            distance_m, 12.0, mode=mode, repeats=repeats,
+            num_payload_bits=bits_per_iter, seed=seed + i,
+        )
+        latencies.sample(time.perf_counter() - t0)
+        errors += result.errors
+        total += result.total_bits
+    out = _latency_metrics(latencies)
+    out["throughput_bps"] = total / out["wall_s"] if out["wall_s"] else 0.0
+    out["ber"] = errors / total if total else 0.0
+    return out
+
+
+def _bench_correlation(iterations: int, seed: int) -> Dict[str, float]:
+    from repro.sim.link import run_correlation_trial
+
+    num_bits = 12
+    latencies = TimeSeries("bench.latency", capacity=max(iterations, 1))
+    errors = total = 0
+    for i in range(iterations):
+        t0 = time.perf_counter()
+        trial = run_correlation_trial(
+            1.6, code_length=8, num_bits=num_bits, packets_per_chip=5.0,
+            seed=seed + i,
+        )
+        latencies.sample(time.perf_counter() - t0)
+        errors += trial.errors
+        total += num_bits
+    out = _latency_metrics(latencies)
+    out["throughput_bps"] = total / out["wall_s"] if out["wall_s"] else 0.0
+    out["ber"] = errors / total if total else 0.0
+    return out
+
+
+def _bench_arq_faults(iterations: int, seed: int) -> Dict[str, float]:
+    from repro.faults import parse_fault_spec
+    from repro.sim.link import run_arq_uplink
+
+    frames = 6
+    payload = 8
+    latencies = TimeSeries("bench.latency", capacity=max(iterations, 1))
+    delivered = total_frames = 0
+    attempts = 0.0
+    for i in range(iterations):
+        faults = parse_fault_spec(
+            "outage:duty=0.2,burst=0.5", base_seed=seed + i
+        )
+        t0 = time.perf_counter()
+        result = run_arq_uplink(
+            0.3, num_frames=frames, payload_len=payload,
+            bit_rate_bps=1000.0, packets_per_bit=6.0, max_attempts=3,
+            faults=faults, seed=seed + i,
+        )
+        latencies.sample(time.perf_counter() - t0)
+        delivered += result.delivered
+        total_frames += result.frames
+        attempts += result.mean_attempts * result.frames
+    out = _latency_metrics(latencies)
+    out["throughput_bps"] = (
+        delivered * payload / out["wall_s"] if out["wall_s"] else 0.0
+    )
+    out["delivery_ratio"] = delivered / total_frames if total_frames else 0.0
+    out["mean_attempts"] = attempts / total_frames if total_frames else 0.0
+    return out
+
+
+def _bench_downlink(iterations: int, seed: int) -> Dict[str, float]:
+    from repro.core.downlink_encoder import bit_duration_for_rate
+    from repro.sim.link import run_downlink_ber
+
+    num_bits = 50_000
+    bit_s = bit_duration_for_rate(20e3)
+    latencies = TimeSeries("bench.latency", capacity=max(iterations, 1))
+    errors = total = 0
+    for i in range(iterations):
+        t0 = time.perf_counter()
+        result = run_downlink_ber(2.0, bit_s, num_bits=num_bits, seed=seed + i)
+        latencies.sample(time.perf_counter() - t0)
+        errors += result.errors
+        total += result.total_bits
+    out = _latency_metrics(latencies)
+    out["throughput_bps"] = total / out["wall_s"] if out["wall_s"] else 0.0
+    out["ber"] = errors / total if total else 0.0
+    return out
+
+
+#: The workload matrix: name -> fn(iterations, seed) -> metrics dict.
+WORKLOADS: Dict[str, Callable[[int, int], Dict[str, float]]] = {
+    "uplink_csi_near": lambda n, s: _bench_uplink(0.3, "csi", n, s),
+    "uplink_csi_mid": lambda n, s: _bench_uplink(0.6, "csi", n, s),
+    "uplink_rssi_near": lambda n, s: _bench_uplink(0.3, "rssi", n, s),
+    "correlation_long": _bench_correlation,
+    "arq_under_faults": _bench_arq_faults,
+    "downlink_far": _bench_downlink,
+}
+
+#: Iterations per workload.
+QUICK_ITERATIONS = 3
+FULL_ITERATIONS = 8
+
+#: Metrics whose values are wall-clock dependent (wide tolerance) vs
+#: deterministic simulation outputs (tight tolerance).
+WALL_CLOCK_METRICS = frozenset({
+    "latency_p50_s", "latency_p95_s", "latency_p99_s", "wall_s",
+    "throughput_bps",
+})
+
+
+def run_workload(
+    name: str, iterations: int, seed: int = 0
+) -> WorkloadResult:
+    """Run one named workload under a metrics+profiling session."""
+    fn = WORKLOADS.get(name)
+    if fn is None:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        )
+    if iterations < 1:
+        raise ConfigurationError("iterations must be >= 1")
+    with state.session(metrics=True, tracing=False, profiling=True):
+        metrics = fn(iterations, seed)
+        snapshot = state.get_registry().snapshot()
+        profile = state.get_profiler().snapshot()
+    return WorkloadResult(
+        name=name, metrics=metrics, snapshot=snapshot, profile=profile
+    )
+
+
+def run_bench(
+    quick: bool = True,
+    workloads: Optional[List[str]] = None,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[WorkloadResult]:
+    """Run the (possibly filtered) workload matrix."""
+    names = list(workloads) if workloads else list(WORKLOADS)
+    for name in names:
+        if name not in WORKLOADS:
+            raise ConfigurationError(
+                f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+            )
+    iterations = QUICK_ITERATIONS if quick else FULL_ITERATIONS
+    results = []
+    for name in names:
+        if progress is not None:
+            progress(f"bench: {name} ({iterations} iterations)")
+        results.append(run_workload(name, iterations, seed=seed))
+    return results
+
+
+# -- artifacts ---------------------------------------------------------------------
+
+
+def root_artifact(name: str, metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """The canonical ``BENCH_*.json`` payload (trajectory schema)."""
+    return {
+        "name": name,
+        "commit": git_sha(),
+        "timestamp": utc_timestamp(),
+        "metrics": dict(metrics),
+    }
+
+
+def write_root_artifact(
+    name: str, metrics: Dict[str, Any], root: Optional[str] = None
+) -> str:
+    """Write ``BENCH_<name>.json`` at the repo root; returns the path."""
+    root = root or repo_root()
+    path = os.path.join(root, f"BENCH_{name}.json")
+    return write_json(path, root_artifact(name, metrics))
+
+
+def write_bench_artifacts(
+    results: List[WorkloadResult], root: Optional[str] = None
+) -> List[str]:
+    """Write every workload's repo-root artifact; returns the paths."""
+    return [
+        write_root_artifact(r.name, r.metrics, root=root) for r in results
+    ]
+
+
+def write_perf_report(
+    results: List[WorkloadResult], path: str
+) -> str:
+    """Write the combined per-workload perf report (plain text)."""
+    from repro.obs.perf.report import render_profile
+
+    sections = []
+    for r in results:
+        sections.append(f"== {r.name} ==\n{render_profile(r.profile)}")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n\n".join(sections))
+        fh.write("\n")
+    return path
+
+
+# -- regression gate ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One baseline comparison outcome."""
+
+    workload: str
+    metric: str
+    baseline: float
+    measured: float
+    tolerance: float
+    direction: str
+    regressed: bool
+
+    @property
+    def delta_fraction(self) -> Optional[float]:
+        if self.baseline == 0:
+            return None
+        return (self.measured - self.baseline) / abs(self.baseline)
+
+
+def default_tolerance(metric: str) -> float:
+    """Relative tolerance for a metric: wide for wall-clock, tight for
+    deterministic simulation outputs."""
+    return 1.0 if metric in WALL_CLOCK_METRICS else 0.10
+
+
+def default_direction(metric: str) -> str:
+    return HIGHER_BETTER if metric in (
+        "throughput_bps", "delivery_ratio"
+    ) else LOWER_BETTER
+
+
+def make_baseline(results: List[WorkloadResult]) -> Dict[str, Any]:
+    """Baseline document from a bench run (committed to the repo)."""
+    workloads: Dict[str, Any] = {}
+    for r in results:
+        entries = {}
+        for metric, value in r.metrics.items():
+            entries[metric] = {
+                "value": value,
+                "tolerance": default_tolerance(metric),
+                "direction": default_direction(metric),
+            }
+        workloads[r.name] = {"metrics": entries}
+    return {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "commit": git_sha(),
+        "timestamp": utc_timestamp(),
+        "workloads": workloads,
+    }
+
+
+def compare_to_baseline(
+    results: List[WorkloadResult], baseline: Dict[str, Any]
+) -> List[MetricDiff]:
+    """Compare a fresh run to a baseline document.
+
+    Only metrics present in the baseline are gated (new metrics are
+    free to appear).  A regression is a move past the tolerance band in
+    the metric's *bad* direction; improvements never gate.  An absolute
+    slack of ``atol`` (default 0) guards near-zero baselines like a
+    0.0 BER.
+    """
+    diffs: List[MetricDiff] = []
+    by_name = {r.name: r for r in results}
+    for wname, wspec in (baseline.get("workloads") or {}).items():
+        result = by_name.get(wname)
+        if result is None:
+            continue
+        for metric, spec in (wspec.get("metrics") or {}).items():
+            if metric not in result.metrics:
+                continue
+            base = float(spec["value"])
+            measured = float(result.metrics[metric])
+            tol = float(spec.get("tolerance", default_tolerance(metric)))
+            atol = float(spec.get("atol", 0.0))
+            direction = spec.get("direction", default_direction(metric))
+            if direction == HIGHER_BETTER:
+                limit = base * (1.0 - tol) - atol
+                regressed = measured < limit
+            else:
+                limit = base * (1.0 + tol) + atol
+                regressed = measured > limit
+            diffs.append(MetricDiff(
+                workload=wname, metric=metric, baseline=base,
+                measured=measured, tolerance=tol, direction=direction,
+                regressed=regressed,
+            ))
+    return diffs
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    data = read_json(path)
+    if not isinstance(data, dict) or "workloads" not in data:
+        raise ConfigurationError(f"{path} is not a bench baseline document")
+    return data
+
+
+def render_diffs(diffs: List[MetricDiff], failures_only: bool = False) -> str:
+    """Human-readable per-metric diff table."""
+    from repro.analysis.report import format_table
+
+    rows = []
+    for d in diffs:
+        if failures_only and not d.regressed:
+            continue
+        delta = d.delta_fraction
+        rows.append([
+            d.workload,
+            d.metric,
+            f"{d.baseline:.4g}",
+            f"{d.measured:.4g}",
+            "n/a" if delta is None else f"{delta:+.1%}",
+            f"±{d.tolerance:.0%} {'↑' if d.direction == HIGHER_BETTER else '↓'}",
+            "REGRESSED" if d.regressed else "ok",
+        ])
+    if not rows:
+        return "(no baseline metrics compared)"
+    return format_table(
+        ["workload", "metric", "baseline", "measured", "delta", "band",
+         "status"],
+        rows,
+        title="benchmark regression gate",
+    )

@@ -1,0 +1,165 @@
+"""Lightweight stage profiler: wall-time and op/byte counts per stage.
+
+Spans answer "what happened in this run"; the profiler answers "where
+does the time go" — a per-stage cost breakdown (self vs. cumulative
+wall time, call counts, and caller-reported op/byte counts) cheap
+enough to leave compiled into every hot path.
+
+The contract matches the rest of :mod:`repro.obs`: when profiling is
+disabled (the default), :func:`profile` is one boolean check returning
+a shared no-op context, and :func:`add_ops` is one boolean check — the
+instrumented pipeline stays within noise of an uninstrumented build
+(pinned by ``tests/unit/test_profiler.py`` using the op counts
+themselves).
+
+Usage::
+
+    from repro.obs.perf import profiler
+
+    with profiler.profile("uplink.condition"):
+        ...
+        profiler.add_ops(matrix.size, nbytes=matrix.nbytes)
+
+``profile`` nests: self-time of a stage excludes the time spent in
+stages it opened, so the report separates "expensive itself" from
+"expensive because of its children".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import state
+
+
+class StageStats:
+    """Accumulated cost of one named stage across all its calls.
+
+    Attributes:
+        name: dotted stage name.
+        calls: completed invocations.
+        total_s: cumulative wall time (includes child stages).
+        self_s: wall time minus time attributed to child stages.
+        max_s: slowest single invocation.
+        ops: caller-reported operation count (:func:`add_ops`).
+        bytes: caller-reported bytes touched.
+    """
+
+    __slots__ = ("name", "calls", "total_s", "self_s", "max_s", "ops", "bytes")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.total_s = 0.0
+        self.self_s = 0.0
+        self.max_s = 0.0
+        self.ops = 0
+        self.bytes = 0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "max_s": self.max_s,
+            "ops": self.ops,
+            "bytes": self.bytes,
+        }
+
+
+class Profiler:
+    """Collects :class:`StageStats` through a stack of open stages."""
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, StageStats] = {}
+        #: Open-frame stack: [stage, start_s, child_time_s].
+        self._stack: List[List[Any]] = []
+
+    def reset(self) -> None:
+        self.stages.clear()
+        self._stack.clear()
+
+    def _enter(self, name: str) -> None:
+        stage = self.stages.get(name)
+        if stage is None:
+            stage = self.stages[name] = StageStats(name)
+        self._stack.append([stage, time.perf_counter(), 0.0])
+
+    def _exit(self) -> None:
+        stage, start, child_s = self._stack.pop()
+        elapsed = time.perf_counter() - start
+        stage.calls += 1
+        stage.total_s += elapsed
+        stage.self_s += elapsed - child_s
+        if elapsed > stage.max_s:
+            stage.max_s = elapsed
+        if self._stack:
+            self._stack[-1][2] += elapsed
+
+    def add_ops(self, ops: int, nbytes: int = 0) -> None:
+        """Attribute op/byte counts to the innermost open stage."""
+        if not self._stack:
+            return
+        stage = self._stack[-1][0]
+        stage.ops += int(ops)
+        stage.bytes += int(nbytes)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """``{stage: {calls, total_s, self_s, max_s, ops, bytes}}``,
+        sorted by cumulative time (most expensive first)."""
+        ordered = sorted(
+            self.stages.values(), key=lambda s: s.total_s, reverse=True
+        )
+        return {s.name: s.summary() for s in ordered}
+
+
+class _ProfileContext:
+    """Live context: pushes/pops one profiler frame."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __enter__(self) -> "_ProfileContext":
+        state.get_profiler()._enter(self._name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        state.get_profiler()._exit()
+        return False
+
+
+class _NullProfileContext:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullProfileContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: Shared disabled-path context (one allocation per process).
+NULL_PROFILE_CONTEXT = _NullProfileContext()
+
+
+def profile(name: str):
+    """Profile a stage; a shared no-op while profiling is disabled."""
+    if state.profiling_enabled():
+        return _ProfileContext(name)
+    return NULL_PROFILE_CONTEXT
+
+
+def add_ops(ops: int, nbytes: int = 0) -> None:
+    """Report op/byte counts for the current stage (no-op when off)."""
+    if state.profiling_enabled():
+        state.get_profiler().add_ops(ops, nbytes)
+
+
+def snapshot() -> Dict[str, Dict[str, Any]]:
+    """The live profiler's per-stage summary ({} while disabled)."""
+    if not state.profiling_enabled():
+        return {}
+    return state.get_profiler().snapshot()

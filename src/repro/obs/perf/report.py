@@ -1,0 +1,105 @@
+"""Rendering for performance telemetry: perf reports and alert tables.
+
+Used by ``python -m repro perf-report``, the ``--profile`` CLI flag,
+and the bench harness.  Follows the same ASCII-table style as
+:mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+
+
+def _fmt_s(value: Optional[float]) -> str:
+    if value is None:
+        return ""
+    if value >= 1.0:
+        return f"{value:.3f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f} ms"
+    return f"{value * 1e6:.1f} us"
+
+
+def _fmt_count(value: int) -> str:
+    if value >= 1_000_000:
+        return f"{value / 1e6:.1f}M"
+    if value >= 1_000:
+        return f"{value / 1e3:.1f}k"
+    return str(value)
+
+
+def render_profile(profile: Dict[str, Dict[str, Any]]) -> str:
+    """Per-stage cost breakdown: self vs. cumulative time, ops, bytes.
+
+    Stages are shown most-expensive-first (the snapshot order); the
+    ``self%`` column is each stage's share of the total self time, so
+    it sums to ~100% and exposes where the wall clock actually went.
+    """
+    if not profile:
+        return "(no profile recorded — run with profiling enabled)"
+    total_self = sum(s.get("self_s", 0.0) for s in profile.values()) or 1.0
+    rows = []
+    for name, s in profile.items():
+        rows.append([
+            name,
+            s.get("calls", 0),
+            _fmt_s(s.get("total_s")),
+            _fmt_s(s.get("self_s")),
+            f"{100.0 * s.get('self_s', 0.0) / total_self:.1f}%",
+            _fmt_s(s.get("max_s")),
+            _fmt_count(int(s.get("ops", 0))),
+            _fmt_count(int(s.get("bytes", 0))),
+        ])
+    return format_table(
+        ["stage", "calls", "cum", "self", "self%", "max", "ops", "bytes"],
+        rows,
+        title="perf report (per-stage cost)",
+    )
+
+
+def render_alerts(alerts: Sequence[Dict[str, Any]]) -> str:
+    """Alert table for fired :class:`~repro.obs.perf.slo.AlertEvent`s."""
+    if not alerts:
+        return "(no SLO alerts fired)"
+    rows = []
+    for a in alerts:
+        rule = a.get("rule", {})
+        window = rule.get("window")
+        objective = (
+            f"{rule.get('metric', '?')} {rule.get('op', '?')} "
+            f"{rule.get('threshold', '?')}"
+        )
+        if window:
+            objective += f" over {window} {rule.get('unit', 'samples')}"
+        rows.append([
+            rule.get("severity", "?"),
+            objective,
+            a.get("value"),
+            rule.get("action") or "",
+        ])
+    return format_table(
+        ["severity", "objective violated", "observed", "action"],
+        rows,
+        title="SLO alerts",
+    )
+
+
+def render_timeseries(metrics: Dict[str, Dict[str, Any]]) -> str:
+    """Compact view of the time-series entries in a registry snapshot
+    (other metric kinds are skipped)."""
+    lines: List[str] = []
+    for name in sorted(metrics):
+        summary = metrics[name]
+        if summary.get("type") != "timeseries":
+            continue
+        parts = [f"n={summary.get('count')}"]
+        for key in ("mean", "p50", "p95", "p99", "min", "max"):
+            value = summary.get(key)
+            if value is not None:
+                parts.append(f"{key}={value:.4g}")
+        lines.append(f"{name}  " + " ".join(parts))
+    if not lines:
+        return "(no time series recorded)"
+    return "time series\n" + "\n".join(lines)

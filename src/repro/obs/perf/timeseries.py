@@ -1,0 +1,162 @@
+"""Fixed-capacity time series with windowed aggregation.
+
+Point-in-time metrics (counters, gauges, histograms) answer "what was
+the total"; a chaos run needs "how did it evolve": per-window BER and
+delivery curves, latency trends across ARQ retries, drop-fraction
+spikes around an outage burst.  :class:`TimeSeries` is the storage for
+that — a ring buffer of ``(t, value)`` samples with O(1) appends and
+windowed statistics (mean/min/max/p50/p95/p99) over the last *n*
+samples.
+
+A TimeSeries registers in the :class:`~repro.obs.metrics.MetricsRegistry`
+like any other metric kind and is reached through ``obs.timeseries(
+name)``, which returns the shared no-op while metrics are disabled —
+the same boolean-check contract every other instrument follows.
+
+Naming convention (see ``docs/observability.md``): the series is named
+for the *quantity sampled per event*, e.g. ``uplink.delivery`` (one
+0/1 sample per ARQ frame), ``uplink.decode.latency_s`` (one sample per
+decode), ``faults.packets.drop_fraction`` (one sample per rendered
+stream).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default ring capacity; old samples are overwritten past it while the
+#: lifetime count keeps increasing.
+DEFAULT_CAPACITY = 1024
+
+#: Percentiles reported by :meth:`TimeSeries.stats`.
+STAT_PERCENTILES = (50, 95, 99)
+
+
+def percentile_of(ordered: List[float], p: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    idx = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+class TimeSeries:
+    """Ring buffer of timestamped samples with windowed aggregation.
+
+    Attributes:
+        name: dotted metric name.
+        capacity: ring size; the window can never exceed it.
+        count: lifetime samples (keeps counting past the wrap).
+    """
+
+    kind = "timeseries"
+
+    __slots__ = ("name", "capacity", "count", "_values", "_times", "_head")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ConfigurationError("timeseries capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.count = 0
+        self._values: List[float] = []
+        self._times: List[float] = []
+        #: Index of the slot the *next* sample lands in once wrapped.
+        self._head = 0
+
+    def sample(self, value: float, t: Optional[float] = None) -> None:
+        """Append one sample.
+
+        Args:
+            value: the observation.
+            t: sample time; defaults to the lifetime sample index so
+                virtual-clock simulations get a monotone axis for free.
+        """
+        v = float(value)
+        ts = float(t) if t is not None else float(self.count)
+        if len(self._values) < self.capacity:
+            self._values.append(v)
+            self._times.append(ts)
+        else:
+            self._values[self._head] = v
+            self._times[self._head] = ts
+            self._head = (self._head + 1) % self.capacity
+        self.count += 1
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def window(self, n: Optional[int] = None) -> List[Tuple[float, float]]:
+        """The last ``n`` samples as ``[(t, value), ...]``, oldest first.
+
+        ``n`` of None (or >= the retained count) returns everything
+        still in the ring.  Wrap-around is transparent: the returned
+        order is strictly sample order regardless of where the ring's
+        head sits.
+        """
+        stored = len(self._values)
+        if n is None or n > stored:
+            n = stored
+        if n <= 0:
+            return []
+        if stored < self.capacity:
+            vals = self._values[stored - n:]
+            times = self._times[stored - n:]
+        else:
+            # Ring is full: logical order starts at _head.
+            idx = [(self._head + i) % self.capacity for i in range(stored)]
+            idx = idx[stored - n:]
+            vals = [self._values[i] for i in idx]
+            times = [self._times[i] for i in idx]
+        return list(zip(times, vals))
+
+    def values(self, n: Optional[int] = None) -> List[float]:
+        """The last ``n`` sample values, oldest first."""
+        return [v for _, v in self.window(n)]
+
+    def last(self) -> Optional[float]:
+        """Most recent sample value, or None when empty."""
+        win = self.window(1)
+        return win[0][1] if win else None
+
+    def stats(self, window: Optional[int] = None) -> Dict[str, Optional[float]]:
+        """Aggregate statistics over the last ``window`` samples.
+
+        Returns ``{count, mean, min, max, p50, p95, p99}``; the
+        aggregate fields are None when the window is empty.  NaN
+        samples are excluded from the aggregates (they would otherwise
+        poison every field) but still counted by ``count``.
+        """
+        vals = self.values(window)
+        finite = [v for v in vals if math.isfinite(v)]
+        if not finite:
+            return {
+                "count": len(vals), "mean": None, "min": None, "max": None,
+                **{f"p{p}": None for p in STAT_PERCENTILES},
+            }
+        ordered = sorted(finite)
+        out: Dict[str, Optional[float]] = {
+            "count": len(vals),
+            "mean": sum(finite) / len(finite),
+            "min": ordered[0],
+            "max": ordered[-1],
+        }
+        for p in STAT_PERCENTILES:
+            out[f"p{p}"] = percentile_of(ordered, p)
+        return out
+
+    def rate(self, window: Optional[int] = None) -> Optional[float]:
+        """Mean over the window — the success *rate* of a 0/1 series."""
+        return self.stats(window)["mean"]
+
+    def summary(self) -> Dict[str, object]:
+        """Registry-snapshot form: lifetime count + full-ring stats."""
+        stats = self.stats()
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "capacity": self.capacity,
+            "retained": len(self._values),
+            **{k: v for k, v in stats.items() if k != "count"},
+        }

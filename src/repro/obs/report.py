@@ -105,6 +105,16 @@ def render_manifest(manifest: Dict[str, Any]) -> str:
             )
         )
     sections.append("metrics\n" + render_metrics(manifest.get("metrics") or {}))
+    alerts = (manifest.get("extra") or {}).get("alerts") or []
+    if alerts:
+        from repro.obs.perf.report import render_alerts
+
+        sections.append(render_alerts(alerts))
+    profile = manifest.get("profile") or {}
+    if profile:
+        from repro.obs.perf.report import render_profile
+
+        sections.append(render_profile(profile))
     spans = manifest.get("spans") or []
     if spans:
         sections.append("trace\n" + render_span_tree(spans))

@@ -20,10 +20,12 @@ from typing import Iterator, Optional, Tuple
 
 _metrics_enabled = False
 _tracing_enabled = False
+_profiling_enabled = False
 _manifest_dir: Optional[str] = None
 
 _registry = None
 _tracer = None
+_profiler = None
 
 
 def metrics_enabled() -> bool:
@@ -36,9 +38,14 @@ def tracing_enabled() -> bool:
     return _tracing_enabled
 
 
+def profiling_enabled() -> bool:
+    """True when the per-stage profiler is recording."""
+    return _profiling_enabled
+
+
 def enabled() -> bool:
     """True when any instrumentation is on."""
-    return _metrics_enabled or _tracing_enabled
+    return _metrics_enabled or _tracing_enabled or _profiling_enabled
 
 
 def manifest_dir() -> Optional[str]:
@@ -49,6 +56,7 @@ def manifest_dir() -> Optional[str]:
 def configure(
     metrics: Optional[bool] = None,
     tracing: Optional[bool] = None,
+    profiling: Optional[bool] = None,
     manifest_dir: Optional[str] = None,
 ) -> None:
     """Set the global observability switches.
@@ -56,28 +64,35 @@ def configure(
     Args:
         metrics: turn metric emission on/off (None = leave unchanged).
         tracing: turn span recording on/off (None = leave unchanged).
+        profiling: turn per-stage profiling on/off (None = unchanged).
         manifest_dir: when set, every instrumented experiment driver
             writes its run manifest under this directory.
     """
-    global _metrics_enabled, _tracing_enabled, _manifest_dir
+    global _metrics_enabled, _tracing_enabled, _profiling_enabled
+    global _manifest_dir
     if metrics is not None:
         _metrics_enabled = bool(metrics)
     if tracing is not None:
         _tracing_enabled = bool(tracing)
+    if profiling is not None:
+        _profiling_enabled = bool(profiling)
     if manifest_dir is not None:
         _manifest_dir = str(manifest_dir)
 
 
-def enable(metrics: bool = True, tracing: bool = True) -> None:
-    """Turn instrumentation on (both kinds by default)."""
-    configure(metrics=metrics, tracing=tracing)
+def enable(metrics: bool = True, tracing: bool = True,
+           profiling: bool = False) -> None:
+    """Turn instrumentation on (metrics + tracing by default)."""
+    configure(metrics=metrics, tracing=tracing, profiling=profiling)
 
 
 def disable() -> None:
     """Turn all instrumentation off and clear the manifest directory."""
-    global _metrics_enabled, _tracing_enabled, _manifest_dir
+    global _metrics_enabled, _tracing_enabled, _profiling_enabled
+    global _manifest_dir
     _metrics_enabled = False
     _tracing_enabled = False
+    _profiling_enabled = False
     _manifest_dir = None
 
 
@@ -101,18 +116,32 @@ def get_tracer():
     return _tracer
 
 
+def get_profiler():
+    """The process-wide :class:`repro.obs.perf.profiler.Profiler`."""
+    global _profiler
+    if _profiler is None:
+        from repro.obs.perf.profiler import Profiler
+
+        _profiler = Profiler()
+    return _profiler
+
+
 def reset() -> None:
-    """Clear all collected metrics and spans (switches are untouched)."""
+    """Clear all collected metrics, spans, and profile data (switches
+    are untouched)."""
     if _registry is not None:
         _registry.reset()
     if _tracer is not None:
         _tracer.reset()
+    if _profiler is not None:
+        _profiler.reset()
 
 
 @contextlib.contextmanager
 def session(
     metrics: bool = True,
     tracing: bool = True,
+    profiling: bool = False,
     manifest_dir: Optional[str] = None,
     fresh: bool = True,
 ) -> Iterator[Tuple[object, object]]:
@@ -128,17 +157,23 @@ def session(
     Args:
         metrics: enable metric emission inside the block.
         tracing: enable span recording inside the block.
+        profiling: enable per-stage profiling inside the block.
         manifest_dir: auto-write manifests under this directory.
         fresh: clear previously collected data on entry.
     """
-    global _metrics_enabled, _tracing_enabled, _manifest_dir
-    saved = (_metrics_enabled, _tracing_enabled, _manifest_dir)
+    global _metrics_enabled, _tracing_enabled, _profiling_enabled
+    global _manifest_dir
+    saved = (
+        _metrics_enabled, _tracing_enabled, _profiling_enabled, _manifest_dir
+    )
     _metrics_enabled = metrics
     _tracing_enabled = tracing
+    _profiling_enabled = profiling
     _manifest_dir = str(manifest_dir) if manifest_dir is not None else None
     if fresh:
         reset()
     try:
         yield get_registry(), get_tracer()
     finally:
-        _metrics_enabled, _tracing_enabled, _manifest_dir = saved
+        (_metrics_enabled, _tracing_enabled, _profiling_enabled,
+         _manifest_dir) = saved

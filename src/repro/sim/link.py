@@ -295,12 +295,18 @@ def run_uplink_ber(
                     start_s=i * trial_span if active else 0.0,
                 )
                 errors += trial.errors
+                if obs.metrics_enabled():
+                    obs.timeseries("uplink.ber.window").sample(
+                        trial.errors / num_payload_bits
+                    )
             except ReproError:
                 if not active:
                     raise
                 failed_trials += 1
                 errors += num_payload_bits
                 obs.counter("uplink.trials.faulted").inc()
+                if obs.metrics_enabled():
+                    obs.timeseries("uplink.ber.window").sample(1.0)
             total += num_payload_bits
     result = BerResult(errors=errors, total_bits=total, runs=repeats)
     obs.record_run(
@@ -920,6 +926,11 @@ def run_arq_uplink(
                     continue
                 break
             obs.counter("arq.attempts").inc(attempts)
+            if obs.metrics_enabled():
+                obs.timeseries("uplink.delivery").sample(
+                    1.0 if delivered else 0.0
+                )
+                obs.timeseries("arq.attempts.window").sample(attempts)
             if attempts > 1:
                 obs.counter("arq.retries").inc(attempts - 1)
             if delivered:

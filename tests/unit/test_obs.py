@@ -1,5 +1,7 @@
 """Unit tests for the obs metrics registry and trace spans."""
 
+import time
+
 import pytest
 
 from repro import obs
@@ -135,8 +137,21 @@ class TestRegistry:
     def test_line_protocol(self):
         r = MetricsRegistry()
         r.counter("uplink.bits").inc(5)
-        line = r.to_line_protocol()
-        assert line == "uplink.bits type=counter,value=5.0"
+        line = r.to_line_protocol(timestamp_ns=1234567890)
+        assert line == "uplink.bits,type=counter value=5.0 1234567890"
+
+    def test_line_protocol_default_timestamp_is_ns(self):
+        r = MetricsRegistry()
+        r.counter("a").inc()
+        before = time.time_ns()
+        ts = int(r.to_line_protocol().rsplit(" ", 1)[1])
+        assert before <= ts <= time.time_ns()
+
+    def test_line_protocol_escapes_measurement_and_tags(self):
+        r = MetricsRegistry()
+        r.counter("weird name,x").inc()
+        line = r.to_line_protocol(timestamp_ns=1)
+        assert line.startswith("weird\\ name\\,x,type=counter ")
 
     def test_reset(self):
         r = MetricsRegistry()

@@ -1,6 +1,7 @@
 """Unit tests for run manifests and JSON export helpers."""
 
 import json
+import math
 
 import numpy as np
 import pytest
@@ -25,10 +26,23 @@ class TestJsonable:
         assert out == {"a": 1.5, "b": [0, 1, 2]}
         json.dumps(out)
 
-    def test_non_finite_floats_become_none(self):
-        assert obs.jsonable(float("nan")) is None
-        assert obs.jsonable(np.inf) is None
-        assert obs.jsonable([1.0, float("inf")]) == [1.0, None]
+    def test_non_finite_floats_become_ieee_strings(self):
+        assert obs.jsonable(float("nan")) == "NaN"
+        assert obs.jsonable(np.inf) == "Infinity"
+        assert obs.jsonable(-np.inf) == "-Infinity"
+        assert obs.jsonable([1.0, float("inf")]) == [1.0, "Infinity"]
+
+    def test_non_finite_round_trip(self, tmp_path):
+        path = str(tmp_path / "nf.json")
+        obs.write_json(path, {"sep": float("nan"), "vals": [np.inf, -np.inf]})
+        back = obs.read_json(path)
+        assert math.isnan(back["sep"])
+        assert back["vals"] == [float("inf"), float("-inf")]
+        # Plain strings that merely *look* numeric survive untouched.
+        obs.write_json(path, {"note": "NaN is encoded", "name": "Infinity"})
+        back = obs.read_json(path)
+        assert back["name"] == float("inf")  # exact spelling decodes
+        assert back["note"] == "NaN is encoded"
 
     def test_sets_tuples_and_fallback_repr(self):
         class Odd:

@@ -1,0 +1,161 @@
+"""Unit tests for the stage profiler and its disabled-path contract."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import NULL_METRIC
+from repro.obs.perf import profiler
+from repro.obs.perf.profiler import NULL_PROFILE_CONTEXT, Profiler
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestProfiler:
+    def test_basic_stage_accounting(self):
+        p = Profiler()
+        p._enter("a")
+        p._exit()
+        stats = p.stages["a"]
+        assert stats.calls == 1
+        assert stats.total_s >= 0.0
+        assert stats.self_s == pytest.approx(stats.total_s)
+
+    def test_nested_self_time_excludes_children(self):
+        p = Profiler()
+        p._enter("outer")
+        p._enter("inner")
+        p._exit()
+        p._exit()
+        outer = p.stages["outer"]
+        inner = p.stages["inner"]
+        assert outer.total_s >= inner.total_s
+        # outer's self time = total minus the child's contribution
+        assert outer.self_s == pytest.approx(
+            outer.total_s - inner.total_s, abs=1e-6
+        )
+
+    def test_add_ops_attributes_to_innermost(self):
+        p = Profiler()
+        p._enter("outer")
+        p._enter("inner")
+        p.add_ops(100, 5)
+        p._exit()
+        p._exit()
+        assert p.stages["inner"].ops == 100
+        assert p.stages["inner"].bytes == 5
+        assert p.stages["outer"].ops == 0
+
+    def test_add_ops_without_open_stage_is_ignored(self):
+        p = Profiler()
+        p.add_ops(100)
+        assert p.stages == {}
+
+    def test_snapshot_sorted_by_total_desc(self):
+        p = Profiler()
+        import time as _t
+
+        p._enter("cheap")
+        p._exit()
+        p._enter("costly")
+        _t.sleep(0.002)
+        p._exit()
+        names = list(p.snapshot())
+        assert names[0] == "costly"
+
+    def test_reset(self):
+        p = Profiler()
+        p._enter("a")
+        p._exit()
+        p.reset()
+        assert p.snapshot() == {}
+
+
+class TestModuleContract:
+    def test_disabled_profile_returns_shared_null_context(self):
+        assert obs.profile("x") is NULL_PROFILE_CONTEXT
+        assert obs.profile("y") is NULL_PROFILE_CONTEXT
+        with obs.profile("x"):
+            obs.add_ops(10)  # swallowed
+        assert profiler.snapshot() == {}
+
+    def test_enabled_profile_records(self):
+        with obs.session(tracing=False, profiling=True):
+            with obs.profile("stage"):
+                obs.add_ops(7, 3)
+            snap = obs.get_profiler().snapshot()
+        assert snap["stage"]["calls"] == 1
+        assert snap["stage"]["ops"] == 7
+        assert snap["stage"]["bytes"] == 3
+
+    def test_exception_still_pops_frame(self):
+        with obs.session(tracing=False, profiling=True):
+            with pytest.raises(ValueError):
+                with obs.profile("bad"):
+                    raise ValueError("boom")
+            assert obs.get_profiler()._stack == []
+            assert obs.get_profiler().stages["bad"].calls == 1
+
+    def test_session_restores_profiling_state(self):
+        assert not obs.profiling_enabled()
+        with obs.session(profiling=True):
+            assert obs.profiling_enabled()
+        assert not obs.profiling_enabled()
+
+
+class TestInstrumentationOverheadContract:
+    """Pin the "within noise when disabled" acceptance criterion.
+
+    Wall-clock comparisons are too flaky for CI, so the pin uses the
+    op-count profiler itself: the amount of *work* the pipeline does
+    (ops/bytes reported by its hot paths, stage call counts) must be
+    identical whether or not the other observability layers are
+    recording.  Combined with the identity checks above (disabled
+    accessors return shared no-op singletons — zero allocation), this
+    bounds the disabled-path cost to boolean checks.
+    """
+
+    @staticmethod
+    def _run_pipeline():
+        from repro.sim.link import run_uplink_ber
+
+        run_uplink_ber(0.3, 12.0, repeats=2, num_payload_bits=20, seed=5)
+
+    def test_op_counts_identical_with_metrics_on_and_off(self):
+        with obs.session(metrics=True, tracing=True, profiling=True):
+            self._run_pipeline()
+            with_obs = obs.get_profiler().snapshot()
+        with obs.session(metrics=False, tracing=False, profiling=True):
+            self._run_pipeline()
+            without_obs = obs.get_profiler().snapshot()
+        assert with_obs.keys() == without_obs.keys()
+        for stage in with_obs:
+            assert with_obs[stage]["calls"] == without_obs[stage]["calls"]
+            assert with_obs[stage]["ops"] == without_obs[stage]["ops"]
+            assert with_obs[stage]["bytes"] == without_obs[stage]["bytes"]
+
+    def test_disabled_hot_path_instruments_are_shared_singletons(self):
+        # Every accessor the hot paths call resolves to the same two
+        # preallocated objects while observability is off.
+        assert obs.counter("uplink.decodes") is NULL_METRIC
+        assert obs.timeseries("uplink.decode.latency_s") is NULL_METRIC
+        assert obs.profile("uplink.decode") is NULL_PROFILE_CONTEXT
+        assert obs.timeseries("a") is obs.timeseries("b")
+
+    def test_pipeline_output_unchanged_by_full_observability(self):
+        from repro.sim.link import run_uplink_ber
+
+        baseline = run_uplink_ber(
+            0.3, 12.0, repeats=2, num_payload_bits=20, seed=9
+        )
+        with obs.session(metrics=True, tracing=True, profiling=True):
+            observed = run_uplink_ber(
+                0.3, 12.0, repeats=2, num_payload_bits=20, seed=9
+            )
+        assert observed.errors == baseline.errors
+        assert observed.total_bits == baseline.total_bits
