@@ -32,6 +32,11 @@ ARTIFACT_DIR = os.environ.get(
     os.path.join(os.path.dirname(__file__), "artifacts"),
 )
 
+#: Trial workers for the Monte-Carlo figure regenerations; override with
+#: REPRO_TRIAL_WORKERS=N (per-trial SeedSequence fan-out keeps the
+#: figures bit-identical to serial at any worker count).
+TRIAL_WORKERS = max(1, int(os.environ.get("REPRO_TRIAL_WORKERS", "1") or "1"))
+
 
 def emit(text: str) -> None:
     """Print a benchmark's result block (visible with -s; also kept in

@@ -8,7 +8,7 @@ packets/bit is better, CSI decodes to ~65 cm at 30 pkts/bit.
 
 import numpy as np
 
-from conftest import emit
+from conftest import TRIAL_WORKERS, emit
 from repro.analysis.report import log_sparkline, render_series
 from repro.analysis.sweep import SweepResult
 from repro.sim.link import run_uplink_ber
@@ -27,7 +27,7 @@ def run_fig10(mode):
         for i, cm in enumerate(DISTANCES_CM):
             ber = run_uplink_ber(
                 cm / 100.0, ppb, mode=mode, repeats=REPEATS,
-                seed=1000 + 17 * i + ppb,
+                seed=1000 + 17 * i + ppb, workers=TRIAL_WORKERS,
             ).ber
             result.add(float(cm), ber)
         series.append(result)

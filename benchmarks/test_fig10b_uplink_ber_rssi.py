@@ -7,7 +7,7 @@ shape: like CSI but with roughly half the range ("ranges of about
 
 import numpy as np
 
-from conftest import emit
+from conftest import TRIAL_WORKERS, emit
 from repro.analysis.report import log_sparkline, render_series
 from test_fig10a_uplink_ber_csi import DISTANCES_CM, run_fig10
 from repro.sim.link import run_uplink_ber
@@ -32,9 +32,12 @@ def test_fig10_rssi_range_half_of_csi(once):
     """Cross-figure check: the CSI/RSSI range ratio from the paper."""
 
     def ber_pair():
-        csi_mid = run_uplink_ber(0.50, 30, mode="csi", repeats=12, seed=77).ber
-        rssi_mid = run_uplink_ber(0.50, 30, mode="rssi", repeats=12, seed=77).ber
-        rssi_near = run_uplink_ber(0.18, 30, mode="rssi", repeats=12, seed=78).ber
+        csi_mid = run_uplink_ber(0.50, 30, mode="csi", repeats=12, seed=77,
+                                 workers=TRIAL_WORKERS).ber
+        rssi_mid = run_uplink_ber(0.50, 30, mode="rssi", repeats=12, seed=77,
+                                  workers=TRIAL_WORKERS).ber
+        rssi_near = run_uplink_ber(0.18, 30, mode="rssi", repeats=12, seed=78,
+                                   workers=TRIAL_WORKERS).ber
         return csi_mid, rssi_mid, rssi_near
 
     csi_mid, rssi_mid, rssi_near = once(ber_pair)

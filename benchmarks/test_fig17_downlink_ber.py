@@ -13,7 +13,7 @@ DESIGN.md §5).
 
 import numpy as np
 
-from conftest import emit
+from conftest import TRIAL_WORKERS, emit
 from repro.analysis.ber import DownlinkDetectionModel
 from repro.analysis.report import log_sparkline, render_series
 from repro.analysis.sweep import SweepResult
@@ -31,7 +31,8 @@ def run_fig17():
         result = SweepResult(label=label, x_name="distance_m", y_name="ber")
         for i, d in enumerate(DISTANCES_M):
             ber = run_downlink_ber(
-                d, bit_s, num_bits=BITS_PER_POINT, seed=1700 + i
+                d, bit_s, num_bits=BITS_PER_POINT, seed=1700 + i,
+                workers=TRIAL_WORKERS,
             ).ber
             result.add(d, ber)
         series.append(result)

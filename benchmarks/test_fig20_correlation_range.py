@@ -16,7 +16,7 @@ super-linear growth) is the reproduction target; see EXPERIMENTS.md.
 
 import numpy as np
 
-from conftest import emit
+from conftest import TRIAL_WORKERS, emit
 from repro.analysis.ber import CorrelationRangeModel
 from repro.analysis.report import render_series
 from repro.analysis.sweep import SweepResult
@@ -39,6 +39,7 @@ def measured_required_length(distance_m, seed):
                 num_bits=BITS_PER_TRIAL,
                 packets_per_chip=5.0,
                 rng=np.random.default_rng(seed + 1000 * t + length),
+                workers=TRIAL_WORKERS,
             )
             errors += trial.errors
         if errors == 0:

@@ -107,6 +107,7 @@ def _cmd_uplink_ber(args: argparse.Namespace) -> CommandOutput:
         repeats=args.repeats,
         seed=args.seed,
         faults=faults,
+        workers=args.workers,
     )
     lo, hi = result.confidence_interval()
     rows = [
@@ -150,6 +151,7 @@ def _cmd_arq(args: argparse.Namespace) -> CommandOutput:
         faults=faults,
         degrade_after=args.degrade_after,
         seed=args.seed,
+        workers=args.workers,
     )
     rows = [
         ["tag-reader distance", f"{args.distance} m"],
@@ -181,7 +183,7 @@ def _cmd_downlink_ber(args: argparse.Namespace) -> CommandOutput:
     bit_s = bit_duration_for_rate(args.rate)
     result = run_downlink_ber(
         args.distance, bit_s, num_bits=args.bits, seed=args.seed,
-        faults=_resolve_faults(args),
+        faults=_resolve_faults(args), workers=args.workers,
     )
     model = DownlinkDetectionModel()
     range_m = model.range_at_ber(bit_s)
@@ -231,6 +233,7 @@ def _cmd_correlation(args: argparse.Namespace) -> CommandOutput:
             packets_per_chip=5.0,
             seed=args.seed,
             faults=_resolve_faults(args),
+            workers=args.workers,
         )
         rows.append(["simulated errors", f"{trial.errors}/16"])
         data["simulated_errors"] = trial.errors
@@ -347,6 +350,7 @@ def _cmd_bench(args: argparse.Namespace):
         workloads=args.workloads or None,
         seed=args.seed,
         progress=lambda msg: print(msg, file=sys.stderr),
+        workers=args.workers,
     )
     root = args.out_dir or benchmod.repo_root()
     paths = benchmod.write_bench_artifacts(results, root=root)
@@ -472,6 +476,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=("csi", "rssi"), default="csi")
     p.add_argument("--repeats", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="fan trials over N processes (bit-identical to "
+                        "serial; see docs/performance.md)")
     p.set_defaults(func=_cmd_uplink_ber)
 
     p = sub.add_parser("arq", parents=[common],
@@ -487,6 +494,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--degrade-after", type=int, default=None,
                    help="failed attempts before the correlation rung")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard frames over N processes (statistically "
+                        "equivalent to serial, not bit-identical)")
     p.set_defaults(func=_cmd_arq)
 
     p = sub.add_parser("downlink-ber", parents=[common],
@@ -495,6 +505,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=20e3, help="bps (<= 25000)")
     p.add_argument("--bits", type=int, default=200_000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="fan bit chunks over N processes (bit-identical "
+                        "to serial)")
     p.set_defaults(func=_cmd_downlink_ber)
 
     p = sub.add_parser("correlation", parents=[common],
@@ -504,6 +517,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--simulate", action="store_true",
                    help="also run the Monte-Carlo decoder")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="run the --simulate trial in a worker process "
+                        "(bit-identical to serial)")
     p.set_defaults(func=_cmd_correlation)
 
     p = sub.add_parser("rate-plan", parents=[common],
@@ -555,6 +571,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out-dir", default=None,
                    help="where BENCH_*.json land (default: repo root)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel trial workers per workload; >1 also "
+                        "measures speedup_vs_serial")
     p.set_defaults(func=_cmd_bench)
     return parser
 

@@ -9,7 +9,8 @@ channel measurements.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from functools import lru_cache
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -49,12 +50,30 @@ def barker_bits(length: int = DEFAULT_LENGTH) -> List[int]:
     return [1 if chip > 0 else 0 for chip in BARKER_CODES[length]]
 
 
-def bits_to_chips(bits: Sequence[int]) -> np.ndarray:
-    """Map 0/1 bits to -1/+1 chips for correlation."""
+@lru_cache(maxsize=256)
+def _chips_for(bits: Tuple[float, ...]) -> np.ndarray:
+    """Validated, read-only chip template for a bit tuple.
+
+    Chip templates are re-derived for every correlation call on the
+    decode hot path (the preamble search alone used to do it once per
+    candidate offset), so the handful of distinct templates in play are
+    cached.  The array is marked non-writeable because it is shared.
+    """
     chips = np.asarray(bits, dtype=float)
     if not np.all(np.isin(chips, (0.0, 1.0))):
         raise ConfigurationError("bits must be 0/1")
-    return 2.0 * chips - 1.0
+    out = 2.0 * chips - 1.0
+    out.flags.writeable = False
+    return out
+
+
+def bits_to_chips(bits: Sequence[int]) -> np.ndarray:
+    """Map 0/1 bits to -1/+1 chips for correlation.
+
+    Returns a shared read-only array (cached per distinct bit pattern);
+    callers that need to mutate it must copy.
+    """
+    return _chips_for(tuple(float(b) for b in bits))
 
 
 def autocorrelation_sidelobe_ratio(code: np.ndarray) -> float:

@@ -14,6 +14,7 @@ conditioning removes the mean), and cheap for the tag to store.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -73,8 +74,13 @@ class OrthogonalCodePair:
         return np.concatenate([self.chips_for_bit(b) for b in bits])
 
 
+@lru_cache(maxsize=64)
 def make_code_pair(length: int) -> OrthogonalCodePair:
     """Orthogonal, DC-balanced code pair of exactly ``length`` chips.
+
+    Cached: the pair is a pure function of ``length`` and an immutable
+    dataclass, and trial workers rebuild it constantly (every
+    correlation trial and every degraded ARQ attempt).
 
     For power-of-two lengths the pair comes straight from Hadamard rows.
     For other lengths (the paper quotes L = 20 and L = 150) we truncate

@@ -82,6 +82,26 @@ class CorrelationDecoder:
         that simply doesn't add correlation energy).
         """
         idx = np.floor((timestamps_s - start_time_s) / chip_duration_s).astype(int)
+        valid = (idx >= 0) & (idx < num_chips)
+        idx = idx[valid]
+        sums = np.zeros((num_chips, normalized.shape[1]))
+        np.add.at(sums, idx, normalized[valid])
+        counts = np.bincount(idx, minlength=num_chips).astype(float)
+        nonzero = counts > 0
+        sums[nonzero] /= counts[nonzero, None]
+        return sums
+
+    def _reference_chip_means(
+        self,
+        normalized: np.ndarray,
+        timestamps_s: np.ndarray,
+        start_time_s: float,
+        chip_duration_s: float,
+        num_chips: int,
+    ) -> np.ndarray:
+        """Pre-vectorization per-chip loop, kept as the equivalence
+        oracle for :meth:`_chip_means` (tests only)."""
+        idx = np.floor((timestamps_s - start_time_s) / chip_duration_s).astype(int)
         out = np.zeros((num_chips, normalized.shape[1]))
         for k in range(num_chips):
             sel = idx == k

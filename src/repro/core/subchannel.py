@@ -76,6 +76,79 @@ def correlate_at(
     return (normalized[mask] * chips[mask, None]).mean(axis=0)
 
 
+#: Candidate start times evaluated per batched-correlation block.  Caps
+#: the (candidates x packets) expected-chip matrix at a few MB for
+#: typical streams so the vectorized search stays cache-friendly.
+SEARCH_CHUNK = 256
+
+
+def correlation_matrix(
+    normalized: np.ndarray,
+    timestamps_s: np.ndarray,
+    start_times_s: np.ndarray,
+    preamble_bits: Sequence[int],
+    bit_duration_s: float,
+) -> np.ndarray:
+    """Per-channel preamble correlations at many candidate offsets.
+
+    The batched form of :func:`correlate_at`.  Packet timestamps are
+    sorted, so the packets expecting chip ``k`` of a candidate starting
+    at ``s`` are exactly the contiguous run in
+    ``[s + k*bit, s + (k+1)*bit)`` — each candidate's per-chip
+    measurement sums are prefix-sum differences at ``searchsorted``
+    bit boundaries.  That replaces the per-offset Python loop (and the
+    dense candidates-x-packets expected-chip matrix) with O(candidates
+    x preamble_len) work, independent of the packet count.  A
+    ``sliding_window_view`` over the sample axis does not apply here
+    because the timestamps are non-uniform.
+
+    Chip assignment brackets timestamps between bit boundaries, which
+    matches :func:`correlate_at`'s ``floor`` indexing in exact
+    arithmetic; a timestamp landing within one float ulp of a boundary
+    may fall on the other side of it, a measure-zero event for the
+    continuous packet-arrival processes this decodes.
+
+    Returns:
+        Array of shape ``(len(start_times_s), channels)``; rows with no
+        in-preamble packets are all-zero, matching
+        :func:`correlate_at`'s empty-mask behaviour.
+    """
+    normalized = np.asarray(normalized, dtype=float)
+    if normalized.ndim != 2:
+        raise ConfigurationError("normalized must be 2-D (packets x channels)")
+    timestamps = np.asarray(timestamps_s, dtype=float)
+    starts = np.atleast_1d(np.asarray(start_times_s, dtype=float))
+    chips = bits_to_chips(preamble_bits)
+    num_chips = len(chips)
+    channels = normalized.shape[1]
+    prefix = np.zeros((len(timestamps) + 1, channels))
+    np.cumsum(normalized, axis=0, out=prefix[1:])
+    boundaries = np.arange(num_chips + 1) * bit_duration_s
+    # Telescope the per-chip sum: sum_l chips[l] * (P[b_{l+1}] - P[b_l])
+    # == sum_k coef[k] * P[b_k], where coef is nonzero only at the two
+    # ends and at chip transitions — for a Barker code that prunes most
+    # boundary gathers (the dominant cost).
+    coef = np.zeros(num_chips + 1)
+    coef[0] = -chips[0]
+    coef[-1] = chips[-1]
+    coef[1:-1] = chips[:-1] - chips[1:]
+    nz = np.flatnonzero(coef)
+    out = np.zeros((len(starts), channels))
+    for lo in range(0, len(starts), SEARCH_CHUNK):
+        block = starts[lo:lo + SEARCH_CHUNK]
+        bounds = block[:, None] + boundaries[None, :]
+        pos = np.searchsorted(timestamps, bounds.ravel()).reshape(
+            len(block), num_chips + 1
+        )
+        sums = np.einsum("k,bkj->bj", coef[nz], prefix[pos[:, nz]])
+        counts = (pos[:, -1] - pos[:, 0]).astype(float)
+        nonzero = counts > 0
+        out[lo:lo + SEARCH_CHUNK][nonzero] = (
+            sums[nonzero] / counts[nonzero, None]
+        )
+    return out
+
+
 @dataclass(frozen=True)
 class PreambleDetection:
     """Result of a preamble search.
@@ -118,6 +191,54 @@ def detect_preamble(
         PreambleNotFound: when no candidate reaches ``min_score`` or the
             stream is too short to contain the preamble.
     """
+    timestamps = np.asarray(timestamps_s, dtype=float)
+    if len(timestamps) == 0:
+        raise PreambleNotFound("empty measurement stream")
+    if bit_duration_s <= 0:
+        raise ConfigurationError("bit_duration_s must be positive")
+    preamble_span = len(preamble_bits) * bit_duration_s
+    t_first, t_last = timestamps[0], timestamps[-1]
+    if t_last - t_first < preamble_span:
+        raise PreambleNotFound(
+            f"stream spans {t_last - t_first:.3f} s, shorter than the "
+            f"{preamble_span:.3f} s preamble"
+        )
+    step = search_step_s if search_step_s is not None else bit_duration_s / 4.0
+    if step <= 0:
+        raise ConfigurationError("search_step_s must be positive")
+    candidates = np.arange(t_first, t_last - preamble_span + step, step)
+    corr_matrix = correlation_matrix(
+        normalized, timestamps, candidates, preamble_bits, bit_duration_s
+    )
+    scores = np.abs(corr_matrix).sum(axis=1)
+    # argmax returns the first maximum, matching the legacy loop's
+    # strict-> best tracking (first peak wins ties).
+    best = int(np.argmax(scores))
+    best_score = float(scores[best])
+    if best_score < min_score:
+        raise PreambleNotFound(
+            f"best correlation score {best_score:.3f} below threshold "
+            f"{min_score:.3f}"
+        )
+    return PreambleDetection(
+        start_time_s=float(candidates[best]),
+        correlations=corr_matrix[best],
+        score=best_score,
+        threshold=min_score,
+    )
+
+
+def _reference_detect_preamble(
+    normalized: np.ndarray,
+    timestamps_s: np.ndarray,
+    preamble_bits: Sequence[int],
+    bit_duration_s: float,
+    search_step_s: Optional[float] = None,
+    min_score: float = 0.0,
+) -> PreambleDetection:
+    """Pre-vectorization per-offset search, kept as the equivalence
+    oracle for :func:`detect_preamble` (tests only — O(candidates)
+    Python-loop iterations of :func:`correlate_at`)."""
     timestamps = np.asarray(timestamps_s, dtype=float)
     if len(timestamps) == 0:
         raise PreambleNotFound("empty measurement stream")

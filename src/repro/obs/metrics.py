@@ -18,7 +18,7 @@ import time
 from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ConfigurationError
-from repro.obs.perf.timeseries import TimeSeries
+from repro.obs.perf.timeseries import TimeSeries, percentile_of
 
 #: Bound on stored histogram samples; aggregates keep counting past it.
 MAX_SAMPLES = 2048
@@ -108,9 +108,7 @@ class Histogram:
             raise ConfigurationError("percentile must be in [0, 100]")
         if not self.samples:
             return None
-        ordered = sorted(self.samples)
-        idx = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
-        return ordered[idx]
+        return percentile_of(sorted(self.samples), p)
 
     def summary(self) -> Dict[str, object]:
         if self.count == 0:
@@ -262,6 +260,80 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         self._metrics.clear()
+
+    def to_payload(self) -> Dict[str, Dict[str, object]]:
+        """Lossless export for cross-process merging.
+
+        Unlike :meth:`snapshot` (a human/report-facing aggregate view),
+        the payload preserves everything :meth:`merge_payload` needs to
+        reconstruct equivalent state in another registry: raw counter
+        values, gauge write counts, histogram sample buffers, and
+        timeseries rings.  The result is pickle-safe (plain dicts,
+        lists, floats) so a `ProcessPoolExecutor` worker can ship it
+        back to the parent.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, TimeSeries):
+                entry: Dict[str, object] = {"kind": "timeseries",
+                                            **metric.to_payload()}
+            elif isinstance(metric, Timer) or isinstance(metric, Histogram):
+                entry = {
+                    "kind": metric.kind,
+                    "count": metric.count,
+                    "total": metric.total,
+                    "min": metric.min,
+                    "max": metric.max,
+                    "samples": list(metric.samples),
+                }
+            elif isinstance(metric, Gauge):
+                entry = {"kind": "gauge", "value": metric.value,
+                         "writes": metric.writes}
+            elif isinstance(metric, Counter):
+                entry = {"kind": "counter", "value": metric.value}
+            else:  # pragma: no cover - registry only stores known kinds
+                continue
+            out[name] = entry
+        return out
+
+    def merge_payload(self, payload: Dict[str, Dict[str, object]]) -> None:
+        """Fold a worker registry payload into this registry.
+
+        Counters add, gauges take the worker's last write (when it
+        wrote at all), histograms/timers merge aggregates and append
+        samples up to the buffer bound, timeseries append samples in
+        worker order.  Merging payloads in trial order therefore gives
+        the same registry state a serial run would have produced, up to
+        histogram-sample truncation at ``MAX_SAMPLES``.
+        """
+        for name, entry in payload.items():
+            kind = entry.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(float(entry["value"]))
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                writes = int(entry.get("writes", 0))
+                if writes > 0:
+                    gauge.value = entry["value"]
+                gauge.writes += writes
+            elif kind in ("histogram", "timer"):
+                hist = self.timer(name) if kind == "timer" else self.histogram(name)
+                count = int(entry["count"])
+                if count:
+                    hist.count += count
+                    hist.total += float(entry["total"])
+                    hist.min = min(hist.min, float(entry["min"]))
+                    hist.max = max(hist.max, float(entry["max"]))
+                    room = MAX_SAMPLES - len(hist.samples)
+                    if room > 0:
+                        hist.samples.extend(entry["samples"][:room])
+            elif kind == "timeseries":
+                series = self.timeseries(name, capacity=entry.get("capacity"))
+                series.merge_payload(entry)
+            else:
+                raise ConfigurationError(
+                    f"unknown metric kind {kind!r} in payload entry {name!r}"
+                )
 
 
 def _escape_measurement(name: str) -> str:

@@ -88,18 +88,18 @@ def _latency_metrics(latencies: TimeSeries) -> Dict[str, float]:
 
 
 def _bench_uplink(distance_m: float, mode: str, iterations: int,
-                  seed: int) -> Dict[str, float]:
+                  seed: int, workers: int = 1) -> Dict[str, float]:
     from repro.sim.link import run_uplink_ber
 
     bits_per_iter = 45
-    repeats = 2
+    repeats = 8
     latencies = TimeSeries("bench.latency", capacity=max(iterations, 1))
     errors = total = 0
     for i in range(iterations):
         t0 = time.perf_counter()
         result = run_uplink_ber(
             distance_m, 12.0, mode=mode, repeats=repeats,
-            num_payload_bits=bits_per_iter, seed=seed + i,
+            num_payload_bits=bits_per_iter, seed=seed + i, workers=workers,
         )
         latencies.sample(time.perf_counter() - t0)
         errors += result.errors
@@ -110,7 +110,11 @@ def _bench_uplink(distance_m: float, mode: str, iterations: int,
     return out
 
 
-def _bench_correlation(iterations: int, seed: int) -> Dict[str, float]:
+def _bench_correlation(iterations: int, seed: int,
+                       workers: int = 1) -> Dict[str, float]:
+    # Not forwarded: each iteration is a single trial (one engine
+    # task), so fan-out buys nothing and only pays IPC overhead.
+    del workers
     from repro.sim.link import run_correlation_trial
 
     num_bits = 12
@@ -131,7 +135,14 @@ def _bench_correlation(iterations: int, seed: int) -> Dict[str, float]:
     return out
 
 
-def _bench_arq_faults(iterations: int, seed: int) -> Dict[str, float]:
+def _bench_arq_faults(iterations: int, seed: int,
+                      workers: int = 1) -> Dict[str, float]:
+    # ``workers`` is accepted for the uniform workload signature but
+    # deliberately NOT forwarded: sharded ARQ is only statistically
+    # equivalent to serial (per-shard clock budgets), so fanning out
+    # would shift delivery_ratio/mean_attempts off the serial baseline
+    # and trip the deterministic regression gate.
+    del workers
     from repro.faults import parse_fault_spec
     from repro.sim.link import run_arq_uplink
 
@@ -163,7 +174,11 @@ def _bench_arq_faults(iterations: int, seed: int) -> Dict[str, float]:
     return out
 
 
-def _bench_downlink(iterations: int, seed: int) -> Dict[str, float]:
+def _bench_downlink(iterations: int, seed: int,
+                    workers: int = 1) -> Dict[str, float]:
+    # Not forwarded: 50k bits is exactly one DOWNLINK_CHUNK_BITS task,
+    # so fan-out buys nothing and only pays IPC overhead.
+    del workers
     from repro.core.downlink_encoder import bit_duration_for_rate
     from repro.sim.link import run_downlink_ber
 
@@ -173,7 +188,9 @@ def _bench_downlink(iterations: int, seed: int) -> Dict[str, float]:
     errors = total = 0
     for i in range(iterations):
         t0 = time.perf_counter()
-        result = run_downlink_ber(2.0, bit_s, num_bits=num_bits, seed=seed + i)
+        result = run_downlink_ber(
+            2.0, bit_s, num_bits=num_bits, seed=seed + i
+        )
         latencies.sample(time.perf_counter() - t0)
         errors += result.errors
         total += result.total_bits
@@ -183,11 +200,11 @@ def _bench_downlink(iterations: int, seed: int) -> Dict[str, float]:
     return out
 
 
-#: The workload matrix: name -> fn(iterations, seed) -> metrics dict.
-WORKLOADS: Dict[str, Callable[[int, int], Dict[str, float]]] = {
-    "uplink_csi_near": lambda n, s: _bench_uplink(0.3, "csi", n, s),
-    "uplink_csi_mid": lambda n, s: _bench_uplink(0.6, "csi", n, s),
-    "uplink_rssi_near": lambda n, s: _bench_uplink(0.3, "rssi", n, s),
+#: The workload matrix: name -> fn(iterations, seed, workers) -> metrics.
+WORKLOADS: Dict[str, Callable[..., Dict[str, float]]] = {
+    "uplink_csi_near": lambda n, s, w=1: _bench_uplink(0.3, "csi", n, s, w),
+    "uplink_csi_mid": lambda n, s, w=1: _bench_uplink(0.6, "csi", n, s, w),
+    "uplink_rssi_near": lambda n, s, w=1: _bench_uplink(0.3, "rssi", n, s, w),
     "correlation_long": _bench_correlation,
     "arq_under_faults": _bench_arq_faults,
     "downlink_far": _bench_downlink,
@@ -201,14 +218,35 @@ FULL_ITERATIONS = 8
 #: deterministic simulation outputs (tight tolerance).
 WALL_CLOCK_METRICS = frozenset({
     "latency_p50_s", "latency_p95_s", "latency_p99_s", "wall_s",
-    "throughput_bps",
+    "throughput_bps", "speedup_vs_serial",
+})
+
+#: Metrics recorded in artifacts but never gated against the baseline —
+#: they describe the run configuration, not its performance.
+UNGATED_METRICS = frozenset({"workers"})
+
+#: Workloads that honour ``workers`` (multiple engine tasks per call).
+#: The rest run serially regardless — see the per-workload comments —
+#: and their artifacts record ``workers=1`` so ``speedup_vs_serial``
+#: never reports timing noise as parallel speedup.
+PARALLEL_WORKLOADS = frozenset({
+    "uplink_csi_near", "uplink_csi_mid", "uplink_rssi_near",
 })
 
 
 def run_workload(
-    name: str, iterations: int, seed: int = 0
+    name: str, iterations: int, seed: int = 0, workers: int = 1
 ) -> WorkloadResult:
-    """Run one named workload under a metrics+profiling session."""
+    """Run one named workload under a metrics+profiling session.
+
+    With ``workers > 1`` the workload runs twice — once serially, once
+    fanned out over the process pool (pre-warmed outside the timed
+    region) — and the reported metrics come from the parallel pass plus
+    a ``speedup_vs_serial`` ratio of the two wall times.  Trial results
+    are bit-identical between the passes by construction (per-trial
+    ``SeedSequence`` fan-out), so the serial pass is purely a timing
+    reference.
+    """
     fn = WORKLOADS.get(name)
     if fn is None:
         raise ConfigurationError(
@@ -216,10 +254,26 @@ def run_workload(
         )
     if iterations < 1:
         raise ConfigurationError("iterations must be >= 1")
+    workers = max(1, int(workers))
+    if name not in PARALLEL_WORKLOADS:
+        workers = 1
+    serial_wall = None
+    if workers > 1:
+        from repro.sim import engine
+
+        engine.warm_pool(workers)
+        with state.session(metrics=True, tracing=False, profiling=True):
+            serial_metrics = fn(iterations, seed, 1)
+        serial_wall = serial_metrics["wall_s"]
     with state.session(metrics=True, tracing=False, profiling=True):
-        metrics = fn(iterations, seed)
+        metrics = fn(iterations, seed, workers)
         snapshot = state.get_registry().snapshot()
         profile = state.get_profiler().snapshot()
+    metrics["workers"] = float(workers)
+    if serial_wall is not None and metrics["wall_s"] > 0:
+        metrics["speedup_vs_serial"] = serial_wall / metrics["wall_s"]
+    else:
+        metrics["speedup_vs_serial"] = 1.0
     return WorkloadResult(
         name=name, metrics=metrics, snapshot=snapshot, profile=profile
     )
@@ -230,6 +284,7 @@ def run_bench(
     workloads: Optional[List[str]] = None,
     seed: int = 0,
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
 ) -> List[WorkloadResult]:
     """Run the (possibly filtered) workload matrix."""
     names = list(workloads) if workloads else list(WORKLOADS)
@@ -243,7 +298,9 @@ def run_bench(
     for name in names:
         if progress is not None:
             progress(f"bench: {name} ({iterations} iterations)")
-        results.append(run_workload(name, iterations, seed=seed))
+        results.append(
+            run_workload(name, iterations, seed=seed, workers=workers)
+        )
     return results
 
 
@@ -325,16 +382,24 @@ def default_tolerance(metric: str) -> float:
 
 def default_direction(metric: str) -> str:
     return HIGHER_BETTER if metric in (
-        "throughput_bps", "delivery_ratio"
+        "throughput_bps", "delivery_ratio", "speedup_vs_serial"
     ) else LOWER_BETTER
 
 
 def make_baseline(results: List[WorkloadResult]) -> Dict[str, Any]:
-    """Baseline document from a bench run (committed to the repo)."""
+    """Baseline document from a bench run (committed to the repo).
+
+    Run-configuration metrics (:data:`UNGATED_METRICS`) are omitted:
+    :func:`compare_to_baseline` only gates baseline-present metrics, so
+    leaving them out keeps e.g. a ``--workers 4`` baseline from gating
+    a ``--workers 1`` CI run.
+    """
     workloads: Dict[str, Any] = {}
     for r in results:
         entries = {}
         for metric, value in r.metrics.items():
+            if metric in UNGATED_METRICS:
+                continue
             entries[metric] = {
                 "value": value,
                 "tolerance": default_tolerance(metric),

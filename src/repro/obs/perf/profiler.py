@@ -113,6 +113,26 @@ class Profiler:
         )
         return {s.name: s.summary() for s in ordered}
 
+    def absorb(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Fold another profiler's :meth:`snapshot` into this one.
+
+        Used by the trial engine to merge worker-process stage costs
+        into the parent session — calls/times/ops add, ``max_s`` takes
+        the max.  Times remain real CPU cost; with N workers the summed
+        ``total_s`` can exceed the parent's wall time, which is exactly
+        what a parallel profile should show.
+        """
+        for name, entry in snapshot.items():
+            stage = self.stages.get(name)
+            if stage is None:
+                stage = self.stages[name] = StageStats(name)
+            stage.calls += int(entry.get("calls", 0))
+            stage.total_s += float(entry.get("total_s", 0.0))
+            stage.self_s += float(entry.get("self_s", 0.0))
+            stage.max_s = max(stage.max_s, float(entry.get("max_s", 0.0)))
+            stage.ops += int(entry.get("ops", 0))
+            stage.bytes += int(entry.get("bytes", 0))
+
 
 class _ProfileContext:
     """Live context: pushes/pops one profiler frame."""

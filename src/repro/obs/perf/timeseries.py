@@ -36,9 +36,21 @@ STAT_PERCENTILES = (50, 95, 99)
 
 
 def percentile_of(ordered: List[float], p: float) -> float:
-    """Nearest-rank percentile of an already-sorted non-empty list."""
-    idx = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
-    return ordered[idx]
+    """Linear-interpolated percentile of an already-sorted non-empty list.
+
+    Interpolates between the two neighbouring order statistics (numpy's
+    default "linear" method).  The previous nearest-rank rule collapsed
+    nearby percentiles on small windows — with fewer than ~20 samples
+    p99 rounded to the same element as p95, so benchmark artifacts
+    reported ``latency_p99_s == latency_p95_s`` exactly.
+    """
+    rank = p / 100.0 * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
 
 
 class TimeSeries:
@@ -52,7 +64,8 @@ class TimeSeries:
 
     kind = "timeseries"
 
-    __slots__ = ("name", "capacity", "count", "_values", "_times", "_head")
+    __slots__ = ("name", "capacity", "count", "_values", "_times", "_head",
+                 "_auto")
 
     def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity < 1:
@@ -62,6 +75,10 @@ class TimeSeries:
         self.count = 0
         self._values: List[float] = []
         self._times: List[float] = []
+        #: Per-slot flag: True when the timestamp was auto-assigned from
+        #: the lifetime count.  Merging a worker payload re-samples those
+        #: with ``t=None`` so the parent's own lifetime indices apply.
+        self._auto: List[bool] = []
         #: Index of the slot the *next* sample lands in once wrapped.
         self._head = 0
 
@@ -74,13 +91,16 @@ class TimeSeries:
                 virtual-clock simulations get a monotone axis for free.
         """
         v = float(value)
-        ts = float(t) if t is not None else float(self.count)
+        auto = t is None
+        ts = float(self.count) if auto else float(t)
         if len(self._values) < self.capacity:
             self._values.append(v)
             self._times.append(ts)
+            self._auto.append(auto)
         else:
             self._values[self._head] = v
             self._times[self._head] = ts
+            self._auto[self._head] = auto
             self._head = (self._head + 1) % self.capacity
         self.count += 1
 
@@ -160,3 +180,31 @@ class TimeSeries:
             "retained": len(self._values),
             **{k: v for k, v in stats.items() if k != "count"},
         }
+
+    def to_payload(self) -> Dict[str, object]:
+        """Lossless pickle/JSON-safe form for cross-process merging.
+
+        Samples are exported oldest-first; auto-timed samples carry
+        ``None`` in the time slot so :meth:`merge_payload` re-stamps
+        them against the *receiving* series' lifetime count.
+        """
+        stored = len(self._values)
+        if stored < self.capacity:
+            order = range(stored)
+        else:
+            order = [(self._head + i) % self.capacity for i in range(stored)]
+        samples = [
+            (None if self._auto[i] else self._times[i], self._values[i])
+            for i in order
+        ]
+        return {"count": self.count, "capacity": self.capacity,
+                "samples": samples}
+
+    def merge_payload(self, payload: Dict[str, object]) -> None:
+        """Fold a worker's :meth:`to_payload` into this series in order."""
+        samples = payload.get("samples", [])
+        for t, v in samples:
+            self.sample(v, t=t)
+        # Account for samples the worker's ring already evicted so the
+        # lifetime count stays the true number of observations.
+        self.count += max(0, int(payload.get("count", 0)) - len(samples))

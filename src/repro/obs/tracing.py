@@ -102,6 +102,35 @@ class Tracer:
     def to_dicts(self) -> List[Dict[str, Any]]:
         return [root.to_dict() for root in self.roots]
 
+    def absorb(self, span_dicts: List[Dict[str, Any]]) -> None:
+        """Graft span trees exported by another tracer onto this one.
+
+        Takes the :meth:`to_dicts` output of a worker-process tracer
+        and rebuilds it as root spans here, preserving names, nesting,
+        attributes, errors, and durations.  Absolute ``perf_counter``
+        bounds are meaningless across processes, so rebuilt spans get
+        ``start_s=0`` and ``end_s=duration_s`` — :meth:`aggregate` and
+        trace exports only ever consume durations.
+        """
+        def rebuild(d: Dict[str, Any]) -> Span:
+            sp = Span(d.get("name", "?"), d.get("attributes") or {})
+            sp.start_s = 0.0
+            duration = d.get("duration_s")
+            sp.end_s = float(duration) if duration is not None else 0.0
+            sp.error = d.get("error")
+            sp.children = [rebuild(c) for c in d.get("children", [])]
+            return sp
+
+        def count(d: Dict[str, Any]) -> int:
+            return 1 + sum(count(c) for c in d.get("children", []))
+
+        for root_dict in span_dicts:
+            self.started += count(root_dict)
+            if len(self.roots) >= self.max_spans:
+                self.dropped += 1
+                continue
+            self.roots.append(rebuild(root_dict))
+
     def aggregate(self) -> Dict[str, Dict[str, float]]:
         """Per-name rollup ``{name: {count, total_s, max_s}}``.
 

@@ -7,6 +7,8 @@ with 20 MHz OFDM transmissions, and reads CSI from the Intel Wi-Fi Link
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.errors import ConfigurationError
 
 #: Center frequency (Hz) of 2.4 GHz Wi-Fi channel 1.
@@ -80,15 +82,24 @@ def channel_center_frequency(channel: int) -> float:
     return CHANNEL_1_FREQ_HZ + (channel - 1) * CHANNEL_SPACING_HZ
 
 
+@lru_cache(maxsize=16)
+def _subcarrier_frequencies_tuple(channel: int) -> "tuple[float, ...]":
+    center = channel_center_frequency(channel)
+    half_span = 28 * SUBCARRIER_SPACING_HZ
+    step = 2 * half_span / (NUM_CSI_SUBCHANNELS - 1)
+    return tuple(
+        center - half_span + i * step for i in range(NUM_CSI_SUBCHANNELS)
+    )
+
+
 def subcarrier_frequencies(channel: int = DEFAULT_CHANNEL) -> "list[float]":
     """Absolute RF frequencies (Hz) of the 30 Intel 5300 CSI sub-channels.
 
     The 5300 groups the 56 usable sub-carriers into 30 reported groups
     spread evenly across the occupied band; we model them as 30 equally
     spaced taps spanning +/- 28 sub-carrier spacings around the channel
-    center.
+    center.  The grid is cached per channel (channel construction asks
+    for it on every trial); the public form stays a fresh list so
+    callers may mutate their copy.
     """
-    center = channel_center_frequency(channel)
-    half_span = 28 * SUBCARRIER_SPACING_HZ
-    step = 2 * half_span / (NUM_CSI_SUBCHANNELS - 1)
-    return [center - half_span + i * step for i in range(NUM_CSI_SUBCHANNELS)]
+    return list(_subcarrier_frequencies_tuple(channel))

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro import units
 from repro.errors import ConfigurationError
@@ -26,9 +27,14 @@ from repro.errors import ConfigurationError
 NEAR_FIELD_LIMIT_M = 0.05
 
 
+@lru_cache(maxsize=4096)
 def friis_path_gain(distance_m: float, frequency_hz: float,
                     tx_gain: float = 1.0, rx_gain: float = 1.0) -> float:
     """Free-space (Friis) power gain between isotropic-ish antennas.
+
+    Cached: channel construction evaluates this per (distance,
+    subcarrier) pair for every trial, and a Monte-Carlo sweep revisits
+    the same few thousand geometry points constantly.
 
     Args:
         distance_m: separation in meters (clamped at the near-field limit).
@@ -80,8 +86,13 @@ class LogDistancePathLoss:
         if self.reference_distance_m <= 0:
             raise ConfigurationError("reference_distance_m must be positive")
 
+    @lru_cache(maxsize=4096)
     def power_gain(self, distance_m: float, num_walls: int = 0) -> float:
-        """Linear power gain at ``distance_m`` through ``num_walls`` walls."""
+        """Linear power gain at ``distance_m`` through ``num_walls`` walls.
+
+        Cached per (model, distance, walls) — the dataclass is frozen,
+        so ``self`` is hashable and the cache key is well-defined.
+        """
         if num_walls < 0:
             raise ConfigurationError(f"num_walls must be >= 0, got {num_walls}")
         d = max(distance_m, NEAR_FIELD_LIMIT_M)

@@ -1,0 +1,212 @@
+"""Trial-execution engine: deterministic parallel Monte-Carlo fan-out.
+
+Every paper figure is a Monte-Carlo sweep, and the trials are
+embarrassingly parallel — yet correctness demands that parallelism be
+*invisible*: the same seed must produce bit-identical results whether
+the sweep runs serially or across N worker processes.  This module
+provides both halves of that contract:
+
+**Deterministic decomposition** — :func:`spawn_seeds` fans a root seed
+out into per-trial :class:`numpy.random.SeedSequence` children.  The
+decomposition depends only on the task parameters (seed + trial count),
+never on the worker count, so ``workers=1`` and ``workers=8`` draw the
+exact same random streams.  Drivers that accept a caller-supplied
+``Generator`` first collapse it to root entropy via
+:func:`derive_entropy` (one draw), then fan out the same way.
+
+**Pooled execution** — :func:`run_trials` maps a picklable task
+function over a task list.  With ``workers<=1`` (or when process pools
+are unavailable on the platform) it runs in-process under the caller's
+observability context, byte-for-byte the legacy serial behaviour.
+With ``workers>1`` it submits to a cached :class:`ProcessPoolExecutor`;
+each worker runs its task under a fresh obs session mirroring the
+parent's switches and ships back a lossless payload (counters,
+histogram samples, timeseries rings, span trees, profiler stages),
+which the parent merges in *task order* so the merged registry matches
+what a serial run would have recorded.
+
+The pool is process-global and cached across calls: pool creation costs
+~100ms+ (fork + interpreter bookkeeping), which would swamp short
+workloads if paid per sweep.  :func:`warm_pool` lets the benchmark
+harness pay that cost outside its timed region.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.obs import state
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+
+
+def derive_entropy(rng: np.random.Generator) -> int:
+    """Collapse a live generator to root entropy for seed fan-out.
+
+    Consumes exactly one draw, so a caller-supplied ``rng`` still
+    yields reproducible (and rng-state-dependent) trial streams while
+    the per-trial decomposition goes through the same
+    :class:`~numpy.random.SeedSequence` fan-out as the seeded path.
+    """
+    return int(rng.integers(0, 2**63))
+
+
+def spawn_seeds(entropy: int, n: int) -> List[np.random.SeedSequence]:
+    """``n`` statistically independent child seeds of ``entropy``.
+
+    Child ``i`` is a pure function of ``(entropy, i)`` — worker count
+    and scheduling order cannot change which stream trial ``i`` sees.
+    """
+    return np.random.SeedSequence(entropy).spawn(n)
+
+
+def ensure_pool(workers: int) -> Optional[ProcessPoolExecutor]:
+    """The cached process pool for ``workers`` processes, or None.
+
+    Returns None when ``workers <= 1`` or the platform cannot provide
+    a process pool (callers fall back to serial).  A cached pool with a
+    different size is torn down and replaced.
+    """
+    global _pool, _pool_workers
+    if workers <= 1:
+        return None
+    if _pool is not None and _pool_workers == workers:
+        return _pool
+    shutdown_pool()
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, NotImplementedError, ImportError):
+        return None
+    _pool = pool
+    _pool_workers = workers
+    return pool
+
+
+def warm_pool(workers: int) -> bool:
+    """Spawn the pool's worker processes up front.
+
+    Used by the benchmark harness to keep fork/startup cost out of the
+    timed region.  Returns True when a pool is ready.
+    """
+    pool = ensure_pool(workers)
+    if pool is None:
+        return False
+    try:
+        list(pool.map(_noop, range(workers)))
+    except BrokenProcessPool:
+        shutdown_pool()
+        return False
+    return True
+
+
+def shutdown_pool() -> None:
+    """Tear down the cached pool (idempotent)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _noop(_: int) -> None:
+    return None
+
+
+def _run_task(
+    fn: Callable[[Any], Any],
+    task: Any,
+    capture: Optional[Dict[str, bool]],
+) -> Any:
+    """Worker-side wrapper: run one task, optionally capturing obs.
+
+    With ``capture`` set, the task runs under a fresh obs session whose
+    switches mirror the parent's, and the return value is
+    ``(result, payload)`` where payload carries everything the parent
+    needs to merge: the metrics registry export, finished span trees,
+    and the profiler snapshot.
+    """
+    if capture is None:
+        return fn(task), None
+    with state.session(
+        metrics=capture["metrics"],
+        tracing=capture["tracing"],
+        profiling=capture["profiling"],
+        fresh=True,
+    ) as (registry, tracer):
+        result = fn(task)
+        payload = {
+            "metrics": registry.to_payload() if capture["metrics"] else None,
+            "spans": tracer.to_dicts() if capture["tracing"] else None,
+            "profile": (
+                state.get_profiler().snapshot()
+                if capture["profiling"] else None
+            ),
+        }
+    return result, payload
+
+
+def _merge_worker_payload(payload: Dict[str, Any]) -> None:
+    """Fold one worker obs payload into the parent session."""
+    if payload.get("metrics"):
+        state.get_registry().merge_payload(payload["metrics"])
+    if payload.get("spans"):
+        state.get_tracer().absorb(payload["spans"])
+    if payload.get("profile"):
+        state.get_profiler().absorb(payload["profile"])
+
+
+def run_trials(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    workers: int = 1,
+) -> List[Any]:
+    """Map ``fn`` over ``tasks``, returning results in task order.
+
+    The serial path (``workers<=1``, pool unavailable, or a broken
+    pool) executes in-process under the caller's obs context — span
+    nesting and metric values are identical to a plain loop.  The
+    parallel path captures each worker's obs into a payload and merges
+    payloads in task order, so aggregate observability is preserved
+    (histogram sample buffers are still bounded at their usual cap,
+    and cross-process span trees lose absolute timestamps but keep
+    durations and structure).
+
+    ``fn`` and every task must be picklable (module-level function plus
+    plain-data task objects).  Results come back in task order
+    regardless of completion order, and any exception a task raises
+    propagates to the caller just as it would serially.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    pool = ensure_pool(workers)
+    if pool is None:
+        return [fn(task) for task in tasks]
+    capture: Optional[Dict[str, bool]] = {
+        "metrics": state.metrics_enabled(),
+        "tracing": state.tracing_enabled(),
+        "profiling": state.profiling_enabled(),
+    }
+    if not any(capture.values()):
+        capture = None
+    try:
+        futures = [pool.submit(_run_task, fn, task, capture) for task in tasks]
+        outcomes = [f.result() for f in futures]
+    except BrokenProcessPool:
+        shutdown_pool()
+        return [fn(task) for task in tasks]
+    results: List[Any] = []
+    for result, payload in outcomes:
+        if payload is not None:
+            _merge_worker_payload(payload)
+        results.append(result)
+    return results

@@ -33,7 +33,7 @@ from repro.core.uplink_decoder import UplinkDecoder
 from repro.errors import BrownoutError, ConfigurationError, DecodeError, ReproError
 from repro.faults.base import FaultPlan
 from repro.phy.envelope import EnvelopeSynthesizer
-from repro.sim import calibration
+from repro.sim import calibration, engine
 from repro.sim.calibration import CalibratedParameters, DEFAULTS
 from repro.measurement import MeasurementStream
 from repro.sim.metrics import BerResult, bit_errors
@@ -44,6 +44,11 @@ from repro.tag.receiver_circuit import ReceiverCircuit
 #: Lead-in/lead-out idle time around a transmission so the conditioning
 #: moving average has context at the frame edges.
 EDGE_PADDING_S = 0.45
+
+#: Bits per downlink Monte-Carlo work unit. Fixed (never a function of
+#: the worker count) so the per-chunk seed fan-out — and therefore the
+#: sampled bit stream — is identical for any ``workers`` value.
+DOWNLINK_CHUNK_BITS = 50_000
 
 
 def helper_packet_times(
@@ -236,6 +241,58 @@ def run_uplink_trial(
     )
 
 
+@dataclass(frozen=True)
+class _UplinkBerTrialTask:
+    """Self-contained description of one uplink BER trial.
+
+    Everything a worker process needs: plain-data configuration plus
+    the trial's own spawned :class:`~numpy.random.SeedSequence`.  The
+    seed is a pure function of the sweep's root seed and the trial
+    index, so the task list — and therefore every random draw — is
+    identical for any worker count.
+    """
+
+    tag_to_reader_m: float
+    packets_per_bit: float
+    mode: str
+    num_payload_bits: int
+    bit_rate_bps: float
+    traffic: str
+    params: CalibratedParameters
+    faults: Optional[FaultPlan]
+    start_s: float
+    seed: np.random.SeedSequence
+
+
+def _run_uplink_ber_trial(task: _UplinkBerTrialTask) -> Tuple[int, bool]:
+    """Engine task: one BER trial -> ``(errors, faulted)``.
+
+    A trial the faults render undecodable reports
+    ``(num_payload_bits, True)``; without an active fault plan the
+    error propagates, exactly as the sequential loop behaved.
+    """
+    rng = np.random.default_rng(task.seed)
+    active = task.faults is not None and not task.faults.empty
+    try:
+        trial = run_uplink_trial(
+            task.tag_to_reader_m,
+            task.packets_per_bit,
+            mode=task.mode,
+            num_payload_bits=task.num_payload_bits,
+            bit_rate_bps=task.bit_rate_bps,
+            traffic=task.traffic,
+            params=task.params,
+            rng=rng,
+            faults=task.faults,
+            start_s=task.start_s,
+        )
+        return trial.errors, False
+    except ReproError:
+        if not active:
+            raise
+        return task.num_payload_bits, True
+
+
 def run_uplink_ber(
     tag_to_reader_m: float,
     packets_per_bit: float,
@@ -247,21 +304,30 @@ def run_uplink_ber(
     params: CalibratedParameters = DEFAULTS,
     seed: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
+    workers: int = 1,
 ) -> BerResult:
     """The Fig 10 measurement: BER over ``repeats`` transmissions.
 
     The paper transmits a 90-bit payload 20 times per distance (1800
     bits) and floors zero-error runs.
 
+    Trials draw from per-trial streams spawned off the root seed
+    (:func:`repro.sim.engine.spawn_seeds`), so ``workers=N`` returns
+    results bit-identical to serial for the same seed — parallelism is
+    purely an execution detail.
+
     With a fault plan attached, successive trials are laid out
     back-to-back in absolute time so each one samples a fresh stretch
     of the burst schedule; a trial the faults render undecodable
     (brownout, total outage, lost preamble) scores all its payload bits
     as errors, which is what the reader would deliver upstream.
+
+    Args:
+        workers: worker processes to fan trials over (<=1 = serial).
     """
     if repeats < 1:
         raise ConfigurationError("repeats must be >= 1")
-    rng, effective_seed = resolve_rng(None, seed)
+    _, effective_seed = resolve_rng(None, seed)
     active = faults is not None and not faults.empty
     bit_duration = 1.0 / bit_rate_bps
     preamble_len = len(barker_bits())
@@ -269,6 +335,22 @@ def run_uplink_ber(
         (preamble_len + num_payload_bits) * bit_duration
         + 2 * EDGE_PADDING_S + 0.1
     )
+    seeds = engine.spawn_seeds(effective_seed, repeats)
+    tasks = [
+        _UplinkBerTrialTask(
+            tag_to_reader_m=tag_to_reader_m,
+            packets_per_bit=packets_per_bit,
+            mode=mode,
+            num_payload_bits=num_payload_bits,
+            bit_rate_bps=bit_rate_bps,
+            traffic=traffic,
+            params=params,
+            faults=faults,
+            start_s=i * trial_span if active else 0.0,
+            seed=seeds[i],
+        )
+        for i in range(repeats)
+    ]
     errors = 0
     total = 0
     failed_trials = 0
@@ -279,34 +361,24 @@ def run_uplink_ber(
         mode=mode,
         repeats=repeats,
         seed=effective_seed,
+        workers=workers,
     ):
-        for i in range(repeats):
-            try:
-                trial = run_uplink_trial(
-                    tag_to_reader_m,
-                    packets_per_bit,
-                    mode=mode,
-                    num_payload_bits=num_payload_bits,
-                    bit_rate_bps=bit_rate_bps,
-                    traffic=traffic,
-                    params=params,
-                    rng=rng,
-                    faults=faults,
-                    start_s=i * trial_span if active else 0.0,
-                )
-                errors += trial.errors
-                if obs.metrics_enabled():
-                    obs.timeseries("uplink.ber.window").sample(
-                        trial.errors / num_payload_bits
-                    )
-            except ReproError:
-                if not active:
-                    raise
+        outcomes = engine.run_trials(
+            _run_uplink_ber_trial, tasks, workers=workers
+        )
+        for trial_errors, faulted in outcomes:
+            if faulted:
                 failed_trials += 1
                 errors += num_payload_bits
-                obs.counter("uplink.trials.faulted").inc()
                 if obs.metrics_enabled():
+                    obs.counter("uplink.trials.faulted").inc()
                     obs.timeseries("uplink.ber.window").sample(1.0)
+            else:
+                errors += trial_errors
+                if obs.metrics_enabled():
+                    obs.timeseries("uplink.ber.window").sample(
+                        trial_errors / num_payload_bits
+                    )
             total += num_payload_bits
     result = BerResult(errors=errors, total_bits=total, runs=repeats)
     obs.record_run(
@@ -328,6 +400,64 @@ def run_uplink_ber(
     return result
 
 
+@dataclass(frozen=True)
+class _CorrelationTrialTask:
+    """Engine task for one coded-uplink trial (plain data + seed)."""
+
+    tag_to_reader_m: float
+    code_length: int
+    num_bits: int
+    packets_per_chip: float
+    chip_rate_cps: float
+    params: CalibratedParameters
+    faults: Optional[FaultPlan]
+    start_s: float
+    seed: np.random.SeedSequence
+    effective_seed: Optional[int]
+
+
+def _run_correlation_trial_body(task: _CorrelationTrialTask) -> UplinkTrial:
+    """Engine task: synthesize + correlation-decode one transmission."""
+    rng = np.random.default_rng(task.seed)
+    with obs.span(
+        "correlation.trial",
+        distance_m=task.tag_to_reader_m,
+        code_length=task.code_length,
+        num_bits=task.num_bits,
+        seed=task.effective_seed,
+    ) as sp:
+        pair = make_code_pair(task.code_length)
+        payload = random_payload(task.num_bits, rng)
+        chips = pair.encode(payload)
+        states = [1 if c > 0 else 0 for c in chips]
+        chip_duration = 1.0 / task.chip_rate_cps
+        span_s = len(states) * chip_duration + 2 * EDGE_PADDING_S + 0.1
+        pkt_rate = task.packets_per_chip * task.chip_rate_cps
+        with obs.span("uplink.synthesize"):
+            times = helper_packet_times(
+                pkt_rate, span_s, traffic="cbr", start_s=task.start_s, rng=rng
+            )
+            stream, tx_start = simulate_uplink_stream(
+                states, chip_duration, times, task.tag_to_reader_m,
+                params=task.params, rng=rng, faults=task.faults,
+            )
+        decoder = CorrelationDecoder(pair)
+        result = decoder.decode_bits(
+            stream,
+            num_bits=task.num_bits,
+            chip_duration_s=chip_duration,
+            start_time_s=tx_start,
+        )
+        errors = bit_errors(payload, result.bits)
+        if sp is not None:
+            sp.set(errors=errors)
+        obs.counter("correlation.bits.total").inc(task.num_bits)
+        obs.counter("correlation.bits.errors").inc(errors)
+    return UplinkTrial(
+        sent_bits=np.asarray(payload), decoded_bits=result.bits, errors=errors
+    )
+
+
 def run_correlation_trial(
     tag_to_reader_m: float,
     code_length: int,
@@ -339,8 +469,14 @@ def run_correlation_trial(
     seed: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
     start_s: float = 0.0,
+    workers: int = 1,
 ) -> UplinkTrial:
     """Long-range coded uplink (§3.4): send + correlation-decode.
+
+    The trial's random stream is spawned off the root seed through the
+    same :class:`~numpy.random.SeedSequence` fan-out as the sweep
+    drivers (a caller-supplied ``rng`` contributes one draw of root
+    entropy), so serial and pooled execution are bit-identical.
 
     Args:
         code_length: L, chips per bit.
@@ -350,42 +486,31 @@ def run_correlation_trial(
         seed: RNG seed used when ``rng`` is not supplied.
         faults: optional fault plan applied to the rendered link.
         start_s: absolute start time (fault plans live in absolute time).
+        workers: worker processes (<=1 = in-process; a single trial
+            occupies at most one worker either way).
     """
-    rng, effective_seed = resolve_rng(rng, seed)
-    with obs.span(
-        "correlation.trial",
-        distance_m=tag_to_reader_m,
+    if rng is not None:
+        entropy = engine.derive_entropy(rng)
+        effective_seed = None
+    else:
+        effective_seed = DEFAULT_SEED if seed is None else int(seed)
+        entropy = effective_seed
+    task = _CorrelationTrialTask(
+        tag_to_reader_m=tag_to_reader_m,
         code_length=code_length,
         num_bits=num_bits,
-        seed=effective_seed,
-    ) as sp:
-        pair = make_code_pair(code_length)
-        payload = random_payload(num_bits, rng)
-        chips = pair.encode(payload)
-        states = [1 if c > 0 else 0 for c in chips]
-        chip_duration = 1.0 / chip_rate_cps
-        span_s = len(states) * chip_duration + 2 * EDGE_PADDING_S + 0.1
-        pkt_rate = packets_per_chip * chip_rate_cps
-        with obs.span("uplink.synthesize"):
-            times = helper_packet_times(
-                pkt_rate, span_s, traffic="cbr", start_s=start_s, rng=rng
-            )
-            stream, tx_start = simulate_uplink_stream(
-                states, chip_duration, times, tag_to_reader_m, params=params,
-                rng=rng, faults=faults,
-            )
-        decoder = CorrelationDecoder(pair)
-        result = decoder.decode_bits(
-            stream,
-            num_bits=num_bits,
-            chip_duration_s=chip_duration,
-            start_time_s=tx_start,
-        )
-        errors = bit_errors(payload, result.bits)
-        if sp is not None:
-            sp.set(errors=errors)
-        obs.counter("correlation.bits.total").inc(num_bits)
-        obs.counter("correlation.bits.errors").inc(errors)
+        packets_per_chip=packets_per_chip,
+        chip_rate_cps=chip_rate_cps,
+        params=params,
+        faults=faults,
+        start_s=start_s,
+        seed=engine.spawn_seeds(entropy, 1)[0],
+        effective_seed=effective_seed,
+    )
+    trial = engine.run_trials(
+        _run_correlation_trial_body, [task], workers=workers
+    )[0]
+    errors = trial.errors
     obs.record_run(
         "correlation_trial",
         seed=effective_seed,
@@ -399,9 +524,7 @@ def run_correlation_trial(
         },
         results={"errors": errors, "total_bits": num_bits},
     )
-    return UplinkTrial(
-        sent_bits=np.asarray(payload), decoded_bits=result.bits, errors=errors
-    )
+    return trial
 
 
 def simulate_multi_helper_stream(
@@ -484,6 +607,46 @@ def simulate_multi_helper_stream(
 # -- downlink ------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class _DownlinkChunkTask:
+    """One fixed-size slice of the downlink Monte-Carlo (pure compute)."""
+
+    start_bit: int
+    num_bits: int
+    bit_duration_s: float
+    miss: float
+    false_one: float
+    faults: Optional[FaultPlan]
+    seed: np.random.SeedSequence
+
+
+def _run_downlink_chunk(task: _DownlinkChunkTask) -> Tuple[int, int, int]:
+    """Engine task: sample one chunk of downlink bits.
+
+    Returns ``(missed_ones, false_positives, brownout_misses)``.  The
+    worker does no obs at all — the parent driver owns the gauges,
+    counters, and span, so the observable record is identical for any
+    worker count.
+    """
+    rng = np.random.default_rng(task.seed)
+    ones = rng.random(task.num_bits) < 0.5
+    n_ones = int(ones.sum())
+    n_zeros = task.num_bits - n_ones
+    missed = rng.random(n_ones) < task.miss
+    brownout_misses = 0
+    if task.faults is not None and not task.faults.empty:
+        bit_times = (
+            (task.start_bit + np.arange(task.num_bits)) * task.bit_duration_s
+        )
+        dark = ~task.faults.tag_powered_mask(bit_times)
+        dark_ones = dark[ones]
+        brownout_misses = int((dark_ones & ~missed).sum())
+        missed = missed | dark_ones
+    missed_ones = int(missed.sum())
+    false_positives = int((rng.random(n_zeros) < task.false_one).sum())
+    return missed_ones, false_positives, brownout_misses
+
+
 def run_downlink_ber(
     distance_m: float,
     bit_duration_s: float,
@@ -492,6 +655,7 @@ def run_downlink_ber(
     params: CalibratedParameters = DEFAULTS,
     seed: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
+    workers: int = 1,
 ) -> BerResult:
     """Fig 17: downlink BER at a distance via the analytic peak model.
 
@@ -500,15 +664,22 @@ def run_downlink_ber(
     200 kilobits per point). For the bit-exact circuit path use
     :func:`run_downlink_circuit_trial`.
 
+    The bit stream is sampled in fixed :data:`DOWNLINK_CHUNK_BITS`
+    chunks, each from its own spawned seed, so serial and any worker
+    count produce identical results for the same seed.
+
     Fault semantics on the downlink are brownout-only: the reader
     transmits directly, so helper outages and CSI corruption do not
     apply, but a browned-out tag cannot run its peak detector and
     misses every '1' bit while dark ('0' bits, being the absence of a
     peak, still "decode").
+
+    Args:
+        workers: worker processes to fan chunks over (<=1 = serial).
     """
     if num_bits < 1:
         raise ConfigurationError("num_bits must be >= 1")
-    rng, effective_seed = resolve_rng(None, seed)
+    _, effective_seed = resolve_rng(None, seed)
     active = faults is not None and not faults.empty
     model = model or DownlinkDetectionModel(
         scale_m=params.downlink_range_scale_m, shape=params.downlink_range_shape
@@ -519,23 +690,32 @@ def run_downlink_ber(
         bit_duration_s=bit_duration_s,
         num_bits=num_bits,
         seed=effective_seed,
+        workers=workers,
     ) as sp:
         miss = model.miss_probability(distance_m, bit_duration_s)
         false_one = model.false_one_probability
-        ones = rng.random(num_bits) < 0.5
-        n_ones = int(ones.sum())
-        n_zeros = num_bits - n_ones
-        missed = rng.random(n_ones) < miss
-        brownout_misses = 0
+        starts = list(range(0, num_bits, DOWNLINK_CHUNK_BITS))
+        seeds = engine.spawn_seeds(effective_seed, len(starts))
+        tasks = [
+            _DownlinkChunkTask(
+                start_bit=start,
+                num_bits=min(DOWNLINK_CHUNK_BITS, num_bits - start),
+                bit_duration_s=bit_duration_s,
+                miss=miss,
+                false_one=false_one,
+                faults=faults if active else None,
+                seed=chunk_seed,
+            )
+            for start, chunk_seed in zip(starts, seeds)
+        ]
+        chunk_counts = engine.run_trials(
+            _run_downlink_chunk, tasks, workers=workers
+        )
+        missed_ones = sum(c[0] for c in chunk_counts)
+        false_positives = sum(c[1] for c in chunk_counts)
+        brownout_misses = sum(c[2] for c in chunk_counts)
         if active:
-            bit_times = np.arange(num_bits) * bit_duration_s
-            dark = ~faults.tag_powered_mask(bit_times)
-            dark_ones = dark[ones]
-            brownout_misses = int((dark_ones & ~missed).sum())
-            missed = missed | dark_ones
             obs.counter("downlink.errors.brownout").inc(brownout_misses)
-        missed_ones = int(missed.sum())
-        false_positives = int((rng.random(n_zeros) < false_one).sum())
         errors = missed_ones + false_positives
         # Envelope-detector operating point + error split: the two
         # failure modes (missed packet peaks vs spurious ones) degrade
@@ -779,6 +959,210 @@ class ArqSessionResult:
         }
 
 
+def _arq_run_one_frame(
+    rng: np.random.Generator,
+    clock: float,
+    *,
+    tag_to_reader_m: float,
+    payload_len: int,
+    bit_duration: float,
+    pkt_rate: float,
+    max_attempts: int,
+    backoff: BackoffPolicy,
+    faults: Optional[FaultPlan],
+    degrade_after: Optional[int],
+    pair,
+    traffic: str,
+    params: CalibratedParameters,
+    decoder: UplinkDecoder,
+) -> Tuple[ArqFrameOutcome, float]:
+    """One frame through the ARQ loop: draw, transmit, retry, record.
+
+    A pure extraction of the sequential session's frame body — the
+    draw order against ``rng``, the virtual-clock advancement, and the
+    obs emissions are untouched, so the serial path stays byte-for-byte
+    the legacy behaviour.
+
+    Returns:
+        ``(outcome, clock_after_frame)``.
+    """
+    payload = random_payload(payload_len, rng)
+    frame = UplinkFrame(payload_bits=tuple(payload))
+    frame_bits = frame.to_bits()
+    check_bits = list(payload) + int_to_bits(crc8(list(payload)), 8)
+    delivered = False
+    correct = False
+    degraded = False
+    mode_used = "csi"
+    attempts = 0
+    frame_backoff = 0.0
+    for attempt in range(max_attempts):
+        if attempt > 0:
+            delay = backoff.delay_s(attempt - 1, rng)
+            frame_backoff += delay
+            clock += delay
+        attempts += 1
+        use_correlation = (
+            degrade_after is not None and attempt >= degrade_after
+        )
+        if use_correlation:
+            degraded = True
+            mode_used = "correlation"
+            chips = pair.encode(check_bits)
+            states = [1 if c > 0 else 0 for c in chips]
+            span = (
+                len(states) * bit_duration
+                + 2 * EDGE_PADDING_S + 0.1
+            )
+        else:
+            states = frame_bits
+            span = (
+                len(frame_bits) * bit_duration
+                + 2 * EDGE_PADDING_S + 0.1
+            )
+        times = helper_packet_times(
+            pkt_rate, span, traffic=traffic, start_s=clock, rng=rng
+        )
+        clock += span
+        try:
+            stream, tx_start = simulate_uplink_stream(
+                states, bit_duration, times, tag_to_reader_m,
+                params=params, rng=rng, faults=faults,
+            )
+            if use_correlation:
+                corr = CorrelationDecoder(pair)
+                got = corr.decode_bits(
+                    stream,
+                    num_bits=len(check_bits),
+                    chip_duration_s=bit_duration,
+                    start_time_s=tx_start,
+                )
+                got_bits = [int(b) for b in got.bits]
+                got_payload = got_bits[:payload_len]
+                got_crc = got_bits[payload_len:]
+                if int_to_bits(crc8(got_payload), 8) != got_crc:
+                    raise DecodeError("correlation-mode CRC mismatch")
+                delivered = True
+                correct = got_payload == list(payload)
+            else:
+                decoded = decoder.decode_frame(
+                    stream,
+                    payload_len=payload_len,
+                    bit_duration_s=bit_duration,
+                    mode="csi",
+                    start_time_s=tx_start,
+                )
+                delivered = True
+                correct = (
+                    list(decoded.payload_bits) == list(payload)
+                )
+                mode_used = "csi"
+        except ReproError:
+            obs.counter("arq.frame.attempt_failures").inc()
+            continue
+        break
+    obs.counter("arq.attempts").inc(attempts)
+    if obs.metrics_enabled():
+        obs.timeseries("uplink.delivery").sample(
+            1.0 if delivered else 0.0
+        )
+        obs.timeseries("arq.attempts.window").sample(attempts)
+    if attempts > 1:
+        obs.counter("arq.retries").inc(attempts - 1)
+    if delivered:
+        obs.counter("arq.frames.delivered").inc()
+    else:
+        obs.counter("arq.frames.failed").inc()
+        obs.counter("arq.giveups").inc()
+    if degraded:
+        obs.counter("arq.frames.degraded").inc()
+    if frame_backoff:
+        obs.histogram("arq.backoff_s").observe(frame_backoff)
+    outcome = ArqFrameOutcome(
+        delivered=delivered,
+        correct=correct,
+        attempts=attempts,
+        mode=mode_used,
+        backoff_s=frame_backoff,
+        degraded=degraded,
+    )
+    return outcome, clock
+
+
+@dataclass(frozen=True)
+class _ArqFrameTask:
+    """One ARQ frame shard: config + spawned seed + clock offset."""
+
+    start_clock_s: float
+    seed: np.random.SeedSequence
+    tag_to_reader_m: float
+    payload_len: int
+    bit_duration: float
+    pkt_rate: float
+    max_attempts: int
+    backoff: BackoffPolicy
+    faults: Optional[FaultPlan]
+    degrade_after: Optional[int]
+    code_length: int
+    traffic: str
+    params: CalibratedParameters
+    decoder: Optional[UplinkDecoder]
+
+
+def _run_arq_frame_task(task: _ArqFrameTask) -> Tuple[ArqFrameOutcome, float]:
+    """Engine task: one sharded ARQ frame -> ``(outcome, elapsed_s)``."""
+    rng = np.random.default_rng(task.seed)
+    outcome, end_clock = _arq_run_one_frame(
+        rng,
+        task.start_clock_s,
+        tag_to_reader_m=task.tag_to_reader_m,
+        payload_len=task.payload_len,
+        bit_duration=task.bit_duration,
+        pkt_rate=task.pkt_rate,
+        max_attempts=task.max_attempts,
+        backoff=task.backoff,
+        faults=task.faults,
+        degrade_after=task.degrade_after,
+        pair=make_code_pair(task.code_length),
+        traffic=task.traffic,
+        params=task.params,
+        decoder=task.decoder or UplinkDecoder(),
+    )
+    return outcome, end_clock - task.start_clock_s
+
+
+def _arq_frame_budget_s(
+    payload_len: int,
+    bit_duration: float,
+    max_attempts: int,
+    backoff: BackoffPolicy,
+    degrade_after: Optional[int],
+    code_length: int,
+) -> float:
+    """Worst-case virtual-clock span one ARQ frame can consume.
+
+    Sharded frames get clock offsets of ``i * budget`` so their
+    absolute-time windows (which fault plans key off) never overlap,
+    and the offsets depend only on the session parameters — never the
+    worker count.
+    """
+    probe_bits = UplinkFrame(payload_bits=tuple([0] * payload_len)).to_bits()
+    frame_span = len(probe_bits) * bit_duration + 2 * EDGE_PADDING_S + 0.1
+    max_span = frame_span
+    if degrade_after is not None:
+        corr_span = (
+            (payload_len + 8) * code_length * bit_duration
+            + 2 * EDGE_PADDING_S + 0.1
+        )
+        max_span = max(frame_span, corr_span)
+    max_backoff = sum(
+        min(backoff.initial_s * backoff.multiplier ** r, backoff.max_s)
+        * (1.0 + backoff.jitter_fraction)
+        for r in range(max_attempts - 1)
+    )
+    return max_attempts * max_span + max_backoff
+
+
 def run_arq_uplink(
     tag_to_reader_m: float,
     num_frames: int = 20,
@@ -795,6 +1179,7 @@ def run_arq_uplink(
     decoder: Optional[UplinkDecoder] = None,
     seed: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
+    workers: int = 1,
 ) -> ArqSessionResult:
     """A resilient uplink session: frames + ARQ + graceful degradation.
 
@@ -827,6 +1212,16 @@ def run_arq_uplink(
         decoder: uplink decoder override (its config controls the
             CSI->RSSI fallback rung).
         seed: RNG seed used when ``rng`` is not supplied.
+        workers: worker processes.  ``<=1`` runs the legacy sequential
+            session byte-for-byte.  ``>1`` shards the session per
+            frame: each frame gets its own spawned seed and a disjoint
+            absolute-time window (``i * worst-case frame budget``), so
+            retry/backoff behaviour within a frame is unchanged and
+            fault plans still apply, but the exact burst realizations
+            each frame sees differ from the serial interleaving — the
+            parallel session is statistically equivalent, not
+            bit-identical (frames are causally coupled through the
+            shared virtual clock, unlike independent BER trials).
     """
     if num_frames < 1:
         raise ConfigurationError("num_frames must be >= 1")
@@ -834,13 +1229,13 @@ def run_arq_uplink(
         raise ConfigurationError("max_attempts must be >= 1")
     if degrade_after is not None and degrade_after < 1:
         raise ConfigurationError("degrade_after must be >= 1 or None")
+    caller_rng = rng
     rng, effective_seed = resolve_rng(rng, seed)
     backoff = backoff or BackoffPolicy()
     decoder = decoder or UplinkDecoder()
     bit_duration = 1.0 / bit_rate_bps
     pkt_rate = packets_per_bit * bit_rate_bps
     pair = make_code_pair(code_length)
-    clock = 0.0
     outcomes: List[ArqFrameOutcome] = []
     with obs.span(
         "arq.session",
@@ -848,111 +1243,64 @@ def run_arq_uplink(
         num_frames=num_frames,
         max_attempts=max_attempts,
         seed=effective_seed,
+        workers=workers,
     ):
-        for _ in range(num_frames):
-            payload = random_payload(payload_len, rng)
-            frame = UplinkFrame(payload_bits=tuple(payload))
-            frame_bits = frame.to_bits()
-            check_bits = list(payload) + int_to_bits(crc8(list(payload)), 8)
-            delivered = False
-            correct = False
-            degraded = False
-            mode_used = "csi"
-            attempts = 0
-            frame_backoff = 0.0
-            for attempt in range(max_attempts):
-                if attempt > 0:
-                    delay = backoff.delay_s(attempt - 1, rng)
-                    frame_backoff += delay
-                    clock += delay
-                attempts += 1
-                use_correlation = (
-                    degrade_after is not None and attempt >= degrade_after
+        if workers <= 1:
+            clock = 0.0
+            for _ in range(num_frames):
+                outcome, clock = _arq_run_one_frame(
+                    rng,
+                    clock,
+                    tag_to_reader_m=tag_to_reader_m,
+                    payload_len=payload_len,
+                    bit_duration=bit_duration,
+                    pkt_rate=pkt_rate,
+                    max_attempts=max_attempts,
+                    backoff=backoff,
+                    faults=faults,
+                    degrade_after=degrade_after,
+                    pair=pair,
+                    traffic=traffic,
+                    params=params,
+                    decoder=decoder,
                 )
-                if use_correlation:
-                    degraded = True
-                    mode_used = "correlation"
-                    chips = pair.encode(check_bits)
-                    states = [1 if c > 0 else 0 for c in chips]
-                    span = (
-                        len(states) * bit_duration
-                        + 2 * EDGE_PADDING_S + 0.1
-                    )
-                else:
-                    states = frame_bits
-                    span = (
-                        len(frame_bits) * bit_duration
-                        + 2 * EDGE_PADDING_S + 0.1
-                    )
-                times = helper_packet_times(
-                    pkt_rate, span, traffic=traffic, start_s=clock, rng=rng
-                )
-                clock += span
-                try:
-                    stream, tx_start = simulate_uplink_stream(
-                        states, bit_duration, times, tag_to_reader_m,
-                        params=params, rng=rng, faults=faults,
-                    )
-                    if use_correlation:
-                        corr = CorrelationDecoder(pair)
-                        got = corr.decode_bits(
-                            stream,
-                            num_bits=len(check_bits),
-                            chip_duration_s=bit_duration,
-                            start_time_s=tx_start,
-                        )
-                        got_bits = [int(b) for b in got.bits]
-                        got_payload = got_bits[:payload_len]
-                        got_crc = got_bits[payload_len:]
-                        if int_to_bits(crc8(got_payload), 8) != got_crc:
-                            raise DecodeError("correlation-mode CRC mismatch")
-                        delivered = True
-                        correct = got_payload == list(payload)
-                    else:
-                        decoded = decoder.decode_frame(
-                            stream,
-                            payload_len=payload_len,
-                            bit_duration_s=bit_duration,
-                            mode="csi",
-                            start_time_s=tx_start,
-                        )
-                        delivered = True
-                        correct = (
-                            list(decoded.payload_bits) == list(payload)
-                        )
-                        mode_used = "csi"
-                except ReproError:
-                    obs.counter("arq.frame.attempt_failures").inc()
-                    continue
-                break
-            obs.counter("arq.attempts").inc(attempts)
-            if obs.metrics_enabled():
-                obs.timeseries("uplink.delivery").sample(
-                    1.0 if delivered else 0.0
-                )
-                obs.timeseries("arq.attempts.window").sample(attempts)
-            if attempts > 1:
-                obs.counter("arq.retries").inc(attempts - 1)
-            if delivered:
-                obs.counter("arq.frames.delivered").inc()
-            else:
-                obs.counter("arq.frames.failed").inc()
-                obs.counter("arq.giveups").inc()
-            if degraded:
-                obs.counter("arq.frames.degraded").inc()
-            if frame_backoff:
-                obs.histogram("arq.backoff_s").observe(frame_backoff)
-            outcomes.append(
-                ArqFrameOutcome(
-                    delivered=delivered,
-                    correct=correct,
-                    attempts=attempts,
-                    mode=mode_used,
-                    backoff_s=frame_backoff,
-                    degraded=degraded,
-                )
+                outcomes.append(outcome)
+            elapsed = clock
+        else:
+            entropy = (
+                engine.derive_entropy(caller_rng)
+                if caller_rng is not None else effective_seed
             )
-    result = ArqSessionResult(outcomes=tuple(outcomes), elapsed_s=clock)
+            budget = _arq_frame_budget_s(
+                payload_len, bit_duration, max_attempts, backoff,
+                degrade_after, code_length,
+            )
+            seeds = engine.spawn_seeds(entropy, num_frames)
+            tasks = [
+                _ArqFrameTask(
+                    start_clock_s=i * budget,
+                    seed=seeds[i],
+                    tag_to_reader_m=tag_to_reader_m,
+                    payload_len=payload_len,
+                    bit_duration=bit_duration,
+                    pkt_rate=pkt_rate,
+                    max_attempts=max_attempts,
+                    backoff=backoff,
+                    faults=faults,
+                    degrade_after=degrade_after,
+                    code_length=code_length,
+                    traffic=traffic,
+                    params=params,
+                    decoder=decoder,
+                )
+                for i in range(num_frames)
+            ]
+            shard_results = engine.run_trials(
+                _run_arq_frame_task, tasks, workers=workers
+            )
+            outcomes = [outcome for outcome, _ in shard_results]
+            elapsed = sum(delta for _, delta in shard_results)
+    result = ArqSessionResult(outcomes=tuple(outcomes), elapsed_s=elapsed)
     obs.record_run(
         "arq_uplink",
         seed=effective_seed,

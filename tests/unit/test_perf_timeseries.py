@@ -155,7 +155,30 @@ class TestPercentileHelper:
         xs = [float(i) for i in range(100)]
         assert percentile_of(xs, 0) == 0.0
         assert percentile_of(xs, 100) == 99.0
-        assert percentile_of(xs, 50) == 50.0
+        # Linear interpolation: the median of 0..99 sits between 49 and 50.
+        assert percentile_of(xs, 50) == 49.5
+
+    def test_interpolates_between_ranks(self):
+        assert percentile_of([0.0, 10.0], 25) == 2.5
+        assert percentile_of([0.0, 10.0, 20.0], 75) == 15.0
+
+    def test_small_sample_tail_percentiles_distinct(self):
+        # Regression: nearest-rank rounding collapsed p95 and p99 onto
+        # the same sample for any window under ~100 samples, making the
+        # p99 gate in the benchmark baseline vacuous.
+        xs = [float(i) for i in range(10)]
+        p95 = percentile_of(xs, 95)
+        p99 = percentile_of(xs, 99)
+        assert p95 == pytest.approx(8.55)
+        assert p99 == pytest.approx(8.91)
+        assert p99 > p95
+
+    def test_timeseries_stats_tails_distinct(self):
+        ts = TimeSeries("x")
+        for i in range(20):
+            ts.sample(float(i))
+        stats = ts.stats()
+        assert stats["p99"] > stats["p95"] > stats["p50"]
 
 
 class TestHistogramPercentileEdges:
