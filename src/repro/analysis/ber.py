@@ -65,7 +65,8 @@ def majority_vote_ber(p: float, m: int) -> float:
             total += prob
         elif 2 * k == m:
             total += 0.5 * prob
-    return total
+    # The binomial terms can sum to 1 + O(eps) in floating point.
+    return min(max(total, 0.0), 1.0)
 
 
 def uplink_ber(snr_per_measurement: float, packets_per_bit: int) -> float:

@@ -312,6 +312,52 @@ def _cmd_calibration(args: argparse.Namespace) -> CommandOutput:
     )
 
 
+def _cmd_forensics(args: argparse.Namespace):
+    """Attribute + render a forensics JSONL artifact from --record."""
+    from repro.obs.forensics import read_jsonl, summarize
+    from repro.obs.forensics.report import render_forensics
+
+    try:
+        header, records = read_jsonl(args.records)
+    except FileNotFoundError:
+        raise SystemExit(f"no such forensics artifact: {args.records}")
+    summary = summarize(records)
+    data = {
+        "header": header,
+        "summary": {k: v for k, v in summary.items() if k != "margins"},
+    }
+    return CommandOutput(title="", rows=[], data=data), render_forensics(
+        summary, header=header
+    )
+
+
+def _write_forensics_artifact(args: argparse.Namespace) -> Optional[str]:
+    """Flush the flight recorder to the --record JSONL path."""
+    from repro.obs.forensics import write_jsonl
+
+    path = getattr(args, "record", None)
+    if path is None:
+        return None
+    recorder = obs.get_recorder()
+    payload = recorder.to_payload()
+    write_jsonl(
+        path,
+        payload["records"],
+        meta={
+            "name": args.command,
+            "seed": getattr(args, "seed", None),
+            "policy": recorder.policy,
+            "capacity": recorder.capacity,
+            "recorder": {
+                "seen": payload["seen"],
+                "errors_seen": payload["errors_seen"],
+                "dropped": payload["dropped"],
+            },
+        },
+    )
+    return path
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> CommandOutput:
     """Render a previously written run manifest (or pick the latest)."""
     import os
@@ -466,6 +512,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="SLO rules evaluated after the run, e.g. "
              "'uplink.delivery.rate >= 0.99 over 200 frames ! critical'; "
              "fired alerts exit with code 4")
+    common.add_argument(
+        "--record", metavar="PATH", default=None,
+        help="enable the decode flight recorder and write per-packet "
+             "forensics records (JSONL) to PATH; inspect with "
+             "'repro forensics PATH'")
+    common.add_argument(
+        "--record-policy", choices=("head", "tail", "errors"),
+        default="errors",
+        help="which records the recorder retains: first N, last N, or "
+             "only erroneous/failed packets (default: errors)")
+    common.add_argument(
+        "--record-capacity", type=int, default=None, metavar="N",
+        help="flight-recorder ring capacity (default 256)")
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -538,6 +597,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("calibration", parents=[common],
                        help="show calibrated parameters")
     p.set_defaults(func=_cmd_calibration)
+
+    p = sub.add_parser("forensics", parents=[common],
+                       help="failure-attribution report from a "
+                            "--record JSONL artifact")
+    p.add_argument("records", help="forensics JSONL path (from --record)")
+    p.set_defaults(func=_cmd_forensics)
 
     p = sub.add_parser("obs-report", parents=[common],
                        help="render a run manifest written by --metrics-out")
@@ -631,16 +696,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return EXIT_CONFIG_ERROR
+    record_out = getattr(args, "record", None)
+    recording = record_out is not None and args.command != "forensics"
     observing = (
         trace or metrics_out is not None or obs_dir is not None
-        or profiling or slo_engine is not None
+        or profiling or slo_engine is not None or recording
     )
     if observing:
         obs.configure(
             metrics=True, tracing=True, profiling=profiling,
-            manifest_dir=obs_dir,
+            recording=recording, manifest_dir=obs_dir,
         )
         obs.reset()
+        if recording:
+            try:
+                obs.get_recorder().configure(
+                    capacity=getattr(args, "record_capacity", None),
+                    policy=getattr(args, "record_policy", None),
+                )
+            except ConfigurationError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                obs.disable()
+                return EXIT_CONFIG_ERROR
 
     try:
         result = args.func(args)
@@ -654,8 +731,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return EXIT_CONFIG_ERROR
     except ReproError as exc:
         # The experiment ran and the link/decode failed (e.g. faults
-        # severe enough to kill every trial).
+        # severe enough to kill every trial).  The flight recorder's
+        # records are most valuable exactly here, so flush them first.
         print(f"decode failure: {exc}", file=sys.stderr)
+        if recording:
+            path = _write_forensics_artifact(args)
+            if path:
+                print(f"forensics records written to {path}",
+                      file=sys.stderr)
         if observing:
             obs.disable()
         return EXIT_DECODE_FAILURE
@@ -687,6 +770,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if metrics_out is not None:
         path = _write_cli_manifest(args, result, alerts=alerts)
         print(f"\nrun manifest written to {path}", file=out)
+    if recording:
+        path = _write_forensics_artifact(args)
+        if path:
+            recorder = obs.get_recorder()
+            print(
+                f"\nforensics records written to {path} "
+                f"({len(recorder.records)} records, "
+                f"{recorder.seen} packets seen)",
+                file=out,
+            )
     if profiling:
         from repro.obs.perf.report import render_profile
 

@@ -15,6 +15,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.caches import register_cache
 
 #: Known Barker codes by length, in +1/-1 chip form.
 BARKER_CODES = {
@@ -89,3 +90,6 @@ def autocorrelation_sidelobe_ratio(code: np.ndarray) -> float:
     if max_side == 0:
         return float("inf")
     return float(abs(peak) / max_side)
+
+
+register_cache("core.barker_chip_templates", _chips_for)

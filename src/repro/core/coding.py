@@ -20,6 +20,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.caches import register_cache
 
 
 def _hadamard(order: int) -> np.ndarray:
@@ -131,3 +132,6 @@ def correlation_gain_db(length: int) -> float:
     if length < 1:
         raise ConfigurationError("length must be >= 1")
     return 10.0 * np.log10(length)
+
+
+register_cache("core.make_code_pair", make_code_pair)

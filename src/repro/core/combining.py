@@ -99,6 +99,31 @@ def make_weights(
     return CombinerWeights(channel_indices=idx, weights=weights)
 
 
+#: A single channel carrying more than this share of total |weight|
+#: means the combiner has effectively collapsed onto it.
+COLLAPSE_SHARE = 0.9
+
+
+def weight_diagnostics(weights: CombinerWeights) -> dict:
+    """Forensics summary of an MRC weight vector.
+
+    ``weight_max_share`` is the dominant channel's fraction of the
+    total absolute weight; near 1.0 the "combiner" is really a single
+    (possibly poisoned) channel, which the attribution engine labels
+    ``mrc_weight_collapse``.
+    """
+    magnitudes = np.abs(np.asarray(weights.weights, dtype=float))
+    total = float(magnitudes.sum())
+    share = float(magnitudes.max() / total) if total > 0 else 1.0
+    return {
+        "channels": [int(c) for c in weights.channel_indices],
+        "weights": [float(w) for w in weights.weights],
+        "weight_total": total,
+        "weight_max_share": share,
+        "collapsed": bool(len(magnitudes) > 1 and share > COLLAPSE_SHARE),
+    }
+
+
 def combine(normalized: np.ndarray, weights: CombinerWeights) -> np.ndarray:
     """Weighted per-packet decision statistic.
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.obs import forensics
 from repro.core import conditioning
 from repro.core.coding import OrthogonalCodePair
 from repro.errors import ConfigurationError, DecodeError
@@ -155,7 +156,8 @@ class CorrelationDecoder:
         # must digest poisoned samples rather than bail: repair (or
         # reject, per policy) before conditioning.
         t_decode = time.perf_counter() if obs.metrics_enabled() else 0.0
-        with obs.profile("correlation.decode"):
+        with forensics.ensure_record("correlation"), \
+                obs.profile("correlation.decode"):
             matrix, repaired = conditioning.sanitize(
                 matrix, self.nonfinite_policy
             )
@@ -195,6 +197,24 @@ class CorrelationDecoder:
             bits = (score_one > score_zero).astype(int)
             margins = score_one - score_zero
             obs.add_ops(2 * per_bit.size, per_bit.nbytes)
+            if obs.recording_enabled():
+                forensics.stage(
+                    "condition",
+                    mode=mode,
+                    packets=len(stream),
+                    channels=int(matrix.shape[1]),
+                    repaired=int(repaired),
+                    window_s=float(self.window_s),
+                )
+                forensics.stage(
+                    "correlate",
+                    code_length=length,
+                    channels=best,
+                    channel_energy=energy[best],
+                    score_one=score_one,
+                    score_zero=score_zero,
+                    bit_margins=margins,
+                )
         if obs.enabled():
             obs.counter("correlation.decodes").inc()
             if obs.metrics_enabled():

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
+from repro.obs import forensics
 from repro.core.frames import DOWNLINK_PREAMBLE_BITS, DownlinkMessage
 from repro.errors import ConfigurationError, CrcError, DecodeError, FrameError
 
@@ -413,16 +414,25 @@ class DownlinkDecoder:
             CrcError: a preamble matched but every candidate payload
                 failed its CRC.
         """
-        with obs.span("downlink.decode", payload_len=self.payload_len) as sp:
+        with forensics.ensure_record("downlink"), \
+                obs.span("downlink.decode", payload_len=self.payload_len) as sp:
             t, levels = self._transitions(samples, times_s)
             matches = self._matcher.find_all(t, levels)
             obs.counter("downlink.preamble.matches").inc(len(matches))
             if sp is not None:
                 sp.set(transitions=len(t), preamble_matches=len(matches))
+            if obs.recording_enabled():
+                forensics.stage(
+                    "downlink",
+                    transitions=len(t),
+                    preamble_matches=len(matches),
+                    match_errors=[m.error for m in matches],
+                )
             if not matches:
                 obs.counter("downlink.decode.no_preamble").inc()
                 raise DecodeError("no downlink preamble found in transitions")
             last_error: Exception = DecodeError("no decodable payload")
+            crc_failures = 0
             for match in matches:
                 try:
                     bits = bits_from_transitions(
@@ -437,8 +447,11 @@ class DownlinkDecoder:
                     return message
                 except (CrcError, DecodeError, FrameError) as exc:
                     obs.counter("downlink.decode.crc_failures").inc()
+                    crc_failures += 1
                     last_error = exc
             obs.counter("downlink.decode.failed").inc()
+            if obs.recording_enabled():
+                forensics.stage("downlink", crc_failures=crc_failures)
             raise last_error
 
     def count_false_preambles(

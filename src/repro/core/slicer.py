@@ -85,6 +85,39 @@ def hysteresis_slice(
     return out
 
 
+def margin_profile(
+    combined: np.ndarray,
+    thresholds: HysteresisThresholds,
+    timestamps_s: np.ndarray,
+    start_time_s: float,
+    bit_duration_s: float,
+    num_bits: int,
+) -> np.ndarray:
+    """Per-bit slicing margin: how far outside the dead band each bit sat.
+
+    The per-measurement margin is the distance from the value to the
+    threshold it had to clear (``combined - high`` when above the dead
+    band's midpoint, ``low - combined`` below it); negative values mean
+    the measurement landed inside the dead band and rode on hysteresis.
+    Each bit's margin is the mean over its binned measurements — the
+    forensics signal for "the slicer decided with no confidence".
+
+    Returns:
+        ``num_bits`` floats; bits with no measurements get NaN.
+    """
+    combined = np.asarray(combined, dtype=float)
+    mid = 0.5 * (thresholds.low + thresholds.high)
+    per_sample = np.where(
+        combined >= mid, combined - thresholds.high, thresholds.low - combined
+    )
+    bins = bin_by_timestamp(timestamps_s, start_time_s, bit_duration_s, num_bits)
+    out = np.full(num_bits, np.nan)
+    for k, indices in enumerate(bins):
+        if len(indices):
+            out[k] = float(per_sample[indices].mean())
+    return out
+
+
 def bin_by_timestamp(
     timestamps_s: np.ndarray,
     start_time_s: float,

@@ -299,3 +299,31 @@ def select_good_subchannels(
     count = min(count, len(corr))
     order = np.argsort(-np.abs(corr))
     return order[:count]
+
+
+def selection_diagnostics(
+    correlations: np.ndarray, selected: np.ndarray
+) -> dict:
+    """Forensics summary of a good-sub-channel selection.
+
+    ``selection_ratio`` compares the mean |correlation| of the chosen
+    channels against the rejected ones; near 1.0 the "good" channels
+    are indistinguishable from the rest (the attribution engine's
+    ``bad_subchannel_selection`` signal). Infinite when every channel
+    was selected or the rejects correlate at exactly zero.
+    """
+    corr = np.abs(np.asarray(correlations, dtype=float))
+    idx = np.asarray(selected, dtype=int)
+    mask = np.zeros(len(corr), dtype=bool)
+    mask[idx] = True
+    sel_mean = float(corr[mask].mean()) if mask.any() else 0.0
+    rejected = corr[~mask]
+    unsel_mean = float(rejected.mean()) if rejected.size else 0.0
+    ratio = sel_mean / unsel_mean if unsel_mean > 0 else float("inf")
+    return {
+        "channels": [int(c) for c in idx],
+        "num_selected": int(len(idx)),
+        "sel_mean": sel_mean,
+        "unsel_mean": unsel_mean,
+        "selection_ratio": float(ratio),
+    }

@@ -28,6 +28,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
+from repro.obs import forensics
 from repro.core import combining, conditioning, slicer, subchannel
 from repro.core.barker import barker_bits
 from repro.core.frames import UplinkFrame
@@ -342,8 +343,9 @@ class UplinkDecoder:
         if num_bits < 1:
             raise ConfigurationError("num_bits must be >= 1")
         t_decode = time.perf_counter() if obs.metrics_enabled() else 0.0
-        with obs.span("uplink.decode", mode=mode, num_bits=num_bits,
-                      packets=len(stream)), obs.profile("uplink.decode"):
+        with forensics.ensure_record("uplink"), \
+                obs.span("uplink.decode", mode=mode, num_bits=num_bits,
+                         packets=len(stream)), obs.profile("uplink.decode"):
             requested_mode = mode
             mode, matrix, repaired = self._resolve_matrix(stream, mode)
             if repaired:
@@ -352,6 +354,16 @@ class UplinkDecoder:
             with obs.span("uplink.decode.condition"), \
                     obs.profile("uplink.decode.condition"):
                 cond = self._condition(stream, matrix, timestamps)
+            if obs.recording_enabled():
+                forensics.stage(
+                    "condition",
+                    mode=mode,
+                    requested_mode=requested_mode,
+                    packets=len(stream),
+                    channels=int(matrix.shape[1]),
+                    repaired=int(repaired),
+                    window_s=float(self.config.window_s),
+                )
 
             cfg = self.config
             with obs.span("uplink.decode.detect",
@@ -383,6 +395,16 @@ class UplinkDecoder:
                 if sp_detect is not None:
                     sp_detect.set(start_time_s=detection.start_time_s,
                                   score=detection.score)
+                if obs.recording_enabled():
+                    forensics.stage(
+                        "detect",
+                        search="known" if start_time_s is not None
+                        else "scan",
+                        start_time_s=detection.start_time_s,
+                        score=detection.score,
+                        threshold=detection.threshold,
+                        correlations=detection.correlations,
+                    )
 
             # RSSI mode keeps only the single best antenna channel (§3.3);
             # CSI mode keeps the top `good_count` of all 90 channels.
@@ -408,6 +430,18 @@ class UplinkDecoder:
                 self._emit_combine_diagnostics(
                     detection, good, weights, sp_combine
                 )
+                if obs.recording_enabled():
+                    forensics.stage(
+                        "select",
+                        **subchannel.selection_diagnostics(
+                            detection.correlations, good
+                        ),
+                    )
+                    forensics.stage(
+                        "combine",
+                        noise_variances=variances[good],
+                        **combining.weight_diagnostics(weights),
+                    )
 
             with obs.span("uplink.decode.slice") as sp_slice, \
                     obs.profile("uplink.decode.slice"):
@@ -439,6 +473,19 @@ class UplinkDecoder:
                 self._emit_slice_diagnostics(
                     combined, decisions, thresholds, sliced, sp_slice
                 )
+                if obs.recording_enabled():
+                    forensics.stage(
+                        "slice",
+                        low=thresholds.low,
+                        high=thresholds.high,
+                        support=sliced.support,
+                        erasures=len(sliced.erasures),
+                        preamble_len=len(cfg.preamble_bits),
+                        bit_margins=slicer.margin_profile(
+                            combined, thresholds, timestamps,
+                            data_start, bit_duration_s, num_bits,
+                        ),
+                    )
             obs.counter("uplink.decodes").inc()
             if obs.metrics_enabled():
                 obs.timeseries("uplink.decode.latency_s").sample(

@@ -66,11 +66,13 @@ from repro.obs.state import (
     enable,
     enabled,
     get_profiler,
+    get_recorder,
     get_registry,
     get_tracer,
     manifest_dir,
     metrics_enabled,
     profiling_enabled,
+    recording_enabled,
     reset,
     session,
     tracing_enabled,
@@ -138,6 +140,7 @@ __all__ = [
     "enabled",
     "gauge",
     "get_profiler",
+    "get_recorder",
     "get_registry",
     "get_tracer",
     "git_sha",
@@ -150,6 +153,7 @@ __all__ = [
     "profiling_enabled",
     "read_json",
     "record_run",
+    "recording_enabled",
     "reset",
     "session",
     "span",

@@ -1,0 +1,82 @@
+"""Process-wide registry of the simulation's bounded ``lru_cache``\\ s.
+
+Every memoized hot-path helper (Friis gains, code pairs, chip
+templates, subcarrier grids) registers itself here at import time, so
+one call can answer "how are the caches doing?" across the whole
+pipeline.  :func:`publish` mirrors each cache's hit/miss/size counters
+into the metrics registry as ``cache.<name>.*`` gauges; the manifest
+builder calls it before snapshotting, so every run manifest carries
+cache effectiveness alongside the decode metrics.
+
+The caches themselves stay plain :func:`functools.lru_cache` objects —
+registration only records the wrapper so ``cache_info()`` can be read
+later; it adds zero overhead to cache lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.errors import ConfigurationError
+
+#: name -> lru_cache-wrapped callable (must expose ``cache_info()``).
+_REGISTRY: Dict[str, Callable[..., Any]] = {}
+
+
+def register_cache(name: str, fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Register a bounded lru_cache under ``name``; returns ``fn``.
+
+    Idempotent for the same function object (modules may be reloaded);
+    a different function under an existing name is a naming collision.
+    """
+    if not hasattr(fn, "cache_info"):
+        raise ConfigurationError(
+            f"cache {name!r} has no cache_info(); wrap it with "
+            "functools.lru_cache(maxsize=...) first"
+        )
+    current = _REGISTRY.get(name)
+    if current is not None and current is not fn:
+        raise ConfigurationError(f"cache name {name!r} already registered")
+    _REGISTRY[name] = fn
+    return fn
+
+
+def registered_caches() -> Dict[str, Callable[..., Any]]:
+    """Snapshot of the registered caches (name -> wrapper)."""
+    return dict(_REGISTRY)
+
+
+def cache_stats() -> Dict[str, Dict[str, Any]]:
+    """Current hit/miss/size counters for every registered cache."""
+    stats: Dict[str, Dict[str, Any]] = {}
+    for name, fn in sorted(_REGISTRY.items()):
+        info = fn.cache_info()
+        total = info.hits + info.misses
+        stats[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "currsize": info.currsize,
+            "maxsize": info.maxsize,
+            "hit_rate": (info.hits / total) if total else 0.0,
+        }
+    return stats
+
+
+def publish() -> Dict[str, Dict[str, Any]]:
+    """Mirror cache counters into the metrics registry as gauges.
+
+    No-op (returning the raw stats regardless) when metrics are off.
+    Gauge names: ``cache.<name>.hits|misses|currsize|maxsize|hit_rate``.
+    """
+    from repro.obs import state
+
+    stats = cache_stats()
+    if not state.metrics_enabled():
+        return stats
+    registry = state.get_registry()
+    for name, entry in stats.items():
+        for key, value in entry.items():
+            if value is None:
+                continue
+            registry.gauge(f"cache.{name}.{key}").set(float(value))
+    return stats

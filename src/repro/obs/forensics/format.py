@@ -1,0 +1,71 @@
+"""JSONL artifact format for flight-recorder records.
+
+A forensics artifact is a UTF-8 text file: line 1 is a header object
+(schema tag + recorder counters + whatever run metadata the writer
+passes), every following line is one record exactly as the
+:class:`~repro.obs.forensics.recorder.FlightRecorder` retained it.
+JSONL keeps artifacts streamable and greppable — ``wc -l`` counts
+records, ``head -1`` shows provenance — and the per-line encoding
+reuses :mod:`repro.obs.export`'s lossless NaN/Infinity string round
+trip.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.export import _decode_nonfinite, jsonable
+
+#: Schema tag stamped into (and required from) the header line.
+SCHEMA = "repro.forensics/1"
+
+
+def write_jsonl(
+    path: str,
+    records: Sequence[Dict[str, Any]],
+    meta: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write records as a forensics JSONL artifact; returns ``path``.
+
+    ``meta`` (recorder counters, run name, seed, policy, ...) is merged
+    into the header line after the schema tag.
+    """
+    header: Dict[str, Any] = {"schema": SCHEMA, "records": len(records)}
+    if meta:
+        header.update(jsonable(meta))
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header, sort_keys=False))
+        fh.write("\n")
+        for record in records:
+            fh.write(json.dumps(jsonable(record), sort_keys=False))
+            fh.write("\n")
+    return path
+
+
+def read_jsonl(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a forensics artifact; returns ``(header, records)``.
+
+    Raises :class:`~repro.errors.ConfigurationError` on a missing or
+    mismatched schema tag so stale/foreign files fail loudly rather
+    than attributing garbage.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise ConfigurationError(f"{path}: empty forensics artifact")
+        header = json.loads(first)
+        if not isinstance(header, dict) or header.get("schema") != SCHEMA:
+            raise ConfigurationError(
+                f"{path}: not a {SCHEMA} artifact "
+                f"(header schema {header.get('schema') if isinstance(header, dict) else None!r})"
+            )
+        records: List[Dict[str, Any]] = []
+        for line in fh:
+            if line.strip():
+                records.append(_decode_nonfinite(json.loads(line)))
+    return _decode_nonfinite(header), records

@@ -1,0 +1,146 @@
+"""Failure-attribution report rendering.
+
+Turns an :func:`repro.obs.forensics.attribution.summarize` summary into
+the same ASCII-table style the rest of the CLI prints: counts by root
+cause, the worst offending packets, and a margin histogram showing how
+close the slicer decisions were to the dead band.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+
+#: Histogram resolution for the margin distribution.
+HISTOGRAM_BINS = 8
+_BAR_WIDTH = 32
+
+
+def margin_histogram(
+    margins: Sequence[float], bins: int = HISTOGRAM_BINS
+) -> List[Dict[str, Any]]:
+    """Fixed-width histogram of finite decision margins.
+
+    Returns ``[{"low", "high", "count"}, ...]``; empty when no finite
+    margins were recorded.
+    """
+    finite = [float(m) for m in margins if isinstance(m, (int, float))
+              and math.isfinite(float(m))]
+    if not finite:
+        return []
+    lo, hi = min(finite), max(finite)
+    if hi <= lo:
+        return [{"low": lo, "high": hi, "count": len(finite)}]
+    width = (hi - lo) / bins
+    counts = [0] * bins
+    for value in finite:
+        index = min(int((value - lo) / width), bins - 1)
+        counts[index] += 1
+    return [
+        {"low": lo + i * width, "high": lo + (i + 1) * width, "count": c}
+        for i, c in enumerate(counts)
+    ]
+
+
+def _render_histogram(margins: Sequence[float]) -> str:
+    rows = margin_histogram(margins)
+    if not rows:
+        return "(no decision margins recorded)"
+    peak = max(row["count"] for row in rows)
+    lines = []
+    for row in rows:
+        bar = "#" * max(
+            1 if row["count"] else 0,
+            round(_BAR_WIDTH * row["count"] / peak) if peak else 0,
+        )
+        lines.append(
+            f"  [{row['low']:+10.4g}, {row['high']:+10.4g})"
+            f"  {row['count']:6d}  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def render_forensics(
+    summary: Dict[str, Any], header: Optional[Dict[str, Any]] = None
+) -> str:
+    """Full failure-attribution report for a forensics summary.
+
+    ``header`` is the JSONL artifact header (recorder counters and run
+    metadata) when the summary came from a file.
+    """
+    sections: List[str] = []
+
+    overview_rows: List[List[Any]] = []
+    if header:
+        for key in ("run", "name", "policy", "capacity", "seed"):
+            if key in header:
+                overview_rows.append([key, header[key]])
+        for key in ("seen", "errors_seen", "dropped"):
+            if key in header:
+                overview_rows.append([f"recorder.{key}", header[key]])
+    overview_rows.extend(
+        [
+            ["records", summary.get("total_records", 0)],
+            ["records with errors", summary.get("records_with_errors", 0)],
+            ["error bits", summary.get("total_error_bits", 0)],
+        ]
+    )
+    sections.append(
+        format_table(["field", "value"], overview_rows, title="forensics")
+    )
+
+    by_label = summary.get("by_label") or {}
+    frames = summary.get("frames_by_label") or {}
+    budget = summary.get("error_budget") or {}
+    if by_label or frames:
+        labels = sorted(set(by_label) | set(frames))
+        rows = [
+            [
+                label,
+                by_label.get(label, 0),
+                frames.get(label, 0),
+                f"{100.0 * budget.get(label, 0.0):.1f}%",
+            ]
+            for label in labels
+        ]
+        sections.append(
+            format_table(
+                ["root cause", "error bits", "frames", "bit share"],
+                rows,
+                title="attribution",
+            )
+        )
+    else:
+        sections.append("attribution\n(no errors recorded)")
+
+    worst = summary.get("worst") or []
+    if worst:
+        rows = [
+            [
+                w.get("run_id", ""),
+                w.get("trial", 0),
+                w.get("packet", 0),
+                w.get("kind", ""),
+                w.get("errors", 0),
+                w.get("failure") or "",
+                w.get("label", ""),
+                w.get("detail", ""),
+            ]
+            for w in worst
+        ]
+        sections.append(
+            format_table(
+                ["run", "trial", "pkt", "kind", "errs", "failure",
+                 "label", "detail"],
+                rows,
+                title="worst packets",
+            )
+        )
+
+    sections.append(
+        "margin histogram (erroneous bits)\n"
+        + _render_histogram(summary.get("margins") or [])
+    )
+    return "\n\n".join(sections)

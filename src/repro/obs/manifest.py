@@ -75,6 +75,10 @@ class RunManifest:
         profile: per-stage profiler snapshot (``{stage: {calls,
             total_s, self_s, max_s, ops, bytes}}``) when profiling was
             enabled.
+        forensics: flight-recorder attribution summary (counts by
+            root-cause label, error budget, worst packets) when decode
+            recording was enabled; the full per-packet records live in
+            the ``--record`` JSONL artifact, not here.
         extra: free-form additions (the CLI stores fired SLO alerts
             under ``extra["alerts"]``).
     """
@@ -90,6 +94,7 @@ class RunManifest:
     metrics: Dict[str, Any] = field(default_factory=dict)
     spans: List[Dict[str, Any]] = field(default_factory=list)
     profile: Dict[str, Any] = field(default_factory=dict)
+    forensics: Dict[str, Any] = field(default_factory=dict)
     extra: Dict[str, Any] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
@@ -148,12 +153,29 @@ def build_manifest(
     metrics: Dict[str, Any] = {}
     spans: List[Dict[str, Any]] = []
     profile: Dict[str, Any] = {}
+    forensics_summary: Dict[str, Any] = {}
     if state.metrics_enabled():
+        from repro.obs import caches
+
+        caches.publish()
         metrics = state.get_registry().snapshot()
     if state.tracing_enabled():
         spans = state.get_tracer().to_dicts()
     if state.profiling_enabled():
         profile = state.get_profiler().snapshot()
+    if state.recording_enabled():
+        from repro.obs.forensics import summarize
+
+        recorder = state.get_recorder()
+        forensics_summary = {
+            "policy": recorder.policy,
+            "capacity": recorder.capacity,
+            "seen": recorder.seen,
+            "errors_seen": recorder.errors_seen,
+            "dropped": recorder.dropped,
+            **summarize(recorder.records),
+        }
+        forensics_summary.pop("margins", None)
     return RunManifest(
         name=name,
         seed=seed,
@@ -164,6 +186,7 @@ def build_manifest(
         metrics=metrics,
         spans=spans,
         profile=profile,
+        forensics=forensics_summary,
         extra=dict(extra or {}),
     )
 

@@ -223,7 +223,7 @@ WALL_CLOCK_METRICS = frozenset({
 
 #: Metrics recorded in artifacts but never gated against the baseline —
 #: they describe the run configuration, not its performance.
-UNGATED_METRICS = frozenset({"workers"})
+UNGATED_METRICS = frozenset({"workers", "cpu_count"})
 
 #: Workloads that honour ``workers`` (multiple engine tasks per call).
 #: The rest run serially regardless — see the per-workload comments —
@@ -270,6 +270,7 @@ def run_workload(
         snapshot = state.get_registry().snapshot()
         profile = state.get_profiler().snapshot()
     metrics["workers"] = float(workers)
+    metrics["cpu_count"] = float(os.cpu_count() or 1)
     if serial_wall is not None and metrics["wall_s"] > 0:
         metrics["speedup_vs_serial"] = serial_wall / metrics["wall_s"]
     else:
@@ -433,6 +434,11 @@ def compare_to_baseline(
             continue
         for metric, spec in (wspec.get("metrics") or {}).items():
             if metric not in result.metrics:
+                continue
+            if metric == "speedup_vs_serial" and (os.cpu_count() or 1) < 2:
+                # A single-core runner cannot parallelize at all;
+                # gating its (necessarily ~1x) speedup against a
+                # multi-core baseline would fail every CI run.
                 continue
             base = float(spec["value"])
             measured = float(result.metrics[metric])

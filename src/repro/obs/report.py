@@ -115,6 +115,23 @@ def render_manifest(manifest: Dict[str, Any]) -> str:
         from repro.obs.perf.report import render_profile
 
         sections.append(render_profile(profile))
+    forensics = manifest.get("forensics") or {}
+    if forensics:
+        rows = [
+            ["packets seen", forensics.get("seen")],
+            ["records retained", forensics.get("total_records")],
+            ["records with errors", forensics.get("records_with_errors")],
+            ["error bits", forensics.get("total_error_bits")],
+        ]
+        for label, count in (forensics.get("frames_by_label") or {}).items():
+            rows.append([f"frames.{label}", count])
+        for label, share in (forensics.get("error_budget") or {}).items():
+            rows.append([f"error_budget.{label}", f"{share:.1%}"])
+        sections.append(
+            format_table(
+                ["field", "value"], rows, title="decode forensics"
+            )
+        )
     spans = manifest.get("spans") or []
     if spans:
         sections.append("trace\n" + render_span_tree(spans))

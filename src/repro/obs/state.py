@@ -21,11 +21,13 @@ from typing import Iterator, Optional, Tuple
 _metrics_enabled = False
 _tracing_enabled = False
 _profiling_enabled = False
+_recording_enabled = False
 _manifest_dir: Optional[str] = None
 
 _registry = None
 _tracer = None
 _profiler = None
+_recorder = None
 
 
 def metrics_enabled() -> bool:
@@ -43,9 +45,15 @@ def profiling_enabled() -> bool:
     return _profiling_enabled
 
 
+def recording_enabled() -> bool:
+    """True when the decode flight recorder is capturing."""
+    return _recording_enabled
+
+
 def enabled() -> bool:
     """True when any instrumentation is on."""
-    return _metrics_enabled or _tracing_enabled or _profiling_enabled
+    return (_metrics_enabled or _tracing_enabled or _profiling_enabled
+            or _recording_enabled)
 
 
 def manifest_dir() -> Optional[str]:
@@ -57,6 +65,7 @@ def configure(
     metrics: Optional[bool] = None,
     tracing: Optional[bool] = None,
     profiling: Optional[bool] = None,
+    recording: Optional[bool] = None,
     manifest_dir: Optional[str] = None,
 ) -> None:
     """Set the global observability switches.
@@ -65,34 +74,40 @@ def configure(
         metrics: turn metric emission on/off (None = leave unchanged).
         tracing: turn span recording on/off (None = leave unchanged).
         profiling: turn per-stage profiling on/off (None = unchanged).
+        recording: turn the decode flight recorder on/off (None =
+            leave unchanged).
         manifest_dir: when set, every instrumented experiment driver
             writes its run manifest under this directory.
     """
     global _metrics_enabled, _tracing_enabled, _profiling_enabled
-    global _manifest_dir
+    global _recording_enabled, _manifest_dir
     if metrics is not None:
         _metrics_enabled = bool(metrics)
     if tracing is not None:
         _tracing_enabled = bool(tracing)
     if profiling is not None:
         _profiling_enabled = bool(profiling)
+    if recording is not None:
+        _recording_enabled = bool(recording)
     if manifest_dir is not None:
         _manifest_dir = str(manifest_dir)
 
 
 def enable(metrics: bool = True, tracing: bool = True,
-           profiling: bool = False) -> None:
+           profiling: bool = False, recording: bool = False) -> None:
     """Turn instrumentation on (metrics + tracing by default)."""
-    configure(metrics=metrics, tracing=tracing, profiling=profiling)
+    configure(metrics=metrics, tracing=tracing, profiling=profiling,
+              recording=recording)
 
 
 def disable() -> None:
     """Turn all instrumentation off and clear the manifest directory."""
     global _metrics_enabled, _tracing_enabled, _profiling_enabled
-    global _manifest_dir
+    global _recording_enabled, _manifest_dir
     _metrics_enabled = False
     _tracing_enabled = False
     _profiling_enabled = False
+    _recording_enabled = False
     _manifest_dir = None
 
 
@@ -126,6 +141,17 @@ def get_profiler():
     return _profiler
 
 
+def get_recorder():
+    """The process-wide
+    :class:`repro.obs.forensics.recorder.FlightRecorder`."""
+    global _recorder
+    if _recorder is None:
+        from repro.obs.forensics.recorder import FlightRecorder
+
+        _recorder = FlightRecorder()
+    return _recorder
+
+
 def reset() -> None:
     """Clear all collected metrics, spans, and profile data (switches
     are untouched)."""
@@ -135,6 +161,8 @@ def reset() -> None:
         _tracer.reset()
     if _profiler is not None:
         _profiler.reset()
+    if _recorder is not None:
+        _recorder.reset()
 
 
 @contextlib.contextmanager
@@ -142,6 +170,7 @@ def session(
     metrics: bool = True,
     tracing: bool = True,
     profiling: bool = False,
+    recording: bool = False,
     manifest_dir: Optional[str] = None,
     fresh: bool = True,
 ) -> Iterator[Tuple[object, object]]:
@@ -158,17 +187,20 @@ def session(
         metrics: enable metric emission inside the block.
         tracing: enable span recording inside the block.
         profiling: enable per-stage profiling inside the block.
+        recording: enable the decode flight recorder inside the block.
         manifest_dir: auto-write manifests under this directory.
         fresh: clear previously collected data on entry.
     """
     global _metrics_enabled, _tracing_enabled, _profiling_enabled
-    global _manifest_dir
+    global _recording_enabled, _manifest_dir
     saved = (
-        _metrics_enabled, _tracing_enabled, _profiling_enabled, _manifest_dir
+        _metrics_enabled, _tracing_enabled, _profiling_enabled,
+        _recording_enabled, _manifest_dir,
     )
     _metrics_enabled = metrics
     _tracing_enabled = tracing
     _profiling_enabled = profiling
+    _recording_enabled = recording
     _manifest_dir = str(manifest_dir) if manifest_dir is not None else None
     if fresh:
         reset()
@@ -176,4 +208,4 @@ def session(
         yield get_registry(), get_tracer()
     finally:
         (_metrics_enabled, _tracing_enabled, _profiling_enabled,
-         _manifest_dir) = saved
+         _recording_enabled, _manifest_dir) = saved

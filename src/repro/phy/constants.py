@@ -10,6 +10,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.errors import ConfigurationError
+from repro.obs.caches import register_cache
 
 #: Center frequency (Hz) of 2.4 GHz Wi-Fi channel 1.
 CHANNEL_1_FREQ_HZ = 2.412e9
@@ -103,3 +104,6 @@ def subcarrier_frequencies(channel: int = DEFAULT_CHANNEL) -> "list[float]":
     callers may mutate their copy.
     """
     return list(_subcarrier_frequencies_tuple(channel))
+
+
+register_cache("phy.subcarrier_frequencies", _subcarrier_frequencies_tuple)

@@ -21,6 +21,7 @@ from functools import lru_cache
 
 from repro import units
 from repro.errors import ConfigurationError
+from repro.obs.caches import register_cache
 
 #: Minimum modelled distance (m); closer geometry is clamped to avoid the
 #: far-field formulas diverging in the near field.
@@ -111,3 +112,7 @@ class LogDistancePathLoss:
     def path_loss_db(self, distance_m: float, num_walls: int = 0) -> float:
         """Path loss in dB (positive number)."""
         return -units.linear_to_db(self.power_gain(distance_m, num_walls))
+
+
+register_cache("phy.friis_path_gain", friis_path_gain)
+register_cache("phy.log_distance.power_gain", LogDistancePathLoss.power_gain)

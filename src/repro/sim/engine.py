@@ -124,7 +124,7 @@ def _noop(_: int) -> None:
 def _run_task(
     fn: Callable[[Any], Any],
     task: Any,
-    capture: Optional[Dict[str, bool]],
+    capture: Optional[Dict[str, Any]],
 ) -> Any:
     """Worker-side wrapper: run one task, optionally capturing obs.
 
@@ -132,7 +132,7 @@ def _run_task(
     switches mirror the parent's, and the return value is
     ``(result, payload)`` where payload carries everything the parent
     needs to merge: the metrics registry export, finished span trees,
-    and the profiler snapshot.
+    the profiler snapshot, and the flight recorder's retained records.
     """
     if capture is None:
         return fn(task), None
@@ -140,8 +140,11 @@ def _run_task(
         metrics=capture["metrics"],
         tracing=capture["tracing"],
         profiling=capture["profiling"],
+        recording=capture["recording"],
         fresh=True,
     ) as (registry, tracer):
+        if capture["recording"]:
+            state.get_recorder().configure(**capture["recorder"])
         result = fn(task)
         payload = {
             "metrics": registry.to_payload() if capture["metrics"] else None,
@@ -149,6 +152,10 @@ def _run_task(
             "profile": (
                 state.get_profiler().snapshot()
                 if capture["profiling"] else None
+            ),
+            "forensics": (
+                state.get_recorder().to_payload()
+                if capture["recording"] else None
             ),
         }
     return result, payload
@@ -162,6 +169,8 @@ def _merge_worker_payload(payload: Dict[str, Any]) -> None:
         state.get_tracer().absorb(payload["spans"])
     if payload.get("profile"):
         state.get_profiler().absorb(payload["profile"])
+    if payload.get("forensics"):
+        state.get_recorder().absorb(payload["forensics"])
 
 
 def run_trials(
@@ -191,13 +200,22 @@ def run_trials(
     pool = ensure_pool(workers)
     if pool is None:
         return [fn(task) for task in tasks]
-    capture: Optional[Dict[str, bool]] = {
+    capture: Optional[Dict[str, Any]] = {
         "metrics": state.metrics_enabled(),
         "tracing": state.tracing_enabled(),
         "profiling": state.profiling_enabled(),
+        "recording": state.recording_enabled(),
     }
     if not any(capture.values()):
         capture = None
+    elif capture["recording"]:
+        # Workers must sample under the parent's exact policy for the
+        # task-order merge to reproduce the serial record sequence.
+        recorder = state.get_recorder()
+        capture["recorder"] = {
+            "capacity": recorder.capacity,
+            "policy": recorder.policy,
+        }
     try:
         futures = [pool.submit(_run_task, fn, task, capture) for task in tasks]
         outcomes = [f.result() for f in futures]

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
+from repro.obs import forensics
 from repro.analysis.ber import DownlinkDetectionModel
 from repro.core.barker import barker_bits
 from repro.core.coding import make_code_pair
@@ -88,6 +89,20 @@ def helper_packet_times(
     raise ConfigurationError(f"traffic must be 'cbr' or 'poisson', got {traffic!r}")
 
 
+def _fault_units(
+    times_s: np.ndarray, tx_start: float, unit_s: float, num_units: int
+) -> np.ndarray:
+    """Transmission-unit (bit/chip) indices touched by fault evidence.
+
+    Maps affected packet times onto the tag's unit grid so the
+    attribution engine can intersect them with erroneous bit positions.
+    """
+    if len(times_s) == 0:
+        return np.empty(0, dtype=int)
+    units = np.floor((np.asarray(times_s) - tx_start) / unit_s).astype(int)
+    return np.unique(units[(units >= 0) & (units < num_units)])
+
+
 def simulate_uplink_stream(
     bits: Sequence[int],
     bit_duration_s: float,
@@ -139,8 +154,26 @@ def simulate_uplink_stream(
         rng=rng,
     )
     card = calibration.make_card(params=params, rng=rng)
+    recording = active and obs.recording_enabled()
+    if recording:
+        # Fault evidence, staged *before* any abort so a driver-side
+        # failure commit still carries the responsible units.
+        forensics.stage(
+            "faults",
+            injectors=[d.get("name") for d in faults.describe()],
+            tx_start_s=tx_start,
+            unit_s=bit_duration_s,
+            num_units=len(bits),
+        )
     if active:
         keep = faults.packet_mask(times)
+        if recording:
+            forensics.stage(
+                "faults",
+                dropped_units=_fault_units(
+                    times[~keep], tx_start, bit_duration_s, len(bits)
+                ),
+            )
         times = times[keep]
         if len(times) == 0:
             raise DecodeError(
@@ -150,6 +183,13 @@ def simulate_uplink_stream(
     states = np.array([modulator.state(t) for t in times])
     if active:
         powered = faults.tag_powered_mask(times)
+        if recording:
+            forensics.stage(
+                "faults",
+                dark_units=_fault_units(
+                    times[~powered], tx_start, bit_duration_s, len(bits)
+                ),
+            )
         if not powered.any():
             raise BrownoutError(
                 "tag browned out for the entire transmission"
@@ -158,7 +198,22 @@ def simulate_uplink_stream(
     true_h = channel.response_batch(times, states)
     records = card.measure_batch(true_h, times)
     if active:
-        records = faults.corrupt_records(records)
+        corrupted = faults.corrupt_records(records)
+        if recording:
+            # corrupt_measurement returns the *same* object when a
+            # record passed through untouched, so identity comparison
+            # is exact corruption evidence.
+            touched = [
+                i for i, (a, b) in enumerate(zip(records, corrupted))
+                if b is not a
+            ]
+            forensics.stage(
+                "faults",
+                corrupted_units=_fault_units(
+                    times[touched], tx_start, bit_duration_s, len(bits)
+                ),
+            )
+        records = corrupted
     stream = MeasurementStream()
     stream.extend(records)
     return stream, tx_start
@@ -223,6 +278,17 @@ def run_uplink_trial(
                 bits, bit_duration, times, tag_to_reader_m, params=params,
                 rng=rng, faults=faults,
             )
+        if (
+            faults is not None and not faults.empty
+            and obs.recording_enabled()
+        ):
+            # Error bits are payload-indexed; fault units cover the full
+            # preamble+payload grid.  One bit = one transmission unit.
+            forensics.stage(
+                "faults",
+                unit_offset=len(bits) - num_payload_bits,
+                units_per_bit=1,
+            )
         decoder = decoder or UplinkDecoder()
         result = decoder.decode_bits(
             stream,
@@ -262,6 +328,8 @@ class _UplinkBerTrialTask:
     faults: Optional[FaultPlan]
     start_s: float
     seed: np.random.SeedSequence
+    run_id: str = ""
+    trial: int = 0
 
 
 def _run_uplink_ber_trial(task: _UplinkBerTrialTask) -> Tuple[int, bool]:
@@ -273,6 +341,11 @@ def _run_uplink_ber_trial(task: _UplinkBerTrialTask) -> Tuple[int, bool]:
     """
     rng = np.random.default_rng(task.seed)
     active = task.faults is not None and not task.faults.empty
+    recording = obs.recording_enabled()
+    if recording:
+        forensics.begin(
+            "uplink", run_id=task.run_id, trial=task.trial, packet=0
+        )
     try:
         trial = run_uplink_trial(
             task.tag_to_reader_m,
@@ -286,8 +359,20 @@ def _run_uplink_ber_trial(task: _UplinkBerTrialTask) -> Tuple[int, bool]:
             faults=task.faults,
             start_s=task.start_s,
         )
+        if recording:
+            forensics.commit(
+                errors=trial.errors,
+                error_bits=np.flatnonzero(
+                    trial.sent_bits != trial.decoded_bits
+                ),
+            )
         return trial.errors, False
-    except ReproError:
+    except ReproError as exc:
+        if recording:
+            forensics.commit(
+                errors=task.num_payload_bits,
+                failure=type(exc).__name__,
+            )
         if not active:
             raise
         return task.num_payload_bits, True
@@ -336,6 +421,7 @@ def run_uplink_ber(
         + 2 * EDGE_PADDING_S + 0.1
     )
     seeds = engine.spawn_seeds(effective_seed, repeats)
+    run_id = f"uplink_ber-{effective_seed}"
     tasks = [
         _UplinkBerTrialTask(
             tag_to_reader_m=tag_to_reader_m,
@@ -348,6 +434,8 @@ def run_uplink_ber(
             faults=faults,
             start_s=i * trial_span if active else 0.0,
             seed=seeds[i],
+            run_id=run_id,
+            trial=i,
         )
         for i in range(repeats)
     ]
@@ -414,11 +502,39 @@ class _CorrelationTrialTask:
     start_s: float
     seed: np.random.SeedSequence
     effective_seed: Optional[int]
+    run_id: str = ""
+    trial: int = 0
 
 
 def _run_correlation_trial_body(task: _CorrelationTrialTask) -> UplinkTrial:
     """Engine task: synthesize + correlation-decode one transmission."""
     rng = np.random.default_rng(task.seed)
+    recording = obs.recording_enabled()
+    if recording:
+        forensics.begin(
+            "correlation", run_id=task.run_id, trial=task.trial, packet=0
+        )
+    try:
+        trial = _correlation_trial_inner(task, rng)
+    except ReproError as exc:
+        if recording:
+            forensics.commit(
+                errors=task.num_bits, failure=type(exc).__name__
+            )
+        raise
+    if recording:
+        forensics.commit(
+            errors=trial.errors,
+            error_bits=np.flatnonzero(
+                trial.sent_bits != trial.decoded_bits
+            ),
+        )
+    return trial
+
+
+def _correlation_trial_inner(
+    task: _CorrelationTrialTask, rng: np.random.Generator
+) -> UplinkTrial:
     with obs.span(
         "correlation.trial",
         distance_m=task.tag_to_reader_m,
@@ -440,6 +556,17 @@ def _run_correlation_trial_body(task: _CorrelationTrialTask) -> UplinkTrial:
             stream, tx_start = simulate_uplink_stream(
                 states, chip_duration, times, task.tag_to_reader_m,
                 params=task.params, rng=rng, faults=task.faults,
+            )
+        if (
+            task.faults is not None and not task.faults.empty
+            and obs.recording_enabled()
+        ):
+            # Coded uplink: one message bit spans L chip units, no
+            # preamble ahead of the payload.
+            forensics.stage(
+                "faults",
+                unit_offset=0,
+                units_per_bit=task.code_length,
             )
         decoder = CorrelationDecoder(pair)
         result = decoder.decode_bits(
@@ -506,6 +633,11 @@ def run_correlation_trial(
         start_s=start_s,
         seed=engine.spawn_seeds(entropy, 1)[0],
         effective_seed=effective_seed,
+        run_id=(
+            f"correlation_trial-{effective_seed}"
+            if effective_seed is not None else "correlation_trial-rng"
+        ),
+        trial=0,
     )
     trial = engine.run_trials(
         _run_correlation_trial_body, [task], workers=workers
@@ -618,23 +750,36 @@ class _DownlinkChunkTask:
     false_one: float
     faults: Optional[FaultPlan]
     seed: np.random.SeedSequence
+    run_id: str = ""
+    trial: int = 0
 
 
 def _run_downlink_chunk(task: _DownlinkChunkTask) -> Tuple[int, int, int]:
     """Engine task: sample one chunk of downlink bits.
 
     Returns ``(missed_ones, false_positives, brownout_misses)``.  The
-    worker does no obs at all — the parent driver owns the gauges,
-    counters, and span, so the observable record is identical for any
-    worker count.
+    worker emits no metrics — the parent driver owns the gauges,
+    counters, and span, so that record is identical for any worker
+    count.  Forensics records (one per chunk, summary counts only — a
+    chunk is up to 50k bits) are merged through the engine's
+    deterministic task-order absorb, so they too match serial.
     """
     rng = np.random.default_rng(task.seed)
+    recording = obs.recording_enabled()
+    if recording:
+        forensics.begin(
+            "downlink_model",
+            run_id=task.run_id,
+            trial=task.trial,
+            packet=task.start_bit,
+        )
     ones = rng.random(task.num_bits) < 0.5
     n_ones = int(ones.sum())
     n_zeros = task.num_bits - n_ones
     missed = rng.random(n_ones) < task.miss
     brownout_misses = 0
-    if task.faults is not None and not task.faults.empty:
+    active = task.faults is not None and not task.faults.empty
+    if active:
         bit_times = (
             (task.start_bit + np.arange(task.num_bits)) * task.bit_duration_s
         )
@@ -644,6 +789,21 @@ def _run_downlink_chunk(task: _DownlinkChunkTask) -> Tuple[int, int, int]:
         missed = missed | dark_ones
     missed_ones = int(missed.sum())
     false_positives = int((rng.random(n_zeros) < task.false_one).sum())
+    if recording:
+        forensics.stage(
+            "downlink_model",
+            num_bits=task.num_bits,
+            miss_probability=task.miss,
+            false_one_probability=task.false_one,
+            missed_ones=missed_ones,
+            false_positives=false_positives,
+            brownout_misses=brownout_misses,
+            injectors=(
+                [d.get("name") for d in task.faults.describe()]
+                if active else []
+            ),
+        )
+        forensics.commit(errors=missed_ones + false_positives)
     return missed_ones, false_positives, brownout_misses
 
 
@@ -696,6 +856,7 @@ def run_downlink_ber(
         false_one = model.false_one_probability
         starts = list(range(0, num_bits, DOWNLINK_CHUNK_BITS))
         seeds = engine.spawn_seeds(effective_seed, len(starts))
+        run_id = f"downlink_ber-{effective_seed}"
         tasks = [
             _DownlinkChunkTask(
                 start_bit=start,
@@ -705,8 +866,12 @@ def run_downlink_ber(
                 false_one=false_one,
                 faults=faults if active else None,
                 seed=chunk_seed,
+                run_id=run_id,
+                trial=chunk_index,
             )
-            for start, chunk_seed in zip(starts, seeds)
+            for chunk_index, (start, chunk_seed) in enumerate(
+                zip(starts, seeds)
+            )
         ]
         chunk_counts = engine.run_trials(
             _run_downlink_chunk, tasks, workers=workers
@@ -975,6 +1140,8 @@ def _arq_run_one_frame(
     traffic: str,
     params: CalibratedParameters,
     decoder: UplinkDecoder,
+    run_id: str = "",
+    frame_index: int = 0,
 ) -> Tuple[ArqFrameOutcome, float]:
     """One frame through the ARQ loop: draw, transmit, retry, record.
 
@@ -986,6 +1153,14 @@ def _arq_run_one_frame(
     Returns:
         ``(outcome, clock_after_frame)``.
     """
+    recording = obs.recording_enabled()
+    if recording:
+        # One record per frame: nested decoder stages from the final
+        # attempt overwrite earlier ones, so the record holds the
+        # evidence for the attempt that decided the frame's fate.
+        forensics.begin(
+            "arq_frame", run_id=run_id, trial=frame_index, packet=0
+        )
     payload = random_payload(payload_len, rng)
     frame = UplinkFrame(payload_bits=tuple(payload))
     frame_bits = frame.to_bits()
@@ -996,6 +1171,7 @@ def _arq_run_one_frame(
     mode_used = "csi"
     attempts = 0
     frame_backoff = 0.0
+    got_payload_bits = None
     for attempt in range(max_attempts):
         if attempt > 0:
             delay = backoff.delay_s(attempt - 1, rng)
@@ -1044,6 +1220,7 @@ def _arq_run_one_frame(
                     raise DecodeError("correlation-mode CRC mismatch")
                 delivered = True
                 correct = got_payload == list(payload)
+                got_payload_bits = got_payload
             else:
                 decoded = decoder.decode_frame(
                     stream,
@@ -1056,6 +1233,7 @@ def _arq_run_one_frame(
                 correct = (
                     list(decoded.payload_bits) == list(payload)
                 )
+                got_payload_bits = list(decoded.payload_bits)
                 mode_used = "csi"
         except ReproError:
             obs.counter("arq.frame.attempt_failures").inc()
@@ -1078,6 +1256,25 @@ def _arq_run_one_frame(
         obs.counter("arq.frames.degraded").inc()
     if frame_backoff:
         obs.histogram("arq.backoff_s").observe(frame_backoff)
+    if recording:
+        forensics.stage(
+            "arq",
+            attempts=attempts,
+            max_attempts=max_attempts,
+            delivered=delivered,
+            correct=correct,
+            degraded=degraded,
+            mode=mode_used,
+            backoff_s=frame_backoff,
+        )
+        if delivered and got_payload_bits is not None:
+            err_bits = [
+                i for i, (a, b) in enumerate(zip(payload, got_payload_bits))
+                if int(a) != int(b)
+            ]
+            forensics.commit(errors=len(err_bits), error_bits=err_bits)
+        else:
+            forensics.commit(errors=payload_len, failure="arq_exhaustion")
     outcome = ArqFrameOutcome(
         delivered=delivered,
         correct=correct,
@@ -1107,6 +1304,8 @@ class _ArqFrameTask:
     traffic: str
     params: CalibratedParameters
     decoder: Optional[UplinkDecoder]
+    run_id: str = ""
+    trial: int = 0
 
 
 def _run_arq_frame_task(task: _ArqFrameTask) -> Tuple[ArqFrameOutcome, float]:
@@ -1127,6 +1326,8 @@ def _run_arq_frame_task(task: _ArqFrameTask) -> Tuple[ArqFrameOutcome, float]:
         traffic=task.traffic,
         params=task.params,
         decoder=task.decoder or UplinkDecoder(),
+        run_id=task.run_id,
+        frame_index=task.trial,
     )
     return outcome, end_clock - task.start_clock_s
 
@@ -1245,9 +1446,10 @@ def run_arq_uplink(
         seed=effective_seed,
         workers=workers,
     ):
+        run_id = f"arq_uplink-{effective_seed}"
         if workers <= 1:
             clock = 0.0
-            for _ in range(num_frames):
+            for frame_index in range(num_frames):
                 outcome, clock = _arq_run_one_frame(
                     rng,
                     clock,
@@ -1263,6 +1465,8 @@ def run_arq_uplink(
                     traffic=traffic,
                     params=params,
                     decoder=decoder,
+                    run_id=run_id,
+                    frame_index=frame_index,
                 )
                 outcomes.append(outcome)
             elapsed = clock
@@ -1292,6 +1496,8 @@ def run_arq_uplink(
                     traffic=traffic,
                     params=params,
                     decoder=decoder,
+                    run_id=run_id,
+                    trial=i,
                 )
                 for i in range(num_frames)
             ]

@@ -1,0 +1,105 @@
+"""Chaos contract: each injector family maps to its attribution label.
+
+Runs the uplink BER driver under each fault family at an operating
+point that decodes cleanly fault-free (0.3 m, 8 packets/bit — see the
+baseline assertion), so every recorded error is the injector's doing,
+and asserts the attribution engine pins >= 90% of erroneous frames on
+the active family.
+"""
+
+import pytest
+
+from repro import obs
+
+pytestmark = pytest.mark.chaos
+from repro.faults import parse_fault_spec
+from repro.obs import state
+from repro.obs.forensics import attribute_record, summarize
+from repro.sim.link import run_uplink_ber
+
+DISTANCE_M = 0.3
+PKTS_PER_BIT = 8.0
+REPEATS = 8
+PAYLOAD_BITS = 30
+SEED = 11
+
+#: spec -> (expected label, expected detail) per injector family.
+FAMILIES = {
+    "outage:duty=0.35,burst=0.3": ("fault_window_overlap", "outage"),
+    "csi_dropout:duty=0.5,burst=0.4,frac=0.9": (
+        "fault_window_overlap", "csi_dropout"),
+    "nan:prob=0.3,mode=saturate": ("fault_window_overlap", "nan"),
+    "brownout:duty=0.4,burst=0.3": ("fault_window_overlap", "brownout"),
+}
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _run_recorded(spec):
+    state.enable(metrics=True, recording=True)
+    faults = parse_fault_spec(spec, base_seed=7) if spec else None
+    run_uplink_ber(
+        DISTANCE_M, PKTS_PER_BIT, repeats=REPEATS,
+        num_payload_bits=PAYLOAD_BITS, seed=SEED, faults=faults,
+    )
+    records = state.get_recorder().to_payload()["records"]
+    state.disable()
+    state.reset()
+    return records
+
+
+def test_operating_point_is_clean_without_faults():
+    # The attribution purity assertions below are only meaningful if
+    # the fault-free link is error-free at this operating point.
+    records = _run_recorded(None)
+    assert records == []
+
+
+@pytest.mark.parametrize("spec,expected", FAMILIES.items())
+def test_family_yields_expected_label(spec, expected):
+    label, detail = expected
+    records = _run_recorded(spec)
+    verdicts = [attribute_record(r) for r in records]
+    erroneous = [v for v in verdicts if v["label"] is not None]
+    assert erroneous, f"{spec} injected no errors; tune the spec"
+    matching = [
+        v for v in erroneous
+        if v["label"] == label and v["detail"].startswith(detail)
+    ]
+    share = len(matching) / len(erroneous)
+    assert share >= 0.9, (
+        f"{spec}: only {share:.0%} of {len(erroneous)} erroneous frames "
+        f"attributed to {label}/{detail}: "
+        f"{[(v['label'], v['detail']) for v in erroneous]}"
+    )
+
+
+def test_no_unknown_labels_under_known_faults():
+    # Acceptance: >= 90% of erroneous frames across the whole chaos
+    # matrix carry a non-unknown label.
+    labelled = 0
+    total = 0
+    for spec in FAMILIES:
+        for record in _run_recorded(spec):
+            verdict = attribute_record(record)
+            if verdict["label"] is None:
+                continue
+            total += 1
+            if verdict["label"] != "unknown":
+                labelled += 1
+    assert total > 0
+    assert labelled / total >= 0.9
+
+
+def test_summary_error_budget_is_fault_dominated():
+    records = _run_recorded("outage:duty=0.35,burst=0.3")
+    summary = summarize(records)
+    budget = summary["error_budget"]
+    assert budget.get("fault_window_overlap", 0.0) >= 0.5

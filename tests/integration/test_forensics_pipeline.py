@@ -1,0 +1,156 @@
+"""Forensics across the pipeline: worker determinism, CLI, manifests."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.faults import parse_fault_spec
+from repro.obs import state
+from repro.obs.forensics import read_jsonl
+from repro.sim import engine
+from repro.sim.link import run_uplink_ber
+
+WORKERS = 2
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def shared_pool():
+    engine.warm_pool(WORKERS)
+    yield
+    engine.shutdown_pool()
+
+
+def _recorded_uplink_ber(workers, policy="errors", capacity=256):
+    state.enable(metrics=True, recording=True)
+    state.get_recorder().configure(capacity=capacity, policy=policy)
+    faults = parse_fault_spec("outage:duty=0.3,burst=0.3", base_seed=5)
+    result = run_uplink_ber(
+        0.3, 8.0, repeats=6, num_payload_bits=30, seed=21,
+        faults=faults, workers=workers,
+    )
+    payload = state.get_recorder().to_payload()
+    state.disable()
+    state.reset()
+    return result, payload
+
+
+class TestWorkerDeterminism:
+    @pytest.mark.parametrize("policy", ["errors", "head", "tail"])
+    def test_records_identical_serial_vs_workers(self, policy):
+        # Satellite contract: same seed => byte-identical forensics
+        # records and counters at workers=0 and workers=2, because
+        # worker recorders sample under the parent's policy and merge
+        # in deterministic task order.
+        res_serial, pay_serial = _recorded_uplink_ber(0, policy=policy)
+        res_par, pay_par = _recorded_uplink_ber(WORKERS, policy=policy)
+        assert res_serial.errors == res_par.errors
+        assert json.dumps(pay_serial, sort_keys=True) == json.dumps(
+            pay_par, sort_keys=True
+        )
+
+    def test_records_carry_correlation_ids(self):
+        _, payload = _recorded_uplink_ber(WORKERS)
+        assert payload["records"], "expected at least one retained record"
+        for record in payload["records"]:
+            assert record["run_id"] == "uplink_ber-21"
+            assert 0 <= record["trial"] < 6
+
+
+class TestCliForensics:
+    def test_record_flag_writes_jsonl(self, tmp_path, capsys):
+        out = str(tmp_path / "records.jsonl")
+        code = main([
+            "uplink-ber", "--distance", "0.3", "--pkts-per-bit", "8",
+            "--repeats", "4", "--seed", "11",
+            "--faults", "outage:duty=0.35,burst=0.3",
+            "--record", out,
+        ])
+        assert code == 0
+        header, records = read_jsonl(out)
+        assert header["schema"] == "repro.forensics/1"
+        assert header["name"] == "uplink-ber"
+        assert header["recorder"]["seen"] == 4
+        assert records
+
+    def test_forensics_subcommand_renders_report(self, tmp_path, capsys):
+        out = str(tmp_path / "records.jsonl")
+        main([
+            "uplink-ber", "--distance", "0.3", "--pkts-per-bit", "8",
+            "--repeats", "4", "--seed", "11",
+            "--faults", "outage:duty=0.35,burst=0.3",
+            "--record", out,
+        ])
+        capsys.readouterr()
+        code = main(["forensics", out])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "attribution" in captured.out
+        assert "fault_window_overlap" in captured.out
+
+    def test_forensics_subcommand_json(self, tmp_path, capsys):
+        out = str(tmp_path / "records.jsonl")
+        main([
+            "uplink-ber", "--distance", "0.3", "--pkts-per-bit", "8",
+            "--repeats", "4", "--seed", "11",
+            "--faults", "outage:duty=0.35,burst=0.3",
+            "--record", out,
+        ])
+        capsys.readouterr()
+        code = main(["forensics", out, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["summary"]["total_records"] >= 1
+        assert "frames_by_label" in payload["summary"]
+
+    def test_record_head_policy(self, tmp_path, capsys):
+        out = str(tmp_path / "records.jsonl")
+        code = main([
+            "uplink-ber", "--distance", "0.3", "--pkts-per-bit", "8",
+            "--repeats", "4", "--seed", "11",
+            "--record", out, "--record-policy", "head",
+            "--record-capacity", "2",
+        ])
+        assert code == 0
+        header, records = read_jsonl(out)
+        assert header["policy"] == "head"
+        assert len(records) == 2
+        assert [r["trial"] for r in records] == [0, 1]
+
+    def test_manifest_gets_forensics_summary(self, tmp_path, capsys):
+        rec_out = str(tmp_path / "records.jsonl")
+        man_out = str(tmp_path / "manifest.json")
+        code = main([
+            "uplink-ber", "--distance", "0.3", "--pkts-per-bit", "8",
+            "--repeats", "4", "--seed", "11",
+            "--faults", "outage:duty=0.35,burst=0.3",
+            "--record", rec_out, "--metrics-out", man_out,
+        ])
+        assert code == 0
+        manifest = obs.load_manifest(man_out)
+        assert manifest.forensics["seen"] == 4
+        assert "frames_by_label" in manifest.forensics
+
+    def test_cache_gauges_in_manifest(self, tmp_path, capsys):
+        man_out = str(tmp_path / "manifest.json")
+        code = main([
+            "uplink-ber", "--distance", "0.3", "--pkts-per-bit", "8",
+            "--repeats", "2", "--seed", "11", "--metrics-out", man_out,
+        ])
+        assert code == 0
+        manifest = obs.load_manifest(man_out)
+        cache_metrics = [
+            name for name in manifest.metrics if name.startswith("cache.")
+        ]
+        assert any("phy.friis_path_gain" in n for n in cache_metrics)
+        assert any(n.endswith(".hit_rate") for n in cache_metrics)

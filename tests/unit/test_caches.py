@@ -1,0 +1,90 @@
+"""Cache registry: bounded lru_caches + metric publication."""
+
+from functools import lru_cache
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs import caches, state
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestRegistry:
+    def test_all_pipeline_caches_registered_and_bounded(self):
+        # Importing the modules registers their caches.
+        import repro.core.barker  # noqa: F401
+        import repro.core.coding  # noqa: F401
+        import repro.phy.constants  # noqa: F401
+        import repro.phy.pathloss  # noqa: F401
+
+        registered = caches.registered_caches()
+        for name in (
+            "phy.friis_path_gain",
+            "phy.log_distance.power_gain",
+            "phy.subcarrier_frequencies",
+            "core.make_code_pair",
+            "core.barker_chip_templates",
+        ):
+            assert name in registered, f"{name} not registered"
+            assert registered[name].cache_info().maxsize is not None, (
+                f"{name} is unbounded"
+            )
+
+    def test_register_requires_cache_info(self):
+        with pytest.raises(ConfigurationError):
+            caches.register_cache("plain", lambda x: x)
+
+    def test_register_idempotent_but_collision_safe(self):
+        @lru_cache(maxsize=2)
+        def f(x):
+            return x
+
+        @lru_cache(maxsize=2)
+        def g(x):
+            return x
+
+        caches.register_cache("test.tmp", f)
+        caches.register_cache("test.tmp", f)  # same object: fine
+        try:
+            with pytest.raises(ConfigurationError):
+                caches.register_cache("test.tmp", g)
+        finally:
+            caches._REGISTRY.pop("test.tmp", None)
+
+    def test_stats_track_hits_and_misses(self):
+        @lru_cache(maxsize=4)
+        def f(x):
+            return x * 2
+
+        caches.register_cache("test.stats", f)
+        try:
+            f(1), f(1), f(2)
+            entry = caches.cache_stats()["test.stats"]
+            assert entry["hits"] == 1
+            assert entry["misses"] == 2
+            assert entry["currsize"] == 2
+            assert entry["hit_rate"] == pytest.approx(1 / 3)
+        finally:
+            caches._REGISTRY.pop("test.stats", None)
+
+
+class TestPublish:
+    def test_publish_mirrors_gauges(self):
+        state.enable(metrics=True)
+        caches.publish()
+        snapshot = state.get_registry().snapshot()
+        assert "cache.phy.friis_path_gain.hits" in snapshot
+        assert "cache.core.make_code_pair.maxsize" in snapshot
+
+    def test_publish_noop_when_metrics_off(self):
+        stats = caches.publish()
+        assert isinstance(stats, dict)
+        assert not state.metrics_enabled()

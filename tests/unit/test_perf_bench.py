@@ -193,3 +193,46 @@ class TestWorkloads:
         assert not obs.enabled()
         bench.run_workload("downlink_far", 1)
         assert not obs.enabled()
+
+
+class TestCpuCountGating:
+    def test_cpu_count_recorded_and_ungated(self):
+        result = bench.run_workload("downlink_far", 1, seed=1)
+        assert result.metrics["cpu_count"] == float(os.cpu_count() or 1)
+        doc = bench.make_baseline([result])
+        entries = doc["workloads"]["downlink_far"]["metrics"]
+        assert "cpu_count" not in entries
+        assert "workers" not in entries
+
+    def test_speedup_ungated_on_single_core(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        result = _result(
+            "w", speedup_vs_serial=0.4, wall_s=1.0,
+        )
+        baseline = {"workloads": {"w": {"metrics": {
+            "speedup_vs_serial": {
+                "value": 1.9, "tolerance": 0.5,
+                "direction": bench.HIGHER_BETTER,
+            },
+            "wall_s": {
+                "value": 1.0, "tolerance": 1.0,
+                "direction": bench.LOWER_BETTER,
+            },
+        }}}}
+        diffs = bench.compare_to_baseline([result], baseline)
+        gated = {d.metric for d in diffs}
+        assert "speedup_vs_serial" not in gated
+        assert "wall_s" in gated
+
+    def test_speedup_still_gated_on_multi_core(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        result = _result("w", speedup_vs_serial=0.4)
+        baseline = {"workloads": {"w": {"metrics": {
+            "speedup_vs_serial": {
+                "value": 1.9, "tolerance": 0.5,
+                "direction": bench.HIGHER_BETTER,
+            },
+        }}}}
+        diffs = bench.compare_to_baseline([result], baseline)
+        assert [d.metric for d in diffs] == ["speedup_vs_serial"]
+        assert diffs[0].regressed
