@@ -1,0 +1,15 @@
+"""Shared example knob: scale trial counts via REPRO_EXAMPLE_SCALE.
+
+The examples default to demonstration-sized runs; the smoke test sets
+``REPRO_EXAMPLE_SCALE`` (a float, e.g. ``0.3``) to shrink their loop
+counts so all seven scripts finish in seconds under CI.
+"""
+
+import os
+
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+
+
+def scaled(count: int, floor: int = 1) -> int:
+    """``count`` shrunk by the env scale, never below ``floor``."""
+    return max(floor, int(round(count * SCALE)))

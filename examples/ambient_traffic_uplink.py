@@ -13,6 +13,7 @@ Run:
 
 import numpy as np
 
+from _support import scaled
 from repro.core.barker import barker_bits
 from repro.core.rate_adaptation import UplinkRatePlanner
 from repro.core.uplink_decoder import UplinkDecoder
@@ -50,7 +51,8 @@ def read_once(hour: float, rng: np.random.Generator) -> None:
 def main() -> None:
     rng = np.random.default_rng(15)
     print("ambient-traffic uplink across a working day (no injected traffic):")
-    for hour in (10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0):
+    hours = (10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0)
+    for hour in hours[:scaled(len(hours), floor=2)]:
         read_once(hour, rng)
     print("the tag rides the office's own packets — busier network, "
           "faster uplink (paper Fig 15)")

@@ -15,6 +15,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from _support import scaled
 from repro.core.frames import UplinkFrame
 from repro.core.inventory import InventoryTag, SlottedAlohaInventory
 from repro.core.protocol import WiFiBackscatterReader, decode_query
@@ -86,7 +87,8 @@ def main() -> None:
     )
     print(f"inventory identified: {['0x%04x' % a for a in found]}")
 
-    for cycle in range(3):
+    n_cycles = scaled(3)
+    for cycle in range(n_cycles):
         for i, tag in enumerate(tags.values()):
             tag.sensor_value += 1 + i  # sensors drift between polls
         readings = gateway.poll_once()
@@ -101,7 +103,7 @@ def main() -> None:
         print(f"  tag 0x{status.address:04x}: "
               f"{status.availability:.0%} available "
               f"(last value {status.last_value})")
-    assert len(cloud) >= 10
+    assert len(cloud) >= 4 * n_cycles - 2
     assert not gateway.offline_tags()
     print("internet bridge OK")
 

@@ -22,6 +22,7 @@ Run:
 
 import numpy as np
 
+from _support import scaled
 from repro.core.frames import bits_to_int
 from repro.core.protocol import CMD_READ_SENSOR, WiFiBackscatterReader
 from repro.core.rate_adaptation import UplinkRatePlanner
@@ -81,7 +82,8 @@ def main() -> None:
 
     # -- periodic sensor reads ----------------------------------------------------
     helper_rate_pps = 1800.0  # observed network load
-    for sample in range(5):
+    n_reads = scaled(5, floor=2)
+    for sample in range(n_reads):
         tag.sensor_value = 2150 + sample * 3  # centi-degrees from the "sensor"
         result = reader.query(
             TAG_ADDRESS, helper_rate_pps=helper_rate_pps,
@@ -99,7 +101,7 @@ def main() -> None:
     print(f"{ok}/{len(reader.transaction_log)} transactions succeeded; "
           f"tag spent {tag.modulator.energy_used_j() * 1e6:.2f} uJ transmitting, "
           f"stored energy now {tag.harvester.stored_j * 1e3:.2f} mJ")
-    assert ok >= 4
+    assert ok >= n_reads - 1
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ Run:
 
 import numpy as np
 
+from _support import scaled
 from repro.analysis.ber import CorrelationRangeModel
 from repro.sim.link import run_correlation_trial
 
@@ -24,9 +25,10 @@ def main() -> None:
         working = None
         for length in (4, 8, 16, 32, 64, 128):
             errors = 0
-            for t in range(2):
+            for t in range(scaled(2)):
                 trial = run_correlation_trial(
-                    distance, length, num_bits=10, packets_per_chip=5.0,
+                    distance, length, num_bits=scaled(10, floor=4),
+                    packets_per_chip=5.0,
                     rng=np.random.default_rng(300 + 37 * i + length + t),
                 )
                 errors += trial.errors

@@ -9,6 +9,9 @@ Examples::
     python -m repro power-budget
     python -m repro calibration
     python -m repro obs-report /tmp/run.json
+    python -m repro scenarios                # enumerate the corpus
+    python -m repro soak --corpus builtin    # soak it, append history
+    python -m repro history --check          # gate on cross-run trends
 
 Every experiment subcommand also accepts the observability flags::
 
@@ -36,8 +39,9 @@ and the benchmark harness::
     python -m repro bench --quick --check    # gate against the baseline
 
 Exit codes: 0 success, 2 decode/link failure, 3 configuration error
-(bad arguments, malformed --faults/--slo spec), 4 SLO violation,
-5 benchmark regression.
+(bad arguments, malformed --faults/--slo spec, invalid scenario), 4 SLO
+violation or strict-soak envelope miss, 5 benchmark regression or
+cross-run trend regression (``history --check``).
 """
 
 from __future__ import annotations
@@ -377,6 +381,22 @@ def _cmd_obs_report(args: argparse.Namespace) -> CommandOutput:
     if path is None:
         raise SystemExit("obs-report needs a manifest path or --dir")
     try:
+        raw = obs.read_json(path)
+    except FileNotFoundError:
+        raise SystemExit(f"no such manifest: {path}")
+    from repro.obs.soak.report import (
+        is_soak_document,
+        render_soak_markdown,
+        render_soak_text,
+    )
+
+    if is_soak_document(raw):
+        rendered = (
+            render_soak_markdown(raw) if getattr(args, "markdown", False)
+            else render_soak_text(raw)
+        )
+        return CommandOutput(title="", rows=[], data=raw), rendered
+    try:
         manifest = obs.load_manifest(path)
     except FileNotFoundError:
         raise SystemExit(f"no such manifest: {path}")
@@ -387,9 +407,185 @@ def _cmd_obs_report(args: argparse.Namespace) -> CommandOutput:
     ), render_manifest(data)
 
 
+def _cmd_scenarios(args: argparse.Namespace):
+    """Enumerate (or show one of) the scenario corpus without running."""
+    from repro.scenarios import builtin_registry
+
+    registry = builtin_registry()
+    if args.file:
+        registry.load_file(args.file)
+    if args.show:
+        scenario = registry.get(args.show)
+        data = scenario.to_dict()
+        return CommandOutput(title="", rows=[], data=data), obs.dumps(data)
+    scenarios = registry.select(tag=args.tag)
+    rows = [
+        [
+            s.name,
+            s.channel.mode,
+            s.traffic.regime,
+            f"{s.geometry.tag_to_reader_m:g}",
+            "yes" if s.geometry.mobility else "-",
+            s.faults or "-",
+            ",".join(s.tags) or "-",
+        ]
+        for s in scenarios
+    ]
+    rendered = format_table(
+        ["scenario", "mode", "regime", "dist (m)", "mobile", "faults",
+         "tags"],
+        rows,
+        title=f"scenario corpus ({len(scenarios)} scenario(s))",
+    )
+    data = {
+        "count": len(scenarios),
+        "scenarios": [s.to_dict() for s in scenarios],
+    }
+    return CommandOutput(title="", rows=[], data=data), rendered
+
+
+def _cmd_soak(args: argparse.Namespace):
+    """Soak the scenario corpus; append cross-run history + report."""
+    from repro.obs import soak as soakmod
+    from repro.scenarios import builtin_registry
+
+    registry = builtin_registry()
+    if args.file:
+        registry.load_file(args.file)
+    history = None
+    if not args.no_history:
+        history = soakmod.HistoryStore(args.history_dir)
+    trial_scale = args.trial_scale
+    if args.quick:
+        trial_scale = min(trial_scale, 0.5)
+    outcome = soakmod.run_soak(
+        registry=registry,
+        names=args.scenarios or None,
+        tag=args.tag,
+        seed=args.seed,
+        workers=args.workers,
+        trial_scale=trial_scale,
+        history=history,
+        manifest_dir=args.obs_dir,
+        record=True,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    doc = outcome.to_document()
+    if args.report == "-":
+        rendered = soakmod.render_soak_markdown(doc)
+    else:
+        rendered = soakmod.render_soak_text(doc)
+    notes = []
+    if args.report and args.report != "-":
+        directory = os.path.dirname(os.path.abspath(args.report))
+        os.makedirs(directory, exist_ok=True)
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(soakmod.render_soak_markdown(doc))
+        notes.append(f"markdown report written to {args.report}")
+    if args.out:
+        obs.write_json(args.out, doc)
+        notes.append(f"soak document written to {args.out}")
+    if history is not None:
+        notes.append(
+            f"history: {len(outcome.history_paths)} record(s) appended "
+            f"under {history.directory}"
+        )
+    if notes:
+        rendered += "\n\n" + "\n".join(notes)
+    data = dict(doc)
+    if args.strict and outcome.failed:
+        data["strict_failed"] = True
+    return CommandOutput(title="", rows=[], data=data), rendered
+
+
+def _cmd_history(args: argparse.Namespace):
+    """Inspect the cross-run history store; optionally gate on trends."""
+    from repro.obs import soak as soakmod
+
+    store = soakmod.HistoryStore(args.dir)
+    if args.check:
+        flags = soakmod.check_store(store, scenarios=args.scenario or None)
+        if flags:
+            rows = [
+                [f.scenario, f.metric, f"{f.ewma:.4g}",
+                 f"{f.measured:.4g}", f"{f.limit:.4g}", f.window,
+                 f.dominant_label or "-"]
+                for f in flags
+            ]
+            rendered = format_table(
+                ["scenario", "metric", "ewma", "measured", "limit",
+                 "window", "root cause"],
+                rows,
+                title=f"cross-run trend regressions ({len(flags)})",
+            )
+        else:
+            rendered = (
+                "no cross-run trend regressions "
+                f"({len(store.scenarios())} scenario histories checked)"
+            )
+        data = {
+            "flags": [f.to_dict() for f in flags],
+            "regressed": bool(flags),
+        }
+        return CommandOutput(title="", rows=[], data=data), rendered
+    if args.scenario:
+        sections = []
+        payload: Dict[str, Any] = {}
+        for name in args.scenario:
+            records = store.load(name)
+            if not records:
+                raise ConfigurationError(
+                    f"no history for scenario {name!r} under "
+                    f"{store.directory}; known: {store.scenarios()}"
+                )
+            sections.append(
+                soakmod.render_history_text(name, records, limit=args.limit)
+            )
+            payload[name] = records[-args.limit:] if args.limit else records
+        return CommandOutput(
+            title="", rows=[], data={"histories": payload}
+        ), "\n\n".join(sections)
+    names = store.scenarios()
+    rows = []
+    for name in names:
+        records = store.load(name)
+        last = records[-1] if records else {}
+        rows.append([
+            name,
+            len(records),
+            str(last.get("timestamp", "-"))[:19],
+            "pass" if last.get("passed") else "FAIL",
+            last.get("dominant_label") or "-",
+        ])
+    rendered = format_table(
+        ["scenario", "records", "latest", "verdict", "root cause"],
+        rows,
+        title=f"history store: {store.directory}",
+    ) if rows else f"history store {store.directory} is empty"
+    data = {"directory": store.directory, "scenarios": names}
+    return CommandOutput(title="", rows=[], data=data), rendered
+
+
 def _cmd_bench(args: argparse.Namespace):
     """Run the benchmark workload matrix; optionally gate on baseline."""
     from repro.obs.perf import bench as benchmod
+
+    if args.list:
+        workloads = benchmod.list_workloads()
+        rendered = format_table(
+            ["workload", "parallel", "quick iters", "full iters",
+             "description"],
+            [
+                [w["name"], "yes" if w["parallel"] else "no",
+                 w["quick_iterations"], w["full_iterations"],
+                 w["description"]]
+                for w in workloads
+            ],
+            title=f"benchmark workload matrix ({len(workloads)} workloads)",
+        )
+        return CommandOutput(
+            title="", rows=[], data={"workloads": workloads}
+        ), rendered
 
     results = benchmod.run_bench(
         quick=not args.full,
@@ -605,12 +801,73 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_forensics)
 
     p = sub.add_parser("obs-report", parents=[common],
-                       help="render a run manifest written by --metrics-out")
+                       help="render a run manifest written by --metrics-out "
+                            "(soak documents are auto-detected)")
     p.add_argument("manifest", nargs="?", default=None,
-                   help="manifest JSON path")
+                   help="manifest or soak-document JSON path")
     p.add_argument("--dir", default=None,
                    help="pick the newest manifest in this directory")
+    p.add_argument("--markdown", action="store_true",
+                   help="render soak documents as markdown instead of a "
+                        "terminal table")
     p.set_defaults(func=_cmd_obs_report)
+
+    p = sub.add_parser("scenarios", parents=[common],
+                       help="enumerate the scenario corpus without running")
+    p.add_argument("--tag", default=None,
+                   help="only scenarios carrying this tag")
+    p.add_argument("--file", default=None,
+                   help="merge user scenarios from a JSON file")
+    p.add_argument("--show", metavar="NAME", default=None,
+                   help="print one scenario's full definition as JSON")
+    p.set_defaults(func=_cmd_scenarios)
+
+    p = sub.add_parser("soak", parents=[common],
+                       help="run the scenario corpus and append cross-run "
+                            "history")
+    p.add_argument("--corpus", choices=("builtin",), default="builtin",
+                   help="scenario corpus to soak (default: builtin)")
+    p.add_argument("--scenarios", nargs="*", default=None,
+                   help="subset of scenario names to run")
+    p.add_argument("--tag", default=None,
+                   help="only scenarios carrying this tag")
+    p.add_argument("--file", default=None,
+                   help="merge user scenarios from a JSON file")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel trial workers (bit-identical to serial)")
+    p.add_argument("--trial-scale", type=float, default=1.0,
+                   help="scale every scenario's trial counts (smoke runs)")
+    p.add_argument("--quick", action="store_true",
+                   help="shorthand for --trial-scale 0.5")
+    p.add_argument("--history-dir", default=None,
+                   help="history store directory "
+                        "(default: <repo>/benchmarks/history)")
+    p.add_argument("--no-history", action="store_true",
+                   help="do not append to the cross-run history store")
+    p.add_argument("--report", nargs="?", const="-", default=None,
+                   metavar="PATH",
+                   help="render the markdown soak report (to PATH, or to "
+                        "stdout when no PATH is given)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the JSON soak document to PATH (readable "
+                        "with 'repro obs-report')")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 4 when any scenario misses its envelope")
+    p.set_defaults(func=_cmd_soak)
+
+    p = sub.add_parser("history", parents=[common],
+                       help="inspect the cross-run telemetry history")
+    p.add_argument("scenario", nargs="*", default=None,
+                   help="scenario name(s) to show (default: list all)")
+    p.add_argument("--dir", default=None,
+                   help="history store directory "
+                        "(default: <repo>/benchmarks/history)")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="show only the newest N records")
+    p.add_argument("--check", action="store_true",
+                   help="run EWMA trend detection; regressions exit 5")
+    p.set_defaults(func=_cmd_history)
 
     p = sub.add_parser("perf-report", parents=[common],
                        help="render the perf sections of a run manifest")
@@ -619,6 +876,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench", parents=[common],
                        help="run the benchmark workload matrix")
+    p.add_argument("--list", action="store_true",
+                   help="enumerate the workload matrix without running")
     p.add_argument("--quick", action="store_true", default=True,
                    help="few iterations per workload (default)")
     p.add_argument("--full", action="store_true",
@@ -794,7 +1053,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs.disable()
     if alerts:
         return EXIT_SLO_VIOLATION
-    if args.command == "bench" and result.data.get("regressed"):
+    if args.command == "soak" and result.data.get("strict_failed"):
+        return EXIT_SLO_VIOLATION
+    if (
+        args.command in ("bench", "history")
+        and result.data.get("regressed")
+    ):
         return EXIT_BENCH_REGRESSION
     return EXIT_OK
 

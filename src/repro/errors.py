@@ -88,5 +88,19 @@ class FaultInjectionError(ConfigurationError):
     """
 
 
+class ScenarioError(ConfigurationError):
+    """A declarative scenario definition failed validation.
+
+    Subclasses :class:`ConfigurationError` so the CLI maps it to the
+    configuration exit code.  ``field`` names the offending schema
+    field as a dotted path (``geometry.tag_to_reader_m``), so tooling
+    and error messages can point at exactly what to fix.
+    """
+
+    def __init__(self, message: str, field: str = "") -> None:
+        super().__init__(f"{field}: {message}" if field else message)
+        self.field = field
+
+
 class TraceFormatError(ReproError):
     """A trace file could not be parsed."""

@@ -56,6 +56,36 @@ def git_sha(short: bool = False) -> Optional[str]:
     return _git_sha_cache[key]
 
 
+def git_dirty() -> Optional[bool]:
+    """Whether the checkout has uncommitted changes; None outside git.
+
+    Deliberately *not* cached: the working tree can change within a
+    process lifetime (a soak run that edits files between scenarios
+    should not report a stale clean bit).
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    try:
+        out = subprocess.run(
+            ["git", "-C", here, "status", "--porcelain"],
+            capture_output=True, text=True, timeout=5, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return bool(out.stdout.strip())
+
+
+def hostname() -> str:
+    """Short hostname of the machine producing this artifact."""
+    import socket
+
+    try:
+        return socket.gethostname().split(".")[0]
+    except OSError:
+        return "unknown"
+
+
 @dataclass
 class RunManifest:
     """The reproducible record of one experiment run.
@@ -69,6 +99,8 @@ class RunManifest:
         config: driver arguments (distances, rates, modes, ...).
         results: headline outputs (BER, error counts, ...).
         git_sha: code revision, when available.
+        git_dirty: True when the checkout had uncommitted changes.
+        hostname: short hostname of the producing machine.
         version: package version.
         metrics: metric snapshot at capture time.
         spans: recorded span trees at capture time.
@@ -90,6 +122,8 @@ class RunManifest:
     config: Dict[str, Any] = field(default_factory=dict)
     results: Dict[str, Any] = field(default_factory=dict)
     git_sha: Optional[str] = None
+    git_dirty: Optional[bool] = None
+    hostname: str = ""
     version: str = __version__
     metrics: Dict[str, Any] = field(default_factory=dict)
     spans: List[Dict[str, Any]] = field(default_factory=list)
@@ -183,6 +217,8 @@ def build_manifest(
         config=dict(config or {}),
         results=dict(results or {}),
         git_sha=git_sha(),
+        git_dirty=git_dirty(),
+        hostname=hostname(),
         metrics=metrics,
         spans=spans,
         profile=profile,

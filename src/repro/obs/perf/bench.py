@@ -29,7 +29,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.errors import ConfigurationError
 from repro.obs import state
 from repro.obs.export import read_json, write_json
-from repro.obs.manifest import git_sha
+from repro.obs.manifest import git_dirty, git_sha, hostname
 from repro.obs.perf.timeseries import TimeSeries
 
 #: Baseline file schema version.
@@ -234,6 +234,28 @@ PARALLEL_WORKLOADS = frozenset({
 })
 
 
+def list_workloads() -> List[Dict[str, Any]]:
+    """Describe the workload matrix without running it (``bench --list``)."""
+    descriptions = {
+        "uplink_csi_near": "CSI uplink decode at 0.3 m",
+        "uplink_csi_mid": "CSI uplink decode at 0.6 m",
+        "uplink_rssi_near": "RSSI-fallback uplink decode at 0.3 m",
+        "correlation_long": "long-range coded correlation decode at 1.6 m",
+        "arq_under_faults": "ARQ delivery under outage fault bursts",
+        "downlink_far": "analytic downlink BER at 2.0 m",
+    }
+    return [
+        {
+            "name": name,
+            "description": descriptions.get(name, ""),
+            "parallel": name in PARALLEL_WORKLOADS,
+            "quick_iterations": QUICK_ITERATIONS,
+            "full_iterations": FULL_ITERATIONS,
+        }
+        for name in WORKLOADS
+    ]
+
+
 def run_workload(
     name: str, iterations: int, seed: int = 0, workers: int = 1
 ) -> WorkloadResult:
@@ -309,10 +331,17 @@ def run_bench(
 
 
 def root_artifact(name: str, metrics: Dict[str, Any]) -> Dict[str, Any]:
-    """The canonical ``BENCH_*.json`` payload (trajectory schema)."""
+    """The canonical ``BENCH_*.json`` payload (trajectory schema).
+
+    ``git_dirty`` and ``hostname`` ride along so a number measured on a
+    modified tree or a different machine is never mistaken for a
+    committed-code datapoint when artifacts are compared across runs.
+    """
     return {
         "name": name,
         "commit": git_sha(),
+        "git_dirty": git_dirty(),
+        "hostname": hostname(),
         "timestamp": utc_timestamp(),
         "metrics": dict(metrics),
     }

@@ -1,0 +1,49 @@
+"""Declarative scenario corpus for the Wi-Fi backscatter reproduction.
+
+A *scenario* is a declarative description of one operating condition
+from the paper — geometry, helper-traffic regime, channel mode, fault
+plan, and the expected performance envelope — that can be validated,
+serialized, enumerated (``repro scenarios``), and executed through the
+parallel simulation engine (``repro soak``).
+"""
+
+from repro.scenarios.corpus import builtin_scenarios
+from repro.scenarios.registry import ScenarioRegistry, builtin_registry
+from repro.scenarios.runner import (
+    EnvelopeVerdict,
+    ScenarioResult,
+    run_scenario,
+)
+from repro.scenarios.schema import (
+    CHANNEL_MODES,
+    SCHEMA_VERSION,
+    TRAFFIC_REGIMES,
+    Channel,
+    Envelope,
+    Geometry,
+    Mobility,
+    Scenario,
+    Traffic,
+    TrialConfig,
+    scenarios_from_json,
+)
+
+__all__ = [
+    "CHANNEL_MODES",
+    "SCHEMA_VERSION",
+    "TRAFFIC_REGIMES",
+    "Channel",
+    "Envelope",
+    "EnvelopeVerdict",
+    "Geometry",
+    "Mobility",
+    "Scenario",
+    "ScenarioRegistry",
+    "ScenarioResult",
+    "Traffic",
+    "TrialConfig",
+    "builtin_registry",
+    "builtin_scenarios",
+    "run_scenario",
+    "scenarios_from_json",
+]

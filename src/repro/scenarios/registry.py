@@ -1,0 +1,85 @@
+"""Scenario registry: the corpus as an enumerable, filterable asset.
+
+A registry maps unique scenario names to :class:`Scenario` instances.
+:func:`builtin_registry` loads the built-in corpus
+(:mod:`repro.scenarios.corpus`); :meth:`ScenarioRegistry.load_file`
+merges user-defined scenarios from JSON, so a deployment can grow its
+own corpus next to the built-in one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import ScenarioError
+from repro.scenarios.schema import Scenario, scenarios_from_json
+
+
+class ScenarioRegistry:
+    """Named, ordered collection of scenarios."""
+
+    def __init__(self, scenarios: Sequence[Scenario] = ()) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+        for scenario in scenarios:
+            self.register(scenario)
+
+    def register(self, scenario: Scenario) -> None:
+        if scenario.name in self._scenarios:
+            raise ScenarioError(
+                f"duplicate scenario name {scenario.name!r}", field="name"
+            )
+        self._scenarios[scenario.name] = scenario
+
+    def load_file(self, path: str) -> List[Scenario]:
+        """Merge scenarios from a JSON file; returns the new entries."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise ScenarioError(f"cannot read {path}: {exc}") from None
+        loaded = scenarios_from_json(text)
+        for scenario in loaded:
+            self.register(scenario)
+        return loaded
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise ScenarioError(
+                f"unknown scenario {name!r}; known: {self.names()}",
+                field="name",
+            ) from None
+
+    def names(self) -> List[str]:
+        return list(self._scenarios)
+
+    def select(
+        self,
+        names: Optional[Sequence[str]] = None,
+        tag: Optional[str] = None,
+    ) -> List[Scenario]:
+        """Scenarios filtered by explicit names and/or a tag."""
+        if names:
+            picked = [self.get(n) for n in names]
+        else:
+            picked = list(self._scenarios.values())
+        if tag is not None:
+            picked = [s for s in picked if tag in s.tags]
+        return picked
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self._scenarios.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._scenarios
+
+
+def builtin_registry() -> ScenarioRegistry:
+    """A fresh registry holding the built-in corpus."""
+    from repro.scenarios.corpus import builtin_scenarios
+
+    return ScenarioRegistry(builtin_scenarios())

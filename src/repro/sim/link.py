@@ -51,6 +51,11 @@ EDGE_PADDING_S = 0.45
 #: sampled bit stream — is identical for any ``workers`` value.
 DOWNLINK_CHUNK_BITS = 50_000
 
+#: Bursty-traffic shape: mean packets per burst and intra-burst packet
+#: spacing (back-to-back at DCF service rate ~3000 pkts/s).
+BURSTY_MEAN_BURST = 20.0
+BURSTY_INTRA_S = 1.0 / 3000.0
+
 
 def helper_packet_times(
     rate_pps: float,
@@ -65,7 +70,10 @@ def helper_packet_times(
         rate_pps: mean packet rate.
         duration_s: span to cover.
         traffic: "cbr" (fixed interval with 10% jitter — the paper's
-            injected traffic) or "poisson" (ambient-like arrivals).
+            injected traffic), "poisson" (ambient-like arrivals), or
+            "bursty" (Pareto bursts of back-to-back packets separated
+            by idle gaps — the §3.2 shared-medium shape; ``rate_pps``
+            is the long-run mean).
         start_s: first-packet offset.
         rng: random source (a fixed default seed when omitted — see
             :mod:`repro.sim.seeding`).
@@ -86,7 +94,28 @@ def helper_packet_times(
         gaps = rng.exponential(1.0 / rate_pps, size=n_expected)
         times = start_s + np.cumsum(gaps)
         return times[times < start_s + duration_s]
-    raise ConfigurationError(f"traffic must be 'cbr' or 'poisson', got {traffic!r}")
+    if traffic == "bursty":
+        # Pareto burst lengths (mean ~BURSTY_MEAN_BURST packets) spaced
+        # BURSTY_INTRA_S apart, idle gaps sized so the long-run mean
+        # rate matches ``rate_pps``.
+        shape = 1.5
+        xm = BURSTY_MEAN_BURST * (shape - 1.0) / shape
+        burst_span = BURSTY_MEAN_BURST * BURSTY_INTRA_S
+        mean_gap = max(BURSTY_MEAN_BURST / rate_pps - burst_span, 1e-4)
+        chunks: List[np.ndarray] = []
+        t = start_s
+        end = start_s + duration_s
+        while t < end:
+            t += rng.exponential(mean_gap)
+            n_burst = max(1, int(xm * (1.0 + rng.pareto(shape))))
+            burst = t + np.arange(n_burst) * BURSTY_INTRA_S
+            t = float(burst[-1]) + BURSTY_INTRA_S
+            chunks.append(burst)
+        times = np.concatenate(chunks) if chunks else np.empty(0)
+        return times[times < end]
+    raise ConfigurationError(
+        f"traffic must be 'cbr', 'poisson', or 'bursty', got {traffic!r}"
+    )
 
 
 def _fault_units(
@@ -241,6 +270,7 @@ def run_uplink_trial(
     rng: Optional[np.random.Generator] = None,
     faults: Optional[FaultPlan] = None,
     start_s: float = 0.0,
+    helper_to_tag_m: float = 3.0,
 ) -> UplinkTrial:
     """One tag transmission decoded at the reader (Fig 10 inner loop).
 
@@ -276,7 +306,7 @@ def run_uplink_trial(
             )
             stream, tx_start = simulate_uplink_stream(
                 bits, bit_duration, times, tag_to_reader_m, params=params,
-                rng=rng, faults=faults,
+                helper_to_tag_m=helper_to_tag_m, rng=rng, faults=faults,
             )
         if (
             faults is not None and not faults.empty
@@ -330,6 +360,7 @@ class _UplinkBerTrialTask:
     seed: np.random.SeedSequence
     run_id: str = ""
     trial: int = 0
+    helper_to_tag_m: float = 3.0
 
 
 def _run_uplink_ber_trial(task: _UplinkBerTrialTask) -> Tuple[int, bool]:
@@ -358,6 +389,7 @@ def _run_uplink_ber_trial(task: _UplinkBerTrialTask) -> Tuple[int, bool]:
             rng=rng,
             faults=task.faults,
             start_s=task.start_s,
+            helper_to_tag_m=task.helper_to_tag_m,
         )
         if recording:
             forensics.commit(
@@ -390,6 +422,7 @@ def run_uplink_ber(
     seed: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
     workers: int = 1,
+    helper_to_tag_m: float = 3.0,
 ) -> BerResult:
     """The Fig 10 measurement: BER over ``repeats`` transmissions.
 
@@ -436,6 +469,7 @@ def run_uplink_ber(
             seed=seeds[i],
             run_id=run_id,
             trial=i,
+            helper_to_tag_m=helper_to_tag_m,
         )
         for i in range(repeats)
     ]
@@ -478,6 +512,98 @@ def run_uplink_ber(
             "packets_per_bit": packets_per_bit,
             "mode": mode,
             "repeats": repeats,
+            "num_payload_bits": num_payload_bits,
+            "bit_rate_bps": bit_rate_bps,
+            "traffic": traffic,
+            "faults": faults.describe() if active else None,
+        },
+        results={**result.to_dict(), "failed_trials": failed_trials},
+    )
+    return result
+
+
+def run_mobility_uplink_ber(
+    distances_m: Sequence[float],
+    packets_per_bit: float,
+    mode: str = "csi",
+    num_payload_bits: int = 90,
+    bit_rate_bps: float = 100.0,
+    traffic: str = "cbr",
+    params: CalibratedParameters = DEFAULTS,
+    seed: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
+    workers: int = 1,
+    helper_to_tag_m: float = 3.0,
+) -> BerResult:
+    """Uplink BER over a mobility trace: trial ``i`` at ``distances_m[i]``.
+
+    Motion is discretized per transmission (the tag holds still for one
+    frame; it drifts *between* frames), so the existing per-trial task
+    machinery applies unchanged: each position gets its own spawned
+    seed, and results are bit-identical for any worker count.
+    """
+    distances = [float(d) for d in distances_m]
+    if not distances:
+        raise ConfigurationError("distances_m must be non-empty")
+    _, effective_seed = resolve_rng(None, seed)
+    active = faults is not None and not faults.empty
+    bit_duration = 1.0 / bit_rate_bps
+    preamble_len = len(barker_bits())
+    trial_span = (
+        (preamble_len + num_payload_bits) * bit_duration
+        + 2 * EDGE_PADDING_S + 0.1
+    )
+    seeds = engine.spawn_seeds(effective_seed, len(distances))
+    run_id = f"mobility_uplink_ber-{effective_seed}"
+    tasks = [
+        _UplinkBerTrialTask(
+            tag_to_reader_m=distances[i],
+            packets_per_bit=packets_per_bit,
+            mode=mode,
+            num_payload_bits=num_payload_bits,
+            bit_rate_bps=bit_rate_bps,
+            traffic=traffic,
+            params=params,
+            faults=faults,
+            start_s=i * trial_span if active else 0.0,
+            seed=seeds[i],
+            run_id=run_id,
+            trial=i,
+            helper_to_tag_m=helper_to_tag_m,
+        )
+        for i in range(len(distances))
+    ]
+    errors = 0
+    total = 0
+    failed_trials = 0
+    with obs.span(
+        "uplink.run_mobility_ber",
+        start_m=distances[0],
+        end_m=distances[-1],
+        positions=len(distances),
+        mode=mode,
+        seed=effective_seed,
+        workers=workers,
+    ):
+        outcomes = engine.run_trials(
+            _run_uplink_ber_trial, tasks, workers=workers
+        )
+        for trial_errors, faulted in outcomes:
+            if faulted:
+                failed_trials += 1
+            errors += trial_errors if not faulted else num_payload_bits
+            total += num_payload_bits
+    result = BerResult(
+        errors=errors, total_bits=total, runs=len(distances)
+    )
+    obs.record_run(
+        "mobility_uplink_ber",
+        seed=effective_seed,
+        params=params,
+        config={
+            "distances_m": distances,
+            "packets_per_bit": packets_per_bit,
+            "mode": mode,
             "num_payload_bits": num_payload_bits,
             "bit_rate_bps": bit_rate_bps,
             "traffic": traffic,

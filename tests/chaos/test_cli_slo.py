@@ -103,7 +103,10 @@ class TestBenchGate:
         ])
         assert code == EXIT_OK
         artifact = obs.read_json(str(tmp_path / "BENCH_downlink_far.json"))
-        assert set(artifact) == {"name", "commit", "timestamp", "metrics"}
+        assert set(artifact) == {
+            "name", "commit", "git_dirty", "hostname", "timestamp",
+            "metrics",
+        }
         assert "latency_p95_s" in artifact["metrics"]
         assert "throughput_bps" in artifact["metrics"]
         assert os.path.exists(baseline)

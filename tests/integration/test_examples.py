@@ -2,9 +2,12 @@
 
 Examples are part of the public API surface: each is executed as a
 subprocess (as a user would run it) and must exit 0 with its expected
-output markers.
+output markers.  ``REPRO_EXAMPLE_SCALE`` shrinks the examples' trial
+counts so the whole suite stays fast; a scale of 1.0 is the
+documentation-sized run a user gets by default.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,6 +15,9 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: Trial-count scale used for the smoke runs (see examples/_support.py).
+SMOKE_SCALE = "0.4"
 
 CASES = [
     ("quickstart.py", "quickstart OK"),
@@ -28,11 +34,13 @@ CASES = [
 def test_example_runs(script, marker):
     path = EXAMPLES_DIR / script
     assert path.exists(), f"missing example {script}"
+    env = dict(os.environ, REPRO_EXAMPLE_SCALE=SMOKE_SCALE)
     result = subprocess.run(
         [sys.executable, str(path)],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert result.returncode == 0, (
         f"{script} failed:\n{result.stdout}\n{result.stderr}"
@@ -41,7 +49,10 @@ def test_example_runs(script, marker):
 
 
 def test_every_example_is_covered():
-    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    scripts = {
+        p.name for p in EXAMPLES_DIR.glob("*.py")
+        if not p.name.startswith("_")  # shared helpers, not examples
+    }
     covered = {script for script, _ in CASES}
     assert scripts == covered, (
         f"examples without a test: {scripts - covered}; "

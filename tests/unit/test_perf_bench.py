@@ -40,9 +40,13 @@ class TestRepoRoot:
 class TestArtifacts:
     def test_root_artifact_schema(self):
         doc = bench.root_artifact("w", {"ber": 0.1})
-        assert set(doc) == {"name", "commit", "timestamp", "metrics"}
+        assert set(doc) == {
+            "name", "commit", "git_dirty", "hostname", "timestamp",
+            "metrics",
+        }
         assert doc["name"] == "w"
         assert doc["metrics"] == {"ber": 0.1}
+        assert doc["hostname"]
 
     def test_write_root_artifact_path_and_round_trip(self, tmp_path):
         path = bench.write_root_artifact(

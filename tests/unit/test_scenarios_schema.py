@@ -1,0 +1,254 @@
+"""Scenario schema validation, serialization, registry, and corpus."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, ScenarioError
+from repro.scenarios import (
+    CHANNEL_MODES,
+    Channel,
+    Envelope,
+    Geometry,
+    Mobility,
+    Scenario,
+    ScenarioRegistry,
+    Traffic,
+    TrialConfig,
+    builtin_registry,
+    builtin_scenarios,
+    scenarios_from_json,
+)
+
+
+def make(**overrides):
+    base = {"name": "t_scenario"}
+    base.update(overrides)
+    return Scenario.from_dict(base)
+
+
+class TestValidation:
+    def test_minimal_scenario_defaults(self):
+        s = make()
+        assert s.channel.mode == "csi"
+        assert s.traffic.regime == "injected_cbr"
+        assert s.geometry.tag_to_reader_m == 0.3
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(bogus=1)
+        assert exc.value.field == "bogus"
+        assert "unknown key" in str(exc.value)
+
+    def test_unknown_nested_key_names_dotted_path(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(geometry={"tag_to_reader_m": 0.3, "wat": 2})
+        assert exc.value.field == "geometry.wat"
+
+    def test_unknown_doubly_nested_key(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(geometry={"mobility": {"kind": "static", "zap": 1}})
+        assert exc.value.field == "geometry.mobility.zap"
+
+    @pytest.mark.parametrize("distance", [-1.0, 0.0, 3.5, 100.0])
+    def test_out_of_range_geometry(self, distance):
+        with pytest.raises(ScenarioError) as exc:
+            make(geometry={"tag_to_reader_m": distance})
+        assert exc.value.field == "geometry.tag_to_reader_m"
+
+    def test_out_of_range_helper_distance(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(geometry={"helper_to_tag_m": 31.0})
+        assert exc.value.field == "geometry.helper_to_tag_m"
+
+    def test_malformed_fault_spec(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(faults="outage:duty=nope")
+        assert exc.value.field == "faults"
+
+    def test_unknown_fault_injector(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(faults="warpcore:duty=0.5")
+        assert exc.value.field == "faults"
+
+    def test_malformed_slo_spec(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(slo="this is not a rule")
+        assert exc.value.field == "slo"
+
+    def test_scenario_error_is_config_error(self):
+        # The CLI's exit-3 mapping catches ConfigurationError.
+        assert issubclass(ScenarioError, ConfigurationError)
+
+    @pytest.mark.parametrize("name", ["", "Bad Name", "-leading", "UPPER"])
+    def test_bad_names(self, name):
+        with pytest.raises(ScenarioError) as exc:
+            Scenario(name=name)
+        assert exc.value.field == "name"
+
+    def test_bad_traffic_regime(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(traffic={"regime": "carrier_pigeon"})
+        assert exc.value.field == "traffic.regime"
+
+    def test_bad_channel_mode(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(channel={"mode": "telepathy"})
+        assert exc.value.field == "channel.mode"
+
+    def test_code_length_bounds(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(channel={"mode": "coded", "code_length": 1})
+        assert exc.value.field == "channel.code_length"
+
+    def test_downlink_rate_cap(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(channel={"mode": "downlink", "downlink_rate_bps": 30e3})
+        assert exc.value.field == "channel.downlink_rate_bps"
+
+    def test_trial_bounds(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(trial={"repeats": 0})
+        assert exc.value.field == "trial.repeats"
+
+    def test_envelope_ber_range(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(envelope={"ber_max": 1.5})
+        assert exc.value.field == "envelope.ber_max"
+
+    def test_linear_mobility_requires_end(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(geometry={"mobility": {"kind": "linear"}})
+        assert exc.value.field == "geometry.mobility.end_m"
+
+    def test_newer_schema_version_rejected(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(schema_version=99)
+        assert exc.value.field == "schema_version"
+
+    def test_non_mapping_component(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(geometry="close")
+        assert exc.value.field == "geometry"
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        s = Scenario(
+            name="rt",
+            tags=("a", "b"),
+            geometry=Geometry(
+                tag_to_reader_m=0.5,
+                mobility=Mobility(kind="linear", end_m=1.0),
+            ),
+            traffic=Traffic(regime="bursty", rate_pps=1234.0),
+            channel=Channel(mode="coded", code_length=20),
+            trial=TrialConfig(repeats=3, payload_bits=12),
+            envelope=Envelope(ber_max=0.1, throughput_min_bps=2.0),
+            faults="nan:prob=0.01",
+            seed=7,
+        )
+        again = Scenario.from_dict(s.to_dict())
+        assert again == s
+
+    def test_to_dict_stamps_schema_version(self):
+        assert make().to_dict()["schema_version"] == 1
+
+    def test_envelope_bounds_triples(self):
+        env = Envelope(ber_max=0.1, throughput_min_bps=5.0,
+                       latency_max_s=2.0)
+        assert env.bounds() == [
+            ("ber", "<=", 0.1),
+            ("throughput_bps", ">=", 5.0),
+            ("latency_s", "<=", 2.0),
+        ]
+        assert Envelope().bounds() == []
+
+    def test_scenarios_from_json_variants(self):
+        one = {"name": "a_one"}
+        assert len(scenarios_from_json(json.dumps(one))) == 1
+        assert len(scenarios_from_json(json.dumps([one]))) == 1
+        wrapped = {"scenarios": [one, {"name": "a_two"}]}
+        assert len(scenarios_from_json(json.dumps(wrapped))) == 2
+
+    def test_scenarios_from_json_bad_json(self):
+        with pytest.raises(ScenarioError):
+            scenarios_from_json("{nope")
+
+    def test_effective_rate_per_regime(self):
+        assert Traffic(regime="injected_cbr",
+                       rate_pps=500.0).effective_rate_pps() == 500.0
+        beacon = Traffic(regime="beacon_only")
+        assert beacon.effective_rate_pps() == pytest.approx(1 / 0.1024)
+        night = Traffic(regime="ambient", start_hour=3.0)
+        peak = Traffic(regime="ambient", start_hour=14.0)
+        assert night.effective_rate_pps() < peak.effective_rate_pps()
+
+    def test_mobility_distances(self):
+        lin = Mobility(kind="linear", end_m=0.6)
+        d = lin.distances(0.2, 5, seed=0)
+        assert d[0] == pytest.approx(0.2) and d[-1] == pytest.approx(0.6)
+        walk = Mobility(kind="random_walk", step_std_m=0.05)
+        w1 = walk.distances(0.3, 6, seed=3)
+        assert w1 == walk.distances(0.3, 6, seed=3)  # deterministic
+        assert all(0.05 <= x <= 3.0 for x in w1)
+        static = Mobility()
+        assert static.distances(0.3, 4, seed=0) == [0.3] * 4
+
+
+class TestRegistry:
+    def test_duplicate_rejected(self):
+        reg = ScenarioRegistry([make()])
+        with pytest.raises(ScenarioError):
+            reg.register(make())
+
+    def test_get_unknown_names_known(self):
+        reg = ScenarioRegistry([make()])
+        with pytest.raises(ScenarioError) as exc:
+            reg.get("nope")
+        assert "t_scenario" in str(exc.value)
+
+    def test_select_by_tag_and_name(self):
+        a = Scenario(name="sa", tags=("x",))
+        b = Scenario(name="sb", tags=("y",))
+        reg = ScenarioRegistry([a, b])
+        assert [s.name for s in reg.select(tag="x")] == ["sa"]
+        assert [s.name for s in reg.select(names=["sb"])] == ["sb"]
+        assert len(reg.select()) == 2
+
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "extra.json"
+        path.write_text(json.dumps({"name": "from_file"}))
+        reg = builtin_registry()
+        added = reg.load_file(str(path))
+        assert [s.name for s in added] == ["from_file"]
+        assert "from_file" in reg
+
+    def test_load_missing_file(self):
+        with pytest.raises(ScenarioError):
+            builtin_registry().load_file("/nonexistent/corpus.json")
+
+
+class TestCorpus:
+    def test_corpus_size_and_uniqueness(self):
+        scenarios = builtin_scenarios()
+        names = [s.name for s in scenarios]
+        assert len(scenarios) >= 20
+        assert len(set(names)) == len(names)
+
+    def test_corpus_covers_the_envelope(self):
+        scenarios = builtin_scenarios()
+        modes = {s.channel.mode for s in scenarios}
+        regimes = {s.traffic.regime for s in scenarios}
+        assert modes == set(CHANNEL_MODES)
+        assert {"ambient", "beacon_only", "cts", "bursty"} <= regimes
+        assert any(s.geometry.mobility for s in scenarios)
+        assert any(s.faults for s in scenarios)
+
+    def test_every_corpus_scenario_has_an_envelope(self):
+        for s in builtin_scenarios():
+            assert s.envelope.bounds(), f"{s.name} asserts nothing"
+
+    def test_corpus_round_trips(self):
+        for s in builtin_scenarios():
+            assert Scenario.from_dict(s.to_dict()) == s

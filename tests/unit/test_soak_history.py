@@ -1,0 +1,155 @@
+"""Cross-run history store and EWMA trend detection."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.soak import (
+    HistoryStore,
+    TrendFlag,
+    check_store,
+    detect_trends,
+    make_record,
+)
+
+
+def record(scenario="geom_csi_030cm", ber=0.02, throughput=180.0,
+           latency=0.05, **overrides):
+    rec = make_record(
+        scenario,
+        {"ber": ber, "throughput_bps": throughput, "latency_s": latency},
+        seed=0,
+        trial_scale=1.0,
+        passed=True,
+        dominant_label="low_margin_slice",
+    )
+    # Pin the environment keys so tests don't depend on the checkout
+    # state of the machine running them.
+    rec.update({"git_dirty": False, "hostname": "testhost"})
+    rec.update(overrides)
+    return rec
+
+
+class TestStore:
+    def test_append_and_load(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        path = store.append(record(ber=0.01))
+        store.append(record(ber=0.02))
+        loaded = store.load("geom_csi_030cm")
+        assert [r["metrics"]["ber"] for r in loaded] == [0.01, 0.02]
+        assert path.endswith("geom_csi_030cm.jsonl")
+        assert store.scenarios() == ["geom_csi_030cm"]
+
+    def test_record_shape(self):
+        rec = make_record("s_a", {"ber": 0.1}, seed=3, trial_scale=0.5)
+        assert rec["schema_version"] == 1
+        assert rec["scenario"] == "s_a"
+        assert rec["seed"] == 3 and rec["trial_scale"] == 0.5
+        for key in ("commit", "git_dirty", "hostname", "timestamp"):
+            assert key in rec
+        json.dumps(rec)  # must be JSON-safe
+
+    def test_append_requires_scenario(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        with pytest.raises(ConfigurationError):
+            store.append({"metrics": {"ber": 0.1}})
+
+    def test_corrupt_lines_skipped_not_fatal(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        store.append(record(ber=0.01))
+        with open(store.path_for("geom_csi_030cm"), "a") as fh:
+            fh.write("{truncated by a crash\n")
+            fh.write("[1, 2, 3]\n")
+        store.append(record(ber=0.02))
+        records, bad = store.load_with_errors("geom_csi_030cm")
+        assert len(records) == 2
+        assert bad == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        assert store.load("never_ran") == []
+        assert store.scenarios() == []
+
+
+class TestTrendDetection:
+    def test_synthetic_regression_flags_scenario_and_metric(self):
+        # Acceptance criterion: 4 clean records, then one with tripled
+        # BER and halved goodput -> exactly those two metrics flag, with
+        # the right scenario name and root-cause label attached.
+        history = [record(ber=0.02, throughput=180.0) for _ in range(4)]
+        history.append(record(ber=0.06, throughput=90.0,
+                              dominant_label="fault_window_overlap"))
+        flags = detect_trends(history)
+        flagged = {(f.scenario, f.metric) for f in flags}
+        assert flagged == {
+            ("geom_csi_030cm", "ber"),
+            ("geom_csi_030cm", "throughput_bps"),
+        }
+        assert all(f.dominant_label == "fault_window_overlap"
+                   for f in flags)
+
+    def test_thin_history_never_flags(self):
+        history = [record(ber=0.02), record(ber=0.02), record(ber=0.9)]
+        # Only 2 baseline points < MIN_HISTORY=3: no verdict.
+        assert detect_trends(history) == []
+
+    def test_improvement_not_flagged(self):
+        history = [record(ber=0.05, throughput=100.0) for _ in range(4)]
+        history.append(record(ber=0.001, throughput=400.0))
+        assert detect_trends(history) == []
+
+    def test_within_band_not_flagged(self):
+        history = [record(ber=0.020) for _ in range(4)]
+        history.append(record(ber=0.024))  # < ewma * 1.25 + 0.002
+        assert detect_trends(history) == []
+
+    def test_dirty_records_excluded_from_baseline(self):
+        history = [record(ber=0.02), record(ber=0.02)]
+        # Dirty-checkout garbage must not poison (or pad) the baseline.
+        history += [record(ber=0.5, git_dirty=True) for _ in range(3)]
+        history.append(record(ber=0.5))
+        assert detect_trends(history) == []  # only 2 clean points
+
+    def test_trial_scale_mismatch_excluded(self):
+        history = [record(ber=0.02, trial_scale=0.25) for _ in range(4)]
+        history.append(record(ber=0.5, trial_scale=1.0))
+        assert detect_trends(history) == []
+
+    def test_wall_clock_metric_requires_same_host(self):
+        history = [record(latency=0.01, hostname="ci-runner")
+                   for _ in range(4)]
+        history.append(record(latency=10.0, hostname="laptop"))
+        flags = detect_trends(history)
+        # Latency can't be compared cross-host; ber/throughput are
+        # unchanged, so nothing flags.
+        assert flags == []
+
+    def test_latency_regression_same_host(self):
+        history = [record(latency=0.01) for _ in range(4)]
+        history.append(record(latency=0.10))  # > ewma * 2 + 0.01
+        flags = detect_trends(history)
+        assert [f.metric for f in flags] == ["latency_s"]
+        assert flags[0].direction == "lower_better"
+
+    def test_flag_is_json_safe(self):
+        flag = TrendFlag(
+            scenario="s", metric="ber", direction="lower_better",
+            ewma=0.02, measured=0.06, limit=0.027, window=4,
+            dominant_label=None,
+        )
+        json.dumps(flag.to_dict())
+        assert flag.delta_fraction == pytest.approx(2.0)
+
+    def test_check_store_end_to_end(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        for _ in range(4):
+            store.append(record(ber=0.02))
+        store.append(record(ber=0.08))
+        for _ in range(5):
+            store.append(record(scenario="rssi_near_015cm", ber=0.05))
+        flags = check_store(store)
+        assert [(f.scenario, f.metric) for f in flags] == [
+            ("geom_csi_030cm", "ber"),
+        ]
+        assert check_store(store, ["rssi_near_015cm"]) == []
