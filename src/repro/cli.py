@@ -66,7 +66,9 @@ EXIT_SLO_VIOLATION = 4
 EXIT_BENCH_REGRESSION = 5
 
 #: Subcommands whose drivers actually consume a fault plan.
-FAULT_AWARE_COMMANDS = frozenset({"uplink-ber", "downlink-ber", "correlation", "arq"})
+FAULT_AWARE_COMMANDS = frozenset(
+    {"uplink-ber", "downlink-ber", "correlation", "arq", "serve"}
+)
 
 
 def _resolve_faults(args: argparse.Namespace):
@@ -178,6 +180,39 @@ def _cmd_arq(args: argparse.Namespace) -> CommandOutput:
     return CommandOutput(
         title="resilient ARQ uplink session", rows=rows, data=data
     )
+
+
+def _cmd_serve(args: argparse.Namespace):
+    """Run the resilient streaming decode gateway for a bounded spell."""
+    from repro.serve import ServeConfig, render_serve_text, run_serve
+
+    config = ServeConfig(
+        duration_s=args.duration,
+        offered_load_rps=args.offered_load,
+        burst_load_rps=args.burst_load,
+        burst_start_s=args.burst_start,
+        burst_end_s=args.burst_end,
+        deadline_ms=args.deadline_ms,
+        queue_capacity=args.queue_capacity,
+        batch=args.batch,
+        workers=args.workers,
+        n_tags=args.tags,
+        payload_bits=args.payload,
+        tag_to_reader_m=args.distance,
+        packets_per_bit=args.pkts_per_bit,
+        mode=args.mode,
+        bit_rate_bps=args.rate,
+        arrival_profile=args.arrivals,
+        stall_timeout_s=args.stall_timeout,
+        max_attempts=args.max_attempts,
+    )
+    result = run_serve(
+        config, faults=_resolve_faults(args), seed=args.seed
+    )
+    report = result.report
+    return CommandOutput(
+        title="", rows=[], data=report.to_dict()
+    ), render_serve_text(report)
 
 
 def _cmd_downlink_ber(args: argparse.Namespace) -> CommandOutput:
@@ -336,12 +371,17 @@ def _cmd_forensics(args: argparse.Namespace):
 
 
 def _write_forensics_artifact(args: argparse.Namespace) -> Optional[str]:
-    """Flush the flight recorder to the --record JSONL path."""
-    from repro.obs.forensics import write_jsonl
+    """Flush the flight recorder to the --record JSONL path.
+
+    This is the *clean* flush; it stands down the crash-flush handler
+    so an orderly exit doesn't rewrite the artifact as "interrupted".
+    """
+    from repro.obs.forensics import disarm_crash_flush, write_jsonl
 
     path = getattr(args, "record", None)
     if path is None:
         return None
+    disarm_crash_flush()
     recorder = obs.get_recorder()
     payload = recorder.to_payload()
     write_jsonl(
@@ -503,6 +543,15 @@ def _cmd_history(args: argparse.Namespace):
     from repro.obs import soak as soakmod
 
     store = soakmod.HistoryStore(args.dir)
+    corrupt = soakmod.corrupt_line_counts(
+        store, scenarios=args.scenario or None
+    )
+    for name, bad in sorted(corrupt.items()):
+        print(
+            f"warning: {bad} corrupt line(s) skipped in history for "
+            f"{name!r} (torn append?)",
+            file=sys.stderr,
+        )
     if args.check:
         flags = soakmod.check_store(store, scenarios=args.scenario or None)
         if flags:
@@ -523,32 +572,44 @@ def _cmd_history(args: argparse.Namespace):
                 "no cross-run trend regressions "
                 f"({len(store.scenarios())} scenario histories checked)"
             )
+        if corrupt:
+            total_bad = sum(corrupt.values())
+            rendered += (
+                f"\n!! {total_bad} corrupt history line(s) skipped: "
+                + ", ".join(
+                    f"{k}={v}" for k, v in sorted(corrupt.items())
+                )
+            )
         data = {
             "flags": [f.to_dict() for f in flags],
             "regressed": bool(flags),
+            "corrupt_lines": corrupt,
         }
         return CommandOutput(title="", rows=[], data=data), rendered
     if args.scenario:
         sections = []
         payload: Dict[str, Any] = {}
         for name in args.scenario:
-            records = store.load(name)
+            records, bad = store.load_with_errors(name)
             if not records:
                 raise ConfigurationError(
                     f"no history for scenario {name!r} under "
                     f"{store.directory}; known: {store.scenarios()}"
                 )
             sections.append(
-                soakmod.render_history_text(name, records, limit=args.limit)
+                soakmod.render_history_text(
+                    name, records, limit=args.limit, corrupt=bad
+                )
             )
             payload[name] = records[-args.limit:] if args.limit else records
         return CommandOutput(
-            title="", rows=[], data={"histories": payload}
+            title="", rows=[],
+            data={"histories": payload, "corrupt_lines": corrupt},
         ), "\n\n".join(sections)
     names = store.scenarios()
     rows = []
     for name in names:
-        records = store.load(name)
+        records, bad = store.load_with_errors(name)
         last = records[-1] if records else {}
         rows.append([
             name,
@@ -556,13 +617,19 @@ def _cmd_history(args: argparse.Namespace):
             str(last.get("timestamp", "-"))[:19],
             "pass" if last.get("passed") else "FAIL",
             last.get("dominant_label") or "-",
+            bad or "-",
         ])
     rendered = format_table(
-        ["scenario", "records", "latest", "verdict", "root cause"],
+        ["scenario", "records", "latest", "verdict", "root cause",
+         "corrupt"],
         rows,
         title=f"history store: {store.directory}",
     ) if rows else f"history store {store.directory} is empty"
-    data = {"directory": store.directory, "scenarios": names}
+    data = {
+        "directory": store.directory,
+        "scenarios": names,
+        "corrupt_lines": corrupt,
+    }
     return CommandOutput(title="", rows=[], data=data), rendered
 
 
@@ -753,6 +820,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard frames over N processes (statistically "
                         "equivalent to serial, not bit-identical)")
     p.set_defaults(func=_cmd_arq)
+
+    p = sub.add_parser("serve", parents=[common],
+                       help="streaming decode gateway: bounded queues, "
+                            "deadline budgets, supervised workers")
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="virtual run length, seconds")
+    p.add_argument("--offered-load", type=float, default=4.0,
+                   help="steady arrival rate, requests/s")
+    p.add_argument("--burst-load", type=float, default=None,
+                   help="overload burst arrival rate, requests/s "
+                        "(superimposed over [--burst-start, --burst-end))")
+    p.add_argument("--burst-start", type=float, default=0.0)
+    p.add_argument("--burst-end", type=float, default=0.0)
+    p.add_argument("--deadline-ms", type=float, default=4000.0,
+                   help="per-request latency budget, milliseconds")
+    p.add_argument("--queue-capacity", type=int, default=32,
+                   help="bounded ingress queue depth (overflow sheds "
+                        "newest-lowest-priority first)")
+    p.add_argument("--batch", type=int, default=4,
+                   help="requests dispatched per decode round")
+    p.add_argument("--arrivals",
+                   choices=("cbr", "poisson", "bursty", "office"),
+                   default="poisson", help="arrival process")
+    p.add_argument("--tags", type=int, default=8,
+                   help="distinct tag addresses behind the gateway")
+    p.add_argument("--payload", type=int, default=16,
+                   help="payload bits per request")
+    p.add_argument("--distance", type=float, default=0.3,
+                   help="tag-reader m")
+    p.add_argument("--pkts-per-bit", type=float, default=8.0)
+    p.add_argument("--mode", choices=("csi", "rssi"), default="csi")
+    p.add_argument("--rate", type=float, default=100.0,
+                   help="uplink bps (sets per-request decode airtime)")
+    p.add_argument("--stall-timeout", type=float, default=0.35,
+                   help="seconds before a hung worker counts as stalled")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="supervised retries before dead-lettering")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=0,
+                   help="decode worker processes (0 = inline; delivered "
+                        "payloads identical either way)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("downlink-ber", parents=[common],
                        help="Fig 17 style downlink BER point")
@@ -977,6 +1086,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 obs.disable()
                 return EXIT_CONFIG_ERROR
+            # Partial JSONL must survive a SIGTERM'd or interrupted
+            # run; the clean flush at the end disarms this.
+            from repro.obs.forensics import install_crash_flush
+
+            install_crash_flush(record_out, meta={
+                "name": args.command,
+                "seed": getattr(args, "seed", None),
+            })
 
     try:
         result = args.func(args)
@@ -985,6 +1102,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # run never happened, so scripts must not read it as a link
         # failure.
         print(f"error: {exc}", file=sys.stderr)
+        if recording:
+            from repro.obs.forensics import disarm_crash_flush
+
+            disarm_crash_flush()
         if observing:
             obs.disable()
         return EXIT_CONFIG_ERROR

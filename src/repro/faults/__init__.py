@@ -19,6 +19,8 @@ from repro.faults.injectors import (
     NanCorruption,
     ReaderClockDrift,
     TagBrownout,
+    WorkerCrash,
+    WorkerStall,
 )
 from repro.faults.spec import (
     INJECTOR_TYPES,
@@ -38,6 +40,8 @@ __all__ = [
     "NanCorruption",
     "ReaderClockDrift",
     "TagBrownout",
+    "WorkerCrash",
+    "WorkerStall",
     "format_fault_plan",
     "parse_fault_spec",
 ]

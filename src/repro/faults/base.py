@@ -56,6 +56,10 @@ class FaultInjector:
     #: Short machine name used by the spec parser and obs counters.
     name = "fault"
 
+    #: True for injectors that sabotage the *execution substrate*
+    #: (worker processes) rather than the measured link.
+    is_worker_fault = False
+
     def reset(self) -> None:
         """Return to the just-constructed (replayable) state."""
 
@@ -81,6 +85,19 @@ class FaultInjector:
     def warp_timestamp(self, time_s: float) -> float:
         """The reader-clock timestamp recorded for true time ``time_s``."""
         return time_s
+
+    def sabotage(
+        self, task_key: int, attempt: int
+    ) -> Optional[Tuple[str, float]]:
+        """Worker-process sabotage for attempt ``attempt`` of a task.
+
+        Returns ``("crash", 0.0)``, ``("stall", stall_s)``, or None.
+        Must be a pure function of ``(task_key, attempt)`` and the
+        injector's seed — never of call order — so the supervised
+        engine reaches the same dead-letter/retry outcome for any
+        worker count or scheduling.
+        """
+        return None
 
     # -- description ----------------------------------------------------------
 
@@ -222,6 +239,31 @@ class FaultPlan:
 
     def tag_powered(self, time_s: float) -> bool:
         return all(inj.tag_powered(time_s) for inj in self.injectors)
+
+    @property
+    def has_worker_faults(self) -> bool:
+        """Whether any injector sabotages worker processes."""
+        return any(inj.is_worker_fault for inj in self.injectors)
+
+    def worker_sabotage(
+        self, task_key: int, attempt: int
+    ) -> Optional[Tuple[str, float]]:
+        """First injector-ordained sabotage for this task attempt.
+
+        The supervised engine consults this before dispatching each
+        attempt; crash wins over stall when both would fire (a dead
+        process cannot also hang).
+        """
+        chosen: Optional[Tuple[str, float]] = None
+        for inj in self.injectors:
+            action = inj.sabotage(task_key, attempt)
+            if action is None:
+                continue
+            if action[0] == "crash":
+                return action
+            if chosen is None:
+                chosen = action
+        return chosen
 
     def drop_packet(self, time_s: float) -> bool:
         dropped = any(inj.drop_packet(time_s) for inj in self.injectors)

@@ -356,3 +356,127 @@ class ReaderClockDrift(_SeededInjector):
             "jitter_std_s": self.jitter_std_s,
             "seed": self.seed,
         }
+
+
+class _WorkerFaultInjector(_SeededInjector):
+    """Base for execution-substrate faults (crashed/hung pool workers).
+
+    Unlike the link injectors, decisions here must be independent of
+    *call order*: the supervised engine evaluates tasks in whatever
+    order scheduling dictates, and the same task must see the same
+    sabotage for any worker count.  Every decision therefore derives a
+    throwaway generator from ``(root entropy, task_key)`` instead of
+    drawing from a shared stream.
+    """
+
+    is_worker_fault = True
+
+    def __init__(
+        self,
+        probability: float,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise FaultInjectionError("probability must be in [0, 1]")
+        super().__init__(rng, seed)
+        self.probability = probability
+        # One draw fixes the per-task entropy root even when the caller
+        # handed us a live generator (seed unknowable).
+        self._entropy = (
+            self.seed if self.seed is not None
+            else int(self.rng.integers(0, 2**63))
+        )
+
+    def _task_draw(self, task_key: int) -> float:
+        seq = np.random.SeedSequence(
+            entropy=(self._entropy, int(task_key) & 0x7FFFFFFFFFFFFFFF)
+        )
+        return float(np.random.default_rng(seq).random())
+
+    def _strikes_for(self, task_key: int, max_strikes: int) -> int:
+        return max_strikes if self._task_draw(task_key) < self.probability \
+            else 0
+
+
+class WorkerCrash(_WorkerFaultInjector):
+    """A pool worker dies mid-task (OOM kill, segfault, power loss).
+
+    With probability ``probability`` a task's first ``max_crashes``
+    attempts terminate the executing worker process outright; the
+    supervised engine must detect the broken pool, restart it, and
+    re-run the task under its original derived seed.
+    """
+
+    name = "worker_crash"
+
+    def __init__(
+        self,
+        probability: float = 0.1,
+        max_crashes: int = 1,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if max_crashes < 1:
+            raise FaultInjectionError("max_crashes must be >= 1")
+        super().__init__(probability, rng, seed)
+        self.max_crashes = max_crashes
+
+    def sabotage(
+        self, task_key: int, attempt: int
+    ) -> Optional[Tuple[str, float]]:
+        if attempt < self._strikes_for(task_key, self.max_crashes):
+            return ("crash", 0.0)
+        return None
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "probability": self.probability,
+            "max_crashes": self.max_crashes,
+            "seed": self.seed,
+        }
+
+
+class WorkerStall(_WorkerFaultInjector):
+    """A pool worker hangs mid-task (deadlock, NFS stall, GC pause).
+
+    With probability ``probability`` a task's first ``max_stalls``
+    attempts sleep for ``stall_s`` seconds instead of returning
+    promptly; the supervised engine's per-task wait budget must expire
+    first and the task be retried, or the run would hang with it.
+    """
+
+    name = "worker_stall"
+
+    def __init__(
+        self,
+        probability: float = 0.1,
+        stall_s: float = 1.0,
+        max_stalls: int = 1,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if stall_s <= 0:
+            raise FaultInjectionError("stall_s must be positive")
+        if max_stalls < 1:
+            raise FaultInjectionError("max_stalls must be >= 1")
+        super().__init__(probability, rng, seed)
+        self.stall_s = stall_s
+        self.max_stalls = max_stalls
+
+    def sabotage(
+        self, task_key: int, attempt: int
+    ) -> Optional[Tuple[str, float]]:
+        if attempt < self._strikes_for(task_key, self.max_stalls):
+            return ("stall", self.stall_s)
+        return None
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "probability": self.probability,
+            "stall_s": self.stall_s,
+            "max_stalls": self.max_stalls,
+            "seed": self.seed,
+        }

@@ -32,6 +32,8 @@ from repro.faults.injectors import (
     NanCorruption,
     ReaderClockDrift,
     TagBrownout,
+    WorkerCrash,
+    WorkerStall,
 )
 
 #: Injector constructors by spec name.
@@ -43,6 +45,8 @@ INJECTOR_TYPES = {
     AgcJump.name: AgcJump,
     TagBrownout.name: TagBrownout,
     ReaderClockDrift.name: ReaderClockDrift,
+    WorkerCrash.name: WorkerCrash,
+    WorkerStall.name: WorkerStall,
 }
 
 #: Short aliases accepted in clause key=value pairs, per injector.
@@ -64,11 +68,17 @@ _ALIASES: Dict[str, Dict[str, str]] = {
     "agc_jump": {"prob": "probability", "jump": "max_jump_db"},
     "brownout": {"duty": "duty_cycle", "burst": "mean_burst_s"},
     "drift": {"ppm": "drift_ppm", "jitter": "jitter_std_s"},
+    "worker_crash": {"prob": "probability", "max": "max_crashes"},
+    "worker_stall": {
+        "prob": "probability",
+        "stall": "stall_s",
+        "max": "max_stalls",
+    },
 }
 
 #: Parameters that must stay strings / ints rather than floats.
 _STRING_PARAMS = {"mode"}
-_INT_PARAMS = {"cells", "seed"}
+_INT_PARAMS = {"cells", "seed", "max_crashes", "max_stalls"}
 
 
 def _coerce(key: str, raw: str):

@@ -39,6 +39,10 @@ from repro.obs.forensics.attribution import (
     attribute_record,
     summarize,
 )
+from repro.obs.forensics.crash_flush import (
+    disarm as disarm_crash_flush,
+    install_crash_flush,
+)
 from repro.obs.forensics.format import read_jsonl, write_jsonl
 from repro.obs.forensics.recorder import (
     DEFAULT_CAPACITY,
@@ -59,7 +63,9 @@ __all__ = [
     "attribute_record",
     "begin",
     "commit",
+    "disarm_crash_flush",
     "ensure_record",
+    "install_crash_flush",
     "read_jsonl",
     "render_forensics",
     "stage",

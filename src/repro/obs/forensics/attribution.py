@@ -12,6 +12,16 @@ decision margin:
     the ``detail`` names the responsible injector family.
 ``arq_exhaustion``
     An ARQ frame burned through ``max_attempts`` without a CRC pass.
+``shed``
+    The serve gateway dropped the request under backpressure before it
+    reached a decoder; the ``detail`` carries the shed reason
+    (``queue_full``, ``tag_quarantined``, ``egress_full``, ``drain``).
+``deadline_abandoned``
+    The request's latency budget could not be met at dispatch time and
+    the gateway abandoned it early.
+``worker_lost``
+    The decode worker crashed or hung past the supervised retry budget
+    and the request was dead-lettered.
 ``erasure``
     No measurement survived into the bit's slot (zero vote support).
 ``mrc_weight_collapse``
@@ -45,6 +55,9 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 LABELS = (
     "fault_window_overlap",
     "arq_exhaustion",
+    "shed",
+    "deadline_abandoned",
+    "worker_lost",
     "erasure",
     "mrc_weight_collapse",
     "bad_subchannel_selection",
@@ -65,6 +78,14 @@ SELECTION_RATIO_FLOOR = 1.5
 _FAULT_FAILURES = {
     "BrownoutError": "brownout",
     "FaultInjectionError": "fault",
+}
+
+#: Serve-layer dispositions: the gateway never decoded these requests,
+#: and the record's ``serve`` stage says why.
+_SERVE_FAILURES = {
+    "Shed": "shed",
+    "DeadlineAbandoned": "deadline_abandoned",
+    "WorkerLost": "worker_lost",
 }
 
 #: Injector families that corrupt measurement values (vs drop/unpower).
@@ -191,6 +212,11 @@ def _frame_failure_label(record: Dict[str, Any]) -> Optional[Tuple[str, str]]:
         arq = stages.get("arq") or {}
         attempts = arq.get("attempts", "all")
         return "arq_exhaustion", f"{attempts} attempts without CRC pass"
+    if failure in _SERVE_FAILURES:
+        serve = stages.get("serve") or {}
+        reason = serve.get("reason", "")
+        label = _SERVE_FAILURES[failure]
+        return label, reason or label
     if failure in _FAULT_FAILURES:
         return "fault_window_overlap", _FAULT_FAILURES[failure]
     if failure is not None:

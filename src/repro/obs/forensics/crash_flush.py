@@ -1,0 +1,166 @@
+"""Crash-safe flight-recorder flush: atexit + SIGTERM.
+
+The flight recorder lives in process memory, which is exactly where
+evidence dies when a soak run is OOM-killed, a CI job hits its wall
+clock, or an operator Ctrl-backslashes a wedged gateway.  Arming
+:func:`install_crash_flush` registers one idempotent handler on both
+``atexit`` and ``SIGTERM`` that writes whatever the recorder currently
+holds to the ``--record`` JSONL path, stamped ``interrupted: true`` in
+the header so triage knows the artifact is a partial capture rather
+than a completed run.
+
+Contract:
+
+* **Idempotent** — the flush fires at most once no matter how many of
+  the registered paths trigger (SIGTERM then atexit, repeated
+  installs, explicit :func:`flush_now`).
+* **Disarmable** — the normal end-of-run artifact write calls
+  :func:`disarm` so a clean exit produces exactly the usual artifact,
+  with the prior ``SIGTERM`` disposition restored.
+* **Chained** — a previously installed ``SIGTERM`` handler still runs
+  after the flush; with no prior handler the default die-by-signal
+  disposition is re-raised so exit status stays honest.
+* **Best-effort** — flush failures during interpreter teardown are
+  swallowed; a crash handler must never mask the original failure.
+
+Signal registration only works on the main thread; elsewhere the
+handler degrades to atexit-only coverage.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import signal
+import sys
+import threading
+from typing import Any, Dict, Optional
+
+_lock = threading.Lock()
+
+#: Armed state: {"path": str, "meta": dict, "prev": old SIGTERM
+#: disposition or None when signal registration was unavailable}.
+_armed: Optional[Dict[str, Any]] = None
+
+#: True once the flush has fired (further triggers are no-ops until
+#: the next install re-arms).
+_fired = False
+
+
+def _flush(interrupted: bool) -> Optional[str]:
+    """Write the recorder's current records; at most once per arm."""
+    global _fired
+    with _lock:
+        if _armed is None or _fired:
+            return None
+        _fired = True
+        path = _armed["path"]
+        meta = dict(_armed["meta"])
+    try:
+        from repro import obs
+        from repro.obs.forensics.format import write_jsonl
+
+        recorder = obs.get_recorder()
+        payload = recorder.to_payload()
+        meta.update({
+            "interrupted": interrupted,
+            "policy": recorder.policy,
+            "capacity": recorder.capacity,
+            "recorder": {
+                "seen": payload["seen"],
+                "errors_seen": payload["errors_seen"],
+                "dropped": payload["dropped"],
+            },
+        })
+        return write_jsonl(path, payload["records"], meta=meta)
+    except Exception:  # noqa: BLE001 - teardown must not raise
+        return None
+
+
+def _on_atexit() -> None:
+    _flush(interrupted=True)
+
+
+def _on_sigterm(signum: int, frame: Any) -> None:
+    path = _flush(interrupted=True)
+    if path is not None:
+        try:
+            sys.stderr.write(
+                f"SIGTERM: partial forensics records flushed to {path}\n"
+            )
+        except Exception:  # noqa: BLE001
+            pass
+    prev = _armed.get("prev") if _armed else None
+    if callable(prev):
+        prev(signum, frame)
+        return
+    # Restore the default disposition and re-raise so the process
+    # still dies "killed by SIGTERM" (exit status matters to CI).
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    os.kill(os.getpid(), signal.SIGTERM)
+
+
+def install_crash_flush(
+    path: str, meta: Optional[Dict[str, Any]] = None
+) -> None:
+    """Arm the atexit + SIGTERM flush targeting ``path``.
+
+    Re-installing simply retargets (and re-arms) the existing handler;
+    handlers are never stacked.
+    """
+    global _armed, _fired
+    with _lock:
+        already = _armed is not None
+        prev = _armed["prev"] if already else None
+        _armed = {"path": str(path), "meta": dict(meta or {}), "prev": prev}
+        _fired = False
+    if already:
+        return
+    atexit.register(_on_atexit)
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        # Not the main thread: atexit still covers normal interpreter
+        # shutdown; signals stay with whoever owns them.
+        previous = None
+    else:
+        if previous in (signal.SIG_DFL, signal.SIG_IGN, None):
+            previous = None
+    with _lock:
+        if _armed is not None:
+            _armed["prev"] = previous
+
+
+def disarm() -> None:
+    """Disarm without flushing; restores the prior SIGTERM handler.
+
+    Safe to call when not armed (no-op), so every CLI exit path can
+    call it unconditionally.
+    """
+    global _armed, _fired
+    with _lock:
+        state = _armed
+        _armed = None
+        _fired = False
+    if state is None:
+        return
+    atexit.unregister(_on_atexit)
+    try:
+        current = signal.getsignal(signal.SIGTERM)
+        if current is _on_sigterm:
+            signal.signal(
+                signal.SIGTERM, state.get("prev") or signal.SIG_DFL
+            )
+    except ValueError:
+        pass
+
+
+def armed() -> bool:
+    """True when a crash flush is currently armed (test hook)."""
+    with _lock:
+        return _armed is not None and not _fired
+
+
+def flush_now(interrupted: bool = True) -> Optional[str]:
+    """Trigger the flush explicitly (test hook); returns the path."""
+    return _flush(interrupted=interrupted)

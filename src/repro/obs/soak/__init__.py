@@ -16,6 +16,7 @@ from repro.obs.soak.history import (
     HistoryStore,
     TrendFlag,
     check_store,
+    corrupt_line_counts,
     default_history_dir,
     detect_trends,
     make_record,
@@ -38,6 +39,7 @@ __all__ = [
     "SoakOutcome",
     "TrendFlag",
     "check_store",
+    "corrupt_line_counts",
     "default_history_dir",
     "detect_trends",
     "is_soak_document",

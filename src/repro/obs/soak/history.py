@@ -276,3 +276,23 @@ def check_store(
     for name in names:
         flags.extend(detect_trends(store.load(name)))
     return flags
+
+
+def corrupt_line_counts(
+    store: HistoryStore,
+    scenarios: Optional[Sequence[str]] = None,
+) -> Dict[str, int]:
+    """Per-scenario corrupt JSONL line counts (non-zero entries only).
+
+    A crashed append leaves a torn trailing line; :meth:`HistoryStore
+    .load` silently skips it so trend detection keeps working, but the
+    damage must still be visible — a store quietly losing records is a
+    store whose evidence cannot be trusted.
+    """
+    names = list(scenarios) if scenarios else store.scenarios()
+    counts: Dict[str, int] = {}
+    for name in names:
+        _, bad = store.load_with_errors(name)
+        if bad:
+            counts[name] = bad
+    return counts

@@ -189,6 +189,7 @@ def render_history_text(
     scenario: str,
     records: List[Dict[str, Any]],
     limit: Optional[int] = None,
+    corrupt: int = 0,
 ) -> str:
     """Plain-text view of one scenario's history tail."""
     from repro.analysis.report import format_table
@@ -209,10 +210,16 @@ def render_history_text(
             "pass" if r.get("passed") else "FAIL",
             r.get("dominant_label") or "-",
         ])
-    return format_table(
+    table = format_table(
         ["timestamp", "commit", "host", "scale", "ber", "throughput",
          "latency", "verdict", "root cause"],
         rows,
         title=f"history: {scenario} ({len(records)} record(s); "
               "* = dirty checkout)",
     )
+    if corrupt:
+        table += (
+            f"\n!! {corrupt} corrupt line(s) skipped in "
+            f"{scenario}.jsonl (torn append?)"
+        )
+    return table

@@ -23,6 +23,7 @@ from repro.scenarios.schema import (
     Geometry,
     Mobility,
     Scenario,
+    Serve,
     Traffic,
     TrialConfig,
     scenarios_from_json,
@@ -40,6 +41,7 @@ __all__ = [
     "Scenario",
     "ScenarioRegistry",
     "ScenarioResult",
+    "Serve",
     "Traffic",
     "TrialConfig",
     "builtin_registry",

@@ -26,6 +26,7 @@ from repro.scenarios.schema import (
     Geometry,
     Mobility,
     Scenario,
+    Serve,
     Traffic,
     TrialConfig,
 )
@@ -300,6 +301,61 @@ def builtin_scenarios() -> List[Scenario]:
         "tag brownouts: harvested-energy dropouts mid-frame",
         0.30, ber_max=0.70, tags=("faults",),
         faults="brownout:duty=0.15,burst=0.2", repeats=5, seed=5005,
+    ))
+
+    # -- serving resilience (streaming gateway, repro.serve) -----------------
+    # Physics: 1600 pps helper / 16 pkts-per-bit = 100 bps uplink; a
+    # 16-bit payload then occupies 0.16 s of decode airtime, i.e. a
+    # 6.25 req/s gateway capacity.
+    scenarios.append(Scenario(
+        name="serve_overload_2x",
+        description="gateway at 2x capacity: bounded queue must shed "
+                    "by priority and recover after the burst",
+        tags=("serve", "overload"),
+        geometry=Geometry(tag_to_reader_m=0.3),
+        traffic=Traffic(regime="injected_cbr", rate_pps=1600.0),
+        channel=Channel(mode="csi"),
+        trial=TrialConfig(repeats=1, payload_bits=16, packets_per_bit=16.0),
+        serve=Serve(
+            duration_s=12.0, offered_load_rps=4.0, burst_load_rps=12.5,
+            burst_start_s=2.0, burst_end_s=6.0, deadline_ms=3000.0,
+            queue_capacity=12, batch=4,
+        ),
+        envelope=Envelope(ber_max=0.05, latency_max_s=LATENCY_BOUND_S),
+        seed=7001,
+    ))
+    scenarios.append(Scenario(
+        name="serve_worker_crash",
+        description="steady load with crashing + stalling decode "
+                    "workers: supervision retries, nothing lost",
+        tags=("serve", "faults"),
+        geometry=Geometry(tag_to_reader_m=0.3),
+        traffic=Traffic(regime="injected_cbr", rate_pps=1600.0),
+        channel=Channel(mode="csi"),
+        trial=TrialConfig(repeats=1, payload_bits=16, packets_per_bit=16.0),
+        serve=Serve(
+            duration_s=12.0, offered_load_rps=4.0, deadline_ms=4000.0,
+            queue_capacity=16, batch=4, max_attempts=3,
+        ),
+        faults="worker_crash:prob=0.08;worker_stall:prob=0.05,stall=1.0",
+        envelope=Envelope(ber_max=0.05, latency_max_s=LATENCY_BOUND_S),
+        seed=7002,
+    ))
+    scenarios.append(Scenario(
+        name="serve_office_diurnal",
+        description="gateway riding the Fig 15 office diurnal arrival "
+                    "shape at the afternoon peak",
+        tags=("serve", "ambient"),
+        geometry=Geometry(tag_to_reader_m=0.3),
+        traffic=Traffic(regime="ambient", start_hour=14.5),
+        channel=Channel(mode="csi"),
+        trial=TrialConfig(repeats=1, payload_bits=16, packets_per_bit=11.0),
+        serve=Serve(
+            duration_s=10.0, offered_load_rps=3.0, deadline_ms=4000.0,
+            queue_capacity=16, batch=4, arrival_profile="office",
+        ),
+        envelope=Envelope(ber_max=0.05, latency_max_s=LATENCY_BOUND_S),
+        seed=7003,
     ))
 
     return scenarios

@@ -109,6 +109,12 @@ def _execute(
     arrival = scenario.traffic.arrival_kind()
     mode = scenario.channel.mode
 
+    if scenario.serve is not None:
+        return _execute_serve(
+            scenario, seed, workers, scale, faults, rate_pps,
+            payload_bits,
+        )
+
     t0 = time.perf_counter()
     if mode in ("csi", "rssi"):
         from repro.sim.link import run_mobility_uplink_ber, run_uplink_ber
@@ -203,6 +209,77 @@ def _execute(
         "rate_pps": float(rate_pps),
         "repeats": float(repeats),
     }
+
+
+def _execute_serve(
+    scenario: Scenario,
+    seed: int,
+    workers: int,
+    scale: float,
+    faults,
+    rate_pps: float,
+    payload_bits: int,
+) -> Dict[str, float]:
+    """Drive the scenario through the streaming decode gateway.
+
+    ``trial_scale`` shrinks the serving spell (duration and burst
+    window together) rather than the per-request decode, so a quick
+    soak still exercises admission, shedding, and recovery.
+    """
+    from repro.serve import ServeConfig, run_serve
+
+    serve = scenario.serve
+    bit_rate = rate_pps / scenario.trial.packets_per_bit
+    duration = max(2.0, serve.duration_s * scale)
+    time_scale = duration / serve.duration_s
+    effective_workers = serve.workers or (workers if workers > 1 else 0)
+    config = ServeConfig(
+        duration_s=duration,
+        offered_load_rps=serve.offered_load_rps,
+        burst_load_rps=serve.burst_load_rps,
+        burst_start_s=serve.burst_start_s * time_scale,
+        burst_end_s=serve.burst_end_s * time_scale,
+        deadline_ms=serve.deadline_ms,
+        queue_capacity=serve.queue_capacity,
+        batch=serve.batch,
+        workers=effective_workers,
+        max_attempts=serve.max_attempts,
+        arrival_profile=serve.arrival_profile,
+        payload_bits=payload_bits,
+        packets_per_bit=scenario.trial.packets_per_bit,
+        mode=scenario.channel.mode,
+        bit_rate_bps=bit_rate,
+        tag_to_reader_m=scenario.geometry.tag_to_reader_m,
+        helper_to_tag_m=scenario.geometry.helper_to_tag_m,
+        office_hour=scenario.traffic.start_hour,
+    )
+    t0 = time.perf_counter()
+    report = run_serve(config, faults=faults, seed=seed).report
+    wall_s = time.perf_counter() - t0
+    span = max(report.duration_virtual_s, 1e-9)
+    goodput = report.delivered_bits * (1.0 - report.ber) / span
+    metrics = {
+        "ber": float(report.ber),
+        "throughput_bps": float(goodput),
+        "latency_s": float(report.latency_mean_s),
+        "wall_s": float(wall_s),
+        "errors": float(report.error_bits),
+        "total_bits": float(report.delivered_bits),
+        "bit_rate_bps": float(bit_rate),
+        "rate_pps": float(rate_pps),
+        "repeats": float(report.arrivals),
+        "arrivals": float(report.arrivals),
+        "delivered": float(report.delivered),
+        "shed_fraction": float(report.shed_fraction),
+        "deadline_abandoned": float(report.deadline_abandoned),
+        "worker_lost": float(report.worker_lost),
+        "queue_depth_max": float(report.queue_depth_max),
+        "latency_p99_s": float(report.latency_p99_s),
+        "recovered": 1.0 if report.recovered else 0.0,
+    }
+    if report.recovery_s is not None:
+        metrics["recovery_s"] = float(report.recovery_s)
+    return metrics
 
 
 def run_scenario(

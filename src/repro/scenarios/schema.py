@@ -283,6 +283,67 @@ class TrialConfig:
 
 
 @dataclass(frozen=True)
+class Serve:
+    """Streaming-gateway spell: run the scenario through the resilient
+    serve loop (:mod:`repro.serve`) instead of a batch BER sweep.
+
+    The scenario's geometry/traffic/trial sections still define the
+    per-request decode physics; this section adds the serving shape —
+    offered load, an optional overload burst, the latency budget, and
+    the bounded-queue/supervision knobs the chaos suite exercises.
+
+    Attributes:
+        duration_s: virtual serving spell length.
+        offered_load_rps: steady request arrival rate.
+        burst_load_rps: overload burst rate (None = no burst).
+        burst_start_s / burst_end_s: burst window within the spell.
+        deadline_ms: per-request latency budget.
+        queue_capacity: bounded ingress depth (overflow sheds).
+        batch: requests dispatched per decode round.
+        arrival_profile: "cbr" | "poisson" | "bursty" | "office".
+        workers: decode worker processes (0 = inline).
+        max_attempts: supervised retries before dead-lettering.
+    """
+
+    duration_s: float = 12.0
+    offered_load_rps: float = 4.0
+    burst_load_rps: Optional[float] = None
+    burst_start_s: float = 0.0
+    burst_end_s: float = 0.0
+    deadline_ms: float = 4000.0
+    queue_capacity: int = 16
+    batch: int = 4
+    arrival_profile: str = "poisson"
+    workers: int = 0
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        _require(float(self.duration_s) > 0, "must be positive",
+                 "duration_s")
+        _require(float(self.offered_load_rps) > 0, "must be positive",
+                 "offered_load_rps")
+        if self.burst_load_rps is not None:
+            _require(float(self.burst_load_rps) > 0, "must be positive",
+                     "burst_load_rps")
+            _require(float(self.burst_end_s) > float(self.burst_start_s),
+                     "burst window must be non-empty", "burst_end_s")
+        _require(float(self.deadline_ms) > 0, "must be positive",
+                 "deadline_ms")
+        _require(int(self.queue_capacity) >= 1, "must be >= 1",
+                 "queue_capacity")
+        _require(int(self.batch) >= 1, "must be >= 1", "batch")
+        from repro.serve.arrivals import ARRIVAL_PROFILES
+
+        _require(self.arrival_profile in ARRIVAL_PROFILES,
+                 f"must be one of {ARRIVAL_PROFILES}, "
+                 f"got {self.arrival_profile!r}",
+                 "arrival_profile")
+        _require(int(self.workers) >= 0, "must be >= 0", "workers")
+        _require(int(self.max_attempts) >= 1, "must be >= 1",
+                 "max_attempts")
+
+
+@dataclass(frozen=True)
 class Envelope:
     """Expected operating envelope, from the paper's figures.
 
@@ -330,6 +391,9 @@ class Scenario:
             "faults", "mobility", ...).
         geometry / traffic / channel / trial / envelope: see the
             component dataclasses.
+        serve: optional streaming-gateway section; when present the
+            runner drives the scenario through :mod:`repro.serve`
+            (csi/rssi modes only).
         faults: optional fault-plan string in the
             :mod:`repro.faults.spec` mini-language.
         slo: optional SLO rule spec (see :mod:`repro.obs.perf.slo`)
@@ -346,6 +410,7 @@ class Scenario:
     channel: Channel = field(default_factory=Channel)
     trial: TrialConfig = field(default_factory=TrialConfig)
     envelope: Envelope = field(default_factory=Envelope)
+    serve: Optional[Serve] = None
     faults: Optional[str] = None
     slo: Optional[str] = None
     seed: int = 0
@@ -369,6 +434,21 @@ class Scenario:
                     f"got {type(value).__name__}",
                     field=attr,
                 )
+        if self.serve is not None:
+            if isinstance(self.serve, dict):
+                object.__setattr__(
+                    self, "serve", _build(Serve, self.serve, "serve.")
+                )
+            elif not isinstance(self.serve, Serve):
+                raise ScenarioError(
+                    f"expected Serve or mapping, "
+                    f"got {type(self.serve).__name__}",
+                    field="serve",
+                )
+            _require(self.channel.mode in ("csi", "rssi"),
+                     "serve scenarios need an uplink channel mode "
+                     "(csi or rssi)",
+                     "serve")
         if isinstance(self.tags, list):
             object.__setattr__(self, "tags", tuple(self.tags))
         _require(all(isinstance(t, str) for t in self.tags),
@@ -397,6 +477,8 @@ class Scenario:
         data["schema_version"] = SCHEMA_VERSION
         if self.geometry.mobility is None:
             data["geometry"].pop("mobility")
+        if self.serve is None:
+            data.pop("serve")
         return data
 
     @classmethod

@@ -1,0 +1,109 @@
+"""Deterministic request arrivals from the repo's traffic models.
+
+The serve loop is driven by the same generators the MAC and trace
+layers use: ``cbr``/``poisson``/``bursty`` arrivals come from
+:func:`repro.sim.link.helper_packet_times`, and the ``office`` profile
+from :func:`repro.traces.synthetic.office_traffic_sample` (the paper's
+Fig-15 diurnal shape).  An optional overload burst superimposes extra
+Poisson arrivals over ``[burst_start_s, burst_end_s)`` so chaos
+scenarios can drive the gateway past capacity and then let it recover.
+
+Everything — times, tag addresses, priorities, per-request entropy —
+is a pure function of the config and seed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serve.request import PRIORITIES, DecodeRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.gateway import ServeConfig
+
+ARRIVAL_PROFILES = ("cbr", "poisson", "bursty", "office")
+
+#: Sub-stream discriminators under the run seed.
+_ARRIVALS_STREAM = 0x5EAF
+
+
+def _base_times(
+    config: "ServeConfig", rng: np.random.Generator
+) -> np.ndarray:
+    from repro.sim.link import helper_packet_times
+    from repro.traces.synthetic import office_traffic_sample
+
+    if config.arrival_profile == "office":
+        sample = office_traffic_sample(
+            hour_of_day=config.office_hour,
+            duration_s=config.duration_s,
+            peak_pps=config.offered_load_rps,
+            base_pps=max(0.1 * config.offered_load_rps, 0.01),
+            rng=rng,
+        )
+        return np.asarray(sample.packet_times_s, dtype=float)
+    return helper_packet_times(
+        config.offered_load_rps,
+        config.duration_s,
+        traffic=config.arrival_profile,
+        rng=rng,
+    )
+
+
+def _burst_times(
+    config: "ServeConfig", rng: np.random.Generator
+) -> np.ndarray:
+    """Extra Poisson arrivals lifting the rate to ``burst_load_rps``."""
+    if config.burst_load_rps is None:
+        return np.empty(0)
+    span = config.burst_end_s - config.burst_start_s
+    extra_rate = config.burst_load_rps - config.offered_load_rps
+    if span <= 0 or extra_rate <= 0:
+        return np.empty(0)
+    n_expected = int(extra_rate * span * 1.5) + 10
+    gaps = rng.exponential(1.0 / extra_rate, size=n_expected)
+    times = config.burst_start_s + np.cumsum(gaps)
+    return times[times < min(config.burst_end_s, config.duration_s)]
+
+
+def generate_arrivals(config: "ServeConfig", seed: int) -> List[DecodeRequest]:
+    """The run's full arrival schedule, sorted by time.
+
+    ``seq`` numbers follow arrival order; each request's decode stream
+    is keyed by ``(seed, seq)``, so the schedule — and every downstream
+    decode — replays exactly from the one run seed.
+    """
+    if config.arrival_profile not in ARRIVAL_PROFILES:
+        raise ConfigurationError(
+            f"arrival_profile must be one of {ARRIVAL_PROFILES}, "
+            f"got {config.arrival_profile!r}"
+        )
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=(int(seed), _ARRIVALS_STREAM))
+    )
+    times = np.sort(np.concatenate([
+        _base_times(config, rng), _burst_times(config, rng)
+    ]))
+    times = times[(times >= 0) & (times < config.duration_s)]
+    mix = np.asarray(config.priority_mix, dtype=float)
+    mix = mix / mix.sum()
+    priorities = rng.choice(len(PRIORITIES), size=len(times), p=mix)
+    tags = rng.integers(0, config.n_tags, size=len(times))
+    budget_s = config.deadline_ms / 1000.0
+    requests = [
+        DecodeRequest(
+            seq=i,
+            corr_id=f"serve-{seed}/{i}",
+            tag_address=int(tags[i]),
+            priority=int(priorities[i]),
+            arrival_s=float(times[i]),
+            deadline_s=float(times[i]) + budget_s,
+            root_seed=int(seed),
+            payload_bits=config.payload_bits,
+        )
+        for i in range(len(times))
+    ]
+    return requests

@@ -1,0 +1,46 @@
+"""Per-request deadline budgets propagated through decode stages.
+
+A request that cannot meet its latency SLO should die *early* — at
+admission or dispatch, before it occupies a decode slot — rather than
+clog the pipeline and make every request behind it late too.  The
+budget is pure virtual-time arithmetic (no wall clock), so deadline
+decisions are deterministic and replayable like everything else in the
+serve loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DeadlineBudget:
+    """Absolute deadline for one request, checked per stage.
+
+    ``arrival_s`` anchors the budget; the deadline never moves as the
+    request progresses — stages only consume slack.
+    """
+
+    arrival_s: float
+    budget_s: float
+
+    def __post_init__(self) -> None:
+        if self.budget_s <= 0:
+            raise ConfigurationError("deadline budget_s must be positive")
+
+    @property
+    def deadline_s(self) -> float:
+        return self.arrival_s + self.budget_s
+
+    def remaining(self, now_s: float) -> float:
+        """Slack left at ``now_s`` (negative once expired)."""
+        return self.deadline_s - now_s
+
+    def expired(self, now_s: float) -> bool:
+        return now_s >= self.deadline_s
+
+    def can_meet(self, now_s: float, service_s: float) -> bool:
+        """Whether starting a ``service_s``-long stage now still makes it."""
+        return now_s + service_s <= self.deadline_s

@@ -1,0 +1,116 @@
+"""The picklable decode task the gateway fans out to workers.
+
+One task = one queued request through the full uplink pipeline
+(:func:`repro.sim.link.run_uplink_trial`).  The task is plain data and
+its random stream derives purely from ``(root_seed, seq)``, so any
+worker — or a supervised retry after a crash — decodes the identical
+payload.  Fault plans are rewound before use so an inline (workers=0)
+run sees the same injector state a freshly unpickled pool copy would.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ReproError
+from repro.faults.base import FaultPlan
+from repro.obs import forensics
+
+
+@dataclass(frozen=True)
+class ServeDecodeTask:
+    """Everything a worker needs to decode one request."""
+
+    seq: int
+    corr_id: str
+    run_id: str
+    root_seed: int
+    payload_bits: int
+    tag_to_reader_m: float
+    packets_per_bit: float
+    mode: str
+    bit_rate_bps: float
+    start_s: float
+    faults: Optional[FaultPlan]
+    helper_to_tag_m: float = 3.0
+
+    @property
+    def trial(self) -> int:
+        # Dead-letter correlation: the request seq doubles as the
+        # forensics trial index.
+        return self.seq
+
+
+def decode_request_task(task: ServeDecodeTask) -> Dict[str, Any]:
+    """Engine task: decode one request -> plain result dict.
+
+    Decode failures under an active fault plan are *data* (the request
+    failed, the gateway accounts for it), not exceptions — matching the
+    batch drivers' convention.  Without faults an error propagates.
+    """
+    t0 = time.perf_counter()
+    active = task.faults is not None and not task.faults.empty
+    if active:
+        # Inline runs reuse one plan object across requests; rewinding
+        # makes its state identical to the pristine copy each pool
+        # worker unpickles, keeping workers=0 == workers=N.
+        task.faults.reset()
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=(task.root_seed, 1, task.seq))
+    )
+    recording = obs.recording_enabled()
+    if recording:
+        forensics.begin(
+            "serve", run_id=task.run_id, trial=task.seq, packet=0
+        )
+    # Local import: repro.sim.link imports the whole decode stack.
+    from repro.sim.link import run_uplink_trial
+
+    try:
+        trial = run_uplink_trial(
+            task.tag_to_reader_m,
+            task.packets_per_bit,
+            mode=task.mode,
+            num_payload_bits=task.payload_bits,
+            bit_rate_bps=task.bit_rate_bps,
+            traffic="cbr",
+            rng=rng,
+            faults=task.faults,
+            start_s=task.start_s,
+            helper_to_tag_m=task.helper_to_tag_m,
+        )
+        if recording:
+            forensics.commit(
+                errors=trial.errors,
+                error_bits=np.flatnonzero(
+                    trial.sent_bits != trial.decoded_bits
+                ),
+            )
+        return {
+            "seq": task.seq,
+            "ok": True,
+            "errors": int(trial.errors),
+            "payload": tuple(int(b) for b in trial.decoded_bits),
+            "failure": "",
+            "wall_s": time.perf_counter() - t0,
+        }
+    except ReproError as exc:
+        if recording:
+            forensics.commit(
+                errors=task.payload_bits, failure=type(exc).__name__
+            )
+        if not active:
+            raise
+        return {
+            "seq": task.seq,
+            "ok": False,
+            "errors": int(task.payload_bits),
+            "payload": (),
+            "failure": type(exc).__name__,
+            "wall_s": time.perf_counter() - t0,
+        }

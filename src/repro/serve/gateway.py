@@ -1,0 +1,609 @@
+"""The streaming decode gateway: virtual-time serve loop.
+
+:class:`StreamingDecodeGateway` runs a batched single-server queueing
+loop over a deterministic arrival schedule.  Decode *capacity* is
+modeled in virtual time (one request occupies the server for the
+payload's airtime, ``payload_bits / bit_rate_bps``, unless configured
+otherwise), while the decode *computation* is real — every admitted
+request runs the full uplink pipeline under
+:func:`repro.sim.engine.run_trials_supervised`, so worker crashes and
+stalls are genuine process deaths and hangs, not simulations.
+
+Because all control decisions (admission, shedding, deadlines, breaker
+state, service completions) use only virtual time and seeded draws,
+the entire run — including which requests are shed and what payloads
+are delivered — is a pure function of ``(config, seed)``.  Wall-clock
+time appears solely as measurement (latency metrics in the report).
+
+Every request ends in exactly one :class:`ServeOutcome`; the loop
+maintains ``arrivals == delivered + decode_failed + shed +
+deadline_abandoned + worker_lost`` as an internal invariant.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.faults.base import FaultPlan
+from repro.obs import forensics
+from repro.obs.perf.slo import SloEngine
+from repro.serve.arrivals import ARRIVAL_PROFILES, generate_arrivals
+from repro.serve.breaker import TagBreaker
+from repro.serve.deadline import DeadlineBudget
+from repro.serve.decode import ServeDecodeTask, decode_request_task
+from repro.serve.queues import BoundedPriorityQueue, ShedEvent, count_shed
+from repro.serve.report import ServeReport
+from repro.serve.request import (
+    SHED_DRAIN,
+    SHED_EGRESS_FULL,
+    SHED_QUARANTINED,
+    STATUS_DEADLINE,
+    STATUS_DECODE_FAILED,
+    STATUS_DELIVERED,
+    STATUS_SHED,
+    STATUS_WORKER_LOST,
+    DecodeRequest,
+    ServeOutcome,
+)
+
+#: Forensics failure names for serve-level dispositions (mapped to
+#: attribution labels by :mod:`repro.obs.forensics.attribution`).
+FAILURE_SHED = "Shed"
+FAILURE_DEADLINE = "DeadlineAbandoned"
+FAILURE_WORKER_LOST = "WorkerLost"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Declarative configuration for one serve run."""
+
+    duration_s: float = 30.0
+    offered_load_rps: float = 4.0
+    burst_load_rps: Optional[float] = None
+    burst_start_s: float = 0.0
+    burst_end_s: float = 0.0
+    deadline_ms: float = 4000.0
+    queue_capacity: int = 32
+    egress_capacity: int = 256
+    batch: int = 4
+    workers: int = 0
+    service_time_s: Optional[float] = None
+    n_tags: int = 8
+    priority_mix: Tuple[float, ...] = (0.2, 0.6, 0.2)
+    payload_bits: int = 16
+    tag_to_reader_m: float = 0.3
+    packets_per_bit: float = 8.0
+    mode: str = "csi"
+    bit_rate_bps: float = 100.0
+    arrival_profile: str = "poisson"
+    office_hour: float = 14.5
+    helper_to_tag_m: float = 3.0
+    drain_budget_s: float = 60.0
+    publish_rate_rps: Optional[float] = None
+    stall_timeout_s: float = 0.35
+    max_attempts: int = 3
+    breaker_threshold: int = 3
+    breaker_quarantine_s: float = 5.0
+    recovery_window_s: float = 5.0
+    recovery_delivery_ratio: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if self.offered_load_rps <= 0:
+            raise ConfigurationError("offered_load_rps must be positive")
+        if self.deadline_ms <= 0:
+            raise ConfigurationError("deadline_ms must be positive")
+        if self.queue_capacity < 1:
+            raise ConfigurationError("queue_capacity must be >= 1")
+        if self.batch < 1:
+            raise ConfigurationError("batch must be >= 1")
+        if self.payload_bits < 1:
+            raise ConfigurationError("payload_bits must be >= 1")
+        if self.arrival_profile not in ARRIVAL_PROFILES:
+            raise ConfigurationError(
+                f"arrival_profile must be one of {ARRIVAL_PROFILES}"
+            )
+        if len(self.priority_mix) != 3 or any(
+            p < 0 for p in self.priority_mix
+        ) or sum(self.priority_mix) <= 0:
+            raise ConfigurationError(
+                "priority_mix must be 3 non-negative weights"
+            )
+        if self.burst_load_rps is not None and \
+                self.burst_load_rps < self.offered_load_rps:
+            raise ConfigurationError(
+                "burst_load_rps must be >= offered_load_rps"
+            )
+
+    @property
+    def effective_service_s(self) -> float:
+        """Virtual decode-slot occupancy per request (payload airtime)."""
+        if self.service_time_s is not None:
+            return float(self.service_time_s)
+        return self.payload_bits / self.bit_rate_bps
+
+    @property
+    def capacity_rps(self) -> float:
+        return 1.0 / self.effective_service_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = {
+            k: getattr(self, k)
+            for k in self.__dataclass_fields__  # type: ignore[attr-defined]
+        }
+        d["priority_mix"] = list(self.priority_mix)
+        d["capacity_rps"] = self.capacity_rps
+        return d
+
+
+@dataclass
+class ServeResult:
+    """Full output of one serve run."""
+
+    report: ServeReport
+    outcomes: List[ServeOutcome]
+    shed_events: List[ShedEvent]
+
+    @property
+    def delivered(self) -> List[ServeOutcome]:
+        return [o for o in self.outcomes if o.delivered]
+
+    def delivered_payloads(self) -> Dict[str, Tuple[int, ...]]:
+        """corr_id -> decoded payload, for determinism comparisons."""
+        return {o.corr_id: o.payload for o in self.outcomes if o.delivered}
+
+
+class StreamingDecodeGateway:
+    """Always-on decode service over a bounded ingress queue."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        faults: Optional[FaultPlan] = None,
+        slo: Optional[SloEngine] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        from repro.sim.seeding import resolve_rng
+
+        _, effective = resolve_rng(None, seed)
+        self.config = config
+        self.faults = faults
+        self.slo = slo
+        self.seed = int(effective if effective is not None else 0)
+        self.run_id = f"serve-{self.seed}"
+        self.breaker = TagBreaker(
+            failure_threshold=config.breaker_threshold,
+            quarantine_s=config.breaker_quarantine_s,
+        )
+
+    # -- forensics ----------------------------------------------------------
+
+    def _record_disposition(
+        self, req: DecodeRequest, failure: str, reason: str, now_s: float
+    ) -> None:
+        if not obs.recording_enabled():
+            return
+        forensics.begin(
+            "serve", run_id=self.run_id, trial=req.seq, packet=0
+        )
+        forensics.stage(
+            "serve",
+            disposition=failure,
+            reason=reason,
+            priority=req.priority_name,
+            arrival_s=req.arrival_s,
+            deadline_s=req.deadline_s,
+            time_s=now_s,
+        )
+        forensics.commit(errors=req.payload_bits, failure=failure)
+
+    # -- terminal dispositions ---------------------------------------------
+
+    def _shed_outcome(
+        self, req: DecodeRequest, reason: str, now_s: float
+    ) -> ServeOutcome:
+        self._record_disposition(req, FAILURE_SHED, reason, now_s)
+        return ServeOutcome(
+            seq=req.seq,
+            corr_id=req.corr_id,
+            tag_address=req.tag_address,
+            priority=req.priority,
+            status=STATUS_SHED,
+            reason=reason,
+            errors=req.payload_bits,
+            completed_s=now_s,
+        )
+
+    def _shed_event(
+        self, req: DecodeRequest, reason: str, now_s: float
+    ) -> ShedEvent:
+        event = ShedEvent(
+            seq=req.seq,
+            corr_id=req.corr_id,
+            priority=req.priority,
+            reason=reason,
+            time_s=now_s,
+            worst_present=-1,
+        )
+        count_shed(event)
+        return event
+
+    # -- the loop -----------------------------------------------------------
+
+    def run(
+        self, should_stop: Optional[Callable[[], bool]] = None
+    ) -> ServeResult:
+        cfg = self.config
+        wall_start = time.perf_counter()
+        arrivals = generate_arrivals(cfg, self.seed)
+        service = cfg.effective_service_s
+        ingress = BoundedPriorityQueue(cfg.queue_capacity)
+        egress: List[ServeOutcome] = []
+        egress_depth_max = 0
+        published = 0
+        outcomes: List[ServeOutcome] = []
+        shed_events: List[ShedEvent] = []
+        windows: Dict[int, Dict[str, int]] = {}
+        sup_totals = {"crashes": 0, "stalls": 0, "restarts": 0,
+                      "retries": 0, "dead_letters": 0}
+        wall_latencies: List[float] = []
+        by_seq = {r.seq: r for r in arrivals}
+        plan = self.faults if (
+            self.faults is not None and self.faults.has_worker_faults
+        ) else None
+        drain_deadline = cfg.duration_s + cfg.drain_budget_s
+        now = 0.0
+        i = 0
+        stopped = False
+
+        def bump(t: float, key: str, n: int = 1) -> None:
+            w = windows.setdefault(
+                int(t // cfg.recovery_window_s),
+                {"arrived": 0, "delivered": 0, "queue_full": 0,
+                 "deadline": 0},
+            )
+            w[key] = w.get(key, 0) + n
+
+        def admit(req: DecodeRequest) -> None:
+            obs.counter("serve.arrivals").inc()
+            bump(req.arrival_s, "arrived")
+            if not self.breaker.admit(req.tag_address, now):
+                shed_events.append(
+                    self._shed_event(req, SHED_QUARANTINED, now)
+                )
+                outcomes.append(
+                    self._shed_outcome(req, SHED_QUARANTINED, now)
+                )
+                return
+            admitted, event = ingress.offer(req, now)
+            if event is not None:
+                shed_events.append(event)
+                bump(event.time_s, "queue_full")
+                victim = req if not admitted else by_seq[event.seq]
+                outcomes.append(
+                    self._shed_outcome(victim, event.reason, now)
+                )
+            if admitted:
+                obs.counter("serve.admitted").inc()
+
+        def publish(outcome: ServeOutcome) -> None:
+            nonlocal egress_depth_max
+            if len(egress) >= cfg.egress_capacity:
+                # The decode happened but nothing upstream will see it;
+                # that is a shed, and it is counted like every other.
+                req = by_seq[outcome.seq]
+                shed_events.append(
+                    self._shed_event(req, SHED_EGRESS_FULL, now)
+                )
+                outcomes.append(
+                    self._shed_outcome(req, SHED_EGRESS_FULL, now)
+                )
+                return
+            egress.append(outcome)
+            egress_depth_max = max(egress_depth_max, len(egress))
+            outcomes.append(outcome)
+            obs.counter("serve.delivered").inc()
+            obs.timeseries("serve.latency_s").sample(outcome.latency_s)
+            bump(outcome.completed_s, "delivered")
+
+        def drain_egress(t: float) -> None:
+            nonlocal published
+            if cfg.publish_rate_rps is None:
+                published += len(egress)
+                egress.clear()
+                return
+            allowance = int(t * cfg.publish_rate_rps) - published
+            while egress and allowance > 0:
+                egress.pop(0)
+                published += 1
+                allowance -= 1
+
+        while i < len(arrivals) or len(ingress):
+            if should_stop is not None and should_stop():
+                stopped = True
+                break
+            if now > drain_deadline:
+                break
+            if not len(ingress):
+                if i >= len(arrivals):
+                    break
+                now = max(now, arrivals[i].arrival_s)
+            while i < len(arrivals) and arrivals[i].arrival_s <= now:
+                admit(arrivals[i])
+                i += 1
+            obs.timeseries("serve.queue_depth").sample(float(len(ingress)))
+            if not len(ingress):
+                continue
+            batch = ingress.pop_batch(cfg.batch)
+            ready: List[DecodeRequest] = []
+            for req in batch:
+                budget = DeadlineBudget(
+                    arrival_s=req.arrival_s,
+                    budget_s=cfg.deadline_ms / 1000.0,
+                )
+                if not budget.can_meet(now, service):
+                    obs.counter("serve.deadline_miss").inc()
+                    bump(now, "deadline")
+                    self._record_disposition(
+                        req, FAILURE_DEADLINE, "unmeetable_slo", now
+                    )
+                    outcomes.append(ServeOutcome(
+                        seq=req.seq,
+                        corr_id=req.corr_id,
+                        tag_address=req.tag_address,
+                        priority=req.priority,
+                        status=STATUS_DEADLINE,
+                        reason="unmeetable_slo",
+                        errors=req.payload_bits,
+                        completed_s=now,
+                        latency_s=now - req.arrival_s,
+                    ))
+                else:
+                    ready.append(req)
+            if not ready:
+                continue
+            tasks = [
+                ServeDecodeTask(
+                    seq=req.seq,
+                    corr_id=req.corr_id,
+                    run_id=self.run_id,
+                    root_seed=self.seed,
+                    payload_bits=req.payload_bits,
+                    tag_to_reader_m=cfg.tag_to_reader_m,
+                    packets_per_bit=cfg.packets_per_bit,
+                    mode=cfg.mode,
+                    bit_rate_bps=cfg.bit_rate_bps,
+                    start_s=req.arrival_s,
+                    faults=self.faults,
+                    helper_to_tag_m=cfg.helper_to_tag_m,
+                )
+                for req in ready
+            ]
+            from repro.sim import engine
+
+            sup = engine.run_trials_supervised(
+                decode_request_task,
+                tasks,
+                workers=cfg.workers,
+                sabotage=plan,
+                keys=[req.seq for req in ready],
+                stall_timeout_s=cfg.stall_timeout_s,
+                max_attempts=cfg.max_attempts,
+            )
+            sup_totals["crashes"] += sup.crashes
+            sup_totals["stalls"] += sup.stalls
+            sup_totals["restarts"] += sup.restarts
+            sup_totals["retries"] += sup.retries
+            sup_totals["dead_letters"] += len(sup.dead_letters)
+            dead = {d.index: d for d in sup.dead_letters}
+            for j, req in enumerate(ready):
+                completed = now + (j + 1) * service
+                if j in dead:
+                    letter = dead[j]
+                    obs.counter("serve.worker_lost").inc()
+                    self._record_disposition(
+                        req, FAILURE_WORKER_LOST, letter.reason, completed
+                    )
+                    outcomes.append(ServeOutcome(
+                        seq=req.seq,
+                        corr_id=req.corr_id,
+                        tag_address=req.tag_address,
+                        priority=req.priority,
+                        status=STATUS_WORKER_LOST,
+                        reason=letter.reason,
+                        errors=req.payload_bits,
+                        completed_s=completed,
+                        latency_s=completed - req.arrival_s,
+                        attempts=letter.attempts,
+                    ))
+                    continue
+                result = sup.results[j]
+                wall_latencies.append(float(result["wall_s"]))
+                if result["ok"]:
+                    self.breaker.record_success(req.tag_address)
+                    publish(ServeOutcome(
+                        seq=req.seq,
+                        corr_id=req.corr_id,
+                        tag_address=req.tag_address,
+                        priority=req.priority,
+                        status=STATUS_DELIVERED,
+                        errors=result["errors"],
+                        payload=tuple(result["payload"]),
+                        completed_s=completed,
+                        latency_s=completed - req.arrival_s,
+                        wall_s=float(result["wall_s"]),
+                    ))
+                else:
+                    self.breaker.record_failure(req.tag_address, completed)
+                    obs.counter("serve.decode_failed").inc()
+                    outcomes.append(ServeOutcome(
+                        seq=req.seq,
+                        corr_id=req.corr_id,
+                        tag_address=req.tag_address,
+                        priority=req.priority,
+                        status=STATUS_DECODE_FAILED,
+                        reason=result["failure"],
+                        errors=result["errors"],
+                        completed_s=completed,
+                        latency_s=completed - req.arrival_s,
+                        wall_s=float(result["wall_s"]),
+                    ))
+            now += len(ready) * service
+            drain_egress(now)
+            obs.timeseries("serve.queue_depth").sample(float(len(ingress)))
+
+        # Anything still queued (or never admitted after an early stop)
+        # is shed with the drain reason — accounted, never silent.
+        for req in ingress.drain():
+            shed_events.append(self._shed_event(req, SHED_DRAIN, now))
+            outcomes.append(self._shed_outcome(req, SHED_DRAIN, now))
+        while i < len(arrivals):
+            req = arrivals[i]
+            i += 1
+            obs.counter("serve.arrivals").inc()
+            bump(req.arrival_s, "arrived")
+            shed_events.append(self._shed_event(req, SHED_DRAIN, now))
+            outcomes.append(self._shed_outcome(req, SHED_DRAIN, now))
+        drain_egress(max(now, cfg.duration_s) + cfg.drain_budget_s)
+
+        alerts = []
+        if self.slo is not None:
+            alerts = [
+                a.to_dict() if hasattr(a, "to_dict") else dict(a)
+                for a in self.slo.evaluate(
+                    context={"run_id": self.run_id, "phase": "serve"}
+                )
+            ]
+        report = self._build_report(
+            arrivals=arrivals,
+            outcomes=outcomes,
+            shed_events=shed_events,
+            windows=windows,
+            sup_totals=sup_totals,
+            wall_latencies=wall_latencies,
+            queue_depth_max=ingress.depth_max,
+            egress_depth_max=egress_depth_max,
+            duration_virtual_s=now,
+            wall_s=time.perf_counter() - wall_start,
+            alerts=alerts,
+            stopped=stopped,
+        )
+        return ServeResult(
+            report=report, outcomes=outcomes, shed_events=shed_events
+        )
+
+    # -- report -------------------------------------------------------------
+
+    def _recovery(
+        self, windows: Dict[int, Dict[str, int]], last_window: int
+    ) -> Tuple[Optional[float], bool]:
+        """(recovery_s, recovered) after the overload burst clears."""
+        cfg = self.config
+        if cfg.burst_load_rps is None or cfg.burst_end_s <= 0:
+            return None, True
+        first = int(cfg.burst_end_s // cfg.recovery_window_s) + 1
+        for w in range(first, last_window + 1):
+            stats = windows.get(w)
+            if not stats or stats["arrived"] == 0:
+                continue
+            ratio = stats["delivered"] / stats["arrived"]
+            if ratio >= cfg.recovery_delivery_ratio and \
+                    stats["queue_full"] == 0:
+                end = (w + 1) * cfg.recovery_window_s
+                return end - cfg.burst_end_s, True
+        return None, False
+
+    def _build_report(self, **kw: Any) -> ServeReport:
+        cfg = self.config
+        outcomes: List[ServeOutcome] = kw["outcomes"]
+        by_status: Dict[str, int] = {}
+        shed_by_reason: Dict[str, int] = {}
+        shed_by_priority: Dict[str, int] = {}
+        delivered_bits = 0
+        error_bits = 0
+        latencies = []
+        for o in outcomes:
+            by_status[o.status] = by_status.get(o.status, 0) + 1
+            if o.status == STATUS_SHED:
+                shed_by_reason[o.reason] = \
+                    shed_by_reason.get(o.reason, 0) + 1
+                name = o.to_dict()["priority"]
+                shed_by_priority[name] = shed_by_priority.get(name, 0) + 1
+            if o.delivered:
+                delivered_bits += len(o.payload)
+                error_bits += o.errors
+                latencies.append(o.latency_s)
+        windows = kw["windows"]
+        last_window = max(windows) if windows else 0
+        recovery_s, recovered = self._recovery(windows, last_window)
+        wall = sorted(kw["wall_latencies"])
+        virt = sorted(latencies)
+
+        def pct(values: List[float], q: float) -> float:
+            if not values:
+                return 0.0
+            return float(np.quantile(np.asarray(values), q))
+
+        duration = max(kw["duration_virtual_s"], 1e-9)
+        return ServeReport(
+            run_id=self.run_id,
+            seed=self.seed,
+            config=cfg.to_dict(),
+            arrivals=len(kw["arrivals"]),
+            delivered=by_status.get(STATUS_DELIVERED, 0),
+            decode_failed=by_status.get(STATUS_DECODE_FAILED, 0),
+            shed=by_status.get(STATUS_SHED, 0),
+            deadline_abandoned=by_status.get(STATUS_DEADLINE, 0),
+            worker_lost=by_status.get(STATUS_WORKER_LOST, 0),
+            shed_by_reason=shed_by_reason,
+            shed_by_priority=shed_by_priority,
+            worker_crashes=kw["sup_totals"]["crashes"],
+            worker_stalls=kw["sup_totals"]["stalls"],
+            worker_restarts=kw["sup_totals"]["restarts"],
+            worker_retries=kw["sup_totals"]["retries"],
+            dead_letters=kw["sup_totals"]["dead_letters"],
+            queue_depth_max=kw["queue_depth_max"],
+            egress_depth_max=kw["egress_depth_max"],
+            delivered_bits=delivered_bits,
+            error_bits=error_bits,
+            duration_virtual_s=kw["duration_virtual_s"],
+            wall_s=kw["wall_s"],
+            throughput_rps=by_status.get(STATUS_DELIVERED, 0) / duration,
+            latency_mean_s=float(np.mean(virt)) if virt else 0.0,
+            latency_p99_s=pct(virt, 0.99),
+            wall_latency_p99_s=pct(wall, 0.99),
+            breaker_opened=self.breaker.opened_total,
+            quarantined_tags=len(self.breaker.open_tags()),
+            recovery_s=recovery_s,
+            recovered=recovered,
+            alerts=kw["alerts"],
+            stopped_early=kw["stopped"],
+        )
+
+
+def run_serve(
+    config: ServeConfig,
+    faults: Optional[FaultPlan] = None,
+    slo: Optional[SloEngine] = None,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> ServeResult:
+    """Run one serve session; the functional entry point.
+
+    ``workers`` overrides ``config.workers`` when given (the CLI wires
+    ``--workers`` through here).
+    """
+    if workers is not None:
+        config = replace(config, workers=int(workers))
+    gateway = StreamingDecodeGateway(
+        config, faults=faults, slo=slo, seed=seed
+    )
+    return gateway.run(should_stop=should_stop)

@@ -1,0 +1,181 @@
+"""Serve-run report: the gateway's accounted-for summary.
+
+The report is the serving counterpart of a run manifest: every arrival
+is attributed to exactly one disposition bucket, so operators (and the
+chaos suite) can audit ``arrivals == delivered + decode_failed + shed
++ deadline_abandoned + worker_lost`` at a glance, see *why* load was
+shed, and read the post-overload recovery verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class ServeReport:
+    """JSON-safe summary of one serve run."""
+
+    run_id: str
+    seed: int
+    config: Dict[str, Any]
+    arrivals: int
+    delivered: int
+    decode_failed: int
+    shed: int
+    deadline_abandoned: int
+    worker_lost: int
+    shed_by_reason: Dict[str, int]
+    shed_by_priority: Dict[str, int]
+    worker_crashes: int
+    worker_stalls: int
+    worker_restarts: int
+    worker_retries: int
+    dead_letters: int
+    queue_depth_max: int
+    egress_depth_max: int
+    delivered_bits: int
+    error_bits: int
+    duration_virtual_s: float
+    wall_s: float
+    throughput_rps: float
+    latency_mean_s: float
+    latency_p99_s: float
+    wall_latency_p99_s: float
+    breaker_opened: int
+    quarantined_tags: int
+    recovery_s: Optional[float]
+    recovered: bool
+    alerts: List[Dict[str, Any]] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def accounted(self) -> int:
+        """Requests with a terminal disposition (must equal arrivals)."""
+        return (
+            self.delivered + self.decode_failed + self.shed
+            + self.deadline_abandoned + self.worker_lost
+        )
+
+    @property
+    def ber(self) -> float:
+        if self.delivered_bits == 0:
+            return 0.0
+        return self.error_bits / self.delivered_bits
+
+    @property
+    def shed_fraction(self) -> float:
+        if self.arrivals == 0:
+            return 0.0
+        return self.shed / self.arrivals
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "seed": self.seed,
+            "config": self.config,
+            "arrivals": self.arrivals,
+            "accounted": self.accounted,
+            "delivered": self.delivered,
+            "decode_failed": self.decode_failed,
+            "shed": self.shed,
+            "shed_fraction": self.shed_fraction,
+            "shed_by_reason": dict(self.shed_by_reason),
+            "shed_by_priority": dict(self.shed_by_priority),
+            "deadline_abandoned": self.deadline_abandoned,
+            "worker_lost": self.worker_lost,
+            "worker_crashes": self.worker_crashes,
+            "worker_stalls": self.worker_stalls,
+            "worker_restarts": self.worker_restarts,
+            "worker_retries": self.worker_retries,
+            "dead_letters": self.dead_letters,
+            "queue_depth_max": self.queue_depth_max,
+            "egress_depth_max": self.egress_depth_max,
+            "delivered_bits": self.delivered_bits,
+            "error_bits": self.error_bits,
+            "ber": self.ber,
+            "duration_virtual_s": self.duration_virtual_s,
+            "wall_s": self.wall_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_mean_s": self.latency_mean_s,
+            "latency_p99_s": self.latency_p99_s,
+            "wall_latency_p99_s": self.wall_latency_p99_s,
+            "breaker_opened": self.breaker_opened,
+            "quarantined_tags": self.quarantined_tags,
+            "recovery_s": self.recovery_s,
+            "recovered": self.recovered,
+            "alerts": list(self.alerts),
+            "stopped_early": self.stopped_early,
+        }
+
+
+def render_serve_text(report: ServeReport) -> str:
+    """Terminal-friendly rendering of a serve report."""
+    cfg = report.config
+    lines = [
+        f"serve run {report.run_id} (seed {report.seed})",
+        (
+            f"  load: {cfg.get('offered_load_rps', 0):.2f} rps offered, "
+            f"{cfg.get('capacity_rps', 0):.2f} rps capacity, "
+            f"{report.duration_virtual_s:.1f} s virtual "
+            f"({report.wall_s:.1f} s wall)"
+        ),
+        (
+            f"  arrivals {report.arrivals}  delivered {report.delivered}"
+            f"  decode-failed {report.decode_failed}"
+            f"  shed {report.shed}"
+            f"  deadline-abandoned {report.deadline_abandoned}"
+            f"  worker-lost {report.worker_lost}"
+        ),
+    ]
+    if report.accounted != report.arrivals:
+        lines.append(
+            f"  !! accounting mismatch: {report.accounted} accounted "
+            f"vs {report.arrivals} arrivals"
+        )
+    if report.shed:
+        reasons = ", ".join(
+            f"{k}={v}" for k, v in sorted(report.shed_by_reason.items())
+        )
+        prios = ", ".join(
+            f"{k}={v}" for k, v in sorted(report.shed_by_priority.items())
+        )
+        lines.append(f"  shed by reason: {reasons}")
+        lines.append(f"  shed by priority: {prios}")
+    lines.append(
+        f"  queue depth max {report.queue_depth_max}"
+        f" (bound {cfg.get('queue_capacity')})"
+        f"  egress depth max {report.egress_depth_max}"
+    )
+    lines.append(
+        f"  workers: crashes {report.worker_crashes}"
+        f"  stalls {report.worker_stalls}"
+        f"  restarts {report.worker_restarts}"
+        f"  retries {report.worker_retries}"
+        f"  dead-letters {report.dead_letters}"
+    )
+    lines.append(
+        f"  breaker: opened {report.breaker_opened}"
+        f"  quarantined tags {report.quarantined_tags}"
+    )
+    lines.append(
+        f"  delivered bits {report.delivered_bits}"
+        f"  ber {report.ber:.4g}"
+        f"  throughput {report.throughput_rps:.2f} req/s"
+        f"  latency mean {report.latency_mean_s * 1e3:.0f} ms"
+        f"  p99 {report.latency_p99_s * 1e3:.0f} ms"
+    )
+    if report.recovery_s is not None:
+        lines.append(
+            f"  recovered {report.recovery_s:.1f} s after burst end"
+        )
+    elif not report.recovered:
+        lines.append("  !! did not recover to steady state")
+    if report.alerts:
+        lines.append(f"  slo alerts: {len(report.alerts)}")
+        for alert in report.alerts:
+            lines.append(f"    - {alert}")
+    if report.stopped_early:
+        lines.append("  stopped early (drain requested)")
+    return "\n".join(lines)

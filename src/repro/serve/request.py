@@ -1,0 +1,107 @@
+"""Request/outcome data model for the streaming decode gateway.
+
+A :class:`DecodeRequest` is one tag transmission awaiting decode; a
+:class:`ServeOutcome` is the gateway's final, *accounted-for* verdict
+on it.  Every request ends in exactly one outcome — delivered, shed
+(with a reason), abandoned on deadline, lost with its worker, or
+failed in decode — so the sum over outcomes always equals the arrival
+count.  That conservation law is what the overload chaos suite
+asserts; silent drops are a bug by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+#: Priority classes, best first.  The numeric priority of a request is
+#: its index here: 0 is served first and shed last.
+PRIORITIES = ("high", "normal", "low")
+
+#: Terminal dispositions.
+STATUS_DELIVERED = "delivered"
+STATUS_SHED = "shed"
+STATUS_DEADLINE = "deadline_abandoned"
+STATUS_WORKER_LOST = "worker_lost"
+STATUS_DECODE_FAILED = "decode_failed"
+STATUSES = (
+    STATUS_DELIVERED,
+    STATUS_SHED,
+    STATUS_DEADLINE,
+    STATUS_WORKER_LOST,
+    STATUS_DECODE_FAILED,
+)
+
+#: Shed reason labels (the ``serve.shed.reason.<label>`` counters).
+SHED_QUEUE_FULL = "queue_full"
+SHED_EGRESS_FULL = "egress_full"
+SHED_QUARANTINED = "tag_quarantined"
+SHED_DRAIN = "drain"
+SHED_REASONS = (
+    SHED_QUEUE_FULL,
+    SHED_EGRESS_FULL,
+    SHED_QUARANTINED,
+    SHED_DRAIN,
+)
+
+
+@dataclass(frozen=True)
+class DecodeRequest:
+    """One queued tag transmission.
+
+    ``root_seed`` + ``seq`` fully determine the request's decode random
+    stream (the decode task derives ``SeedSequence((root_seed, seq))``),
+    so a retried or re-ordered request decodes to the identical payload
+    — the keystone of the workers=0 == workers=N delivery contract.
+    """
+
+    seq: int
+    corr_id: str
+    tag_address: int
+    priority: int
+    arrival_s: float
+    deadline_s: float
+    root_seed: int
+    payload_bits: int
+
+    @property
+    def priority_name(self) -> str:
+        return PRIORITIES[self.priority]
+
+
+@dataclass(frozen=True)
+class ServeOutcome:
+    """The gateway's terminal verdict on one request."""
+
+    seq: int
+    corr_id: str
+    tag_address: int
+    priority: int
+    status: str
+    reason: str = ""
+    errors: int = 0
+    payload: Tuple[int, ...] = ()
+    completed_s: float = 0.0
+    latency_s: float = 0.0
+    wall_s: float = 0.0
+    attempts: int = 1
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def delivered(self) -> bool:
+        return self.status == STATUS_DELIVERED
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "corr_id": self.corr_id,
+            "tag_address": self.tag_address,
+            "priority": PRIORITIES[self.priority],
+            "status": self.status,
+            "reason": self.reason,
+            "errors": self.errors,
+            "payload": list(self.payload),
+            "completed_s": self.completed_s,
+            "latency_s": self.latency_s,
+            "attempts": self.attempts,
+        }

@@ -1,0 +1,158 @@
+"""Chaos suite: supervised trial execution under worker loss.
+
+Exercises :func:`repro.sim.engine.run_trials_supervised` directly with
+cheap arithmetic tasks so the supervision mechanics — crash detection
+and pool restart, stall timeout and retry, dead-lettering with
+correlation IDs, and the inline/pool convergence guarantee — are
+visible without the decode pipeline's noise.  Pool-path tests kill and
+hang *real* worker processes.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.faults import FaultPlan, WorkerCrash, WorkerStall
+from repro.sim.engine import run_trials_supervised, shutdown_pool
+
+pytestmark = pytest.mark.chaos
+
+
+@dataclass(frozen=True)
+class SquareTask:
+    """Picklable toy task carrying forensics correlation IDs."""
+
+    seq: int
+    corr_id: str
+    run_id: str
+    value: int
+
+
+def square(task):
+    return task.value * task.value
+
+
+def make_tasks(n):
+    return [
+        SquareTask(seq=i, corr_id=f"sup/{i}", run_id="sup-test", value=i)
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    yield
+    shutdown_pool()
+
+
+def crash_plan(probability, seed=5, max_crashes=1):
+    return FaultPlan((WorkerCrash(
+        probability=probability, max_crashes=max_crashes, seed=seed
+    ),))
+
+
+class TestInlineSupervision:
+    def test_no_faults_returns_all_results(self):
+        report = run_trials_supervised(square, make_tasks(8), workers=0)
+        assert report.results == [i * i for i in range(8)]
+        assert report.ok and not report.dead_letters
+        assert report.crashes == report.stalls == report.retries == 0
+
+    def test_crash_retried_then_delivered(self):
+        # max_crashes=1 < max_attempts: every sabotaged task still
+        # completes on its retry, it just costs a counted crash.
+        plan = crash_plan(0.5, max_crashes=1)
+        report = run_trials_supervised(
+            square, make_tasks(16), workers=0, sabotage=plan,
+            max_attempts=3,
+        )
+        assert report.results == [i * i for i in range(16)]
+        assert report.crashes > 0
+        assert report.retries == report.crashes
+        assert not report.dead_letters
+
+    def test_persistent_crasher_dead_lettered_with_correlation(self):
+        plan = crash_plan(0.5, max_crashes=10)   # outlives max_attempts
+        tasks = make_tasks(16)
+        report = run_trials_supervised(
+            square, tasks, workers=0, sabotage=plan, max_attempts=2,
+        )
+        assert report.dead_letters, "plan at prob=0.5 never fired"
+        for letter in report.dead_letters:
+            assert letter.reason == "worker_crash"
+            assert letter.attempts == 2
+            assert letter.correlation["corr_id"] == \
+                tasks[letter.index].corr_id
+            assert letter.correlation["run_id"] == "sup-test"
+            assert report.results[letter.index] is None
+        # Undamaged tasks all completed.
+        lost = {d.index for d in report.dead_letters}
+        for i, result in enumerate(report.results):
+            if i not in lost:
+                assert result == i * i
+
+    def test_sabotage_keys_make_verdicts_batch_invariant(self):
+        plan_a = crash_plan(0.4, max_crashes=10)
+        plan_b = crash_plan(0.4, max_crashes=10)
+        tasks = make_tasks(12)
+        whole = run_trials_supervised(
+            square, tasks, workers=0, sabotage=plan_a, max_attempts=2,
+        )
+        halves = []
+        for lo, hi in ((0, 6), (6, 12)):
+            halves.append(run_trials_supervised(
+                square, tasks[lo:hi], workers=0, sabotage=plan_b,
+                keys=list(range(lo, hi)), max_attempts=2,
+            ))
+        whole_lost = {d.task.corr_id for d in whole.dead_letters}
+        split_lost = {
+            d.task.corr_id for part in halves for d in part.dead_letters
+        }
+        assert whole_lost == split_lost
+        assert whole.results == halves[0].results + halves[1].results
+
+
+class TestPoolSupervision:
+    def test_real_worker_crash_restarts_pool_and_converges(self):
+        plan = crash_plan(0.3, max_crashes=1)
+        inline = run_trials_supervised(
+            square, make_tasks(12), workers=0, sabotage=plan,
+            max_attempts=3,
+        )
+        pooled = run_trials_supervised(
+            square, make_tasks(12), workers=2, sabotage=plan,
+            max_attempts=3,
+        )
+        assert pooled.results == inline.results == \
+            [i * i for i in range(12)]
+        assert pooled.crashes > 0, "no worker actually died"
+        assert pooled.restarts > 0, "broken pool was never rebuilt"
+
+    def test_real_worker_stall_detected_and_retried(self):
+        # stall_s must exceed the timeout (to be detected) but stay
+        # short enough that a sleeping worker frees up before retries
+        # exhaust max_attempts.
+        plan = FaultPlan((WorkerStall(
+            probability=0.3, stall_s=0.8, max_stalls=1, seed=9
+        ),))
+        report = run_trials_supervised(
+            square, make_tasks(10), workers=2, sabotage=plan,
+            stall_timeout_s=0.25, max_attempts=5,
+        )
+        assert report.results == [i * i for i in range(10)]
+        assert report.stalls > 0, "no worker actually hung"
+        assert report.retries >= report.stalls
+
+    def test_pool_dead_letters_match_inline(self):
+        plan = crash_plan(0.35, max_crashes=10, seed=21)
+        tasks = make_tasks(12)
+        inline = run_trials_supervised(
+            square, tasks, workers=0, sabotage=plan, max_attempts=2,
+        )
+        pooled = run_trials_supervised(
+            square, tasks, workers=2, sabotage=plan, max_attempts=2,
+        )
+        assert inline.dead_letters, "plan never fired; test is vacuous"
+        assert {d.task.corr_id for d in inline.dead_letters} == \
+               {d.task.corr_id for d in pooled.dead_letters}
+        assert inline.results == pooled.results

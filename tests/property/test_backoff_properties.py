@@ -1,0 +1,107 @@
+"""Property-based tests: ARQ backoff policy invariants.
+
+The retransmission scheduler's whole value is three promises: jittered
+delays stay inside the advertised band around the deterministic base,
+the base schedule never shrinks before hitting its cap, and the same
+(policy, seed, retry) triple always yields the same delay.  Hypothesis
+sweeps the parameter space so those promises hold everywhere, not just
+at the defaults.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import BackoffPolicy
+from repro.errors import ConfigurationError
+
+policies = st.builds(
+    BackoffPolicy,
+    initial_s=st.floats(1e-4, 1.0),
+    multiplier=st.floats(1.0, 4.0),
+    max_s=st.floats(1.0, 30.0),
+    jitter_fraction=st.floats(0.0, 0.99, exclude_max=True),
+)
+retries = st.integers(0, 40)
+seeds = st.integers(0, 2**32 - 1)
+
+
+class TestBase:
+    @given(policies, retries)
+    def test_unjittered_delay_is_closed_form(self, policy, i):
+        expected = min(policy.initial_s * policy.multiplier**i, policy.max_s)
+        assert policy.delay_s(i) == pytest.approx(expected)
+
+    @given(policies, retries)
+    def test_base_schedule_monotone_nondecreasing(self, policy, i):
+        assert policy.delay_s(i + 1) >= policy.delay_s(i)
+
+    @given(policies, retries)
+    def test_base_delay_never_exceeds_cap(self, policy, i):
+        assert policy.delay_s(i) <= policy.max_s + 1e-12
+
+    @given(policies)
+    def test_large_retry_index_saturates_at_cap(self, policy):
+        if policy.multiplier >= 1.05:
+            # Any real growth factor hits the ceiling within 500
+            # retries; near-flat schedules may legitimately still be
+            # climbing (multiplier=1.0 never leaves initial_s).
+            assert policy.delay_s(500) == pytest.approx(policy.max_s)
+        assert policy.delay_s(500) <= policy.delay_s(501) <= policy.max_s
+
+    @given(policies, st.integers(-10, -1))
+    def test_negative_retry_index_rejected(self, policy, i):
+        with pytest.raises(ConfigurationError):
+            policy.delay_s(i)
+
+
+class TestJitter:
+    @given(policies, retries, seeds)
+    def test_jittered_delay_within_band(self, policy, i, seed):
+        base = policy.delay_s(i)
+        delay = policy.delay_s(i, rng=np.random.default_rng(seed))
+        lo = base * (1.0 - policy.jitter_fraction)
+        hi = base * (1.0 + policy.jitter_fraction)
+        assert lo - 1e-12 <= delay <= hi + 1e-12
+
+    @given(policies, retries, seeds)
+    def test_jitter_deterministic_per_seed(self, policy, i, seed):
+        a = policy.delay_s(i, rng=np.random.default_rng(seed))
+        b = policy.delay_s(i, rng=np.random.default_rng(seed))
+        assert a == b
+
+    @given(retries, seeds)
+    def test_zero_jitter_ignores_rng(self, i, seed):
+        policy = BackoffPolicy(jitter_fraction=0.0)
+        assert policy.delay_s(i, rng=np.random.default_rng(seed)) == \
+            policy.delay_s(i)
+
+    @settings(max_examples=25)
+    @given(policies, st.integers(0, 8))
+    def test_jitter_stays_positive(self, policy, i):
+        # jitter_fraction < 1 means the band never crosses zero.
+        rng = np.random.default_rng(7)
+        for _ in range(16):
+            assert policy.delay_s(i, rng=rng) > 0.0
+
+
+class TestValidation:
+    @given(st.floats(-10.0, -1e-6))
+    def test_negative_initial_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(initial_s=bad)
+
+    @given(st.floats(0.0, 0.999, exclude_max=True))
+    def test_multiplier_below_one_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(multiplier=bad)
+
+    def test_cap_below_initial_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(initial_s=1.0, max_s=0.5)
+
+    @given(st.one_of(st.floats(-1.0, -1e-6), st.floats(1.0, 5.0)))
+    def test_jitter_fraction_out_of_range_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(jitter_fraction=bad)

@@ -1,0 +1,121 @@
+"""Crash-safe flight-recorder flush: arm / fire / disarm contract.
+
+The end-to-end SIGTERM behaviour (process actually dying with status
+143 after writing a partial artifact) is exercised by the CI smoke and
+chaos suites; here we pin the in-process contract: idempotent firing,
+retarget-on-reinstall, clean disarm restoring the prior SIGTERM
+disposition, and the ``interrupted: true`` header stamp.
+"""
+
+import json
+import signal
+
+import pytest
+
+from repro import obs
+from repro.obs.forensics import (
+    install_crash_flush,
+    disarm_crash_flush,
+    read_jsonl,
+)
+from repro.obs.forensics import crash_flush
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    obs.configure(recording=True)
+    obs.reset()
+    # The recorder's capacity/policy are process-global switches that
+    # survive obs.reset(); pin them so test order cannot matter.
+    obs.get_recorder().configure(capacity=256, policy="errors")
+    yield
+    disarm_crash_flush()
+    obs.disable()
+    obs.reset()
+
+
+def _record_some_failures(n=3):
+    from repro.obs import forensics
+
+    for i in range(n):
+        forensics.begin("uplink", run_id="crash-test", trial=i)
+        forensics.stage("slice", low=0.1, high=0.9)
+        forensics.commit(errors=1, failure="LowMargin")
+
+
+class TestArming:
+    def test_install_arms_and_disarm_stands_down(self, tmp_path):
+        path = str(tmp_path / "partial.jsonl")
+        assert not crash_flush.armed()
+        install_crash_flush(path, meta={"name": "test"})
+        assert crash_flush.armed()
+        disarm_crash_flush()
+        assert not crash_flush.armed()
+
+    def test_disarm_without_install_is_noop(self):
+        disarm_crash_flush()
+        assert not crash_flush.armed()
+
+    def test_sigterm_handler_installed_and_restored(self, tmp_path):
+        before = signal.getsignal(signal.SIGTERM)
+        install_crash_flush(str(tmp_path / "p.jsonl"))
+        assert signal.getsignal(signal.SIGTERM) is crash_flush._on_sigterm
+        disarm_crash_flush()
+        assert signal.getsignal(signal.SIGTERM) is not \
+            crash_flush._on_sigterm
+        # SIG_DFL round-trips to SIG_DFL; custom handlers to themselves.
+        assert signal.getsignal(signal.SIGTERM) == before
+
+    def test_reinstall_retargets_without_stacking(self, tmp_path):
+        first = str(tmp_path / "first.jsonl")
+        second = str(tmp_path / "second.jsonl")
+        install_crash_flush(first)
+        install_crash_flush(second)
+        _record_some_failures()
+        written = crash_flush.flush_now()
+        assert written == second
+        assert not (tmp_path / "first.jsonl").exists()
+
+
+class TestFlush:
+    def test_flush_writes_partial_artifact_marked_interrupted(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "partial.jsonl")
+        install_crash_flush(path, meta={"name": "soak", "seed": 11})
+        _record_some_failures(3)
+        assert crash_flush.flush_now() == path
+        header, records = read_jsonl(path)
+        assert header["interrupted"] is True
+        assert header["name"] == "soak" and header["seed"] == 11
+        assert header["recorder"]["errors_seen"] == 3
+        assert len(records) == 3
+
+    def test_flush_fires_at_most_once_per_arm(self, tmp_path):
+        path = str(tmp_path / "once.jsonl")
+        install_crash_flush(path)
+        _record_some_failures(1)
+        assert crash_flush.flush_now() == path
+        assert crash_flush.flush_now() is None
+        assert not crash_flush.armed()
+
+    def test_unarmed_flush_is_noop(self, tmp_path):
+        assert crash_flush.flush_now() is None
+
+    def test_reinstall_after_fire_rearms(self, tmp_path):
+        path = str(tmp_path / "rearm.jsonl")
+        install_crash_flush(path)
+        _record_some_failures(1)
+        crash_flush.flush_now()
+        install_crash_flush(path)
+        assert crash_flush.armed()
+        assert crash_flush.flush_now() == path
+
+    def test_artifact_is_valid_jsonl(self, tmp_path):
+        path = str(tmp_path / "valid.jsonl")
+        install_crash_flush(path)
+        _record_some_failures(2)
+        crash_flush.flush_now()
+        with open(path) as fh:
+            for line in fh:
+                json.loads(line)

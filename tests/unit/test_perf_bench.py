@@ -240,3 +240,48 @@ class TestCpuCountGating:
         diffs = bench.compare_to_baseline([result], baseline)
         assert [d.metric for d in diffs] == ["speedup_vs_serial"]
         assert diffs[0].regressed
+
+
+class TestServeOverloadWorkload:
+    def test_registered_with_description(self):
+        assert "serve_overload" in bench.WORKLOADS
+        listing = {w["name"]: w for w in bench.list_workloads()}
+        assert listing["serve_overload"]["description"]
+
+    def test_throughput_metric_ungated_on_single_core(self, monkeypatch):
+        assert "packets_decoded_per_s" in bench.SINGLE_CPU_UNGATED
+        assert "packets_decoded_per_s" in bench.WALL_CLOCK_METRICS
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        result = _result(
+            "serve_overload", packets_decoded_per_s=1.0, shed_fraction=0.9,
+        )
+        baseline = {"workloads": {"serve_overload": {"metrics": {
+            "packets_decoded_per_s": {
+                "value": 60.0, "tolerance": 1.0,
+                "direction": bench.HIGHER_BETTER,
+            },
+            "shed_fraction": {
+                "value": 0.2, "tolerance": 0.1,
+                "direction": bench.LOWER_BETTER,
+            },
+        }}}}
+        gated = {d.metric for d in bench.compare_to_baseline(
+            [result], baseline)}
+        assert "packets_decoded_per_s" not in gated
+        assert "shed_fraction" in gated
+
+    def test_workload_reports_overload_metrics(self):
+        result = bench.run_workload("serve_overload", 1, seed=0)
+        m = result.metrics
+        for key in ("packets_decoded_per_s", "shed_fraction",
+                    "p99_latency_s"):
+            assert key in m, key
+        # The workload is configured 2x over capacity: it must shed.
+        assert 0.0 < m["shed_fraction"] < 1.0
+        assert m["packets_decoded_per_s"] > 0.0
+
+    def test_quality_metrics_deterministic(self):
+        a = bench.run_workload("serve_overload", 1, seed=3).metrics
+        b = bench.run_workload("serve_overload", 1, seed=3).metrics
+        assert a["shed_fraction"] == b["shed_fraction"]
+        assert a["p99_latency_s"] == b["p99_latency_s"]

@@ -252,3 +252,59 @@ class TestCorpus:
     def test_corpus_round_trips(self):
         for s in builtin_scenarios():
             assert Scenario.from_dict(s.to_dict()) == s
+
+
+class TestServeSection:
+    def test_defaults(self):
+        s = make(serve={})
+        assert s.serve is not None
+        assert s.serve.duration_s == 12.0
+        assert s.serve.arrival_profile == "poisson"
+        assert s.serve.workers == 0
+
+    def test_absent_by_default_and_popped_from_dict(self):
+        s = make()
+        assert s.serve is None
+        assert "serve" not in s.to_dict()
+
+    def test_round_trip(self):
+        s = make(serve={
+            "duration_s": 8.0,
+            "offered_load_rps": 4.0,
+            "burst_load_rps": 12.5,
+            "burst_start_s": 2.0,
+            "burst_end_s": 6.0,
+            "deadline_ms": 3000.0,
+            "queue_capacity": 12,
+        })
+        assert Scenario.from_dict(s.to_dict()) == s
+        assert s.to_dict()["serve"]["burst_load_rps"] == 12.5
+
+    def test_unknown_serve_key_names_dotted_path(self):
+        with pytest.raises(ScenarioError) as exc:
+            make(serve={"queue_capcity": 12})
+        assert exc.value.field == "serve.queue_capcity"
+
+    @pytest.mark.parametrize("bad", [
+        {"duration_s": 0.0},
+        {"offered_load_rps": -1.0},
+        {"deadline_ms": 0.0},
+        {"queue_capacity": 0},
+        {"arrival_profile": "storm"},
+        {"burst_load_rps": 9.0},                # burst without a window
+        {"burst_load_rps": 9.0, "burst_start_s": 5.0, "burst_end_s": 5.0},
+    ])
+    def test_rejects_bad_values(self, bad):
+        with pytest.raises(ConfigurationError):
+            make(serve=bad)
+
+    def test_requires_decodable_mode(self):
+        with pytest.raises(ScenarioError):
+            make(serve={}, channel={"mode": "coded"})
+
+    def test_corpus_has_serve_scenarios(self):
+        tagged = [s for s in builtin_scenarios() if "serve" in s.tags]
+        assert len(tagged) >= 3
+        assert all(s.serve is not None for s in tagged)
+        assert any(s.serve.burst_load_rps for s in tagged)
+        assert any(s.faults for s in tagged)

@@ -9,6 +9,7 @@ from repro.obs.soak import (
     HistoryStore,
     TrendFlag,
     check_store,
+    corrupt_line_counts,
     detect_trends,
     make_record,
 )
@@ -70,6 +71,28 @@ class TestStore:
         store = HistoryStore(str(tmp_path))
         assert store.load("never_ran") == []
         assert store.scenarios() == []
+
+    def test_corrupt_line_counts_surfaces_only_dirty_scenarios(
+        self, tmp_path
+    ):
+        store = HistoryStore(str(tmp_path))
+        store.append(record(ber=0.01))                    # clean scenario
+        store.append(record(scenario="s_dirty", ber=0.02))
+        with open(store.path_for("s_dirty"), "a") as fh:
+            fh.write("{torn append\n")
+        assert corrupt_line_counts(store) == {"s_dirty": 1}
+
+    def test_corrupt_line_counts_respects_scenario_filter(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        for name in ("s_a", "s_b"):
+            store.append(record(scenario=name))
+            with open(store.path_for(name), "a") as fh:
+                fh.write("not json\n")
+        assert corrupt_line_counts(store, scenarios=["s_a"]) == {"s_a": 1}
+        assert corrupt_line_counts(store) == {"s_a": 1, "s_b": 1}
+
+    def test_corrupt_line_counts_empty_store(self, tmp_path):
+        assert corrupt_line_counts(HistoryStore(str(tmp_path))) == {}
 
 
 class TestTrendDetection:
