@@ -205,9 +205,13 @@ def _cmd_serve(args: argparse.Namespace):
         arrival_profile=args.arrivals,
         stall_timeout_s=args.stall_timeout,
         max_attempts=args.max_attempts,
+        telemetry_cadence_s=args.telemetry_cadence,
+        budget_target=args.budget_target,
+        budget_window_s=args.budget_window,
     )
     result = run_serve(
-        config, faults=_resolve_faults(args), seed=args.seed
+        config, faults=_resolve_faults(args), seed=args.seed,
+        telemetry_out=args.telemetry_out,
     )
     report = result.report
     return CommandOutput(
@@ -420,6 +424,32 @@ def _cmd_obs_report(args: argparse.Namespace) -> CommandOutput:
         path = candidates[-1]
     if path is None:
         raise SystemExit("obs-report needs a manifest path or --dir")
+    # Telemetry streams are JSONL, not a single JSON document — sniff
+    # the first line for the schema tag before the manifest parse.
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            first_line = fh.readline()
+    except FileNotFoundError:
+        raise SystemExit(f"no such manifest: {path}")
+    from repro.obs.export import loads_line
+
+    try:
+        first = loads_line(first_line)
+    except Exception:
+        first = None
+    from repro.serve.telemetry import is_telemetry_header, read_telemetry
+
+    if is_telemetry_header(first):
+        from repro.obs.report import render_telemetry
+
+        header, snapshots, final = read_telemetry(path)
+        data = {
+            "header": header,
+            "snapshots": snapshots,
+            "final": final,
+        }
+        return CommandOutput(title="", rows=[], data=data), \
+            render_telemetry(header, snapshots, final)
     try:
         raw = obs.read_json(path)
     except FileNotFoundError:
@@ -861,6 +891,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=0,
                    help="decode worker processes (0 = inline; delivered "
                         "payloads identical either way)")
+    p.add_argument("--telemetry-out", default=None, metavar="PATH",
+                   help="write periodic health snapshots to this JSONL "
+                        "stream (crash-flush armed; inspect with "
+                        "'repro obs-report')")
+    p.add_argument("--telemetry-cadence", type=float, default=1.0,
+                   help="virtual seconds between telemetry snapshots")
+    p.add_argument("--budget-target", type=float, default=0.99,
+                   help="delivered-fraction objective for the error "
+                        "budget (strictly between 0 and 1)")
+    p.add_argument("--budget-window", type=float, default=3600.0,
+                   help="error-budget window, virtual seconds (burn "
+                        "windows are derived from it)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("downlink-ber", parents=[common],
@@ -911,9 +953,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("obs-report", parents=[common],
                        help="render a run manifest written by --metrics-out "
-                            "(soak documents are auto-detected)")
+                            "(soak documents and serve telemetry streams "
+                            "are auto-detected)")
     p.add_argument("manifest", nargs="?", default=None,
-                   help="manifest or soak-document JSON path")
+                   help="manifest, soak-document, or telemetry JSONL path")
     p.add_argument("--dir", default=None,
                    help="pick the newest manifest in this directory")
     p.add_argument("--markdown", action="store_true",

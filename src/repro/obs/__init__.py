@@ -36,7 +36,20 @@ Naming conventions and the manifest schema are documented in
 from __future__ import annotations
 
 from repro.obs import state
-from repro.obs.export import dumps, jsonable, read_json, write_json
+from repro.obs.export import (
+    decode_nonfinite,
+    dumps,
+    dumps_line,
+    escape_measurement,
+    escape_tag,
+    jsonable,
+    loads_line,
+    parse_line_protocol,
+    read_json,
+    telemetry_to_line_protocol,
+    telemetry_to_prometheus,
+    write_json,
+)
 from repro.obs.manifest import (
     RunManifest,
     build_manifest,
@@ -54,6 +67,10 @@ from repro.obs.metrics import (
 )
 from repro.obs.perf import (
     AlertEvent,
+    BudgetObjective,
+    BurnRateAlert,
+    BurnRateEngine,
+    ExemplarReservoir,
     SloEngine,
     SloRule,
     TimeSeries,
@@ -117,7 +134,11 @@ def timeseries(name: str, capacity=None):
 
 __all__ = [
     "AlertEvent",
+    "BudgetObjective",
+    "BurnRateAlert",
+    "BurnRateEngine",
     "Counter",
+    "ExemplarReservoir",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -134,10 +155,14 @@ __all__ = [
     "configure",
     "counter",
     "current_span",
+    "decode_nonfinite",
     "disable",
     "dumps",
+    "dumps_line",
     "enable",
     "enabled",
+    "escape_measurement",
+    "escape_tag",
     "gauge",
     "get_profiler",
     "get_recorder",
@@ -147,8 +172,10 @@ __all__ = [
     "histogram",
     "jsonable",
     "load_manifest",
+    "loads_line",
     "manifest_dir",
     "metrics_enabled",
+    "parse_line_protocol",
     "profile",
     "profiling_enabled",
     "read_json",
@@ -158,6 +185,8 @@ __all__ = [
     "session",
     "span",
     "state",
+    "telemetry_to_line_protocol",
+    "telemetry_to_prometheus",
     "timer",
     "timeseries",
     "tracing_enabled",

@@ -42,6 +42,8 @@ from repro.obs.forensics.attribution import (
 from repro.obs.forensics.crash_flush import (
     disarm as disarm_crash_flush,
     install_crash_flush,
+    register_aux_flush,
+    unregister_aux_flush,
 )
 from repro.obs.forensics.format import read_jsonl, write_jsonl
 from repro.obs.forensics.recorder import (
@@ -67,8 +69,10 @@ __all__ = [
     "ensure_record",
     "install_crash_flush",
     "read_jsonl",
+    "register_aux_flush",
     "render_forensics",
     "stage",
     "summarize",
+    "unregister_aux_flush",
     "write_jsonl",
 ]

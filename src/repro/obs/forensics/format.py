@@ -17,7 +17,7 @@ import os
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
-from repro.obs.export import _decode_nonfinite, jsonable
+from repro.obs.export import decode_nonfinite, dumps_line, jsonable
 
 #: Schema tag stamped into (and required from) the header line.
 SCHEMA = "repro.forensics/1"
@@ -39,10 +39,10 @@ def write_jsonl(
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(json.dumps(header, sort_keys=False))
+        fh.write(dumps_line(header))
         fh.write("\n")
         for record in records:
-            fh.write(json.dumps(jsonable(record), sort_keys=False))
+            fh.write(dumps_line(record))
             fh.write("\n")
     return path
 
@@ -67,5 +67,5 @@ def read_jsonl(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
         records: List[Dict[str, Any]] = []
         for line in fh:
             if line.strip():
-                records.append(_decode_nonfinite(json.loads(line)))
-    return _decode_nonfinite(header), records
+                records.append(decode_nonfinite(json.loads(line)))
+    return decode_nonfinite(header), records

@@ -18,6 +18,8 @@ import time
 from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.export import escape_measurement as _escape_measurement
+from repro.obs.export import escape_tag as _escape_tag
 from repro.obs.perf.timeseries import TimeSeries, percentile_of
 
 #: Bound on stored histogram samples; aggregates keep counting past it.
@@ -336,14 +338,9 @@ class MetricsRegistry:
                 )
 
 
-def _escape_measurement(name: str) -> str:
-    """Escape a line-protocol measurement name (commas and spaces)."""
-    return name.replace("\\", "\\\\").replace(",", "\\,").replace(" ", "\\ ")
-
-
-def _escape_tag(value: str) -> str:
-    """Escape a line-protocol tag key/value (commas, spaces, equals)."""
-    return _escape_measurement(value).replace("=", "\\=")
+# Line-protocol escaping lives in obs.export (shared with the
+# telemetry exporters); _escape_measurement/_escape_tag are imported
+# at the top of this module under their historical private names.
 
 
 class NullMetric:

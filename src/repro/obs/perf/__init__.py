@@ -23,6 +23,13 @@ point-in-time instrumentation into an *operated* system:
 
 from __future__ import annotations
 
+from repro.obs.perf.burnrate import (
+    BudgetObjective,
+    BurnRateAlert,
+    BurnRateEngine,
+    BurnWindow,
+    derive_windows,
+)
 from repro.obs.perf.profiler import (
     NULL_PROFILE_CONTEXT,
     Profiler,
@@ -38,11 +45,22 @@ from repro.obs.perf.slo import (
     parse_slo_spec,
     resolve_metric_value,
 )
-from repro.obs.perf.timeseries import DEFAULT_CAPACITY, TimeSeries
+from repro.obs.perf.timeseries import (
+    DEFAULT_CAPACITY,
+    DEFAULT_EXEMPLAR_BOUNDS,
+    ExemplarReservoir,
+    TimeSeries,
+)
 
 __all__ = [
     "AlertEvent",
+    "BudgetObjective",
+    "BurnRateAlert",
+    "BurnRateEngine",
+    "BurnWindow",
     "DEFAULT_CAPACITY",
+    "DEFAULT_EXEMPLAR_BOUNDS",
+    "ExemplarReservoir",
     "NULL_PROFILE_CONTEXT",
     "Profiler",
     "SloEngine",
@@ -50,6 +68,7 @@ __all__ = [
     "StageStats",
     "TimeSeries",
     "add_ops",
+    "derive_windows",
     "parse_slo_rule",
     "parse_slo_spec",
     "profile",

@@ -1,0 +1,394 @@
+"""Error-budget burn-rate evaluation over ring-buffer time series.
+
+An SLO like "99% of requests delivered over 30 days" grants an *error
+budget*: 1% of requests may fail before the objective is broken.  The
+operational question is not "is the budget gone" (too late) but "how
+fast is it burning".  Following the multi-window multi-burn-rate
+pattern from the Google SRE workbook, each :class:`BudgetObjective` is
+watched through fast/slow window *pairs*:
+
+* a **fast** pair (long window = budget_window/720, short =
+  budget_window/8640, threshold 14.4x) that catches a sudden cliff —
+  at 14.4x burn the whole budget dies in ~2 of its 30 days;
+* a **slow** pair (budget_window/120 and budget_window/1440,
+  threshold 6x) that catches a simmering regression.
+
+A window pair fires only when *both* its long and short windows exceed
+the threshold — the long window supplies evidence, the short window
+confirms the problem is still happening (and makes the alert clear
+quickly once it stops).  Burn rate is ``error_rate / (1 - target)``:
+the ratio between the observed failure fraction and the fraction the
+objective allows.
+
+The engine consumes 0/1 good-event samples from the existing
+:class:`~repro.obs.perf.timeseries.TimeSeries` ring buffers (sampled
+in *virtual* time by the serve loop, so evaluation is deterministic),
+emits typed :class:`BurnRateAlert` fire/clear transitions, and tracks
+remaining budget for telemetry snapshots.  NaN samples are excluded
+from both the numerator and denominator — an unmeasured request is not
+a failed request.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: (label, long window as fraction of budget window, short fraction,
+#: burn threshold) — the SRE-workbook 30d pairs expressed as
+#: fractions so they scale to any budget window.
+DEFAULT_WINDOW_FRACTIONS = (
+    ("fast", 1.0 / 720.0, 1.0 / 8640.0, 14.4),
+    ("slow", 1.0 / 120.0, 1.0 / 1440.0, 6.0),
+)
+
+#: Floor on derived evaluation windows so a tiny budget window (short
+#: serve runs use tens of seconds) still spans multiple samples.
+MIN_WINDOW_S = 1e-3
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One fast/slow evaluation pair for an objective."""
+
+    label: str
+    long_s: float
+    short_s: float
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.long_s <= 0 or self.short_s <= 0:
+            raise ConfigurationError("burn windows must be positive")
+        if self.short_s > self.long_s:
+            raise ConfigurationError(
+                "burn short window must not exceed the long window"
+            )
+        if self.threshold <= 0:
+            raise ConfigurationError("burn threshold must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "long_s": self.long_s,
+            "short_s": self.short_s,
+            "threshold": self.threshold,
+        }
+
+
+def derive_windows(budget_s: float) -> Tuple[BurnWindow, ...]:
+    """The default window pairs scaled to ``budget_s``."""
+    return tuple(
+        BurnWindow(
+            label=label,
+            long_s=max(budget_s * long_frac, MIN_WINDOW_S),
+            short_s=max(budget_s * short_frac, MIN_WINDOW_S),
+            threshold=threshold,
+        )
+        for label, long_frac, short_frac, threshold
+        in DEFAULT_WINDOW_FRACTIONS
+    )
+
+
+@dataclass(frozen=True)
+class BudgetObjective:
+    """An availability objective with an error budget.
+
+    Attributes:
+        metric: name of a 0/1 good-event time series (1 = the event
+            met the objective, 0 = it consumed budget).
+        target: required good fraction, strictly between 0 and 1
+            exclusive (the error budget is ``1 - target``).
+        budget_s: the budget window in the producer's time base
+            (virtual seconds for the serve loop).
+        severity: alert severity, as in the SLO rule language.
+        action: optional consumer hint (``quarantine`` triggers the
+            gateway's pre-emption hook).
+        windows: evaluation pairs; defaults to :func:`derive_windows`.
+    """
+
+    metric: str
+    target: float
+    budget_s: float
+    severity: str = "critical"
+    action: Optional[str] = None
+    windows: Tuple[BurnWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.target < 1.0):
+            raise ConfigurationError(
+                f"budget target must be in (0, 1), got {self.target!r}"
+            )
+        if self.budget_s <= 0:
+            raise ConfigurationError("budget window must be positive")
+        if not self.windows:
+            object.__setattr__(
+                self, "windows", derive_windows(self.budget_s)
+            )
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+    def describe(self) -> str:
+        return (
+            f"{self.metric} >= {self.target:g} "
+            f"budget {self.budget_s:g}s"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "target": self.target,
+            "budget_s": self.budget_s,
+            "severity": self.severity,
+            "action": self.action,
+            "windows": [w.to_dict() for w in self.windows],
+        }
+
+
+@dataclass(frozen=True)
+class BurnRateAlert:
+    """One burn-rate transition: a window pair firing or clearing.
+
+    Attributes:
+        objective: the budget objective being watched.
+        window: the window pair that transitioned.
+        kind: ``"fired"`` or ``"cleared"``.
+        long_burn / short_burn: burn rates observed at the transition.
+        budget_remaining: fraction of the error budget left (can go
+            negative when the budget is overspent).
+        at_s: evaluation time in the producer's time base.
+        context: evaluation context (snapshot index, run name, ...).
+    """
+
+    objective: BudgetObjective
+    window: BurnWindow
+    kind: str
+    long_burn: float
+    short_burn: float
+    budget_remaining: float
+    at_s: float
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def severity(self) -> str:
+        return self.objective.severity
+
+    @property
+    def action(self) -> Optional[str]:
+        return self.objective.action
+
+    @property
+    def message(self) -> str:
+        if self.kind == "fired":
+            return (
+                f"burn-rate alert: {self.objective.describe()} burning "
+                f"{self.long_burn:.1f}x/{self.short_burn:.1f}x over the "
+                f"{self.window.label} pair (>= {self.window.threshold:g}x, "
+                f"budget {self.budget_remaining:.1%} left) "
+                f"[{self.severity}]"
+            )
+        return (
+            f"burn-rate cleared: {self.objective.metric} {self.window.label} "
+            f"pair back under {self.window.threshold:g}x "
+            f"(budget {self.budget_remaining:.1%} left)"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.objective.metric,
+            "target": self.objective.target,
+            "budget_s": self.objective.budget_s,
+            "window": self.window.to_dict(),
+            "kind": self.kind,
+            "long_burn": self.long_burn,
+            "short_burn": self.short_burn,
+            "budget_remaining": self.budget_remaining,
+            "at_s": self.at_s,
+            "severity": self.severity,
+            "action": self.action,
+            "message": self.message,
+            "context": dict(self.context),
+        }
+
+
+def _series_for(source: Any, metric: str):
+    """Resolve ``metric`` to a TimeSeries from a registry or mapping."""
+    if source is None:
+        return None
+    if isinstance(source, Mapping):
+        return source.get(metric)
+    if metric in source:
+        candidate = source._metrics[metric]
+        if getattr(candidate, "kind", None) == "timeseries":
+            return candidate
+    return None
+
+
+def _error_rate(series, now_s: float, window_s: float) -> Optional[float]:
+    """Failure fraction over ``[now_s - window_s, now_s]``.
+
+    None when the window holds no finite samples — no data is "not yet
+    evaluable", never a failure.
+    """
+    finite = [
+        v for v in series.values_since(now_s - window_s)
+        if math.isfinite(v)
+    ]
+    if not finite:
+        return None
+    return 1.0 - (sum(finite) / len(finite))
+
+
+class BurnRateEngine:
+    """Evaluates budget objectives, tracking fire/clear transitions.
+
+    Attributes:
+        objectives: the watched budget objectives.
+        alerts: every transition (fired and cleared) in order.
+    """
+
+    def __init__(self, objectives: Sequence[BudgetObjective]) -> None:
+        self.objectives = list(objectives)
+        self.alerts: List[BurnRateAlert] = []
+        self._active: Dict[Tuple[str, str], BurnRateAlert] = {}
+
+    def budget_remaining(
+        self, series, objective: BudgetObjective, now_s: float
+    ) -> Optional[float]:
+        """Fraction of the error budget left over the budget window.
+
+        1.0 with a clean window, 0.0 exactly when the observed error
+        rate equals the allowed rate, negative when overspent.
+        """
+        error_rate = _error_rate(series, now_s, objective.budget_s)
+        if error_rate is None:
+            return None
+        return 1.0 - error_rate / objective.error_budget
+
+    def evaluate(
+        self,
+        source: Any,
+        now_s: float,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> List[BurnRateAlert]:
+        """Evaluate every objective at ``now_s``; returns transitions.
+
+        Args:
+            source: a :class:`MetricsRegistry` or a plain
+                ``{metric: TimeSeries}`` mapping (test fixtures, the
+                gateway's private series).
+            now_s: evaluation time in the producer's time base.
+            context: attached to each emitted alert.
+
+        A window pair fires when both its long and short burn rates
+        meet the threshold, and clears when that stops holding (with
+        data present).  Transitions are appended to :attr:`alerts`;
+        steady states emit nothing.
+        """
+        transitions: List[BurnRateAlert] = []
+        for objective in self.objectives:
+            series = _series_for(source, objective.metric)
+            if series is None:
+                continue
+            remaining = self.budget_remaining(series, objective, now_s)
+            for window in objective.windows:
+                long_rate = _error_rate(series, now_s, window.long_s)
+                short_rate = _error_rate(series, now_s, window.short_s)
+                if long_rate is None:
+                    continue
+                long_burn = long_rate / objective.error_budget
+                short_burn = (
+                    short_rate / objective.error_budget
+                    if short_rate is not None else 0.0
+                )
+                firing = (
+                    long_burn >= window.threshold
+                    and short_burn >= window.threshold
+                )
+                key = (objective.metric, window.label)
+                if firing == (key in self._active):
+                    continue
+                alert = BurnRateAlert(
+                    objective=objective,
+                    window=window,
+                    kind="fired" if firing else "cleared",
+                    long_burn=long_burn,
+                    short_burn=short_burn,
+                    budget_remaining=(
+                        remaining if remaining is not None else 1.0
+                    ),
+                    at_s=float(now_s),
+                    context=dict(context or {}),
+                )
+                if firing:
+                    self._active[key] = alert
+                else:
+                    del self._active[key]
+                transitions.append(alert)
+                from repro import obs
+
+                obs.counter(f"slo.burn.{alert.kind}").inc()
+        self.alerts.extend(transitions)
+        return transitions
+
+    def active_alerts(self) -> List[BurnRateAlert]:
+        """Currently-firing alerts, in (metric, window) order."""
+        return [self._active[k] for k in sorted(self._active)]
+
+    @property
+    def fired(self) -> bool:
+        """True once any window pair has ever fired."""
+        return any(a.kind == "fired" for a in self.alerts)
+
+    def status(
+        self, source: Any, now_s: float
+    ) -> List[Dict[str, Any]]:
+        """Point-in-time health per objective, for telemetry snapshots.
+
+        One dict per objective: metric, target, remaining budget, and
+        per-window burn rates with their active flags.  Objectives
+        whose series has no data report ``remaining`` None and empty
+        window rates.
+        """
+        out: List[Dict[str, Any]] = []
+        for objective in self.objectives:
+            series = _series_for(source, objective.metric)
+            entry: Dict[str, Any] = {
+                "metric": objective.metric,
+                "target": objective.target,
+                "budget_s": objective.budget_s,
+                "remaining": None,
+                "windows": [],
+            }
+            if series is not None:
+                entry["remaining"] = self.budget_remaining(
+                    series, objective, now_s
+                )
+                for window in objective.windows:
+                    long_rate = _error_rate(series, now_s, window.long_s)
+                    short_rate = _error_rate(series, now_s, window.short_s)
+                    entry["windows"].append({
+                        "label": window.label,
+                        "threshold": window.threshold,
+                        "long_burn": (
+                            long_rate / objective.error_budget
+                            if long_rate is not None else None
+                        ),
+                        "short_burn": (
+                            short_rate / objective.error_budget
+                            if short_rate is not None else None
+                        ),
+                        "active": (
+                            (objective.metric, window.label)
+                            in self._active
+                        ),
+                    })
+            out.append(entry)
+        return out
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [a.to_dict() for a in self.alerts]

@@ -8,20 +8,30 @@ one-line mini-language::
     uplink.decode.latency_s.p95 <= 0.25 over 50 samples
     uplink.ber.window.mean <= 0.05 over 20 frames ! warn
     gateway.delivery.rate >= 0.8 over 10 frames ! critical quarantine
+    serve.request.ok >= 0.99 budget 30d ! critical quarantine
 
-Grammar: ``<metric>[.<stat>] <op> <threshold> [over <N> <unit>] [!
-<severity> [<action>]]``.  The ``over`` window applies to time-series
-metrics (last *N* samples); the unit word (frames, samples, polls, …)
-is documentation only.  ``<stat>`` is one of ``rate, mean, min, max,
-p50, p95, p99, count, last, value, sum`` and defaults to the metric's
-natural value (counter/gauge value, histogram mean, time-series mean).
+Grammar: ``<metric>[.<stat>] <op> <threshold> [over <N> <unit>]
+[budget <duration>] [! <severity> [<action>]]``.  The ``over`` window
+applies to time-series metrics (last *N* samples); the unit word
+(frames, samples, polls, …) is documentation only.  ``<stat>`` is one
+of ``rate, mean, min, max, p50, p95, p99, count, last, value, sum``
+and defaults to the metric's natural value (counter/gauge value,
+histogram mean, time-series mean).
 
-:meth:`SloEngine.evaluate` checks every rule against a registry and
-emits an :class:`AlertEvent` per *violated* rule (the objective not
-holding).  Rules whose metric has no data yet are skipped — an SLO on
-``uplink.delivery`` cannot fail before the first frame.  Consumers:
+A ``budget`` clause turns the rule into an *error-budget objective*:
+the metric must name a 0/1 good-event time series, the op must be
+``>=`` with a target in (0, 1), and the duration (``30d``, ``6h``,
+``45s``…) is the budget window.  Budget rules are not point-in-time
+checked by :meth:`SloEngine.evaluate`; they are watched continuously
+by the engine's :class:`~repro.obs.perf.burnrate.BurnRateEngine`
+(multi-window burn rates, Google-SRE style — see that module).
+
+:meth:`SloEngine.evaluate` checks every plain rule against a registry
+and emits an :class:`AlertEvent` per *violated* rule (the objective
+not holding).  Rules whose metric has no data yet are skipped — an SLO
+on ``uplink.delivery`` cannot fail before the first frame.  Consumers:
 the CLI (``--slo`` → exit code 4), the gateway (alert-driven
-quarantine pre-emption), and manifests/reports.
+quarantine pre-emption + burn-rate watching), and manifests/reports.
 """
 
 from __future__ import annotations
@@ -32,6 +42,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.perf.burnrate import BudgetObjective, BurnRateEngine
+
+#: Duration-unit multipliers for the ``budget`` clause.
+DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0,
+                  "w": 604800.0}
 
 #: Comparison operators, objective form: alert when NOT satisfied.
 _OPS: Dict[str, Callable[[float, float], bool]] = {
@@ -55,6 +70,8 @@ _RULE_RE = re.compile(
     r"(?P<op>>=|<=|==|!=|>|<)\s*"
     r"(?P<threshold>[-+0-9.eE]+)"
     r"(?:\s+over\s+(?P<window>\d+)\s*(?P<unit>[A-Za-z_]*))?"
+    r"(?:\s+budget\s+(?P<budget>\d+(?:\.\d+)?)\s*"
+    r"(?P<budget_unit>[smhdw]?))?"
     r"(?:\s*!\s*(?P<severity>[A-Za-z]+)(?:\s+(?P<action>[A-Za-z_]+))?)?"
     r"\s*$"
 )
@@ -73,6 +90,9 @@ class SloRule:
         severity: "info" | "warn" | "critical".
         action: optional consumer hint (e.g. "quarantine" for the
             gateway's pre-emption hook).
+        budget_s: error-budget window in seconds; non-None marks this
+            as a budget objective handled by the burn-rate engine
+            rather than point-in-time evaluation.
     """
 
     metric: str
@@ -82,6 +102,7 @@ class SloRule:
     unit: str = "samples"
     severity: str = "critical"
     action: Optional[str] = None
+    budget_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.op not in _OPS:
@@ -93,6 +114,37 @@ class SloRule:
             )
         if self.window is not None and self.window < 1:
             raise ConfigurationError("SLO window must be >= 1")
+        if self.budget_s is not None:
+            if self.op != ">=":
+                raise ConfigurationError(
+                    "budget objectives must use >= (a good-event "
+                    f"fraction target), got {self.op!r}"
+                )
+            if not (0.0 < self.threshold < 1.0):
+                raise ConfigurationError(
+                    "budget objective target must be in (0, 1), got "
+                    f"{self.threshold!r}"
+                )
+            if self.budget_s <= 0:
+                raise ConfigurationError("budget window must be positive")
+
+    @property
+    def is_budget(self) -> bool:
+        return self.budget_s is not None
+
+    def to_objective(self) -> BudgetObjective:
+        """The burn-rate objective form of a budget rule."""
+        if self.budget_s is None:
+            raise ConfigurationError(
+                f"rule {self.describe()!r} has no budget clause"
+            )
+        return BudgetObjective(
+            metric=self.metric,
+            target=self.threshold,
+            budget_s=self.budget_s,
+            severity=self.severity,
+            action=self.action,
+        )
 
     def satisfied_by(self, value: float) -> bool:
         return _OPS[self.op](value, self.threshold)
@@ -101,6 +153,8 @@ class SloRule:
         text = f"{self.metric} {self.op} {self.threshold:g}"
         if self.window is not None:
             text += f" over {self.window} {self.unit}"
+        if self.budget_s is not None:
+            text += f" budget {self.budget_s:g}s"
         return text
 
     def to_dict(self) -> Dict[str, Any]:
@@ -112,6 +166,7 @@ class SloRule:
             "unit": self.unit,
             "severity": self.severity,
             "action": self.action,
+            "budget_s": self.budget_s,
         }
 
 
@@ -169,6 +224,10 @@ def parse_slo_rule(text: str) -> SloRule:
         raise ConfigurationError(
             f"SLO severity must be one of {SEVERITIES}, got {severity!r}"
         )
+    budget_s = None
+    if m.group("budget"):
+        unit_s = DURATION_UNITS[m.group("budget_unit") or "s"]
+        budget_s = float(m.group("budget")) * unit_s
     return SloRule(
         metric=m.group("metric"),
         op=m.group("op"),
@@ -177,6 +236,7 @@ def parse_slo_rule(text: str) -> SloRule:
         unit=m.group("unit") or "samples",
         severity=severity,
         action=m.group("action"),
+        budget_s=budget_s,
     )
 
 
@@ -242,14 +302,24 @@ def resolve_metric_value(
 class SloEngine:
     """Evaluates a rule set against a registry, accumulating alerts.
 
+    Budget rules (``budget`` clause) are split out at construction
+    into :attr:`burn`, a :class:`BurnRateEngine` the owner drives on
+    its own cadence (the serve loop evaluates it every telemetry
+    tick); :meth:`evaluate` only point-in-time checks the plain rules.
+
     Attributes:
-        rules: the objectives.
-        alerts: every alert fired over the engine's lifetime.
+        rules: every parsed rule, budget rules included.
+        alerts: every point-in-time alert fired over the lifetime.
+        burn: burn-rate engine over the budget rules (empty rule sets
+            get an engine with no objectives — safe to drive always).
     """
 
     def __init__(self, rules: List[SloRule]) -> None:
         self.rules = list(rules)
         self.alerts: List[AlertEvent] = []
+        self.burn = BurnRateEngine(
+            [rule.to_objective() for rule in self.rules if rule.is_budget]
+        )
 
     @classmethod
     def from_spec(cls, spec: str) -> "SloEngine":
@@ -273,6 +343,8 @@ class SloEngine:
             registry = state.get_registry()
         fired: List[AlertEvent] = []
         for rule in self.rules:
+            if rule.is_budget:
+                continue
             value = resolve_metric_value(registry, rule.metric, rule.window)
             if value is None:
                 continue

@@ -135,6 +135,28 @@ class TimeSeries:
         """The last ``n`` sample values, oldest first."""
         return [v for _, v in self.window(n)]
 
+    def window_since(self, t_cutoff: float) -> List[Tuple[float, float]]:
+        """Samples with ``t >= t_cutoff`` as ``[(t, value), ...]``.
+
+        The time-based counterpart to :meth:`window` — burn-rate
+        evaluation needs "the last 5 virtual seconds", not "the last N
+        samples", because the sample rate itself varies with load.
+        Assumes sample times are non-decreasing (true for virtual-clock
+        producers and for the auto-indexed default); scans back from
+        the newest sample and stops at the first older-than-cutoff one.
+        """
+        out: List[Tuple[float, float]] = []
+        for t, v in reversed(self.window(None)):
+            if t < t_cutoff:
+                break
+            out.append((t, v))
+        out.reverse()
+        return out
+
+    def values_since(self, t_cutoff: float) -> List[float]:
+        """Sample values with ``t >= t_cutoff``, oldest first."""
+        return [v for _, v in self.window_since(t_cutoff)]
+
     def last(self) -> Optional[float]:
         """Most recent sample value, or None when empty."""
         win = self.window(1)
@@ -208,3 +230,70 @@ class TimeSeries:
         # Account for samples the worker's ring already evicted so the
         # lifetime count stays the true number of observations.
         self.count += max(0, int(payload.get("count", 0)) - len(samples))
+
+
+#: Default latency bucket bounds (seconds) for exemplar tracking; the
+#: final +inf bucket catches everything past the last finite bound.
+DEFAULT_EXEMPLAR_BOUNDS = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, math.inf)
+
+
+class ExemplarReservoir:
+    """Worst-case exemplar per histogram bucket, keyed by corr ID.
+
+    OpenMetrics-style exemplars answer "show me the request behind that
+    p99 bucket": for each latency bucket the reservoir keeps the single
+    *worst* (highest-valued) observation together with its flight-
+    recorder correlation ID and observation time.  Updates are pure
+    max-comparisons on the observed value, so two runs observing the
+    same (value, corr_id, t) stream — e.g. ``workers=0`` and
+    ``workers=2`` serve runs — hold byte-identical exemplars.
+    """
+
+    __slots__ = ("bounds", "_worst")
+
+    def __init__(self, bounds=DEFAULT_EXEMPLAR_BOUNDS) -> None:
+        cleaned = tuple(float(b) for b in bounds)
+        if not cleaned or any(
+            b2 <= b1 for b1, b2 in zip(cleaned, cleaned[1:])
+        ):
+            raise ConfigurationError(
+                "exemplar bounds must be strictly increasing and non-empty"
+            )
+        if not math.isinf(cleaned[-1]):
+            cleaned = cleaned + (math.inf,)
+        self.bounds = cleaned
+        #: bucket index -> (value, corr_id, t)
+        self._worst: Dict[int, Tuple[float, str, float]] = {}
+
+    def observe(self, value: float, corr_id: str, t: float = 0.0) -> None:
+        """Record one observation; keeps it only if it is the bucket's
+        worst so far.  NaN observations are ignored (they have no
+        bucket and would poison the max comparison)."""
+        v = float(value)
+        if math.isnan(v):
+            return
+        idx = 0
+        while v > self.bounds[idx]:
+            idx += 1
+        current = self._worst.get(idx)
+        if current is None or v > current[0]:
+            self._worst[idx] = (v, str(corr_id), float(t))
+
+    def __len__(self) -> int:
+        return len(self._worst)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Bucket-ordered export: ``[{le, value, corr_id, t_s}, ...]``.
+
+        ``le`` is the bucket's inclusive upper bound; +inf survives the
+        JSON round trip via the shared IEEE-string codec.
+        """
+        return [
+            {
+                "le": self.bounds[idx],
+                "value": self._worst[idx][0],
+                "corr_id": self._worst[idx][1],
+                "t_s": self._worst[idx][2],
+            }
+            for idx in sorted(self._worst)
+        ]

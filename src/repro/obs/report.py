@@ -81,6 +81,90 @@ def render_metrics(metrics: Dict[str, Dict[str, Any]]) -> str:
     return format_table(["metric", "type", "value", "detail"], rows)
 
 
+def render_telemetry(
+    header: Dict[str, Any],
+    snapshots: Sequence[Dict[str, Any]],
+    final: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Compact serve-health report for a telemetry snapshot stream.
+
+    Consumes the ``(header, snapshots, final)`` triple produced by
+    :func:`repro.serve.telemetry.read_telemetry` as plain dicts — this
+    module stays independent of the serve package.
+    """
+    sections: List[str] = []
+    status = (final or {}).get("event") or "truncated"
+    head_rows = [
+        ["run", header.get("run_id", "?")],
+        ["seed", header.get("seed")],
+        ["cadence", f"{header.get('cadence_s', 0)} s"],
+        ["snapshots", len(snapshots)],
+        ["stream", status],
+    ]
+    sections.append(
+        format_table(
+            ["field", "value"], head_rows, title="serve telemetry stream"
+        )
+    )
+    if snapshots:
+        rows = []
+        for snap in snapshots:
+            lat = snap.get("latency") or {}
+            budget = (snap.get("budget") or [{}])[0]
+            remaining = budget.get("remaining")
+            active = snap.get("alerts_active", 0)
+            fired = sum(
+                1 for a in snap.get("alerts") or []
+                if a.get("kind") == "fired"
+            )
+            rows.append([
+                f"{snap.get('t_s', 0.0):.1f}",
+                snap.get("queue_depth", 0),
+                snap.get("delivered", 0),
+                snap.get("shed", 0),
+                snap.get("deadline_abandoned", 0),
+                f"{(lat.get('p95') or 0.0) * 1e3:.0f}",
+                "-" if remaining is None else f"{remaining:.1%}",
+                f"{active}{'!' if fired else ''}",
+            ])
+        sections.append(
+            format_table(
+                ["t_s", "queue", "delivered", "shed", "deadline",
+                 "p95 ms", "budget left", "alerts"],
+                rows,
+                title="serve health",
+            )
+        )
+        reasons = snapshots[-1].get("shed_by_reason") or {}
+        if reasons:
+            sections.append(
+                "shed by reason: " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(reasons.items())
+                )
+            )
+    transitions = [
+        a for snap in snapshots for a in snap.get("alerts") or []
+    ]
+    if transitions:
+        lines = [
+            f"  t={a.get('at_s', 0.0):.1f}s "
+            f"{a.get('message') or a.get('kind')}"
+            for a in transitions
+        ]
+        sections.append("burn-rate transitions\n" + "\n".join(lines))
+    summary = (final or {}).get("summary") or {}
+    if summary:
+        sections.append(
+            format_table(
+                ["field", "value"],
+                [[k, _fmt_attr(v) if isinstance(v, float) else v]
+                 for k, v in summary.items()],
+                title="final summary",
+            )
+        )
+    return "\n\n".join(sections)
+
+
 def render_manifest(manifest: Dict[str, Any]) -> str:
     """Full report for a manifest dict: header, metrics, span tree."""
     header_rows = [

@@ -67,6 +67,31 @@ class Span:
             return None
         return self.end_s - self.start_s
 
+    @classmethod
+    def at(
+        cls,
+        name: str,
+        start_s: float,
+        end_s: float,
+        **attributes: Any,
+    ) -> "Span":
+        """Build a closed span with explicit bounds.
+
+        For producers that measure on a *virtual* clock (the serve
+        loop): the span never passes through ``perf_counter``, so two
+        runs making the same control decisions build byte-identical
+        span trees regardless of worker count or wall-clock jitter.
+        """
+        sp = cls(name, attributes)
+        sp.start_s = float(start_s)
+        sp.end_s = float(end_s)
+        return sp
+
+    def add_child(self, child: "Span") -> "Span":
+        """Append a nested span; returns the child for chaining."""
+        self.children.append(child)
+        return child
+
     def set(self, **attributes: Any) -> "Span":
         """Attach diagnostics to the span; returns self for chaining."""
         self.attributes.update(attributes)
@@ -101,6 +126,19 @@ class Tracer:
 
     def to_dicts(self) -> List[Dict[str, Any]]:
         return [root.to_dict() for root in self.roots]
+
+    def adopt(self, root: Span) -> None:
+        """Attach an externally built span tree (see :meth:`Span.at`)
+        as a root, honouring the same cap/drop accounting the live
+        ``span`` context manager applies."""
+        def count(sp: Span) -> int:
+            return 1 + sum(count(c) for c in sp.children)
+
+        self.started += count(root)
+        if len(self.roots) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.roots.append(root)
 
     def absorb(self, span_dicts: List[Dict[str, Any]]) -> None:
         """Graft span trees exported by another tracer onto this one.

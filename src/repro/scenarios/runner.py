@@ -276,7 +276,13 @@ def _execute_serve(
         "queue_depth_max": float(report.queue_depth_max),
         "latency_p99_s": float(report.latency_p99_s),
         "recovered": 1.0 if report.recovered else 0.0,
+        "burn_alerts_fired": float(sum(
+            1 for a in report.burn_alerts if a.get("kind") == "fired"
+        )),
+        "breaker_preempted": float(report.breaker_preempted),
     }
+    if report.budget_remaining is not None:
+        metrics["budget_remaining"] = float(report.budget_remaining)
     if report.recovery_s is not None:
         metrics["recovery_s"] = float(report.recovery_s)
     return metrics

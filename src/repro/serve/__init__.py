@@ -32,14 +32,22 @@ from repro.serve.arrivals import ARRIVAL_PROFILES, generate_arrivals
 from repro.serve.breaker import TagBreaker
 from repro.serve.deadline import DeadlineBudget
 from repro.serve.gateway import ServeConfig, ServeResult, StreamingDecodeGateway, run_serve
+from repro.serve.lifecycle import LifecycleTracker
 from repro.serve.queues import BoundedPriorityQueue, ShedEvent
 from repro.serve.report import ServeReport, render_serve_text
 from repro.serve.request import (
     PRIORITIES,
     SHED_REASONS,
+    SPAN_REQUEST,
     STATUSES,
+    TERMINAL_SPANS,
     DecodeRequest,
     ServeOutcome,
+)
+from repro.serve.telemetry import (
+    TelemetrySnapshotter,
+    is_telemetry_header,
+    read_telemetry,
 )
 
 __all__ = [
@@ -47,8 +55,10 @@ __all__ = [
     "BoundedPriorityQueue",
     "DeadlineBudget",
     "DecodeRequest",
+    "LifecycleTracker",
     "PRIORITIES",
     "SHED_REASONS",
+    "SPAN_REQUEST",
     "STATUSES",
     "ServeConfig",
     "ServeOutcome",
@@ -56,8 +66,12 @@ __all__ = [
     "ServeResult",
     "ShedEvent",
     "StreamingDecodeGateway",
+    "TERMINAL_SPANS",
     "TagBreaker",
+    "TelemetrySnapshotter",
     "generate_arrivals",
+    "is_telemetry_header",
+    "read_telemetry",
     "render_serve_text",
     "run_serve",
 ]

@@ -96,8 +96,38 @@ class TagBreaker:
             self.opened_total += 1
             obs.counter("serve.breaker.opened").inc()
 
+    def preempt(self, tag: int, now_s: float) -> bool:
+        """Force-open ``tag``'s breaker before the failure threshold.
+
+        The burn-rate quarantine hook: when the error budget is
+        burning fast, tags with recent failures are quarantined
+        immediately instead of being given ``failure_threshold`` more
+        decode slots.  Quarantine doubling and the half-open probe
+        path behave exactly as for a threshold-triggered open.
+        Returns False (and does nothing) when already open.
+        """
+        st = self._state(tag)
+        if st.state == BREAKER_OPEN:
+            return False
+        st.quarantine_s = min(
+            self.max_quarantine_s,
+            st.quarantine_s * 2.0 if st.quarantine_s else
+            self.quarantine_s,
+        )
+        st.state = BREAKER_OPEN
+        st.open_until_s = now_s + st.quarantine_s
+        st.consecutive_failures = 0
+        st.opened += 1
+        self.opened_total += 1
+        obs.counter("serve.breaker.preempted").inc()
+        return True
+
     def state_of(self, tag: int) -> str:
         return self._state(tag).state
+
+    def states(self) -> Dict[int, str]:
+        """Per-tag breaker state for every tag seen so far (sorted)."""
+        return {t: self._tags[t].state for t in sorted(self._tags)}
 
     def open_tags(self) -> List[int]:
         return sorted(

@@ -32,11 +32,19 @@ from repro import obs
 from repro.errors import ConfigurationError
 from repro.faults.base import FaultPlan
 from repro.obs import forensics
+from repro.obs import state as obs_state
+from repro.obs.perf.burnrate import BudgetObjective, BurnRateEngine
 from repro.obs.perf.slo import SloEngine
+from repro.obs.perf.timeseries import (
+    ExemplarReservoir,
+    TimeSeries,
+    percentile_of,
+)
 from repro.serve.arrivals import ARRIVAL_PROFILES, generate_arrivals
 from repro.serve.breaker import TagBreaker
 from repro.serve.deadline import DeadlineBudget
 from repro.serve.decode import ServeDecodeTask, decode_request_task
+from repro.serve.lifecycle import LifecycleTracker
 from repro.serve.queues import BoundedPriorityQueue, ShedEvent, count_shed
 from repro.serve.report import ServeReport
 from repro.serve.request import (
@@ -51,6 +59,17 @@ from repro.serve.request import (
     DecodeRequest,
     ServeOutcome,
 )
+from repro.serve.telemetry import (
+    TELEMETRY_WINDOW_CADENCES,
+    TelemetrySnapshotter,
+)
+
+#: Metric name of the gateway's private 0/1 good-event series watched
+#: by the burn-rate engine (1 = delivered, 0 = any other disposition).
+BUDGET_METRIC = "serve.request.ok"
+
+#: Metric name of the gateway's private virtual-latency series.
+LATENCY_METRIC = "serve.latency.virtual_s"
 
 #: Forensics failure names for serve-level dispositions (mapped to
 #: attribution labels by :mod:`repro.obs.forensics.attribution`).
@@ -92,6 +111,9 @@ class ServeConfig:
     breaker_quarantine_s: float = 5.0
     recovery_window_s: float = 5.0
     recovery_delivery_ratio: float = 0.9
+    budget_target: float = 0.99
+    budget_window_s: float = 3600.0
+    telemetry_cadence_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -121,6 +143,12 @@ class ServeConfig:
             raise ConfigurationError(
                 "burst_load_rps must be >= offered_load_rps"
             )
+        if not (0.0 < self.budget_target < 1.0):
+            raise ConfigurationError("budget_target must be in (0, 1)")
+        if self.budget_window_s <= 0:
+            raise ConfigurationError("budget_window_s must be positive")
+        if self.telemetry_cadence_s <= 0:
+            raise ConfigurationError("telemetry_cadence_s must be positive")
 
     @property
     def effective_service_s(self) -> float:
@@ -169,6 +197,7 @@ class StreamingDecodeGateway:
         faults: Optional[FaultPlan] = None,
         slo: Optional[SloEngine] = None,
         seed: Optional[int] = None,
+        telemetry_out: Optional[str] = None,
     ) -> None:
         from repro.sim.seeding import resolve_rng
 
@@ -178,6 +207,7 @@ class StreamingDecodeGateway:
         self.slo = slo
         self.seed = int(effective if effective is not None else 0)
         self.run_id = f"serve-{self.seed}"
+        self.telemetry_out = telemetry_out
         self.breaker = TagBreaker(
             failure_threshold=config.breaker_threshold,
             quarantine_s=config.breaker_quarantine_s,
@@ -263,6 +293,49 @@ class StreamingDecodeGateway:
         i = 0
         stopped = False
 
+        # Telemetry plumbing.  Everything below runs on the virtual
+        # clock: the lifecycle tracker builds span trees from virtual
+        # bounds, the burn engine reads gateway-private ring buffers
+        # sampled at virtual completion times, and snapshots fire on a
+        # virtual cadence — so all of it is a pure function of
+        # ``(config, seed)``, independent of worker count.
+        tracer = (
+            obs_state.get_tracer() if obs_state.tracing_enabled() else None
+        )
+        lifecycle = LifecycleTracker(self.run_id, tracer)
+        exemplars = ExemplarReservoir()
+        series_cap = max(1024, 2 * len(arrivals) + 8)
+        ok_series = TimeSeries(BUDGET_METRIC, capacity=series_cap)
+        lat_series = TimeSeries(LATENCY_METRIC, capacity=series_cap)
+        series = {BUDGET_METRIC: ok_series, LATENCY_METRIC: lat_series}
+        if self.slo is not None and self.slo.burn.objectives:
+            burn = self.slo.burn
+        else:
+            burn = BurnRateEngine([BudgetObjective(
+                BUDGET_METRIC,
+                target=cfg.budget_target,
+                budget_s=cfg.budget_window_s,
+                action="quarantine",
+            )])
+        snapshotter: Optional[TelemetrySnapshotter] = None
+        if self.telemetry_out is not None:
+            snapshotter = TelemetrySnapshotter(
+                self.telemetry_out,
+                run_id=self.run_id,
+                cadence_s=cfg.telemetry_cadence_s,
+                meta={
+                    "seed": self.seed,
+                    "duration_s": cfg.duration_s,
+                    "budget_target": cfg.budget_target,
+                    "budget_window_s": cfg.budget_window_s,
+                },
+            )
+        counts: Dict[str, int] = {}
+        shed_reasons: Dict[str, int] = {}
+        recent_failures: Dict[int, float] = {}
+        preempted = 0
+        next_tick = cfg.telemetry_cadence_s
+
         def bump(t: float, key: str, n: int = 1) -> None:
             w = windows.setdefault(
                 int(t // cfg.recovery_window_s),
@@ -271,25 +344,111 @@ class StreamingDecodeGateway:
             )
             w[key] = w.get(key, 0) + n
 
+        def settle(outcome: ServeOutcome) -> None:
+            """Every terminal disposition funnels through here exactly
+            once: accounting, the burn-rate good-event sample, latency
+            exemplars, and the request's lifecycle span tree."""
+            outcomes.append(outcome)
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+            if outcome.status == STATUS_SHED:
+                shed_reasons[outcome.reason] = \
+                    shed_reasons.get(outcome.reason, 0) + 1
+            t = outcome.completed_s
+            ok_series.sample(1.0 if outcome.delivered else 0.0, t=t)
+            if outcome.delivered:
+                lat_series.sample(outcome.latency_s, t=t)
+                exemplars.observe(outcome.latency_s, outcome.corr_id, t)
+            elif outcome.status in (STATUS_DECODE_FAILED,
+                                    STATUS_WORKER_LOST):
+                recent_failures[outcome.tag_address] = t
+            lifecycle.finish(outcome)
+
+        def window_latency(t: float) -> Dict[str, Any]:
+            cutoff = t - TELEMETRY_WINDOW_CADENCES * cfg.telemetry_cadence_s
+            ordered = sorted(lat_series.values_since(cutoff))
+            if not ordered:
+                return {"count": 0, "mean": 0.0, "p50": 0.0,
+                        "p95": 0.0, "p99": 0.0}
+            return {
+                "count": len(ordered),
+                "mean": sum(ordered) / len(ordered),
+                "p50": percentile_of(ordered, 50),
+                "p95": percentile_of(ordered, 95),
+                "p99": percentile_of(ordered, 99),
+            }
+
+        def tick(t: float) -> None:
+            """One cadence boundary: burn evaluation, the quarantine
+            pre-emption hook, and (when enabled) a snapshot line."""
+            nonlocal preempted
+            transitions = burn.evaluate(
+                series, t, context={"run_id": self.run_id, "t_s": t}
+            )
+            for alert in transitions:
+                if alert.kind != "fired" or alert.action != "quarantine":
+                    continue
+                # Budget burning fast: stop giving decode slots to tags
+                # that failed within the alert's evidence window instead
+                # of waiting out the consecutive-failure threshold.
+                horizon = t - alert.window.long_s
+                for tag in sorted(recent_failures):
+                    if recent_failures[tag] >= horizon and \
+                            self.breaker.preempt(tag, t):
+                        preempted += 1
+            if snapshotter is None:
+                return
+            snapshotter.snapshot({
+                "t_s": t,
+                "arrivals": i,
+                "delivered": counts.get(STATUS_DELIVERED, 0),
+                "decode_failed": counts.get(STATUS_DECODE_FAILED, 0),
+                "shed": counts.get(STATUS_SHED, 0),
+                "deadline_abandoned": counts.get(STATUS_DEADLINE, 0),
+                "worker_lost": counts.get(STATUS_WORKER_LOST, 0),
+                "shed_by_reason": dict(sorted(shed_reasons.items())),
+                "queue_depth": len(ingress),
+                "queue_depth_max": ingress.depth_max,
+                "egress_depth": len(egress),
+                "breaker": {
+                    str(tag): st
+                    for tag, st in self.breaker.states().items()
+                },
+                "breaker_preempted": preempted,
+                "latency": window_latency(t),
+                "budget": burn.status(series, t),
+                "alerts": [a.to_dict() for a in transitions],
+                "alerts_active": len(burn.active_alerts()),
+                "exemplars": exemplars.to_dicts(),
+            })
+
+        def run_ticks(t: float) -> None:
+            nonlocal next_tick
+            while next_tick <= t:
+                tick(next_tick)
+                next_tick += cfg.telemetry_cadence_s
+
         def admit(req: DecodeRequest) -> None:
             obs.counter("serve.arrivals").inc()
             bump(req.arrival_s, "arrived")
+            # Breaker state *before* the admission check (which flips
+            # an expired quarantine to half-open) — the span records
+            # what the gate saw, not what the check left behind.
+            breaker_state = self.breaker.state_of(req.tag_address)
+            depth = len(ingress)
             if not self.breaker.admit(req.tag_address, now):
+                lifecycle.ingress(req, now, depth, breaker_state, False)
                 shed_events.append(
                     self._shed_event(req, SHED_QUARANTINED, now)
                 )
-                outcomes.append(
-                    self._shed_outcome(req, SHED_QUARANTINED, now)
-                )
+                settle(self._shed_outcome(req, SHED_QUARANTINED, now))
                 return
             admitted, event = ingress.offer(req, now)
+            lifecycle.ingress(req, now, depth, breaker_state, admitted)
             if event is not None:
                 shed_events.append(event)
                 bump(event.time_s, "queue_full")
                 victim = req if not admitted else by_seq[event.seq]
-                outcomes.append(
-                    self._shed_outcome(victim, event.reason, now)
-                )
+                settle(self._shed_outcome(victim, event.reason, now))
             if admitted:
                 obs.counter("serve.admitted").inc()
 
@@ -300,15 +459,16 @@ class StreamingDecodeGateway:
                 # that is a shed, and it is counted like every other.
                 req = by_seq[outcome.seq]
                 shed_events.append(
-                    self._shed_event(req, SHED_EGRESS_FULL, now)
+                    self._shed_event(req, SHED_EGRESS_FULL,
+                                     outcome.completed_s)
                 )
-                outcomes.append(
-                    self._shed_outcome(req, SHED_EGRESS_FULL, now)
-                )
+                settle(self._shed_outcome(
+                    req, SHED_EGRESS_FULL, outcome.completed_s
+                ))
                 return
             egress.append(outcome)
             egress_depth_max = max(egress_depth_max, len(egress))
-            outcomes.append(outcome)
+            settle(outcome)
             obs.counter("serve.delivered").inc()
             obs.timeseries("serve.latency_s").sample(outcome.latency_s)
             bump(outcome.completed_s, "delivered")
@@ -335,6 +495,7 @@ class StreamingDecodeGateway:
                 if i >= len(arrivals):
                     break
                 now = max(now, arrivals[i].arrival_s)
+                run_ticks(now)
             while i < len(arrivals) and arrivals[i].arrival_s <= now:
                 admit(arrivals[i])
                 i += 1
@@ -342,6 +503,12 @@ class StreamingDecodeGateway:
             if not len(ingress):
                 continue
             batch = ingress.pop_batch(cfg.batch)
+            if lifecycle.enabled:
+                depth_after = len(ingress)
+                for bi, req in enumerate(batch):
+                    lifecycle.dispatch(
+                        req, now, bi, len(batch), depth_after
+                    )
             ready: List[DecodeRequest] = []
             for req in batch:
                 budget = DeadlineBudget(
@@ -354,7 +521,7 @@ class StreamingDecodeGateway:
                     self._record_disposition(
                         req, FAILURE_DEADLINE, "unmeetable_slo", now
                     )
-                    outcomes.append(ServeOutcome(
+                    settle(ServeOutcome(
                         seq=req.seq,
                         corr_id=req.corr_id,
                         tag_address=req.tag_address,
@@ -404,14 +571,19 @@ class StreamingDecodeGateway:
             sup_totals["dead_letters"] += len(sup.dead_letters)
             dead = {d.index: d for d in sup.dead_letters}
             for j, req in enumerate(ready):
+                slot_start = now + j * service
                 completed = now + (j + 1) * service
                 if j in dead:
                     letter = dead[j]
                     obs.counter("serve.worker_lost").inc()
+                    lifecycle.decode(
+                        req, slot_start, completed,
+                        ok=False, errors=req.payload_bits,
+                    )
                     self._record_disposition(
                         req, FAILURE_WORKER_LOST, letter.reason, completed
                     )
-                    outcomes.append(ServeOutcome(
+                    settle(ServeOutcome(
                         seq=req.seq,
                         corr_id=req.corr_id,
                         tag_address=req.tag_address,
@@ -426,6 +598,10 @@ class StreamingDecodeGateway:
                     continue
                 result = sup.results[j]
                 wall_latencies.append(float(result["wall_s"]))
+                lifecycle.decode(
+                    req, slot_start, completed,
+                    ok=bool(result["ok"]), errors=int(result["errors"]),
+                )
                 if result["ok"]:
                     self.breaker.record_success(req.tag_address)
                     publish(ServeOutcome(
@@ -443,7 +619,7 @@ class StreamingDecodeGateway:
                 else:
                     self.breaker.record_failure(req.tag_address, completed)
                     obs.counter("serve.decode_failed").inc()
-                    outcomes.append(ServeOutcome(
+                    settle(ServeOutcome(
                         seq=req.seq,
                         corr_id=req.corr_id,
                         tag_address=req.tag_address,
@@ -457,21 +633,36 @@ class StreamingDecodeGateway:
                     ))
             now += len(ready) * service
             drain_egress(now)
+            run_ticks(now)
             obs.timeseries("serve.queue_depth").sample(float(len(ingress)))
 
         # Anything still queued (or never admitted after an early stop)
         # is shed with the drain reason — accounted, never silent.
         for req in ingress.drain():
             shed_events.append(self._shed_event(req, SHED_DRAIN, now))
-            outcomes.append(self._shed_outcome(req, SHED_DRAIN, now))
+            settle(self._shed_outcome(req, SHED_DRAIN, now))
         while i < len(arrivals):
             req = arrivals[i]
             i += 1
             obs.counter("serve.arrivals").inc()
             bump(req.arrival_s, "arrived")
+            lifecycle.ingress(
+                req, now, len(ingress),
+                self.breaker.state_of(req.tag_address), False,
+            )
             shed_events.append(self._shed_event(req, SHED_DRAIN, now))
-            outcomes.append(self._shed_outcome(req, SHED_DRAIN, now))
+            settle(self._shed_outcome(req, SHED_DRAIN, now))
         drain_egress(max(now, cfg.duration_s) + cfg.drain_budget_s)
+
+        # Final cadence boundaries (covers the recovery tail so a
+        # burst-fired burn alert gets its clearing transition) and the
+        # closing budget read.
+        end_t = max(now, cfg.duration_s)
+        run_ticks(end_t)
+        budget_status = burn.status(series, end_t)
+        budget_remaining = (
+            budget_status[0]["remaining"] if budget_status else None
+        )
 
         alerts = []
         if self.slo is not None:
@@ -494,7 +685,27 @@ class StreamingDecodeGateway:
             wall_s=time.perf_counter() - wall_start,
             alerts=alerts,
             stopped=stopped,
+            burn_alerts=[a.to_dict() for a in burn.alerts],
+            budget_remaining=budget_remaining,
+            exemplars=exemplars.to_dicts(),
+            breaker_preempted=preempted,
+            telemetry_path=snapshotter.path if snapshotter else None,
+            telemetry_snapshots=(
+                snapshotter.snapshots if snapshotter else 0
+            ),
         )
+        if snapshotter is not None:
+            snapshotter.close(summary={
+                "arrivals": report.arrivals,
+                "delivered": report.delivered,
+                "decode_failed": report.decode_failed,
+                "shed": report.shed,
+                "deadline_abandoned": report.deadline_abandoned,
+                "worker_lost": report.worker_lost,
+                "burn_alerts": len(burn.alerts),
+                "budget_remaining": budget_remaining,
+                "breaker_preempted": preempted,
+            })
         return ServeResult(
             report=report, outcomes=outcomes, shed_events=shed_events
         )
@@ -585,6 +796,12 @@ class StreamingDecodeGateway:
             recovered=recovered,
             alerts=kw["alerts"],
             stopped_early=kw["stopped"],
+            burn_alerts=kw.get("burn_alerts", []),
+            budget_remaining=kw.get("budget_remaining"),
+            exemplars=kw.get("exemplars", []),
+            breaker_preempted=kw.get("breaker_preempted", 0),
+            telemetry_path=kw.get("telemetry_path"),
+            telemetry_snapshots=kw.get("telemetry_snapshots", 0),
         )
 
 
@@ -595,15 +812,18 @@ def run_serve(
     seed: Optional[int] = None,
     workers: Optional[int] = None,
     should_stop: Optional[Callable[[], bool]] = None,
+    telemetry_out: Optional[str] = None,
 ) -> ServeResult:
     """Run one serve session; the functional entry point.
 
     ``workers`` overrides ``config.workers`` when given (the CLI wires
-    ``--workers`` through here).
+    ``--workers`` through here); ``telemetry_out`` enables the periodic
+    snapshot stream (``serve --telemetry-out``).
     """
     if workers is not None:
         config = replace(config, workers=int(workers))
     gateway = StreamingDecodeGateway(
-        config, faults=faults, slo=slo, seed=seed
+        config, faults=faults, slo=slo, seed=seed,
+        telemetry_out=telemetry_out,
     )
     return gateway.run(should_stop=should_stop)

@@ -49,6 +49,18 @@ class ServeReport:
     recovered: bool
     alerts: List[Dict[str, Any]] = field(default_factory=list)
     stopped_early: bool = False
+    #: Every burn-rate fire/clear transition, in evaluation order.
+    burn_alerts: List[Dict[str, Any]] = field(default_factory=list)
+    #: Error budget left over the budget window at end of run (1.0 =
+    #: untouched, 0.0 = exactly spent, negative = overspent); None
+    #: when no good-event samples landed.
+    budget_remaining: Optional[float] = None
+    #: Per-latency-bucket worst request: ``{le, value, corr_id, t_s}``.
+    exemplars: List[Dict[str, Any]] = field(default_factory=list)
+    #: Tags force-quarantined by the burn-rate pre-emption hook.
+    breaker_preempted: int = 0
+    telemetry_path: Optional[str] = None
+    telemetry_snapshots: int = 0
 
     @property
     def accounted(self) -> int:
@@ -107,6 +119,12 @@ class ServeReport:
             "recovered": self.recovered,
             "alerts": list(self.alerts),
             "stopped_early": self.stopped_early,
+            "burn_alerts": list(self.burn_alerts),
+            "budget_remaining": self.budget_remaining,
+            "exemplars": list(self.exemplars),
+            "breaker_preempted": self.breaker_preempted,
+            "telemetry_path": self.telemetry_path,
+            "telemetry_snapshots": self.telemetry_snapshots,
         }
 
 
@@ -158,6 +176,7 @@ def render_serve_text(report: ServeReport) -> str:
     lines.append(
         f"  breaker: opened {report.breaker_opened}"
         f"  quarantined tags {report.quarantined_tags}"
+        f"  preempted {report.breaker_preempted}"
     )
     lines.append(
         f"  delivered bits {report.delivered_bits}"
@@ -172,6 +191,28 @@ def render_serve_text(report: ServeReport) -> str:
         )
     elif not report.recovered:
         lines.append("  !! did not recover to steady state")
+    if report.budget_remaining is not None:
+        lines.append(
+            f"  error budget remaining {report.budget_remaining:.1%}"
+        )
+    if report.burn_alerts:
+        fired = sum(1 for a in report.burn_alerts if a.get("kind") == "fired")
+        cleared = sum(
+            1 for a in report.burn_alerts if a.get("kind") == "cleared"
+        )
+        lines.append(
+            f"  burn-rate transitions: {fired} fired, {cleared} cleared"
+        )
+        for alert in report.burn_alerts:
+            msg = alert.get("message") or (
+                f"{alert.get('kind')} {alert.get('metric')}"
+            )
+            lines.append(f"    - t={alert.get('at_s', 0.0):.1f}s {msg}")
+    if report.telemetry_path:
+        lines.append(
+            f"  telemetry: {report.telemetry_snapshots} snapshots"
+            f" -> {report.telemetry_path}"
+        )
     if report.alerts:
         lines.append(f"  slo alerts: {len(report.alerts)}")
         for alert in report.alerts:

@@ -44,6 +44,29 @@ SHED_REASONS = (
     SHED_DRAIN,
 )
 
+#: Lifecycle span names (see :mod:`repro.serve.lifecycle`).  Every
+#: request's trace is one ``serve.request`` root whose children follow
+#: ``ingress -> queue_wait -> dispatch -> decode -> <terminal>``.
+SPAN_REQUEST = "serve.request"
+SPAN_INGRESS = "serve.ingress"
+SPAN_QUEUE_WAIT = "serve.queue_wait"
+SPAN_DISPATCH = "serve.dispatch"
+SPAN_DECODE = "serve.decode"
+SPAN_DELIVER = "serve.deliver"
+SPAN_SHED = "serve.shed"
+SPAN_ABANDON = "serve.abandon"
+
+#: Terminal span name per outcome status.  Decode failures and worker
+#: losses both end in ``serve.abandon`` (the request ran but produced
+#: nothing deliverable); the status/reason attributes keep them apart.
+TERMINAL_SPANS = {
+    STATUS_DELIVERED: SPAN_DELIVER,
+    STATUS_SHED: SPAN_SHED,
+    STATUS_DEADLINE: SPAN_ABANDON,
+    STATUS_WORKER_LOST: SPAN_ABANDON,
+    STATUS_DECODE_FAILED: SPAN_ABANDON,
+}
+
 
 @dataclass(frozen=True)
 class DecodeRequest:

@@ -1,0 +1,246 @@
+"""Unit tests for the error-budget burn-rate engine.
+
+Pins the multi-window math: the fast pair reacts to a cliff before the
+slow pair accumulates evidence, budget exhaustion lands exactly at 0.0
+when the observed error rate equals the allowance, samples on the
+window boundary are included, and NaN samples never count as failures.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.perf.burnrate import (
+    BudgetObjective,
+    BurnRateEngine,
+    BurnWindow,
+    derive_windows,
+)
+from repro.obs.perf.timeseries import TimeSeries
+
+
+def make_series(name="serve.request.ok", capacity=8192):
+    return TimeSeries(name, capacity=capacity)
+
+
+class TestWindowDerivation:
+    def test_default_pairs_scale_with_budget_window(self):
+        fast, slow = derive_windows(3600.0)
+        assert fast.label == "fast"
+        assert fast.long_s == pytest.approx(5.0)
+        assert fast.short_s == pytest.approx(3600.0 / 8640.0)
+        assert fast.threshold == 14.4
+        assert slow.label == "slow"
+        assert slow.long_s == pytest.approx(30.0)
+        assert slow.short_s == pytest.approx(2.5)
+        assert slow.threshold == 6.0
+
+    def test_tiny_budget_windows_are_floored(self):
+        for window in derive_windows(1e-6):
+            assert window.long_s >= window.short_s > 0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BurnWindow(label="x", long_s=1.0, short_s=2.0, threshold=1.0)
+        with pytest.raises(ConfigurationError):
+            BurnWindow(label="x", long_s=1.0, short_s=0.5, threshold=0.0)
+
+    def test_objective_validation(self):
+        with pytest.raises(ConfigurationError):
+            BudgetObjective("m", target=1.0, budget_s=10.0)
+        with pytest.raises(ConfigurationError):
+            BudgetObjective("m", target=0.0, budget_s=10.0)
+        with pytest.raises(ConfigurationError):
+            BudgetObjective("m", target=0.99, budget_s=0.0)
+
+
+class TestFastBeforeSlow:
+    def test_fast_pair_fires_before_slow_pair(self):
+        """A sudden cliff after clean traffic trips fast first.
+
+        25 s of clean traffic precede a total outage.  The fast pair's
+        5 s evidence window sheds the clean history almost immediately;
+        the slow pair's 30 s window keeps diluting the outage with old
+        successes, so its alert lands later.
+        """
+        objective = BudgetObjective(
+            "serve.request.ok", target=0.99, budget_s=3600.0
+        )
+        engine = BurnRateEngine([objective])
+        series = make_series()
+        source = {"serve.request.ok": series}
+        first_fired = {}
+        t = 0.0
+        while t < 40.0:
+            series.sample(1.0 if t < 25.0 else 0.0, t=t)
+            for alert in engine.evaluate(source, t):
+                if alert.kind == "fired":
+                    first_fired.setdefault(alert.window.label, t)
+            t += 0.1
+        assert "fast" in first_fired and "slow" in first_fired
+        assert first_fired["fast"] < first_fired["slow"]
+
+    def test_requires_both_windows_over_threshold(self):
+        """A short blip trips the short window but not the long one."""
+        objective = BudgetObjective(
+            "serve.request.ok", target=0.99, budget_s=3600.0
+        )
+        engine = BurnRateEngine([objective])
+        series = make_series()
+        source = {"serve.request.ok": series}
+        # 4.5 s of clean traffic, then three failures in 0.3 s: the
+        # fast short window burns >> 14.4x but the 5 s long window
+        # holds 45 successes against 3 failures (burn ~6.3x < 14.4x).
+        t = 0.0
+        while t < 4.5:
+            series.sample(1.0, t=t)
+            t += 0.1
+        for k in range(3):
+            series.sample(0.0, t=4.5 + 0.1 * k)
+        transitions = engine.evaluate(source, 4.8)
+        assert not any(
+            a.kind == "fired" and a.window.label == "fast"
+            for a in transitions
+        )
+
+    def test_fire_then_clear_transitions_only(self):
+        objective = BudgetObjective(
+            "serve.request.ok", target=0.5, budget_s=100.0,
+            windows=(BurnWindow("only", 2.0, 1.0, 1.5),),
+        )
+        engine = BurnRateEngine([objective])
+        series = make_series()
+        source = {"serve.request.ok": series}
+        for t in range(4):
+            series.sample(0.0, t=float(t))
+        fired = engine.evaluate(source, 3.0)
+        assert [a.kind for a in fired] == ["fired"]
+        # Steady state: still burning, but no new transition.
+        series.sample(0.0, t=4.0)
+        assert engine.evaluate(source, 4.0) == []
+        assert len(engine.active_alerts()) == 1
+        # Recovery clears it.
+        for t in range(5, 10):
+            series.sample(1.0, t=float(t))
+        cleared = engine.evaluate(source, 9.0)
+        assert [a.kind for a in cleared] == ["cleared"]
+        assert engine.active_alerts() == []
+        assert engine.fired
+
+
+class TestBudgetExhaustion:
+    def test_budget_hits_exactly_zero_at_the_allowance(self):
+        """error_rate == error_budget leaves exactly 0.0 remaining.
+
+        A quarter-budget objective (exact in binary floating point)
+        with 3 good + 1 bad sample spends precisely the whole budget.
+        """
+        objective = BudgetObjective("m", target=0.75, budget_s=4.0)
+        engine = BurnRateEngine([objective])
+        series = make_series("m")
+        for t, v in enumerate((1.0, 1.0, 1.0, 0.0)):
+            series.sample(v, t=float(t))
+        remaining = engine.budget_remaining(series, objective, 3.0)
+        assert remaining == 0.0
+
+    def test_window_boundary_sample_is_included(self):
+        """A sample exactly budget_s old still counts (t >= cutoff)."""
+        objective = BudgetObjective("m", target=0.75, budget_s=3.0)
+        engine = BurnRateEngine([objective])
+        series = make_series("m")
+        # Failure lands exactly on the boundary: now=3.0, cutoff=0.0.
+        series.sample(0.0, t=0.0)
+        for t in (1.0, 2.0, 3.0):
+            series.sample(1.0, t=t)
+        assert engine.budget_remaining(series, objective, 3.0) == 0.0
+        # One instant later the boundary failure ages out entirely.
+        series.sample(1.0, t=3.5)
+        assert engine.budget_remaining(series, objective, 3.5) == 1.0
+
+    def test_overspend_goes_negative(self):
+        objective = BudgetObjective("m", target=0.75, budget_s=4.0)
+        engine = BurnRateEngine([objective])
+        series = make_series("m")
+        for t in range(4):
+            series.sample(0.0, t=float(t))
+        remaining = engine.budget_remaining(series, objective, 3.0)
+        assert remaining == pytest.approx(1.0 - 1.0 / 0.25)
+
+    def test_empty_window_is_not_evaluable(self):
+        objective = BudgetObjective("m", target=0.99, budget_s=10.0)
+        engine = BurnRateEngine([objective])
+        series = make_series("m")
+        assert engine.budget_remaining(series, objective, 5.0) is None
+        assert engine.evaluate({"m": series}, 5.0) == []
+
+
+class TestNanExclusion:
+    def test_nan_samples_are_not_failures(self):
+        """NaN is excluded from numerator and denominator alike."""
+        objective = BudgetObjective(
+            "m", target=0.5, budget_s=8.0,
+            windows=(BurnWindow("only", 8.0, 4.0, 1.0),),
+        )
+        engine = BurnRateEngine([objective])
+        series = make_series("m")
+        # Half the window is NaN; the finite half is all good.  If NaN
+        # counted as failure the burn would be 1.0x >= threshold.
+        for t in range(8):
+            series.sample(float("nan") if t % 2 else 1.0, t=float(t))
+        assert engine.evaluate({"m": series}, 7.0) == []
+        assert engine.budget_remaining(series, objective, 7.0) == 1.0
+
+    def test_all_nan_window_reports_no_data(self):
+        objective = BudgetObjective("m", target=0.5, budget_s=4.0)
+        engine = BurnRateEngine([objective])
+        series = make_series("m")
+        for t in range(4):
+            series.sample(math.nan, t=float(t))
+        assert engine.budget_remaining(series, objective, 3.0) is None
+        status = engine.status({"m": series}, 3.0)
+        assert status[0]["remaining"] is None
+        assert all(
+            w["long_burn"] is None for w in status[0]["windows"]
+        )
+
+
+class TestStatusAndMissingSeries:
+    def test_missing_series_is_skipped(self):
+        engine = BurnRateEngine([
+            BudgetObjective("absent", target=0.99, budget_s=10.0)
+        ])
+        assert engine.evaluate({}, 1.0) == []
+        status = engine.status({}, 1.0)
+        assert status[0]["remaining"] is None
+
+    def test_status_reports_active_windows(self):
+        objective = BudgetObjective(
+            "m", target=0.5, budget_s=100.0,
+            windows=(BurnWindow("only", 2.0, 1.0, 1.5),),
+        )
+        engine = BurnRateEngine([objective])
+        series = make_series("m")
+        for t in range(3):
+            series.sample(0.0, t=float(t))
+        engine.evaluate({"m": series}, 2.0)
+        status = engine.status({"m": series}, 2.0)
+        window = status[0]["windows"][0]
+        assert window["active"] is True
+        assert window["long_burn"] == pytest.approx(2.0)
+
+    def test_alert_dict_round_trip(self):
+        objective = BudgetObjective(
+            "m", target=0.5, budget_s=100.0, action="quarantine",
+            windows=(BurnWindow("only", 2.0, 1.0, 1.5),),
+        )
+        engine = BurnRateEngine([objective])
+        series = make_series("m")
+        for t in range(3):
+            series.sample(0.0, t=float(t))
+        (alert,) = engine.evaluate({"m": series}, 2.0, context={"x": 1})
+        d = alert.to_dict()
+        assert d["kind"] == "fired"
+        assert d["action"] == "quarantine"
+        assert d["context"] == {"x": 1}
+        assert "burn-rate alert" in d["message"]
