@@ -195,6 +195,8 @@ def _cmd_serve(args: argparse.Namespace):
         deadline_ms=args.deadline_ms,
         queue_capacity=args.queue_capacity,
         batch=args.batch,
+        batch_max=args.batch_max,
+        batch_window_s=args.batch_window,
         workers=args.workers,
         n_tags=args.tags,
         payload_bits=args.payload,
@@ -870,6 +872,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "newest-lowest-priority first)")
     p.add_argument("--batch", type=int, default=4,
                    help="requests dispatched per decode round")
+    p.add_argument("--batch-max", type=int, default=None,
+                   help="enable micro-batching: coalesce up to this many "
+                        "queued requests into one batched decode task "
+                        "(unset = per-request dispatch)")
+    p.add_argument("--batch-window", type=float, default=0.0,
+                   help="virtual seconds to hold a forming micro-batch "
+                        "for further arrivals (requires --batch-max)")
     p.add_argument("--arrivals",
                    choices=("cbr", "poisson", "bursty", "office"),
                    default="poisson", help="arrival process")

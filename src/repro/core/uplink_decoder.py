@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -222,6 +222,9 @@ class UplinkDecoder:
 
     def __init__(self, config: Optional[UplinkDecoderConfig] = None) -> None:
         self.config = config or UplinkDecoderConfig()
+        #: Per-mode stream-memo keys for the resolve cache (computed
+        #: once: the config is fixed for the decoder's lifetime).
+        self._resolve_keys: Dict[str, str] = {}
 
     # -- measurement matrices -------------------------------------------------
 
@@ -246,34 +249,57 @@ class UplinkDecoder:
             ``(effective_mode, matrix, repaired_count)``.
         """
         cfg = self.config
+        # Clean resolutions (no degradation, hence no counter/span side
+        # effects) memoize on the stream: re-decodes of the same stream
+        # (retries, the batched decoder's pack step) skip the probe.
+        memo_key = self._resolve_keys.get(mode)
+        if memo_key is None:
+            memo_key = self._resolve_keys.setdefault(mode, (
+                f"resolve:{mode}:{cfg.good_count}:{cfg.rssi_fallback}:"
+                f"{cfg.nonfinite_policy}"
+            ))
+        cached = stream.memo_get(memo_key)
+        if cached is not None:
+            return cached
         if mode == "csi" and cfg.rssi_fallback:
             reason = None
             if stream.csi_coverage() < 1.0:
                 reason = "records without CSI"
             else:
                 raw = self._matrix(stream, "csi")
-                finite_frac = np.isfinite(raw).mean(axis=0)
+                finite_frac = stream.finite_column_fraction("csi")
                 usable = int(
                     (finite_frac >= MIN_CHANNEL_FINITE_FRACTION).sum()
                 )
                 if usable >= min(cfg.good_count, raw.shape[1]):
-                    matrix, repaired = conditioning.sanitize(
-                        raw, cfg.nonfinite_policy
+                    return stream.memo_put(
+                        memo_key,
+                        ("csi",) + self._sanitized(stream, "csi", raw),
                     )
-                    return "csi", matrix, repaired
                 reason = f"only {usable} usable CSI sub-channels"
             obs.counter("uplink.degradation.rssi_fallbacks").inc()
             sp = obs.current_span()
             if sp is not None:
                 sp.set(rssi_fallback_reason=reason)
-            matrix, repaired = conditioning.sanitize(
-                self._matrix(stream, "rssi"), cfg.nonfinite_policy
+            return ("rssi",) + self._sanitized(
+                stream, "rssi", self._matrix(stream, "rssi")
             )
-            return "rssi", matrix, repaired
-        matrix, repaired = conditioning.sanitize(
-            self._matrix(stream, mode), cfg.nonfinite_policy
+        return stream.memo_put(
+            memo_key,
+            (mode,) + self._sanitized(stream, mode, self._matrix(stream, mode)),
         )
-        return mode, matrix, repaired
+
+    def _sanitized(self, stream: MeasurementStream, mode: str, raw: np.ndarray):
+        """Sanitize gate with a cached clean-stream bypass.
+
+        The stream memoizes its non-finite cell count; when it is zero
+        the sanitize pass is the identity, so the per-decode
+        full-matrix ``isfinite`` scan can be skipped outright.  Dirty
+        matrices take the full :func:`conditioning.sanitize` path.
+        """
+        if stream.nonfinite_cells(mode) == 0:
+            return np.asarray(raw, dtype=float), 0
+        return conditioning.sanitize(raw, self.config.nonfinite_policy)
 
     def _condition(
         self,

@@ -14,7 +14,7 @@ simulated experiments share one code path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -66,6 +66,15 @@ class MeasurementStream:
     """
 
     measurements: List[ChannelMeasurement] = field(default_factory=list)
+    #: Length-keyed memo of the stacked array views.  Decoders hit
+    #: ``timestamps`` / ``flattened_csi()`` several times per decode
+    #: (and the batched decoder packs the same stream it just
+    #: coverage-probed), so each stacked view is built once per stream
+    #: length and invalidated by growth.  Cached arrays are marked
+    #: read-only because they are shared between callers.
+    _cache: Dict[str, Tuple[int, Any]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def append(self, measurement: ChannelMeasurement) -> None:
         if self.measurements and (
@@ -75,6 +84,41 @@ class MeasurementStream:
                 "measurements must be appended in timestamp order"
             )
         self.measurements.append(measurement)
+
+    def _memo(self, key: str, build: Callable[[], Any]) -> Any:
+        """Value of ``build()``, cached until the stream changes length.
+
+        The memo key is the record count: ``append``/``extend`` grow the
+        list, so a stale entry can never be served after new packets
+        arrive.  In-place replacement of an existing record (which no
+        repo code path does) is the one mutation this would not see.
+        """
+        entry = self._cache.get(key)
+        n = len(self.measurements)
+        if entry is not None and entry[0] == n:
+            return entry[1]
+        value = build()
+        if isinstance(value, np.ndarray):
+            value.flags.writeable = False
+        self._cache[key] = (n, value)
+        return value
+
+    def memo_get(self, key: str) -> Any:
+        """Peek a memo entry without building (None when absent/stale).
+
+        Companion to :meth:`memo_put` for callers whose build step has
+        side effects that must not be skipped on a miss (the decoder's
+        mode-resolution probe increments degradation counters).
+        """
+        entry = self._cache.get(key)
+        if entry is not None and entry[0] == len(self.measurements):
+            return entry[1]
+        return None
+
+    def memo_put(self, key: str, value: Any) -> Any:
+        """Store a memo entry under the current stream length."""
+        self._cache[key] = (len(self.measurements), value)
+        return value
 
     def extend(self, items: Iterable[ChannelMeasurement]) -> None:
         for item in items:
@@ -92,15 +136,12 @@ class MeasurementStream:
     @property
     def timestamps(self) -> np.ndarray:
         """Packet timestamps (s), shape ``(n_packets,)``."""
-        return np.array([m.timestamp_s for m in self.measurements])
+        return self._memo(
+            "timestamps",
+            lambda: np.array([m.timestamp_s for m in self.measurements]),
+        )
 
-    def csi_matrix(self) -> np.ndarray:
-        """Stacked CSI amplitudes, shape ``(n_packets, antennas, subchannels)``.
-
-        Raises:
-            ConfigurationError: if any measurement lacks CSI or shapes
-                are inconsistent.
-        """
+    def _build_csi_matrix(self) -> np.ndarray:
         if not self.measurements:
             return np.empty((0, 0, 0))
         mats = []
@@ -113,11 +154,24 @@ class MeasurementStream:
             mats.append(m.csi)
         return np.stack(mats)
 
+    def csi_matrix(self) -> np.ndarray:
+        """Stacked CSI amplitudes, shape ``(n_packets, antennas, subchannels)``.
+
+        Raises:
+            ConfigurationError: if any measurement lacks CSI or shapes
+                are inconsistent.
+        """
+        return self._memo("csi_matrix", self._build_csi_matrix)
+
     def rssi_matrix(self) -> np.ndarray:
         """Stacked RSSI values, shape ``(n_packets, antennas)``."""
-        if not self.measurements:
-            return np.empty((0, 0))
-        return np.stack([m.rssi_dbm for m in self.measurements])
+        return self._memo(
+            "rssi_matrix",
+            lambda: (
+                np.empty((0, 0)) if not self.measurements
+                else np.stack([m.rssi_dbm for m in self.measurements])
+            ),
+        )
 
     def flattened_csi(self) -> np.ndarray:
         """CSI flattened to (n_packets, antennas * subchannels).
@@ -125,8 +179,11 @@ class MeasurementStream:
         The paper treats "multiple antennas as additional sub-channels"
         (§3.2); this view implements that.
         """
-        csi = self.csi_matrix()
-        return csi.reshape(csi.shape[0], -1)
+        def build() -> np.ndarray:
+            csi = self.csi_matrix()
+            return csi.reshape(csi.shape[0], -1)
+
+        return self._memo("flattened_csi", build)
 
     def csi_coverage(self) -> float:
         """Fraction of records carrying a CSI matrix (1.0 when empty).
@@ -135,10 +192,50 @@ class MeasurementStream:
         decoding is even possible, or the stream is effectively
         RSSI-only (e.g. a beacon-dominated capture, §7.5).
         """
-        if not self.measurements:
-            return 1.0
-        with_csi = sum(1 for m in self.measurements if m.csi is not None)
-        return with_csi / len(self.measurements)
+        def build() -> float:
+            if not self.measurements:
+                return 1.0
+            with_csi = sum(1 for m in self.measurements if m.csi is not None)
+            return with_csi / len(self.measurements)
+
+        return self._memo("csi_coverage", build)
+
+    def finite_column_fraction(self, mode: str) -> np.ndarray:
+        """Per-column fraction of finite cells of the stacked matrix.
+
+        ``mode`` selects :meth:`flattened_csi` (``"csi"``) or
+        :meth:`rssi_matrix` (``"rssi"``).  This is exactly
+        ``np.isfinite(matrix).mean(axis=0)``, cached so the decoder's
+        usable-channel probe does not rescan the matrix per decode.
+        """
+        if mode not in ("csi", "rssi"):
+            raise ConfigurationError(f"mode must be 'csi' or 'rssi', got {mode!r}")
+
+        def build() -> np.ndarray:
+            matrix = (
+                self.flattened_csi() if mode == "csi" else self.rssi_matrix()
+            )
+            return np.isfinite(matrix).mean(axis=0)
+
+        return self._memo(f"finite_fraction:{mode}", build)
+
+    def nonfinite_cells(self, mode: str) -> int:
+        """NaN/inf cell count of the stacked ``mode`` matrix (cached).
+
+        Zero means the sanitize gate can pass the matrix through
+        untouched, which the decoders exploit to skip a full-matrix
+        ``isfinite`` scan per decode.
+        """
+        if mode not in ("csi", "rssi"):
+            raise ConfigurationError(f"mode must be 'csi' or 'rssi', got {mode!r}")
+
+        def build() -> int:
+            matrix = (
+                self.flattened_csi() if mode == "csi" else self.rssi_matrix()
+            )
+            return int((~np.isfinite(matrix)).sum())
+
+        return self._memo(f"nonfinite_cells:{mode}", build)
 
     def non_finite_count(self) -> int:
         """Total NaN/inf cells across all CSI and RSSI arrays.

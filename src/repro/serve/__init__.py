@@ -31,6 +31,7 @@ sets and the whole overload story is replayable.
 from repro.serve.arrivals import ARRIVAL_PROFILES, generate_arrivals
 from repro.serve.breaker import TagBreaker
 from repro.serve.deadline import DeadlineBudget
+from repro.serve.decode import ServeBatchTask, ServeDecodeTask, decode_batch_task
 from repro.serve.gateway import ServeConfig, ServeResult, StreamingDecodeGateway, run_serve
 from repro.serve.lifecycle import LifecycleTracker
 from repro.serve.queues import BoundedPriorityQueue, ShedEvent
@@ -60,7 +61,9 @@ __all__ = [
     "SHED_REASONS",
     "SPAN_REQUEST",
     "STATUSES",
+    "ServeBatchTask",
     "ServeConfig",
+    "ServeDecodeTask",
     "ServeOutcome",
     "ServeReport",
     "ServeResult",
@@ -69,6 +72,7 @@ __all__ = [
     "TERMINAL_SPANS",
     "TagBreaker",
     "TelemetrySnapshotter",
+    "decode_batch_task",
     "generate_arrivals",
     "is_telemetry_header",
     "read_telemetry",

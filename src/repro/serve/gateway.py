@@ -43,7 +43,12 @@ from repro.obs.perf.timeseries import (
 from repro.serve.arrivals import ARRIVAL_PROFILES, generate_arrivals
 from repro.serve.breaker import TagBreaker
 from repro.serve.deadline import DeadlineBudget
-from repro.serve.decode import ServeDecodeTask, decode_request_task
+from repro.serve.decode import (
+    ServeBatchTask,
+    ServeDecodeTask,
+    decode_batch_task,
+    decode_request_task,
+)
 from repro.serve.lifecycle import LifecycleTracker
 from repro.serve.queues import BoundedPriorityQueue, ShedEvent, count_shed
 from repro.serve.report import ServeReport
@@ -91,6 +96,15 @@ class ServeConfig:
     queue_capacity: int = 32
     egress_capacity: int = 256
     batch: int = 4
+    #: Micro-batching: when set, up to ``batch_max`` queued requests
+    #: coalesce into ONE :class:`ServeBatchTask` decoded in a single
+    #: batched pass (instead of one task per request).  The gateway
+    #: holds dispatch while the next arrival lands within
+    #: ``batch_window_s`` (virtual) of the oldest queued request, so a
+    #: trickle of traffic still forms batches.  None = per-request
+    #: dispatch, the legacy path.
+    batch_max: Optional[int] = None
+    batch_window_s: float = 0.0
     workers: int = 0
     service_time_s: Optional[float] = None
     n_tags: int = 8
@@ -126,6 +140,10 @@ class ServeConfig:
             raise ConfigurationError("queue_capacity must be >= 1")
         if self.batch < 1:
             raise ConfigurationError("batch must be >= 1")
+        if self.batch_max is not None and self.batch_max < 1:
+            raise ConfigurationError("batch_max must be >= 1 or None")
+        if self.batch_window_s < 0:
+            raise ConfigurationError("batch_window_s must be >= 0")
         if self.payload_bits < 1:
             raise ConfigurationError("payload_bits must be >= 1")
         if self.arrival_profile not in ARRIVAL_PROFILES:
@@ -292,6 +310,9 @@ class StreamingDecodeGateway:
         now = 0.0
         i = 0
         stopped = False
+        batching = cfg.batch_max is not None
+        batch_seq = 0
+        batch_sizes: List[int] = []
 
         # Telemetry plumbing.  Everything below runs on the virtual
         # clock: the lifecycle tracker builds span trees from virtual
@@ -502,12 +523,36 @@ class StreamingDecodeGateway:
             obs.timeseries("serve.queue_depth").sample(float(len(ingress)))
             if not len(ingress):
                 continue
-            batch = ingress.pop_batch(cfg.batch)
+            batch_id: Optional[int] = None
+            if batching:
+                # Coalesce: hold dispatch while the batch can still
+                # grow — the next arrival lands within the window of
+                # the oldest queued request.  If the window has time
+                # left but no arrival will make it, dispatch at the
+                # window boundary (the wait is honest latency).
+                if len(ingress) < cfg.batch_max and i < len(arrivals):
+                    oldest = ingress.oldest_arrival_s()
+                    window_end = (
+                        oldest if oldest is not None else now
+                    ) + cfg.batch_window_s
+                    if arrivals[i].arrival_s <= window_end:
+                        now = max(now, arrivals[i].arrival_s)
+                        run_ticks(now)
+                        continue
+                    if window_end > now:
+                        now = window_end
+                        run_ticks(now)
+                batch_id = batch_seq
+                batch_seq += 1
+            batch = ingress.pop_batch(
+                cfg.batch_max if batching else cfg.batch
+            )
             if lifecycle.enabled:
                 depth_after = len(ingress)
                 for bi, req in enumerate(batch):
                     lifecycle.dispatch(
-                        req, now, bi, len(batch), depth_after
+                        req, now, bi, len(batch), depth_after,
+                        batch_id=batch_id,
                     )
             ready: List[DecodeRequest] = []
             for req in batch:
@@ -536,40 +581,85 @@ class StreamingDecodeGateway:
                     ready.append(req)
             if not ready:
                 continue
-            tasks = [
-                ServeDecodeTask(
-                    seq=req.seq,
-                    corr_id=req.corr_id,
+            from repro.sim import engine
+
+            if batching:
+                # One supervised task for the whole micro-batch.  Its
+                # sabotage key is the first member's seq, so a fault
+                # plan's crash verdicts are stable under re-batching;
+                # a dead-lettered batch loses every member.
+                batch_sizes.append(len(ready))
+                obs.counter("serve.batches").inc()
+                obs.histogram("serve.batch_size").observe(
+                    float(len(ready))
+                )
+                btask = ServeBatchTask(
+                    batch_id=batch_id if batch_id is not None else 0,
                     run_id=self.run_id,
                     root_seed=self.seed,
-                    payload_bits=req.payload_bits,
+                    payload_bits=cfg.payload_bits,
                     tag_to_reader_m=cfg.tag_to_reader_m,
                     packets_per_bit=cfg.packets_per_bit,
                     mode=cfg.mode,
                     bit_rate_bps=cfg.bit_rate_bps,
-                    start_s=req.arrival_s,
-                    faults=self.faults,
                     helper_to_tag_m=cfg.helper_to_tag_m,
+                    faults=self.faults,
+                    seqs=tuple(req.seq for req in ready),
+                    corr_ids=tuple(req.corr_id for req in ready),
+                    start_times_s=tuple(req.arrival_s for req in ready),
                 )
-                for req in ready
-            ]
-            from repro.sim import engine
-
-            sup = engine.run_trials_supervised(
-                decode_request_task,
-                tasks,
-                workers=cfg.workers,
-                sabotage=plan,
-                keys=[req.seq for req in ready],
-                stall_timeout_s=cfg.stall_timeout_s,
-                max_attempts=cfg.max_attempts,
-            )
+                sup = engine.run_trials_supervised(
+                    decode_batch_task,
+                    [btask],
+                    workers=cfg.workers,
+                    sabotage=plan,
+                    keys=[ready[0].seq],
+                    stall_timeout_s=cfg.stall_timeout_s,
+                    max_attempts=cfg.max_attempts,
+                )
+                if sup.dead_letters:
+                    letter0 = sup.dead_letters[0]
+                    dead = {j: letter0 for j in range(len(ready))}
+                    rows: List[Optional[Dict[str, Any]]] = \
+                        [None] * len(ready)
+                else:
+                    dead = {}
+                    rows = sup.results[0]
+                sup_totals["dead_letters"] += len(dead)
+            else:
+                tasks = [
+                    ServeDecodeTask(
+                        seq=req.seq,
+                        corr_id=req.corr_id,
+                        run_id=self.run_id,
+                        root_seed=self.seed,
+                        payload_bits=req.payload_bits,
+                        tag_to_reader_m=cfg.tag_to_reader_m,
+                        packets_per_bit=cfg.packets_per_bit,
+                        mode=cfg.mode,
+                        bit_rate_bps=cfg.bit_rate_bps,
+                        start_s=req.arrival_s,
+                        faults=self.faults,
+                        helper_to_tag_m=cfg.helper_to_tag_m,
+                    )
+                    for req in ready
+                ]
+                sup = engine.run_trials_supervised(
+                    decode_request_task,
+                    tasks,
+                    workers=cfg.workers,
+                    sabotage=plan,
+                    keys=[req.seq for req in ready],
+                    stall_timeout_s=cfg.stall_timeout_s,
+                    max_attempts=cfg.max_attempts,
+                )
+                dead = {d.index: d for d in sup.dead_letters}
+                rows = sup.results
+                sup_totals["dead_letters"] += len(sup.dead_letters)
             sup_totals["crashes"] += sup.crashes
             sup_totals["stalls"] += sup.stalls
             sup_totals["restarts"] += sup.restarts
             sup_totals["retries"] += sup.retries
-            sup_totals["dead_letters"] += len(sup.dead_letters)
-            dead = {d.index: d for d in sup.dead_letters}
             for j, req in enumerate(ready):
                 slot_start = now + j * service
                 completed = now + (j + 1) * service
@@ -596,7 +686,7 @@ class StreamingDecodeGateway:
                         attempts=letter.attempts,
                     ))
                     continue
-                result = sup.results[j]
+                result = rows[j]
                 wall_latencies.append(float(result["wall_s"]))
                 lifecycle.decode(
                     req, slot_start, completed,
@@ -692,6 +782,12 @@ class StreamingDecodeGateway:
             telemetry_path=snapshotter.path if snapshotter else None,
             telemetry_snapshots=(
                 snapshotter.snapshots if snapshotter else 0
+            ),
+            batches=len(batch_sizes),
+            batch_size_max=max(batch_sizes) if batch_sizes else 0,
+            batch_size_mean=(
+                sum(batch_sizes) / len(batch_sizes)
+                if batch_sizes else 0.0
             ),
         )
         if snapshotter is not None:
@@ -802,6 +898,9 @@ class StreamingDecodeGateway:
             breaker_preempted=kw.get("breaker_preempted", 0),
             telemetry_path=kw.get("telemetry_path"),
             telemetry_snapshots=kw.get("telemetry_snapshots", 0),
+            batches=kw.get("batches", 0),
+            batch_size_max=kw.get("batch_size_max", 0),
+            batch_size_mean=kw.get("batch_size_mean", 0.0),
         )
 
 

@@ -95,8 +95,15 @@ class LifecycleTracker:
         batch_index: int,
         batch_size: int,
         queue_depth: int,
+        batch_id: Optional[int] = None,
     ) -> None:
-        """Record the batch pop that took ``req`` off the queue."""
+        """Record the batch pop that took ``req`` off the queue.
+
+        ``batch_id`` is the micro-batch sequence number when the
+        gateway coalesces requests into one decode task (``batch_max``
+        set); None on the per-request dispatch path, in which case the
+        span carries no ``batch_id`` attribute at all.
+        """
         if self._tracer is None:
             return
         mark = self._marks.get(req.seq)
@@ -106,6 +113,8 @@ class LifecycleTracker:
         mark["batch_index"] = int(batch_index)
         mark["batch_size"] = int(batch_size)
         mark["dispatch_queue_depth"] = int(queue_depth)
+        if batch_id is not None:
+            mark["batch_id"] = int(batch_id)
 
     def decode(
         self,
@@ -169,14 +178,17 @@ class LifecycleTracker:
                 wait_s=wait_end - ingress_t,
             ))
         if dispatch_t is not None:
-            root.add_child(Span.at(
+            dispatch_span = Span.at(
                 SPAN_DISPATCH,
                 dispatch_t,
                 dispatch_t,
                 batch_index=mark["batch_index"],
                 batch_size=mark["batch_size"],
                 queue_depth_after=mark["dispatch_queue_depth"],
-            ))
+            )
+            if "batch_id" in mark:
+                dispatch_span.set(batch_id=mark["batch_id"])
+            root.add_child(dispatch_span)
         decode_mark = mark.get("decode")
         if decode_mark is not None:
             start_s, end_s, ok, errors = decode_mark

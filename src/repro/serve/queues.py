@@ -122,6 +122,17 @@ class BoundedPriorityQueue:
         self.depth_max = max(self.depth_max, len(self))
         return True, event
 
+    def oldest_arrival_s(self) -> Optional[float]:
+        """Arrival time of the oldest queued request (None when empty).
+
+        Requests enter in arrival order and eviction removes from the
+        newest end, so each class deque's head is its oldest member;
+        the queue's oldest is the minimum across class heads.  The
+        micro-batching gateway anchors its coalescing window here.
+        """
+        heads = [q[0].arrival_s for q in self._classes if q]
+        return min(heads) if heads else None
+
     def pop_batch(self, n: int) -> List[DecodeRequest]:
         """Up to ``n`` requests, best class first, FIFO within class."""
         batch: List[DecodeRequest] = []

@@ -61,6 +61,11 @@ class ServeReport:
     breaker_preempted: int = 0
     telemetry_path: Optional[str] = None
     telemetry_snapshots: int = 0
+    #: Micro-batching (``batch_max`` set): decode batches dispatched,
+    #: and their size stats.  All zero on the per-request path.
+    batches: int = 0
+    batch_size_max: int = 0
+    batch_size_mean: float = 0.0
 
     @property
     def accounted(self) -> int:
@@ -125,6 +130,9 @@ class ServeReport:
             "breaker_preempted": self.breaker_preempted,
             "telemetry_path": self.telemetry_path,
             "telemetry_snapshots": self.telemetry_snapshots,
+            "batches": self.batches,
+            "batch_size_max": self.batch_size_max,
+            "batch_size_mean": self.batch_size_mean,
         }
 
 
@@ -178,6 +186,12 @@ def render_serve_text(report: ServeReport) -> str:
         f"  quarantined tags {report.quarantined_tags}"
         f"  preempted {report.breaker_preempted}"
     )
+    if report.batches:
+        lines.append(
+            f"  micro-batches {report.batches}"
+            f"  size mean {report.batch_size_mean:.1f}"
+            f"  max {report.batch_size_max}"
+        )
     lines.append(
         f"  delivered bits {report.delivered_bits}"
         f"  ber {report.ber:.4g}"

@@ -257,6 +257,47 @@ class UplinkTrial:
     errors: int
 
 
+def synthesize_uplink_trial(
+    tag_to_reader_m: float,
+    packets_per_bit: float,
+    num_payload_bits: int = 90,
+    bit_rate_bps: float = 100.0,
+    traffic: str = "cbr",
+    params: CalibratedParameters = DEFAULTS,
+    rng: Optional[np.random.Generator] = None,
+    faults: Optional[FaultPlan] = None,
+    start_s: float = 0.0,
+    helper_to_tag_m: float = 3.0,
+) -> Tuple[np.ndarray, MeasurementStream, float]:
+    """Draw one uplink trial's payload and render its stream.
+
+    Exactly the synthesis half of :func:`run_uplink_trial` — the draw
+    order against ``rng`` is identical — so decoding the returned
+    stream with ``start_time_s=tx_start`` reproduces the trial's decode
+    input bit-for-bit.  The batched serve path uses this to synthesize
+    per-request streams before handing the whole set to
+    :class:`repro.core.batch.BatchedUplinkDecoder` in one pass.
+
+    Returns:
+        ``(payload_bits, stream, tx_start_s)``.
+    """
+    rng, _ = resolve_rng(rng)
+    bit_duration = 1.0 / bit_rate_bps
+    payload = random_payload(num_payload_bits, rng)
+    bits = barker_bits() + payload
+    span_s = len(bits) * bit_duration + 2 * EDGE_PADDING_S + 0.1
+    pkt_rate = packets_per_bit * bit_rate_bps
+    with obs.span("uplink.synthesize"):
+        times = helper_packet_times(
+            pkt_rate, span_s, traffic=traffic, start_s=start_s, rng=rng
+        )
+        stream, tx_start = simulate_uplink_stream(
+            bits, bit_duration, times, tag_to_reader_m, params=params,
+            helper_to_tag_m=helper_to_tag_m, rng=rng, faults=faults,
+        )
+    return np.asarray(payload), stream, tx_start
+
+
 def run_uplink_trial(
     tag_to_reader_m: float,
     packets_per_bit: float,
@@ -296,18 +337,19 @@ def run_uplink_trial(
         mode=mode,
     ) as sp:
         bit_duration = 1.0 / bit_rate_bps
-        payload = random_payload(num_payload_bits, rng)
-        bits = barker_bits() + payload
-        span_s = len(bits) * bit_duration + 2 * EDGE_PADDING_S + 0.1
-        pkt_rate = packets_per_bit * bit_rate_bps
-        with obs.span("uplink.synthesize"):
-            times = helper_packet_times(
-                pkt_rate, span_s, traffic=traffic, start_s=start_s, rng=rng
-            )
-            stream, tx_start = simulate_uplink_stream(
-                bits, bit_duration, times, tag_to_reader_m, params=params,
-                helper_to_tag_m=helper_to_tag_m, rng=rng, faults=faults,
-            )
+        payload, stream, tx_start = synthesize_uplink_trial(
+            tag_to_reader_m,
+            packets_per_bit,
+            num_payload_bits=num_payload_bits,
+            bit_rate_bps=bit_rate_bps,
+            traffic=traffic,
+            params=params,
+            rng=rng,
+            faults=faults,
+            start_s=start_s,
+            helper_to_tag_m=helper_to_tag_m,
+        )
+        num_bits_total = len(barker_bits()) + num_payload_bits
         if (
             faults is not None and not faults.empty
             and obs.recording_enabled()
@@ -316,7 +358,7 @@ def run_uplink_trial(
             # preamble+payload grid.  One bit = one transmission unit.
             forensics.stage(
                 "faults",
-                unit_offset=len(bits) - num_payload_bits,
+                unit_offset=num_bits_total - num_payload_bits,
                 units_per_bit=1,
             )
         decoder = decoder or UplinkDecoder()

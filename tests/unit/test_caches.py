@@ -21,6 +21,7 @@ class TestRegistry:
     def test_all_pipeline_caches_registered_and_bounded(self):
         # Importing the modules registers their caches.
         import repro.core.barker  # noqa: F401
+        import repro.core.batch  # noqa: F401
         import repro.core.coding  # noqa: F401
         import repro.phy.constants  # noqa: F401
         import repro.phy.pathloss  # noqa: F401
@@ -32,6 +33,8 @@ class TestRegistry:
             "phy.subcarrier_frequencies",
             "core.make_code_pair",
             "core.barker_chip_templates",
+            "core.batch_chip_table",
+            "core.batch_index_grid",
         ):
             assert name in registered, f"{name} not registered"
             assert registered[name].cache_info().maxsize is not None, (

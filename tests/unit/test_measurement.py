@@ -90,3 +90,33 @@ class TestMerge:
         b.extend([m(1.0), m(3.0)])
         merged = merge_streams([a, b])
         assert merged.timestamps.tolist() == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestMemo:
+    def test_stacked_views_cached_until_growth(self):
+        stream = MeasurementStream()
+        stream.extend([m(0.0), m(1.0)])
+        first = stream.timestamps
+        assert stream.timestamps is first, "same length must hit the memo"
+        assert not first.flags.writeable, "shared views must be read-only"
+        stream.append(m(2.0))
+        grown = stream.timestamps
+        assert grown is not first, "growth must invalidate the memo"
+        assert grown.tolist() == [0.0, 1.0, 2.0]
+
+    def test_memo_get_misses_until_put(self):
+        stream = MeasurementStream()
+        stream.extend([m(0.0), m(1.0)])
+        assert stream.memo_get("probe") is None
+        value = {"mode": "csi"}
+        assert stream.memo_put("probe", value) is value
+        assert stream.memo_get("probe") is value
+
+    def test_memo_get_stale_after_growth(self):
+        stream = MeasurementStream()
+        stream.extend([m(0.0), m(1.0)])
+        stream.memo_put("probe", "old")
+        stream.append(m(2.0))
+        assert stream.memo_get("probe") is None, (
+            "an entry stored at the old length must never be served"
+        )
