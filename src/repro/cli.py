@@ -210,10 +210,16 @@ def _cmd_serve(args: argparse.Namespace):
         telemetry_cadence_s=args.telemetry_cadence,
         budget_target=args.budget_target,
         budget_window_s=args.budget_window,
+        fleet_capacity=args.fleet_tags,
+        fleet_top_k=args.fleet_top_k,
+        fleet_anomaly_z=args.fleet_z,
+        outlier_tags=tuple(args.outlier_tag or ()),
+        outlier_distance_m=args.outlier_distance,
     )
     result = run_serve(
         config, faults=_resolve_faults(args), seed=args.seed,
         telemetry_out=args.telemetry_out,
+        health_out=args.health_out,
     )
     report = result.report
     return CommandOutput(
@@ -477,6 +483,55 @@ def _cmd_obs_report(args: argparse.Namespace) -> CommandOutput:
     return CommandOutput(
         title="", rows=[], data=data,
     ), render_manifest(data)
+
+
+def _cmd_fleet_report(args: argparse.Namespace):
+    """Render fleet telemetry: a ``--health-out`` artifact or the fleet
+    blocks of a telemetry JSONL stream."""
+    from repro.obs.export import loads_line
+    from repro.obs.fleet import (
+        is_fleet_artifact,
+        render_fleet_artifact,
+        render_fleet_block,
+    )
+
+    path = args.path
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            first_line = fh.readline()
+    except FileNotFoundError:
+        raise SystemExit(f"no such file: {path}")
+    try:
+        first = loads_line(first_line)
+    except Exception:
+        first = None
+    from repro.serve.telemetry import is_telemetry_header, read_telemetry
+
+    if is_telemetry_header(first):
+        _, snapshots, _ = read_telemetry(path)
+        fleet = (snapshots[-1].get("fleet") or {}) if snapshots else {}
+        if not fleet:
+            raise SystemExit(
+                f"{path} is a telemetry stream without fleet blocks "
+                "(written by an older serve?)"
+            )
+        # Cumulative state lives in the last snapshot; the transition
+        # history is spread one tick per block.
+        fleet = dict(fleet)
+        fleet["transitions"] = [
+            tr for snap in snapshots
+            for tr in (snap.get("fleet") or {}).get("transitions") or []
+        ]
+        return CommandOutput(title="", rows=[], data=fleet), \
+            render_fleet_block(fleet, top=args.top)
+    data = obs.read_json(path)
+    if not is_fleet_artifact(data):
+        raise SystemExit(
+            f"{path} is neither a repro.fleet/1 artifact nor a "
+            "telemetry stream"
+        )
+    return CommandOutput(title="", rows=[], data=data), \
+        render_fleet_artifact(data, top=args.top)
 
 
 def _cmd_scenarios(args: argparse.Namespace):
@@ -912,6 +967,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget-window", type=float, default=3600.0,
                    help="error-budget window, virtual seconds (burn "
                         "windows are derived from it)")
+    p.add_argument("--fleet-tags", type=int, default=64,
+                   help="tags tracked individually by the bounded fleet "
+                        "health registry; overflow evicts LRU into an "
+                        "aggregate 'other' bucket")
+    p.add_argument("--fleet-top-k", type=int, default=8,
+                   help="offender-board size (top-K tags by shed/"
+                        "failure/error-bits/latency)")
+    p.add_argument("--fleet-z", type=float, default=3.0,
+                   help="robust z-score threshold for flagging a tag "
+                        "anomalous against the fleet distribution")
+    p.add_argument("--health-out", default=None, metavar="PATH",
+                   help="write the end-of-run fleet health artifact "
+                        "(repro.fleet/1) to PATH (inspect with "
+                        "'repro fleet-report')")
+    p.add_argument("--outlier-tag", type=int, action="append",
+                   default=None, metavar="TAG",
+                   help="sabotage this tag address: its requests decode "
+                        "at --outlier-distance (repeatable; requires "
+                        "per-request dispatch)")
+    p.add_argument("--outlier-distance", type=float, default=None,
+                   help="tag-reader distance (m) for --outlier-tag "
+                        "requests")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("downlink-ber", parents=[common],
@@ -972,6 +1049,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render soak documents as markdown instead of a "
                         "terminal table")
     p.set_defaults(func=_cmd_obs_report)
+
+    p = sub.add_parser("fleet-report", parents=[common],
+                       help="render fleet telemetry: a serve --health-out "
+                            "artifact or the fleet blocks of a telemetry "
+                            "stream")
+    p.add_argument("path",
+                   help="repro.fleet/1 artifact JSON or telemetry JSONL")
+    p.add_argument("--top", type=int, default=None,
+                   help="rows per offender board (default: all tracked)")
+    p.set_defaults(func=_cmd_fleet_report)
 
     p = sub.add_parser("scenarios", parents=[common],
                        help="enumerate the scenario corpus without running")

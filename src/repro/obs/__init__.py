@@ -50,6 +50,12 @@ from repro.obs.export import (
     telemetry_to_prometheus,
     write_json,
 )
+from repro.obs.fleet import (
+    FleetAggregator,
+    QuantileSketch,
+    SpaceSavingSketch,
+    TagHealthRegistry,
+)
 from repro.obs.manifest import (
     RunManifest,
     build_manifest,
@@ -132,6 +138,23 @@ def timeseries(name: str, capacity=None):
     return NULL_METRIC
 
 
+def quantile_sketch(name: str, alpha=None, max_buckets=None):
+    """Live :class:`QuantileSketch` while metrics are on, else a no-op."""
+    if state.metrics_enabled():
+        return state.get_registry().quantile_sketch(
+            name, alpha=alpha, max_buckets=max_buckets
+        )
+    return NULL_METRIC
+
+
+def heavy_hitters(name: str, capacity=None):
+    """Live :class:`SpaceSavingSketch` while metrics are on, else a
+    no-op."""
+    if state.metrics_enabled():
+        return state.get_registry().heavy_hitters(name, capacity=capacity)
+    return NULL_METRIC
+
+
 __all__ = [
     "AlertEvent",
     "BudgetObjective",
@@ -139,14 +162,18 @@ __all__ = [
     "BurnRateEngine",
     "Counter",
     "ExemplarReservoir",
+    "FleetAggregator",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_METRIC",
+    "QuantileSketch",
     "RunManifest",
     "SloEngine",
     "SloRule",
+    "SpaceSavingSketch",
     "Span",
+    "TagHealthRegistry",
     "TimeSeries",
     "Timer",
     "Tracer",
@@ -169,6 +196,7 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "git_sha",
+    "heavy_hitters",
     "histogram",
     "jsonable",
     "load_manifest",
@@ -178,6 +206,7 @@ __all__ = [
     "parse_line_protocol",
     "profile",
     "profiling_enabled",
+    "quantile_sketch",
     "read_json",
     "record_run",
     "recording_enabled",

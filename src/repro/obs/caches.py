@@ -62,6 +62,84 @@ def cache_stats() -> Dict[str, Dict[str, Any]]:
     return stats
 
 
+def scan_lru_caches(package: str = "repro") -> Dict[str, Callable[..., Any]]:
+    """Find every ``lru_cache`` wrapper defined under *package*.
+
+    Imports each submodule (import is what registers caches anyway) and
+    duck-types module- and class-level attributes for the lru_cache
+    wrapper API (``cache_info`` + ``cache_parameters``).  Wrappers are
+    attributed to the module that *defines* them — re-exports are
+    skipped via the wrapped function's ``__module__`` — so each cache
+    appears exactly once, keyed ``module.qualname``.
+
+    This is the audit half of the registry contract: the registry says
+    which caches someone remembered to register; the scan says which
+    exist.  ``unregistered_caches()`` is their difference, and the
+    cache-registry test asserts it is empty, so adding a new memoized
+    helper without registering it fails CI instead of silently
+    vanishing from the manifests.
+    """
+    import importlib
+    import inspect
+    import pkgutil
+
+    root = importlib.import_module(package)
+    found: Dict[str, Callable[..., Any]] = {}
+    seen: set = set()
+    mod_names = [package]
+    if hasattr(root, "__path__"):
+        mod_names += [
+            name for _, name, _ in pkgutil.walk_packages(
+                root.__path__, prefix=package + "."
+            )
+        ]
+    for mod_name in sorted(mod_names):
+        try:
+            mod = importlib.import_module(mod_name)
+        except Exception:  # pragma: no cover - optional deps may be absent
+            continue
+        candidates = list(vars(mod).items())
+        for cls_name, cls in list(vars(mod).items()):
+            if inspect.isclass(cls) and cls.__module__ == mod_name:
+                candidates += [
+                    (f"{cls_name}.{attr}", obj)
+                    for attr, obj in vars(cls).items()
+                ]
+        for attr, obj in candidates:
+            # static/classmethod descriptors hide the wrapper one level
+            # down; plain methods and functions are the wrapper itself.
+            fn = getattr(obj, "__func__", obj)
+            if not (callable(fn) and hasattr(fn, "cache_info")
+                    and hasattr(fn, "cache_parameters")):
+                continue
+            if getattr(
+                getattr(fn, "__wrapped__", fn), "__module__", None
+            ) != mod_name:
+                continue
+            if id(fn) in seen:
+                continue
+            seen.add(id(fn))
+            found[f"{mod_name}.{attr}"] = fn
+    return found
+
+
+def unregistered_caches(package: str = "repro") -> Dict[str, Callable[..., Any]]:
+    """``lru_cache`` wrappers under *package* missing from the registry.
+
+    Empty dict means the registry is complete; anything returned is a
+    memoized helper whose hit/miss counters would never reach the
+    manifests.
+    """
+    # Scan first: importing the modules is what registers their caches,
+    # so the registry snapshot must be taken *after* the walk.
+    scanned = scan_lru_caches(package)
+    registered = {id(fn) for fn in _REGISTRY.values()}
+    return {
+        name: fn for name, fn in scanned.items()
+        if id(fn) not in registered
+    }
+
+
 def publish() -> Dict[str, Dict[str, Any]]:
     """Mirror cache counters into the metrics registry as gauges.
 

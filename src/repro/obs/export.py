@@ -247,6 +247,17 @@ _TELEMETRY_SCALARS = (
 #: Latency stats exported per snapshot when present.
 _TELEMETRY_LATENCY = ("mean", "p50", "p95", "p99")
 
+#: Scalar fields of the snapshot ``fleet`` block exported as the
+#: ``<prefix>.fleet`` measurement / ``<prefix>_fleet_<field>`` gauges.
+#: Bounded by construction: the fleet block carries registry counters,
+#: not per-tag series.
+_TELEMETRY_FLEET_SCALARS = (
+    "outcomes", "tracked", "evictions", "tags_seen", "other_requests",
+)
+
+#: Fleet latency-sketch quantiles exported when the sketch is non-empty.
+_TELEMETRY_FLEET_LATENCY = ("mean", "p50", "p95", "p99")
+
 
 def _fmt_field(value: Any) -> str:
     if isinstance(value, bool):
@@ -311,7 +322,61 @@ def telemetry_to_line_protocol(
                 f"{escape_measurement(prefix + '.budget')} "
                 f"remaining={_fmt_field(float(budget['remaining']))} {ts}"
             )
+        lines.extend(_fleet_lines(rec.get("fleet") or {}, prefix, ts))
     return "\n".join(lines)
+
+
+def _fleet_lines(
+    fleet: Dict[str, Any], prefix: str, ts: int
+) -> List[str]:
+    """Line-protocol points for one snapshot's ``fleet`` block.
+
+    Label cardinality is bounded by the fleet config, not the tag
+    population: offender rows are capped at top-K per kind, health rows
+    at the fixed bin count, and per-tag anomaly state is exported as a
+    single gauge (the flagged-tag count), never one series per tag.
+    """
+    if not fleet.get("outcomes"):
+        return []
+    lines: List[str] = []
+    fields = [
+        f"{escape_tag(key)}={_fmt_field(int(fleet[key]))}"
+        for key in _TELEMETRY_FLEET_SCALARS
+        if fleet.get(key) is not None
+    ]
+    anomalous = fleet.get("anomalous")
+    if anomalous is not None:
+        fields.append(f"anomalous={_fmt_field(len(anomalous))}")
+    if fields:
+        lines.append(f"{escape_measurement(prefix + '.fleet')} "
+                     f"{','.join(fields)} {ts}")
+    for kind, entries in sorted((fleet.get("offenders") or {}).items()):
+        for entry in entries:
+            lines.append(
+                f"{escape_measurement(prefix + '.fleet.offender')},"
+                f"kind={escape_tag(str(kind))},"
+                f"tag={escape_tag(str(entry.get('key')))} "
+                f"count={_fmt_field(float(entry.get('count', 0.0)))},"
+                f"error={_fmt_field(float(entry.get('error', 0.0)))} {ts}"
+            )
+    for idx, count in enumerate(fleet.get("histogram") or []):
+        if count:
+            lines.append(
+                f"{escape_measurement(prefix + '.fleet.health')},"
+                f"bin={idx} tags={_fmt_field(int(count))} {ts}"
+            )
+    latency = fleet.get("latency") or {}
+    lat_fields = [
+        f"{key}={_fmt_field(float(latency[key]))}"
+        for key in _TELEMETRY_FLEET_LATENCY
+        if latency.get(key) is not None
+    ]
+    if lat_fields:
+        lines.append(
+            f"{escape_measurement(prefix + '.fleet.latency')} "
+            f"{','.join(lat_fields)} {ts}"
+        )
+    return lines
 
 
 def _prom_name(text: str) -> str:
@@ -379,4 +444,57 @@ def telemetry_to_prometheus(
         name = f"{base}_budget_remaining"
         out.append(f"# TYPE {name} gauge")
         out.append(f"{name} {_prom_value(budget['remaining'])}")
+    out.extend(_fleet_prometheus(record.get("fleet") or {}, base))
     return "\n".join(out) + ("\n" if out else "")
+
+
+def _fleet_prometheus(fleet: Dict[str, Any], base: str) -> List[str]:
+    """Prometheus families for one snapshot's ``fleet`` block.
+
+    Same bounded-label contract as the line-protocol export: offender
+    ``tag`` labels are capped at top-K per kind by the sketch itself,
+    health buckets at the fixed bin count.
+    """
+    if not fleet.get("outcomes"):
+        return []
+    out: List[str] = []
+    for key in _TELEMETRY_FLEET_SCALARS:
+        if fleet.get(key) is not None:
+            name = f"{base}_fleet_{_prom_name(key)}"
+            out.append(f"# TYPE {name} gauge")
+            out.append(f"{name} {_prom_value(int(fleet[key]))}")
+    anomalous = fleet.get("anomalous")
+    if anomalous is not None:
+        name = f"{base}_fleet_anomalous_tags"
+        out.append(f"# TYPE {name} gauge")
+        out.append(f"{name} {_prom_value(len(anomalous))}")
+    offenders = fleet.get("offenders") or {}
+    if any(offenders.values()):
+        name = f"{base}_fleet_offender_total"
+        out.append(f"# TYPE {name} counter")
+        for kind, entries in sorted(offenders.items()):
+            for entry in entries:
+                out.append(
+                    f'{name}{{kind="{_prom_label(str(kind))}",'
+                    f'tag="{_prom_label(str(entry.get("key")))}"}} '
+                    f"{_prom_value(entry.get('count', 0.0))}"
+                )
+    histogram = fleet.get("histogram") or []
+    if any(histogram):
+        name = f"{base}_fleet_health_bucket"
+        out.append(f"# TYPE {name} gauge")
+        for idx, count in enumerate(histogram):
+            out.append(f'{name}{{bin="{idx}"}} {_prom_value(int(count))}')
+    latency = fleet.get("latency") or {}
+    quantiles = [
+        (q, latency[f"p{q}"]) for q in (50, 95, 99)
+        if latency.get(f"p{q}") is not None
+    ]
+    if quantiles:
+        name = f"{base}_fleet_latency_seconds"
+        out.append(f"# TYPE {name} gauge")
+        for q, value in quantiles:
+            out.append(
+                f'{name}{{quantile="{q / 100:g}"}} {_prom_value(value)}'
+            )
+    return out

@@ -1,0 +1,121 @@
+"""Terminal rendering for fleet telemetry (``fleet-report`` and the
+fleet section of ``obs-report``)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.fleet.aggregate import OFFENDER_KINDS
+
+
+def _fmt(value: Any) -> Any:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return value
+
+
+def render_offenders(
+    offenders: Dict[str, List[Dict[str, Any]]], top: Optional[int] = None
+) -> str:
+    """One table of the top-K offender boards (kind/rank/tag/count)."""
+    from repro.analysis.report import format_table
+
+    rows = []
+    for kind in OFFENDER_KINDS:
+        entries = offenders.get(kind) or []
+        if top is not None:
+            entries = entries[:top]
+        for rank, entry in enumerate(entries, start=1):
+            rows.append([
+                kind, rank, entry.get("key"),
+                _fmt(entry.get("count")), _fmt(entry.get("error")),
+            ])
+    if not rows:
+        return "(no offenders recorded)"
+    return format_table(
+        ["kind", "rank", "tag", "count", "max overcount"], rows,
+        title="top-k offenders",
+    )
+
+
+def render_health_histogram(histogram: Sequence[int]) -> str:
+    """ASCII bar chart of the health-score distribution."""
+    if not histogram or not any(histogram):
+        return "(no tracked tags)"
+    peak = max(histogram)
+    bins = len(histogram)
+    lines = ["health-score histogram"]
+    for i, count in enumerate(histogram):
+        lo = i / bins
+        hi = (i + 1) / bins
+        bar = "#" * int(round(24 * count / peak)) if count else ""
+        lines.append(f"  [{lo:.1f}, {hi:.1f}) {count:>5d} {bar}")
+    return "\n".join(lines)
+
+
+def render_transitions(transitions: Sequence[Dict[str, Any]]) -> str:
+    """Anomaly fire/clear transitions, in detection order."""
+    if not transitions:
+        return "(no anomaly transitions)"
+    lines = ["anomaly transitions"]
+    for tr in transitions:
+        z = tr.get("z")
+        corr = tr.get("corr_id") or "-"
+        lines.append(
+            f"  t={tr.get('t_s', 0.0):.1f}s tag {tr.get('tag')} "
+            f"{tr.get('kind')} (score {_fmt(tr.get('score'))}, "
+            f"z {_fmt(z)}, worst corr {corr})"
+        )
+    return "\n".join(lines)
+
+
+def render_fleet_block(block: Dict[str, Any],
+                       top: Optional[int] = None) -> str:
+    """Render one telemetry-snapshot ``fleet`` block (or summary)."""
+    from repro.analysis.report import format_table
+
+    latency = block.get("latency") or {}
+    rows = [
+        ["outcomes", block.get("outcomes", 0)],
+        ["tracked tags", block.get("tracked", 0)],
+        ["tag admissions", block.get("tags_seen", 0)],
+        ["evictions", block.get("evictions", 0)],
+        ["overflow requests", block.get("other_requests", 0)],
+        ["anomalous", ", ".join(
+            str(t) for t in block.get("anomalous") or []) or "-"],
+    ]
+    for key in ("count", "p50", "p95", "p99", "max"):
+        if latency.get(key) is not None:
+            rows.append([f"latency {key}", _fmt(latency[key])])
+    sections = [
+        format_table(["field", "value"], rows, title="fleet health"),
+        render_offenders(block.get("offenders") or {}, top=top),
+        render_health_histogram(block.get("histogram") or []),
+    ]
+    transitions = block.get("transitions")
+    if transitions:
+        sections.append(render_transitions(transitions))
+    return "\n\n".join(sections)
+
+
+def render_fleet_artifact(artifact: Dict[str, Any],
+                          top: Optional[int] = None) -> str:
+    """Full report for a ``--health-out`` (``repro.fleet/1``) artifact."""
+    from repro.analysis.report import format_table
+
+    head = format_table(
+        ["field", "value"],
+        [
+            ["schema", artifact.get("schema", "?")],
+            ["run", artifact.get("run_id", "?")],
+            ["seed", artifact.get("seed")],
+            ["t_s", _fmt(artifact.get("t_s", 0.0))],
+        ],
+        title="fleet health artifact",
+    )
+    summary = artifact.get("summary") or {}
+    sections = [head, render_fleet_block(summary, top=top)]
+    transitions = artifact.get("transitions") or []
+    if transitions:
+        sections.append(render_transitions(transitions))
+    return "\n\n".join(sections)

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.errors import ConfigurationError
 from repro.obs.export import escape_measurement as _escape_measurement
 from repro.obs.export import escape_tag as _escape_tag
+from repro.obs.fleet.sketch import QuantileSketch, SpaceSavingSketch
 from repro.obs.perf.timeseries import TimeSeries, percentile_of
 
 #: Bound on stored histogram samples; aggregates keep counting past it.
@@ -217,6 +218,59 @@ class MetricsRegistry:
             )
         return metric
 
+    def quantile_sketch(
+        self,
+        name: str,
+        alpha: Optional[float] = None,
+        max_buckets: Optional[int] = None,
+    ) -> QuantileSketch:
+        """A mergeable :class:`QuantileSketch` (created on first use).
+
+        Like :meth:`timeseries`, ``alpha``/``max_buckets`` are
+        creation-time hints: re-requesting an existing sketch with
+        different values keeps the original (the bucket grid is fixed
+        at creation).
+        """
+        metric = self._metrics.get(name)
+        if metric is None:
+            if not name:
+                raise ConfigurationError("metric name must be non-empty")
+            kwargs = {}
+            if alpha is not None:
+                kwargs["alpha"] = alpha
+            if max_buckets is not None:
+                kwargs["max_buckets"] = max_buckets
+            metric = QuantileSketch(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, QuantileSketch):
+            raise ConfigurationError(
+                f"metric {name!r} is a {metric.kind}, "
+                "not a quantile_sketch"
+            )
+        return metric
+
+    def heavy_hitters(
+        self, name: str, capacity: Optional[int] = None
+    ) -> SpaceSavingSketch:
+        """A mergeable :class:`SpaceSavingSketch` (created on first
+        use); ``capacity`` is a creation-time hint like
+        :meth:`timeseries` capacity."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            if not name:
+                raise ConfigurationError("metric name must be non-empty")
+            if capacity is None:
+                metric = SpaceSavingSketch(name)
+            else:
+                metric = SpaceSavingSketch(name, capacity=capacity)
+            self._metrics[name] = metric
+        elif not isinstance(metric, SpaceSavingSketch):
+            raise ConfigurationError(
+                f"metric {name!r} is a {metric.kind}, "
+                "not a heavy_hitters sketch"
+            )
+        return metric
+
     def __len__(self) -> int:
         return len(self._metrics)
 
@@ -279,6 +333,8 @@ class MetricsRegistry:
             if isinstance(metric, TimeSeries):
                 entry: Dict[str, object] = {"kind": "timeseries",
                                             **metric.to_payload()}
+            elif isinstance(metric, (QuantileSketch, SpaceSavingSketch)):
+                entry = {"kind": metric.kind, **metric.to_payload()}
             elif isinstance(metric, Timer) or isinstance(metric, Histogram):
                 entry = {
                     "kind": metric.kind,
@@ -332,6 +388,16 @@ class MetricsRegistry:
             elif kind == "timeseries":
                 series = self.timeseries(name, capacity=entry.get("capacity"))
                 series.merge_payload(entry)
+            elif kind == "quantile_sketch":
+                self.quantile_sketch(
+                    name,
+                    alpha=entry.get("alpha"),
+                    max_buckets=entry.get("max_buckets"),
+                ).merge_payload(entry)
+            elif kind == "heavy_hitters":
+                self.heavy_hitters(
+                    name, capacity=entry.get("capacity")
+                ).merge_payload(entry)
             else:
                 raise ConfigurationError(
                     f"unknown metric kind {kind!r} in payload entry {name!r}"
@@ -365,6 +431,9 @@ class NullMetric:
         pass
 
     def sample(self, value: float, t: Optional[float] = None) -> None:
+        pass
+
+    def offer(self, key: object, weight: float = 1.0) -> None:
         pass
 
     def time(self) -> "_NullTimerContext":

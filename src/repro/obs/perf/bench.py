@@ -254,6 +254,82 @@ def _bench_serve_overload(iterations: int, seed: int,
     return out
 
 
+#: The fleet_telemetry reference workload: a saturated gateway serving
+#: 64 tag addresses with one sabotaged tag (address 7 decoding at a
+#: hostile 2.4 m), through a fleet registry deliberately smaller than
+#: the tag population so the LRU eviction path is always hot.  Module-
+#: level for the same reason as SERVE_OVERLOAD_CONFIG: the fleet smoke
+#: tests drive the exact shape the baseline tracks.
+FLEET_TELEMETRY_CONFIG: Dict[str, Any] = {
+    "duration_s": 12.0,
+    "offered_load_rps": 20.0,
+    "deadline_ms": 2500.0,
+    "queue_capacity": 24,
+    "batch": 4,
+    "workers": 0,
+    "n_tags": 64,
+    "payload_bits": 8,
+    "packets_per_bit": 6.0,
+    "bit_rate_bps": 200.0,   # 25 rps capacity: decodes, not sheds, dominate
+    "fleet_capacity": 16,
+    "fleet_top_k": 8,
+    "fleet_min_requests": 2,
+    "outlier_tags": (7,),
+    "outlier_distance_m": 2.4,
+}
+
+
+def _bench_fleet_telemetry(iterations: int, seed: int,
+                           workers: int = 1) -> Dict[str, float]:
+    # Not forwarded: the gateway decodes inline (workers=0) so the
+    # fleet aggregate stays deterministic; only the wall-clock fold
+    # rate varies with the machine.
+    del workers
+    from repro.serve import ServeConfig, run_serve
+
+    config = ServeConfig(**FLEET_TELEMETRY_CONFIG)
+    latencies = TimeSeries("bench.latency", capacity=max(iterations, 1))
+    outcomes = 0
+    wall = 0.0
+    conserved = 1.0
+    anomalies = 0.0
+    outlier_hits = 0.0
+    for i in range(iterations):
+        t0 = time.perf_counter()
+        result = run_serve(config, seed=seed + i)
+        dt = time.perf_counter() - t0
+        latencies.sample(dt)
+        wall += dt
+        fleet = result.report.fleet
+        outcomes += int(fleet.get("outcomes", 0))
+        expected = fleet.get("tracked", 0) + fleet.get("evictions", 0)
+        if fleet.get("tags_seen") != expected:
+            conserved = 0.0
+        anomalies += int(fleet.get("transitions_total", 0))
+        boards = fleet.get("offenders") or {}
+        surfaced = {
+            entry.get("key")
+            for kind in ("failure", "error_bits")
+            for entry in boards.get(kind) or []
+        }
+        if "7" in surfaced:
+            outlier_hits += 1.0
+    out = _latency_metrics(latencies)
+    # Wall-clock fold rate: settled requests absorbed into the fleet
+    # aggregate per second of wall time (the observability overhead
+    # number this workload exists to track).
+    out["fleet_ingest_per_s"] = outcomes / wall if wall else 0.0
+    # Deterministic quality metrics (pure functions of config+seed).
+    out["fleet_conservation"] = conserved
+    out["anomaly_transitions"] = (
+        anomalies / iterations if iterations else 0.0
+    )
+    out["outlier_surfaced"] = (
+        outlier_hits / iterations if iterations else 0.0
+    )
+    return out
+
+
 def _bench_uplink_batch(iterations: int, seed: int,
                         workers: int = 1) -> Dict[str, float]:
     # Not forwarded: the batched decoder's win is single-process
@@ -361,6 +437,7 @@ WORKLOADS: Dict[str, Callable[..., Dict[str, float]]] = {
     "arq_under_faults": _bench_arq_faults,
     "downlink_far": _bench_downlink,
     "serve_overload": _bench_serve_overload,
+    "fleet_telemetry": _bench_fleet_telemetry,
     "uplink_batch_decode": _bench_uplink_batch,
 }
 
@@ -373,7 +450,7 @@ FULL_ITERATIONS = 8
 WALL_CLOCK_METRICS = frozenset({
     "latency_p50_s", "latency_p95_s", "latency_p99_s", "wall_s",
     "throughput_bps", "speedup_vs_serial", "packets_decoded_per_s",
-    "batch_speedup",
+    "batch_speedup", "fleet_ingest_per_s",
 })
 
 #: Metrics never gated on a single-CPU runner: they measure throughput
@@ -407,6 +484,9 @@ def list_workloads() -> List[Dict[str, Any]]:
         "downlink_far": "analytic downlink BER at 2.0 m",
         "serve_overload": "streaming gateway at 2x capacity "
                           "(shed/deadline/recovery path)",
+        "fleet_telemetry": "64-tag fleet with one sabotaged tag "
+                           "(sketch/registry fold rate + anomaly "
+                           "surfacing)",
         "uplink_batch_decode": "batched 16-packet CSI decode vs scalar "
                                "(cross-packet batching speedup)",
     }
@@ -580,6 +660,7 @@ def default_direction(metric: str) -> str:
     return HIGHER_BETTER if metric in (
         "throughput_bps", "delivery_ratio", "speedup_vs_serial",
         "packets_decoded_per_s", "batch_speedup", "oracle_equal",
+        "fleet_ingest_per_s", "fleet_conservation", "outlier_surfaced",
     ) else LOWER_BETTER
 
 

@@ -243,10 +243,13 @@ class ExemplarReservoir:
     OpenMetrics-style exemplars answer "show me the request behind that
     p99 bucket": for each latency bucket the reservoir keeps the single
     *worst* (highest-valued) observation together with its flight-
-    recorder correlation ID and observation time.  Updates are pure
-    max-comparisons on the observed value, so two runs observing the
-    same (value, corr_id, t) stream — e.g. ``workers=0`` and
-    ``workers=2`` serve runs — hold byte-identical exemplars.
+    recorder correlation ID, observation time, and (when provided) the
+    originating tag address — the hop that lets a fleet anomaly row
+    ("tag 17 is unhealthy") land directly on a concrete exemplar
+    request.  Updates are pure max-comparisons on the observed value,
+    so two runs observing the same (value, corr_id, t, tag) stream —
+    e.g. ``workers=0`` and ``workers=2`` serve runs — hold
+    byte-identical exemplars.
     """
 
     __slots__ = ("bounds", "_worst")
@@ -262,10 +265,18 @@ class ExemplarReservoir:
         if not math.isinf(cleaned[-1]):
             cleaned = cleaned + (math.inf,)
         self.bounds = cleaned
-        #: bucket index -> (value, corr_id, t)
-        self._worst: Dict[int, Tuple[float, str, float]] = {}
+        #: bucket index -> (value, corr_id, t, tag_id or None)
+        self._worst: Dict[
+            int, Tuple[float, str, float, Optional[int]]
+        ] = {}
 
-    def observe(self, value: float, corr_id: str, t: float = 0.0) -> None:
+    def observe(
+        self,
+        value: float,
+        corr_id: str,
+        t: float = 0.0,
+        tag: Optional[int] = None,
+    ) -> None:
         """Record one observation; keeps it only if it is the bucket's
         worst so far.  NaN observations are ignored (they have no
         bucket and would poison the max comparison)."""
@@ -277,16 +288,22 @@ class ExemplarReservoir:
             idx += 1
         current = self._worst.get(idx)
         if current is None or v > current[0]:
-            self._worst[idx] = (v, str(corr_id), float(t))
+            self._worst[idx] = (
+                v, str(corr_id), float(t),
+                None if tag is None else int(tag),
+            )
 
     def __len__(self) -> int:
         return len(self._worst)
 
     def to_dicts(self) -> List[Dict[str, object]]:
-        """Bucket-ordered export: ``[{le, value, corr_id, t_s}, ...]``.
+        """Bucket-ordered export:
+        ``[{le, value, corr_id, t_s, tag_id}, ...]``.
 
         ``le`` is the bucket's inclusive upper bound; +inf survives the
-        JSON round trip via the shared IEEE-string codec.
+        JSON round trip via the shared IEEE-string codec.  ``tag_id``
+        is None for producers that do not attribute observations to
+        tags.
         """
         return [
             {
@@ -294,6 +311,7 @@ class ExemplarReservoir:
                 "value": self._worst[idx][0],
                 "corr_id": self._worst[idx][1],
                 "t_s": self._worst[idx][2],
+                "tag_id": self._worst[idx][3],
             }
             for idx in sorted(self._worst)
         ]

@@ -152,6 +152,19 @@ def render_telemetry(
             for a in transitions
         ]
         sections.append("burn-rate transitions\n" + "\n".join(lines))
+    fleet = (snapshots[-1].get("fleet") or {}) if snapshots else {}
+    if fleet.get("outcomes"):
+        from repro.obs.fleet.report import render_fleet_block
+
+        # The last snapshot carries the cumulative fleet state; the
+        # per-snapshot blocks only carry that tick's transitions, so
+        # splice the full stream's transition history back in.
+        fleet = dict(fleet)
+        fleet["transitions"] = [
+            tr for snap in snapshots
+            for tr in (snap.get("fleet") or {}).get("transitions") or []
+        ]
+        sections.append(render_fleet_block(fleet))
     summary = (final or {}).get("summary") or {}
     if summary:
         sections.append(

@@ -342,6 +342,27 @@ def builtin_scenarios() -> List[Scenario]:
         seed=7002,
     ))
     scenarios.append(Scenario(
+        name="serve_fleet_outlier",
+        description="64-tag fleet with one sabotaged tag at hostile "
+                    "range: the health registry must surface it in the "
+                    "offender boards and flag an anomaly",
+        tags=("serve", "fleet"),
+        geometry=Geometry(tag_to_reader_m=0.3),
+        traffic=Traffic(regime="injected_cbr", rate_pps=1600.0),
+        channel=Channel(mode="csi"),
+        # 1600 pps / 8 pkts-per-bit = 200 bps; 8-bit payloads make a
+        # 25 req/s gateway, so 20 rps offered keeps decodes (not
+        # sheds) the dominant outcome the fleet view folds.
+        trial=TrialConfig(repeats=1, payload_bits=8, packets_per_bit=8.0),
+        serve=Serve(
+            duration_s=12.0, offered_load_rps=20.0, deadline_ms=2500.0,
+            queue_capacity=24, batch=4, n_tags=64, fleet_capacity=16,
+            outlier_tags=(7,), outlier_distance_m=2.4,
+        ),
+        envelope=Envelope(ber_max=0.25, latency_max_s=LATENCY_BOUND_S),
+        seed=7004,
+    ))
+    scenarios.append(Scenario(
         name="serve_office_diurnal",
         description="gateway riding the Fig 15 office diurnal arrival "
                     "shape at the afternoon peak",

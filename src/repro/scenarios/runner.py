@@ -252,6 +252,10 @@ def _execute_serve(
         tag_to_reader_m=scenario.geometry.tag_to_reader_m,
         helper_to_tag_m=scenario.geometry.helper_to_tag_m,
         office_hour=scenario.traffic.start_hour,
+        n_tags=serve.n_tags,
+        fleet_capacity=serve.fleet_capacity,
+        outlier_tags=serve.outlier_tags,
+        outlier_distance_m=serve.outlier_distance_m,
     )
     t0 = time.perf_counter()
     report = run_serve(config, faults=faults, seed=seed).report
@@ -285,6 +289,16 @@ def _execute_serve(
         metrics["budget_remaining"] = float(report.budget_remaining)
     if report.recovery_s is not None:
         metrics["recovery_s"] = float(report.recovery_s)
+    fleet = report.fleet or {}
+    if fleet.get("outcomes"):
+        metrics["fleet_anomaly_transitions"] = float(
+            fleet.get("transitions_total", 0)
+        )
+        conserved = (
+            fleet.get("tags_seen")
+            == fleet.get("tracked", 0) + fleet.get("evictions", 0)
+        )
+        metrics["fleet_conservation"] = 1.0 if conserved else 0.0
     return metrics
 
 

@@ -303,6 +303,14 @@ class Serve:
         arrival_profile: "cbr" | "poisson" | "bursty" | "office".
         workers: decode worker processes (0 = inline).
         max_attempts: supervised retries before dead-lettering.
+        n_tags: distinct tag addresses behind the gateway.
+        fleet_capacity: tags tracked individually by the fleet health
+            registry (overflow evicts LRU into the "other" bucket).
+        outlier_tags: sabotaged tag addresses whose requests decode at
+            ``outlier_distance_m`` — the fleet anomaly-surfacing path's
+            ground truth.
+        outlier_distance_m: hostile tag-reader distance for the
+            outlier tags (required when any are set).
     """
 
     duration_s: float = 12.0
@@ -316,8 +324,18 @@ class Serve:
     arrival_profile: str = "poisson"
     workers: int = 0
     max_attempts: int = 3
+    n_tags: int = 8
+    fleet_capacity: int = 64
+    outlier_tags: Tuple[int, ...] = ()
+    outlier_distance_m: Optional[float] = None
 
     def __post_init__(self) -> None:
+        # JSON round-trips deliver lists; canonicalize to a tuple so
+        # equality holds across to_dict/from_dict.
+        object.__setattr__(
+            self, "outlier_tags",
+            tuple(int(t) for t in self.outlier_tags),
+        )
         _require(float(self.duration_s) > 0, "must be positive",
                  "duration_s")
         _require(float(self.offered_load_rps) > 0, "must be positive",
@@ -341,6 +359,18 @@ class Serve:
         _require(int(self.workers) >= 0, "must be >= 0", "workers")
         _require(int(self.max_attempts) >= 1, "must be >= 1",
                  "max_attempts")
+        _require(int(self.n_tags) >= 1, "must be >= 1", "n_tags")
+        _require(int(self.fleet_capacity) >= 1, "must be >= 1",
+                 "fleet_capacity")
+        _require(all(t >= 0 for t in self.outlier_tags),
+                 "tag addresses must be >= 0", "outlier_tags")
+        if self.outlier_tags:
+            _require(self.outlier_distance_m is not None,
+                     "required when outlier_tags are set",
+                     "outlier_distance_m")
+        if self.outlier_distance_m is not None:
+            _require(float(self.outlier_distance_m) > 0,
+                     "must be positive", "outlier_distance_m")
 
 
 @dataclass(frozen=True)

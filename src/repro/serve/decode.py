@@ -38,6 +38,12 @@ class ServeDecodeTask:
     start_s: float
     faults: Optional[FaultPlan]
     helper_to_tag_m: float = 3.0
+    #: Treat decode exceptions as failed-decode *data* even without an
+    #: active fault plan.  The gateway sets this for fleet outlier tags
+    #: (``ServeConfig.outlier_tags``), whose requests decode at a
+    #: deliberately hostile distance — their failures are the point of
+    #: the experiment, not pipeline bugs.
+    lenient: bool = False
 
     @property
     def trial(self) -> int:
@@ -91,6 +97,13 @@ def decode_request_task(task: ServeDecodeTask) -> Dict[str, Any]:
                     trial.sent_bits != trial.decoded_bits
                 ),
             )
+        # Fleet sketch: per-request decode error counts, observed in
+        # whichever process ran the decode.  Integer-valued and folded
+        # per task, so the parent's merged sketch is byte-identical to
+        # an inline run's (see the fleet determinism contract tests).
+        obs.quantile_sketch("fleet.decode.errors").observe(
+            float(trial.errors)
+        )
         return {
             "seq": task.seq,
             "ok": True,
@@ -104,8 +117,11 @@ def decode_request_task(task: ServeDecodeTask) -> Dict[str, Any]:
             forensics.commit(
                 errors=task.payload_bits, failure=type(exc).__name__
             )
-        if not active:
+        if not active and not task.lenient:
             raise
+        obs.quantile_sketch("fleet.decode.errors").observe(
+            float(task.payload_bits)
+        )
         return {
             "seq": task.seq,
             "ok": False,
@@ -228,6 +244,9 @@ def decode_batch_task(task: ServeBatchTask) -> List[Dict[str, Any]]:
         except ReproError as exc:
             if not active:
                 raise
+            obs.quantile_sketch("fleet.decode.errors").observe(
+                float(task.payload_bits)
+            )
             rows[i] = {
                 "seq": task.seqs[i],
                 "ok": False,
@@ -256,6 +275,9 @@ def decode_batch_task(task: ServeBatchTask) -> List[Dict[str, Any]]:
                 errors = bit_errors(payload, outcome.result.bits)
                 obs.counter("uplink.bits.total").inc(task.payload_bits)
                 obs.counter("uplink.bits.errors").inc(errors)
+                obs.quantile_sketch("fleet.decode.errors").observe(
+                    float(errors)
+                )
                 rows[i] = {
                     "seq": task.seqs[i],
                     "ok": True,
@@ -269,6 +291,9 @@ def decode_batch_task(task: ServeBatchTask) -> List[Dict[str, Any]]:
             else:
                 if not active:
                     raise outcome.error
+                obs.quantile_sketch("fleet.decode.errors").observe(
+                    float(task.payload_bits)
+                )
                 rows[i] = {
                     "seq": task.seqs[i],
                     "ok": False,

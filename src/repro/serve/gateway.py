@@ -128,6 +128,21 @@ class ServeConfig:
     budget_target: float = 0.99
     budget_window_s: float = 3600.0
     telemetry_cadence_s: float = 1.0
+    #: Fleet telemetry: tracked-tag bound of the per-tag health
+    #: registry (memory is O(fleet_capacity); overflow aggregates into
+    #: the ``other`` bucket), offender-board size, and the robust
+    #: z-score anomaly threshold (see ``repro.obs.fleet``).
+    fleet_capacity: int = 64
+    fleet_top_k: int = 8
+    fleet_anomaly_z: float = 3.0
+    fleet_min_requests: int = 3
+    #: Sabotaged tags: requests from these tag addresses decode at
+    #: ``outlier_distance_m`` instead of ``tag_to_reader_m`` — a
+    #: physically real degradation used to exercise the fleet anomaly
+    #: detector.  Requires the per-request dispatch path (no
+    #: ``batch_max``): a micro-batch decodes at one shared distance.
+    outlier_tags: Tuple[int, ...] = ()
+    outlier_distance_m: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -167,6 +182,33 @@ class ServeConfig:
             raise ConfigurationError("budget_window_s must be positive")
         if self.telemetry_cadence_s <= 0:
             raise ConfigurationError("telemetry_cadence_s must be positive")
+        if self.fleet_capacity < 1:
+            raise ConfigurationError("fleet_capacity must be >= 1")
+        if self.fleet_top_k < 1:
+            raise ConfigurationError("fleet_top_k must be >= 1")
+        if self.fleet_anomaly_z <= 0:
+            raise ConfigurationError("fleet_anomaly_z must be positive")
+        if self.fleet_min_requests < 1:
+            raise ConfigurationError("fleet_min_requests must be >= 1")
+        if self.outlier_tags:
+            if self.outlier_distance_m is None:
+                raise ConfigurationError(
+                    "outlier_tags require outlier_distance_m"
+                )
+            if self.batch_max is not None:
+                raise ConfigurationError(
+                    "outlier_tags require per-request dispatch "
+                    "(batch_max must be None)"
+                )
+            if any(t < 0 for t in self.outlier_tags):
+                raise ConfigurationError(
+                    "outlier_tags must be non-negative tag addresses"
+                )
+        if self.outlier_distance_m is not None and \
+                self.outlier_distance_m <= 0:
+            raise ConfigurationError(
+                "outlier_distance_m must be positive"
+            )
 
     @property
     def effective_service_s(self) -> float:
@@ -185,6 +227,7 @@ class ServeConfig:
             for k in self.__dataclass_fields__  # type: ignore[attr-defined]
         }
         d["priority_mix"] = list(self.priority_mix)
+        d["outlier_tags"] = list(self.outlier_tags)
         d["capacity_rps"] = self.capacity_rps
         return d
 
@@ -216,7 +259,9 @@ class StreamingDecodeGateway:
         slo: Optional[SloEngine] = None,
         seed: Optional[int] = None,
         telemetry_out: Optional[str] = None,
+        health_out: Optional[str] = None,
     ) -> None:
+        from repro.obs.fleet import FleetAggregator
         from repro.sim.seeding import resolve_rng
 
         _, effective = resolve_rng(None, seed)
@@ -226,9 +271,18 @@ class StreamingDecodeGateway:
         self.seed = int(effective if effective is not None else 0)
         self.run_id = f"serve-{self.seed}"
         self.telemetry_out = telemetry_out
+        self.health_out = health_out
         self.breaker = TagBreaker(
             failure_threshold=config.breaker_threshold,
             quarantine_s=config.breaker_quarantine_s,
+        )
+        #: Fleet telemetry fold target; every settled request lands
+        #: here (fixed memory regardless of distinct tag count).
+        self.fleet = FleetAggregator(
+            capacity=config.fleet_capacity,
+            top_k=config.fleet_top_k,
+            z_threshold=config.fleet_anomaly_z,
+            min_requests=config.fleet_min_requests,
         )
 
     # -- forensics ----------------------------------------------------------
@@ -378,10 +432,21 @@ class StreamingDecodeGateway:
             ok_series.sample(1.0 if outcome.delivered else 0.0, t=t)
             if outcome.delivered:
                 lat_series.sample(outcome.latency_s, t=t)
-                exemplars.observe(outcome.latency_s, outcome.corr_id, t)
+                exemplars.observe(outcome.latency_s, outcome.corr_id, t,
+                                  tag=outcome.tag_address)
             elif outcome.status in (STATUS_DECODE_FAILED,
                                     STATUS_WORKER_LOST):
                 recent_failures[outcome.tag_address] = t
+            self.fleet.fold(
+                outcome.tag_address,
+                outcome.status,
+                latency_s=outcome.latency_s,
+                errors=outcome.errors,
+                bits=len(outcome.payload) if outcome.delivered else 0,
+                breaker_state=self.breaker.state_of(outcome.tag_address),
+                t=t,
+                corr_id=outcome.corr_id,
+            )
             lifecycle.finish(outcome)
 
         def window_latency(t: float) -> Dict[str, Any]:
@@ -416,6 +481,10 @@ class StreamingDecodeGateway:
                     if recent_failures[tag] >= horizon and \
                             self.breaker.preempt(tag, t):
                         preempted += 1
+            # Anomaly detection runs every tick regardless of the
+            # snapshot stream, so the report's transition log is the
+            # same with or without --telemetry-out.
+            fleet_transitions = self.fleet.detect(t)
             if snapshotter is None:
                 return
             snapshotter.snapshot({
@@ -440,6 +509,7 @@ class StreamingDecodeGateway:
                 "alerts": [a.to_dict() for a in transitions],
                 "alerts_active": len(burn.active_alerts()),
                 "exemplars": exemplars.to_dicts(),
+                "fleet": self.fleet.snapshot_block(fleet_transitions),
             })
 
         def run_ticks(t: float) -> None:
@@ -627,6 +697,7 @@ class StreamingDecodeGateway:
                     rows = sup.results[0]
                 sup_totals["dead_letters"] += len(dead)
             else:
+                outliers = frozenset(cfg.outlier_tags)
                 tasks = [
                     ServeDecodeTask(
                         seq=req.seq,
@@ -634,13 +705,18 @@ class StreamingDecodeGateway:
                         run_id=self.run_id,
                         root_seed=self.seed,
                         payload_bits=req.payload_bits,
-                        tag_to_reader_m=cfg.tag_to_reader_m,
+                        tag_to_reader_m=(
+                            cfg.outlier_distance_m
+                            if req.tag_address in outliers
+                            else cfg.tag_to_reader_m
+                        ),
                         packets_per_bit=cfg.packets_per_bit,
                         mode=cfg.mode,
                         bit_rate_bps=cfg.bit_rate_bps,
                         start_s=req.arrival_s,
                         faults=self.faults,
                         helper_to_tag_m=cfg.helper_to_tag_m,
+                        lenient=req.tag_address in outliers,
                     )
                     for req in ready
                 ]
@@ -754,6 +830,15 @@ class StreamingDecodeGateway:
             budget_status[0]["remaining"] if budget_status else None
         )
 
+        health_path: Optional[str] = None
+        if self.health_out is not None:
+            from repro.obs.export import write_json
+
+            health_path = write_json(
+                self.health_out,
+                self.fleet.artifact(self.run_id, self.seed, end_t),
+            )
+
         alerts = []
         if self.slo is not None:
             alerts = [
@@ -789,6 +874,8 @@ class StreamingDecodeGateway:
                 sum(batch_sizes) / len(batch_sizes)
                 if batch_sizes else 0.0
             ),
+            fleet=self.fleet.summary(),
+            health_path=health_path,
         )
         if snapshotter is not None:
             snapshotter.close(summary={
@@ -901,6 +988,8 @@ class StreamingDecodeGateway:
             batches=kw.get("batches", 0),
             batch_size_max=kw.get("batch_size_max", 0),
             batch_size_mean=kw.get("batch_size_mean", 0.0),
+            fleet=kw.get("fleet", {}),
+            health_path=kw.get("health_path"),
         )
 
 
@@ -912,17 +1001,20 @@ def run_serve(
     workers: Optional[int] = None,
     should_stop: Optional[Callable[[], bool]] = None,
     telemetry_out: Optional[str] = None,
+    health_out: Optional[str] = None,
 ) -> ServeResult:
     """Run one serve session; the functional entry point.
 
     ``workers`` overrides ``config.workers`` when given (the CLI wires
     ``--workers`` through here); ``telemetry_out`` enables the periodic
-    snapshot stream (``serve --telemetry-out``).
+    snapshot stream (``serve --telemetry-out``); ``health_out`` writes
+    the ``repro.fleet/1`` per-tag health artifact at the end of the run
+    (``serve --health-out``, rendered by ``fleet-report``).
     """
     if workers is not None:
         config = replace(config, workers=int(workers))
     gateway = StreamingDecodeGateway(
         config, faults=faults, slo=slo, seed=seed,
-        telemetry_out=telemetry_out,
+        telemetry_out=telemetry_out, health_out=health_out,
     )
     return gateway.run(should_stop=should_stop)

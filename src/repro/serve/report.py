@@ -66,6 +66,12 @@ class ServeReport:
     batches: int = 0
     batch_size_max: int = 0
     batch_size_mean: float = 0.0
+    #: Fleet telemetry summary (tracked/evicted tag accounting, top-K
+    #: offender boards, health histogram, anomaly state, latency
+    #: sketch) — see :class:`repro.obs.fleet.FleetAggregator.summary`.
+    fleet: Dict[str, Any] = field(default_factory=dict)
+    #: Path of the ``--health-out`` artifact, when one was written.
+    health_path: Optional[str] = None
 
     @property
     def accounted(self) -> int:
@@ -133,6 +139,8 @@ class ServeReport:
             "batches": self.batches,
             "batch_size_max": self.batch_size_max,
             "batch_size_mean": self.batch_size_mean,
+            "fleet": dict(self.fleet),
+            "health_path": self.health_path,
         }
 
 
@@ -222,6 +230,31 @@ def render_serve_text(report: ServeReport) -> str:
                 f"{alert.get('kind')} {alert.get('metric')}"
             )
             lines.append(f"    - t={alert.get('at_s', 0.0):.1f}s {msg}")
+    fleet = report.fleet or {}
+    if fleet.get("outcomes"):
+        anomalous = fleet.get("anomalous") or []
+        lines.append(
+            f"  fleet: {fleet.get('tags_seen', 0)} tag admissions"
+            f"  tracked {fleet.get('tracked', 0)}"
+            f"  evicted {fleet.get('evictions', 0)}"
+            f"  anomalous {len(anomalous)}"
+            + (f" ({', '.join(str(t) for t in anomalous)})"
+               if anomalous else "")
+        )
+        offenders = fleet.get("offenders") or {}
+        worst = []
+        for kind in ("shed", "failure", "error_bits", "latency"):
+            entries = offenders.get(kind) or []
+            if entries:
+                top = entries[0]
+                worst.append(
+                    f"{kind}: tag {top.get('key')}"
+                    f" ({top.get('count'):.4g})"
+                )
+        if worst:
+            lines.append("  fleet offenders: " + "  ".join(worst))
+    if report.health_path:
+        lines.append(f"  fleet health artifact -> {report.health_path}")
     if report.telemetry_path:
         lines.append(
             f"  telemetry: {report.telemetry_snapshots} snapshots"

@@ -21,9 +21,9 @@ observability context, byte-for-byte the legacy serial behaviour.
 With ``workers>1`` it submits to a cached :class:`ProcessPoolExecutor`;
 each worker runs its task under a fresh obs session mirroring the
 parent's switches and ships back a lossless payload (counters,
-histogram samples, timeseries rings, span trees, profiler stages),
-which the parent merges in *task order* so the merged registry matches
-what a serial run would have recorded.
+histogram samples, timeseries rings, quantile/heavy-hitter sketches,
+span trees, profiler stages), which the parent merges in *task order*
+so the merged registry matches what a serial run would have recorded.
 
 The pool is process-global and cached across calls: pool creation costs
 ~100ms+ (fork + interpreter bookkeeping), which would swamp short

@@ -19,27 +19,39 @@ def _obs_off():
 
 class TestRegistry:
     def test_all_pipeline_caches_registered_and_bounded(self):
-        # Importing the modules registers their caches.
-        import repro.core.barker  # noqa: F401
-        import repro.core.batch  # noqa: F401
-        import repro.core.coding  # noqa: F401
-        import repro.phy.constants  # noqa: F401
-        import repro.phy.pathloss  # noqa: F401
-
+        # The scan imports every repro module and finds each lru_cache
+        # wrapper at its definition site, so a newly added memoized
+        # helper that forgets register_cache() fails here by name
+        # instead of silently missing from the manifests.
+        missing = caches.unregistered_caches()
+        assert not missing, (
+            f"lru_caches missing register_cache(): {sorted(missing)}"
+        )
         registered = caches.registered_caches()
-        for name in (
-            "phy.friis_path_gain",
-            "phy.log_distance.power_gain",
-            "phy.subcarrier_frequencies",
-            "core.make_code_pair",
-            "core.barker_chip_templates",
-            "core.batch_chip_table",
-            "core.batch_index_grid",
-        ):
-            assert name in registered, f"{name} not registered"
-            assert registered[name].cache_info().maxsize is not None, (
+        # The scan and the registry must describe the same wrappers.
+        scanned = {id(fn) for fn in caches.scan_lru_caches().values()}
+        for name, fn in registered.items():
+            if name.startswith(("test.", "tmp.")):
+                continue
+            assert id(fn) in scanned, (
+                f"{name} registered but not found by the scan"
+            )
+            assert fn.cache_info().maxsize is not None, (
                 f"{name} is unbounded"
             )
+
+    def test_scan_attributes_each_cache_once(self):
+        found = caches.scan_lru_caches()
+        # Known definition sites; the scan keys by module.qualname.
+        for qualname in (
+            "repro.phy.pathloss.friis_path_gain",
+            "repro.phy.pathloss.LogDistancePathLoss.power_gain",
+            "repro.core.coding.make_code_pair",
+        ):
+            assert qualname in found, f"{qualname} not discovered"
+        # Dedup: each wrapper object appears under exactly one key.
+        ids = [id(fn) for fn in found.values()]
+        assert len(ids) == len(set(ids))
 
     def test_register_requires_cache_info(self):
         with pytest.raises(ConfigurationError):

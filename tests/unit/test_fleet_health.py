@@ -1,0 +1,237 @@
+"""Per-tag health registry: bounded memory, conservation, anomalies.
+
+The registry's promise is O(capacity) memory with nothing lost: every
+admission is conserved (``tags_seen == tracked + evictions``), evicted
+mass lands in the ``other`` bucket, and the robust-z anomaly detector
+flags tags that fall away from the *fleet* distribution (so a
+common-mode overload moves the median, not the flags).
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.fleet.health import (
+    HEALTH_BINS,
+    MAX_TRANSITIONS,
+    TagHealth,
+    TagHealthRegistry,
+)
+
+
+def _deliver(registry, tag, n=1, errors=0, bits=8, t=0.0):
+    for _ in range(n):
+        registry.fold(tag, "delivered", errors=errors, bits=bits, t=t)
+
+
+class TestTagHealth:
+    def test_delivery_and_ber_accounting(self):
+        entry = TagHealth()
+        entry.fold("delivered", 2, 8, "closed", 1.0, corr_id="r/1")
+        entry.fold("delivered", 0, 8, "closed", 2.0, corr_id="r/2")
+        entry.fold("shed", 0, 0, "closed", 3.0)
+        assert entry.requests == 3
+        assert entry.delivered == 2
+        assert entry.shed == 1
+        assert entry.bits == 16 and entry.error_bits == 2
+        assert 0.0 < entry.ber_ewma < 0.25
+        assert entry.delivery_rate == pytest.approx(2 / 3)
+        # Worst-request linking skips sheds (no decode happened).
+        assert entry.worst_corr_id == "r/1"
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TagHealth().fold("exploded", 0, 0, "closed", 0.0)
+
+    def test_open_breaker_halves_the_score(self):
+        healthy = TagHealth()
+        healthy.fold("delivered", 0, 8, "closed", 1.0)
+        broken = TagHealth()
+        broken.fold("delivered", 0, 8, "open", 1.0)
+        assert broken.health_score() == pytest.approx(
+            healthy.health_score() / 2
+        )
+
+    def test_dict_round_trip(self):
+        entry = TagHealth()
+        entry.fold("delivered", 3, 8, "open", 4.0, corr_id="r/9")
+        entry.fold("decode_failed", 8, 0, "open", 5.0, corr_id="r/10")
+        rebuilt = TagHealth.from_dict(entry.to_dict())
+        assert rebuilt.to_dict() == entry.to_dict()
+
+
+class TestConservation:
+    def test_conservation_at_ten_thousand_distinct_tags(self):
+        registry = TagHealthRegistry(capacity=64)
+        n = 10_000
+        for tag in range(n):
+            registry.fold(tag, "delivered", bits=8, t=float(tag))
+        assert registry.tracked == 64
+        assert registry.evictions == n - 64
+        assert registry.tags_seen == registry.tracked + registry.evictions
+        # Evicted mass is aggregated, not dropped.
+        assert registry.other.requests == n - 64
+        # O(capacity): the tracked map never exceeds its bound.
+        assert len(registry) == 64
+
+    def test_readmission_counts_as_a_new_admission(self):
+        registry = TagHealthRegistry(capacity=2)
+        for tag in (1, 2, 3, 1):  # 1 evicted by 3, then readmitted
+            registry.fold(tag, "delivered", bits=8)
+        assert registry.admissions == 4
+        assert registry.evictions == 2
+        assert registry.tags_seen == registry.tracked + registry.evictions
+
+    def test_lru_touch_protects_hot_tags(self):
+        registry = TagHealthRegistry(capacity=2)
+        registry.fold(1, "delivered", bits=8)
+        registry.fold(2, "delivered", bits=8)
+        registry.fold(1, "delivered", bits=8)  # touch 1
+        registry.fold(3, "delivered", bits=8)  # must evict 2, not 1
+        assert registry.get(1) is not None
+        assert registry.get(2) is None
+        assert registry.get(3) is not None
+
+    def test_histogram_covers_exactly_the_tracked_set(self):
+        registry = TagHealthRegistry(capacity=8)
+        for tag in range(20):
+            registry.fold(tag, "delivered", bits=8)
+        bins = registry.histogram()
+        assert len(bins) == HEALTH_BINS
+        assert sum(bins) == registry.tracked == 8
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TagHealthRegistry(capacity=0)
+        with pytest.raises(ConfigurationError):
+            TagHealthRegistry(z_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            TagHealthRegistry(min_requests=0)
+
+
+class TestAnomalyDetection:
+    def _fleet(self, capacity=32, z=3.0):
+        registry = TagHealthRegistry(capacity=capacity, z_threshold=z)
+        for tag in range(12):
+            _deliver(registry, tag, n=5)
+        return registry
+
+    def test_failing_tag_flags_anomalous_then_recovers(self):
+        registry = self._fleet()
+        for _ in range(5):
+            registry.fold(99, "decode_failed", errors=8, t=1.0)
+        new = registry.detect(t=2.0)
+        assert [tr["kind"] for tr in new] == ["anomalous"]
+        assert new[0]["tag"] == 99
+        assert new[0]["z"] >= registry.z_threshold
+        assert registry.anomalous_tags() == [99]
+        # Steady-state badness is silent.
+        assert registry.detect(t=3.0) == []
+        # Enough clean deliveries pull the score back to the fleet.
+        _deliver(registry, 99, n=200, t=4.0)
+        recovered = registry.detect(t=5.0)
+        assert [tr["kind"] for tr in recovered] == ["recovered"]
+        assert recovered[0]["tag"] == 99
+        assert registry.anomalous_tags() == []
+        assert registry.transitions_total == 2
+
+    def test_min_requests_exempts_young_tags(self):
+        registry = self._fleet()
+        registry.fold(99, "decode_failed", errors=8)  # 1 < min_requests
+        assert registry.detect() == []
+
+    def test_tiny_fleets_never_flag(self):
+        # < 4 eligible tags: no meaningful median/MAD, no flags.
+        registry = TagHealthRegistry(capacity=8)
+        _deliver(registry, 1, n=5)
+        _deliver(registry, 2, n=5)
+        for _ in range(5):
+            registry.fold(3, "decode_failed", errors=8)
+        assert registry.detect() == []
+
+    def test_common_mode_degradation_does_not_flag(self):
+        # Everyone sheds equally: the median moves with the fleet, so
+        # robust z-scores stay near zero and nothing pages.
+        registry = TagHealthRegistry(capacity=32)
+        for tag in range(12):
+            for _ in range(5):
+                registry.fold(tag, "shed")
+        assert registry.detect() == []
+
+    def test_eviction_discards_the_anomaly_flag(self):
+        registry = TagHealthRegistry(capacity=13)
+        for tag in range(12):
+            _deliver(registry, tag, n=5)
+        for _ in range(5):
+            registry.fold(99, "decode_failed", errors=8)
+        registry.detect(t=1.0)
+        assert registry.anomalous_tags() == [99]
+        # 99 is now least-recently folded after touching the others;
+        # one new tag evicts it and the flag must not dangle.
+        for tag in range(12):
+            _deliver(registry, tag, n=1, t=2.0)
+        registry.fold(100, "delivered", bits=8, t=3.0)
+        assert registry.get(99) is None
+        assert registry.anomalous_tags() == []
+
+    def test_transition_log_is_bounded(self):
+        registry = TagHealthRegistry(capacity=64, z_threshold=1.5)
+        for tag in range(12):
+            _deliver(registry, tag, n=5)
+        for round_no in range(MAX_TRANSITIONS):
+            # Alternate one tag between broken and healthy to churn
+            # transitions well past the retention bound.
+            if round_no % 2 == 0:
+                for _ in range(30):
+                    registry.fold(99, "decode_failed", errors=8)
+            else:
+                _deliver(registry, 99, n=2000)
+            registry.detect(t=float(round_no))
+        assert len(registry.transitions) <= MAX_TRANSITIONS
+        assert registry.transitions_total >= len(registry.transitions)
+
+
+class TestPayloads:
+    def _populated(self):
+        registry = TagHealthRegistry(capacity=4, z_threshold=2.0)
+        for tag in range(10):
+            _deliver(registry, tag, n=3, t=float(tag))
+        for _ in range(4):
+            registry.fold(2, "decode_failed", errors=8, t=20.0)
+        registry.detect(t=21.0)
+        return registry
+
+    def test_payload_round_trip_preserves_state(self):
+        registry = self._populated()
+        rebuilt = TagHealthRegistry.from_payload(registry.to_payload())
+        assert rebuilt.to_payload() == registry.to_payload()
+        assert rebuilt.snapshot_block() == registry.snapshot_block()
+        assert rebuilt.tags_seen == rebuilt.tracked + rebuilt.evictions
+
+    def test_merge_preserves_conservation(self):
+        a = TagHealthRegistry(capacity=4)
+        b = TagHealthRegistry(capacity=4)
+        for tag in range(7):
+            _deliver(a, tag, n=1, t=float(tag))
+        for tag in range(5, 11):
+            _deliver(b, tag, n=1, t=float(tag))
+        total_requests = 7 + 6
+        a.merge_payload(b.to_payload())
+        assert a.tags_seen == a.tracked + a.evictions
+        tracked_requests = sum(
+            a.get(int(tag)).requests for tag in list(a._tags)
+        )
+        assert tracked_requests + a.other.requests == total_requests
+
+    def test_merge_rejects_mismatched_capacity(self):
+        a = TagHealthRegistry(capacity=4)
+        b = TagHealthRegistry(capacity=8)
+        with pytest.raises(ConfigurationError):
+            a.merge_payload(b.to_payload())
+
+    def test_snapshot_block_shape(self):
+        block = self._populated().snapshot_block()
+        assert set(block) == {
+            "tracked", "evictions", "tags_seen", "other_requests",
+            "histogram", "anomalous",
+        }
+        assert block["tags_seen"] == block["tracked"] + block["evictions"]
